@@ -1,0 +1,262 @@
+// Command paperbench regenerates every table and figure of the paper's
+// evaluation from a synthetic scenario run: Table 1's stage statistics,
+// Figures 1-10, Tables 2-3, and the §4.1/§4.2 validation numbers. Each
+// experiment is a subcommand; "all" runs the whole set over one shared
+// dataset.
+//
+// Usage:
+//
+//	paperbench [-total N] [-hours H] [-seed S] [-workers W]
+//	           [-threshold T] <experiment>
+//
+// Experiments: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7a fig7b
+// table2 table3 fig8 fig9 fig10 scanners all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tamperdetect/internal/analysis"
+	"tamperdetect/internal/capture"
+	"tamperdetect/internal/core"
+	"tamperdetect/internal/domains"
+	"tamperdetect/internal/stats"
+	"tamperdetect/internal/testlists"
+	"tamperdetect/internal/workload"
+)
+
+var experiments = []string{
+	"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+	"fig7a", "fig7b", "table2", "table3", "fig8", "fig9", "fig10",
+	"scanners", "stability", "evasion", "groundtruth", "all",
+}
+
+func main() {
+	total := flag.Int("total", 60000, "connections in the global scenario")
+	hours := flag.Int("hours", 14*24, "scenario hours (two weeks, as in the paper)")
+	seed := flag.Uint64("seed", 2023, "deterministic seed")
+	workers := flag.Int("workers", 0, "parallelism (0 = all cores)")
+	threshold := flag.Int("threshold", 3, "per-domain match threshold for Tables 2-3 (paper: 100/day at CDN scale)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: paperbench [flags] <%s>\n", strings.Join(experiments, "|"))
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *total, *hours, *seed, *workers, *threshold); err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(1)
+	}
+}
+
+// dataset bundles one scenario run and its classification.
+type dataset struct {
+	scen  *workload.Scenario
+	conns []*capture.Connection
+	recs  []analysis.Record
+}
+
+func buildDataset(total, hours int, seed uint64, workers int) (*dataset, error) {
+	s, err := workload.BuildScenario("paperbench", total, hours, seed)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	conns := s.Run(workers)
+	recs := analysis.Analyze(conns, s.Geo, core.NewClassifier(core.DefaultConfig()), workers)
+	fmt.Printf("# dataset: %d connections, %d scenario-hours, built in %v\n\n",
+		len(conns), s.Hours, time.Since(start).Round(time.Millisecond))
+	return &dataset{scen: s, conns: conns, recs: recs}, nil
+}
+
+func run(exp string, total, hours int, seed uint64, workers, threshold int) error {
+	known := false
+	for _, e := range experiments {
+		if e == exp {
+			known = true
+		}
+	}
+	if !known {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+
+	var ds *dataset
+	var err error
+	if exp != "fig8" { // the Iran case study uses its own scenario
+		ds, err = buildDataset(total, hours, seed, workers)
+		if err != nil {
+			return err
+		}
+	}
+
+	runOne := func(name string) error {
+		fmt.Printf("== %s ==\n", name)
+		switch name {
+		case "table1":
+			fmt.Print(analysis.RenderStageStats(analysis.ComputeStageStats(ds.recs)))
+		case "fig1":
+			fmt.Print(analysis.RenderSignatureComposition(analysis.CountryBySignature(ds.recs)))
+		case "fig2":
+			cdfs := analysis.ComputeEvidenceCDFs(ds.recs, 1000)
+			fmt.Print(analysis.RenderEvidenceCDF("Figure 2: max |IP-ID delta| (IPv4)", cdfs.IPID,
+				[]float64{0, 1, 10, 100, 1000, 10000}))
+		case "fig3":
+			cdfs := analysis.ComputeEvidenceCDFs(ds.recs, 1000)
+			fmt.Print(analysis.RenderEvidenceCDF("Figure 3: max |TTL delta|", cdfs.TTL,
+				[]float64{0, 1, 5, 20, 60, 150}))
+		case "fig4":
+			fmt.Print(analysis.RenderCountryDistribution(analysis.SignatureByCountry(ds.recs), 50))
+		case "fig5":
+			for _, c := range []string{"TM", "CN", "IR", "RU", "UA", "PK", "MX", "US", "DE"} {
+				view := analysis.ASNView(ds.recs, c)
+				if len(view) > 0 {
+					fmt.Print(analysis.RenderASNView(c, view))
+				}
+			}
+		case "fig6":
+			for _, c := range []string{"CN", "DE", "GB", "IN", "IR", "RU", "US"} {
+				c := c
+				series := analysis.TimeSeries(ds.recs, 4,
+					func(r *analysis.Record) bool { return r.Country == c },
+					analysis.PostACKPSHMatch)
+				fmt.Print(analysis.RenderTimeSeries("Figure 6: "+c+" (Post-ACK+Post-PSH, 4h buckets)", series))
+			}
+		case "fig7a":
+			rows, slope := analysis.IPVersionCompare(ds.recs, 50)
+			fmt.Print(analysis.RenderVersionComparison(rows, slope))
+		case "fig7b":
+			rows, slope := analysis.ProtocolCompare(ds.recs, 30)
+			fmt.Print(analysis.RenderProtocolComparison(rows, slope))
+		case "table2":
+			for _, region := range []string{"", "CN", "DE", "GB", "IN", "IR", "KR", "MX", "PE", "RU", "US"} {
+				t := analysis.ComputeCategoryTable(ds.recs, ds.scen.Universe, region, threshold)
+				fmt.Print(analysis.RenderCategoryTable(t, 3))
+			}
+		case "table3":
+			suite := testlists.BuildSuite(ds.scen.Universe, sensitiveDomain, testlists.DefaultBuildConfig())
+			regions := []string{"", "CN", "IN", "IR", "KR", "MX", "PE", "RU", "US"}
+			rows := analysis.ListCoverageTable(ds.recs, suite, regions, threshold)
+			fmt.Print(analysis.RenderListCoverage(rows, regions))
+		case "fig8":
+			s, err := workload.Iran2022Scenario(total, seed)
+			if err != nil {
+				return err
+			}
+			conns := s.Run(workers)
+			recs := analysis.Analyze(conns, s.Geo, core.NewClassifier(core.DefaultConfig()), workers)
+			fmt.Printf("# iran2022: %d connections over 17 days\n", len(recs))
+			for _, sig := range []core.Signature{core.SigSYNRST, core.SigACKTimeout, core.SigACKRSTACK, core.SigSYNTimeout} {
+				sig := sig
+				series := analysis.TimeSeries(recs, 12, nil,
+					func(r *analysis.Record) bool { return r.Res.Signature == sig })
+				fmt.Print(analysis.RenderTimeSeries("Figure 8: "+sig.String()+" (12h buckets)", series))
+			}
+		case "fig9":
+			for _, sig := range []core.Signature{core.SigSYNRST, core.SigPSHRST, core.SigDataRST, core.SigDataRSTACK} {
+				sig := sig
+				series := analysis.TimeSeries(ds.recs, 6, nil,
+					func(r *analysis.Record) bool { return r.Res.Signature == sig })
+				fmt.Print(analysis.RenderTimeSeries("Figure 9: "+sig.String()+" (6h buckets)", series))
+			}
+		case "fig10":
+			fmt.Print(analysis.RenderOverlapMatrix(analysis.ComputeOverlapMatrix(ds.recs)))
+		case "groundtruth":
+			// Extension: score the classifier against the generator's
+			// intent — the oracle unavailable in the wild.
+			s, err := workload.BuildScenario("groundtruth", total/4, 48, seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(workload.RenderGroundTruth(workload.ValidateGroundTruth(s, 0, workers)))
+		case "evasion":
+			// §6's thought experiment: run the global scenario's CN
+			// share against an evasive censor and report how much
+			// tampering the passive detector still sees.
+			fmt.Println(renderEvasion(total/10, seed))
+		case "stability":
+			fmt.Print(analysis.RenderStability(analysis.StabilityReport(ds.recs, 30)))
+		case "scanners":
+			fmt.Print(analysis.RenderScannerStats(analysis.ComputeScannerStats(ds.recs, ds.conns)))
+			// §5.1 companion stat: the share of tampering restricted to
+			// the robust Post-ACK/Post-PSH subset.
+			matched, robust := 0, 0
+			for i := range ds.recs {
+				if ds.recs[i].Res.Signature.IsTampering() {
+					matched++
+					if ds.recs[i].Res.Signature.PostACKOrPSH() {
+						robust++
+					}
+				}
+			}
+			fmt.Printf("Post-ACK/Post-PSH share of matches: %.1f%%\n",
+				stats.Percent(stats.Ratio(robust, matched)))
+		}
+		fmt.Println()
+		return nil
+	}
+
+	if exp == "all" {
+		for _, e := range experiments {
+			if e == "all" {
+				continue
+			}
+			if e == "fig8" {
+				// fig8 builds its own dataset below.
+			}
+			if err := runOne(e); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return runOne(exp)
+}
+
+// renderEvasion measures the §6 blind spot: connections censored by
+// the drop-and-impersonate strategy classify as Not Tampering.
+func renderEvasion(conns int, seed uint64) string {
+	if conns < 200 {
+		conns = 200
+	}
+	s, err := workload.BuildScenario("evasion", conns, 24, seed)
+	if err != nil {
+		return err.Error()
+	}
+	specs := s.Specs()
+	cl := core.NewClassifier(core.DefaultConfig())
+	detected, censored := 0, 0
+	for i := range specs {
+		spec := &specs[i]
+		if !spec.Blocked || spec.Domain == nil || spec.Behavior != 0 {
+			continue
+		}
+		censored++
+		conn := workload.SimulateEvasive(spec, s.Universe)
+		if conn == nil {
+			continue
+		}
+		if cl.Classify(conn).Signature.IsTampering() {
+			detected++
+		}
+	}
+	return fmt.Sprintf("evasive censorship of %d blocked connections: %d detected (%.1f%%)"+
+		" — the paper's §6 prediction: drop-and-impersonate defeats passive detection",
+		censored, detected, stats.Percent(stats.Ratio(detected, censored)))
+}
+
+// sensitiveDomain marks the categories curated censorship lists target.
+func sensitiveDomain(d *domains.Domain) bool {
+	switch d.Category {
+	case domains.AdultThemes, domains.News, domains.SocialNetworks, domains.Chat:
+		return true
+	default:
+		return false
+	}
+}

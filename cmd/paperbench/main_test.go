@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+// TestRunExperiments smoke-runs every experiment at tiny scale; each
+// must complete without error (output goes to stdout).
+func TestRunExperiments(t *testing.T) {
+	for _, exp := range experiments {
+		if exp == "all" {
+			continue // covered by the individual runs; "all" is slow
+		}
+		exp := exp
+		t.Run(exp, func(t *testing.T) {
+			if err := run(exp, 3000, 48, 7, 2, 2); err != nil {
+				t.Fatalf("run(%s): %v", exp, err)
+			}
+		})
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("nope", 10, 1, 1, 1, 1); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

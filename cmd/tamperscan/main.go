@@ -1,0 +1,186 @@
+// Command tamperscan classifies a capture file against the 19
+// tampering signatures and prints a report: the signature histogram,
+// stage breakdown, per-signature evidence summaries, and (with -v)
+// per-connection verdicts.
+//
+// Input may be a TDCAP connection capture (written by trafficgen) or a
+// classic libpcap file (LINKTYPE_RAW or Ethernet); the format is
+// auto-detected. For pcap input, packets are run through the paper's
+// sampling pipeline first (inbound-only flow records, 10-packet cap,
+// 1-second timestamps).
+//
+// Usage:
+//
+//	tamperscan [-v] [-tampered-only] capture.{tdcap,pcap}
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"tamperdetect"
+	"tamperdetect/internal/capture"
+	"tamperdetect/internal/core"
+	"tamperdetect/internal/netsim"
+	"tamperdetect/internal/pcap"
+	"tamperdetect/internal/stats"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print each connection's verdict")
+	tamperedOnly := flag.Bool("tampered-only", false, "with -v, print only tampered connections")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: tamperscan [-v] [-tampered-only] capture.tdcap\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *verbose, *tamperedOnly); err != nil {
+		fmt.Fprintln(os.Stderr, "tamperscan:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, verbose, tamperedOnly bool) error {
+	conns, err := loadCapture(path)
+	if err != nil {
+		return err
+	}
+	cl := tamperdetect.NewClassifier(tamperdetect.DefaultConfig())
+
+	var counts [core.NumSignatures]int
+	var stages [core.NumStages]int
+	possibly := 0
+	evidenceBig := map[tamperdetect.Signature]int{}
+	evidenceAll := map[tamperdetect.Signature]int{}
+	for _, conn := range conns {
+		res := cl.Classify(conn)
+		counts[res.Signature]++
+		if res.PossiblyTampered {
+			possibly++
+			stages[res.Stage]++
+		}
+		if res.Signature.IsTampering() && res.Evidence.IPIDValid {
+			evidenceAll[res.Signature]++
+			if res.Evidence.MaxIPIDDelta > 100 {
+				evidenceBig[res.Signature]++
+			}
+		}
+		if verbose && (!tamperedOnly || res.Signature.IsTampering()) {
+			domain := res.Domain
+			if domain == "" {
+				domain = "-"
+			}
+			fmt.Printf("%s:%d -> :%d  %-26s %-9s proto=%s domain=%s\n",
+				conn.SrcIP, conn.SrcPort, conn.DstPort,
+				res.Signature, res.Stage, res.Protocol, domain)
+		}
+	}
+
+	fmt.Printf("connections:       %d\n", len(conns))
+	fmt.Printf("possibly tampered: %d (%.1f%%)\n", possibly,
+		stats.Percent(stats.Ratio(possibly, len(conns))))
+	fmt.Println("\nsignature histogram:")
+	type row struct {
+		sig tamperdetect.Signature
+		n   int
+	}
+	var rows []row
+	for s := tamperdetect.Signature(0); s < core.NumSignatures; s++ {
+		if counts[s] > 0 {
+			rows = append(rows, row{s, counts[s]})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].n > rows[j].n })
+	for _, r := range rows {
+		evid := ""
+		if n := evidenceAll[r.sig]; n > 0 {
+			evid = fmt.Sprintf("  (IP-ID delta >100 in %.0f%%)",
+				stats.Percent(stats.Ratio(evidenceBig[r.sig], n)))
+		}
+		fmt.Printf("  %-28s %8d  %5.1f%%%s\n", r.sig, r.n,
+			stats.Percent(stats.Ratio(r.n, len(conns))), evid)
+	}
+	fmt.Println("\nstage breakdown of possibly-tampered:")
+	for st := core.StagePostSYN; st <= core.StageOther; st++ {
+		if stages[st] > 0 {
+			fmt.Printf("  %-10s %8d  %5.1f%%\n", st, stages[st],
+				stats.Percent(stats.Ratio(stages[st], possibly)))
+		}
+	}
+	return nil
+}
+
+// loadCapture auto-detects TDCAP vs pcap input; "-" reads a stream
+// (either format) from stdin.
+func loadCapture(path string) ([]*tamperdetect.Connection, error) {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(8)
+	if err != nil {
+		return nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	if string(magic[:5]) == "TDCAP" {
+		return tamperdetect.ReadCapture(br)
+	}
+	return ingestPcap(br)
+}
+
+// ingestPcap runs raw packets through the paper's sampling pipeline,
+// producing connection records. Both directions may be present in the
+// file; the sampler keeps only inbound (client→server) packets, keyed
+// by each flow's initial SYN, exactly as the deployment does.
+func ingestPcap(r io.Reader) ([]*tamperdetect.Connection, error) {
+	pr, err := pcap.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	sampler := capture.NewSampler(capture.DefaultConfig())
+	var conns []*tamperdetect.Connection
+	var first, last, lastSweep int64 = -1, 0, 0
+	for {
+		p, err := pr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(p.Data) == 0 {
+			continue
+		}
+		if first < 0 {
+			first = p.TimestampNanos
+		}
+		last = p.TimestampNanos
+		// Rebase to the capture's own epoch so record timestamps are
+		// small offsets, like the simulator's.
+		at := netsim.Time(p.TimestampNanos - first)
+		sampler.Inbound(at, p.Data)
+		// Periodically evict long-idle flows so arbitrarily large
+		// captures stream in bounded memory.
+		if sec := at.Unix(); sec-lastSweep >= 300 {
+			lastSweep = sec
+			conns = append(conns, sampler.DrainIdle(at, 120)...)
+		}
+	}
+	closeAt := netsim.Time(last - first).Add(60e9)
+	return append(conns, sampler.Drain(closeAt)...), nil
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tamperdetect"
+	"tamperdetect/internal/packet"
+	"tamperdetect/internal/pcap"
+)
+
+func sampleConns() []*tamperdetect.Connection {
+	return []*tamperdetect.Connection{{
+		SrcIP: netip.MustParseAddr("20.0.0.1"), DstIP: netip.MustParseAddr("192.0.2.80"),
+		SrcPort: 40000, DstPort: 443, IPVersion: 4,
+		TotalPackets: 3, LastActivity: 1, CloseTime: 30,
+		Packets: []tamperdetect.PacketRecord{
+			{Timestamp: 0, Flags: packet.FlagsSYN, Seq: 100, TTL: 54, IPID: 1, HasOptions: true},
+			{Timestamp: 0, Flags: packet.FlagsACK, Seq: 101, TTL: 54, IPID: 2},
+			{Timestamp: 1, Flags: packet.FlagsRSTACK, Seq: 101, Ack: 7, TTL: 200, IPID: 50000},
+		},
+	}}
+}
+
+func TestLoadCaptureTDCAP(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.tdcap")
+	if err := tamperdetect.WriteCaptureFile(path, sampleConns()); err != nil {
+		t.Fatal(err)
+	}
+	conns, err := loadCapture(path)
+	if err != nil {
+		t.Fatalf("loadCapture: %v", err)
+	}
+	if len(conns) != 1 || len(conns[0].Packets) != 3 {
+		t.Errorf("loaded %d conns", len(conns))
+	}
+}
+
+func TestLoadCapturePcap(t *testing.T) {
+	// Build a raw-IP pcap with one inbound flow plus an outbound packet
+	// that the sampler must ignore.
+	var buf bytes.Buffer
+	w := pcap.NewWriter(&buf, 0)
+	mk := func(src, dst string, sport, dport uint16, flags packet.TCPFlags, seq uint32) []byte {
+		ip := packet.IPv4{TTL: 60, ID: 9, Protocol: 6,
+			SrcIP: netip.MustParseAddr(src), DstIP: netip.MustParseAddr(dst)}
+		tcp := packet.TCP{SrcPort: sport, DstPort: dport, Seq: seq, Flags: flags, Window: 1000}
+		tcp.SetNetworkLayerForChecksum(&ip)
+		sb := packet.NewSerializeBuffer()
+		if err := packet.SerializeLayers(sb, packet.SerializeOptions{FixLengths: true, ComputeChecksums: true}, &ip, &tcp); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]byte, sb.Len())
+		copy(out, sb.Bytes())
+		return out
+	}
+	if err := w.Write(0, mk("20.0.0.5", "192.0.2.80", 40000, 443, packet.FlagsSYN, 100)); err != nil {
+		t.Fatal(err)
+	}
+	// Outbound SYN+ACK: ignored by the inbound-only sampler.
+	if err := w.Write(1e6, mk("192.0.2.80", "20.0.0.5", 443, 40000, packet.FlagsSYNACK, 900)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(2e6, mk("20.0.0.5", "192.0.2.80", 40000, 443, packet.FlagsACK, 101)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "x.pcap")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	conns, err := loadCapture(path)
+	if err != nil {
+		t.Fatalf("loadCapture(pcap): %v", err)
+	}
+	if len(conns) != 1 {
+		t.Fatalf("conns = %d, want 1", len(conns))
+	}
+	if conns[0].TotalPackets != 2 {
+		t.Errorf("inbound packets = %d, want 2 (SYN+ACK excluded)", conns[0].TotalPackets)
+	}
+}
+
+func TestLoadCaptureErrors(t *testing.T) {
+	if _, err := loadCapture("/nonexistent"); err == nil {
+		t.Error("missing file accepted")
+	}
+	path := filepath.Join(t.TempDir(), "junk")
+	if err := os.WriteFile(path, []byte("neither format at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadCapture(path); err == nil {
+		t.Error("junk file accepted")
+	}
+}
+
+func TestRunReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.tdcap")
+	if err := tamperdetect.WriteCaptureFile(path, sampleConns()); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, true, true); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tamperdetect"
+)
+
+func TestRunGlobal(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "g.tdcap")
+	if err := run("global", "", 500, 6, 3, 2, out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	conns, err := tamperdetect.ReadCaptureFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conns) < 450 {
+		t.Errorf("capture has %d connections", len(conns))
+	}
+}
+
+func TestRunIran(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "i.tdcap")
+	if err := run("iran2022", "", 400, 0, 3, 2, out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunConfig(t *testing.T) {
+	cfg := filepath.Join(t.TempDir(), "s.json")
+	if err := os.WriteFile(cfg, []byte(`{"total":200,"hours":6,"countries":[{"code":"AA","share":1,"blocked_seek_base":0.3,"styles":{"gfw":1}}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "c.tdcap")
+	if err := run("", cfg, 0, 0, 0, 2, out); err != nil {
+		t.Fatalf("run(config): %v", err)
+	}
+}
+
+func TestRunUnknownScenario(t *testing.T) {
+	if err := run("nope", "", 10, 1, 1, 1, filepath.Join(t.TempDir(), "x")); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}

@@ -1,0 +1,70 @@
+package tamperdetect_test
+
+import (
+	"fmt"
+	"net/netip"
+
+	"tamperdetect"
+	"tamperdetect/internal/packet"
+)
+
+// ExampleClassifier_Classify classifies one connection record — a
+// handshake, a request, and a forged RST+ACK burst — against the
+// taxonomy.
+func ExampleClassifier_Classify() {
+	conn := &tamperdetect.Connection{
+		SrcIP:   netip.MustParseAddr("203.0.113.7"),
+		DstIP:   netip.MustParseAddr("192.0.2.80"),
+		SrcPort: 51000, DstPort: 443, IPVersion: 4,
+		TotalPackets: 5, LastActivity: 1, CloseTime: 40,
+		Packets: []tamperdetect.PacketRecord{
+			{Timestamp: 0, Flags: packet.FlagsSYN, Seq: 1000, IPID: 700, TTL: 52, HasOptions: true},
+			{Timestamp: 0, Flags: packet.FlagsACK, Seq: 1001, IPID: 701, TTL: 52},
+			{Timestamp: 1, Flags: packet.FlagsPSHACK, Seq: 1001, Ack: 9001, IPID: 702, TTL: 52, PayloadLen: 220},
+			{Timestamp: 1, Flags: packet.FlagsRSTACK, Seq: 1221, Ack: 9001, IPID: 48313, TTL: 38},
+			{Timestamp: 1, Flags: packet.FlagsRSTACK, Seq: 1221, Ack: 9001, IPID: 5621, TTL: 38},
+		},
+	}
+	cl := tamperdetect.NewClassifier(tamperdetect.DefaultConfig())
+	res := cl.Classify(conn)
+	fmt.Println(res.Signature)
+	fmt.Println(res.Stage)
+	fmt.Println(res.PossiblyTampered)
+	// Output:
+	// PSH → RST+ACK;RST+ACK
+	// Post-PSH
+	// true
+}
+
+// ExampleReconstruct restores arrival order from headers when the
+// 1-second timestamps leave the log order ambiguous.
+func ExampleReconstruct() {
+	conn := &tamperdetect.Connection{
+		Packets: []tamperdetect.PacketRecord{
+			// Logged out of order within one second.
+			{Timestamp: 0, Flags: packet.FlagsPSHACK, Seq: 101, PayloadLen: 50},
+			{Timestamp: 0, Flags: packet.FlagsRST, Seq: 151},
+			{Timestamp: 0, Flags: packet.FlagsSYN, Seq: 100},
+			{Timestamp: 0, Flags: packet.FlagsACK, Seq: 101},
+		},
+	}
+	for _, p := range tamperdetect.Reconstruct(conn) {
+		fmt.Println(p.Flags)
+	}
+	// Output:
+	// SYN
+	// ACK
+	// PSH+ACK
+	// RST
+}
+
+// ExampleSignature_Stage shows the Table 1 stage grouping.
+func ExampleSignature_Stage() {
+	fmt.Println(tamperdetect.SigACKTimeout.Stage())
+	fmt.Println(tamperdetect.SigDataRSTACK.Stage())
+	fmt.Println(len(tamperdetect.AllSignatures()))
+	// Output:
+	// Post-ACK
+	// Post-Data
+	// 19
+}

@@ -1,0 +1,119 @@
+// Censorlab: define a custom tampering middlebox, run real simulated
+// TCP connections through it, and inspect what a passive server-side
+// observer sees — the workflow for studying a new censor's fingerprint
+// before it appears in the Table 1 taxonomy.
+//
+// The custom censor here injects one RST+ACK and two bare RSTs with a
+// fixed exotic TTL, a combination no profile ships with.
+//
+// Run with: go run ./examples/censorlab
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"net/netip"
+	"time"
+
+	"tamperdetect"
+	"tamperdetect/internal/capture"
+	"tamperdetect/internal/middlebox"
+	"tamperdetect/internal/netsim"
+	"tamperdetect/internal/packet"
+	"tamperdetect/internal/tcpsim"
+	"tamperdetect/internal/tlswire"
+)
+
+func main() {
+	// A custom policy: trigger on any SNI containing "leaks", drop
+	// nothing, inject a mixed burst.
+	custom := middlebox.Policy{
+		Name:        "my-censor",
+		Stage:       middlebox.StageFirstData,
+		MatchDomain: func(d string) bool { return contains(d, "leaks") },
+		Actions: []middlebox.Action{{
+			ToServer: []middlebox.InjectSpec{
+				{Flags: packet.FlagsRSTACK, Count: 1, Ack: middlebox.AckEcho, IPID: middlebox.IPIDRandom, TTL: middlebox.TTLFixed, TTLValue: 33},
+				{Flags: packet.FlagsRST, Count: 2, Ack: middlebox.AckEcho, IPID: middlebox.IPIDRandom, TTL: middlebox.TTLFixed, TTLValue: 33},
+			},
+			ToClient: []middlebox.InjectSpec{
+				{Flags: packet.FlagsRSTACK, Count: 1, Ack: middlebox.AckEcho, IPID: middlebox.IPIDRandom, TTL: middlebox.TTLFixed, TTLValue: 33},
+			},
+		}},
+	}
+
+	for _, domain := range []string{"leaks-archive.example", "weather.example"} {
+		res, seq := observe(custom, domain)
+		fmt.Printf("request for %q:\n", domain)
+		fmt.Printf("  server-side packet sequence: %s\n", seq)
+		fmt.Printf("  classified: %s (stage %s, domain %q)\n",
+			res.Signature, res.Stage, res.Domain)
+		if res.Signature.IsTampering() {
+			fmt.Printf("  evidence: max IP-ID delta %d, max TTL delta %d\n",
+				res.Evidence.MaxIPIDDelta, res.Evidence.MaxTTLDelta)
+		}
+		fmt.Println()
+	}
+}
+
+// observe runs one connection through the censor and classifies it.
+func observe(policy middlebox.Policy, domain string) (tamperdetect.Result, string) {
+	sim := netsim.NewSim(0)
+	rng := rand.New(rand.NewPCG(42, 42))
+	cprof := tcpsim.NetProfile{
+		LocalIP:    netip.MustParseAddr("203.0.113.50"),
+		RemoteIP:   netip.MustParseAddr("192.0.2.80"),
+		LocalPort:  40123,
+		RemotePort: 443,
+		InitialTTL: 64, IPID: tcpsim.IPIDCounter, IPIDValue: 2500,
+		Window: 64240, SYNOptions: true,
+	}
+	sprof := tcpsim.NetProfile{
+		LocalIP: cprof.RemoteIP, RemoteIP: cprof.LocalIP,
+		LocalPort: 443, RemotePort: 40123,
+		InitialTTL: 64, IPID: tcpsim.IPIDCounter, IPIDValue: 9000,
+		Window: 65535, SYNOptions: true,
+	}
+	hello := tlswire.BuildClientHello(tlswire.ClientHelloSpec{ServerName: domain})
+	cli := tcpsim.NewClient(sim, tcpsim.ClientConfig{
+		Net:      cprof,
+		Segments: []tcpsim.Segment{{Data: hello}},
+	}, rng)
+	srv := tcpsim.NewServer(sim, tcpsim.ServerConfig{Net: sprof}, rng)
+	engine := middlebox.NewEngine([]middlebox.Policy{policy}, rng, sim.Now)
+
+	path := netsim.NewPath(sim, netsim.PathConfig{
+		Segments: []netsim.Segment{
+			{Delay: 25 * time.Millisecond, Hops: 6},
+			{Delay: 35 * time.Millisecond, Hops: 8},
+		},
+		Middleboxes: []netsim.Middlebox{engine},
+	}, cli, srv)
+
+	sampler := capture.NewSampler(capture.DefaultConfig())
+	path.Tap = sampler.Inbound
+	cli.Attach(path.SendFromClient)
+	srv.Attach(path.SendFromServer)
+	cli.Start()
+	sim.Run(0)
+	conns := sampler.Drain(sim.Now().Add(30 * time.Second))
+
+	cl := tamperdetect.NewClassifier(tamperdetect.DefaultConfig())
+	seq := ""
+	for i, p := range tamperdetect.Reconstruct(conns[0]) {
+		if i > 0 {
+			seq += " "
+		}
+		seq += p.Flags.String()
+	}
+	return cl.Classify(conns[0]), seq
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

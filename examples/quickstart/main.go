@@ -1,0 +1,74 @@
+// Quickstart: classify a handful of hand-built connection records with
+// the public API — the minimal end-to-end use of the library.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"net/netip"
+
+	"tamperdetect"
+	"tamperdetect/internal/packet"
+)
+
+func main() {
+	cl := tamperdetect.NewClassifier(tamperdetect.DefaultConfig())
+
+	// A connection observed at a server: handshake, a TLS ClientHello,
+	// then two forged RST+ACKs — the classic GFW tear-down burst.
+	gfwVictim := &tamperdetect.Connection{
+		SrcIP:   netip.MustParseAddr("203.0.113.7"),
+		DstIP:   netip.MustParseAddr("192.0.2.80"),
+		SrcPort: 51000, DstPort: 443, IPVersion: 4,
+		TotalPackets: 5, LastActivity: 2, CloseTime: 40,
+		Packets: []tamperdetect.PacketRecord{
+			{Timestamp: 0, Flags: packet.FlagsSYN, Seq: 1000, IPID: 700, TTL: 52, HasOptions: true},
+			{Timestamp: 0, Flags: packet.FlagsACK, Seq: 1001, IPID: 701, TTL: 52},
+			{Timestamp: 1, Flags: packet.FlagsPSHACK, Seq: 1001, Ack: 9001, IPID: 702, TTL: 52, PayloadLen: 220},
+			{Timestamp: 1, Flags: packet.FlagsRSTACK, Seq: 1221, Ack: 9001, IPID: 48313, TTL: 38},
+			{Timestamp: 2, Flags: packet.FlagsRSTACK, Seq: 1221, Ack: 9001, IPID: 5621, TTL: 38},
+		},
+	}
+
+	// A clean connection: request, response ACKs, graceful FIN.
+	clean := &tamperdetect.Connection{
+		SrcIP:   netip.MustParseAddr("198.51.100.9"),
+		DstIP:   netip.MustParseAddr("192.0.2.80"),
+		SrcPort: 52000, DstPort: 443, IPVersion: 4,
+		TotalPackets: 5, LastActivity: 1, CloseTime: 40,
+		Packets: []tamperdetect.PacketRecord{
+			{Timestamp: 0, Flags: packet.FlagsSYN, Seq: 5000, IPID: 100, TTL: 57, HasOptions: true},
+			{Timestamp: 0, Flags: packet.FlagsACK, Seq: 5001, IPID: 101, TTL: 57},
+			{Timestamp: 0, Flags: packet.FlagsPSHACK, Seq: 5001, IPID: 102, TTL: 57, PayloadLen: 180},
+			{Timestamp: 1, Flags: packet.FlagsACK, Seq: 5181, IPID: 103, TTL: 57},
+			{Timestamp: 1, Flags: packet.FlagsFINACK, Seq: 5181, IPID: 104, TTL: 57},
+		},
+	}
+
+	// A silently-dropped ClientHello: handshake completes, then nothing
+	// (Iran-style SNI filtering).
+	dropped := &tamperdetect.Connection{
+		SrcIP:   netip.MustParseAddr("203.0.113.200"),
+		DstIP:   netip.MustParseAddr("192.0.2.80"),
+		SrcPort: 53000, DstPort: 443, IPVersion: 4,
+		TotalPackets: 2, LastActivity: 0, CloseTime: 40,
+		Packets: []tamperdetect.PacketRecord{
+			{Timestamp: 0, Flags: packet.FlagsSYN, Seq: 7000, IPID: 300, TTL: 44, HasOptions: true},
+			{Timestamp: 0, Flags: packet.FlagsACK, Seq: 7001, IPID: 301, TTL: 44},
+		},
+	}
+
+	for _, conn := range []*tamperdetect.Connection{gfwVictim, clean, dropped} {
+		res := cl.Classify(conn)
+		fmt.Printf("%s:%d\n", conn.SrcIP, conn.SrcPort)
+		fmt.Printf("  signature:         %s\n", res.Signature)
+		fmt.Printf("  stage:             %s\n", res.Stage)
+		fmt.Printf("  possibly tampered: %v\n", res.PossiblyTampered)
+		if res.Signature.IsTampering() && res.Evidence.IPIDValid {
+			fmt.Printf("  injection evidence: max IP-ID delta %d, max TTL delta %d\n",
+				res.Evidence.MaxIPIDDelta, res.Evidence.MaxTTLDelta)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,3 @@
+module tamperdetect
+
+go 1.22

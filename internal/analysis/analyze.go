@@ -1,0 +1,599 @@
+// Package analysis aggregates classified connections into the paper's
+// tables and figures: per-country and per-AS tampering rates (Figures
+// 1, 4, 5), longitudinal series (Figures 6, 8, 9), IP-version and
+// protocol comparisons (Figure 7), category and test-list tables
+// (Tables 2, 3), evidence CDFs (Figures 2, 3), the signature-overlap
+// matrix (Figure 10), and the §4.1/§4.2 summary statistics.
+package analysis
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"tamperdetect/internal/capture"
+	"tamperdetect/internal/core"
+	"tamperdetect/internal/geo"
+	"tamperdetect/internal/stats"
+)
+
+// Record is one classified connection with its aggregation keys.
+type Record struct {
+	Res       core.Result
+	Country   string
+	ASN       uint32
+	IPVersion int
+	// Hour is the scenario hour of the first packet (capture
+	// timestamps are seconds from scenario start).
+	Hour int
+	// SrcKey identifies the client address for overlap analysis.
+	SrcKey string
+}
+
+// Analyze classifies every connection (in parallel) and attaches
+// country/AS via the geo database — exactly the paper's pipeline:
+// aggregation keys come only from the source address.
+func Analyze(conns []*capture.Connection, db *geo.DB, cl *core.Classifier, workers int) []Record {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([]Record, len(conns))
+	var wg sync.WaitGroup
+	ch := make(chan int, 256)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				c := conns[i]
+				rec := Record{
+					Res:       cl.Classify(c),
+					IPVersion: c.IPVersion,
+					SrcKey:    c.SrcIP.String(),
+				}
+				if as := db.Lookup(c.SrcIP); as != nil {
+					rec.Country = as.Country
+					rec.ASN = as.ASN
+				}
+				if len(c.Packets) > 0 {
+					rec.Hour = int(c.Packets[0].Timestamp / 3600)
+				}
+				out[i] = rec
+			}
+		}()
+	}
+	for i := range conns {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+	return out
+}
+
+// StageStats is the §4.1 headline breakdown (Table 1's narrative).
+type StageStats struct {
+	Total            int
+	PossiblyTampered int
+	// StageCounts counts possibly-tampered connections per stage
+	// (StageOther collects the uncovered remainder).
+	StageCounts [core.NumStages]int
+	// StageMatched counts, per stage, those matching a Table 1
+	// signature.
+	StageMatched [core.NumStages]int
+	// Matched is the total matching any signature.
+	Matched int
+}
+
+// PossiblyTamperedShare is the §4.1 25.7% statistic.
+func (s *StageStats) PossiblyTamperedShare() float64 {
+	return stats.Ratio(s.PossiblyTampered, s.Total)
+}
+
+// SignatureCoverage is the §4.1 86.9% statistic: the share of possibly
+// tampered connections matching one of the 19 signatures.
+func (s *StageStats) SignatureCoverage() float64 {
+	return stats.Ratio(s.Matched, s.PossiblyTampered)
+}
+
+// StageShare is a stage's share of possibly-tampered connections
+// (43.2% / 16.1% / 5.3% / 33.0% / 2.3% in the paper).
+func (s *StageStats) StageShare(st core.Stage) float64 {
+	return stats.Ratio(s.StageCounts[st], s.PossiblyTampered)
+}
+
+// StageCoverage is the share of a stage's connections matched by a
+// signature (99.5% / 98.7% / 97.9% / 69.2%).
+func (s *StageStats) StageCoverage(st core.Stage) float64 {
+	return stats.Ratio(s.StageMatched[st], s.StageCounts[st])
+}
+
+// ComputeStageStats builds the §4.1 breakdown. The stage of unmatched
+// possibly-tampered connections is derived from how far the canonical
+// prefix got: the classifier reports StageOther for those, except
+// Post-Data timeouts which it attributes to Post-Data with no match —
+// here we count by the connection's classified stage.
+func ComputeStageStats(recs []Record) StageStats {
+	var s StageStats
+	s.Total = len(recs)
+	for i := range recs {
+		r := &recs[i].Res
+		if !r.PossiblyTampered {
+			continue
+		}
+		s.PossiblyTampered++
+		st := r.Signature.Stage()
+		if r.Signature == core.SigOtherAnomalous {
+			// Attribute to the prefix stage when known (Post-Data
+			// timeouts), else Other.
+			st = r.Stage
+			if st == core.StageNone {
+				st = core.StageOther
+			}
+		}
+		s.StageCounts[st]++
+		if r.Signature.IsTampering() {
+			s.StageMatched[st]++
+			s.Matched++
+		}
+	}
+	return s
+}
+
+// CountryDistribution is Figure 4: per country, the share of
+// connections per signature (and not tampering).
+type CountryDistribution struct {
+	Country string
+	Total   int
+	// BySignature counts connections per signature.
+	BySignature [core.NumSignatures]int
+}
+
+// TamperedShare is the country's share of connections matching any of
+// the 19 signatures.
+func (c *CountryDistribution) TamperedShare() float64 {
+	matched := 0
+	for _, sig := range core.AllSignatures() {
+		matched += c.BySignature[sig]
+	}
+	return stats.Ratio(matched, c.Total)
+}
+
+// SignatureShare is the country share matching one signature.
+func (c *CountryDistribution) SignatureShare(sig core.Signature) float64 {
+	return stats.Ratio(c.BySignature[sig], c.Total)
+}
+
+// SignatureByCountry computes Figure 4 for every country present,
+// sorted by descending tampered share.
+func SignatureByCountry(recs []Record) []CountryDistribution {
+	byCountry := map[string]*CountryDistribution{}
+	for i := range recs {
+		r := &recs[i]
+		if r.Country == "" {
+			continue
+		}
+		d := byCountry[r.Country]
+		if d == nil {
+			d = &CountryDistribution{Country: r.Country}
+			byCountry[r.Country] = d
+		}
+		d.Total++
+		d.BySignature[r.Res.Signature]++
+	}
+	out := make([]CountryDistribution, 0, len(byCountry))
+	for _, d := range byCountry {
+		out = append(out, *d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ti, tj := out[i].TamperedShare(), out[j].TamperedShare()
+		if ti != tj {
+			return ti > tj
+		}
+		return out[i].Country < out[j].Country
+	})
+	return out
+}
+
+// SignatureComposition is Figure 1: for one signature, which countries
+// its matches come from.
+type SignatureComposition struct {
+	Signature core.Signature
+	Total     int
+	// ByCountry maps country → match count.
+	ByCountry map[string]int
+}
+
+// Share returns the country's share of the signature's matches.
+func (s *SignatureComposition) Share(country string) float64 {
+	return stats.Ratio(s.ByCountry[country], s.Total)
+}
+
+// TopCountries returns up to n countries by descending share.
+func (s *SignatureComposition) TopCountries(n int) []string {
+	type kv struct {
+		c string
+		n int
+	}
+	var kvs []kv
+	for c, cnt := range s.ByCountry {
+		kvs = append(kvs, kv{c, cnt})
+	}
+	sort.Slice(kvs, func(i, j int) bool {
+		if kvs[i].n != kvs[j].n {
+			return kvs[i].n > kvs[j].n
+		}
+		return kvs[i].c < kvs[j].c
+	})
+	if len(kvs) > n {
+		kvs = kvs[:n]
+	}
+	out := make([]string, len(kvs))
+	for i, kv := range kvs {
+		out[i] = kv.c
+	}
+	return out
+}
+
+// CountryBySignature computes Figure 1 for all 19 signatures.
+func CountryBySignature(recs []Record) []SignatureComposition {
+	out := make([]SignatureComposition, 0, 19)
+	idx := map[core.Signature]int{}
+	for _, sig := range core.AllSignatures() {
+		idx[sig] = len(out)
+		out = append(out, SignatureComposition{Signature: sig, ByCountry: map[string]int{}})
+	}
+	for i := range recs {
+		r := &recs[i]
+		if !r.Res.Signature.IsTampering() || r.Country == "" {
+			continue
+		}
+		sc := &out[idx[r.Res.Signature]]
+		sc.Total++
+		sc.ByCountry[r.Country]++
+	}
+	return out
+}
+
+// ASNStat is one AS's row in Figure 5.
+type ASNStat struct {
+	ASN          uint32
+	Total        int
+	Matched      int
+	CountryShare float64 // share of the country's connections
+}
+
+// MatchShare is the AS's tampering match proportion.
+func (a *ASNStat) MatchShare() float64 { return stats.Ratio(a.Matched, a.Total) }
+
+// ASNView computes Figure 5 for one country: the per-AS match
+// proportions among the top ASes carrying 80% of the country's
+// connections, ordered by traffic share.
+func ASNView(recs []Record, country string) []ASNStat {
+	byASN := map[uint32]*ASNStat{}
+	total := 0
+	for i := range recs {
+		r := &recs[i]
+		if r.Country != country {
+			continue
+		}
+		total++
+		a := byASN[r.ASN]
+		if a == nil {
+			a = &ASNStat{ASN: r.ASN}
+			byASN[r.ASN] = a
+		}
+		a.Total++
+		if r.Res.Signature.IsTampering() {
+			a.Matched++
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	all := make([]ASNStat, 0, len(byASN))
+	for _, a := range byASN {
+		a.CountryShare = stats.Ratio(a.Total, total)
+		all = append(all, *a)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Total > all[j].Total })
+	// Keep the top ASes covering 80% of traffic.
+	covered := 0.0
+	cut := len(all)
+	for i := range all {
+		covered += all[i].CountryShare
+		if covered >= 0.8 {
+			cut = i + 1
+			break
+		}
+	}
+	return all[:cut]
+}
+
+// SpreadOfASNView measures Figure 5's key contrast: the range (max-min)
+// of match shares across a country's major ASes — small for
+// centralized censors, large for decentralized ones.
+func SpreadOfASNView(view []ASNStat) float64 {
+	if len(view) == 0 {
+		return 0
+	}
+	lo, hi := view[0].MatchShare(), view[0].MatchShare()
+	for _, a := range view[1:] {
+		m := a.MatchShare()
+		if m < lo {
+			lo = m
+		}
+		if m > hi {
+			hi = m
+		}
+	}
+	return hi - lo
+}
+
+// SeriesPoint is one bucket of a longitudinal series.
+type SeriesPoint struct {
+	Hour    int
+	Total   int
+	Matched int
+}
+
+// Share is the bucket's match proportion.
+func (p SeriesPoint) Share() float64 { return stats.Ratio(p.Matched, p.Total) }
+
+// TimeSeries computes a match-share series bucketed by hour, counting
+// records that pass the filter as matched (Figures 6, 8, 9 use
+// different filters).
+func TimeSeries(recs []Record, bucketHours int, include func(*Record) bool, matched func(*Record) bool) []SeriesPoint {
+	if bucketHours <= 0 {
+		bucketHours = 1
+	}
+	byBucket := map[int]*SeriesPoint{}
+	for i := range recs {
+		r := &recs[i]
+		if include != nil && !include(r) {
+			continue
+		}
+		b := r.Hour / bucketHours * bucketHours
+		p := byBucket[b]
+		if p == nil {
+			p = &SeriesPoint{Hour: b}
+			byBucket[b] = p
+		}
+		p.Total++
+		if matched(r) {
+			p.Matched++
+		}
+	}
+	out := make([]SeriesPoint, 0, len(byBucket))
+	for _, p := range byBucket {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Hour < out[j].Hour })
+	return out
+}
+
+// PostACKPSHMatch is the Figure 6/7 matched-predicate: Post-ACK or
+// Post-PSH signatures only (§4.2 robustness restriction).
+func PostACKPSHMatch(r *Record) bool { return r.Res.Signature.PostACKOrPSH() }
+
+// AnySignatureMatch matches all 19 signatures.
+func AnySignatureMatch(r *Record) bool { return r.Res.Signature.IsTampering() }
+
+// VersionComparison is Figure 7a: per-country tampering shares over
+// IPv4 vs IPv6.
+type VersionComparison struct {
+	Country      string
+	V4Total, V4M int
+	V6Total, V6M int
+}
+
+// V4Share and V6Share are the per-version match proportions.
+func (v *VersionComparison) V4Share() float64 { return stats.Ratio(v.V4M, v.V4Total) }
+func (v *VersionComparison) V6Share() float64 { return stats.Ratio(v.V6M, v.V6Total) }
+
+// IPVersionCompare computes Figure 7a, returning rows for countries
+// with at least minPerVersion connections in each family, plus the
+// through-origin regression slope (paper: 0.92).
+func IPVersionCompare(recs []Record, minPerVersion int) ([]VersionComparison, float64) {
+	byCountry := map[string]*VersionComparison{}
+	for i := range recs {
+		r := &recs[i]
+		if r.Country == "" {
+			continue
+		}
+		v := byCountry[r.Country]
+		if v == nil {
+			v = &VersionComparison{Country: r.Country}
+			byCountry[r.Country] = v
+		}
+		m := PostACKPSHMatch(r)
+		if r.IPVersion == 6 {
+			v.V6Total++
+			if m {
+				v.V6M++
+			}
+		} else {
+			v.V4Total++
+			if m {
+				v.V4M++
+			}
+		}
+	}
+	var out []VersionComparison
+	var xs, ys []float64
+	for _, v := range byCountry {
+		if v.V4Total < minPerVersion || v.V6Total < minPerVersion {
+			continue
+		}
+		out = append(out, *v)
+		xs = append(xs, stats.Percent(v.V4Share()))
+		ys = append(ys, stats.Percent(v.V6Share()))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Country < out[j].Country })
+	return out, stats.SlopeThroughOrigin(xs, ys)
+}
+
+// ProtocolComparison is Figure 7b: per-country Post-PSH match shares
+// for TLS vs HTTP.
+type ProtocolComparison struct {
+	Country          string
+	TLSTotal, TLSM   int
+	HTTPTotal, HTTPM int
+}
+
+// TLSShare and HTTPShare are the per-protocol Post-PSH match rates.
+func (p *ProtocolComparison) TLSShare() float64  { return stats.Ratio(p.TLSM, p.TLSTotal) }
+func (p *ProtocolComparison) HTTPShare() float64 { return stats.Ratio(p.HTTPM, p.HTTPTotal) }
+
+// ProtocolCompare computes Figure 7b over Post-PSH signatures (where
+// the trigger is visible), with the through-origin slope of HTTP share
+// regressed on TLS share (paper: ≈0.3, i.e. TLS more tampered, with
+// Turkmenistan the HTTP-only outlier).
+func ProtocolCompare(recs []Record, minPerProto int) ([]ProtocolComparison, float64) {
+	byCountry := map[string]*ProtocolComparison{}
+	for i := range recs {
+		r := &recs[i]
+		if r.Country == "" || r.Res.Protocol == core.ProtoUnknown {
+			continue
+		}
+		p := byCountry[r.Country]
+		if p == nil {
+			p = &ProtocolComparison{Country: r.Country}
+			byCountry[r.Country] = p
+		}
+		m := r.Res.Signature.Stage() == core.StagePostPSH || r.Res.Signature.Stage() == core.StagePostACK
+		if r.Res.Protocol == core.ProtoTLS {
+			p.TLSTotal++
+			if m {
+				p.TLSM++
+			}
+		} else {
+			p.HTTPTotal++
+			if m {
+				p.HTTPM++
+			}
+		}
+	}
+	var out []ProtocolComparison
+	var xs, ys []float64
+	for _, p := range byCountry {
+		if p.TLSTotal < minPerProto || p.HTTPTotal < minPerProto {
+			continue
+		}
+		out = append(out, *p)
+		xs = append(xs, stats.Percent(p.TLSShare()))
+		ys = append(ys, stats.Percent(p.HTTPShare()))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Country < out[j].Country })
+	return out, stats.SlopeThroughOrigin(xs, ys)
+}
+
+// EvidenceCDFs holds the Figure 2 and Figure 3 distributions: per
+// signature (plus the Not-Tampering baseline), the CDF of the maximum
+// IP-ID delta (IPv4 only) and maximum TTL delta.
+type EvidenceCDFs struct {
+	// IPID[sig] and TTL[sig] index by signature; SigNotTampering holds
+	// the baseline.
+	IPID map[core.Signature]*stats.CDF
+	TTL  map[core.Signature]*stats.CDF
+}
+
+// ComputeEvidenceCDFs samples up to capPerSig connections per
+// signature (the paper uses 1 000).
+func ComputeEvidenceCDFs(recs []Record, capPerSig int) EvidenceCDFs {
+	ipidSamples := map[core.Signature][]float64{}
+	ttlSamples := map[core.Signature][]float64{}
+	for i := range recs {
+		r := &recs[i]
+		sig := r.Res.Signature
+		if sig == core.SigOtherAnomalous {
+			continue
+		}
+		if len(ttlSamples[sig]) < capPerSig {
+			ttlSamples[sig] = append(ttlSamples[sig], float64(r.Res.Evidence.MaxTTLDelta))
+		}
+		if r.Res.Evidence.IPIDValid && len(ipidSamples[sig]) < capPerSig {
+			ipidSamples[sig] = append(ipidSamples[sig], float64(r.Res.Evidence.MaxIPIDDelta))
+		}
+	}
+	out := EvidenceCDFs{
+		IPID: make(map[core.Signature]*stats.CDF, len(ipidSamples)),
+		TTL:  make(map[core.Signature]*stats.CDF, len(ttlSamples)),
+	}
+	for sig, s := range ipidSamples {
+		out.IPID[sig] = stats.NewCDF(s)
+	}
+	for sig, s := range ttlSamples {
+		out.TTL[sig] = stats.NewCDF(s)
+	}
+	return out
+}
+
+// ScannerStats are the §4.2 threat-to-validity numbers.
+type ScannerStats struct {
+	Total         int
+	HighTTL       int
+	NoSYNOptions  int
+	SYNRSTMatches int
+	SYNRSTZMap    int
+	SYNPayload80  int // port-80 SYNs carrying payload
+	Port80SYNs    int
+	SYNPayload443 int
+	Port443SYNs   int
+	// PeakDay and PeakDayShare report the day with the highest share
+	// of payload-carrying port-80 SYNs (§4.1's surge observation).
+	PeakDay      int
+	PeakDayShare float64
+}
+
+// ComputeScannerStats tallies the scanner fingerprints. It needs the
+// original connections for port information.
+func ComputeScannerStats(recs []Record, conns []*capture.Connection) ScannerStats {
+	var s ScannerStats
+	s.Total = len(recs)
+	dayPayload := map[int]int{}
+	daySYNs := map[int]int{}
+	for i := range recs {
+		r := &recs[i]
+		ev := &r.Res.Evidence
+		if ev.HighTTL {
+			s.HighTTL++
+		}
+		if ev.NoSYNOptions {
+			s.NoSYNOptions++
+		}
+		if r.Res.Signature == core.SigSYNRST {
+			s.SYNRSTMatches++
+			if ev.ZMapFingerprint {
+				s.SYNRSTZMap++
+			}
+		}
+		if i < len(conns) {
+			switch conns[i].DstPort {
+			case 80:
+				s.Port80SYNs++
+				daySYNs[r.Hour/24]++
+				if ev.SYNPayloadLen > 0 {
+					s.SYNPayload80++
+					dayPayload[r.Hour/24]++
+				}
+			case 443:
+				s.Port443SYNs++
+				if ev.SYNPayloadLen > 0 {
+					s.SYNPayload443++
+				}
+			}
+		}
+	}
+	s.PeakDay = -1
+	for day, n := range daySYNs {
+		if n < 50 {
+			continue
+		}
+		share := float64(dayPayload[day]) / float64(n)
+		if share > s.PeakDayShare {
+			s.PeakDayShare = share
+			s.PeakDay = day
+		}
+	}
+	return s
+}

@@ -1,0 +1,254 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tamperdetect/internal/core"
+	"tamperdetect/internal/stats"
+)
+
+// This file renders the aggregations as the text tables and series the
+// cmd/paperbench tool prints — one renderer per paper table/figure.
+
+// RenderStageStats prints the §4.1 narrative numbers.
+func RenderStageStats(s StageStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Connections analyzed:              %d\n", s.Total)
+	fmt.Fprintf(&b, "Possibly tampered:                 %.1f%% (paper: 25.7%%)\n", stats.Percent(s.PossiblyTamperedShare()))
+	fmt.Fprintf(&b, "Signature coverage of those:       %.1f%% (paper: 86.9%%)\n", stats.Percent(s.SignatureCoverage()))
+	rows := []struct {
+		st    core.Stage
+		paper string
+	}{
+		{core.StagePostSYN, "43.2% share, 99.5% matched"},
+		{core.StagePostACK, "16.1% share, 98.7% matched"},
+		{core.StagePostPSH, "5.3% share, 97.9% matched"},
+		{core.StagePostData, "33.0% share, 69.2% matched"},
+		{core.StageOther, "2.3% share"},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-10s %6.1f%% of possibly-tampered, %6.1f%% matched   (paper: %s)\n",
+			r.st, stats.Percent(s.StageShare(r.st)), stats.Percent(s.StageCoverage(r.st)), r.paper)
+	}
+	return b.String()
+}
+
+// RenderCountryDistribution prints Figure 4 rows.
+func RenderCountryDistribution(ds []CountryDistribution, maxCountries int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %10s %10s  top signatures\n", "country", "conns", "tampered%")
+	for i, d := range ds {
+		if maxCountries > 0 && i >= maxCountries {
+			break
+		}
+		type kv struct {
+			sig core.Signature
+			n   int
+		}
+		var kvs []kv
+		for _, sig := range core.AllSignatures() {
+			if d.BySignature[sig] > 0 {
+				kvs = append(kvs, kv{sig, d.BySignature[sig]})
+			}
+		}
+		sort.Slice(kvs, func(i, j int) bool { return kvs[i].n > kvs[j].n })
+		var tops []string
+		for j, kv := range kvs {
+			if j >= 3 {
+				break
+			}
+			tops = append(tops, fmt.Sprintf("%s %.1f%%", kv.sig, stats.Percent(stats.Ratio(kv.n, d.Total))))
+		}
+		fmt.Fprintf(&b, "%-8s %10d %9.1f%%  %s\n", d.Country, d.Total,
+			stats.Percent(d.TamperedShare()), strings.Join(tops, "; "))
+	}
+	return b.String()
+}
+
+// RenderSignatureComposition prints Figure 1 columns.
+func RenderSignatureComposition(scs []SignatureComposition) string {
+	var b strings.Builder
+	for _, sc := range scs {
+		if sc.Total == 0 {
+			continue
+		}
+		var tops []string
+		for _, c := range sc.TopCountries(5) {
+			tops = append(tops, fmt.Sprintf("%s %.0f%%", c, stats.Percent(sc.Share(c))))
+		}
+		fmt.Fprintf(&b, "%-28s %8d matches: %s\n", sc.Signature, sc.Total, strings.Join(tops, ", "))
+	}
+	return b.String()
+}
+
+// RenderASNView prints a Figure 5 column for one country.
+func RenderASNView(country string, view []ASNStat) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (top-80%% ASes: %d; match-share spread %.1f pp)\n",
+		country, len(view), 100*SpreadOfASNView(view))
+	for _, a := range view {
+		fmt.Fprintf(&b, "  AS%-6d %5.1f%% of traffic, %5.1f%% matching\n",
+			a.ASN, 100*a.CountryShare, 100*a.MatchShare())
+	}
+	return b.String()
+}
+
+// RenderTimeSeries prints a longitudinal series with a coarse sparkline.
+func RenderTimeSeries(name string, series []SeriesPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", name)
+	for _, p := range series {
+		share := p.Share()
+		bar := strings.Repeat("#", int(share*60+0.5))
+		fmt.Fprintf(&b, "  h%04d %6.1f%% %s\n", p.Hour, stats.Percent(share), bar)
+	}
+	return b.String()
+}
+
+// RenderVersionComparison prints Figure 7a.
+func RenderVersionComparison(rows []VersionComparison, slope float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %9s %9s\n", "country", "IPv4%", "IPv6%")
+	for _, v := range rows {
+		fmt.Fprintf(&b, "%-8s %8.1f%% %8.1f%%\n", v.Country,
+			stats.Percent(v.V4Share()), stats.Percent(v.V6Share()))
+	}
+	fmt.Fprintf(&b, "regression slope (v6 on v4): %.2f (paper: 0.92)\n", slope)
+	return b.String()
+}
+
+// RenderProtocolComparison prints Figure 7b.
+func RenderProtocolComparison(rows []ProtocolComparison, slope float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %9s %9s\n", "country", "TLS%", "HTTP%")
+	for _, p := range rows {
+		fmt.Fprintf(&b, "%-8s %8.1f%% %8.1f%%\n", p.Country,
+			stats.Percent(p.TLSShare()), stats.Percent(p.HTTPShare()))
+	}
+	fmt.Fprintf(&b, "regression slope (HTTP on TLS): %.2f (paper: 0.3)\n", slope)
+	return b.String()
+}
+
+// RenderCategoryTable prints Table 2 for one region.
+func RenderCategoryTable(t CategoryTable, topN int) string {
+	var b strings.Builder
+	region := t.Region
+	if region == "" {
+		region = "Global"
+	}
+	fmt.Fprintf(&b, "%s (tampered Post-PSH connections with visible domain: %d)\n", region, t.TamperedTotal)
+	for _, row := range t.Top(topN) {
+		fmt.Fprintf(&b, "  %-20s %6.2f%% of tampered conns, %6.2f%% category coverage\n",
+			row.Category, stats.Percent(row.TamperedShare), stats.Percent(row.Coverage))
+	}
+	return b.String()
+}
+
+// RenderListCoverage prints Table 3.
+func RenderListCoverage(rows []ListCoverageRow, regions []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-36s %8s", "list", "entries")
+	for _, r := range regions {
+		name := r
+		if name == "" {
+			name = "Global"
+		}
+		fmt.Fprintf(&b, " %8s", name)
+	}
+	b.WriteByte('\n')
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-36s %8d", row.ListName, row.Entries)
+		sub := strings.HasPrefix(row.ListName, "Substring")
+		for _, r := range regions {
+			v := row.Exact[r]
+			if sub {
+				v = row.Substring[r]
+			}
+			fmt.Fprintf(&b, " %7.1f%%", stats.Percent(v))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderEvidenceCDF prints Figure 2 or 3 as quantile rows per signature.
+func RenderEvidenceCDF(name string, cdfs map[core.Signature]*stats.CDF, thresholds []float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: P(delta ≤ t)\n%-28s", name, "signature")
+	for _, t := range thresholds {
+		fmt.Fprintf(&b, " t=%-6.0f", t)
+	}
+	b.WriteByte('\n')
+	sigs := make([]core.Signature, 0, len(cdfs))
+	for s := range cdfs {
+		sigs = append(sigs, s)
+	}
+	sort.Slice(sigs, func(i, j int) bool { return sigs[i] < sigs[j] })
+	for _, s := range sigs {
+		c := cdfs[s]
+		if c.Len() == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-28s", s)
+		for _, t := range thresholds {
+			fmt.Fprintf(&b, " %7.2f ", c.At(t))
+		}
+		fmt.Fprintf(&b, " (n=%d)\n", c.Len())
+	}
+	return b.String()
+}
+
+// RenderOverlapMatrix prints Figure 10.
+func RenderOverlapMatrix(m OverlapMatrix) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "IP-domain pair consistency (%d transitions; mean diagonal %.2f)\n", m.Pairs, m.DiagonalMass())
+	fmt.Fprintf(&b, "%-26s", "first \\ next")
+	for _, s := range m.Sigs {
+		fmt.Fprintf(&b, " %6.6s", shortSig(s))
+	}
+	b.WriteByte('\n')
+	for i, s := range m.Sigs {
+		fmt.Fprintf(&b, "%-26s", s)
+		for j := range m.Sigs {
+			fmt.Fprintf(&b, " %6.2f", m.Fraction[i][j])
+		}
+		b.WriteByte('\n')
+		_ = s
+	}
+	return b.String()
+}
+
+func shortSig(s core.Signature) string {
+	str := s.String()
+	str = strings.ReplaceAll(str, "PSH → ", "")
+	str = strings.ReplaceAll(str, "Not Tampering", "none")
+	return str
+}
+
+// RenderScannerStats prints the §4.2 validation numbers.
+func RenderScannerStats(s ScannerStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Connections:                     %d\n", s.Total)
+	fmt.Fprintf(&b, "SYN TTL ≥ 200:                   %.2f%% (paper: ≈0.05%%)\n", stats.Percent(stats.Ratio(s.HighTTL, s.Total)))
+	fmt.Fprintf(&b, "SYN without TCP options:         %.2f%% (paper: ≈0%%)\n", stats.Percent(stats.Ratio(s.NoSYNOptions, s.Total)))
+	fmt.Fprintf(&b, "⟨SYN → RST⟩ matches:             %d\n", s.SYNRSTMatches)
+	fmt.Fprintf(&b, "  attributable to ZMap:          %.1f%% (paper: ≈1%%)\n", stats.Percent(stats.Ratio(s.SYNRSTZMap, s.SYNRSTMatches)))
+	fmt.Fprintf(&b, "port-80 SYNs with payload:       %.1f%% overall; peak day %d at %.1f%% (paper: 38%% on one day)\n",
+		stats.Percent(stats.Ratio(s.SYNPayload80, s.Port80SYNs)), s.PeakDay, stats.Percent(s.PeakDayShare))
+	fmt.Fprintf(&b, "port-443 SYNs with payload:      %.2f%% (paper: 0.02%%)\n", stats.Percent(stats.Ratio(s.SYNPayload443, s.Port443SYNs)))
+	return b.String()
+}
+
+// RenderStability prints the §6 stability experiment.
+func RenderStability(rows []StabilityRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Cross-half signature-mix similarity (mean %.3f)\n", MeanStability(rows))
+	fmt.Fprintf(&b, "%-8s %10s %10s %8s %10s\n", "country", "half1", "half2", "cosine", "rate-delta")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %10d %10d %8.3f %9.1fpp\n",
+			r.Country, r.FirstTotal, r.SecondTotal, r.Cosine, 100*r.RateDelta)
+	}
+	return b.String()
+}

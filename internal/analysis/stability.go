@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+
+	"tamperdetect/internal/core"
+	"tamperdetect/internal/stats"
+)
+
+// This file implements the §6 "are tampering signatures stable?"
+// analysis as a measurable experiment: split the observation window in
+// half and compare each country's signature distribution across the
+// halves. Stable censorship infrastructure (the paper's expectation)
+// yields high similarity.
+
+// StabilityRow is one country's cross-window comparison.
+type StabilityRow struct {
+	Country string
+	// FirstTotal and SecondTotal count tampered connections per half.
+	FirstTotal, SecondTotal int
+	// Cosine is the cosine similarity of the two signature-count
+	// vectors (1 = identical mix).
+	Cosine float64
+	// RateDelta is the absolute change in overall tampering rate.
+	RateDelta float64
+}
+
+// StabilityReport compares signature mixes between the first and second
+// halves of the window for countries with at least minPerHalf tampered
+// connections in each half, sorted by ascending similarity (least
+// stable first).
+func StabilityReport(recs []Record, minPerHalf int) []StabilityRow {
+	if len(recs) == 0 {
+		return nil
+	}
+	maxHour := 0
+	for i := range recs {
+		if recs[i].Hour > maxHour {
+			maxHour = recs[i].Hour
+		}
+	}
+	split := maxHour / 2
+
+	type acc struct {
+		sig   [2][core.NumSignatures]int
+		total [2]int
+		all   [2]int
+	}
+	byCountry := map[string]*acc{}
+	for i := range recs {
+		r := &recs[i]
+		if r.Country == "" {
+			continue
+		}
+		half := 0
+		if r.Hour > split {
+			half = 1
+		}
+		a := byCountry[r.Country]
+		if a == nil {
+			a = &acc{}
+			byCountry[r.Country] = a
+		}
+		a.all[half]++
+		if r.Res.Signature.IsTampering() {
+			a.sig[half][r.Res.Signature]++
+			a.total[half]++
+		}
+	}
+
+	var out []StabilityRow
+	for country, a := range byCountry {
+		if a.total[0] < minPerHalf || a.total[1] < minPerHalf {
+			continue
+		}
+		row := StabilityRow{
+			Country:     country,
+			FirstTotal:  a.total[0],
+			SecondTotal: a.total[1],
+			Cosine:      cosine(a.sig[0][:], a.sig[1][:]),
+		}
+		r0 := stats.Ratio(a.total[0], a.all[0])
+		r1 := stats.Ratio(a.total[1], a.all[1])
+		row.RateDelta = math.Abs(r1 - r0)
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cosine != out[j].Cosine {
+			return out[i].Cosine < out[j].Cosine
+		}
+		return out[i].Country < out[j].Country
+	})
+	return out
+}
+
+// cosine computes the cosine similarity of two count vectors.
+func cosine(a, b []int) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		x, y := float64(a[i]), float64(b[i])
+		dot += x * y
+		na += x * x
+		nb += y * y
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// MeanStability is the report's headline: mean cosine similarity.
+func MeanStability(rows []StabilityRow) float64 {
+	if len(rows) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range rows {
+		sum += r.Cosine
+	}
+	return sum / float64(len(rows))
+}

@@ -1,0 +1,230 @@
+package capture
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+
+	"tamperdetect/internal/packet"
+)
+
+// The TDCAP binary format stores sampled connection records compactly:
+//
+//	file   := magic(8) connection*
+//	conn   := marker(1=0xC0) ipver(1) src dst srcPort(2) dstPort(2)
+//	          totalPackets(4) lastActivity(8) closeTime(8)
+//	          packetCount(2) packet*
+//	packet := ts(8) flags(1) seq(4) ack(4) ipid(2) ttl(1) window(2)
+//	          payloadLen(4) capturedLen(2) payload hasOptions(1)
+//
+// Addresses are 4 or 16 bytes by ipver. All integers are big-endian.
+
+var captureMagic = [8]byte{'T', 'D', 'C', 'A', 'P', '0', '0', '1'}
+
+const connMarker = 0xC0
+
+// Codec errors.
+var (
+	ErrBadMagic = errors.New("capture: bad file magic")
+	ErrCorrupt  = errors.New("capture: corrupt record")
+)
+
+// Writer streams connection records to an io.Writer.
+type Writer struct {
+	w     *bufio.Writer
+	began bool
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
+
+// Write appends one connection record.
+func (w *Writer) Write(c *Connection) error {
+	if !w.began {
+		if _, err := w.w.Write(captureMagic[:]); err != nil {
+			return err
+		}
+		w.began = true
+	}
+	buf := make([]byte, 0, 64+len(c.Packets)*40)
+	buf = append(buf, connMarker, byte(c.IPVersion))
+	buf = appendAddr(buf, c.SrcIP, c.IPVersion)
+	buf = appendAddr(buf, c.DstIP, c.IPVersion)
+	buf = binary.BigEndian.AppendUint16(buf, c.SrcPort)
+	buf = binary.BigEndian.AppendUint16(buf, c.DstPort)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(c.TotalPackets))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(c.LastActivity))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(c.CloseTime))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(c.Packets)))
+	for i := range c.Packets {
+		p := &c.Packets[i]
+		buf = binary.BigEndian.AppendUint64(buf, uint64(p.Timestamp))
+		buf = append(buf, byte(p.Flags))
+		buf = binary.BigEndian.AppendUint32(buf, p.Seq)
+		buf = binary.BigEndian.AppendUint32(buf, p.Ack)
+		buf = binary.BigEndian.AppendUint16(buf, p.IPID)
+		buf = append(buf, p.TTL)
+		buf = binary.BigEndian.AppendUint16(buf, p.Window)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(p.PayloadLen))
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(p.Payload)))
+		buf = append(buf, p.Payload...)
+		if p.HasOptions {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	_, err := w.w.Write(buf)
+	return err
+}
+
+// Flush commits buffered data. Call it before closing the underlying
+// writer. An empty capture still gets a valid header.
+func (w *Writer) Flush() error {
+	if !w.began {
+		if _, err := w.w.Write(captureMagic[:]); err != nil {
+			return err
+		}
+		w.began = true
+	}
+	return w.w.Flush()
+}
+
+func appendAddr(buf []byte, a netip.Addr, ipver int) []byte {
+	if ipver == 6 {
+		b := a.As16()
+		return append(buf, b[:]...)
+	}
+	b := a.As4()
+	return append(buf, b[:]...)
+}
+
+// Reader streams connection records from an io.Reader.
+type Reader struct {
+	r     *bufio.Reader
+	began bool
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: bufio.NewReader(r)} }
+
+// Read returns the next connection, or io.EOF at the end.
+func (r *Reader) Read() (*Connection, error) {
+	if !r.began {
+		var magic [8]byte
+		if _, err := io.ReadFull(r.r, magic[:]); err != nil {
+			if err == io.EOF {
+				return nil, io.EOF
+			}
+			return nil, fmt.Errorf("%w: %v", ErrBadMagic, err)
+		}
+		if magic != captureMagic {
+			return nil, ErrBadMagic
+		}
+		r.began = true
+	}
+	marker, err := r.r.ReadByte()
+	if err != nil {
+		return nil, err // io.EOF at a record boundary is clean EOF
+	}
+	if marker != connMarker {
+		return nil, ErrCorrupt
+	}
+	var hdr [1]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		return nil, corrupt(err)
+	}
+	ipver := int(hdr[0])
+	if ipver != 4 && ipver != 6 {
+		return nil, ErrCorrupt
+	}
+	c := &Connection{IPVersion: ipver}
+	if c.SrcIP, err = r.readAddr(ipver); err != nil {
+		return nil, err
+	}
+	if c.DstIP, err = r.readAddr(ipver); err != nil {
+		return nil, err
+	}
+	var fixed [2 + 2 + 4 + 8 + 8 + 2]byte
+	if _, err := io.ReadFull(r.r, fixed[:]); err != nil {
+		return nil, corrupt(err)
+	}
+	c.SrcPort = binary.BigEndian.Uint16(fixed[0:2])
+	c.DstPort = binary.BigEndian.Uint16(fixed[2:4])
+	c.TotalPackets = int(binary.BigEndian.Uint32(fixed[4:8]))
+	c.LastActivity = int64(binary.BigEndian.Uint64(fixed[8:16]))
+	c.CloseTime = int64(binary.BigEndian.Uint64(fixed[16:24]))
+	n := int(binary.BigEndian.Uint16(fixed[24:26]))
+	if n > 1<<14 {
+		return nil, ErrCorrupt
+	}
+	c.Packets = make([]PacketRecord, n)
+	for i := range c.Packets {
+		p := &c.Packets[i]
+		var ph [8 + 1 + 4 + 4 + 2 + 1 + 2 + 4 + 2]byte
+		if _, err := io.ReadFull(r.r, ph[:]); err != nil {
+			return nil, corrupt(err)
+		}
+		p.Timestamp = int64(binary.BigEndian.Uint64(ph[0:8]))
+		p.Flags = packet.TCPFlags(ph[8])
+		p.Seq = binary.BigEndian.Uint32(ph[9:13])
+		p.Ack = binary.BigEndian.Uint32(ph[13:17])
+		p.IPID = binary.BigEndian.Uint16(ph[17:19])
+		p.TTL = ph[19]
+		p.Window = binary.BigEndian.Uint16(ph[20:22])
+		p.PayloadLen = int(binary.BigEndian.Uint32(ph[22:26]))
+		capLen := int(binary.BigEndian.Uint16(ph[26:28]))
+		if capLen > 1<<16 {
+			return nil, ErrCorrupt
+		}
+		if capLen > 0 {
+			p.Payload = make([]byte, capLen)
+			if _, err := io.ReadFull(r.r, p.Payload); err != nil {
+				return nil, corrupt(err)
+			}
+		}
+		opt, err := r.r.ReadByte()
+		if err != nil {
+			return nil, corrupt(err)
+		}
+		p.HasOptions = opt == 1
+	}
+	return c, nil
+}
+
+// ReadAll drains the reader.
+func (r *Reader) ReadAll() ([]*Connection, error) {
+	var out []*Connection
+	for {
+		c, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, c)
+	}
+}
+
+func (r *Reader) readAddr(ipver int) (netip.Addr, error) {
+	if ipver == 6 {
+		var b [16]byte
+		if _, err := io.ReadFull(r.r, b[:]); err != nil {
+			return netip.Addr{}, corrupt(err)
+		}
+		return netip.AddrFrom16(b), nil
+	}
+	var b [4]byte
+	if _, err := io.ReadFull(r.r, b[:]); err != nil {
+		return netip.Addr{}, corrupt(err)
+	}
+	return netip.AddrFrom4(b), nil
+}
+
+func corrupt(err error) error {
+	return fmt.Errorf("%w: %v", ErrCorrupt, err)
+}

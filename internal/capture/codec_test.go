@@ -1,0 +1,131 @@
+package capture
+
+import (
+	"bytes"
+	"io"
+	"net/netip"
+	"reflect"
+	"testing"
+
+	"tamperdetect/internal/packet"
+)
+
+func sampleConn(v6 bool) *Connection {
+	src := netip.MustParseAddr("20.1.2.3")
+	dst := netip.MustParseAddr("192.0.2.80")
+	ipver := 4
+	if v6 {
+		src = netip.MustParseAddr("2600:1::5")
+		dst = netip.MustParseAddr("2600:2::80")
+		ipver = 6
+	}
+	return &Connection{
+		SrcIP: src, DstIP: dst, SrcPort: 40000, DstPort: 443, IPVersion: ipver,
+		TotalPackets: 12, LastActivity: 99, CloseTime: 130,
+		Packets: []PacketRecord{
+			{Timestamp: 90, Flags: packet.FlagsSYN, Seq: 7, IPID: 54321, TTL: 44, Window: 64240, HasOptions: true},
+			{Timestamp: 91, Flags: packet.FlagsPSHACK, Seq: 8, Ack: 55, PayloadLen: 300, Payload: []byte("\x16\x03\x01 hello"), TTL: 44},
+			{Timestamp: 91, Flags: packet.FlagsRSTACK, Seq: 308, Ack: 55, IPID: 9999, TTL: 201},
+		},
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	for _, v6 := range []bool{false, true} {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		in := sampleConn(v6)
+		if err := w.Write(in); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+		r := NewReader(&buf)
+		out, err := r.Read()
+		if err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Errorf("v6=%v round trip mismatch:\n in: %+v\nout: %+v", v6, in, out)
+		}
+		if _, err := r.Read(); err != io.EOF {
+			t.Errorf("want EOF after last record, got %v", err)
+		}
+	}
+}
+
+func TestCodecMultipleRecords(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 5; i++ {
+		c := sampleConn(i%2 == 0)
+		c.SrcPort = uint16(1000 + i)
+		if err := w.Write(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("records = %d, want 5", len(got))
+	}
+	for i, c := range got {
+		if c.SrcPort != uint16(1000+i) {
+			t.Errorf("record %d srcPort = %d", i, c.SrcPort)
+		}
+	}
+}
+
+func TestCodecEmptyFile(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewReader(&buf).ReadAll()
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty capture: %v records, err %v", len(got), err)
+	}
+}
+
+func TestCodecBadMagic(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte("NOTMAGIC plus data")))
+	if _, err := r.Read(); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestCodecTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(sampleConn(false)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Any truncation mid-record must error (or EOF at boundaries), not panic.
+	for cut := 9; cut < len(full)-1; cut += 7 {
+		r := NewReader(bytes.NewReader(full[:cut]))
+		_, err := r.Read()
+		if err == nil {
+			t.Fatalf("truncation at %d silently succeeded", cut)
+		}
+	}
+}
+
+func TestCodecGarbageMarker(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(captureMagic[:])
+	buf.WriteByte(0xFF)
+	if _, err := NewReader(&buf).Read(); err == nil {
+		t.Error("garbage marker accepted")
+	}
+}

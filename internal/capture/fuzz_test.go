@@ -1,0 +1,41 @@
+package capture
+
+import (
+	"bytes"
+	"io"
+	"net/netip"
+	"testing"
+
+	"tamperdetect/internal/packet"
+)
+
+// FuzzCodecReader feeds arbitrary bytes to the TDCAP reader; it must
+// never panic and must bound its allocations by the declared counts.
+func FuzzCodecReader(f *testing.F) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	_ = w.Write(&Connection{
+		SrcIP: netip.MustParseAddr("20.0.0.1"), DstIP: netip.MustParseAddr("192.0.2.1"),
+		SrcPort: 1, DstPort: 443, IPVersion: 4,
+		Packets: []PacketRecord{{Flags: packet.FlagsSYN, Seq: 9}},
+	})
+	_ = w.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte("TDCAP001garbage-after-magic"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		for i := 0; i < 100; i++ {
+			c, err := r.Read()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return
+			}
+			if len(c.Packets) > 1<<14 {
+				t.Fatal("packet count exceeds codec bound")
+			}
+		}
+	})
+}

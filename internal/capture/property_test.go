@@ -1,0 +1,156 @@
+package capture
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"net/netip"
+	"testing"
+	"testing/quick"
+
+	"tamperdetect/internal/packet"
+)
+
+// TestReconstructIsPermutationInvariant property-tests the core claim
+// of §3.2: for connections whose packets have distinct order keys, any
+// within-second logging order reconstructs to the same sequence.
+func TestReconstructIsPermutationInvariant(t *testing.T) {
+	base := []PacketRecord{
+		{Timestamp: 0, Flags: packet.FlagsSYN, Seq: 1000},
+		{Timestamp: 0, Flags: packet.FlagsACK, Seq: 1001},
+		{Timestamp: 0, Flags: packet.FlagsPSHACK, Seq: 1001, PayloadLen: 200},
+		{Timestamp: 0, Flags: packet.FlagsACK, Seq: 1201},
+		{Timestamp: 0, Flags: packet.FlagsRST, Seq: 1201, Ack: 7},
+		{Timestamp: 0, Flags: packet.FlagsRST, Seq: 1201, Ack: 7},
+	}
+	want := Reconstruct(&Connection{Packets: base})
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed^0xbeef))
+		shuffled := append([]PacketRecord(nil), base...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		got := Reconstruct(&Connection{Packets: shuffled})
+		// The two equal-rank RSTs may swap among themselves; compare
+		// flags+seq sequences, which are identical for them.
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i].Flags != want[i].Flags || got[i].Seq != want[i].Seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReconstructPreservesMultiset checks no packet is lost or
+// duplicated by reconstruction for arbitrary record sets.
+func TestReconstructPreservesMultiset(t *testing.T) {
+	f := func(raw []uint32, flagSel []uint8) bool {
+		n := len(raw)
+		if n > 10 {
+			n = 10
+		}
+		recs := make([]PacketRecord, 0, n)
+		for i := 0; i < n; i++ {
+			fl := packet.FlagsACK
+			if i < len(flagSel) {
+				switch flagSel[i] % 4 {
+				case 0:
+					fl = packet.FlagsSYN
+				case 1:
+					fl = packet.FlagsPSHACK
+				case 2:
+					fl = packet.FlagsRST
+				}
+			}
+			recs = append(recs, PacketRecord{Timestamp: int64(i / 3), Flags: fl, Seq: raw[i]})
+		}
+		out := Reconstruct(&Connection{Packets: recs})
+		if len(out) != len(recs) {
+			return false
+		}
+		// Multiset equality on (flags, seq).
+		count := map[[2]uint64]int{}
+		for _, r := range recs {
+			count[[2]uint64{uint64(r.Flags), uint64(r.Seq)}]++
+		}
+		for _, r := range out {
+			count[[2]uint64{uint64(r.Flags), uint64(r.Seq)}]--
+		}
+		for _, c := range count {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSamplerDeterministicSelection: the same flow is consistently
+// kept or dropped at a given rate within one sampler instance.
+func TestSamplerDeterministicSelection(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Rate = 3
+	s := NewSampler(cfg)
+	// Feed the same SYN many times interleaved with other flows; the
+	// flow either exists with all its packets or not at all.
+	for i := 0; i < 10; i++ {
+		s.Inbound(0, buildPkt(t, "20.0.0.1", "192.0.2.1", 999, 443, packet.FlagsSYN, 0, nil))
+		s.Inbound(0, buildPkt(t, "20.0.0.2", "192.0.2.1", uint16(i+1), 443, packet.FlagsSYN, 0, nil))
+	}
+	conns := s.Drain(0)
+	for _, c := range conns {
+		if c.SrcPort == 999 {
+			if c.TotalPackets != 10 {
+				t.Errorf("sampled flow recorded %d/10 packets", c.TotalPackets)
+			}
+		}
+	}
+}
+
+// TestCodecQuickRoundTrip property-tests the TDCAP codec over random
+// connection records.
+func TestCodecQuickRoundTrip(t *testing.T) {
+	f := func(srcBytes [4]byte, sport, dport uint16, ts int64, seq, ack uint32, flags uint8, payload []byte) bool {
+		if len(payload) > 200 {
+			payload = payload[:200]
+		}
+		in := &Connection{
+			SrcIP: netip.AddrFrom4(srcBytes), DstIP: netip.MustParseAddr("192.0.2.80"),
+			SrcPort: sport, DstPort: dport, IPVersion: 4,
+			TotalPackets: 1, LastActivity: ts % 1e9, CloseTime: ts%1e9 + 30,
+			Packets: []PacketRecord{{
+				Timestamp: ts % 1e9, Flags: packet.TCPFlags(flags), Seq: seq, Ack: ack,
+				PayloadLen: len(payload), Payload: append([]byte(nil), payload...),
+			}},
+		}
+		if len(payload) == 0 {
+			in.Packets[0].Payload = nil
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.Write(in); err != nil {
+			return false
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		out, err := NewReader(&buf).Read()
+		if err != nil {
+			return false
+		}
+		return out.SrcIP == in.SrcIP && out.SrcPort == in.SrcPort &&
+			out.Packets[0].Seq == seq && out.Packets[0].Ack == ack &&
+			out.Packets[0].Flags == packet.TCPFlags(flags) &&
+			string(out.Packets[0].Payload) == string(payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

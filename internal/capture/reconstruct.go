@@ -1,0 +1,87 @@
+package capture
+
+import (
+	"sort"
+
+	"tamperdetect/internal/packet"
+)
+
+// Reconstruct restores the likely arrival order of a connection's
+// records despite the 1-second timestamp granularity (§3.2 constraint
+// 2), using the headers: within each second, packets sort by their
+// client-relative sequence position, with flag-based tiebreaks that
+// encode TCP's natural ordering (a SYN precedes everything, a bare ACK
+// at a given sequence precedes data at that sequence, tear-down packets
+// come after the packet that triggered them).
+//
+// It returns a new slice; the connection is not modified.
+func Reconstruct(c *Connection) []PacketRecord {
+	out := append([]PacketRecord(nil), c.Packets...)
+	if len(out) < 2 {
+		return out
+	}
+	// The client ISN anchors relative sequence positions. Use the SYN
+	// if present, else the smallest sequence number seen (sequence
+	// wraparound within 10 packets is vanishingly rare).
+	var isn uint32
+	found := false
+	for _, p := range out {
+		if p.Flags.Has(packet.FlagSYN) {
+			isn = p.Seq
+			found = true
+			break
+		}
+	}
+	if !found {
+		isn = out[0].Seq
+		for _, p := range out[1:] {
+			if int32(p.Seq-isn) < 0 {
+				isn = p.Seq
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := &out[i], &out[j]
+		if a.Timestamp != b.Timestamp {
+			return a.Timestamp < b.Timestamp
+		}
+		ra, rb := rankOf(a, isn), rankOf(b, isn)
+		if ra != rb {
+			return ra < rb
+		}
+		return false // stable: preserve log order among equals
+	})
+	return out
+}
+
+// rankOf computes an ordering key for a packet within one second:
+// primarily the relative sequence offset, with small flag biases.
+func rankOf(p *PacketRecord, isn uint32) int64 {
+	rel := int64(int32(p.Seq - isn)) // signed distance from ISN
+	// Tear-down packets with sequence numbers below the ISN (e.g. a
+	// forged RST+ACK answering a SYN carries seq 0) are responses, not
+	// predecessors: pin them after the client's packets of the second.
+	if p.Flags.IsRST() && rel < 0 {
+		rel = 1 << 30
+	}
+	// Each sequence position is stretched by 8 so flag biases order
+	// packets sharing a sequence number.
+	key := rel * 8
+	switch {
+	case p.Flags.Has(packet.FlagSYN):
+		key += 0
+	case p.Flags.IsRST():
+		// Tear-downs follow everything at their sequence position: an
+		// injected RST lands at trigger.Seq+len, the same position as
+		// the client's next in-flight segment, and arrived after it
+		// left the client.
+		key += 6
+	case p.Flags.Has(packet.FlagFIN):
+		key += 4
+	case p.PayloadLen > 0:
+		key += 2
+	default: // bare ACK
+		key += 1
+	}
+	return key
+}

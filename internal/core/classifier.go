@@ -1,0 +1,344 @@
+package core
+
+import (
+	"tamperdetect/internal/capture"
+	"tamperdetect/internal/httpwire"
+	"tamperdetect/internal/packet"
+	"tamperdetect/internal/tlswire"
+)
+
+// Protocol is the application protocol the connection attempted.
+type Protocol int
+
+// Protocols.
+const (
+	ProtoUnknown Protocol = iota
+	ProtoTLS
+	ProtoHTTP
+)
+
+// String names the protocol.
+func (p Protocol) String() string {
+	switch p {
+	case ProtoTLS:
+		return "TLS"
+	case ProtoHTTP:
+		return "HTTP"
+	default:
+		return "Unknown"
+	}
+}
+
+// Result is the classifier's verdict on one connection.
+type Result struct {
+	Signature Signature
+	Stage     Stage
+	// PossiblyTampered reflects the §4.1 superset condition: a RST was
+	// seen, or the connection showed ≥3 s of inactivity without a FIN
+	// handshake within the recorded window.
+	PossiblyTampered bool
+	// Domain is the SNI or Host observed in the connection's data, if
+	// any ("" when the trigger was dropped before the server, §3.4).
+	Domain string
+	// Protocol classifies the connection's application protocol.
+	Protocol Protocol
+	// Evidence carries the §4.2/§4.3 validation metrics.
+	Evidence Evidence
+}
+
+// Config tunes classification.
+type Config struct {
+	// InactivityThreshold is the silence (seconds) that marks a
+	// non-FIN-terminated connection possibly tampered (paper: 3 s).
+	InactivityThreshold int64
+	// MaxPackets is the capture's per-connection packet cap (paper: 10);
+	// connections that filled the cap without anomaly are "ongoing".
+	MaxPackets int
+}
+
+// DefaultConfig matches the paper's deployment.
+func DefaultConfig() Config {
+	return Config{InactivityThreshold: 3, MaxPackets: 10}
+}
+
+// Classifier applies the tampering signatures to connection records.
+// It is stateless apart from configuration and safe for concurrent use.
+type Classifier struct {
+	cfg Config
+}
+
+// NewClassifier builds a classifier.
+func NewClassifier(cfg Config) *Classifier {
+	if cfg.InactivityThreshold == 0 {
+		cfg.InactivityThreshold = 3
+	}
+	if cfg.MaxPackets == 0 {
+		cfg.MaxPackets = 10
+	}
+	return &Classifier{cfg: cfg}
+}
+
+// Classify reconstructs packet order and applies the Table 1 taxonomy.
+func (cl *Classifier) Classify(conn *capture.Connection) Result {
+	recs := capture.Reconstruct(conn)
+	res := Result{Signature: SigNotTampering, Stage: StageNone}
+	res.Domain, res.Protocol = domainAndProtocol(conn, recs)
+
+	if len(recs) == 0 {
+		return res
+	}
+
+	hasRST, hasFIN := false, false
+	for i := range recs {
+		if recs[i].Flags.IsRST() {
+			hasRST = true
+		}
+		if recs[i].Flags.Has(packet.FlagFIN) {
+			hasFIN = true
+		}
+	}
+
+	// Inactivity: an internal ≥3 s gap between recorded packets, or
+	// trailing silence between the last activity and the window close
+	// for connections that never filled the packet cap.
+	gap := false
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Timestamp-recs[i-1].Timestamp >= cl.cfg.InactivityThreshold {
+			gap = true
+			break
+		}
+	}
+	trailing := conn.TotalPackets < cl.cfg.MaxPackets &&
+		conn.CloseTime-conn.LastActivity >= cl.cfg.InactivityThreshold
+
+	res.Evidence = computeEvidence(recs)
+	res.Evidence.IPIDValid = conn.IPVersion == 4
+
+	if hasFIN && !hasRST {
+		// Graceful termination.
+		return res
+	}
+	if !hasRST && !gap && !trailing {
+		// Completed the window without anomaly (ongoing or graceful).
+		return res
+	}
+
+	res.PossiblyTampered = true
+
+	// Split the record into the pre-tampering prefix and the tear-down
+	// tail. The tampering point is the first RST (for injection) or
+	// the end of the record (for drops).
+	firstRST := -1
+	for i := range recs {
+		if recs[i].Flags.IsRST() {
+			firstRST = i
+			break
+		}
+	}
+	var pre, tail []capture.PacketRecord
+	if firstRST >= 0 {
+		pre, tail = recs[:firstRST], recs[firstRST:]
+		// Anything non-RST after the first RST makes the sequence
+		// non-canonical (e.g. data racing past the tear-down).
+		for i := range tail {
+			if !tail[i].Flags.IsRST() {
+				res.Signature, res.Stage = SigOtherAnomalous, StageOther
+				return res
+			}
+		}
+	} else {
+		pre, tail = recs, nil
+	}
+
+	stage := classifyPrefix(pre)
+	if stage == StageOther {
+		res.Signature, res.Stage = SigOtherAnomalous, StageOther
+		return res
+	}
+	// The stage reflects the canonical prefix even when the tail fits
+	// no signature (e.g. a Post-Data timeout): §4.1 counts those
+	// connections inside their stage's uncovered remainder.
+	res.Stage = stage
+	res.Signature = matchSignature(stage, tail)
+	return res
+}
+
+// classifyPrefix maps a pre-tampering packet sequence onto a canonical
+// stage: [SYN] / [SYN,ACK] / [SYN,ACK,data] / [SYN,ACK,data,...].
+func classifyPrefix(pre []capture.PacketRecord) Stage {
+	if len(pre) == 0 {
+		return StageOther
+	}
+	if !isSYN(&pre[0]) {
+		return StageOther
+	}
+	if len(pre) == 1 {
+		return StagePostSYN
+	}
+	// Second packet must be the handshake's pure ACK.
+	if !isPureACK(&pre[1]) {
+		return StageOther
+	}
+	if len(pre) == 2 {
+		return StagePostACK
+	}
+	// Third packet must be the first data packet.
+	if pre[2].PayloadLen == 0 {
+		return StageOther
+	}
+	if len(pre) == 3 {
+		return StagePostPSH
+	}
+	// Everything further must be client ACKs or more data.
+	for i := 3; i < len(pre); i++ {
+		f := pre[i].Flags
+		if f.HasAny(packet.FlagSYN|packet.FlagFIN) || f.IsRST() {
+			return StageOther
+		}
+		if !f.Has(packet.FlagACK) {
+			return StageOther
+		}
+	}
+	return StagePostData
+}
+
+func isSYN(p *capture.PacketRecord) bool {
+	return p.Flags.Has(packet.FlagSYN) && !p.Flags.HasAny(packet.FlagACK|packet.FlagRST|packet.FlagFIN)
+}
+
+func isPureACK(p *capture.PacketRecord) bool {
+	return p.Flags.Has(packet.FlagACK) &&
+		!p.Flags.HasAny(packet.FlagSYN|packet.FlagRST|packet.FlagFIN|packet.FlagPSH) &&
+		p.PayloadLen == 0
+}
+
+// matchSignature applies the Table 1 tail taxonomy for the given stage.
+// tail holds only RST-type packets (possibly none, meaning a timeout).
+func matchSignature(stage Stage, tail []capture.PacketRecord) Signature {
+	var bare, withACK int
+	var bareAcks []uint32
+	for i := range tail {
+		if tail[i].Flags.IsRSTACK() {
+			withACK++
+		} else {
+			bare++
+			bareAcks = append(bareAcks, tail[i].Ack)
+		}
+	}
+
+	switch stage {
+	case StagePostSYN:
+		switch {
+		case bare == 0 && withACK == 0:
+			return SigSYNTimeout
+		case bare > 0 && withACK > 0:
+			return SigSYNRSTRSTACK
+		case withACK > 0:
+			return SigSYNRSTACK
+		default:
+			return SigSYNRST
+		}
+	case StagePostACK:
+		switch {
+		case bare == 0 && withACK == 0:
+			return SigACKTimeout
+		case bare > 0 && withACK > 0:
+			return SigOtherAnomalous // no mixed Post-ACK signature in Table 1
+		case bare == 1:
+			return SigACKRST
+		case bare > 1:
+			return SigACKRSTRST
+		case withACK == 1:
+			return SigACKRSTACK
+		default:
+			return SigACKRSTACKRSTACK
+		}
+	case StagePostPSH:
+		switch {
+		case bare == 0 && withACK == 0:
+			return SigPSHTimeout
+		case bare > 0 && withACK > 0:
+			return SigPSHRSTRSTACK
+		case withACK >= 2:
+			return SigPSHRSTACKRSTACK
+		case withACK == 1:
+			return SigPSHRSTACK
+		case bare == 1:
+			return SigPSHRST
+		default:
+			return classifyMultiRST(bareAcks)
+		}
+	case StagePostData:
+		switch {
+		case bare == 0 && withACK == 0:
+			// Table 1 has no ⟨PSH+ACK;Data → ∅⟩ signature; such
+			// connections stay uncovered (the 69.2% coverage of §4.1).
+			return SigOtherAnomalous
+		case withACK > 0:
+			return SigDataRSTACK
+		default:
+			return SigDataRST
+		}
+	default:
+		return SigOtherAnomalous
+	}
+}
+
+// classifyMultiRST distinguishes the multi-bare-RST Post-PSH signatures
+// by their acknowledgment numbers (Table 1 rows RST=RST, RST≠RST,
+// RST;RST₀).
+func classifyMultiRST(acks []uint32) Signature {
+	zero, nonzero := 0, 0
+	for _, a := range acks {
+		if a == 0 {
+			zero++
+		} else {
+			nonzero++
+		}
+	}
+	if zero > 0 && nonzero > 0 {
+		return SigPSHRSTRSTZero
+	}
+	same := true
+	for _, a := range acks[1:] {
+		if a != acks[0] {
+			same = false
+			break
+		}
+	}
+	if same {
+		return SigPSHRSTEqRST
+	}
+	return SigPSHRSTNeqRST
+}
+
+// domainAndProtocol extracts the SNI/Host and classifies the protocol
+// from the connection's captured payloads and destination port.
+func domainAndProtocol(conn *capture.Connection, recs []capture.PacketRecord) (string, Protocol) {
+	proto := ProtoUnknown
+	switch conn.DstPort {
+	case 443:
+		proto = ProtoTLS
+	case 80:
+		proto = ProtoHTTP
+	}
+	for i := range recs {
+		p := recs[i].Payload
+		if len(p) == 0 {
+			continue
+		}
+		if tlswire.LooksLikeClientHello(p) {
+			if sni, err := tlswire.ParseSNI(p); err == nil {
+				return sni, ProtoTLS
+			}
+			return "", ProtoTLS
+		}
+		if httpwire.LooksLikeRequest(p) {
+			if host := httpwire.HostOf(p); host != "" {
+				return host, ProtoHTTP
+			}
+			return "", ProtoHTTP
+		}
+	}
+	return "", proto
+}

@@ -1,0 +1,331 @@
+package core
+
+import (
+	"net/netip"
+	"testing"
+
+	"tamperdetect/internal/capture"
+	"tamperdetect/internal/httpwire"
+	"tamperdetect/internal/packet"
+	"tamperdetect/internal/tlswire"
+)
+
+// rec builds a PacketRecord tersely.
+func rec(ts int64, flags packet.TCPFlags, seq, ack uint32, payloadLen int) capture.PacketRecord {
+	return capture.PacketRecord{Timestamp: ts, Flags: flags, Seq: seq, Ack: ack, PayloadLen: payloadLen, TTL: 54, IPID: 100}
+}
+
+// conn wraps records into a Connection with sensible metadata.
+func conn(closeTime int64, recs ...capture.PacketRecord) *capture.Connection {
+	c := &capture.Connection{
+		SrcIP: netip.MustParseAddr("20.0.0.1"), DstIP: netip.MustParseAddr("192.0.2.80"),
+		SrcPort: 40000, DstPort: 443, IPVersion: 4,
+		Packets: recs, TotalPackets: len(recs), CloseTime: closeTime,
+	}
+	if len(recs) > 0 {
+		c.LastActivity = recs[len(recs)-1].Timestamp
+	}
+	return c
+}
+
+var cl = NewClassifier(DefaultConfig())
+
+func classify(t *testing.T, c *capture.Connection) Result {
+	t.Helper()
+	return cl.Classify(c)
+}
+
+func TestGracefulNotTampering(t *testing.T) {
+	c := conn(30,
+		rec(0, packet.FlagsSYN, 100, 0, 0),
+		rec(0, packet.FlagsACK, 101, 501, 0),
+		rec(0, packet.FlagsPSHACK, 101, 501, 200),
+		rec(0, packet.FlagsACK, 301, 1701, 0),
+		rec(1, packet.FlagsFINACK, 301, 1701, 0),
+	)
+	r := classify(t, c)
+	if r.Signature != SigNotTampering || r.PossiblyTampered {
+		t.Errorf("graceful close classified %v (tampered=%v)", r.Signature, r.PossiblyTampered)
+	}
+}
+
+func TestOngoingConnectionNotTampering(t *testing.T) {
+	// 10 packets recorded, more beyond the cap, no FIN, no RST, no gap:
+	// an ongoing long connection.
+	recs := []capture.PacketRecord{
+		rec(0, packet.FlagsSYN, 100, 0, 0),
+		rec(0, packet.FlagsACK, 101, 501, 0),
+	}
+	seq := uint32(101)
+	for i := 0; i < 8; i++ {
+		recs = append(recs, rec(int64(i/4), packet.FlagsPSHACK, seq, 501, 100))
+		seq += 100
+	}
+	c := conn(60, recs...)
+	c.TotalPackets = 25
+	c.LastActivity = 58
+	r := classify(t, c)
+	if r.PossiblyTampered {
+		t.Errorf("ongoing connection flagged tampered: %v", r.Signature)
+	}
+}
+
+func TestPostSYNSignatures(t *testing.T) {
+	syn := rec(0, packet.FlagsSYN, 100, 0, 0)
+	cases := []struct {
+		name string
+		tail []capture.PacketRecord
+		want Signature
+	}{
+		{"timeout", nil, SigSYNTimeout},
+		{"rst", []capture.PacketRecord{rec(0, packet.FlagsRST, 101, 0, 0)}, SigSYNRST},
+		{"rstack", []capture.PacketRecord{rec(0, packet.FlagsRSTACK, 0, 101, 0)}, SigSYNRSTACK},
+		{"multi-rst", []capture.PacketRecord{rec(0, packet.FlagsRST, 101, 0, 0), rec(0, packet.FlagsRST, 101, 0, 0)}, SigSYNRST},
+		{"rst+rstack", []capture.PacketRecord{rec(0, packet.FlagsRST, 101, 0, 0), rec(0, packet.FlagsRSTACK, 0, 101, 0)}, SigSYNRSTRSTACK},
+	}
+	for _, tc := range cases {
+		c := conn(30, append([]capture.PacketRecord{syn}, tc.tail...)...)
+		r := classify(t, c)
+		if r.Signature != tc.want {
+			t.Errorf("%s: got %v, want %v", tc.name, r.Signature, tc.want)
+		}
+		if !r.PossiblyTampered {
+			t.Errorf("%s: not flagged possibly tampered", tc.name)
+		}
+		if r.Stage != StagePostSYN {
+			t.Errorf("%s: stage = %v", tc.name, r.Stage)
+		}
+	}
+}
+
+func TestPostACKSignatures(t *testing.T) {
+	prefix := []capture.PacketRecord{
+		rec(0, packet.FlagsSYN, 100, 0, 0),
+		rec(0, packet.FlagsACK, 101, 501, 0),
+	}
+	cases := []struct {
+		name string
+		tail []capture.PacketRecord
+		want Signature
+	}{
+		{"timeout", nil, SigACKTimeout},
+		{"one-rst", []capture.PacketRecord{rec(0, packet.FlagsRST, 101, 0, 0)}, SigACKRST},
+		{"two-rst", []capture.PacketRecord{rec(0, packet.FlagsRST, 101, 0, 0), rec(0, packet.FlagsRST, 101, 0, 0)}, SigACKRSTRST},
+		{"one-rstack", []capture.PacketRecord{rec(0, packet.FlagsRSTACK, 101, 501, 0)}, SigACKRSTACK},
+		{"two-rstack", []capture.PacketRecord{rec(0, packet.FlagsRSTACK, 101, 501, 0), rec(0, packet.FlagsRSTACK, 101, 501, 0)}, SigACKRSTACKRSTACK},
+		{"mixed-goes-other", []capture.PacketRecord{rec(0, packet.FlagsRST, 101, 0, 0), rec(0, packet.FlagsRSTACK, 101, 501, 0)}, SigOtherAnomalous},
+	}
+	for _, tc := range cases {
+		c := conn(30, append(append([]capture.PacketRecord{}, prefix...), tc.tail...)...)
+		r := classify(t, c)
+		if r.Signature != tc.want {
+			t.Errorf("%s: got %v, want %v", tc.name, r.Signature, tc.want)
+		}
+	}
+}
+
+func TestPostPSHSignatures(t *testing.T) {
+	prefix := []capture.PacketRecord{
+		rec(0, packet.FlagsSYN, 100, 0, 0),
+		rec(0, packet.FlagsACK, 101, 501, 0),
+		rec(0, packet.FlagsPSHACK, 101, 501, 300),
+	}
+	mk := func(tails ...capture.PacketRecord) *capture.Connection {
+		return conn(30, append(append([]capture.PacketRecord{}, prefix...), tails...)...)
+	}
+	cases := []struct {
+		name string
+		c    *capture.Connection
+		want Signature
+	}{
+		{"timeout", mk(), SigPSHTimeout},
+		{"one-rst", mk(rec(0, packet.FlagsRST, 401, 777, 0)), SigPSHRST},
+		{"one-rstack", mk(rec(0, packet.FlagsRSTACK, 401, 501, 0)), SigPSHRSTACK},
+		{"rst-then-rstack", mk(rec(0, packet.FlagsRST, 401, 0, 0), rec(0, packet.FlagsRSTACK, 401, 501, 0)), SigPSHRSTRSTACK},
+		{"double-rstack", mk(rec(0, packet.FlagsRSTACK, 401, 501, 0), rec(0, packet.FlagsRSTACK, 401, 501, 0)), SigPSHRSTACKRSTACK},
+		{"rst-eq", mk(rec(0, packet.FlagsRST, 401, 501, 0), rec(0, packet.FlagsRST, 401, 501, 0)), SigPSHRSTEqRST},
+		{"rst-neq", mk(rec(0, packet.FlagsRST, 401, 501, 0), rec(0, packet.FlagsRST, 401, 1961, 0)), SigPSHRSTNeqRST},
+		{"rst-zero", mk(rec(0, packet.FlagsRST, 401, 501, 0), rec(0, packet.FlagsRST, 401, 0, 0)), SigPSHRSTRSTZero},
+		{"three-rst-eq", mk(rec(0, packet.FlagsRST, 401, 501, 0), rec(0, packet.FlagsRST, 401, 501, 0), rec(0, packet.FlagsRST, 401, 501, 0)), SigPSHRSTEqRST},
+	}
+	for _, tc := range cases {
+		r := classify(t, tc.c)
+		if r.Signature != tc.want {
+			t.Errorf("%s: got %v, want %v", tc.name, r.Signature, tc.want)
+		}
+		if tc.want.Stage() != StagePostPSH {
+			t.Errorf("%s: want-signature stage = %v", tc.name, tc.want.Stage())
+		}
+	}
+}
+
+func TestPostDataSignatures(t *testing.T) {
+	prefix := []capture.PacketRecord{
+		rec(0, packet.FlagsSYN, 100, 0, 0),
+		rec(0, packet.FlagsACK, 101, 501, 0),
+		rec(0, packet.FlagsPSHACK, 101, 501, 300),
+		rec(0, packet.FlagsACK, 401, 2001, 0),
+		rec(1, packet.FlagsPSHACK, 401, 2001, 200),
+	}
+	mk := func(tails ...capture.PacketRecord) *capture.Connection {
+		return conn(30, append(append([]capture.PacketRecord{}, prefix...), tails...)...)
+	}
+	r := classify(t, mk(rec(1, packet.FlagsRST, 601, 0, 0)))
+	if r.Signature != SigDataRST {
+		t.Errorf("data-rst: got %v", r.Signature)
+	}
+	r = classify(t, mk(rec(1, packet.FlagsRSTACK, 601, 2001, 0)))
+	if r.Signature != SigDataRSTACK {
+		t.Errorf("data-rstack: got %v", r.Signature)
+	}
+	// Timeout after multiple data packets is uncovered (no Table 1 row).
+	r = classify(t, mk())
+	if r.Signature != SigOtherAnomalous || !r.PossiblyTampered {
+		t.Errorf("data-timeout: got %v tampered=%v", r.Signature, r.PossiblyTampered)
+	}
+}
+
+func TestOtherAnomalousPrefixes(t *testing.T) {
+	cases := []struct {
+		name string
+		c    *capture.Connection
+	}{
+		{"double-syn", conn(30,
+			rec(0, packet.FlagsSYN, 100, 0, 0),
+			rec(1, packet.FlagsSYN, 100, 0, 0),
+			rec(1, packet.FlagsRST, 101, 0, 0))},
+		{"syn-ack-ack", conn(30,
+			rec(0, packet.FlagsSYN, 100, 0, 0),
+			rec(0, packet.FlagsACK, 101, 501, 0),
+			rec(0, packet.FlagsACK, 101, 501, 0))},
+		{"data-after-rst", conn(30,
+			rec(0, packet.FlagsSYN, 100, 0, 0),
+			rec(0, packet.FlagsACK, 101, 501, 0),
+			rec(1, packet.FlagsRST, 101, 0, 0),
+			rec(2, packet.FlagsPSHACK, 101, 501, 50))},
+		{"no-syn", conn(30,
+			rec(0, packet.FlagsPSHACK, 500, 1, 100),
+			rec(0, packet.FlagsRST, 600, 0, 0))},
+	}
+	for _, tc := range cases {
+		r := classify(t, tc.c)
+		if r.Signature != SigOtherAnomalous {
+			t.Errorf("%s: got %v, want Other", tc.name, r.Signature)
+		}
+		if !r.PossiblyTampered {
+			t.Errorf("%s: not flagged possibly tampered", tc.name)
+		}
+	}
+}
+
+func TestTrailingSilenceRequiresThreeSeconds(t *testing.T) {
+	// 2 s of trailing silence: not yet tampered.
+	c := conn(2,
+		rec(0, packet.FlagsSYN, 100, 0, 0))
+	if r := classify(t, c); r.PossiblyTampered {
+		t.Errorf("2s silence flagged: %v", r.Signature)
+	}
+	// 3 s: flagged.
+	c = conn(3, rec(0, packet.FlagsSYN, 100, 0, 0))
+	if r := classify(t, c); !r.PossiblyTampered || r.Signature != SigSYNTimeout {
+		t.Errorf("3s silence: got %v", r.Signature)
+	}
+}
+
+func TestInternalGapFlagged(t *testing.T) {
+	// SYN, ACK, then a 5-second gap before a retransmitted ACK: the
+	// paper's inactivity condition applies within the window too.
+	c := conn(8,
+		rec(0, packet.FlagsSYN, 100, 0, 0),
+		rec(0, packet.FlagsACK, 101, 501, 0),
+		rec(5, packet.FlagsACK, 101, 501, 0),
+	)
+	r := classify(t, c)
+	if !r.PossiblyTampered {
+		t.Error("internal 5s gap not flagged")
+	}
+}
+
+func TestDomainExtractionTLS(t *testing.T) {
+	hello := tlswire.BuildClientHello(tlswire.ClientHelloSpec{ServerName: "sni.blocked.example"})
+	c := conn(30,
+		rec(0, packet.FlagsSYN, 100, 0, 0),
+		rec(0, packet.FlagsACK, 101, 501, 0),
+		capture.PacketRecord{Timestamp: 0, Flags: packet.FlagsPSHACK, Seq: 101, Ack: 501, PayloadLen: len(hello), Payload: hello},
+		rec(0, packet.FlagsRST, 101+uint32(len(hello)), 0, 0),
+	)
+	r := classify(t, c)
+	if r.Domain != "sni.blocked.example" || r.Protocol != ProtoTLS {
+		t.Errorf("domain/proto = %q/%v", r.Domain, r.Protocol)
+	}
+	if r.Signature != SigPSHRST {
+		t.Errorf("signature = %v", r.Signature)
+	}
+}
+
+func TestDomainExtractionHTTP(t *testing.T) {
+	req := httpwire.BuildRequest("GET", "host.blocked.example", "/x", nil)
+	c := conn(30,
+		rec(0, packet.FlagsSYN, 100, 0, 0),
+		rec(0, packet.FlagsACK, 101, 501, 0),
+		capture.PacketRecord{Timestamp: 0, Flags: packet.FlagsPSHACK, Seq: 101, Ack: 501, PayloadLen: len(req), Payload: req},
+	)
+	c.DstPort = 80
+	r := classify(t, c)
+	if r.Domain != "host.blocked.example" || r.Protocol != ProtoHTTP {
+		t.Errorf("domain/proto = %q/%v", r.Domain, r.Protocol)
+	}
+}
+
+func TestProtocolFromPortWhenNoPayload(t *testing.T) {
+	c := conn(30, rec(0, packet.FlagsSYN, 100, 0, 0), rec(0, packet.FlagsACK, 101, 501, 0))
+	r := classify(t, c)
+	if r.Protocol != ProtoTLS {
+		t.Errorf("port-443 protocol = %v, want TLS", r.Protocol)
+	}
+	if r.Domain != "" {
+		t.Errorf("domain = %q for dropped trigger, want empty", r.Domain)
+	}
+}
+
+func TestEmptyConnection(t *testing.T) {
+	c := conn(30)
+	r := classify(t, c)
+	if r.Signature != SigNotTampering || r.PossiblyTampered {
+		t.Errorf("empty connection: %v", r.Signature)
+	}
+}
+
+func TestSignatureStageMapping(t *testing.T) {
+	for _, s := range AllSignatures() {
+		if !s.IsTampering() {
+			t.Errorf("%v not reported as tampering", s)
+		}
+		if s.Stage() == StageNone || s.Stage() == StageOther {
+			t.Errorf("%v maps to stage %v", s, s.Stage())
+		}
+	}
+	if SigNotTampering.IsTampering() || SigOtherAnomalous.IsTampering() {
+		t.Error("non-signatures reported as tampering")
+	}
+	if got := len(AllSignatures()); got != 19 {
+		t.Errorf("AllSignatures() = %d entries, want 19 (Table 1)", got)
+	}
+	if !SigACKRST.PostACKOrPSH() || !SigPSHTimeout.PostACKOrPSH() {
+		t.Error("PostACKOrPSH false for Post-ACK/Post-PSH signatures")
+	}
+	if SigSYNRST.PostACKOrPSH() || SigDataRST.PostACKOrPSH() {
+		t.Error("PostACKOrPSH true outside Post-ACK/Post-PSH")
+	}
+}
+
+func TestSignatureNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for s := Signature(0); s < NumSignatures; s++ {
+		n := s.String()
+		if seen[n] {
+			t.Errorf("duplicate signature name %q", n)
+		}
+		seen[n] = true
+	}
+}

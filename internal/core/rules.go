@@ -1,0 +1,98 @@
+package core
+
+// This file provides an alternative, declarative formulation of the
+// Table 1 taxonomy: a rule table scanned linearly, mirroring how the
+// paper presents the signatures ("X → Y" rows) and how one would add a
+// newly-discovered signature without touching control flow. The
+// switch-based matcher in classifier.go is the optimized form; the
+// TestRuleTableAgreesWithSwitch property test pins them together and
+// BenchmarkClassifierDispatch (bench_test.go) measures the cost of the
+// flexibility.
+
+// TailSummary condenses a connection's tear-down tail for rule
+// evaluation.
+type TailSummary struct {
+	// Bare counts RST packets without ACK; WithACK counts RST+ACK.
+	Bare    int
+	WithACK int
+	// BareAcks holds the acknowledgment fields of the bare RSTs.
+	BareAcks []uint32
+}
+
+// acksAllEqual reports whether every bare-RST ack matches the first.
+func (t *TailSummary) acksAllEqual() bool {
+	for _, a := range t.BareAcks[1:] {
+		if a != t.BareAcks[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// acksMixedZero reports whether some but not all acks are zero.
+func (t *TailSummary) acksMixedZero() bool {
+	zero, nonzero := 0, 0
+	for _, a := range t.BareAcks {
+		if a == 0 {
+			zero++
+		} else {
+			nonzero++
+		}
+	}
+	return zero > 0 && nonzero > 0
+}
+
+// SignatureRule is one row of the declarative taxonomy.
+type SignatureRule struct {
+	Signature Signature
+	Stage     Stage
+	// Match inspects the tail; rules are evaluated in table order and
+	// the first match wins.
+	Match func(t *TailSummary) bool
+}
+
+// RuleTable is the Table 1 taxonomy in declarative form, ordered so
+// that more specific rules precede general ones within each stage.
+var RuleTable = []SignatureRule{
+	// Post-SYN.
+	{SigSYNTimeout, StagePostSYN, func(t *TailSummary) bool { return t.Bare == 0 && t.WithACK == 0 }},
+	{SigSYNRSTRSTACK, StagePostSYN, func(t *TailSummary) bool { return t.Bare > 0 && t.WithACK > 0 }},
+	{SigSYNRSTACK, StagePostSYN, func(t *TailSummary) bool { return t.WithACK > 0 }},
+	{SigSYNRST, StagePostSYN, func(t *TailSummary) bool { return t.Bare > 0 }},
+
+	// Post-ACK. Mixed bare/with-ACK tails match no row (→ Other).
+	{SigACKTimeout, StagePostACK, func(t *TailSummary) bool { return t.Bare == 0 && t.WithACK == 0 }},
+	{SigACKRST, StagePostACK, func(t *TailSummary) bool { return t.Bare == 1 && t.WithACK == 0 }},
+	{SigACKRSTRST, StagePostACK, func(t *TailSummary) bool { return t.Bare > 1 && t.WithACK == 0 }},
+	{SigACKRSTACK, StagePostACK, func(t *TailSummary) bool { return t.Bare == 0 && t.WithACK == 1 }},
+	{SigACKRSTACKRSTACK, StagePostACK, func(t *TailSummary) bool { return t.Bare == 0 && t.WithACK > 1 }},
+
+	// Post-PSH.
+	{SigPSHTimeout, StagePostPSH, func(t *TailSummary) bool { return t.Bare == 0 && t.WithACK == 0 }},
+	{SigPSHRSTRSTACK, StagePostPSH, func(t *TailSummary) bool { return t.Bare > 0 && t.WithACK > 0 }},
+	{SigPSHRSTACKRSTACK, StagePostPSH, func(t *TailSummary) bool { return t.WithACK >= 2 }},
+	{SigPSHRSTACK, StagePostPSH, func(t *TailSummary) bool { return t.WithACK == 1 }},
+	{SigPSHRST, StagePostPSH, func(t *TailSummary) bool { return t.Bare == 1 }},
+	{SigPSHRSTRSTZero, StagePostPSH, func(t *TailSummary) bool { return t.Bare > 1 && t.acksMixedZero() }},
+	{SigPSHRSTEqRST, StagePostPSH, func(t *TailSummary) bool { return t.Bare > 1 && t.acksAllEqual() }},
+	{SigPSHRSTNeqRST, StagePostPSH, func(t *TailSummary) bool { return t.Bare > 1 }},
+
+	// Post-multiple-data. Timeouts match no row (→ uncovered).
+	{SigDataRSTACK, StagePostData, func(t *TailSummary) bool { return t.WithACK > 0 }},
+	{SigDataRST, StagePostData, func(t *TailSummary) bool { return t.Bare > 0 }},
+}
+
+// MatchRuleTable applies the declarative taxonomy for a stage and tail,
+// returning SigOtherAnomalous when no rule matches.
+func MatchRuleTable(stage Stage, t *TailSummary) Signature {
+	for i := range RuleTable {
+		r := &RuleTable[i]
+		if r.Stage != stage {
+			continue
+		}
+		if r.Match(t) {
+			return r.Signature
+		}
+	}
+	return SigOtherAnomalous
+}

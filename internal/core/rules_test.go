@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tamperdetect/internal/capture"
+	"tamperdetect/internal/packet"
+)
+
+// TestRuleTableAgreesWithSwitch property-tests that the declarative
+// rule table and the optimized switch matcher classify every possible
+// tail identically across all stages.
+func TestRuleTableAgreesWithSwitch(t *testing.T) {
+	stages := []Stage{StagePostSYN, StagePostACK, StagePostPSH, StagePostData}
+	f := func(nBare, nWithACK uint8, ackSel []bool, stagePick uint8) bool {
+		stage := stages[int(stagePick)%len(stages)]
+		bare := int(nBare % 5)
+		withACK := int(nWithACK % 5)
+		// Build a concrete tail.
+		var tail []capture.PacketRecord
+		var acks []uint32
+		for i := 0; i < bare; i++ {
+			ack := uint32(501)
+			if i < len(ackSel) && ackSel[i] {
+				ack = 0
+			} else if i%2 == 1 && len(ackSel) > 0 && ackSel[0] {
+				ack = 1961
+			}
+			acks = append(acks, ack)
+			tail = append(tail, capture.PacketRecord{Flags: packet.FlagsRST, Ack: ack})
+		}
+		for i := 0; i < withACK; i++ {
+			tail = append(tail, capture.PacketRecord{Flags: packet.FlagsRSTACK, Ack: 501})
+		}
+		want := matchSignature(stage, tail)
+		got := MatchRuleTable(stage, &TailSummary{Bare: bare, WithACK: withACK, BareAcks: acks})
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRuleTableCoversAllSignatures checks every Table 1 signature is
+// producible by the rule table.
+func TestRuleTableCoversAllSignatures(t *testing.T) {
+	seen := map[Signature]bool{}
+	for _, r := range RuleTable {
+		seen[r.Signature] = true
+	}
+	for _, sig := range AllSignatures() {
+		if !seen[sig] {
+			t.Errorf("signature %v has no rule", sig)
+		}
+	}
+	if len(RuleTable) != 19 {
+		t.Errorf("rule table has %d rows, want 19", len(RuleTable))
+	}
+}
+
+func TestRuleTableSpecificCases(t *testing.T) {
+	cases := []struct {
+		name  string
+		stage Stage
+		tail  TailSummary
+		want  Signature
+	}{
+		{"psh-zero-ack-pair", StagePostPSH, TailSummary{Bare: 2, BareAcks: []uint32{501, 0}}, SigPSHRSTRSTZero},
+		{"psh-all-zero-acks", StagePostPSH, TailSummary{Bare: 2, BareAcks: []uint32{0, 0}}, SigPSHRSTEqRST},
+		{"psh-neq", StagePostPSH, TailSummary{Bare: 3, BareAcks: []uint32{1, 2, 3}}, SigPSHRSTNeqRST},
+		{"ack-mixed-is-other", StagePostACK, TailSummary{Bare: 1, WithACK: 1, BareAcks: []uint32{5}}, SigOtherAnomalous},
+		{"data-timeout-uncovered", StagePostData, TailSummary{}, SigOtherAnomalous},
+		{"syn-both", StagePostSYN, TailSummary{Bare: 2, WithACK: 1, BareAcks: []uint32{1, 2}}, SigSYNRSTRSTACK},
+	}
+	for _, tc := range cases {
+		if got := MatchRuleTable(tc.stage, &tc.tail); got != tc.want {
+			t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

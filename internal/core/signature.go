@@ -1,0 +1,164 @@
+// Package core implements the paper's primary contribution: the
+// comprehensive set of tampering signatures (Table 1) and the passive
+// classifier that applies them to sampled connection records, plus the
+// §4.2/§4.3 validation heuristics (scanner fingerprints, IP-ID and TTL
+// injection evidence).
+package core
+
+// Stage is how far a connection progressed before the tampering event —
+// the row groups of Table 1.
+type Stage int
+
+// Connection stages.
+const (
+	// StageNone marks connections with no tampering event.
+	StageNone Stage = iota
+	// StagePostSYN: mid-handshake, only a single SYN seen.
+	StagePostSYN
+	// StagePostACK: immediately post-handshake (SYN then pure ACK).
+	StagePostACK
+	// StagePostPSH: after the first data packet.
+	StagePostPSH
+	// StagePostData: after multiple data packets.
+	StagePostData
+	// StageOther: a possibly-tampered connection whose prefix fits no
+	// canonical stage (the paper's uncovered 2.3%, §4.1).
+	StageOther
+	NumStages
+)
+
+// String names the stage as in the paper.
+func (s Stage) String() string {
+	switch s {
+	case StageNone:
+		return "None"
+	case StagePostSYN:
+		return "Post-SYN"
+	case StagePostACK:
+		return "Post-ACK"
+	case StagePostPSH:
+		return "Post-PSH"
+	case StagePostData:
+		return "Post-Data"
+	case StageOther:
+		return "Other"
+	default:
+		return "Invalid"
+	}
+}
+
+// Signature is one of the 19 tampering signatures of Table 1, or one of
+// the two non-signature outcomes (NotTampering, OtherAnomalous).
+type Signature int
+
+// Table 1 signatures, in table order.
+const (
+	// SigNotTampering marks connections with no tampering indication.
+	SigNotTampering Signature = iota
+
+	// Post-SYN signatures.
+	SigSYNTimeout   // ⟨SYN → ∅⟩
+	SigSYNRST       // ⟨SYN → RST⟩
+	SigSYNRSTACK    // ⟨SYN → RST+ACK⟩
+	SigSYNRSTRSTACK // ⟨SYN → RST;RST+ACK⟩
+
+	// Post-ACK signatures.
+	SigACKTimeout      // ⟨SYN;ACK → ∅⟩
+	SigACKRST          // ⟨SYN;ACK → RST⟩ (exactly one)
+	SigACKRSTRST       // ⟨SYN;ACK → RST;RST⟩ (more than one)
+	SigACKRSTACK       // ⟨SYN;ACK → RST+ACK⟩ (exactly one)
+	SigACKRSTACKRSTACK // ⟨SYN;ACK → RST+ACK;RST+ACK⟩ (more than one)
+
+	// Post-PSH signatures.
+	SigPSHTimeout      // ⟨PSH+ACK → ∅⟩
+	SigPSHRST          // ⟨PSH+ACK → RST⟩ (exactly one)
+	SigPSHRSTACK       // ⟨PSH+ACK → RST+ACK⟩ (exactly one)
+	SigPSHRSTRSTACK    // ⟨PSH+ACK → RST;RST+ACK⟩
+	SigPSHRSTACKRSTACK // ⟨PSH+ACK → RST+ACK;RST+ACK⟩
+	SigPSHRSTEqRST     // ⟨PSH+ACK → RST=RST⟩ (same ack numbers)
+	SigPSHRSTNeqRST    // ⟨PSH+ACK → RST≠RST⟩ (different ack numbers)
+	SigPSHRSTRSTZero   // ⟨PSH+ACK → RST;RST₀⟩ (one ack number zero)
+
+	// Post-multiple-data-packet signatures.
+	SigDataRST    // ⟨PSH+ACK;Data → RST⟩
+	SigDataRSTACK // ⟨PSH+ACK;Data → RST+ACK⟩
+
+	// SigOtherAnomalous marks possibly-tampered connections matching no
+	// signature.
+	SigOtherAnomalous
+
+	NumSignatures
+)
+
+var signatureNames = [NumSignatures]string{
+	"Not Tampering",
+	"SYN → ∅",
+	"SYN → RST",
+	"SYN → RST+ACK",
+	"SYN → RST;RST+ACK",
+	"SYN;ACK → ∅",
+	"SYN;ACK → RST",
+	"SYN;ACK → RST;RST",
+	"SYN;ACK → RST+ACK",
+	"SYN;ACK → RST+ACK;RST+ACK",
+	"PSH → ∅",
+	"PSH → RST",
+	"PSH → RST+ACK",
+	"PSH → RST;RST+ACK",
+	"PSH → RST+ACK;RST+ACK",
+	"PSH → RST=RST",
+	"PSH → RST≠RST",
+	"PSH → RST;RST₀",
+	"PSH;Data → RST",
+	"PSH;Data → RST+ACK",
+	"Other",
+}
+
+// String returns the paper's notation for the signature.
+func (s Signature) String() string {
+	if s < 0 || s >= NumSignatures {
+		return "Invalid"
+	}
+	return signatureNames[s]
+}
+
+// Stage returns the Table 1 row group the signature belongs to.
+func (s Signature) Stage() Stage {
+	switch {
+	case s >= SigSYNTimeout && s <= SigSYNRSTRSTACK:
+		return StagePostSYN
+	case s >= SigACKTimeout && s <= SigACKRSTACKRSTACK:
+		return StagePostACK
+	case s >= SigPSHTimeout && s <= SigPSHRSTRSTZero:
+		return StagePostPSH
+	case s == SigDataRST || s == SigDataRSTACK:
+		return StagePostData
+	case s == SigOtherAnomalous:
+		return StageOther
+	default:
+		return StageNone
+	}
+}
+
+// IsTampering reports whether the signature is one of the 19 tampering
+// signatures (excluding NotTampering and OtherAnomalous).
+func (s Signature) IsTampering() bool {
+	return s > SigNotTampering && s < SigOtherAnomalous
+}
+
+// AllSignatures lists the 19 tampering signatures in Table 1 order.
+func AllSignatures() []Signature {
+	out := make([]Signature, 0, 19)
+	for s := SigSYNTimeout; s < SigOtherAnomalous; s++ {
+		out = append(out, s)
+	}
+	return out
+}
+
+// PostACKOrPSH reports whether the signature belongs to the Post-ACK or
+// Post-PSH groups — the subset §5 restricts several analyses to because
+// they are least affected by SYN floods and Happy Eyeballs (§4.2).
+func (s Signature) PostACKOrPSH() bool {
+	st := s.Stage()
+	return st == StagePostACK || st == StagePostPSH
+}

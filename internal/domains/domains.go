@@ -1,0 +1,246 @@
+// Package domains provides the synthetic domain universe: named
+// domains with subject categories, Zipf-like popularity, and protocol
+// (HTTP/HTTPS) shares. The paper's substrate — millions of real
+// customer domains plus a commercial categorisation vendor (§5.4) — is
+// substituted with a generated universe whose category structure drives
+// the same analyses (Table 2's categories, Table 3's test lists).
+package domains
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+// Category is a domain subject category, matching the vocabulary in
+// Table 2 of the paper.
+type Category int
+
+// Categories. The order fixes deterministic generation.
+const (
+	AdultThemes Category = iota
+	ContentServers
+	Technology
+	Business
+	Advertisements
+	Chat
+	Education
+	Gaming
+	LoginScreens
+	HobbiesInterests
+	News
+	SocialNetworks
+	NumCategories
+)
+
+var categoryNames = [NumCategories]string{
+	"Adult Themes", "Content Servers", "Technology", "Business",
+	"Advertisements", "Chat", "Education", "Gaming", "Login Screens",
+	"Hobbies & Interests", "News", "Social Networks",
+}
+
+var categorySlugs = [NumCategories]string{
+	"adult", "cdn", "tech", "biz", "ads", "chat", "edu", "game",
+	"login", "hobby", "news", "social",
+}
+
+// String returns the category's display name.
+func (c Category) String() string {
+	if c < 0 || c >= NumCategories {
+		return "Unknown"
+	}
+	return categoryNames[c]
+}
+
+// AllCategories lists every category.
+func AllCategories() []Category {
+	out := make([]Category, NumCategories)
+	for i := range out {
+		out[i] = Category(i)
+	}
+	return out
+}
+
+// Domain is one synthetic website.
+type Domain struct {
+	// Name is the registrable domain (eTLD+1), e.g. "tech0042.example".
+	Name string
+	// Category is the vendor-assigned subject category.
+	Category Category
+	// GlobalRank is the 1-based popularity rank across the universe
+	// (1 = most popular); test lists are built from it.
+	GlobalRank int
+	// CatRank is the 1-based popularity rank within the category.
+	CatRank int
+	// HTTPSShare is the fraction of requests using TLS (vs cleartext
+	// HTTP) for this domain.
+	HTTPSShare float64
+}
+
+// Universe is the full set of synthetic domains.
+type Universe struct {
+	domains []Domain
+	byCat   [NumCategories][]*Domain
+	byName  map[string]*Domain
+	// zipfCum holds, per category, cumulative Zipf weights over the
+	// category's rank order for O(log n) sampling.
+	zipfCum [NumCategories][]float64
+}
+
+// Config shapes universe generation.
+type Config struct {
+	// PerCategory is the number of domains generated per category.
+	PerCategory int
+	// ZipfExponent shapes within-category popularity (≈1 is web-like).
+	ZipfExponent float64
+	// HTTPSBase is the typical HTTPS share (individual domains jitter
+	// around it; a slice of domains is HTTP-heavy).
+	HTTPSBase float64
+	Seed      uint64
+}
+
+// DefaultConfig is a universe sized for the experiments: 12 categories
+// × 1500 domains.
+func DefaultConfig() Config {
+	return Config{PerCategory: 1500, ZipfExponent: 1.05, HTTPSBase: 0.85, Seed: 1}
+}
+
+// Generate builds a deterministic universe from the config.
+func Generate(cfg Config) *Universe {
+	if cfg.PerCategory <= 0 {
+		cfg.PerCategory = 1500
+	}
+	if cfg.ZipfExponent <= 0 {
+		cfg.ZipfExponent = 1.05
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xd0ba1))
+	total := cfg.PerCategory * int(NumCategories)
+	u := &Universe{
+		domains: make([]Domain, 0, total),
+		byName:  make(map[string]*Domain, total),
+	}
+	// Interleave categories so global ranks spread categories evenly,
+	// with jitter so no category systematically outranks another.
+	slots := make([]slot, 0, total)
+	for c := Category(0); c < NumCategories; c++ {
+		for i := 0; i < cfg.PerCategory; i++ {
+			// Within-category order is the category rank; the global
+			// sort key mixes rank with noise.
+			slots = append(slots, slot{cat: c, i: i, key: float64(i) + rng.Float64()*float64(cfg.PerCategory)/10})
+		}
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i].key < slots[j].key })
+	for rank, s := range slots {
+		httpsShare := cfg.HTTPSBase + (rng.Float64()-0.5)*0.2
+		// A tail of HTTP-heavy domains (legacy cleartext sites).
+		if rng.Float64() < 0.12 {
+			httpsShare = rng.Float64() * 0.3
+		}
+		if httpsShare < 0 {
+			httpsShare = 0
+		}
+		if httpsShare > 1 {
+			httpsShare = 1
+		}
+		d := Domain{
+			Name:       fmt.Sprintf("%s%04d.example", categorySlugs[s.cat], s.i),
+			Category:   s.cat,
+			GlobalRank: rank + 1,
+			CatRank:    s.i + 1,
+			HTTPSShare: httpsShare,
+		}
+		u.domains = append(u.domains, d)
+	}
+	for i := range u.domains {
+		d := &u.domains[i]
+		u.byCat[d.Category] = append(u.byCat[d.Category], d)
+		u.byName[d.Name] = d
+	}
+	// Category lists must be in category-rank order for Zipf sampling.
+	for c := range u.byCat {
+		lst := u.byCat[c]
+		for i := 1; i < len(lst); i++ {
+			j := i
+			for j > 0 && lst[j-1].CatRank > lst[j].CatRank {
+				lst[j-1], lst[j] = lst[j], lst[j-1]
+				j--
+			}
+		}
+		cum := make([]float64, len(lst))
+		acc := 0.0
+		for i := range lst {
+			acc += 1.0 / math.Pow(float64(i+1), cfg.ZipfExponent)
+			cum[i] = acc
+		}
+		u.zipfCum[c] = cum
+	}
+	return u
+}
+
+// slot is a generation work item: one future domain.
+type slot struct {
+	cat Category
+	i   int
+	key float64
+}
+
+// All returns every domain, ordered by global rank.
+func (u *Universe) All() []Domain { return u.domains }
+
+// Size returns the number of domains.
+func (u *Universe) Size() int { return len(u.domains) }
+
+// ByName resolves a domain, or nil.
+func (u *Universe) ByName(name string) *Domain { return u.byName[name] }
+
+// Categories returns the category's domains in category-rank order.
+func (u *Universe) Categories(c Category) []*Domain { return u.byCat[c] }
+
+// CategoryProfile weights categories for one country's request mix.
+type CategoryProfile [NumCategories]float64
+
+// Normalize scales the profile to sum to one (uniform if all-zero).
+func (p *CategoryProfile) Normalize() {
+	total := 0.0
+	for _, w := range p {
+		total += w
+	}
+	if total == 0 {
+		for i := range p {
+			p[i] = 1.0 / float64(NumCategories)
+		}
+		return
+	}
+	for i := range p {
+		p[i] /= total
+	}
+}
+
+// Sample draws a domain: category by profile weight, then domain within
+// category by Zipf rank.
+func (u *Universe) Sample(rng *rand.Rand, profile *CategoryProfile) *Domain {
+	r := rng.Float64()
+	cat := Category(0)
+	for c := Category(0); c < NumCategories; c++ {
+		if r < profile[c] {
+			cat = c
+			break
+		}
+		r -= profile[c]
+		cat = c
+	}
+	cum := u.zipfCum[cat]
+	lst := u.byCat[cat]
+	x := rng.Float64() * cum[len(cum)-1]
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lst[lo]
+}

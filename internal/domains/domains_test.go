@@ -1,0 +1,167 @@
+package domains
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+)
+
+func testUniverse(t *testing.T) *Universe {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.PerCategory = 200
+	return Generate(cfg)
+}
+
+func TestGenerateSizes(t *testing.T) {
+	u := testUniverse(t)
+	if u.Size() != 200*int(NumCategories) {
+		t.Errorf("Size = %d, want %d", u.Size(), 200*int(NumCategories))
+	}
+	for _, c := range AllCategories() {
+		if got := len(u.Categories(c)); got != 200 {
+			t.Errorf("%v has %d domains, want 200", c, got)
+		}
+	}
+}
+
+func TestGlobalRanksUniqueAndDense(t *testing.T) {
+	u := testUniverse(t)
+	seen := make([]bool, u.Size()+1)
+	for _, d := range u.All() {
+		if d.GlobalRank < 1 || d.GlobalRank > u.Size() {
+			t.Fatalf("rank %d out of range", d.GlobalRank)
+		}
+		if seen[d.GlobalRank] {
+			t.Fatalf("duplicate rank %d", d.GlobalRank)
+		}
+		seen[d.GlobalRank] = true
+	}
+}
+
+func TestCatRankOrder(t *testing.T) {
+	u := testUniverse(t)
+	for _, c := range AllCategories() {
+		lst := u.Categories(c)
+		for i, d := range lst {
+			if d.CatRank != i+1 {
+				t.Fatalf("%v[%d].CatRank = %d", c, i, d.CatRank)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	u := testUniverse(t)
+	d := u.All()[0]
+	got := u.ByName(d.Name)
+	if got == nil || got.Name != d.Name {
+		t.Errorf("ByName(%q) = %v", d.Name, got)
+	}
+	if u.ByName("nonexistent.example") != nil {
+		t.Error("ByName(nonexistent) != nil")
+	}
+}
+
+func TestNamesAreValidAndUnique(t *testing.T) {
+	u := testUniverse(t)
+	seen := map[string]bool{}
+	for _, d := range u.All() {
+		if seen[d.Name] {
+			t.Fatalf("duplicate name %q", d.Name)
+		}
+		seen[d.Name] = true
+		if !strings.HasSuffix(d.Name, ".example") || strings.Count(d.Name, ".") != 1 {
+			t.Fatalf("unexpected name shape %q", d.Name)
+		}
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PerCategory = 50
+	a, b := Generate(cfg), Generate(cfg)
+	for i := range a.All() {
+		if a.All()[i] != b.All()[i] {
+			t.Fatalf("universes diverge at %d", i)
+		}
+	}
+}
+
+func TestSampleRespectsProfile(t *testing.T) {
+	u := testUniverse(t)
+	rng := rand.New(rand.NewPCG(1, 2))
+	var p CategoryProfile
+	p[AdultThemes] = 0.7
+	p[News] = 0.3
+	p.Normalize()
+	counts := map[Category]int{}
+	for i := 0; i < 10000; i++ {
+		counts[u.Sample(rng, &p).Category]++
+	}
+	if counts[AdultThemes] < 6500 || counts[AdultThemes] > 7500 {
+		t.Errorf("AdultThemes sampled %d/10000, want ≈7000", counts[AdultThemes])
+	}
+	if counts[News] < 2500 || counts[News] > 3500 {
+		t.Errorf("News sampled %d/10000, want ≈3000", counts[News])
+	}
+	for c, n := range counts {
+		if c != AdultThemes && c != News && n > 0 {
+			t.Errorf("unexpected category %v sampled %d times", c, n)
+		}
+	}
+}
+
+func TestSampleZipfSkew(t *testing.T) {
+	u := testUniverse(t)
+	rng := rand.New(rand.NewPCG(3, 4))
+	var p CategoryProfile
+	p[Technology] = 1
+	p.Normalize()
+	rankCounts := map[int]int{}
+	for i := 0; i < 20000; i++ {
+		rankCounts[u.Sample(rng, &p).CatRank]++
+	}
+	// Rank 1 must dominate rank 100 heavily under Zipf.
+	if rankCounts[1] < 5*rankCounts[100]+1 {
+		t.Errorf("rank1=%d rank100=%d; Zipf skew too weak", rankCounts[1], rankCounts[100])
+	}
+}
+
+func TestNormalizeZeroProfile(t *testing.T) {
+	var p CategoryProfile
+	p.Normalize()
+	total := 0.0
+	for _, w := range p {
+		total += w
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Errorf("zero profile normalizes to %f", total)
+	}
+}
+
+func TestHTTPSShareBounds(t *testing.T) {
+	u := testUniverse(t)
+	httpHeavy := 0
+	for _, d := range u.All() {
+		if d.HTTPSShare < 0 || d.HTTPSShare > 1 {
+			t.Fatalf("HTTPSShare %f out of bounds", d.HTTPSShare)
+		}
+		if d.HTTPSShare < 0.3 {
+			httpHeavy++
+		}
+	}
+	// The generator plants an HTTP-heavy tail.
+	if httpHeavy == 0 {
+		t.Error("no HTTP-heavy domains generated")
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	if AdultThemes.String() != "Adult Themes" {
+		t.Errorf("AdultThemes = %q", AdultThemes.String())
+	}
+	if Category(99).String() != "Unknown" {
+		t.Errorf("out-of-range category = %q", Category(99).String())
+	}
+}

@@ -1,0 +1,239 @@
+// Package geo provides the IP-to-(country, ASN) mapping the analysis
+// pipeline aggregates by. The paper geolocates source addresses with a
+// commercial GeoIP feed and a BGP view; that data gate is substituted
+// with a deterministic synthetic address plan: every country owns a set
+// of autonomous systems, every AS owns IPv4 and IPv6 prefixes, and
+// Lookup resolves by binary search exactly as a real longest-prefix
+// matcher would for disjoint prefixes.
+package geo
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand/v2"
+	"net/netip"
+	"sort"
+)
+
+// AS is one synthetic autonomous system.
+type AS struct {
+	ASN     uint32
+	Country string
+	// Weight is the AS's share of its country's client population.
+	Weight float64
+	// V4 and V6 hold the address blocks (disjoint across all ASes).
+	V4 []netip.Prefix
+	V6 []netip.Prefix
+}
+
+// CountrySpec describes how to allocate a country's address space.
+type CountrySpec struct {
+	// Code is the ISO 3166 alpha-2 code.
+	Code string
+	// ASCount is how many ASes to allocate (≥1).
+	ASCount int
+	// Skew shapes AS weights: 0 gives uniform weights, larger values
+	// concentrate clients into the first ASes (decreasing geometric
+	// with ratio 1/(1+Skew)).
+	Skew float64
+}
+
+// DB is the queryable address plan.
+type DB struct {
+	ases      []*AS
+	byCountry map[string][]*AS
+	v4        []rangeEntry
+	v6        []rangeEntry
+}
+
+type rangeEntry struct {
+	start, end netip.Addr // inclusive range
+	as         *AS
+}
+
+// Build allocates address space for the given countries. Allocation is
+// deterministic given the spec order and seed.
+func Build(specs []CountrySpec, seed uint64) (*DB, error) {
+	rng := rand.New(rand.NewPCG(seed, seed^0xda7aba5e))
+	db := &DB{byCountry: make(map[string][]*AS)}
+	nextASN := uint32(64512)
+	v4Block := 0 // index of next /16 inside 20.0.0.0/6-ish space
+	v6Block := 0
+	for _, spec := range specs {
+		if spec.ASCount < 1 {
+			return nil, fmt.Errorf("geo: country %q needs at least one AS", spec.Code)
+		}
+		weights := asWeights(spec.ASCount, spec.Skew)
+		for i := 0; i < spec.ASCount; i++ {
+			as := &AS{ASN: nextASN, Country: spec.Code, Weight: weights[i]}
+			nextASN++
+			// One or two /16s per AS, plus one /32 for IPv6.
+			nBlocks := 1
+			if rng.IntN(3) == 0 {
+				nBlocks = 2
+			}
+			for b := 0; b < nBlocks; b++ {
+				p, err := v4PrefixFor(v4Block)
+				if err != nil {
+					return nil, err
+				}
+				v4Block++
+				as.V4 = append(as.V4, p)
+				db.v4 = append(db.v4, rangeOf(p, as))
+			}
+			p6 := v6PrefixFor(v6Block)
+			v6Block++
+			as.V6 = append(as.V6, p6)
+			db.v6 = append(db.v6, rangeOf(p6, as))
+			db.ases = append(db.ases, as)
+			db.byCountry[spec.Code] = append(db.byCountry[spec.Code], as)
+		}
+	}
+	sort.Slice(db.v4, func(i, j int) bool { return db.v4[i].start.Less(db.v4[j].start) })
+	sort.Slice(db.v6, func(i, j int) bool { return db.v6[i].start.Less(db.v6[j].start) })
+	return db, nil
+}
+
+// asWeights computes normalized decreasing-geometric weights.
+func asWeights(n int, skew float64) []float64 {
+	w := make([]float64, n)
+	ratio := 1.0
+	if skew > 0 {
+		ratio = 1.0 / (1.0 + skew)
+	}
+	cur, total := 1.0, 0.0
+	for i := range w {
+		w[i] = cur
+		total += cur
+		cur *= ratio
+	}
+	for i := range w {
+		w[i] /= total
+	}
+	return w
+}
+
+// v4PrefixFor maps a block index to a /16 under 20.0.0.0, spanning
+// 20.0.0.0–27.255.0.0 (2048 blocks).
+func v4PrefixFor(i int) (netip.Prefix, error) {
+	if i >= 8*256 {
+		return netip.Prefix{}, fmt.Errorf("geo: IPv4 plan exhausted (%d blocks)", i)
+	}
+	a := byte(20 + i/256)
+	b := byte(i % 256)
+	return netip.PrefixFrom(netip.AddrFrom4([4]byte{a, b, 0, 0}), 16), nil
+}
+
+// v6PrefixFor maps a block index to a /32 under 2600::/16.
+func v6PrefixFor(i int) netip.Prefix {
+	var bytes [16]byte
+	bytes[0] = 0x26
+	bytes[1] = 0x00
+	binary.BigEndian.PutUint16(bytes[2:4], uint16(i))
+	return netip.PrefixFrom(netip.AddrFrom16(bytes), 32)
+}
+
+// rangeOf converts a prefix to an inclusive range entry.
+func rangeOf(p netip.Prefix, as *AS) rangeEntry {
+	start := p.Masked().Addr()
+	// Compute the last address by setting all host bits.
+	var end netip.Addr
+	if start.Is4() {
+		s := start.As4()
+		hostBits := 32 - p.Bits()
+		v := binary.BigEndian.Uint32(s[:])
+		v |= (1 << hostBits) - 1
+		var e [4]byte
+		binary.BigEndian.PutUint32(e[:], v)
+		end = netip.AddrFrom4(e)
+	} else {
+		s := start.As16()
+		bits := p.Bits()
+		for i := 0; i < 16; i++ {
+			lo := i * 8
+			for b := 0; b < 8; b++ {
+				if lo+b >= bits {
+					s[i] |= 1 << (7 - b)
+				}
+			}
+		}
+		end = netip.AddrFrom16(s)
+	}
+	return rangeEntry{start: start, end: end, as: as}
+}
+
+// Lookup resolves an address to its AS, or nil if outside the plan.
+func (db *DB) Lookup(ip netip.Addr) *AS {
+	table := db.v4
+	if ip.Is6() && !ip.Is4In6() {
+		table = db.v6
+	} else {
+		ip = ip.Unmap()
+	}
+	i := sort.Search(len(table), func(i int) bool { return ip.Less(table[i].start) })
+	if i == 0 {
+		return nil
+	}
+	e := table[i-1]
+	if ip.Compare(e.end) <= 0 {
+		return e.as
+	}
+	return nil
+}
+
+// Country resolves an address to its country code, or "" if unknown.
+func (db *DB) Country(ip netip.Addr) string {
+	if as := db.Lookup(ip); as != nil {
+		return as.Country
+	}
+	return ""
+}
+
+// ASes returns the country's ASes (nil for unknown countries).
+func (db *DB) ASes(country string) []*AS { return db.byCountry[country] }
+
+// AllASes returns every AS in the plan.
+func (db *DB) AllASes() []*AS { return db.ases }
+
+// PickAS draws an AS from the country by weight.
+func (db *DB) PickAS(rng *rand.Rand, country string) *AS {
+	ases := db.byCountry[country]
+	if len(ases) == 0 {
+		return nil
+	}
+	r := rng.Float64()
+	for _, as := range ases {
+		if r < as.Weight {
+			return as
+		}
+		r -= as.Weight
+	}
+	return ases[len(ases)-1]
+}
+
+// HostAddr returns the deterministic address of host idx within the
+// AS — the same idx always maps to the same address, so scenarios can
+// model repeat clients (Appendix B's IP-domain pairs).
+func (as *AS) HostAddr(idx int, v6 bool) netip.Addr {
+	rng := rand.New(rand.NewPCG(uint64(as.ASN)*0x9e3779b9+uint64(idx), uint64(idx)+0x5ca1ab1e))
+	return as.RandomAddr(rng, v6)
+}
+
+// RandomAddr draws a host address from the AS's space; v6 selects the
+// address family.
+func (as *AS) RandomAddr(rng *rand.Rand, v6 bool) netip.Addr {
+	if v6 {
+		p := as.V6[rng.IntN(len(as.V6))]
+		b := p.Addr().As16()
+		// Randomize the low 64 bits plus some subnet bits.
+		binary.BigEndian.PutUint32(b[4:8], rng.Uint32())
+		binary.BigEndian.PutUint64(b[8:16], rng.Uint64())
+		return netip.AddrFrom16(b)
+	}
+	p := as.V4[rng.IntN(len(as.V4))]
+	b := p.Addr().As4()
+	// Hosts under the /16: avoid .0 and .255 in the last octet.
+	b[2] = byte(rng.IntN(256))
+	b[3] = byte(1 + rng.IntN(254))
+	return netip.AddrFrom4(b)
+}

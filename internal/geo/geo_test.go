@@ -1,0 +1,196 @@
+package geo
+
+import (
+	"math/rand/v2"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func buildTestDB(t *testing.T) *DB {
+	t.Helper()
+	db, err := Build([]CountrySpec{
+		{Code: "CN", ASCount: 6, Skew: 0.5},
+		{Code: "IR", ASCount: 4, Skew: 0.8},
+		{Code: "US", ASCount: 10, Skew: 0.1},
+	}, 42)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return db
+}
+
+func TestBuildAllocatesASes(t *testing.T) {
+	db := buildTestDB(t)
+	if got := len(db.ASes("CN")); got != 6 {
+		t.Errorf("CN ASes = %d, want 6", got)
+	}
+	if got := len(db.ASes("XX")); got != 0 {
+		t.Errorf("unknown country ASes = %d, want 0", got)
+	}
+	if got := len(db.AllASes()); got != 20 {
+		t.Errorf("total ASes = %d, want 20", got)
+	}
+	// ASNs must be unique.
+	seen := map[uint32]bool{}
+	for _, as := range db.AllASes() {
+		if seen[as.ASN] {
+			t.Errorf("duplicate ASN %d", as.ASN)
+		}
+		seen[as.ASN] = true
+	}
+}
+
+func TestWeightsNormalized(t *testing.T) {
+	db := buildTestDB(t)
+	for _, country := range []string{"CN", "IR", "US"} {
+		total := 0.0
+		for _, as := range db.ASes(country) {
+			total += as.Weight
+		}
+		if total < 0.999 || total > 1.001 {
+			t.Errorf("%s weights sum to %f", country, total)
+		}
+	}
+	// Skewed countries concentrate weight in the first AS.
+	ir := db.ASes("IR")
+	if ir[0].Weight <= ir[len(ir)-1].Weight {
+		t.Error("IR weights not decreasing despite skew")
+	}
+}
+
+func TestLookupRoundTrip(t *testing.T) {
+	db := buildTestDB(t)
+	rng := rand.New(rand.NewPCG(7, 7))
+	for _, as := range db.AllASes() {
+		for i := 0; i < 20; i++ {
+			ip4 := as.RandomAddr(rng, false)
+			if got := db.Lookup(ip4); got != as {
+				t.Fatalf("Lookup(%v) = %v, want AS%d", ip4, got, as.ASN)
+			}
+			ip6 := as.RandomAddr(rng, true)
+			if got := db.Lookup(ip6); got != as {
+				t.Fatalf("Lookup(%v) = %v, want AS%d", ip6, got, as.ASN)
+			}
+		}
+	}
+}
+
+func TestLookupOutsidePlan(t *testing.T) {
+	db := buildTestDB(t)
+	for _, s := range []string{"8.8.8.8", "192.0.2.1", "2001:db8::1", "19.255.255.255", "255.0.0.1"} {
+		if got := db.Lookup(netip.MustParseAddr(s)); got != nil {
+			t.Errorf("Lookup(%s) = AS%d, want nil", s, got.ASN)
+		}
+	}
+	if db.Country(netip.MustParseAddr("8.8.8.8")) != "" {
+		t.Error("Country(outside) != \"\"")
+	}
+}
+
+func TestCountryLookup(t *testing.T) {
+	db := buildTestDB(t)
+	rng := rand.New(rand.NewPCG(9, 9))
+	as := db.ASes("IR")[0]
+	ip := as.RandomAddr(rng, false)
+	if got := db.Country(ip); got != "IR" {
+		t.Errorf("Country = %q, want IR", got)
+	}
+}
+
+func TestPickASWeighted(t *testing.T) {
+	db := buildTestDB(t)
+	rng := rand.New(rand.NewPCG(11, 11))
+	counts := map[uint32]int{}
+	for i := 0; i < 20000; i++ {
+		as := db.PickAS(rng, "IR")
+		counts[as.ASN]++
+	}
+	ir := db.ASes("IR")
+	// Observed frequency must track weight within a loose tolerance.
+	for _, as := range ir {
+		freq := float64(counts[as.ASN]) / 20000
+		if freq < as.Weight-0.03 || freq > as.Weight+0.03 {
+			t.Errorf("AS%d freq %.3f vs weight %.3f", as.ASN, freq, as.Weight)
+		}
+	}
+	if db.PickAS(rng, "ZZ") != nil {
+		t.Error("PickAS on unknown country != nil")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	spec := []CountrySpec{{Code: "AA", ASCount: 3, Skew: 0.4}, {Code: "BB", ASCount: 2}}
+	a, err := Build(spec, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(spec, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.AllASes() {
+		x, y := a.AllASes()[i], b.AllASes()[i]
+		if x.ASN != y.ASN || len(x.V4) != len(y.V4) || x.V4[0] != y.V4[0] {
+			t.Fatalf("builds diverge at AS index %d", i)
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build([]CountrySpec{{Code: "AA", ASCount: 0}}, 1); err == nil {
+		t.Error("zero ASCount accepted")
+	}
+	// Exhausting the v4 plan must error, not wrap around.
+	huge := []CountrySpec{{Code: "AA", ASCount: 3000}}
+	if _, err := Build(huge, 1); err == nil {
+		t.Error("plan exhaustion not detected")
+	}
+}
+
+// TestLookupNeverMisattributes property-tests that random addresses
+// inside any allocated prefix resolve to that prefix's AS.
+func TestLookupNeverMisattributes(t *testing.T) {
+	db := buildTestDB(t)
+	f := func(pick uint16, host uint16) bool {
+		ases := db.AllASes()
+		as := ases[int(pick)%len(ases)]
+		p := as.V4[0]
+		b := p.Addr().As4()
+		b[2] = byte(host >> 8)
+		b[3] = byte(host)
+		return db.Lookup(netip.AddrFrom4(b)) == as
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomAddrStaysInside(t *testing.T) {
+	db := buildTestDB(t)
+	rng := rand.New(rand.NewPCG(3, 3))
+	for _, as := range db.AllASes()[:5] {
+		for i := 0; i < 50; i++ {
+			ip := as.RandomAddr(rng, false)
+			in := false
+			for _, p := range as.V4 {
+				if p.Contains(ip) {
+					in = true
+				}
+			}
+			if !in {
+				t.Fatalf("v4 addr %v outside AS%d prefixes", ip, as.ASN)
+			}
+			ip6 := as.RandomAddr(rng, true)
+			in = false
+			for _, p := range as.V6 {
+				if p.Contains(ip6) {
+					in = true
+				}
+			}
+			if !in {
+				t.Fatalf("v6 addr %v outside AS%d prefixes", ip6, as.ASN)
+			}
+		}
+	}
+}

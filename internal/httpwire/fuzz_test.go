@@ -1,0 +1,23 @@
+package httpwire
+
+import "testing"
+
+// FuzzParseRequest exercises the HTTP parser with arbitrary bytes.
+func FuzzParseRequest(f *testing.F) {
+	f.Add([]byte("GET / HTTP/1.1\r\nHost: x.example\r\n\r\n"))
+	f.Add([]byte("POST"))
+	f.Add([]byte("\x16\x03\x01"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := ParseRequest(data)
+		if err != nil {
+			return
+		}
+		if req.Method == "" {
+			t.Fatal("parsed request with empty method")
+		}
+		if len(req.Host) > len(data) {
+			t.Fatal("host longer than input")
+		}
+	})
+}

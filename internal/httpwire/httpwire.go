@@ -1,0 +1,126 @@
+// Package httpwire builds and parses cleartext HTTP/1.x requests — the
+// other tampering trigger visible to middleboxes (paper §2.1: forbidden
+// domain names in Host headers, keywords in GET requests).
+//
+// It is deliberately not net/http: the classifier must parse *partial*
+// requests from truncated captures and must never normalize away the
+// raw bytes a middlebox would have matched on.
+package httpwire
+
+import (
+	"errors"
+	"strings"
+)
+
+// Request is a parsed (possibly partial) HTTP/1.x request.
+type Request struct {
+	Method  string
+	Target  string // request-target as sent, e.g. "/news?id=3"
+	Proto   string // e.g. "HTTP/1.1"
+	Host    string // Host header value, if captured
+	Headers map[string]string
+	// Complete reports whether the full header block (terminating
+	// CRLFCRLF) was present in the captured bytes.
+	Complete bool
+}
+
+// Parse errors.
+var (
+	ErrNotHTTP = errors.New("httpwire: does not start with an HTTP method")
+)
+
+// BuildRequest serializes a simple HTTP/1.1 GET-style request.
+func BuildRequest(method, host, target string, headers map[string]string) []byte {
+	var b strings.Builder
+	if method == "" {
+		method = "GET"
+	}
+	if target == "" {
+		target = "/"
+	}
+	b.WriteString(method)
+	b.WriteByte(' ')
+	b.WriteString(target)
+	b.WriteString(" HTTP/1.1\r\nHost: ")
+	b.WriteString(host)
+	b.WriteString("\r\n")
+	for k, v := range headers {
+		b.WriteString(k)
+		b.WriteString(": ")
+		b.WriteString(v)
+		b.WriteString("\r\n")
+	}
+	b.WriteString("\r\n")
+	return []byte(b.String())
+}
+
+// methods we accept as the start of a request line. Middleboxes
+// typically match these token prefixes too.
+var methods = []string{"GET", "POST", "HEAD", "PUT", "DELETE", "OPTIONS", "CONNECT", "PATCH", "TRACE"}
+
+// LooksLikeRequest reports whether data plausibly begins with an HTTP
+// request line. Used for SYN-payload analysis (§4.1) and protocol
+// classification of captured data packets.
+func LooksLikeRequest(data []byte) bool {
+	s := string(data)
+	for _, m := range methods {
+		if strings.HasPrefix(s, m+" ") {
+			return true
+		}
+		// A truncated capture may cut mid-method; accept a prefix of a
+		// method only if the data is shorter than the method itself.
+		if len(s) < len(m) && strings.HasPrefix(m, s) && len(s) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseRequest parses as much of an HTTP request as the captured bytes
+// allow. A request line alone yields Method/Target/Proto; a Host header
+// in the captured prefix yields Host even if the header block is
+// incomplete.
+func ParseRequest(data []byte) (*Request, error) {
+	if !LooksLikeRequest(data) {
+		return nil, ErrNotHTTP
+	}
+	s := string(data)
+	req := &Request{Headers: make(map[string]string)}
+	head, _, complete := strings.Cut(s, "\r\n\r\n")
+	req.Complete = complete
+	lines := strings.Split(head, "\r\n")
+	// Request line.
+	parts := strings.SplitN(lines[0], " ", 3)
+	req.Method = parts[0]
+	if len(parts) > 1 {
+		req.Target = parts[1]
+	}
+	if len(parts) > 2 {
+		req.Proto = parts[2]
+	}
+	// Headers; the final line may be truncated mid-header, which we
+	// keep only if it already has a colon.
+	for _, line := range lines[1:] {
+		k, v, ok := strings.Cut(line, ":")
+		if !ok || k == "" {
+			continue
+		}
+		key := strings.ToLower(strings.TrimSpace(k))
+		val := strings.TrimSpace(v)
+		req.Headers[key] = val
+		if key == "host" {
+			req.Host = val
+		}
+	}
+	return req, nil
+}
+
+// HostOf is a convenience that extracts only the Host header (the
+// middlebox trigger) from captured request bytes, or "" if absent.
+func HostOf(data []byte) string {
+	req, err := ParseRequest(data)
+	if err != nil {
+		return ""
+	}
+	return req.Host
+}

@@ -1,0 +1,151 @@
+package httpwire
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildParseRoundTrip(t *testing.T) {
+	raw := BuildRequest("GET", "news.example.com", "/politics?id=7", map[string]string{"User-Agent": "probe/1.0"})
+	req, err := ParseRequest(raw)
+	if err != nil {
+		t.Fatalf("ParseRequest: %v", err)
+	}
+	if req.Method != "GET" || req.Target != "/politics?id=7" || req.Proto != "HTTP/1.1" {
+		t.Errorf("request line = %q %q %q", req.Method, req.Target, req.Proto)
+	}
+	if req.Host != "news.example.com" {
+		t.Errorf("Host = %q", req.Host)
+	}
+	if req.Headers["user-agent"] != "probe/1.0" {
+		t.Errorf("User-Agent = %q", req.Headers["user-agent"])
+	}
+	if !req.Complete {
+		t.Error("Complete = false for full request")
+	}
+}
+
+func TestBuildDefaults(t *testing.T) {
+	raw := BuildRequest("", "h.example", "", nil)
+	req, err := ParseRequest(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Method != "GET" || req.Target != "/" {
+		t.Errorf("defaults = %q %q, want GET /", req.Method, req.Target)
+	}
+}
+
+func TestParseTruncated(t *testing.T) {
+	raw := BuildRequest("GET", "host.example", "/x", nil)
+	// Cut right after the Host header value: host must still parse.
+	idx := strings.Index(string(raw), "host.example") + len("host.example")
+	req, err := ParseRequest(raw[:idx])
+	if err != nil {
+		t.Fatalf("ParseRequest(truncated): %v", err)
+	}
+	if req.Host != "host.example" {
+		t.Errorf("Host = %q from truncated capture", req.Host)
+	}
+	if req.Complete {
+		t.Error("Complete = true for truncated request")
+	}
+}
+
+func TestLooksLikeRequest(t *testing.T) {
+	yes := [][]byte{
+		[]byte("GET / HTTP/1.1\r\n"),
+		[]byte("POST /submit HTTP/1.1\r\n"),
+		[]byte("GE"), // truncated method prefix
+	}
+	no := [][]byte{
+		nil,
+		[]byte("\x16\x03\x01\x02\x00\x01"), // TLS
+		[]byte("HELO smtp.example"),
+		[]byte("GETX / HTTP/1.1"),
+	}
+	for _, c := range yes {
+		if !LooksLikeRequest(c) {
+			t.Errorf("LooksLikeRequest(%q) = false", c)
+		}
+	}
+	for _, c := range no {
+		if LooksLikeRequest(c) {
+			t.Errorf("LooksLikeRequest(%q) = true", c)
+		}
+	}
+}
+
+func TestHostOf(t *testing.T) {
+	raw := BuildRequest("GET", "target.example.org", "/", nil)
+	if got := HostOf(raw); got != "target.example.org" {
+		t.Errorf("HostOf = %q", got)
+	}
+	if got := HostOf([]byte("\x16\x03\x01")); got != "" {
+		t.Errorf("HostOf(TLS) = %q, want empty", got)
+	}
+}
+
+func TestParseRejectsNonHTTP(t *testing.T) {
+	if _, err := ParseRequest([]byte("\x16\x03\x01 TLS bytes")); err != ErrNotHTTP {
+		t.Errorf("err = %v, want ErrNotHTTP", err)
+	}
+}
+
+func TestHeaderCaseInsensitive(t *testing.T) {
+	raw := []byte("GET / HTTP/1.1\r\nHOST: upper.example\r\n\r\n")
+	req, err := ParseRequest(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Host != "upper.example" {
+		t.Errorf("Host = %q, want upper.example", req.Host)
+	}
+}
+
+// TestParseQuick property-tests that any host and path round-trip.
+func TestParseQuick(t *testing.T) {
+	f := func(hostBytes, pathBytes []byte) bool {
+		host := sanitize(hostBytes, 40)
+		if host == "" {
+			host = "h"
+		}
+		path := "/" + sanitize(pathBytes, 40)
+		raw := BuildRequest("GET", host, path, nil)
+		req, err := ParseRequest(raw)
+		return err == nil && req.Host == host && req.Target == path && req.Complete
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func sanitize(b []byte, max int) string {
+	out := make([]byte, 0, max)
+	for _, c := range b {
+		if len(out) >= max {
+			break
+		}
+		out = append(out, 'a'+c%26)
+	}
+	return string(out)
+}
+
+// TestParseNeverPanics exercises truncations of a real request.
+func TestParseNeverPanics(t *testing.T) {
+	raw := BuildRequest("POST", "x.example", "/p", map[string]string{"A": "b"})
+	for cut := 0; cut <= len(raw); cut++ {
+		_, _ = ParseRequest(raw[:cut])
+	}
+}
+
+func BenchmarkParseRequest(b *testing.B) {
+	raw := BuildRequest("GET", "bench.example.com", "/path/to/resource", map[string]string{"User-Agent": "bench"})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseRequest(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

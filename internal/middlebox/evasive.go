@@ -1,0 +1,145 @@
+package middlebox
+
+import (
+	"net/netip"
+
+	"tamperdetect/internal/netsim"
+	"tamperdetect/internal/packet"
+)
+
+// EvasiveCensor implements the §6 thought experiment: the "ideal
+// tampering strategy" that defeats passive server-side detection. On
+// trigger it:
+//
+//   - drops every server→client packet (the client gets nothing), and
+//   - keeps impersonating the client toward the server: it ACKs the
+//     server's data, completes a graceful FIN handshake, and swallows
+//     the real client's subsequent packets (retransmissions, resets)
+//     so the server never sees anything anomalous.
+//
+// The paper notes this is only possible for in-path middleboxes with
+// drop capability, which is rare in practice (§2.1, §6); the library
+// includes it so the detector's blind spot is testable — a connection
+// censored this way classifies as Not Tampering.
+type EvasiveCensor struct {
+	// MatchDomain gates the trigger, as in Policy.
+	MatchDomain DomainMatcher
+
+	parser *packet.SummaryParser
+	flows  map[flowKey]*evasiveFlow
+}
+
+type evasiveFlow struct {
+	triggered bool
+	// impersonation state toward the server
+	clientIP netip.Addr
+	serverIP netip.Addr
+	cport    uint16
+	sport    uint16
+	v6       bool
+	ttl      uint8
+	ipid     uint16
+	sndNxt   uint32 // next sequence we (as the client) would send
+	finSent  bool
+}
+
+// NewEvasiveCensor builds the evasive middlebox.
+func NewEvasiveCensor(match DomainMatcher) *EvasiveCensor {
+	return &EvasiveCensor{
+		MatchDomain: match,
+		parser:      packet.NewSummaryParser(),
+		flows:       make(map[flowKey]*evasiveFlow),
+	}
+}
+
+// Process implements netsim.Middlebox.
+func (e *EvasiveCensor) Process(dir netsim.Direction, data []byte, inject func(netsim.Direction, []byte)) bool {
+	var s packet.Summary
+	if err := e.parser.Parse(data, &s); err != nil {
+		return true
+	}
+	var key flowKey
+	fromClient := dir == netsim.ClientToServer
+	if fromClient {
+		key = flowKey{client: s.SrcIP, server: s.DstIP, cport: s.SrcPort, sport: s.DstPort}
+	} else {
+		key = flowKey{client: s.DstIP, server: s.SrcIP, cport: s.DstPort, sport: s.SrcPort}
+	}
+	fl := e.flows[key]
+	if fl == nil {
+		fl = &evasiveFlow{}
+		e.flows[key] = fl
+	}
+
+	if !fl.triggered {
+		if fromClient && s.PayloadLen > 0 {
+			domain := DomainOf(s.Payload)
+			if domain != "" && e.MatchDomain != nil && e.MatchDomain(domain) {
+				fl.triggered = true
+				fl.clientIP, fl.serverIP = s.SrcIP, s.DstIP
+				fl.cport, fl.sport = s.SrcPort, s.DstPort
+				fl.v6 = s.IPVersion == 6
+				fl.ttl = s.TTL // mid-path TTL; close enough to blend in
+				fl.ipid = s.IPID + 1
+				fl.sndNxt = s.Seq + uint32(s.PayloadLen)
+				// The trigger itself is forwarded: the server must see a
+				// perfectly ordinary request.
+				return true
+			}
+		}
+		return true
+	}
+
+	// Triggered. Client side goes dark in both directions, while we
+	// play the client toward the server.
+	if fromClient {
+		// Swallow everything further from the real client
+		// (retransmissions, FINs, RSTs born of its timeout).
+		return false
+	}
+	// Server→client: drop, but keep the server happy.
+	e.impersonate(&s, inject)
+	return false
+}
+
+// impersonate reacts to a server packet as a live client would.
+func (e *EvasiveCensor) impersonate(s *packet.Summary, inject func(netsim.Direction, []byte)) {
+	key := flowKey{client: s.DstIP, server: s.SrcIP, cport: s.DstPort, sport: s.SrcPort}
+	fl := e.flows[key]
+	if fl == nil || !fl.triggered {
+		return
+	}
+	prof := forgeProfile{
+		srcIP: fl.clientIP, dstIP: fl.serverIP,
+		sport: fl.cport, dport: fl.sport,
+		ttl: fl.ttl, ipid: fl.ipid, v6: fl.v6,
+	}
+	fl.ipid++
+	w := newForgeWire(prof)
+	switch {
+	case s.Flags.Has(packet.FlagFIN):
+		ack := s.Seq + uint32(s.PayloadLen) + 1
+		inject(netsim.ClientToServer, w.build(packet.FlagsACK, fl.sndNxt, ack, nil))
+		if !fl.finSent {
+			fl.finSent = true
+			prof.ipid = fl.ipid
+			fl.ipid++
+			w2 := newForgeWire(prof)
+			inject(netsim.ClientToServer, w2.build(packet.FlagsFINACK, fl.sndNxt, ack, nil))
+			fl.sndNxt++
+		}
+	case s.PayloadLen > 0:
+		ack := s.Seq + uint32(s.PayloadLen)
+		inject(netsim.ClientToServer, w.build(packet.FlagsACK, fl.sndNxt, ack, nil))
+		if !fl.finSent {
+			// Close gracefully after consuming the response, exactly
+			// like a satisfied client.
+			fl.finSent = true
+			prof.ipid = fl.ipid
+			fl.ipid++
+			w2 := newForgeWire(prof)
+			inject(netsim.ClientToServer, w2.build(packet.FlagsFINACK, fl.sndNxt, ack, nil))
+			fl.sndNxt++
+		}
+	}
+}

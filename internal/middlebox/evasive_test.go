@@ -1,0 +1,243 @@
+package middlebox
+
+import (
+	"math/rand/v2"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"tamperdetect/internal/netsim"
+	"tamperdetect/internal/packet"
+	"tamperdetect/internal/tcpsim"
+	"tamperdetect/internal/tlswire"
+)
+
+// runConnWith simulates one connection through an arbitrary middlebox
+// and returns the inbound summaries at the server.
+func runConnWith(t *testing.T, mb netsim.Middlebox, seed uint64, segments []tcpsim.Segment, behavior tcpsim.Behavior) []packet.Summary {
+	t.Helper()
+	sim := netsim.NewSim(0)
+	return runConnOn(t, sim, mb, seed, 40000, segments, behavior)
+}
+
+// runConnOn runs a connection on an existing simulator (so middlebox
+// state can be shared across connections).
+func runConnOn(t *testing.T, sim *netsim.Sim, mb netsim.Middlebox, seed uint64, srcPort uint16, segments []tcpsim.Segment, behavior tcpsim.Behavior) []packet.Summary {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, seed^0x77))
+	cprof := tcpsim.NetProfile{
+		LocalIP:    netip.MustParseAddr("203.0.113.10"),
+		RemoteIP:   netip.MustParseAddr("192.0.2.80"),
+		LocalPort:  srcPort,
+		RemotePort: 443,
+		InitialTTL: 64,
+		IPID:       tcpsim.IPIDCounter,
+		IPIDValue:  uint16(1000 + seed),
+		Window:     64240,
+		SYNOptions: true,
+	}
+	sprof := tcpsim.NetProfile{
+		LocalIP: cprof.RemoteIP, RemoteIP: cprof.LocalIP,
+		LocalPort: 443, RemotePort: srcPort,
+		InitialTTL: 64, IPID: tcpsim.IPIDCounter, IPIDValue: uint16(30000 + seed),
+		Window: 65535, SYNOptions: true,
+	}
+	cli := tcpsim.NewClient(sim, tcpsim.ClientConfig{Net: cprof, Segments: segments, Behavior: behavior}, rng)
+	srv := tcpsim.NewServer(sim, tcpsim.ServerConfig{Net: sprof}, rng)
+	path := netsim.NewPath(sim, netsim.PathConfig{
+		Segments:    []netsim.Segment{{Delay: 15 * time.Millisecond, Hops: 4}, {Delay: 25 * time.Millisecond, Hops: 6}},
+		Middleboxes: []netsim.Middlebox{mb},
+	}, cli, srv)
+	var seen []packet.Summary
+	parser := packet.NewSummaryParser()
+	path.Tap = func(at netsim.Time, data []byte) {
+		var s packet.Summary
+		if err := parser.Parse(data, &s); err != nil {
+			t.Fatalf("tap parse: %v", err)
+		}
+		seen = append(seen, s)
+	}
+	cli.Attach(path.SendFromClient)
+	srv.Attach(path.SendFromServer)
+	cli.Start()
+	sim.Run(200000)
+	return seen
+}
+
+func TestEvasiveCensorLooksGraceful(t *testing.T) {
+	// The §6 ideal censor: the server-side record of a censored
+	// connection must be indistinguishable from a graceful exchange —
+	// handshake, request, acknowledgments, FIN handshake, no RSTs, no
+	// gaps.
+	ev := NewEvasiveCensor(func(d string) bool { return d == "blocked.example" })
+	seen := runConnWith(t, ev, 3, tlsSegment("blocked.example"), tcpsim.BehaviorNormal)
+	fs := flagString(seen)
+	if !strings.HasPrefix(fs, "SYN ACK PSH+ACK") {
+		t.Fatalf("prefix = %q", fs)
+	}
+	for _, s := range seen {
+		if s.Flags.IsRST() {
+			t.Fatalf("evasive censor leaked a RST: %q", fs)
+		}
+	}
+	if !strings.Contains(fs, "FIN+ACK") {
+		t.Errorf("no graceful FIN at the server: %q", fs)
+	}
+}
+
+func TestEvasiveCensorPassesUnblocked(t *testing.T) {
+	ev := NewEvasiveCensor(func(d string) bool { return d == "blocked.example" })
+	seen := runConnWith(t, ev, 5, tlsSegment("fine.example"), tcpsim.BehaviorNormal)
+	fs := flagString(seen)
+	if !strings.Contains(fs, "FIN") {
+		t.Errorf("unblocked connection broken by evasive censor: %q", fs)
+	}
+}
+
+func TestEvasiveCensorClientStarved(t *testing.T) {
+	// The client must never receive the response: the server sees
+	// exactly one copy of the request data (no retransmissions leak
+	// through) while the impersonator supplies the ACKs.
+	ev := NewEvasiveCensor(func(string) bool { return true })
+	seen := runConnWith(t, ev, 7, tlsSegment("x.example"), tcpsim.BehaviorNormal)
+	dataPkts := 0
+	for _, s := range seen {
+		if s.PayloadLen > 0 {
+			dataPkts++
+		}
+	}
+	if dataPkts != 1 {
+		t.Errorf("server saw %d data packets, want exactly the forwarded trigger", dataPkts)
+	}
+}
+
+// sharedEngineRunner runs multiple connections through one Engine with
+// a shared virtual clock, for residual-censorship tests.
+func sharedEngineRunner(t *testing.T, policies []Policy) (*Engine, func(startSec int64, segments []tcpsim.Segment) []packet.Summary) {
+	t.Helper()
+	sim := netsim.NewSim(0)
+	eng := NewEngine(policies, rand.New(rand.NewPCG(9, 9)), sim.Now)
+	port := uint16(41000)
+	seed := uint64(100)
+	mk := func(startSec int64, segments []tcpsim.Segment) []packet.Summary {
+		// Advance the shared clock to the connection's start time.
+		sim.RunUntil(netsim.Time(startSec) * netsim.Time(time.Second))
+		port++
+		seed++
+		return runConnOn(t, sim, eng, seed, port, segments, tcpsim.BehaviorNormal)
+	}
+	return eng, mk
+}
+
+func TestResidualCensorship(t *testing.T) {
+	// A policy with ResidualSeconds: the first connection triggers on
+	// content; a second connection from the same client is killed at
+	// the SYN even for an innocuous domain; a third, after expiry,
+	// flows normally.
+	pol := GFW(func(d string) bool { return d == "blocked.example" })
+	pol.ResidualSeconds = 90
+	_, mk := sharedEngineRunner(t, []Policy{pol})
+
+	first := mk(0, tlsSegment("blocked.example"))
+	if !strings.Contains(flagString(first), "RST") {
+		t.Fatalf("first connection not tampered: %q", flagString(first))
+	}
+	second := mk(10, tlsSegment("innocent.example"))
+	if fs := flagString(second); !strings.HasPrefix(fs, "SYN RST") {
+		t.Errorf("residual punishment missing: second connection = %q", fs)
+	}
+	third := mk(300, tlsSegment("innocent.example"))
+	if fs := flagString(third); strings.Contains(fs, "RST") {
+		t.Errorf("residual censorship did not expire: %q", fs)
+	}
+}
+
+func TestResidualDisabledByDefault(t *testing.T) {
+	pol := GFW(func(d string) bool { return d == "blocked.example" })
+	_, mk := sharedEngineRunner(t, []Policy{pol})
+	_ = mk(0, tlsSegment("blocked.example"))
+	second := mk(10, tlsSegment("innocent.example"))
+	if fs := flagString(second); strings.Contains(fs, "RST") {
+		t.Errorf("punishment without ResidualSeconds: %q", fs)
+	}
+}
+
+func TestEvasiveCensorNonIPPassthrough(t *testing.T) {
+	ev := NewEvasiveCensor(func(string) bool { return true })
+	ok := ev.Process(netsim.ClientToServer, []byte("junk"), func(netsim.Direction, []byte) {
+		t.Fatal("injected on junk input")
+	})
+	if !ok {
+		t.Error("non-IP data dropped")
+	}
+}
+
+func TestBlockPageInjector(t *testing.T) {
+	// Server side: ⟨PSH+ACK → RST⟩, as footnote 2 predicts — the block
+	// page itself travels toward the client and is invisible here.
+	pol := BlockPageInjector(func(d string) bool { return d == "blocked.example" }, "")
+	eng := NewEngine([]Policy{pol}, rand.New(rand.NewPCG(4, 4)), nil)
+	seen := runConnWith(t, eng, 11, tlsSegment("blocked.example"), tcpsim.BehaviorNormal)
+	fs := flagString(seen)
+	if !strings.HasPrefix(fs, "SYN ACK PSH+ACK RST") {
+		t.Errorf("server-side sequence = %q, want SYN ACK PSH+ACK RST prefix", fs)
+	}
+	// Three injections: the 403 page, its FIN, and the server-side RST.
+	if eng.Injected != 3 {
+		t.Errorf("injected = %d, want 3", eng.Injected)
+	}
+}
+
+func TestBlockPageForgeCarriesPayload(t *testing.T) {
+	// The injected block page toward the client must carry the HTTP
+	// body and a FIN at the right sequence offset.
+	pol := BlockPageInjector(func(string) bool { return true }, "HTTP/1.1 403 F\r\n\r\nX")
+	eng := NewEngine([]Policy{pol}, rand.New(rand.NewPCG(5, 5)), nil)
+	var toClient [][]byte
+	trigger := buildTriggerPacket(t, "any.example")
+	eng.Process(netsim.ClientToServer, trigger, func(dir netsim.Direction, data []byte) {
+		if dir == netsim.ServerToClient {
+			toClient = append(toClient, data)
+		}
+	})
+	if len(toClient) != 2 {
+		t.Fatalf("client-bound injections = %d, want page + FIN", len(toClient))
+	}
+	p := packet.NewSummaryParser()
+	var page, fin packet.Summary
+	if err := p.Parse(toClient[0], &page); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Parse(toClient[1], &fin); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(page.Payload), "HTTP/1.1 403") {
+		t.Errorf("block page payload = %q", page.Payload)
+	}
+	if !fin.Flags.Has(packet.FlagFIN) {
+		t.Errorf("second injection flags = %v, want FIN", fin.Flags)
+	}
+	if fin.Seq != page.Seq+uint32(page.PayloadLen) {
+		t.Errorf("FIN seq = %d, want page end %d", fin.Seq, page.Seq+uint32(page.PayloadLen))
+	}
+}
+
+// buildTriggerPacket serializes a client PSH+ACK carrying a ClientHello.
+func buildTriggerPacket(t *testing.T, domain string) []byte {
+	t.Helper()
+	hello := tlswire.BuildClientHello(tlswire.ClientHelloSpec{ServerName: domain})
+	ip := packet.IPv4{TTL: 58, ID: 77, Protocol: 6,
+		SrcIP: netip.MustParseAddr("203.0.113.4"), DstIP: netip.MustParseAddr("192.0.2.80")}
+	tcp := packet.TCP{SrcPort: 45000, DstPort: 443, Seq: 5000, Ack: 9000,
+		Flags: packet.FlagsPSHACK, Window: 64240}
+	tcp.SetNetworkLayerForChecksum(&ip)
+	buf := packet.NewSerializeBuffer()
+	if err := packet.SerializeLayers(buf, packet.SerializeOptions{FixLengths: true, ComputeChecksums: true},
+		&ip, &tcp, packet.Payload(hello)); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out
+}

@@ -1,0 +1,89 @@
+package middlebox
+
+import (
+	"net/netip"
+
+	"tamperdetect/internal/packet"
+)
+
+// forgeProfile is the network identity an injected packet claims.
+type forgeProfile struct {
+	srcIP, dstIP netip.Addr
+	sport, dport uint16
+	ttl          uint8
+	ipid         uint16
+	v6           bool
+}
+
+// tcpWireProfile derives the spoofed identity from the triggering
+// packet: toward the server the forgery claims to be the client, toward
+// the client it claims to be the server.
+func tcpWireProfile(s *packet.Summary, toServer bool, ttl uint8, ipid uint16) forgeProfile {
+	p := forgeProfile{ttl: ttl, ipid: ipid, v6: s.IPVersion == 6}
+	if toServer {
+		p.srcIP, p.dstIP = s.SrcIP, s.DstIP
+		p.sport, p.dport = s.SrcPort, s.DstPort
+	} else {
+		p.srcIP, p.dstIP = s.DstIP, s.SrcIP
+		p.sport, p.dport = s.DstPort, s.SrcPort
+	}
+	return p
+}
+
+// forgeWire serializes forged tear-down segments.
+type forgeWire struct {
+	prof forgeProfile
+	buf  *packet.SerializeBuffer
+}
+
+func newForgeWire(prof forgeProfile) *forgeWire {
+	return &forgeWire{prof: prof, buf: packet.NewSerializeBuffer()}
+}
+
+// build serializes a forged segment with the given flags, sequence,
+// and acknowledgment numbers, and an optional payload (block pages).
+// Injected packets carry no options and a zero window for tear-downs —
+// the shape real injectors emit — while payload-bearing injections use
+// a plausible window.
+func (w *forgeWire) build(flags packet.TCPFlags, seq, ack uint32, payload []byte) []byte {
+	var window uint16
+	if len(payload) > 0 {
+		window = 65535
+	}
+	tcp := packet.TCP{
+		SrcPort: w.prof.sport,
+		DstPort: w.prof.dport,
+		Seq:     seq,
+		Ack:     ack,
+		Flags:   flags,
+		Window:  window,
+	}
+	opts := packet.SerializeOptions{FixLengths: true, ComputeChecksums: true}
+	var err error
+	if w.prof.v6 {
+		ip := packet.IPv6{
+			NextHeader: 6,
+			HopLimit:   w.prof.ttl,
+			SrcIP:      w.prof.srcIP,
+			DstIP:      w.prof.dstIP,
+		}
+		tcp.SetNetworkLayerForChecksum(&ip)
+		err = packet.SerializeLayers(w.buf, opts, &ip, &tcp, packet.Payload(payload))
+	} else {
+		ip := packet.IPv4{
+			TTL:      w.prof.ttl,
+			ID:       w.prof.ipid,
+			Protocol: 6,
+			SrcIP:    w.prof.srcIP,
+			DstIP:    w.prof.dstIP,
+		}
+		tcp.SetNetworkLayerForChecksum(&ip)
+		err = packet.SerializeLayers(w.buf, opts, &ip, &tcp, packet.Payload(payload))
+	}
+	if err != nil {
+		panic("middlebox: forge serialize failed: " + err.Error())
+	}
+	out := make([]byte, w.buf.Len())
+	copy(out, w.buf.Bytes())
+	return out
+}

@@ -1,0 +1,360 @@
+package middlebox
+
+import (
+	"math/rand/v2"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"tamperdetect/internal/httpwire"
+	"tamperdetect/internal/netsim"
+	"tamperdetect/internal/packet"
+	"tamperdetect/internal/tcpsim"
+	"tamperdetect/internal/tlswire"
+)
+
+// runConn simulates one client connection through an Engine with the
+// given policies and returns the inbound packet summaries at the server.
+func runConn(t *testing.T, policies []Policy, seed uint64, segments []tcpsim.Segment, behavior tcpsim.Behavior) []packet.Summary {
+	t.Helper()
+	sim := netsim.NewSim(0)
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e37))
+	cprof := tcpsim.NetProfile{
+		LocalIP:    netip.MustParseAddr("203.0.113.10"),
+		RemoteIP:   netip.MustParseAddr("192.0.2.80"),
+		LocalPort:  40000,
+		RemotePort: 443,
+		InitialTTL: 64,
+		IPID:       tcpsim.IPIDCounter,
+		IPIDValue:  1000,
+		Window:     64240,
+		SYNOptions: true,
+	}
+	sprof := tcpsim.NetProfile{
+		LocalIP: cprof.RemoteIP, RemoteIP: cprof.LocalIP,
+		LocalPort: 443, RemotePort: 40000,
+		InitialTTL: 64, IPID: tcpsim.IPIDCounter, IPIDValue: 30000,
+		Window: 65535, SYNOptions: true,
+	}
+	cli := tcpsim.NewClient(sim, tcpsim.ClientConfig{Net: cprof, Segments: segments, Behavior: behavior}, rng)
+	srv := tcpsim.NewServer(sim, tcpsim.ServerConfig{Net: sprof}, rng)
+	eng := NewEngine(policies, rng, sim.Now)
+	path := netsim.NewPath(sim, netsim.PathConfig{
+		Segments:    []netsim.Segment{{Delay: 15 * time.Millisecond, Hops: 4}, {Delay: 25 * time.Millisecond, Hops: 6}},
+		Middleboxes: []netsim.Middlebox{eng},
+	}, cli, srv)
+	var seen []packet.Summary
+	parser := packet.NewSummaryParser()
+	path.Tap = func(at netsim.Time, data []byte) {
+		var s packet.Summary
+		if err := parser.Parse(data, &s); err != nil {
+			t.Fatalf("tap parse: %v", err)
+		}
+		seen = append(seen, s)
+	}
+	cli.Attach(path.SendFromClient)
+	srv.Attach(path.SendFromServer)
+	cli.Start()
+	sim.Run(100000)
+	return seen
+}
+
+func flagString(seen []packet.Summary) string {
+	var parts []string
+	for _, s := range seen {
+		parts = append(parts, s.Flags.String())
+	}
+	return strings.Join(parts, " ")
+}
+
+func tlsSegment(domain string) []tcpsim.Segment {
+	return []tcpsim.Segment{{Data: tlswire.BuildClientHello(tlswire.ClientHelloSpec{ServerName: domain})}}
+}
+
+func httpSegment(domain string) []tcpsim.Segment {
+	return []tcpsim.Segment{{Data: httpwire.BuildRequest("GET", domain, "/", nil)}}
+}
+
+func matchAll(string) bool  { return true }
+func matchNone(string) bool { return false }
+func ipAll(netip.Addr) bool { return true }
+
+func TestGFWInjectsBurst(t *testing.T) {
+	// Run several seeds; every run must show the PSH followed by RST-type
+	// packets, with at least one multi-tear-down variant across seeds.
+	sawMulti := false
+	for seed := uint64(1); seed <= 10; seed++ {
+		seen := runConn(t, []Policy{GFW(matchAll)}, seed, tlsSegment("blocked.cn.example"), tcpsim.BehaviorNormal)
+		fs := flagString(seen)
+		if !strings.HasPrefix(fs, "SYN ACK PSH+ACK") {
+			t.Fatalf("seed %d: prefix = %q", seed, fs)
+		}
+		rsts := 0
+		for _, s := range seen {
+			if s.Flags.IsRST() {
+				rsts++
+			}
+		}
+		if rsts == 0 {
+			t.Fatalf("seed %d: no injected tear-down packets: %q", seed, fs)
+		}
+		if rsts >= 2 {
+			sawMulti = true
+		}
+		// The triggering data packet must have reached the server (GFW
+		// is off-path: it never drops).
+		if seen[2].PayloadLen == 0 {
+			t.Fatalf("seed %d: trigger packet did not arrive", seed)
+		}
+	}
+	if !sawMulti {
+		t.Error("no multi-packet burst in 10 seeds")
+	}
+}
+
+func TestGFWDoesNotTouchOtherDomains(t *testing.T) {
+	match := func(d string) bool { return d == "blocked.example" }
+	seen := runConn(t, []Policy{GFW(match)}, 3, tlsSegment("fine.example"), tcpsim.BehaviorNormal)
+	for _, s := range seen {
+		if s.Flags.IsRST() {
+			t.Fatalf("RST on unblocked domain: %q", flagString(seen))
+		}
+	}
+	if !strings.Contains(flagString(seen), "FIN") {
+		t.Errorf("unblocked connection did not close gracefully: %q", flagString(seen))
+	}
+}
+
+func TestIranDPIDropsClientHello(t *testing.T) {
+	sawSilent, sawRST := false, false
+	for seed := uint64(1); seed <= 20; seed++ {
+		seen := runConn(t, []Policy{IranDPI(matchAll)}, seed, tlsSegment("protest.example"), tcpsim.BehaviorNormal)
+		fs := flagString(seen)
+		if !strings.HasPrefix(fs, "SYN ACK") {
+			t.Fatalf("seed %d: prefix = %q", seed, fs)
+		}
+		// The ClientHello must never arrive.
+		for _, s := range seen {
+			if s.PayloadLen > 0 {
+				t.Fatalf("seed %d: data packet leaked through the drop: %q", seed, fs)
+			}
+		}
+		switch {
+		case fs == "SYN ACK":
+			sawSilent = true
+		case strings.Contains(fs, "RST+ACK"):
+			sawRST = true
+		}
+	}
+	if !sawSilent || !sawRST {
+		t.Errorf("variants not exercised: silent=%v rst=%v", sawSilent, sawRST)
+	}
+}
+
+func TestHTTPResetSingleRST(t *testing.T) {
+	seen := runConn(t, []Policy{HTTPReset(matchAll)}, 5, httpSegment("blocked.tm.example"), tcpsim.BehaviorNormal)
+	fs := flagString(seen)
+	if fs != "SYN ACK RST" {
+		t.Errorf("sequence = %q, want SYN ACK RST", fs)
+	}
+}
+
+func TestAckGuessingRSTDifferentAcks(t *testing.T) {
+	seen := runConn(t, []Policy{AckGuessingRST(matchAll, true)}, 7, httpSegment("kr.example"), tcpsim.BehaviorNormal)
+	var acks []uint32
+	var ttls []uint8
+	for _, s := range seen {
+		if s.Flags.IsRST() {
+			acks = append(acks, s.Ack)
+			ttls = append(ttls, s.TTL)
+		}
+	}
+	if len(acks) < 2 {
+		t.Fatalf("want ≥2 RSTs, got %d: %q", len(acks), flagString(seen))
+	}
+	same := true
+	for _, a := range acks[1:] {
+		if a != acks[0] {
+			same = false
+		}
+	}
+	if same {
+		t.Errorf("ack-guessing RSTs all have the same ack: %v", acks)
+	}
+}
+
+func TestEnterpriseFirewallKeywordAfterData(t *testing.T) {
+	segments := []tcpsim.Segment{
+		{Data: httpwire.BuildRequest("GET", "intranet.example", "/ok", nil)},
+		{Data: httpwire.BuildRequest("GET", "intranet.example", "/forbidden-keyword", nil), AfterResponse: true},
+	}
+	seen := runConn(t, []Policy{EnterpriseFirewall("forbidden-keyword", true)}, 9, segments, tcpsim.BehaviorNormal)
+	fs := flagString(seen)
+	// Two data packets must precede the RST+ACK.
+	pshSeen := 0
+	rstIdx := -1
+	for i, s := range seen {
+		if s.Flags.Has(packet.FlagPSH) && s.PayloadLen > 0 {
+			pshSeen++
+		}
+		if s.Flags.IsRST() && rstIdx < 0 {
+			rstIdx = i
+		}
+	}
+	if pshSeen != 2 || rstIdx < 0 {
+		t.Fatalf("psh=%d rstIdx=%d seq=%q", pshSeen, rstIdx, fs)
+	}
+	if !seen[rstIdx].Flags.IsRSTACK() {
+		t.Errorf("tear-down flags = %v, want RST+ACK", seen[rstIdx].Flags)
+	}
+}
+
+func TestIPBlackholeSingleSYN(t *testing.T) {
+	seen := runConn(t, []Policy{IPBlackhole(ipAll)}, 11, tlsSegment("x.example"), tcpsim.BehaviorNormal)
+	if fs := flagString(seen); fs != "SYN" {
+		t.Errorf("sequence = %q, want single SYN", fs)
+	}
+}
+
+func TestIPResetRSTACK(t *testing.T) {
+	seen := runConn(t, []Policy{IPReset(ipAll, true, 1)}, 13, tlsSegment("x.example"), tcpsim.BehaviorNormal)
+	if fs := flagString(seen); fs != "SYN RST+ACK" {
+		t.Errorf("sequence = %q, want SYN RST+ACK", fs)
+	}
+}
+
+func TestTSPUVariants(t *testing.T) {
+	wants := []struct {
+		variant int
+		check   func(fs string) bool
+		desc    string
+	}{
+		{0, func(fs string) bool { return fs == "SYN ACK PSH+ACK" }, "blackhole after PSH"},
+		{1, func(fs string) bool {
+			return strings.HasPrefix(fs, "SYN ACK PSH+ACK") && strings.Contains(fs, "RST") && !strings.Contains(fs, "RST+ACK")
+		}, "single RST"},
+		{2, func(fs string) bool { return strings.Count(fs, "RST")-strings.Count(fs, "RST+ACK") >= 2 }, "double RST"},
+		{3, func(fs string) bool { return strings.HasPrefix(fs, "SYN ACK RST+ACK") }, "drop + RST+ACK"},
+		{4, func(fs string) bool {
+			return strings.HasPrefix(fs, "SYN ACK PSH+ACK") && strings.Contains(fs, "RST+ACK")
+		}, "forward + RST+ACK"},
+	}
+	for _, w := range wants {
+		seen := runConn(t, []Policy{TSPUVariant(matchAll, w.variant)}, 17, tlsSegment("ru.example"), tcpsim.BehaviorNormal)
+		if fs := flagString(seen); !w.check(fs) {
+			t.Errorf("variant %d (%s): sequence = %q", w.variant, w.desc, fs)
+		}
+	}
+}
+
+func TestIPIDCopyingCensor(t *testing.T) {
+	seen := runConn(t, []Policy{IPIDCopyingCensor(matchAll)}, 19, tlsSegment("kz.example"), tcpsim.BehaviorNormal)
+	var trig, inj *packet.Summary
+	for i := range seen {
+		if seen[i].PayloadLen > 0 && trig == nil {
+			trig = &seen[i]
+		}
+		if seen[i].Flags.IsRST() && inj == nil {
+			inj = &seen[i]
+		}
+	}
+	if trig == nil || inj == nil {
+		t.Fatalf("missing trigger or injection: %q", flagString(seen))
+	}
+	if inj.IPID != trig.IPID {
+		t.Errorf("injected IP-ID = %d, trigger = %d; want copied", inj.IPID, trig.IPID)
+	}
+}
+
+func TestInjectedIPIDRandomDiffersFromClient(t *testing.T) {
+	seen := runConn(t, []Policy{GFW(matchAll)}, 23, tlsSegment("cn.example"), tcpsim.BehaviorNormal)
+	var clientIDs []uint16
+	var injected []uint16
+	for _, s := range seen {
+		if s.Flags.IsRST() {
+			injected = append(injected, s.IPID)
+		} else {
+			clientIDs = append(clientIDs, s.IPID)
+		}
+	}
+	if len(injected) == 0 {
+		t.Fatal("no injections")
+	}
+	// Client IDs are a tight counter sequence near 1000; random
+	// injected IDs should (with overwhelming probability over the
+	// fixed seed) fall far away for at least one packet.
+	far := false
+	for _, id := range injected {
+		d := int(id) - int(clientIDs[0])
+		if d < 0 {
+			d = -d
+		}
+		if d > 100 {
+			far = true
+		}
+	}
+	if !far {
+		t.Errorf("injected IP-IDs %v suspiciously close to client's %v", injected, clientIDs)
+	}
+}
+
+func TestDomainOf(t *testing.T) {
+	tls := tlswire.BuildClientHello(tlswire.ClientHelloSpec{ServerName: "sni.example"})
+	if got := DomainOf(tls); got != "sni.example" {
+		t.Errorf("DomainOf(tls) = %q", got)
+	}
+	http := httpwire.BuildRequest("GET", "host.example", "/", nil)
+	if got := DomainOf(http); got != "host.example" {
+		t.Errorf("DomainOf(http) = %q", got)
+	}
+	if got := DomainOf([]byte("random bytes")); got != "" {
+		t.Errorf("DomainOf(garbage) = %q", got)
+	}
+}
+
+func TestEngineFlowExpiry(t *testing.T) {
+	sim := netsim.NewSim(0)
+	rng := rand.New(rand.NewPCG(1, 1))
+	eng := NewEngine(nil, rng, sim.Now)
+	// Feed a packet to create flow state.
+	w := newForgeWire(forgeProfile{
+		srcIP: netip.MustParseAddr("10.0.0.1"), dstIP: netip.MustParseAddr("10.0.0.2"),
+		sport: 1, dport: 2, ttl: 64,
+	})
+	eng.Process(netsim.ClientToServer, w.build(packet.FlagsSYN, 1, 0, nil), func(netsim.Direction, []byte) {})
+	if len(eng.flows) != 1 {
+		t.Fatalf("flows = %d, want 1", len(eng.flows))
+	}
+	sim.Schedule(10*time.Minute, func() {})
+	sim.Run(0)
+	eng.ExpireFlows(time.Minute)
+	if len(eng.flows) != 0 {
+		t.Errorf("flows = %d after expiry, want 0", len(eng.flows))
+	}
+}
+
+func TestEngineForwardsNonIP(t *testing.T) {
+	eng := NewEngine(nil, rand.New(rand.NewPCG(1, 1)), nil)
+	if !eng.Process(netsim.ClientToServer, []byte("garbage"), func(netsim.Direction, []byte) {}) {
+		t.Error("non-IP data dropped")
+	}
+}
+
+func TestPickActionWeights(t *testing.T) {
+	eng := NewEngine(nil, rand.New(rand.NewPCG(42, 42)), nil)
+	actions := []Action{{Weight: 0.9}, {Weight: 0.1, Blackhole: true}}
+	counts := [2]int{}
+	for i := 0; i < 5000; i++ {
+		a := eng.pickAction(actions, 0)
+		if a.Blackhole {
+			counts[1]++
+		} else {
+			counts[0]++
+		}
+	}
+	ratio := float64(counts[0]) / 5000
+	if ratio < 0.85 || ratio > 0.95 {
+		t.Errorf("weight-0.9 action picked %.3f of the time", ratio)
+	}
+}

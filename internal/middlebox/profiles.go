@@ -1,0 +1,306 @@
+package middlebox
+
+import (
+	"net/netip"
+
+	"tamperdetect/internal/packet"
+)
+
+// This file encodes the censor behaviours the paper observes or cites,
+// as policy constructors. Each profile produces the packet sequences
+// behind specific Table 1 signatures; the mapping is noted per profile.
+//
+// The profiles are parameterized by matcher functions so scenarios can
+// decide *what* is blocked while the profile decides *how*.
+
+// DomainMatcher gates content triggers.
+type DomainMatcher func(domain string) bool
+
+// IPMatcher gates destination-IP triggers.
+type IPMatcher func(dst netip.Addr) bool
+
+// rstBurst is shorthand for an InjectSpec with common defaults.
+func rstBurst(flags packet.TCPFlags, count int, ack AckMode, ttl uint8) InjectSpec {
+	return InjectSpec{Flags: flags, Count: count, Ack: ack, IPID: IPIDRandom, TTL: TTLFixed, TTLValue: ttl}
+}
+
+// GFW models China's Great Firewall: off-path, forwards the triggering
+// packet, and injects bursts of tear-down packets to both ends. The
+// multi-packet bursts with mixed RST / RST+ACK types reproduce
+// ⟨PSH+ACK → RST+ACK;RST+ACK⟩, ⟨PSH+ACK → RST;RST+ACK⟩,
+// ⟨PSH+ACK → RST;RST₀⟩ and ⟨PSH+ACK → RST⟩ (§4.1, Bock et al.).
+func GFW(match DomainMatcher) Policy {
+	return Policy{
+		Name:        "gfw",
+		Stage:       StageFirstData,
+		MatchDomain: match,
+		Actions: []Action{
+			{ // triple RST+ACK, the classic GFW burst
+				Weight:   0.40,
+				ToServer: []InjectSpec{rstBurst(packet.FlagsRSTACK, 3, AckEcho, 64)},
+				ToClient: []InjectSpec{rstBurst(packet.FlagsRSTACK, 3, AckEcho, 64)},
+			},
+			{ // RST then RST+ACKs (the "double censor" stack)
+				Weight: 0.30,
+				ToServer: []InjectSpec{
+					rstBurst(packet.FlagsRST, 1, AckEcho, 64),
+					rstBurst(packet.FlagsRSTACK, 2, AckEcho, 64),
+				},
+				ToClient: []InjectSpec{rstBurst(packet.FlagsRSTACK, 2, AckEcho, 64)},
+			},
+			{ // two bare RSTs, second with a zeroed ack field
+				Weight: 0.18,
+				ToServer: []InjectSpec{
+					rstBurst(packet.FlagsRST, 1, AckEcho, 64),
+					rstBurst(packet.FlagsRST, 1, AckZero, 64),
+				},
+				ToClient: []InjectSpec{rstBurst(packet.FlagsRST, 1, AckEcho, 64)},
+			},
+			{ // single RST (burst truncated by loss or older boxes)
+				Weight:   0.12,
+				ToServer: []InjectSpec{rstBurst(packet.FlagsRST, 1, AckEcho, 64)},
+				ToClient: []InjectSpec{rstBurst(packet.FlagsRST, 1, AckEcho, 64)},
+			},
+		},
+	}
+}
+
+// GFWIPBlock models the GFW's IP-level blocking of known endpoints:
+// triggers on the SYN and injects both a RST and a RST+ACK, producing
+// ⟨SYN → RST;RST+ACK⟩ (Bock et al. 2021).
+func GFWIPBlock(match IPMatcher) Policy {
+	return Policy{
+		Name:    "gfw-ip",
+		Stage:   StageSYN,
+		MatchIP: match,
+		Actions: []Action{{
+			ToServer: []InjectSpec{
+				rstBurst(packet.FlagsRST, 1, AckEcho, 64),
+				rstBurst(packet.FlagsRSTACK, 1, AckEcho, 64),
+			},
+			ToClient: []InjectSpec{
+				rstBurst(packet.FlagsRST, 1, AckEcho, 64),
+				rstBurst(packet.FlagsRSTACK, 1, AckEcho, 64),
+			},
+		}},
+	}
+}
+
+// IranDPI models Iran's filtering as observed by Aryan et al. and
+// Basso: the offending ClientHello is dropped in-path; some deployments
+// additionally inject RST+ACKs toward the server. Because the first
+// data packet never arrives, the server-side view is
+// ⟨SYN;ACK → ∅⟩, ⟨SYN;ACK → RST+ACK⟩, or
+// ⟨SYN;ACK → RST+ACK;RST+ACK⟩.
+func IranDPI(match DomainMatcher) Policy {
+	return Policy{
+		Name:        "iran-dpi",
+		Stage:       StageFirstData,
+		MatchDomain: match,
+		Actions: []Action{
+			{Weight: 0.55, DropTriggering: true, Blackhole: true}, // silent drop
+			{
+				Weight: 0.25, DropTriggering: true, Blackhole: true,
+				ToServer: []InjectSpec{rstBurst(packet.FlagsRSTACK, 1, AckEcho, 128)},
+				ToClient: []InjectSpec{rstBurst(packet.FlagsRSTACK, 1, AckEcho, 128)},
+			},
+			{
+				Weight: 0.20, DropTriggering: true, Blackhole: true,
+				ToServer: []InjectSpec{rstBurst(packet.FlagsRSTACK, 2, AckEcho, 128)},
+				ToClient: []InjectSpec{rstBurst(packet.FlagsRSTACK, 1, AckEcho, 128)},
+			},
+		},
+	}
+}
+
+// HTTPReset models Turkmenistan-style HTTP blocking (Nourin et al.):
+// the offending request is dropped and exactly one bare RST is sent to
+// the server — ⟨SYN;ACK → RST⟩ at the server, in huge volumes.
+func HTTPReset(match DomainMatcher) Policy {
+	return Policy{
+		Name:        "http-reset",
+		Stage:       StageFirstData,
+		MatchDomain: match,
+		Actions: []Action{{
+			DropTriggering: true, Blackhole: true,
+			ToServer: []InjectSpec{rstBurst(packet.FlagsRST, 1, AckEcho, 255)},
+			ToClient: []InjectSpec{rstBurst(packet.FlagsRST, 1, AckEcho, 255)},
+		}},
+	}
+}
+
+// PostHandshakeMultiRST models censors that drop the request and send
+// more than one bare RST — ⟨SYN;ACK → RST;RST⟩.
+func PostHandshakeMultiRST(match DomainMatcher) Policy {
+	return Policy{
+		Name:        "post-ack-multi-rst",
+		Stage:       StageFirstData,
+		MatchDomain: match,
+		Actions: []Action{{
+			DropTriggering: true, Blackhole: true,
+			ToServer: []InjectSpec{rstBurst(packet.FlagsRST, 2, AckEcho, 60)},
+			ToClient: []InjectSpec{rstBurst(packet.FlagsRST, 2, AckEcho, 60)},
+		}},
+	}
+}
+
+// TSPUVariant models one deployment of Russia's decentralized TSPU
+// boxes (Xue et al.): each ISP's configuration differs, so the variant
+// index selects among drop, single-RST, and same-ack double-RST
+// behaviours, letting scenarios assign different variants per AS. The
+// trigger packet is forwarded by some variants (→ Post-PSH signatures)
+// and dropped by others (→ Post-ACK signatures).
+func TSPUVariant(match DomainMatcher, variant int) Policy {
+	actions := [][]Action{
+		{ // variant 0: in-path blackhole after the trigger passes: ⟨PSH+ACK → ∅⟩
+			{Blackhole: true},
+		},
+		{ // variant 1: forward trigger, single bare RST: ⟨PSH+ACK → RST⟩
+			{ToServer: []InjectSpec{rstBurst(packet.FlagsRST, 1, AckEcho, 64)},
+				ToClient: []InjectSpec{rstBurst(packet.FlagsRST, 1, AckEcho, 64)}},
+		},
+		{ // variant 2: two identical-ack RSTs: ⟨PSH+ACK → RST=RST⟩
+			{ToServer: []InjectSpec{rstBurst(packet.FlagsRST, 2, AckEcho, 64)},
+				ToClient: []InjectSpec{rstBurst(packet.FlagsRST, 1, AckEcho, 64)}},
+		},
+		{ // variant 3: drop + single RST+ACK: ⟨SYN;ACK → RST+ACK⟩
+			{DropTriggering: true, Blackhole: true,
+				ToServer: []InjectSpec{rstBurst(packet.FlagsRSTACK, 1, AckEcho, 64)},
+				ToClient: []InjectSpec{rstBurst(packet.FlagsRSTACK, 1, AckEcho, 64)}},
+		},
+		{ // variant 4: forward trigger, single RST+ACK: ⟨PSH+ACK → RST+ACK⟩
+			{ToServer: []InjectSpec{rstBurst(packet.FlagsRSTACK, 1, AckEcho, 64)},
+				ToClient: []InjectSpec{rstBurst(packet.FlagsRSTACK, 1, AckEcho, 64)}},
+		},
+	}
+	return Policy{
+		Name:        "tspu",
+		Stage:       StageFirstData,
+		MatchDomain: match,
+		Actions:     actions[variant%len(actions)],
+	}
+}
+
+// AckGuessingRST models the middleboxes Weaver et al. identified that
+// inject several RSTs guessing successive acknowledgment numbers, with
+// the South Korean randomized-TTL flavour from §4.3 —
+// ⟨PSH+ACK → RST≠RST⟩ with near-uniform TTL deltas.
+func AckGuessingRST(match DomainMatcher, randomTTL bool) Policy {
+	spec := InjectSpec{
+		Flags: packet.FlagsRST, Count: 3, Ack: AckGuess, IPID: IPIDRandom,
+		SeqJitter: true,
+	}
+	if randomTTL {
+		spec.TTL = TTLRandom
+		spec.TTLMin = 20
+		spec.TTLMax = 250
+	} else {
+		spec.TTL = TTLFixed
+		spec.TTLValue = 128
+	}
+	return Policy{
+		Name:        "ack-guess",
+		Stage:       StageFirstData,
+		MatchDomain: match,
+		Actions: []Action{{
+			ToServer: []InjectSpec{spec},
+			ToClient: []InjectSpec{rstBurst(packet.FlagsRST, 1, AckEcho, 128)},
+		}},
+	}
+}
+
+// EnterpriseFirewall models commercial devices (filtering appliances,
+// §4.1/§5.1) that watch whole sessions — often with TLS visibility —
+// and reset on keywords that may appear after multiple data packets:
+// ⟨PSH+ACK;Data → RST⟩ / ⟨PSH+ACK;Data → RST+ACK⟩.
+func EnterpriseFirewall(keyword string, rstack bool) Policy {
+	flags := packet.FlagsRST
+	if rstack {
+		flags = packet.FlagsRSTACK
+	}
+	return Policy{
+		Name:    "enterprise-fw",
+		Stage:   StageAnyData,
+		Keyword: keyword,
+		Actions: []Action{{
+			ToServer: []InjectSpec{{Flags: flags, Count: 1, Ack: AckEcho, IPID: IPIDRandom, TTL: TTLFixed, TTLValue: 128}},
+			ToClient: []InjectSpec{{Flags: flags, Count: 1, Ack: AckEcho, IPID: IPIDRandom, TTL: TTLFixed, TTLValue: 128}},
+		}},
+	}
+}
+
+// IPBlackhole models in-path IP blocking that lets the first SYN reach
+// the server and then drops everything — ⟨SYN → ∅⟩ (the paper's
+// single-SYN signature; the SYN+ACK and all retransmissions die).
+func IPBlackhole(match IPMatcher) Policy {
+	return Policy{
+		Name:    "ip-blackhole",
+		Stage:   StageSYN,
+		MatchIP: match,
+		Actions: []Action{{Blackhole: true}},
+	}
+}
+
+// IPReset models IP blocking by RST injection on the SYN:
+// ⟨SYN → RST⟩ or ⟨SYN → RST+ACK⟩ depending on rstack.
+func IPReset(match IPMatcher, rstack bool, count int) Policy {
+	flags := packet.FlagsRST
+	if rstack {
+		flags = packet.FlagsRSTACK
+	}
+	return Policy{
+		Name:    "ip-reset",
+		Stage:   StageSYN,
+		MatchIP: match,
+		Actions: []Action{{
+			Blackhole: true,
+			ToServer:  []InjectSpec{rstBurst(flags, count, AckEcho, 255)},
+			ToClient:  []InjectSpec{rstBurst(flags, count, AckEcho, 255)},
+		}},
+	}
+}
+
+// IPIDCopyingCensor models censors that copy the client's IP-ID into
+// injected packets (§4.3 cites these as the reason absent IP-ID
+// evidence does not disprove tampering).
+func IPIDCopyingCensor(match DomainMatcher) Policy {
+	return Policy{
+		Name:        "ipid-copy",
+		Stage:       StageFirstData,
+		MatchDomain: match,
+		Actions: []Action{{
+			ToServer: []InjectSpec{{Flags: packet.FlagsRSTACK, Count: 1, Ack: AckEcho, IPID: IPIDCopy, TTL: TTLFixed, TTLValue: 64}},
+			ToClient: []InjectSpec{{Flags: packet.FlagsRSTACK, Count: 1, Ack: AckEcho, IPID: IPIDCopy, TTL: TTLFixed, TTLValue: 64}},
+		}},
+	}
+}
+
+// BlockPageInjector models the footnote-2 middleboxes that serve the
+// client a block page: on trigger they inject an HTTP 403 response
+// toward the client (so the user sees "blocked") followed by a FIN,
+// and tear the server side down with a RST. Server-side this is
+// indistinguishable from plain RST injection — ⟨PSH+ACK → RST⟩ — which
+// is why the paper folds these middleboxes into the RST signatures.
+func BlockPageInjector(match DomainMatcher, blockPage string) Policy {
+	if blockPage == "" {
+		blockPage = "HTTP/1.1 403 Forbidden\r\nContent-Length: 14\r\n\r\nAccess denied."
+	}
+	return Policy{
+		Name:        "block-page",
+		Stage:       StageFirstData,
+		MatchDomain: match,
+		Actions: []Action{{
+			DropTriggering: false,
+			Blackhole:      true, // the real response must not reach the client
+			ToServer: []InjectSpec{
+				rstBurst(packet.FlagsRST, 1, AckEcho, 64),
+			},
+			ToClient: []InjectSpec{
+				{Flags: packet.FlagsPSHACK, Count: 1, Ack: AckEcho, IPID: IPIDRandom,
+					TTL: TTLFixed, TTLValue: 64, Payload: []byte(blockPage)},
+				{Flags: packet.FlagsFINACK, Count: 1, Ack: AckEcho, IPID: IPIDRandom,
+					TTL: TTLFixed, TTLValue: 64, PayloadOffset: len(blockPage)},
+			},
+		}},
+	}
+}

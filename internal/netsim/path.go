@@ -1,0 +1,192 @@
+package netsim
+
+import (
+	"time"
+
+	"tamperdetect/internal/packet"
+)
+
+// Direction of packet travel on a path.
+type Direction int
+
+// Path directions.
+const (
+	ClientToServer Direction = iota
+	ServerToClient
+)
+
+// Reverse returns the opposite direction.
+func (d Direction) Reverse() Direction { return 1 - d }
+
+// String names the direction.
+func (d Direction) String() string {
+	if d == ClientToServer {
+		return "client->server"
+	}
+	return "server->client"
+}
+
+// Endpoint receives raw IP packets delivered by a path.
+type Endpoint interface {
+	// Recv handles a packet that arrived at this endpoint. The slice
+	// is owned by the endpoint after the call.
+	Recv(data []byte)
+}
+
+// EndpointFunc adapts a function to the Endpoint interface.
+type EndpointFunc func(data []byte)
+
+// Recv implements Endpoint.
+func (f EndpointFunc) Recv(data []byte) { f(data) }
+
+// Middlebox observes and may tamper with packets traversing a path
+// position. Implementations decode the raw bytes themselves — the path
+// hands over exactly what is on the wire at that hop.
+type Middlebox interface {
+	// Process is called when a packet reaches the middlebox. Returning
+	// false drops the packet. inject sends a forged packet onward from
+	// the middlebox's position in the given direction; injected bytes
+	// are owned by the path afterwards.
+	Process(dir Direction, data []byte, inject func(dir Direction, data []byte)) (forward bool)
+}
+
+// Segment is one stretch of a path: a propagation delay and the number
+// of router hops traversed (each hop decrements the TTL).
+type Segment struct {
+	Delay time.Duration
+	Hops  uint8
+}
+
+// PathConfig describes a client↔server path with optional middleboxes.
+// Segments has exactly len(Middleboxes)+1 entries: client—mb1—…—server.
+type PathConfig struct {
+	Segments    []Segment
+	Middleboxes []Middlebox
+	// Loss is the independent per-segment packet loss probability in
+	// [0,1); Rand supplies the randomness when Loss > 0.
+	Loss float64
+	Rand func() float64
+}
+
+// Path carries packets between a client and a server endpoint through
+// middleboxes, applying per-segment delay and TTL decrements. A Tap, if
+// set, observes every packet that arrives at the server (the CDN edge's
+// inbound logging position, per paper §3.2: only inbound packets are
+// logged).
+type Path struct {
+	sim    *Sim
+	cfg    PathConfig
+	client Endpoint
+	server Endpoint
+	// Tap observes packets arriving at the server, before the server
+	// endpoint handles them.
+	Tap func(at Time, data []byte)
+	// Down, when true, drops everything in both directions (used to
+	// model shutdown-style outages).
+	Down bool
+}
+
+// NewPath wires a client and server together. cfg.Segments must have
+// len(cfg.Middleboxes)+1 entries; NewPath panics otherwise, since this
+// is a static topology error.
+func NewPath(sim *Sim, cfg PathConfig, client, server Endpoint) *Path {
+	if len(cfg.Segments) != len(cfg.Middleboxes)+1 {
+		panic("netsim: PathConfig needs len(Segments) == len(Middleboxes)+1")
+	}
+	return &Path{sim: sim, cfg: cfg, client: client, server: server}
+}
+
+// SendFromClient injects a packet at the client end of the path.
+func (p *Path) SendFromClient(data []byte) { p.send(ClientToServer, 0, data) }
+
+// SendFromServer injects a packet at the server end of the path.
+func (p *Path) SendFromServer(data []byte) { p.send(ServerToClient, 0, data) }
+
+// position semantics: positions are segment indexes in the direction of
+// travel. For ClientToServer, position i means "about to traverse
+// cfg.Segments[i]"; after the last segment the packet reaches the
+// server. ServerToClient mirrors this from the other end.
+
+func (p *Path) send(dir Direction, pos int, data []byte) {
+	if p.Down {
+		return
+	}
+	seg := p.segmentAt(dir, pos)
+	if p.cfg.Loss > 0 && p.cfg.Rand != nil && p.cfg.Rand() < p.cfg.Loss {
+		return
+	}
+	p.sim.Schedule(seg.Delay, func() {
+		if p.Down {
+			return
+		}
+		if !packet.DecrementTTL(data, seg.Hops) {
+			return // TTL expired in transit
+		}
+		next := pos + 1
+		if next == len(p.cfg.Segments) {
+			p.arrive(dir, data)
+			return
+		}
+		mb := p.middleboxAt(dir, next)
+		// Injections are dispatched after the forwarding decision so a
+		// forged packet never overtakes the packet that triggered it —
+		// matching off-path injectors, which race behind the original.
+		type injection struct {
+			dir  Direction
+			data []byte
+		}
+		var injected []injection
+		forward := mb.Process(dir, data, func(injDir Direction, inj []byte) {
+			injected = append(injected, injection{injDir, inj})
+		})
+		if forward {
+			p.send(dir, next, data)
+		}
+		for _, in := range injected {
+			p.injectFrom(dir, next, in.dir, in.data)
+		}
+	})
+}
+
+// injectFrom sends a forged packet from the middlebox boundary at
+// travel-position next (in the original packet's direction dir), going
+// in injDir.
+func (p *Path) injectFrom(dir Direction, next int, injDir Direction, inj []byte) {
+	// Convert the position to the injected packet's own direction.
+	// In direction dir, boundary "next" has next segments behind it and
+	// len-next segments ahead.
+	var pos int
+	if injDir == dir {
+		pos = next
+	} else {
+		pos = len(p.cfg.Segments) - next
+	}
+	p.send(injDir, pos, inj)
+}
+
+func (p *Path) segmentAt(dir Direction, pos int) Segment {
+	if dir == ClientToServer {
+		return p.cfg.Segments[pos]
+	}
+	return p.cfg.Segments[len(p.cfg.Segments)-1-pos]
+}
+
+func (p *Path) middleboxAt(dir Direction, next int) Middlebox {
+	// After traversing segment index pos (direction-relative), the
+	// packet is at middlebox boundary "next" (1-based from the sender).
+	if dir == ClientToServer {
+		return p.cfg.Middleboxes[next-1]
+	}
+	return p.cfg.Middleboxes[len(p.cfg.Middleboxes)-next]
+}
+
+func (p *Path) arrive(dir Direction, data []byte) {
+	if dir == ClientToServer {
+		if p.Tap != nil {
+			p.Tap(p.sim.Now(), data)
+		}
+		p.server.Recv(data)
+		return
+	}
+	p.client.Recv(data)
+}

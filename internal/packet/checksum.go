@@ -1,0 +1,66 @@
+package packet
+
+import "net/netip"
+
+// onesSum accumulates the 16-bit one's-complement sum over data into acc.
+// A trailing odd byte is padded with zero, per RFC 1071.
+func onesSum(acc uint32, data []byte) uint32 {
+	n := len(data)
+	for i := 0; i+1 < n; i += 2 {
+		acc += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if n%2 == 1 {
+		acc += uint32(data[n-1]) << 8
+	}
+	return acc
+}
+
+// foldChecksum folds a 32-bit accumulator into the final 16-bit
+// one's-complement checksum.
+func foldChecksum(acc uint32) uint16 {
+	for acc > 0xffff {
+		acc = (acc >> 16) + (acc & 0xffff)
+	}
+	return ^uint16(acc)
+}
+
+// ipv4HeaderChecksum computes the IPv4 header checksum over hdr with the
+// checksum field (bytes 10-11) treated as zero.
+func ipv4HeaderChecksum(hdr []byte) uint16 {
+	acc := onesSum(0, hdr[:10])
+	acc = onesSum(acc, hdr[12:])
+	return foldChecksum(acc)
+}
+
+// pseudoHeaderSum returns the one's-complement sum of the TCP/UDP
+// pseudo-header for the given address pair, protocol, and segment length.
+// It handles both IPv4 (RFC 793) and IPv6 (RFC 8200) pseudo-headers.
+func pseudoHeaderSum(src, dst netip.Addr, protocol uint8, length int) uint32 {
+	var acc uint32
+	if src.Is4() && dst.Is4() {
+		s, d := src.As4(), dst.As4()
+		acc = onesSum(acc, s[:])
+		acc = onesSum(acc, d[:])
+		acc += uint32(protocol)
+		acc += uint32(length)
+		return acc
+	}
+	s, d := src.As16(), dst.As16()
+	acc = onesSum(acc, s[:])
+	acc = onesSum(acc, d[:])
+	acc += uint32(length >> 16)
+	acc += uint32(length & 0xffff)
+	acc += uint32(protocol)
+	return acc
+}
+
+// tcpChecksum computes the TCP checksum for segment (header+payload with
+// the checksum field zeroed) between src and dst.
+func tcpChecksum(src, dst netip.Addr, segment []byte) uint16 {
+	acc := pseudoHeaderSum(src, dst, protoTCP, len(segment))
+	acc = onesSum(acc, segment)
+	return foldChecksum(acc)
+}
+
+// protoTCP is the IP protocol number for TCP.
+const protoTCP = 6

@@ -1,0 +1,75 @@
+package packet
+
+import "strings"
+
+// TCPFlags is the 8-bit TCP flag field (plus NS is omitted; the modern
+// header reserves it and no tampering signature uses it).
+type TCPFlags uint8
+
+// Individual TCP flags in wire order (low bit first).
+const (
+	FlagFIN TCPFlags = 1 << iota
+	FlagSYN
+	FlagRST
+	FlagPSH
+	FlagACK
+	FlagURG
+	FlagECE
+	FlagCWR
+)
+
+// Common flag combinations used throughout the simulator and classifier.
+const (
+	FlagsSYN    = FlagSYN
+	FlagsSYNACK = FlagSYN | FlagACK
+	FlagsACK    = FlagACK
+	FlagsPSHACK = FlagPSH | FlagACK
+	FlagsFINACK = FlagFIN | FlagACK
+	FlagsRST    = FlagRST
+	FlagsRSTACK = FlagRST | FlagACK
+)
+
+// Has reports whether every flag in mask is set.
+func (f TCPFlags) Has(mask TCPFlags) bool { return f&mask == mask }
+
+// HasAny reports whether any flag in mask is set.
+func (f TCPFlags) HasAny(mask TCPFlags) bool { return f&mask != 0 }
+
+// IsRST reports whether the RST bit is set (with or without ACK).
+func (f TCPFlags) IsRST() bool { return f&FlagRST != 0 }
+
+// IsRSTOnly reports whether the packet is a bare RST: RST set, ACK clear.
+func (f TCPFlags) IsRSTOnly() bool { return f&FlagRST != 0 && f&FlagACK == 0 }
+
+// IsRSTACK reports whether both RST and ACK are set.
+func (f TCPFlags) IsRSTACK() bool { return f.Has(FlagRST | FlagACK) }
+
+// String renders the flags in the conventional "SYN+ACK" notation.
+func (f TCPFlags) String() string {
+	if f == 0 {
+		return "NONE"
+	}
+	names := []struct {
+		bit  TCPFlags
+		name string
+	}{
+		{FlagSYN, "SYN"},
+		{FlagRST, "RST"},
+		{FlagFIN, "FIN"},
+		{FlagPSH, "PSH"},
+		{FlagACK, "ACK"},
+		{FlagURG, "URG"},
+		{FlagECE, "ECE"},
+		{FlagCWR, "CWR"},
+	}
+	var b strings.Builder
+	for _, n := range names {
+		if f&n.bit != 0 {
+			if b.Len() > 0 {
+				b.WriteByte('+')
+			}
+			b.WriteString(n.name)
+		}
+	}
+	return b.String()
+}

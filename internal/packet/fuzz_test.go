@@ -1,0 +1,80 @@
+package packet
+
+import (
+	"net/netip"
+	"testing"
+)
+
+// FuzzSummaryParse exercises the full IP+TCP decode path with
+// arbitrary bytes; it must never panic, and accepted packets must have
+// coherent lengths.
+func FuzzSummaryParse(f *testing.F) {
+	// Seed with a valid IPv4+TCP packet.
+	buf := NewSerializeBuffer()
+	ip := IPv4{TTL: 64, ID: 1, Protocol: 6,
+		SrcIP: mustSeedAddr("10.0.0.1"), DstIP: mustSeedAddr("10.0.0.2")}
+	tcp := TCP{SrcPort: 1, DstPort: 443, Flags: FlagsPSHACK}
+	tcp.SetNetworkLayerForChecksum(&ip)
+	if err := SerializeLayers(buf, SerializeOptions{FixLengths: true, ComputeChecksums: true},
+		&ip, &tcp, Payload("seed")); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append([]byte(nil), buf.Bytes()...))
+	f.Add([]byte{0x45})
+	f.Add([]byte{0x60, 0, 0, 0})
+	f.Add([]byte{})
+
+	p := NewSummaryParser()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Summary
+		if err := p.Parse(data, &s); err != nil {
+			return
+		}
+		if s.PayloadLen != len(s.Payload) {
+			t.Fatalf("payload length mismatch: %d vs %d", s.PayloadLen, len(s.Payload))
+		}
+		if s.IPVersion != 4 && s.IPVersion != 6 {
+			t.Fatalf("accepted packet with version %d", s.IPVersion)
+		}
+	})
+}
+
+// FuzzDecrementTTL checks the incremental checksum patch stays
+// consistent on arbitrary inputs.
+func FuzzDecrementTTL(f *testing.F) {
+	buf := NewSerializeBuffer()
+	ip := IPv4{TTL: 64, ID: 2, Protocol: 6,
+		SrcIP: mustSeedAddr("10.0.0.3"), DstIP: mustSeedAddr("10.0.0.4")}
+	tcp := TCP{SrcPort: 9, DstPort: 99, Flags: FlagsSYN}
+	tcp.SetNetworkLayerForChecksum(&ip)
+	if err := SerializeLayers(buf, SerializeOptions{FixLengths: true, ComputeChecksums: true}, &ip, &tcp); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append([]byte(nil), buf.Bytes()...), uint8(3))
+	f.Fuzz(func(t *testing.T, data []byte, n uint8) {
+		cp := append([]byte(nil), data...)
+		ok := DecrementTTL(cp, n)
+		if !ok {
+			return
+		}
+		if IPVersion(cp) == 4 && len(cp) >= 20 {
+			// The patched header checksum must be internally consistent
+			// whenever the original was.
+			var orig IPv4
+			if err := orig.DecodeFromBytes(data); err == nil &&
+				ipv4HeaderChecksum(data[:int(orig.IHL)*4]) == orig.Checksum {
+				var out IPv4
+				if err := out.DecodeFromBytes(cp); err != nil {
+					t.Fatalf("patched packet undecodable: %v", err)
+				}
+				if got := ipv4HeaderChecksum(cp[:int(out.IHL)*4]); got != out.Checksum {
+					t.Fatalf("patched checksum inconsistent: %#x vs %#x", out.Checksum, got)
+				}
+			}
+		}
+	})
+}
+
+func mustSeedAddr(s string) netip.Addr {
+	return netip.MustParseAddr(s)
+}

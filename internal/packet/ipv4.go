@@ -1,0 +1,120 @@
+package packet
+
+import (
+	"encoding/binary"
+	"net/netip"
+)
+
+// IPv4 is the Internet Protocol version 4 header (RFC 791).
+type IPv4 struct {
+	Version    uint8 // always 4 on decode; filled on serialize
+	IHL        uint8 // header length in 32-bit words
+	TOS        uint8
+	Length     uint16 // total length, header + payload
+	ID         uint16 // identification field; key tampering evidence
+	Flags      uint8  // 3-bit flags (bit 1 = DF, bit 0 = MF of the 3-bit field)
+	FragOffset uint16 // 13-bit fragment offset
+	TTL        uint8  // time to live; key tampering evidence
+	Protocol   uint8  // payload protocol (6 = TCP)
+	Checksum   uint16
+	SrcIP      netip.Addr
+	DstIP      netip.Addr
+	Options    []byte // raw options, if any
+
+	payload []byte
+}
+
+// IPv4 flag bits within the 3-bit flags field.
+const (
+	IPv4DontFragment  = 0b010
+	IPv4MoreFragments = 0b001
+)
+
+// LayerType implements DecodingLayer.
+func (*IPv4) LayerType() LayerType { return LayerTypeIPv4 }
+
+// NextLayerType maps the protocol field to a known layer.
+func (ip *IPv4) NextLayerType() LayerType {
+	if ip.Protocol == protoTCP {
+		return LayerTypeTCP
+	}
+	return LayerTypePayload
+}
+
+// LayerPayload returns the bytes after the IPv4 header, truncated to the
+// header's total-length field when the buffer is longer.
+func (ip *IPv4) LayerPayload() []byte { return ip.payload }
+
+// DecodeFromBytes parses an IPv4 header. The payload slice references
+// data; the caller must keep data immutable.
+func (ip *IPv4) DecodeFromBytes(data []byte) error {
+	if len(data) < 20 {
+		return ErrTruncated
+	}
+	ip.Version = data[0] >> 4
+	if ip.Version != 4 {
+		return ErrVersion
+	}
+	ip.IHL = data[0] & 0x0f
+	hlen := int(ip.IHL) * 4
+	if hlen < 20 || hlen > len(data) {
+		return ErrHeaderLen
+	}
+	ip.TOS = data[1]
+	ip.Length = binary.BigEndian.Uint16(data[2:4])
+	ip.ID = binary.BigEndian.Uint16(data[4:6])
+	ff := binary.BigEndian.Uint16(data[6:8])
+	ip.Flags = uint8(ff >> 13)
+	ip.FragOffset = ff & 0x1fff
+	ip.TTL = data[8]
+	ip.Protocol = data[9]
+	ip.Checksum = binary.BigEndian.Uint16(data[10:12])
+	ip.SrcIP = netip.AddrFrom4([4]byte(data[12:16]))
+	ip.DstIP = netip.AddrFrom4([4]byte(data[16:20]))
+	if hlen > 20 {
+		ip.Options = data[20:hlen]
+	} else {
+		ip.Options = nil
+	}
+	end := len(data)
+	if int(ip.Length) >= hlen && int(ip.Length) < end {
+		end = int(ip.Length)
+	}
+	ip.payload = data[hlen:end]
+	return nil
+}
+
+// SerializeTo prepends the IPv4 header onto b. With opts.FixLengths the
+// total length and IHL are computed; with opts.ComputeChecksums the
+// header checksum is computed.
+func (ip *IPv4) SerializeTo(b *SerializeBuffer, opts SerializeOptions) error {
+	optLen := (len(ip.Options) + 3) &^ 3 // pad to 32-bit boundary
+	hlen := 20 + optLen
+	payloadLen := b.Len()
+	hdr := b.PrependBytes(hlen)
+	if opts.FixLengths {
+		ip.IHL = uint8(hlen / 4)
+		ip.Length = uint16(hlen + payloadLen)
+	}
+	ip.Version = 4
+	hdr[0] = 4<<4 | ip.IHL
+	hdr[1] = ip.TOS
+	binary.BigEndian.PutUint16(hdr[2:4], ip.Length)
+	binary.BigEndian.PutUint16(hdr[4:6], ip.ID)
+	binary.BigEndian.PutUint16(hdr[6:8], uint16(ip.Flags)<<13|ip.FragOffset&0x1fff)
+	hdr[8] = ip.TTL
+	hdr[9] = ip.Protocol
+	hdr[10], hdr[11] = 0, 0
+	src, dst := ip.SrcIP.As4(), ip.DstIP.As4()
+	copy(hdr[12:16], src[:])
+	copy(hdr[16:20], dst[:])
+	for i := range hdr[20:] {
+		hdr[20+i] = 0
+	}
+	copy(hdr[20:], ip.Options)
+	if opts.ComputeChecksums {
+		ip.Checksum = ipv4HeaderChecksum(hdr)
+	}
+	binary.BigEndian.PutUint16(hdr[10:12], ip.Checksum)
+	return nil
+}

@@ -1,0 +1,83 @@
+package packet
+
+import (
+	"encoding/binary"
+	"net/netip"
+)
+
+// IPv6 is the Internet Protocol version 6 fixed header (RFC 8200).
+// Extension headers other than the payload are not modelled; the
+// simulator never emits them and real captures with them decode to a
+// Payload next-layer.
+type IPv6 struct {
+	Version      uint8
+	TrafficClass uint8
+	FlowLabel    uint32
+	Length       uint16 // payload length
+	NextHeader   uint8
+	HopLimit     uint8 // the IPv6 analogue of TTL; key tampering evidence
+	SrcIP        netip.Addr
+	DstIP        netip.Addr
+
+	payload []byte
+}
+
+// LayerType implements DecodingLayer.
+func (*IPv6) LayerType() LayerType { return LayerTypeIPv6 }
+
+// NextLayerType maps the next-header field to a known layer.
+func (ip *IPv6) NextLayerType() LayerType {
+	if ip.NextHeader == protoTCP {
+		return LayerTypeTCP
+	}
+	return LayerTypePayload
+}
+
+// LayerPayload returns the bytes after the fixed header, truncated to
+// the payload-length field when the buffer is longer.
+func (ip *IPv6) LayerPayload() []byte { return ip.payload }
+
+// DecodeFromBytes parses an IPv6 fixed header.
+func (ip *IPv6) DecodeFromBytes(data []byte) error {
+	if len(data) < 40 {
+		return ErrTruncated
+	}
+	ip.Version = data[0] >> 4
+	if ip.Version != 6 {
+		return ErrVersion
+	}
+	ip.TrafficClass = data[0]<<4 | data[1]>>4
+	ip.FlowLabel = uint32(data[1]&0x0f)<<16 | uint32(data[2])<<8 | uint32(data[3])
+	ip.Length = binary.BigEndian.Uint16(data[4:6])
+	ip.NextHeader = data[6]
+	ip.HopLimit = data[7]
+	ip.SrcIP = netip.AddrFrom16([16]byte(data[8:24]))
+	ip.DstIP = netip.AddrFrom16([16]byte(data[24:40]))
+	end := len(data)
+	if int(ip.Length)+40 < end {
+		end = int(ip.Length) + 40
+	}
+	ip.payload = data[40:end]
+	return nil
+}
+
+// SerializeTo prepends the IPv6 fixed header onto b.
+func (ip *IPv6) SerializeTo(b *SerializeBuffer, opts SerializeOptions) error {
+	payloadLen := b.Len()
+	hdr := b.PrependBytes(40)
+	if opts.FixLengths {
+		ip.Length = uint16(payloadLen)
+	}
+	ip.Version = 6
+	hdr[0] = 6<<4 | ip.TrafficClass>>4
+	hdr[1] = ip.TrafficClass<<4 | uint8(ip.FlowLabel>>16)&0x0f
+	hdr[2] = uint8(ip.FlowLabel >> 8)
+	hdr[3] = uint8(ip.FlowLabel)
+	binary.BigEndian.PutUint16(hdr[4:6], ip.Length)
+	hdr[6] = ip.NextHeader
+	hdr[7] = ip.HopLimit
+	src, dst := ip.SrcIP.As16(), ip.DstIP.As16()
+	copy(hdr[8:24], src[:])
+	copy(hdr[24:40], dst[:])
+	return nil
+}

@@ -1,0 +1,95 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestIPv6RoundTrip(t *testing.T) {
+	in := IPv6{
+		TrafficClass: 0xb8,
+		FlowLabel:    0xabcde,
+		NextHeader:   protoTCP,
+		HopLimit:     64,
+		SrcIP:        mustAddr(t, "2001:db8::1"),
+		DstIP:        mustAddr(t, "2001:db8:ffff::2"),
+	}
+	payload := Payload([]byte("v6 payload"))
+	wire := serialize(t, &in, payload)
+
+	var out IPv6
+	if err := out.DecodeFromBytes(wire); err != nil {
+		t.Fatalf("DecodeFromBytes: %v", err)
+	}
+	if out.Version != 6 {
+		t.Errorf("version = %d, want 6", out.Version)
+	}
+	if out.TrafficClass != in.TrafficClass {
+		t.Errorf("traffic class = %#x, want %#x", out.TrafficClass, in.TrafficClass)
+	}
+	if out.FlowLabel != in.FlowLabel {
+		t.Errorf("flow label = %#x, want %#x", out.FlowLabel, in.FlowLabel)
+	}
+	if out.HopLimit != 64 || out.NextHeader != protoTCP {
+		t.Errorf("hop/next = %d/%d, want 64/%d", out.HopLimit, out.NextHeader, protoTCP)
+	}
+	if out.SrcIP != in.SrcIP || out.DstIP != in.DstIP {
+		t.Errorf("addrs = %v->%v, want %v->%v", out.SrcIP, out.DstIP, in.SrcIP, in.DstIP)
+	}
+	if int(out.Length) != len(payload) {
+		t.Errorf("Length = %d, want %d", out.Length, len(payload))
+	}
+	if !bytes.Equal(out.LayerPayload(), payload) {
+		t.Errorf("payload = %q, want %q", out.LayerPayload(), payload)
+	}
+}
+
+func TestIPv6DecodeErrors(t *testing.T) {
+	var ip IPv6
+	if err := ip.DecodeFromBytes(make([]byte, 39)); err != ErrTruncated {
+		t.Errorf("short buffer: err = %v, want ErrTruncated", err)
+	}
+	bad := make([]byte, 40)
+	bad[0] = 4 << 4
+	if err := ip.DecodeFromBytes(bad); err != ErrVersion {
+		t.Errorf("wrong version: err = %v, want ErrVersion", err)
+	}
+}
+
+func TestIPv6LengthTruncatesPayload(t *testing.T) {
+	in := IPv6{NextHeader: protoTCP, HopLimit: 64, SrcIP: mustAddr(t, "2001:db8::1"), DstIP: mustAddr(t, "2001:db8::2")}
+	wire := serialize(t, &in, Payload("abc"))
+	padded := append(append([]byte{}, wire...), 0xff, 0xff)
+	var out IPv6
+	if err := out.DecodeFromBytes(padded); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if string(out.LayerPayload()) != "abc" {
+		t.Errorf("payload = %q, want %q", out.LayerPayload(), "abc")
+	}
+}
+
+func TestIPv6RoundTripQuick(t *testing.T) {
+	src := mustAddr(t, "2001:db8::aa")
+	dst := mustAddr(t, "2001:db8::bb")
+	f := func(hop, tc uint8, fl uint32, payload []byte) bool {
+		in := IPv6{
+			TrafficClass: tc, FlowLabel: fl & 0xfffff,
+			NextHeader: protoTCP, HopLimit: hop, SrcIP: src, DstIP: dst,
+		}
+		buf := NewSerializeBuffer()
+		if err := SerializeLayers(buf, SerializeOptions{FixLengths: true}, &in, Payload(payload)); err != nil {
+			return false
+		}
+		var out IPv6
+		if err := out.DecodeFromBytes(buf.Bytes()); err != nil {
+			return false
+		}
+		return out.HopLimit == hop && out.TrafficClass == tc &&
+			out.FlowLabel == fl&0xfffff && bytes.Equal(out.LayerPayload(), payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

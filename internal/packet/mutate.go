@@ -1,0 +1,46 @@
+package packet
+
+import "encoding/binary"
+
+// DecrementTTL lowers the TTL (IPv4) or hop limit (IPv6) of a raw IP
+// packet in place by n, patching the IPv4 header checksum incrementally
+// (RFC 1624). It reports false if the packet is not IP, is truncated, or
+// the TTL would underflow to zero or below — in which case the packet is
+// left unmodified and should be treated as expired.
+func DecrementTTL(data []byte, n uint8) bool {
+	if n == 0 {
+		return len(data) > 0 && IPVersion(data) != 0
+	}
+	switch IPVersion(data) {
+	case 4:
+		if len(data) < 20 {
+			return false
+		}
+		if data[8] <= n {
+			return false
+		}
+		// The checksum covers 16-bit words; bytes 8-9 hold TTL and
+		// protocol. Apply RFC 1624 eqn. 3: HC' = ~(~HC + ~m + m').
+		oldWord := binary.BigEndian.Uint16(data[8:10])
+		data[8] -= n
+		newWord := binary.BigEndian.Uint16(data[8:10])
+		hc := binary.BigEndian.Uint16(data[10:12])
+		acc := uint32(^hc) + uint32(^oldWord) + uint32(newWord)
+		for acc > 0xffff {
+			acc = (acc >> 16) + (acc & 0xffff)
+		}
+		binary.BigEndian.PutUint16(data[10:12], ^uint16(acc))
+		return true
+	case 6:
+		if len(data) < 40 {
+			return false
+		}
+		if data[7] <= n {
+			return false
+		}
+		data[7] -= n
+		return true
+	default:
+		return false
+	}
+}

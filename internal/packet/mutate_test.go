@@ -1,0 +1,91 @@
+package packet
+
+import "testing"
+
+func TestDecrementTTLIPv4(t *testing.T) {
+	ip := IPv4{TTL: 64, ID: 9, Protocol: protoTCP, SrcIP: mustAddr(t, "10.0.0.1"), DstIP: mustAddr(t, "10.0.0.2")}
+	tcp := TCP{SrcPort: 1, DstPort: 2, Flags: FlagsSYN}
+	tcp.SetNetworkLayerForChecksum(&ip)
+	wire := serialize(t, &ip, &tcp)
+
+	if !DecrementTTL(wire, 13) {
+		t.Fatal("DecrementTTL returned false")
+	}
+	var out IPv4
+	if err := out.DecodeFromBytes(wire); err != nil {
+		t.Fatalf("decode after patch: %v", err)
+	}
+	if out.TTL != 51 {
+		t.Errorf("TTL = %d, want 51", out.TTL)
+	}
+	// The patched header checksum must still be internally consistent.
+	hdr := append([]byte{}, wire[:20]...)
+	if got := ipv4HeaderChecksum(hdr); got != out.Checksum {
+		t.Errorf("patched checksum = %#x, recomputed %#x", out.Checksum, got)
+	}
+}
+
+func TestDecrementTTLIPv4Repeated(t *testing.T) {
+	// Many small decrements must equal one big one, checksum included.
+	mk := func() []byte {
+		ip := IPv4{TTL: 128, ID: 77, Protocol: protoTCP, SrcIP: mustAddr(t, "10.0.0.3"), DstIP: mustAddr(t, "10.0.0.4")}
+		tcp := TCP{SrcPort: 5, DstPort: 6, Flags: FlagsACK}
+		tcp.SetNetworkLayerForChecksum(&ip)
+		return serialize(t, &ip, &tcp)
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 10; i++ {
+		if !DecrementTTL(a, 1) {
+			t.Fatal("stepwise decrement failed")
+		}
+	}
+	if !DecrementTTL(b, 10) {
+		t.Fatal("bulk decrement failed")
+	}
+	if string(a) != string(b) {
+		t.Error("stepwise and bulk decrements diverge")
+	}
+}
+
+func TestDecrementTTLIPv6(t *testing.T) {
+	ip := IPv6{NextHeader: protoTCP, HopLimit: 64, SrcIP: mustAddr(t, "2001:db8::1"), DstIP: mustAddr(t, "2001:db8::2")}
+	tcp := TCP{SrcPort: 1, DstPort: 2, Flags: FlagsSYN}
+	tcp.SetNetworkLayerForChecksum(&ip)
+	wire := serialize(t, &ip, &tcp)
+	if !DecrementTTL(wire, 5) {
+		t.Fatal("DecrementTTL returned false")
+	}
+	var out IPv6
+	if err := out.DecodeFromBytes(wire); err != nil {
+		t.Fatal(err)
+	}
+	if out.HopLimit != 59 {
+		t.Errorf("hop limit = %d, want 59", out.HopLimit)
+	}
+}
+
+func TestDecrementTTLUnderflow(t *testing.T) {
+	ip := IPv4{TTL: 3, Protocol: protoTCP, SrcIP: mustAddr(t, "10.0.0.1"), DstIP: mustAddr(t, "10.0.0.2")}
+	tcp := TCP{Flags: FlagsSYN}
+	tcp.SetNetworkLayerForChecksum(&ip)
+	wire := serialize(t, &ip, &tcp)
+	saved := append([]byte{}, wire...)
+	if DecrementTTL(wire, 3) {
+		t.Error("decrement to zero should report expiry")
+	}
+	if string(wire) != string(saved) {
+		t.Error("packet mutated despite expiry")
+	}
+}
+
+func TestDecrementTTLGarbage(t *testing.T) {
+	if DecrementTTL(nil, 1) {
+		t.Error("nil accepted")
+	}
+	if DecrementTTL([]byte{0xff, 0x00}, 1) {
+		t.Error("garbage accepted")
+	}
+	if !DecrementTTL([]byte{4 << 4, 0, 0, 0, 0, 0, 0, 0, 9, 6, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, 0) {
+		t.Error("zero decrement of valid packet rejected")
+	}
+}

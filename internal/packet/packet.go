@@ -1,0 +1,94 @@
+// Package packet implements wire-format encoding and decoding for the
+// network and transport layers the tampering detector needs: IPv4, IPv6,
+// and TCP, plus an opaque payload layer.
+//
+// The design follows the gopacket decoding model: each protocol is a
+// DecodingLayer that can be decoded in place from a byte slice without
+// allocation, and a DecodingLayerParser walks a packet through a fixed
+// set of preallocated layers. Serialization mirrors gopacket's
+// SerializeBuffer: layers prepend themselves onto a buffer so a packet is
+// built innermost-first.
+//
+// Only the features required by the simulator and classifier are
+// implemented, but those features are implemented faithfully: real header
+// layouts, real checksums (including the TCP pseudo-header for both IP
+// versions), and real TCP options.
+package packet
+
+import "errors"
+
+// LayerType identifies a protocol layer understood by this package.
+type LayerType uint8
+
+// Layer types known to the parser. LayerTypeZero means "no further layer".
+const (
+	LayerTypeZero LayerType = iota
+	LayerTypeIPv4
+	LayerTypeIPv6
+	LayerTypeTCP
+	LayerTypePayload
+	numLayerTypes
+)
+
+// String returns the conventional name of the layer type.
+func (t LayerType) String() string {
+	switch t {
+	case LayerTypeZero:
+		return "None"
+	case LayerTypeIPv4:
+		return "IPv4"
+	case LayerTypeIPv6:
+		return "IPv6"
+	case LayerTypeTCP:
+		return "TCP"
+	case LayerTypePayload:
+		return "Payload"
+	default:
+		return "Unknown"
+	}
+}
+
+// DecodingLayer is a protocol layer that can decode itself in place from
+// a byte slice. Implementations retain references into the input slice,
+// so the caller must keep the slice immutable for the lifetime of the
+// decoded layer (the gopacket "NoCopy" contract).
+type DecodingLayer interface {
+	// DecodeFromBytes parses data into the receiver, replacing any
+	// previous contents.
+	DecodeFromBytes(data []byte) error
+	// LayerType reports which layer this is.
+	LayerType() LayerType
+	// NextLayerType reports the type of the layer carried in the
+	// payload, or LayerTypeZero if unknown or none.
+	NextLayerType() LayerType
+	// LayerPayload returns the bytes carried above this layer.
+	LayerPayload() []byte
+}
+
+// SerializableLayer is a protocol layer that can write itself to the
+// front of a SerializeBuffer.
+type SerializableLayer interface {
+	// SerializeTo prepends this layer's wire form onto b. The buffer
+	// already contains this layer's payload.
+	SerializeTo(b *SerializeBuffer, opts SerializeOptions) error
+	LayerType() LayerType
+}
+
+// SerializeOptions control checksum and length fix-up during
+// serialization.
+type SerializeOptions struct {
+	// FixLengths recomputes length fields (IPv4 total length, IPv6
+	// payload length, TCP data offset) from the buffer contents.
+	FixLengths bool
+	// ComputeChecksums recomputes checksums. TCP checksums require the
+	// layer's network-layer pseudo-header to have been attached with
+	// SetNetworkLayerForChecksum.
+	ComputeChecksums bool
+}
+
+// Errors shared by the layer decoders.
+var (
+	ErrTruncated = errors.New("packet: truncated data")
+	ErrVersion   = errors.New("packet: wrong IP version")
+	ErrHeaderLen = errors.New("packet: invalid header length")
+)

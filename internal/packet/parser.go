@@ -1,0 +1,159 @@
+package packet
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// DecodingLayerParser decodes a packet through a fixed set of
+// preallocated layers without allocating, in the style of gopacket's
+// parser of the same name. Register one layer value per LayerType; each
+// DecodeLayers call overwrites the registered layers in place.
+type DecodingLayerParser struct {
+	first  LayerType
+	layers [numLayerTypes]DecodingLayer
+}
+
+// NewDecodingLayerParser builds a parser that starts decoding at first
+// and dispatches into the given layers by their LayerType.
+func NewDecodingLayerParser(first LayerType, layers ...DecodingLayer) *DecodingLayerParser {
+	p := &DecodingLayerParser{first: first}
+	for _, l := range layers {
+		p.layers[l.LayerType()] = l
+	}
+	return p
+}
+
+// UnsupportedLayerError reports the layer type at which decoding stopped
+// because no decoder was registered for it.
+type UnsupportedLayerError struct{ Type LayerType }
+
+// Error implements error.
+func (e UnsupportedLayerError) Error() string {
+	return fmt.Sprintf("packet: no decoder registered for layer %v", e.Type)
+}
+
+// DecodeLayers decodes data starting at the parser's first layer,
+// appending each decoded LayerType to *decoded (which it truncates
+// first). If a layer type without a registered decoder is reached before
+// the data runs out, it returns UnsupportedLayerError; layers decoded up
+// to that point remain valid.
+func (p *DecodingLayerParser) DecodeLayers(data []byte, decoded *[]LayerType) error {
+	*decoded = (*decoded)[:0]
+	typ := p.first
+	for typ != LayerTypeZero {
+		layer := p.layers[typ]
+		if layer == nil {
+			return UnsupportedLayerError{Type: typ}
+		}
+		if err := layer.DecodeFromBytes(data); err != nil {
+			return err
+		}
+		*decoded = append(*decoded, typ)
+		data = layer.LayerPayload()
+		if len(data) == 0 {
+			return nil
+		}
+		typ = layer.NextLayerType()
+	}
+	return nil
+}
+
+// IPVersion inspects the first byte of a raw IP packet and returns 4, 6,
+// or 0 for anything else. Use it to choose the first layer type when the
+// link layer is absent (as in our simulator, which carries bare IP).
+func IPVersion(data []byte) int {
+	if len(data) == 0 {
+		return 0
+	}
+	switch data[0] >> 4 {
+	case 4:
+		return 4
+	case 6:
+		return 6
+	default:
+		return 0
+	}
+}
+
+// Summary is a flat, decoded view of one IP+TCP packet: everything the
+// capture pipeline records about an inbound packet. It is the bridge
+// between raw wire bytes and the classifier's connection records.
+type Summary struct {
+	IPVersion  int
+	SrcIP      netip.Addr
+	DstIP      netip.Addr
+	IPID       uint16 // 0 for IPv6 (field does not exist)
+	TTL        uint8  // hop limit for IPv6
+	SrcPort    uint16
+	DstPort    uint16
+	Seq        uint32
+	Ack        uint32
+	Flags      TCPFlags
+	Window     uint16
+	PayloadLen int
+	HasOptions bool
+	Payload    []byte // references the input buffer
+}
+
+// ParseSummary decodes a raw IP packet (v4 or v6) carrying TCP into a
+// Summary. The parser and its layers may be reused across calls; the
+// returned Summary's Payload references data.
+type SummaryParser struct {
+	ip4     IPv4
+	ip6     IPv6
+	tcp     TCP
+	parser4 *DecodingLayerParser
+	parser6 *DecodingLayerParser
+	decoded []LayerType
+}
+
+// NewSummaryParser returns a reusable parser for IP+TCP packets.
+func NewSummaryParser() *SummaryParser {
+	p := &SummaryParser{}
+	p.parser4 = NewDecodingLayerParser(LayerTypeIPv4, &p.ip4, &p.tcp)
+	p.parser6 = NewDecodingLayerParser(LayerTypeIPv6, &p.ip6, &p.tcp)
+	p.decoded = make([]LayerType, 0, 4)
+	return p
+}
+
+// Parse decodes data into s. It returns an error for non-IP data,
+// non-TCP payloads, or truncated headers.
+func (p *SummaryParser) Parse(data []byte, s *Summary) error {
+	switch IPVersion(data) {
+	case 4:
+		if err := p.parser4.DecodeLayers(data, &p.decoded); err != nil {
+			if _, ok := err.(UnsupportedLayerError); !ok {
+				return err
+			}
+		}
+		if len(p.decoded) < 2 {
+			return fmt.Errorf("packet: IPv4 payload is not TCP (proto %d)", p.ip4.Protocol)
+		}
+		s.IPVersion = 4
+		s.SrcIP, s.DstIP = p.ip4.SrcIP, p.ip4.DstIP
+		s.IPID, s.TTL = p.ip4.ID, p.ip4.TTL
+	case 6:
+		if err := p.parser6.DecodeLayers(data, &p.decoded); err != nil {
+			if _, ok := err.(UnsupportedLayerError); !ok {
+				return err
+			}
+		}
+		if len(p.decoded) < 2 {
+			return fmt.Errorf("packet: IPv6 payload is not TCP (next header %d)", p.ip6.NextHeader)
+		}
+		s.IPVersion = 6
+		s.SrcIP, s.DstIP = p.ip6.SrcIP, p.ip6.DstIP
+		s.IPID, s.TTL = 0, p.ip6.HopLimit
+	default:
+		return fmt.Errorf("packet: not an IP packet")
+	}
+	s.SrcPort, s.DstPort = p.tcp.SrcPort, p.tcp.DstPort
+	s.Seq, s.Ack = p.tcp.Seq, p.tcp.Ack
+	s.Flags = p.tcp.Flags
+	s.Window = p.tcp.Window
+	s.Payload = p.tcp.LayerPayload()
+	s.PayloadLen = len(s.Payload)
+	s.HasOptions = len(p.tcp.Options) > 0
+	return nil
+}

@@ -1,0 +1,231 @@
+package packet
+
+import (
+	"net/netip"
+	"testing"
+)
+
+// buildV4TCP serializes an IPv4+TCP+payload packet for parser tests.
+func buildV4TCP(t *testing.T, flags TCPFlags, payload string) []byte {
+	t.Helper()
+	ip := IPv4{TTL: 57, ID: 4242, Protocol: protoTCP,
+		SrcIP: mustAddr(t, "203.0.113.10"), DstIP: mustAddr(t, "192.0.2.80")}
+	tcp := TCP{SrcPort: 50000, DstPort: 443, Seq: 1000, Ack: 2000, Flags: flags, Window: 29200,
+		Options: []TCPOption{{Kind: TCPOptionMSS, Data: []byte{0x05, 0xb4}}}}
+	tcp.SetNetworkLayerForChecksum(&ip)
+	return serialize(t, &ip, &tcp, Payload(payload))
+}
+
+func TestSummaryParserIPv4(t *testing.T) {
+	wire := buildV4TCP(t, FlagsPSHACK, "\x16\x03\x01")
+	p := NewSummaryParser()
+	var s Summary
+	if err := p.Parse(wire, &s); err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if s.IPVersion != 4 {
+		t.Errorf("version = %d, want 4", s.IPVersion)
+	}
+	if s.IPID != 4242 || s.TTL != 57 {
+		t.Errorf("ipid/ttl = %d/%d, want 4242/57", s.IPID, s.TTL)
+	}
+	if s.SrcPort != 50000 || s.DstPort != 443 {
+		t.Errorf("ports = %d->%d", s.SrcPort, s.DstPort)
+	}
+	if s.Flags != FlagsPSHACK || s.PayloadLen != 3 {
+		t.Errorf("flags/paylen = %v/%d", s.Flags, s.PayloadLen)
+	}
+	if !s.HasOptions {
+		t.Error("HasOptions = false, want true (MSS present)")
+	}
+}
+
+func TestSummaryParserIPv6(t *testing.T) {
+	ip := IPv6{NextHeader: protoTCP, HopLimit: 249,
+		SrcIP: mustAddr(t, "2001:db8::10"), DstIP: mustAddr(t, "2001:db8::80")}
+	tcp := TCP{SrcPort: 40000, DstPort: 80, Seq: 7, Flags: FlagsSYN, Window: 64240}
+	tcp.SetNetworkLayerForChecksum(&ip)
+	wire := serialize(t, &ip, &tcp)
+
+	p := NewSummaryParser()
+	var s Summary
+	if err := p.Parse(wire, &s); err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if s.IPVersion != 6 || s.TTL != 249 || s.IPID != 0 {
+		t.Errorf("version/ttl/ipid = %d/%d/%d, want 6/249/0", s.IPVersion, s.TTL, s.IPID)
+	}
+	if s.Flags != FlagsSYN || s.PayloadLen != 0 {
+		t.Errorf("flags/paylen = %v/%d", s.Flags, s.PayloadLen)
+	}
+	if s.HasOptions {
+		t.Error("HasOptions = true, want false")
+	}
+}
+
+func TestSummaryParserRejectsNonIP(t *testing.T) {
+	p := NewSummaryParser()
+	var s Summary
+	if err := p.Parse([]byte{0x00, 0x01, 0x02}, &s); err == nil {
+		t.Error("Parse accepted garbage")
+	}
+	if err := p.Parse(nil, &s); err == nil {
+		t.Error("Parse accepted empty input")
+	}
+}
+
+func TestSummaryParserRejectsNonTCP(t *testing.T) {
+	ip := IPv4{TTL: 64, Protocol: 17 /* UDP */, SrcIP: mustAddr(t, "10.0.0.1"), DstIP: mustAddr(t, "10.0.0.2")}
+	wire := serialize(t, &ip, Payload("udp-ish"))
+	p := NewSummaryParser()
+	var s Summary
+	if err := p.Parse(wire, &s); err == nil {
+		t.Error("Parse accepted a UDP packet as TCP")
+	}
+}
+
+func TestSummaryParserReuse(t *testing.T) {
+	p := NewSummaryParser()
+	var s Summary
+	a := buildV4TCP(t, FlagsSYN, "")
+	b := buildV4TCP(t, FlagsRSTACK, "")
+	if err := p.Parse(a, &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Flags != FlagsSYN {
+		t.Errorf("first parse flags = %v", s.Flags)
+	}
+	if err := p.Parse(b, &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Flags != FlagsRSTACK {
+		t.Errorf("second parse flags = %v (parser state leaked)", s.Flags)
+	}
+}
+
+func TestIPVersionSniff(t *testing.T) {
+	if v := IPVersion(buildV4TCP(t, FlagsSYN, "")); v != 4 {
+		t.Errorf("IPVersion(v4 packet) = %d", v)
+	}
+	if v := IPVersion([]byte{6 << 4}); v != 6 {
+		t.Errorf("IPVersion(v6 byte) = %d", v)
+	}
+	if v := IPVersion([]byte{0xff}); v != 0 {
+		t.Errorf("IPVersion(garbage) = %d", v)
+	}
+	if v := IPVersion(nil); v != 0 {
+		t.Errorf("IPVersion(nil) = %d", v)
+	}
+}
+
+func TestDecodingLayerParserUnsupported(t *testing.T) {
+	// Parser registered without a TCP decoder stops at TCP.
+	var ip IPv4
+	parser := NewDecodingLayerParser(LayerTypeIPv4, &ip)
+	wire := buildV4TCP(t, FlagsSYN, "x")
+	var decoded []LayerType
+	err := parser.DecodeLayers(wire, &decoded)
+	if _, ok := err.(UnsupportedLayerError); !ok {
+		t.Fatalf("err = %v, want UnsupportedLayerError", err)
+	}
+	if len(decoded) != 1 || decoded[0] != LayerTypeIPv4 {
+		t.Errorf("decoded = %v, want [IPv4]", decoded)
+	}
+}
+
+func TestSerializeBufferGrowth(t *testing.T) {
+	b := NewSerializeBuffer()
+	// Prepend more than the initial headroom to force growth.
+	big := b.PrependBytes(1000)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	small := b.PrependBytes(8)
+	for i := range small {
+		small[i] = 0xee
+	}
+	got := b.Bytes()
+	if len(got) != 1008 {
+		t.Fatalf("len = %d, want 1008", len(got))
+	}
+	if got[0] != 0xee || got[8] != 0 || got[9] != 1 {
+		t.Errorf("buffer contents wrong after growth: % x", got[:12])
+	}
+}
+
+func TestSerializeBufferAppend(t *testing.T) {
+	b := NewSerializeBuffer()
+	copy(b.PrependBytes(2), []byte{1, 2})
+	ap := b.AppendBytes(3)
+	copy(ap, []byte{3, 4, 5})
+	got := b.Bytes()
+	want := []byte{1, 2, 3, 4, 5}
+	if string(got) != string(want) {
+		t.Errorf("bytes = %v, want %v", got, want)
+	}
+}
+
+func BenchmarkDecodeParser(b *testing.B) {
+	ip := IPv4{TTL: 64, ID: 1, Protocol: protoTCP,
+		SrcIP: mustAddrB(b, "10.0.0.1"), DstIP: mustAddrB(b, "10.0.0.2")}
+	tcp := TCP{SrcPort: 1, DstPort: 443, Flags: FlagsPSHACK}
+	tcp.SetNetworkLayerForChecksum(&ip)
+	buf := NewSerializeBuffer()
+	if err := SerializeLayers(buf, SerializeOptions{FixLengths: true, ComputeChecksums: true},
+		&ip, &tcp, Payload(make([]byte, 512))); err != nil {
+		b.Fatal(err)
+	}
+	wire := buf.Bytes()
+	p := NewSummaryParser()
+	var s Summary
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Parse(wire, &s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodeAlloc is the ablation baseline: allocating fresh layer
+// structs per packet, the way a naive decoder would.
+func BenchmarkDecodeAlloc(b *testing.B) {
+	ip := IPv4{TTL: 64, ID: 1, Protocol: protoTCP,
+		SrcIP: mustAddrB(b, "10.0.0.1"), DstIP: mustAddrB(b, "10.0.0.2")}
+	tcp := TCP{SrcPort: 1, DstPort: 443, Flags: FlagsPSHACK}
+	tcp.SetNetworkLayerForChecksum(&ip)
+	buf := NewSerializeBuffer()
+	if err := SerializeLayers(buf, SerializeOptions{FixLengths: true, ComputeChecksums: true},
+		&ip, &tcp, Payload(make([]byte, 512))); err != nil {
+		b.Fatal(err)
+	}
+	wire := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		outIP := new(IPv4)
+		if err := outIP.DecodeFromBytes(wire); err != nil {
+			b.Fatal(err)
+		}
+		outTCP := new(TCP)
+		if err := outTCP.DecodeFromBytes(outIP.LayerPayload()); err != nil {
+			b.Fatal(err)
+		}
+		// Keep the layers reachable, as a real per-packet decoder would
+		// (gopacket's NewPacket retains them); without this the compiler
+		// stack-allocates everything and the comparison is meaningless.
+		allocSink = append(allocSink[:0], outIP, outTCP)
+	}
+}
+
+// allocSink defeats escape analysis in BenchmarkDecodeAlloc.
+var allocSink []DecodingLayer
+
+func mustAddrB(tb testing.TB, s string) netip.Addr {
+	tb.Helper()
+	a, err := netip.ParseAddr(s)
+	if err != nil {
+		tb.Fatalf("ParseAddr(%q): %v", s, err)
+	}
+	return a
+}

@@ -1,0 +1,97 @@
+package packet
+
+// SerializeBuffer builds packet bytes innermost-layer-first, like
+// gopacket's SerializeBuffer: each layer prepends its header in front of
+// the payload already in the buffer. The buffer keeps headroom at the
+// front so prepends rarely reallocate.
+type SerializeBuffer struct {
+	data  []byte // full backing array
+	start int    // index of first valid byte
+}
+
+// NewSerializeBuffer returns a buffer with enough headroom for a typical
+// IPv6+TCP+options packet.
+func NewSerializeBuffer() *SerializeBuffer {
+	return &SerializeBuffer{data: make([]byte, 128), start: 128}
+}
+
+// Bytes returns the serialized packet so far. The slice is valid until
+// the next mutation of the buffer.
+func (b *SerializeBuffer) Bytes() []byte { return b.data[b.start:] }
+
+// Len reports the number of serialized bytes.
+func (b *SerializeBuffer) Len() int { return len(b.data) - b.start }
+
+// Clear resets the buffer for reuse, retaining the backing array.
+func (b *SerializeBuffer) Clear() {
+	// Re-centre the start so headroom is restored.
+	b.start = len(b.data)
+}
+
+// PrependBytes returns a slice of n fresh bytes at the front of the
+// buffer for a layer header to fill in.
+func (b *SerializeBuffer) PrependBytes(n int) []byte {
+	if n > b.start {
+		grown := make([]byte, len(b.data)+n+128)
+		shift := n + 128
+		copy(grown[b.start+shift:], b.data[b.start:])
+		b.data = grown
+		b.start += shift
+	}
+	b.start -= n
+	return b.data[b.start : b.start+n]
+}
+
+// AppendBytes returns a slice of n fresh bytes at the back of the buffer.
+func (b *SerializeBuffer) AppendBytes(n int) []byte {
+	old := len(b.data)
+	if cap(b.data) >= old+n {
+		b.data = b.data[:old+n]
+	} else {
+		grown := make([]byte, old+n, (old+n)*2)
+		copy(grown, b.data)
+		b.data = grown
+	}
+	s := b.data[old : old+n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// SerializeLayers clears the buffer and serializes the given layers
+// outermost-first (the conventional call order), so the on-wire bytes
+// come out as layers[0] | layers[1] | ... | layers[n-1].
+func SerializeLayers(b *SerializeBuffer, opts SerializeOptions, layers ...SerializableLayer) error {
+	b.Clear()
+	for i := len(layers) - 1; i >= 0; i-- {
+		if err := layers[i].SerializeTo(b, opts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Payload is a trivial layer wrapping opaque application bytes.
+type Payload []byte
+
+// LayerType implements DecodingLayer and SerializableLayer.
+func (Payload) LayerType() LayerType { return LayerTypePayload }
+
+// DecodeFromBytes stores data as the payload.
+func (p *Payload) DecodeFromBytes(data []byte) error {
+	*p = data
+	return nil
+}
+
+// NextLayerType reports that nothing follows a payload.
+func (Payload) NextLayerType() LayerType { return LayerTypeZero }
+
+// LayerPayload returns nil; payloads carry no further layers.
+func (Payload) LayerPayload() []byte { return nil }
+
+// SerializeTo prepends the payload bytes.
+func (p Payload) SerializeTo(b *SerializeBuffer, _ SerializeOptions) error {
+	copy(b.PrependBytes(len(p)), p)
+	return nil
+}

@@ -1,0 +1,182 @@
+package packet
+
+import (
+	"encoding/binary"
+	"net/netip"
+)
+
+// TCPOptionKind identifies a TCP option (RFC 793 and successors).
+type TCPOptionKind uint8
+
+// TCP option kinds used by the simulator's client profiles.
+const (
+	TCPOptionEndOfOptions TCPOptionKind = 0
+	TCPOptionNOP          TCPOptionKind = 1
+	TCPOptionMSS          TCPOptionKind = 2
+	TCPOptionWindowScale  TCPOptionKind = 3
+	TCPOptionSACKOK       TCPOptionKind = 4
+	TCPOptionTimestamps   TCPOptionKind = 8
+)
+
+// TCPOption is a single TCP option. For EOL and NOP, Data is empty and
+// the length octet is omitted on the wire, per the RFCs.
+type TCPOption struct {
+	Kind TCPOptionKind
+	Data []byte
+}
+
+// wireLen returns the option's on-wire size in bytes.
+func (o TCPOption) wireLen() int {
+	if o.Kind == TCPOptionEndOfOptions || o.Kind == TCPOptionNOP {
+		return 1
+	}
+	return 2 + len(o.Data)
+}
+
+// TCP is the Transmission Control Protocol header (RFC 793).
+type TCP struct {
+	SrcPort    uint16
+	DstPort    uint16
+	Seq        uint32
+	Ack        uint32
+	DataOffset uint8 // header length in 32-bit words
+	Flags      TCPFlags
+	Window     uint16
+	Checksum   uint16
+	Urgent     uint16
+	Options    []TCPOption
+
+	payload []byte
+
+	// checksum pseudo-header context, set via SetNetworkLayerForChecksum
+	ckSrc, ckDst netip.Addr
+	ckSet        bool
+}
+
+// LayerType implements DecodingLayer.
+func (*TCP) LayerType() LayerType { return LayerTypeTCP }
+
+// NextLayerType reports that TCP carries opaque payload.
+func (t *TCP) NextLayerType() LayerType { return LayerTypePayload }
+
+// LayerPayload returns the TCP segment payload.
+func (t *TCP) LayerPayload() []byte { return t.payload }
+
+// SetNetworkLayerForChecksum records the pseudo-header addresses used
+// when serializing with ComputeChecksums. It accepts either an *IPv4 or
+// an *IPv6.
+func (t *TCP) SetNetworkLayerForChecksum(network DecodingLayer) {
+	switch ip := network.(type) {
+	case *IPv4:
+		t.ckSrc, t.ckDst, t.ckSet = ip.SrcIP, ip.DstIP, true
+	case *IPv6:
+		t.ckSrc, t.ckDst, t.ckSet = ip.SrcIP, ip.DstIP, true
+	default:
+		t.ckSet = false
+	}
+}
+
+// DecodeFromBytes parses a TCP header and its options.
+func (t *TCP) DecodeFromBytes(data []byte) error {
+	if len(data) < 20 {
+		return ErrTruncated
+	}
+	t.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	t.DstPort = binary.BigEndian.Uint16(data[2:4])
+	t.Seq = binary.BigEndian.Uint32(data[4:8])
+	t.Ack = binary.BigEndian.Uint32(data[8:12])
+	t.DataOffset = data[12] >> 4
+	hlen := int(t.DataOffset) * 4
+	if hlen < 20 || hlen > len(data) {
+		return ErrHeaderLen
+	}
+	t.Flags = TCPFlags(data[13])
+	t.Window = binary.BigEndian.Uint16(data[14:16])
+	t.Checksum = binary.BigEndian.Uint16(data[16:18])
+	t.Urgent = binary.BigEndian.Uint16(data[18:20])
+	t.Options = t.Options[:0]
+	opts := data[20:hlen]
+	for len(opts) > 0 {
+		kind := TCPOptionKind(opts[0])
+		switch kind {
+		case TCPOptionEndOfOptions:
+			opts = nil
+		case TCPOptionNOP:
+			t.Options = append(t.Options, TCPOption{Kind: kind})
+			opts = opts[1:]
+		default:
+			if len(opts) < 2 {
+				return ErrTruncated
+			}
+			olen := int(opts[1])
+			if olen < 2 || olen > len(opts) {
+				return ErrHeaderLen
+			}
+			t.Options = append(t.Options, TCPOption{Kind: kind, Data: opts[2:olen]})
+			opts = opts[olen:]
+		}
+	}
+	t.payload = data[hlen:]
+	return nil
+}
+
+// SerializeTo prepends the TCP header onto b. With opts.FixLengths the
+// data offset is computed from the options; with opts.ComputeChecksums
+// the checksum is computed using the pseudo-header registered via
+// SetNetworkLayerForChecksum.
+func (t *TCP) SerializeTo(b *SerializeBuffer, opts SerializeOptions) error {
+	optLen := 0
+	for _, o := range t.Options {
+		optLen += o.wireLen()
+	}
+	padded := (optLen + 3) &^ 3
+	hlen := 20 + padded
+	hdr := b.PrependBytes(hlen)
+	if opts.FixLengths {
+		t.DataOffset = uint8(hlen / 4)
+	}
+	binary.BigEndian.PutUint16(hdr[0:2], t.SrcPort)
+	binary.BigEndian.PutUint16(hdr[2:4], t.DstPort)
+	binary.BigEndian.PutUint32(hdr[4:8], t.Seq)
+	binary.BigEndian.PutUint32(hdr[8:12], t.Ack)
+	hdr[12] = t.DataOffset << 4
+	hdr[13] = uint8(t.Flags)
+	binary.BigEndian.PutUint16(hdr[14:16], t.Window)
+	hdr[16], hdr[17] = 0, 0
+	binary.BigEndian.PutUint16(hdr[18:20], t.Urgent)
+	at := 20
+	for _, o := range t.Options {
+		hdr[at] = uint8(o.Kind)
+		if o.Kind == TCPOptionEndOfOptions || o.Kind == TCPOptionNOP {
+			at++
+			continue
+		}
+		hdr[at+1] = uint8(2 + len(o.Data))
+		copy(hdr[at+2:], o.Data)
+		at += 2 + len(o.Data)
+	}
+	for at < hlen {
+		hdr[at] = 0 // EOL padding
+		at++
+	}
+	if opts.ComputeChecksums && t.ckSet {
+		t.Checksum = tcpChecksum(t.ckSrc, t.ckDst, b.Bytes())
+	}
+	binary.BigEndian.PutUint16(hdr[16:18], t.Checksum)
+	return nil
+}
+
+// VerifyChecksum recomputes the checksum over segment (a full TCP header
+// plus payload) with the given pseudo-header addresses and reports
+// whether it matches the checksum field inside segment.
+func VerifyChecksum(src, dst netip.Addr, segment []byte) bool {
+	if len(segment) < 20 {
+		return false
+	}
+	want := binary.BigEndian.Uint16(segment[16:18])
+	tmp16, tmp17 := segment[16], segment[17]
+	segment[16], segment[17] = 0, 0
+	got := tcpChecksum(src, dst, segment)
+	segment[16], segment[17] = tmp16, tmp17
+	return got == want
+}

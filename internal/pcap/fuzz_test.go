@@ -1,0 +1,38 @@
+package pcap
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReader feeds arbitrary bytes to the pcap reader; it must never
+// panic or over-allocate, and every returned packet must respect the
+// declared lengths.
+func FuzzReader(f *testing.F) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 0)
+	_ = w.Write(1e9, []byte{0x45, 1, 2, 3})
+	_ = w.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("random noise, definitely not a pcap file header......"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 100; i++ {
+			p, err := r.Read()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return
+			}
+			if len(p.Data) > len(data) {
+				t.Fatalf("packet larger than the file")
+			}
+		}
+	})
+}

@@ -1,0 +1,217 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 0)
+	pkts := [][]byte{
+		{0x45, 0, 0, 20, 1, 2, 3, 4, 64, 6, 0, 0, 10, 0, 0, 1, 10, 0, 0, 2},
+		{0x60, 0, 0, 0, 0, 0, 6, 64},
+	}
+	times := []int64{1_500_000_000, 2_000_123_000}
+	for i, p := range pkts {
+		if err := w.Write(times[i], p); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	if r.LinkType() != LinkTypeRaw {
+		t.Errorf("link type = %d", r.LinkType())
+	}
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("packets = %d, want 2", len(got))
+	}
+	for i := range got {
+		if !bytes.Equal(got[i].Data, pkts[i]) {
+			t.Errorf("packet %d data mismatch", i)
+		}
+		// Microsecond precision: nanoseconds are truncated to µs.
+		if got[i].TimestampNanos/1e3 != times[i]/1e3 {
+			t.Errorf("packet %d ts = %d, want ≈%d", i, got[i].TimestampNanos, times[i])
+		}
+		if got[i].OriginalLen != len(pkts[i]) {
+			t.Errorf("packet %d origLen = %d", i, got[i].OriginalLen)
+		}
+	}
+}
+
+func TestSnapLenTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 8)
+	data := make([]byte, 40)
+	data[0] = 0x45
+	if err := w.Write(0, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Data) != 8 || p.OriginalLen != 40 {
+		t.Errorf("cap/orig = %d/%d, want 8/40", len(p.Data), p.OriginalLen)
+	}
+}
+
+// buildFile constructs a pcap file by hand for reader tests.
+func buildFile(order binary.ByteOrder, magic uint32, linkType uint32, payloads ...[]byte) []byte {
+	var buf bytes.Buffer
+	hdr := make([]byte, 24)
+	order.PutUint32(hdr[0:4], magic)
+	order.PutUint16(hdr[4:6], 2)
+	order.PutUint16(hdr[6:8], 4)
+	order.PutUint32(hdr[16:20], 65535)
+	order.PutUint32(hdr[20:24], linkType)
+	buf.Write(hdr)
+	for _, p := range payloads {
+		ph := make([]byte, 16)
+		order.PutUint32(ph[0:4], 42)
+		order.PutUint32(ph[4:8], 7)
+		order.PutUint32(ph[8:12], uint32(len(p)))
+		order.PutUint32(ph[12:16], uint32(len(p)))
+		buf.Write(ph)
+		buf.Write(p)
+	}
+	return buf.Bytes()
+}
+
+func TestReaderBigEndian(t *testing.T) {
+	file := buildFile(binary.BigEndian, magicMicros, LinkTypeRaw, []byte{0x45, 1, 2, 3})
+	r, err := NewReader(bytes.NewReader(file))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TimestampNanos != 42*1e9+7*1e3 {
+		t.Errorf("ts = %d", p.TimestampNanos)
+	}
+}
+
+func TestReaderNanosecondMagic(t *testing.T) {
+	file := buildFile(binary.LittleEndian, magicNanos, LinkTypeRaw, []byte{0x45})
+	r, err := NewReader(bytes.NewReader(file))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TimestampNanos != 42*1e9+7 {
+		t.Errorf("ts = %d, want nanosecond precision", p.TimestampNanos)
+	}
+}
+
+func TestReaderEthernet(t *testing.T) {
+	frame := append(make([]byte, 12), 0x08, 0x00) // dst+src MACs, EtherType IPv4
+	frame = append(frame, 0x45, 0xAA, 0xBB)
+	arp := append(make([]byte, 12), 0x08, 0x06) // EtherType ARP
+	arp = append(arp, 1, 2, 3)
+	vlan := append(make([]byte, 12), 0x81, 0x00, 0x00, 0x05, 0x86, 0xdd) // VLAN then IPv6
+	vlan = append(vlan, 0x60, 0x01)
+	file := buildFile(binary.LittleEndian, magicMicros, LinkTypeEthernet, frame, arp, vlan)
+	r, err := NewReader(bytes.NewReader(file))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ARP skipped; IPv4 and VLAN-tagged IPv6 kept.
+	if len(pkts) != 2 {
+		t.Fatalf("packets = %d, want 2 (ARP skipped)", len(pkts))
+	}
+	if pkts[0].Data[0] != 0x45 {
+		t.Errorf("first payload = % x", pkts[0].Data)
+	}
+	if pkts[1].Data[0] != 0x60 {
+		t.Errorf("vlan payload = % x", pkts[1].Data)
+	}
+}
+
+func TestReaderBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("this is not a pcap file!"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+		t.Error("empty file accepted")
+	}
+}
+
+func TestReaderUnsupportedLink(t *testing.T) {
+	file := buildFile(binary.LittleEndian, magicMicros, 147 /* USER0 */, []byte{1})
+	if _, err := NewReader(bytes.NewReader(file)); err == nil {
+		t.Error("unsupported link type accepted")
+	}
+}
+
+func TestReaderTruncatedPacket(t *testing.T) {
+	file := buildFile(binary.LittleEndian, magicMicros, LinkTypeRaw, []byte{0x45, 1, 2, 3})
+	r, err := NewReader(bytes.NewReader(file[:len(file)-2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(); err == nil || err == io.EOF {
+		t.Errorf("truncated packet: err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(ts int64, payload []byte) bool {
+		if ts < 0 {
+			ts = -ts
+		}
+		ts %= 4e18
+		if len(payload) > 2000 {
+			payload = payload[:2000]
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf, 0)
+		if err := w.Write(ts, payload); err != nil {
+			return false
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		p, err := r.Read()
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(p.Data, payload) && p.TimestampNanos/1e3 == ts/1e3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

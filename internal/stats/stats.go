@@ -1,0 +1,138 @@
+// Package stats provides the small numeric utilities the analysis
+// pipeline uses: empirical CDFs, quantiles, linear regression, and
+// histogram helpers.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// CDF is an empirical cumulative distribution over float64 samples.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF copies and sorts the samples.
+func NewCDF(samples []float64) *CDF {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// Len reports the sample count.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// At returns P(X ≤ x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) by nearest rank.
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	i := int(q * float64(len(c.sorted)))
+	if i >= len(c.sorted) {
+		i = len(c.sorted) - 1
+	}
+	return c.sorted[i]
+}
+
+// Points samples the CDF at n evenly spaced values between min and max
+// for plotting, returning (x, P(X≤x)) pairs.
+func (c *CDF) Points(n int, min, max float64) [][2]float64 {
+	if n < 2 {
+		n = 2
+	}
+	out := make([][2]float64, n)
+	for i := 0; i < n; i++ {
+		x := min + (max-min)*float64(i)/float64(n-1)
+		out[i] = [2]float64{x, c.At(x)}
+	}
+	return out
+}
+
+// Linreg fits y = a + b·x by ordinary least squares and returns the
+// intercept a, slope b, and Pearson correlation r. Degenerate inputs
+// (fewer than two points, zero variance) return zeros.
+func Linreg(xs, ys []float64) (a, b, r float64) {
+	n := len(xs)
+	if n != len(ys) || n < 2 {
+		return 0, 0, 0
+	}
+	var sx, sy float64
+	for i := 0; i < n; i++ {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var sxx, syy, sxy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		syy += dy * dy
+		sxy += dx * dy
+	}
+	if sxx == 0 {
+		return 0, 0, 0
+	}
+	b = sxy / sxx
+	a = my - b*mx
+	if syy == 0 {
+		return a, b, 0
+	}
+	r = sxy / math.Sqrt(sxx*syy)
+	return a, b, r
+}
+
+// SlopeThroughOrigin fits y = b·x (no intercept), the slope statistic
+// the paper reports for the IPv4-vs-IPv6 and TLS-vs-HTTP comparisons.
+func SlopeThroughOrigin(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return 0
+	}
+	var num, den float64
+	for i := range xs {
+		num += xs[i] * ys[i]
+		den += xs[i] * xs[i]
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Mean returns the arithmetic mean (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Percent formats a ratio as a percentage value (0.153 → 15.3).
+func Percent(ratio float64) float64 { return ratio * 100 }
+
+// Ratio divides safely, returning 0 for a zero denominator.
+func Ratio(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {100, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+	if c.Len() != 4 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if c.At(5) != 0 {
+		t.Error("empty CDF At != 0")
+	}
+	if !math.IsNaN(c.Quantile(0.5)) {
+		t.Error("empty CDF quantile not NaN")
+	}
+}
+
+func TestCDFQuantile(t *testing.T) {
+	samples := make([]float64, 100)
+	for i := range samples {
+		samples[i] = float64(i)
+	}
+	c := NewCDF(samples)
+	if q := c.Quantile(0.5); q != 50 {
+		t.Errorf("median = %v, want 50", q)
+	}
+	if q := c.Quantile(0); q != 0 {
+		t.Errorf("q0 = %v", q)
+	}
+	if q := c.Quantile(1); q != 99 {
+		t.Errorf("q1 = %v", q)
+	}
+}
+
+func TestCDFMonotonic(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		c := NewCDF(xs)
+		pts := c.Points(20, -100, 100)
+		for i := 1; i < len(pts); i++ {
+			if pts[i][1] < pts[i-1][1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinregPerfectLine(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{3, 5, 7, 9, 11} // y = 1 + 2x
+	a, b, r := Linreg(xs, ys)
+	if math.Abs(a-1) > 1e-9 || math.Abs(b-2) > 1e-9 || math.Abs(r-1) > 1e-9 {
+		t.Errorf("a=%v b=%v r=%v, want 1,2,1", a, b, r)
+	}
+}
+
+func TestLinregDegenerate(t *testing.T) {
+	if a, b, r := Linreg([]float64{1}, []float64{2}); a != 0 || b != 0 || r != 0 {
+		t.Error("single point should degenerate to zeros")
+	}
+	if _, b, _ := Linreg([]float64{2, 2, 2}, []float64{1, 2, 3}); b != 0 {
+		t.Error("zero x-variance should degenerate")
+	}
+}
+
+func TestSlopeThroughOrigin(t *testing.T) {
+	xs := []float64{1, 2, 4}
+	ys := []float64{0.9, 1.8, 3.6}
+	if b := SlopeThroughOrigin(xs, ys); math.Abs(b-0.9) > 1e-9 {
+		t.Errorf("slope = %v, want 0.9", b)
+	}
+	if b := SlopeThroughOrigin(nil, nil); b != 0 {
+		t.Error("empty slope != 0")
+	}
+	if b := SlopeThroughOrigin([]float64{0, 0}, []float64{1, 2}); b != 0 {
+		t.Error("zero denominator slope != 0")
+	}
+}
+
+func TestMeanAndRatio(t *testing.T) {
+	if m := Mean([]float64{2, 4, 6}); m != 4 {
+		t.Errorf("Mean = %v", m)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) not NaN")
+	}
+	if r := Ratio(3, 4); r != 0.75 {
+		t.Errorf("Ratio = %v", r)
+	}
+	if r := Ratio(3, 0); r != 0 {
+		t.Errorf("Ratio/0 = %v", r)
+	}
+	if p := Percent(0.5); p != 50 {
+		t.Errorf("Percent = %v", p)
+	}
+}

@@ -1,0 +1,435 @@
+package tcpsim
+
+import (
+	"math/rand/v2"
+	"time"
+
+	"tamperdetect/internal/netsim"
+	"tamperdetect/internal/packet"
+)
+
+// Behavior selects the client's personality. Beyond the normal
+// request/response flow, these model the §4.2 threat-to-validity
+// sources (scanners, Happy Eyeballs) and the anomalous-but-benign
+// clients behind the paper's uncategorised 2.3%.
+type Behavior int
+
+// Client behaviours.
+const (
+	// BehaviorNormal completes the handshake, sends its request
+	// segments, awaits the response, and closes with FIN.
+	BehaviorNormal Behavior = iota
+	// BehaviorScanner is a ZMap-style scanner: single SYN, then a bare
+	// RST in response to the SYN+ACK. Combine with IPIDFixed 54321 and
+	// SYNOptions=false for the full fingerprint (§4.2).
+	BehaviorScanner
+	// BehaviorHappyEyeballsReset cancels after the SYN+ACK with a RST,
+	// the RFC 8305 (Chromium) losing-connection behaviour.
+	BehaviorHappyEyeballsReset
+	// BehaviorHappyEyeballsDrop abandons the attempt silently after the
+	// SYN, the RFC 6555 (curl) behaviour.
+	BehaviorHappyEyeballsDrop
+	// BehaviorStallHandshake completes the handshake and then goes
+	// silent — a benign source of ⟨SYN;ACK→∅⟩ lookalikes.
+	BehaviorStallHandshake
+	// BehaviorRedundantACK completes the handshake, emits a duplicate
+	// ACK, and goes silent: an anomalous grouping outside every
+	// signature (the paper's "other" 2.3%, §4.1).
+	BehaviorRedundantACK
+	// BehaviorDoubleSYN retransmits the SYN aggressively before
+	// proceeding normally, producing a non-canonical prefix.
+	BehaviorDoubleSYN
+	// BehaviorAbandon completes the request/response exchange but
+	// never closes: the connection just goes idle without a FIN, the
+	// dominant benign cause of "terminated after multiple data
+	// packets" records (§4.1's uncovered Post-Data mass).
+	BehaviorAbandon
+	// BehaviorResetClose completes the exchange and terminates with a
+	// RST instead of a FIN — the widespread browser/app shortcut that
+	// makes ⟨PSH+ACK;Data → RST⟩ match connections from virtually
+	// every country (§4.1, §4.3).
+	BehaviorResetClose
+)
+
+// Segment is one client data send.
+type Segment struct {
+	Data []byte
+	// Gap delays this segment relative to its trigger (handshake
+	// completion or the previous segment).
+	Gap time.Duration
+	// AfterResponse holds this segment until response data has been
+	// received following the previous segment (HTTP keep-alive style).
+	AfterResponse bool
+}
+
+// ClientConfig configures a client connection attempt.
+type ClientConfig struct {
+	Net      NetProfile
+	Behavior Behavior
+	// Segments is the request script.
+	Segments []Segment
+	// SYNPayload, if set, rides on the SYN itself (TCP Fast-Open-style
+	// optimisation or amplification probes, §4.1).
+	SYNPayload []byte
+	// SYNRetries and DataRetries bound retransmission attempts.
+	SYNRetries  int
+	DataRetries int
+	// RTO is the base retransmission timeout, doubled per retry.
+	RTO time.Duration
+	// CloseDelay is how long after the response the client lingers
+	// before FIN.
+	CloseDelay time.Duration
+	// ResponseTimeout closes the connection (silently) when no
+	// response arrives after the request completed.
+	ResponseTimeout time.Duration
+}
+
+func (c *ClientConfig) withDefaults() ClientConfig {
+	out := *c
+	if out.SYNRetries == 0 {
+		out.SYNRetries = 3
+	}
+	if out.DataRetries == 0 {
+		out.DataRetries = 3
+	}
+	if out.RTO == 0 {
+		out.RTO = time.Second
+	}
+	if out.CloseDelay == 0 {
+		out.CloseDelay = 50 * time.Millisecond
+	}
+	if out.ResponseTimeout == 0 {
+		out.ResponseTimeout = 20 * time.Second
+	}
+	return out
+}
+
+// clientState is the client's connection state.
+type clientState int
+
+const (
+	clStart clientState = iota
+	clSynSent
+	clEstablished
+	clFinWait
+	clClosed
+)
+
+// Client is a simulated TCP client endpoint.
+type Client struct {
+	sim    *netsim.Sim
+	send   func([]byte)
+	cfg    ClientConfig
+	w      *wire
+	parser *packet.SummaryParser
+	rng    *rand.Rand
+
+	state   clientState
+	isn     uint32
+	sndNxt  uint32
+	rcvNxt  uint32
+	synTry  int
+	dataTry int
+
+	segIdx       int  // next segment index to send
+	awaitingResp bool // a sent segment awaits response data
+	respSeen     bool // response data seen since last segment
+	sentAll      bool
+	finSent      bool
+	unackedSeq   uint32
+	unackedLen   int
+	unackedData  []byte
+	retransTimer netsim.Timer
+	respTimer    netsim.Timer
+	closeTimer   netsim.Timer
+	ackTimer     netsim.Timer
+	ackPending   bool
+
+	// Done reports how the attempt ended, for tests and ground truth.
+	Done   bool
+	Reason string
+}
+
+// NewClient builds a client. Call Attach to wire it to a path sender,
+// then Start to begin the attempt.
+func NewClient(sim *netsim.Sim, cfg ClientConfig, rng *rand.Rand) *Client {
+	c := &Client{
+		sim:    sim,
+		cfg:    cfg.withDefaults(),
+		w:      newWire(cfg.Net),
+		parser: packet.NewSummaryParser(),
+		rng:    rng,
+	}
+	c.isn = randISN(rng)
+	return c
+}
+
+// Attach sets the function used to transmit packets (normally
+// Path.SendFromClient).
+func (c *Client) Attach(send func([]byte)) { c.send = send }
+
+// Start begins the connection attempt.
+func (c *Client) Start() {
+	c.state = clSynSent
+	c.sendSYN()
+}
+
+func (c *Client) sendSYN() {
+	flags := packet.FlagsSYN
+	payload := c.cfg.SYNPayload
+	c.send(c.w.build(flags, c.isn, 0, payload, true))
+	c.sndNxt = c.isn + 1 + uint32(len(payload))
+	c.synTry++
+	if c.cfg.Behavior == BehaviorDoubleSYN && c.synTry == 1 {
+		// Immediate duplicate, before any timeout.
+		c.sim.Schedule(30*time.Millisecond, func() {
+			if c.state == clSynSent {
+				c.send(c.w.build(packet.FlagsSYN, c.isn, 0, payload, true))
+			}
+		})
+	}
+	c.retransTimer.Stop()
+	if c.synTry <= c.cfg.SYNRetries {
+		backoff := c.cfg.RTO << (c.synTry - 1)
+		c.retransTimer = c.sim.Schedule(backoff, func() {
+			if c.state == clSynSent {
+				if c.synTry > c.cfg.SYNRetries {
+					c.finish("syn-timeout")
+					return
+				}
+				c.sendSYN()
+			}
+		})
+	} else {
+		c.retransTimer = c.sim.Schedule(c.cfg.RTO<<uint(c.synTry), func() {
+			if c.state == clSynSent {
+				c.finish("syn-timeout")
+			}
+		})
+	}
+}
+
+// Recv implements netsim.Endpoint.
+func (c *Client) Recv(data []byte) {
+	if c.state == clClosed {
+		return
+	}
+	s, ok := decodeFor(c.parser, &c.cfg.Net, data)
+	if !ok {
+		return
+	}
+	if s.Flags.IsRST() {
+		c.finish("rst")
+		return
+	}
+	switch c.state {
+	case clSynSent:
+		if s.Flags.Has(packet.FlagSYN | packet.FlagACK) {
+			c.handleSYNACK(s)
+		}
+	case clEstablished, clFinWait:
+		c.handleEstablished(s)
+	}
+}
+
+func (c *Client) handleSYNACK(s packet.Summary) {
+	c.retransTimer.Stop()
+	c.rcvNxt = s.Seq + 1
+	switch c.cfg.Behavior {
+	case BehaviorScanner, BehaviorHappyEyeballsReset:
+		// Abort with RST instead of completing. Scanners send a bare
+		// RST with the sequence number the SYN+ACK acknowledged.
+		c.send(c.w.build(packet.FlagsRST, s.Ack, 0, nil, false))
+		c.finish("reset-after-synack")
+		return
+	case BehaviorHappyEyeballsDrop:
+		c.finish("abandoned")
+		return
+	}
+	c.state = clEstablished
+	c.send(c.w.build(packet.FlagsACK, c.sndNxt, c.rcvNxt, nil, false))
+	switch c.cfg.Behavior {
+	case BehaviorStallHandshake:
+		c.finish("stalled")
+		return
+	case BehaviorRedundantACK:
+		c.sim.Schedule(40*time.Millisecond, func() {
+			c.send(c.w.build(packet.FlagsACK, c.sndNxt, c.rcvNxt, nil, false))
+			c.finish("redundant-ack-stall")
+		})
+		return
+	}
+	if len(c.cfg.Segments) == 0 {
+		c.sentAll = true
+		c.scheduleClose()
+		return
+	}
+	c.scheduleSegment()
+}
+
+// scheduleSegment arms the send of cfg.Segments[c.segIdx].
+func (c *Client) scheduleSegment() {
+	if c.segIdx >= len(c.cfg.Segments) {
+		c.sentAll = true
+		c.armResponseTimeout()
+		return
+	}
+	seg := c.cfg.Segments[c.segIdx]
+	if seg.AfterResponse && !c.respSeen {
+		c.awaitingResp = true
+		c.armResponseTimeout()
+		return
+	}
+	gap := seg.Gap
+	if gap == 0 {
+		gap = 5 * time.Millisecond
+	}
+	c.sim.Schedule(gap, func() {
+		if c.state != clEstablished {
+			return
+		}
+		c.sendSegment(seg)
+	})
+}
+
+func (c *Client) sendSegment(seg Segment) {
+	c.dataTry = 0
+	c.unackedSeq = c.sndNxt
+	c.unackedLen = len(seg.Data)
+	c.unackedData = seg.Data
+	c.respSeen = false
+	c.transmitData()
+	c.segIdx++
+	c.scheduleSegment()
+}
+
+func (c *Client) transmitData() {
+	c.send(c.w.build(packet.FlagsPSHACK, c.unackedSeq, c.rcvNxt, c.unackedData, false))
+	c.sndNxt = c.unackedSeq + uint32(c.unackedLen)
+	c.dataTry++
+	c.retransTimer.Stop()
+	backoff := c.cfg.RTO << (c.dataTry - 1)
+	c.retransTimer = c.sim.Schedule(backoff, func() {
+		if c.state != clEstablished || c.unackedLen == 0 {
+			return
+		}
+		if c.dataTry > c.cfg.DataRetries {
+			c.finish("data-timeout")
+			return
+		}
+		c.transmitData()
+	})
+}
+
+func (c *Client) armResponseTimeout() {
+	c.respTimer.Stop()
+	c.respTimer = c.sim.Schedule(c.cfg.ResponseTimeout, func() {
+		if c.state == clEstablished && !c.respSeen {
+			c.finish("response-timeout")
+		}
+	})
+}
+
+func (c *Client) handleEstablished(s packet.Summary) {
+	// ACK progress releases retransmission state.
+	if s.Flags.Has(packet.FlagACK) && c.unackedLen > 0 &&
+		seqGE(s.Ack, c.unackedSeq+uint32(c.unackedLen)) {
+		c.unackedLen = 0
+		c.retransTimer.Stop()
+	}
+	if s.PayloadLen > 0 {
+		// In-order only: our server never reorders.
+		if s.Seq == c.rcvNxt {
+			c.rcvNxt += uint32(s.PayloadLen)
+		}
+		c.respSeen = true
+		c.respTimer.Stop()
+		// Delayed ACK: coalesce the acknowledgments of a response
+		// burst into one cumulative ACK, as real stacks do.
+		if !c.ackPending {
+			c.ackPending = true
+			c.ackTimer = c.sim.Schedule(15*time.Millisecond, func() {
+				if c.state == clClosed || !c.ackPending {
+					return
+				}
+				c.ackPending = false
+				c.send(c.w.build(packet.FlagsACK, c.sndNxt, c.rcvNxt, nil, false))
+			})
+		}
+		if c.awaitingResp {
+			c.awaitingResp = false
+			c.scheduleSegment()
+		}
+		if c.sentAll && !c.finSent {
+			switch c.cfg.Behavior {
+			case BehaviorAbandon:
+				// The kernel still acknowledges delivered data even
+				// though the application goes idle.
+				if c.ackPending {
+					c.ackPending = false
+					c.ackTimer.Stop()
+					c.send(c.w.build(packet.FlagsACK, c.sndNxt, c.rcvNxt, nil, false))
+				}
+				c.finish("abandoned-idle")
+			case BehaviorResetClose:
+				c.sim.Schedule(c.cfg.CloseDelay, func() {
+					if c.state == clEstablished && !c.Done {
+						c.send(c.w.build(packet.FlagsRST, c.sndNxt, 0, nil, false))
+						c.finish("reset-close")
+					}
+				})
+			default:
+				c.scheduleClose()
+			}
+		}
+	}
+	if s.Flags.Has(packet.FlagFIN) {
+		c.ackPending = false
+		c.ackTimer.Stop()
+		c.rcvNxt = s.Seq + uint32(s.PayloadLen) + 1
+		c.send(c.w.build(packet.FlagsACK, c.sndNxt, c.rcvNxt, nil, false))
+		if !c.finSent {
+			c.send(c.w.build(packet.FlagsFINACK, c.sndNxt, c.rcvNxt, nil, false))
+			c.finSent = true
+			c.sndNxt++
+		}
+		c.finish("closed-by-peer")
+	}
+}
+
+func (c *Client) scheduleClose() {
+	if c.closeTimer != (netsim.Timer{}) {
+		return
+	}
+	c.closeTimer = c.sim.Schedule(c.cfg.CloseDelay, func() {
+		if c.state != clEstablished || c.finSent {
+			return
+		}
+		c.finSent = true
+		c.state = clFinWait
+		c.send(c.w.build(packet.FlagsFINACK, c.sndNxt, c.rcvNxt, nil, false))
+		c.sndNxt++
+		// Await the server FIN; handled in handleEstablished. Give up
+		// eventually either way.
+		c.sim.Schedule(5*time.Second, func() {
+			if !c.Done {
+				c.finish("fin-timeout")
+			}
+		})
+	})
+}
+
+func (c *Client) finish(reason string) {
+	if c.Done {
+		return
+	}
+	c.state = clClosed
+	c.Done = true
+	c.Reason = reason
+	c.retransTimer.Stop()
+	c.respTimer.Stop()
+	c.ackTimer.Stop()
+}
+
+// seqGE reports a >= b in sequence space.
+func seqGE(a, b uint32) bool { return int32(a-b) >= 0 }

@@ -1,0 +1,227 @@
+package tcpsim
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tamperdetect/internal/netsim"
+	"tamperdetect/internal/packet"
+)
+
+// blackholeMB drops everything in both directions.
+type blackholeMB struct{}
+
+func (blackholeMB) Process(dir netsim.Direction, data []byte, inject func(netsim.Direction, []byte)) bool {
+	return false
+}
+
+// s2cDropMB drops server->client traffic except the SYN+ACK, so the
+// handshake completes but the data phase's reverse path is dead.
+type s2cDropMB struct{}
+
+func (s2cDropMB) Process(dir netsim.Direction, data []byte, inject func(netsim.Direction, []byte)) bool {
+	if dir == netsim.ClientToServer {
+		return true
+	}
+	var ip packet.IPv4
+	if err := ip.DecodeFromBytes(data); err != nil {
+		return true
+	}
+	var tcp packet.TCP
+	if err := tcp.DecodeFromBytes(ip.LayerPayload()); err != nil {
+		return true
+	}
+	return tcp.Flags.Has(packet.FlagSYN)
+}
+
+func TestSYNRetransmissionSchedule(t *testing.T) {
+	// With everything blackholed, the client retransmits its SYN with
+	// exponential backoff and gives up. Nothing reaches the server.
+	h := newHarness(t, ClientConfig{Net: clientProfile(), Segments: []Segment{{Data: []byte("x")}},
+		SYNRetries: 3, RTO: time.Second}, blackholeMB{})
+	h.run()
+	if len(h.seen) != 0 {
+		t.Fatalf("server saw %d packets through a blackhole", len(h.seen))
+	}
+	if !h.client.Done || h.client.Reason != "syn-timeout" {
+		t.Errorf("client reason = %q", h.client.Reason)
+	}
+	// The client must have stopped within a bounded virtual time:
+	// 1+2+4 backoff plus final wait ≈ 15s, not hours.
+	if h.sim.Now() > netsim.Time(60*time.Second) {
+		t.Errorf("client gave up only at %v", h.sim.Now())
+	}
+}
+
+func TestDataRetransmissionVisibleAtServer(t *testing.T) {
+	// Server->client direction dropped: the client never sees ACKs or
+	// responses, so it retransmits its request — all copies arrive
+	// inbound (what a drop-side censor's victim looks like from the
+	// server when only the reverse path is broken).
+	h := newHarness(t, ClientConfig{Net: clientProfile(),
+		Segments: []Segment{{Data: []byte("retry-me")}}, DataRetries: 2, RTO: time.Second},
+		s2cDropMB{})
+	h.run()
+	data := 0
+	for _, s := range h.seen {
+		if s.PayloadLen > 0 {
+			data++
+		}
+	}
+	if data < 2 {
+		t.Errorf("server saw %d copies of the request, want retransmissions", data)
+	}
+	if h.client.Reason != "data-timeout" {
+		t.Errorf("client reason = %q", h.client.Reason)
+	}
+	// Retransmissions carry the same sequence number.
+	var seqs []uint32
+	for _, s := range h.seen {
+		if s.PayloadLen > 0 {
+			seqs = append(seqs, s.Seq)
+		}
+	}
+	if len(seqs) == 0 {
+		t.Fatal("no data packets recorded")
+	}
+	for _, q := range seqs[1:] {
+		if q != seqs[0] {
+			t.Errorf("retransmission seq %d != original %d", q, seqs[0])
+		}
+	}
+}
+
+func TestDelayedACKCoalesces(t *testing.T) {
+	// The server responds with 2 segments; the client must emit one
+	// cumulative ACK, not two.
+	h := newHarness(t, ClientConfig{Net: clientProfile(), Segments: []Segment{{Data: []byte("q")}}})
+	h.run()
+	bareACKs := 0
+	for _, s := range h.seen {
+		if s.Flags == packet.FlagsACK && s.PayloadLen == 0 {
+			bareACKs++
+		}
+	}
+	// handshake ACK + one delayed data ACK + final ACK of FIN = 3.
+	if bareACKs != 3 {
+		t.Errorf("bare ACK count = %d, want 3 (handshake, coalesced data, FIN ack): %s", bareACKs, h.flagSeq())
+	}
+}
+
+func TestServerSYNACKRetransmission(t *testing.T) {
+	// Deliver a SYN but swallow the client's ACK (client unreachable):
+	// the server retransmits its SYN+ACK a bounded number of times.
+	sim := netsim.NewSim(0)
+	rng := testRNG()
+	srv := NewServer(sim, ServerConfig{Net: serverProfile(), RTO: time.Second, SYNACKRetries: 2}, rng)
+	var out int
+	srv.Attach(func([]byte) { out++ })
+	w := newWire(clientProfile())
+	srv.Recv(w.build(packet.FlagsSYN, 100, 0, nil, true))
+	sim.Run(0)
+	if out != 3 { // initial + 2 retries
+		t.Errorf("server sent %d SYN+ACKs, want 3", out)
+	}
+}
+
+func TestClientFINTimeout(t *testing.T) {
+	// The server's FIN response is dropped after the request completes:
+	// client times out of FIN-WAIT rather than hanging forever.
+	h := newHarness(t, ClientConfig{Net: clientProfile(), Segments: []Segment{{Data: []byte("x")}}})
+	// Run until the request/response completes, then kill s->c.
+	h.client.Start()
+	h.sim.RunUntil(netsim.Time(2 * time.Second))
+	h.path.Down = true
+	h.sim.Run(0)
+	if !h.client.Done {
+		t.Error("client never finished after path went down")
+	}
+}
+
+func TestResponseTimeout(t *testing.T) {
+	// Server never responds with data (it only ACKs): the client's
+	// response timeout fires.
+	sim := netsim.NewSim(0)
+	rng := testRNG()
+	cli := NewClient(sim, ClientConfig{
+		Net:             clientProfile(),
+		Segments:        []Segment{{Data: []byte("req")}},
+		ResponseTimeout: 5 * time.Second,
+	}, rng)
+	// A fake server that completes the handshake and ACKs data but
+	// never sends payload or FIN.
+	sw := newWire(serverProfile())
+	var srvISN uint32 = 9000
+	cli.Attach(func(data []byte) {
+		var s packet.Summary
+		p := packet.NewSummaryParser()
+		if err := p.Parse(data, &s); err != nil {
+			return
+		}
+		switch {
+		case s.Flags.Has(packet.FlagSYN):
+			cli.Recv(sw.build(packet.FlagsSYNACK, srvISN, s.Seq+1, nil, true))
+		case s.PayloadLen > 0:
+			cli.Recv(sw.build(packet.FlagsACK, srvISN+1, s.Seq+uint32(s.PayloadLen), nil, false))
+		}
+	})
+	cli.Start()
+	sim.Run(0)
+	if cli.Reason != "response-timeout" {
+		t.Errorf("client reason = %q, want response-timeout", cli.Reason)
+	}
+}
+
+func TestSegmentGapHonored(t *testing.T) {
+	// A segment with a 2-second gap arrives in a later timestamp
+	// bucket than the handshake.
+	h := newHarness(t, ClientConfig{Net: clientProfile(),
+		Segments: []Segment{{Data: []byte("late"), Gap: 2 * time.Second}}})
+	h.run()
+	var hsTS, dataTS int64 = -1, -1
+	for i, s := range h.seen {
+		if s.Flags == packet.FlagsACK && hsTS < 0 {
+			hsTS = h.times[i].Unix()
+		}
+		if s.PayloadLen > 0 {
+			dataTS = h.times[i].Unix()
+		}
+	}
+	if dataTS < hsTS+2 {
+		t.Errorf("data at %ds, handshake at %ds; gap not honored", dataTS, hsTS)
+	}
+}
+
+func TestResetCloseEmitsRST(t *testing.T) {
+	h := newHarness(t, ClientConfig{Net: clientProfile(), Behavior: BehaviorResetClose,
+		Segments: []Segment{{Data: []byte("q")}}})
+	h.run()
+	fs := h.flagSeq()
+	if !strings.HasSuffix(fs, "RST") {
+		t.Errorf("sequence = %q, want trailing RST", fs)
+	}
+	if strings.Contains(fs, "FIN") {
+		t.Errorf("reset-closer sent a FIN: %q", fs)
+	}
+	if h.client.Reason != "reset-close" {
+		t.Errorf("reason = %q", h.client.Reason)
+	}
+}
+
+func TestAbandonGoesSilent(t *testing.T) {
+	h := newHarness(t, ClientConfig{Net: clientProfile(), Behavior: BehaviorAbandon,
+		Segments: []Segment{{Data: []byte("q")}}})
+	h.run()
+	fs := h.flagSeq()
+	if strings.Contains(fs, "FIN") || strings.Contains(fs, "RST") {
+		t.Errorf("abandoner terminated explicitly: %q", fs)
+	}
+	// But the request was delivered and acknowledged.
+	if !strings.Contains(fs, "PSH+ACK") {
+		t.Errorf("no data delivered: %q", fs)
+	}
+	if h.client.Reason != "abandoned-idle" {
+		t.Errorf("reason = %q", h.client.Reason)
+	}
+}

@@ -1,0 +1,236 @@
+package tcpsim
+
+import (
+	"math/rand/v2"
+	"time"
+
+	"tamperdetect/internal/netsim"
+	"tamperdetect/internal/packet"
+)
+
+// ServerConfig configures the simulated CDN edge endpoint for one
+// connection.
+type ServerConfig struct {
+	Net NetProfile
+	// ResponseSegments and ResponseSegmentSize shape the reply sent
+	// after each request data packet that looks complete.
+	ResponseSegments    int
+	ResponseSegmentSize int
+	// ResponseDelay models server think time.
+	ResponseDelay time.Duration
+	// RTO is the base retransmission timeout for the SYN+ACK.
+	RTO time.Duration
+	// SYNACKRetries bounds SYN+ACK retransmission.
+	SYNACKRetries int
+}
+
+func (c *ServerConfig) withDefaults() ServerConfig {
+	out := *c
+	if out.ResponseSegments == 0 {
+		out.ResponseSegments = 2
+	}
+	if out.ResponseSegmentSize == 0 {
+		out.ResponseSegmentSize = 1200
+	}
+	if out.ResponseDelay == 0 {
+		out.ResponseDelay = 10 * time.Millisecond
+	}
+	if out.RTO == 0 {
+		out.RTO = time.Second
+	}
+	if out.SYNACKRetries == 0 {
+		out.SYNACKRetries = 2
+	}
+	return out
+}
+
+type serverState int
+
+const (
+	svListen serverState = iota
+	svSynReceived
+	svEstablished
+	svCloseWait
+	svClosed
+	svAborted
+)
+
+// Server is a simulated TCP server endpoint handling one connection.
+// After an abort (inbound RST) it answers further segments with RSTs,
+// the way a real stack treats packets for a vanished connection.
+type Server struct {
+	sim    *netsim.Sim
+	send   func([]byte)
+	cfg    ServerConfig
+	w      *wire
+	parser *packet.SummaryParser
+	rng    *rand.Rand
+
+	state      serverState
+	isn        uint32
+	sndNxt     uint32
+	rcvNxt     uint32
+	clientISN  uint32
+	synackTry  int
+	retransmit netsim.Timer
+	finSent    bool
+
+	// RequestData accumulates the application bytes received, in
+	// order, for tests and ground-truth checks.
+	RequestData []byte
+	// Aborted reports whether the connection died on a RST.
+	Aborted bool
+}
+
+// NewServer builds a server endpoint. Call Attach before delivering
+// packets to it.
+func NewServer(sim *netsim.Sim, cfg ServerConfig, rng *rand.Rand) *Server {
+	s := &Server{
+		sim:    sim,
+		cfg:    cfg.withDefaults(),
+		w:      newWire(cfg.Net),
+		parser: packet.NewSummaryParser(),
+		rng:    rng,
+		state:  svListen,
+	}
+	s.isn = randISN(rng)
+	return s
+}
+
+// Attach sets the transmit function (normally Path.SendFromServer).
+func (s *Server) Attach(send func([]byte)) { s.send = send }
+
+// Recv implements netsim.Endpoint.
+func (s *Server) Recv(data []byte) {
+	p, ok := decodeFor(s.parser, &s.cfg.Net, data)
+	if !ok {
+		return
+	}
+	if p.Flags.IsRST() {
+		// An acceptable RST tears the connection down (RFC 793 §3.4;
+		// we skip the window check — injectors aim for rcv.nxt and our
+		// clients are honest).
+		if s.state != svListen && s.state != svClosed {
+			s.abort()
+		}
+		return
+	}
+	switch s.state {
+	case svListen:
+		if p.Flags.Has(packet.FlagSYN) && !p.Flags.Has(packet.FlagACK) {
+			s.handleSYN(p)
+		}
+	case svSynReceived:
+		if p.Flags.Has(packet.FlagSYN) && !p.Flags.Has(packet.FlagACK) {
+			// Duplicate SYN: re-acknowledge.
+			s.sendSYNACK()
+			return
+		}
+		if p.Flags.Has(packet.FlagACK) && seqGE(p.Ack, s.isn+1) {
+			s.state = svEstablished
+			s.retransmit.Stop()
+		}
+		// SYN payloads (request-on-SYN) are delivered once established.
+		if p.PayloadLen > 0 && s.state == svEstablished {
+			s.handleData(p)
+		}
+	case svEstablished, svCloseWait:
+		s.handleSegment(p)
+	case svAborted, svClosed:
+		// Half-open: answer with RST keyed to the incoming segment.
+		s.respondRST(p)
+	}
+}
+
+func (s *Server) handleSYN(p packet.Summary) {
+	s.clientISN = p.Seq
+	s.rcvNxt = p.Seq + 1
+	if p.PayloadLen > 0 {
+		// Data on SYN: accept it (the paper observes HTTP requests on
+		// SYN, §4.1); it sits at seq ISN+1.
+		s.RequestData = append(s.RequestData, p.Payload...)
+		s.rcvNxt += uint32(p.PayloadLen)
+	}
+	s.state = svSynReceived
+	s.sndNxt = s.isn + 1
+	s.sendSYNACK()
+}
+
+func (s *Server) sendSYNACK() {
+	s.send(s.w.build(packet.FlagsSYNACK, s.isn, s.rcvNxt, nil, true))
+	s.synackTry++
+	s.retransmit.Stop()
+	if s.synackTry <= s.cfg.SYNACKRetries {
+		s.retransmit = s.sim.Schedule(s.cfg.RTO<<(s.synackTry-1), func() {
+			if s.state == svSynReceived {
+				s.sendSYNACK()
+			}
+		})
+	}
+}
+
+func (s *Server) handleSegment(p packet.Summary) {
+	if p.PayloadLen > 0 {
+		s.handleData(p)
+	}
+	if p.Flags.Has(packet.FlagFIN) {
+		s.rcvNxt = p.Seq + uint32(p.PayloadLen) + 1
+		s.send(s.w.build(packet.FlagsACK, s.sndNxt, s.rcvNxt, nil, false))
+		if !s.finSent {
+			s.finSent = true
+			s.send(s.w.build(packet.FlagsFINACK, s.sndNxt, s.rcvNxt, nil, false))
+			s.sndNxt++
+		}
+		s.state = svClosed
+	}
+}
+
+func (s *Server) handleData(p packet.Summary) {
+	if p.Seq == s.rcvNxt {
+		s.RequestData = append(s.RequestData, p.Payload...)
+		s.rcvNxt += uint32(p.PayloadLen)
+	}
+	// ACK whatever we have (cumulative; duplicates re-ACKed).
+	s.send(s.w.build(packet.FlagsACK, s.sndNxt, s.rcvNxt, nil, false))
+	// Respond to each request burst after think time.
+	s.sim.Schedule(s.cfg.ResponseDelay, func() { s.respond() })
+}
+
+// respond sends the configured response segments.
+func (s *Server) respond() {
+	if s.state != svEstablished {
+		return
+	}
+	for i := 0; i < s.cfg.ResponseSegments; i++ {
+		payload := responseBody(s.cfg.ResponseSegmentSize)
+		s.send(s.w.build(packet.FlagsPSHACK, s.sndNxt, s.rcvNxt, payload, false))
+		s.sndNxt += uint32(len(payload))
+	}
+}
+
+// respondRST answers a segment for a dead connection, mirroring RFC 793
+// reset generation: if the incoming segment has ACK, the RST carries
+// seq = seg.ack; otherwise seq = 0 with RST+ACK acknowledging the
+// segment.
+func (s *Server) respondRST(p packet.Summary) {
+	if p.Flags.Has(packet.FlagACK) {
+		s.send(s.w.build(packet.FlagsRST, p.Ack, 0, nil, false))
+	} else {
+		s.send(s.w.build(packet.FlagsRSTACK, 0, p.Seq+uint32(p.PayloadLen)+1, nil, false))
+	}
+}
+
+func (s *Server) abort() {
+	s.state = svAborted
+	s.Aborted = true
+	s.retransmit.Stop()
+}
+
+// responseBody builds a deterministic response payload of n bytes.
+func responseBody(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('A' + i%26)
+	}
+	return b
+}

@@ -1,0 +1,259 @@
+// Package testlists models the active-measurement test lists the paper
+// evaluates in §5.5 (Table 3): popularity rankings (Tranco, Majestic)
+// and curated censorship lists (Citizen Lab, GreatFire), plus the
+// coverage computation — what fraction of passively-observed tampered
+// domains each list would have caught, by exact eTLD+1 match and by the
+// substring best case.
+package testlists
+
+import (
+	"math/rand/v2"
+	"sort"
+	"strings"
+
+	"tamperdetect/internal/domains"
+)
+
+// List is a named set of test-list entries (registrable domains).
+type List struct {
+	Name    string
+	Entries []string
+	set     map[string]bool
+}
+
+// NewList builds a list and its lookup set.
+func NewList(name string, entries []string) *List {
+	l := &List{Name: name, Entries: entries, set: make(map[string]bool, len(entries))}
+	for _, e := range entries {
+		l.set[ETLDPlusOne(e)] = true
+	}
+	return l
+}
+
+// Len reports the number of entries.
+func (l *List) Len() int { return len(l.Entries) }
+
+// ContainsExact reports whether the domain's eTLD+1 is in the list.
+func (l *List) ContainsExact(domain string) bool {
+	return l.set[ETLDPlusOne(domain)]
+}
+
+// ContainsSubstring reports whether the domain appears as a substring
+// of any list entry or vice versa — the §5.5 "best case" accounting for
+// censors that over-block on substrings (e.g. Turkmenistan's wn.com).
+func (l *List) ContainsSubstring(domain string) bool {
+	d := ETLDPlusOne(domain)
+	if l.set[d] {
+		return true
+	}
+	for _, e := range l.Entries {
+		if strings.Contains(e, d) || strings.Contains(d, e) {
+			return true
+		}
+	}
+	return false
+}
+
+// Union merges lists into one.
+func Union(name string, lists ...*List) *List {
+	var entries []string
+	seen := map[string]bool{}
+	for _, l := range lists {
+		for _, e := range l.Entries {
+			if !seen[e] {
+				seen[e] = true
+				entries = append(entries, e)
+			}
+		}
+	}
+	return NewList(name, entries)
+}
+
+// multiSuffixes are the multi-label public suffixes our universe and
+// tests use; everything else is treated as a single-label TLD.
+var multiSuffixes = map[string]bool{
+	"co.uk": true, "com.cn": true, "com.br": true, "co.kr": true,
+	"com.tr": true, "org.uk": true,
+}
+
+// ETLDPlusOne reduces a hostname to its registrable domain: the public
+// suffix plus one label. Unknown suffixes are assumed single-label.
+func ETLDPlusOne(host string) string {
+	host = strings.ToLower(strings.TrimSuffix(host, "."))
+	labels := strings.Split(host, ".")
+	if len(labels) <= 2 {
+		return host
+	}
+	// Check a two-label public suffix.
+	last2 := strings.Join(labels[len(labels)-2:], ".")
+	if multiSuffixes[last2] && len(labels) >= 3 {
+		return strings.Join(labels[len(labels)-3:], ".")
+	}
+	return last2
+}
+
+// BuildConfig controls synthetic list construction from a domain
+// universe.
+type BuildConfig struct {
+	Seed uint64
+	// PopularityNoise perturbs ranks when building top-K lists, so the
+	// lists imperfectly track true popularity as real rankings do.
+	PopularityNoise float64
+	// CuratedCoverage is the probability that a sensitive-category
+	// domain makes it onto a curated censorship list (test lists are
+	// incomplete — the paper's central finding in §5.5).
+	CuratedCoverage float64
+}
+
+// DefaultBuildConfig mirrors the real lists' character.
+func DefaultBuildConfig() BuildConfig {
+	return BuildConfig{Seed: 7, PopularityNoise: 0.35, CuratedCoverage: 0.4}
+}
+
+// Suite is the set of lists Table 3 evaluates.
+type Suite struct {
+	Tranco1K, Tranco10K, Tranco100K, Tranco1M         *List
+	Majestic1K, Majestic10K, Majestic100K, Majestic1M *List
+	GreatfireAll, Greatfire30d                        *List
+	CitizenLab, CitizenLabGlobal                      *List
+	// CitizenLabCountry maps country code → country-specific list.
+	CitizenLabCountry map[string]*List
+}
+
+// Lists returns the suite rows in Table 3 order (excluding unions,
+// which callers build with Union).
+func (s *Suite) Lists() []*List {
+	return []*List{
+		s.Tranco1K, s.Tranco10K, s.Tranco100K, s.Tranco1M,
+		s.Majestic1K, s.Majestic10K, s.Majestic100K, s.Majestic1M,
+		s.GreatfireAll, s.Greatfire30d, s.CitizenLab, s.CitizenLabGlobal,
+	}
+}
+
+// BuildSuite constructs the synthetic analogue of the Table 3 lists
+// over a universe. Scale: our universe is ~1000× smaller than the
+// million-domain web, so the Tranco/Majestic tier sizes are divided by
+// 1000 (1K→top 0.1% etc.) while keeping their relative ordering.
+func BuildSuite(u *domains.Universe, sensitive func(*domains.Domain) bool, cfg BuildConfig) *Suite {
+	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x715cf))
+	all := u.All()
+	n := len(all)
+
+	// Noisy popularity orderings for Tranco and Majestic.
+	trancoOrder := noisyOrder(all, rng, cfg.PopularityNoise)
+	majesticOrder := noisyOrder(all, rng, cfg.PopularityNoise*1.8)
+
+	tier := func(order []string, k int) []string {
+		if k > len(order) {
+			k = len(order)
+		}
+		return order[:k]
+	}
+	// Scaled tiers: 1K→n/1000 ... 1M→n (bounded below at 10).
+	scale := func(k int) int {
+		v := n * k / 1_000_000
+		if v < 10 {
+			v = 10
+		}
+		if v > n {
+			v = n
+		}
+		return v
+	}
+
+	s := &Suite{
+		Tranco1K:          NewList("Tranco_1K", tier(trancoOrder, scale(1_000))),
+		Tranco10K:         NewList("Tranco_10K", tier(trancoOrder, scale(10_000))),
+		Tranco100K:        NewList("Tranco_100K", tier(trancoOrder, scale(100_000))),
+		Tranco1M:          NewList("Tranco_1M", tier(trancoOrder, scale(1_000_000))),
+		Majestic1K:        NewList("Majestic_1K", tier(majesticOrder, scale(1_000))),
+		Majestic10K:       NewList("Majestic_10K", tier(majesticOrder, scale(10_000))),
+		Majestic100K:      NewList("Majestic_100K", tier(majesticOrder, scale(100_000))),
+		Majestic1M:        NewList("Majestic_1M", tier(majesticOrder, scale(400_000))),
+		CitizenLabCountry: make(map[string]*List),
+	}
+
+	// Curated lists: sample sensitive domains with imperfect coverage.
+	// A slice of entries is stored as truncated fragments (mirroring
+	// real lists that carry keyword-ish entries like "wn.com", §5.5):
+	// they miss exact eTLD+1 matching but are caught by the substring
+	// best case.
+	var gfAll, gf30, cl, clGlobal []string
+	entryForm := func(name string) string {
+		if rng.Float64() < 0.15 && len(name) > 6 {
+			return name[2:]
+		}
+		return name
+	}
+	for i := range all {
+		d := &all[i]
+		if !sensitive(d) {
+			continue
+		}
+		if rng.Float64() < cfg.CuratedCoverage {
+			gfAll = append(gfAll, entryForm(d.Name))
+			if rng.Float64() < 0.1 {
+				gf30 = append(gf30, entryForm(d.Name))
+			}
+		}
+		if rng.Float64() < cfg.CuratedCoverage*0.35 {
+			cl = append(cl, entryForm(d.Name))
+			if rng.Float64() < 0.06 {
+				clGlobal = append(clGlobal, entryForm(d.Name))
+			}
+		}
+	}
+	s.GreatfireAll = NewList("Greatfire_all", gfAll)
+	s.Greatfire30d = NewList("Greatfire_30d", gf30)
+	s.CitizenLab = NewList("Citizenlab", cl)
+	s.CitizenLabGlobal = NewList("Citizenlab_global", clGlobal)
+	return s
+}
+
+// AddCountryList installs a country-specific Citizen Lab list.
+func (s *Suite) AddCountryList(country string, entries []string) {
+	s.CitizenLabCountry[country] = NewList("Citizenlab_"+country, entries)
+}
+
+// noisyOrder returns domain names ordered by true rank perturbed with
+// multiplicative noise.
+func noisyOrder(all []domains.Domain, rng *rand.Rand, noise float64) []string {
+	type ranked struct {
+		name string
+		key  float64
+	}
+	rs := make([]ranked, len(all))
+	for i := range all {
+		jitter := 1 + (rng.Float64()*2-1)*noise
+		if jitter < 0.05 {
+			jitter = 0.05
+		}
+		rs[i] = ranked{name: all[i].Name, key: float64(all[i].GlobalRank) * jitter}
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].key < rs[j].key })
+	out := make([]string, len(rs))
+	for i := range rs {
+		out[i] = rs[i].name
+	}
+	return out
+}
+
+// Coverage computes the fraction of tampered domains a list contains.
+// substring selects the §5.5 best-case matching. It returns 0 coverage
+// for an empty observation set.
+func Coverage(l *List, tampered []string, substring bool) float64 {
+	if len(tampered) == 0 {
+		return 0
+	}
+	hit := 0
+	for _, d := range tampered {
+		if substring {
+			if l.ContainsSubstring(d) {
+				hit++
+			}
+		} else if l.ContainsExact(d) {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(tampered))
+}

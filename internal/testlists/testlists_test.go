@@ -1,0 +1,171 @@
+package testlists
+
+import (
+	"testing"
+
+	"tamperdetect/internal/domains"
+)
+
+func TestETLDPlusOne(t *testing.T) {
+	cases := map[string]string{
+		"www.blocked.example":   "blocked.example",
+		"blocked.example":       "blocked.example",
+		"a.b.c.blocked.example": "blocked.example",
+		"news.bbc.co.uk":        "bbc.co.uk",
+		"bbc.co.uk":             "bbc.co.uk",
+		"WWW.UPPER.Example":     "upper.example",
+		"trailing.dot.example.": "dot.example",
+		"single":                "single",
+		"shop.taobao.com.cn":    "taobao.com.cn",
+	}
+	for in, want := range cases {
+		if got := ETLDPlusOne(in); got != want {
+			t.Errorf("ETLDPlusOne(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestListExactMatch(t *testing.T) {
+	l := NewList("t", []string{"blocked.example", "bbc.co.uk"})
+	if !l.ContainsExact("www.blocked.example") {
+		t.Error("subdomain of listed domain not matched")
+	}
+	if !l.ContainsExact("news.bbc.co.uk") {
+		t.Error("multi-suffix subdomain not matched")
+	}
+	if l.ContainsExact("other.example") {
+		t.Error("unlisted domain matched")
+	}
+}
+
+func TestListSubstringMatch(t *testing.T) {
+	l := NewList("t", []string{"wn.com"})
+	// The Turkmenistan over-blocking case: cnn.com... our synthetic
+	// equivalent: any domain containing the entry as substring.
+	if !l.ContainsSubstring("wn.com") {
+		t.Error("exact entry not substring-matched")
+	}
+	if !l.ContainsSubstring("newswn.com") {
+		t.Error("superstring domain not matched")
+	}
+	l2 := NewList("t2", []string{"deep.blocked.example"})
+	if !l2.ContainsSubstring("blocked.example") {
+		t.Error("domain contained in entry not matched")
+	}
+	if l2.ContainsSubstring("unrelated.example") {
+		t.Error("unrelated domain substring-matched")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := NewList("a", []string{"x.example", "y.example"})
+	b := NewList("b", []string{"y.example", "z.example"})
+	u := Union("u", a, b)
+	if u.Len() != 3 {
+		t.Errorf("union size = %d, want 3", u.Len())
+	}
+	for _, d := range []string{"x.example", "y.example", "z.example"} {
+		if !u.ContainsExact(d) {
+			t.Errorf("union missing %s", d)
+		}
+	}
+}
+
+func sensitiveByCat(d *domains.Domain) bool {
+	return d.Category == domains.AdultThemes || d.Category == domains.News
+}
+
+func buildSuite(t *testing.T) (*Suite, *domains.Universe) {
+	t.Helper()
+	cfg := domains.DefaultConfig()
+	cfg.PerCategory = 300
+	u := domains.Generate(cfg)
+	s := BuildSuite(u, sensitiveByCat, DefaultBuildConfig())
+	return s, u
+}
+
+func TestSuiteTierSizes(t *testing.T) {
+	s, u := buildSuite(t)
+	if s.Tranco1K.Len() >= s.Tranco10K.Len() {
+		t.Error("Tranco tiers not increasing")
+	}
+	if s.Tranco1M.Len() != u.Size() {
+		t.Errorf("Tranco_1M = %d, want full universe %d", s.Tranco1M.Len(), u.Size())
+	}
+	if s.Majestic1K.Len() == 0 || s.GreatfireAll.Len() == 0 || s.CitizenLab.Len() == 0 {
+		t.Error("empty list in suite")
+	}
+	// Curated lists are incomplete by construction.
+	sensCount := 0
+	for _, d := range u.All() {
+		d := d
+		if sensitiveByCat(&d) {
+			sensCount++
+		}
+	}
+	if s.GreatfireAll.Len() >= sensCount {
+		t.Errorf("GreatFire %d ≥ sensitive %d; should be incomplete", s.GreatfireAll.Len(), sensCount)
+	}
+}
+
+func TestSuiteTiersNested(t *testing.T) {
+	s, _ := buildSuite(t)
+	for _, e := range s.Tranco1K.Entries {
+		if !s.Tranco10K.ContainsExact(e) {
+			t.Fatalf("Tranco_1K entry %q missing from Tranco_10K", e)
+		}
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	l := NewList("t", []string{"a.example", "b.example"})
+	tampered := []string{"a.example", "b.example", "c.example", "d.example"}
+	if got := Coverage(l, tampered, false); got != 0.5 {
+		t.Errorf("coverage = %f, want 0.5", got)
+	}
+	if got := Coverage(l, nil, false); got != 0 {
+		t.Errorf("empty coverage = %f, want 0", got)
+	}
+}
+
+func TestCoverageSubstringAtLeastExact(t *testing.T) {
+	s, u := buildSuite(t)
+	var tampered []string
+	for _, d := range u.Categories(domains.AdultThemes)[:100] {
+		tampered = append(tampered, d.Name)
+	}
+	for _, l := range s.Lists() {
+		exact := Coverage(l, tampered, false)
+		sub := Coverage(l, tampered, true)
+		if sub < exact {
+			t.Errorf("%s: substring coverage %.3f < exact %.3f", l.Name, sub, exact)
+		}
+	}
+}
+
+func TestPopularListsCoverPopularDomains(t *testing.T) {
+	s, u := buildSuite(t)
+	// The most popular domains should be largely in the biggest tier
+	// and less so in the smallest.
+	var top []string
+	for _, d := range u.All()[:20] {
+		top = append(top, d.Name)
+	}
+	big := Coverage(s.Tranco1M, top, false)
+	small := Coverage(s.Tranco1K, top, false)
+	if big != 1.0 {
+		t.Errorf("Tranco_1M coverage of top-20 = %f, want 1", big)
+	}
+	if small >= 1.0 {
+		t.Errorf("Tranco_1K covers all top-20 despite noise; suspicious (%f)", small)
+	}
+}
+
+func TestAddCountryList(t *testing.T) {
+	s, _ := buildSuite(t)
+	s.AddCountryList("IR", []string{"protest.example"})
+	l := s.CitizenLabCountry["IR"]
+	if l == nil || !l.ContainsExact("protest.example") {
+		t.Error("country list not installed")
+	}
+}

@@ -1,0 +1,44 @@
+package tlswire
+
+import "testing"
+
+// FuzzParseSNI exercises the ClientHello parser with arbitrary bytes;
+// it must never panic and must round-trip its own builder output.
+func FuzzParseSNI(f *testing.F) {
+	f.Add(BuildClientHello(ClientHelloSpec{ServerName: "seed.example"}))
+	f.Add(BuildClientHello(ClientHelloSpec{}))
+	f.Add([]byte{22, 3, 1, 0, 5, 1, 0, 0, 1, 0})
+	f.Add([]byte("GET / HTTP/1.1\r\n"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sni, err := ParseSNI(data)
+		if err == nil && len(sni) > len(data) {
+			t.Fatalf("SNI %q longer than input", sni)
+		}
+	})
+}
+
+// FuzzBuildParse checks build→parse identity over arbitrary name bytes.
+func FuzzBuildParse(f *testing.F) {
+	f.Add([]byte("example.com"), []byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, nameRaw, sid []byte) {
+		name := make([]byte, 0, 64)
+		for _, b := range nameRaw {
+			if len(name) >= 63 {
+				break
+			}
+			name = append(name, 'a'+b%26)
+		}
+		if len(name) == 0 {
+			return
+		}
+		hello := BuildClientHello(ClientHelloSpec{ServerName: string(name), SessionID: sid})
+		got, err := ParseSNI(hello)
+		if err != nil {
+			t.Fatalf("ParseSNI(built): %v", err)
+		}
+		if got != string(name) {
+			t.Fatalf("round trip %q -> %q", name, got)
+		}
+	})
+}

@@ -1,0 +1,206 @@
+// Package tlswire builds and parses the single TLS message that matters
+// to connection-tampering analysis: the ClientHello, whose cleartext
+// Server Name Indication (SNI) extension is the dominant trigger for
+// HTTPS blocking (paper §2.1).
+//
+// The builder emits a wire-accurate TLS 1.2/1.3-compatible ClientHello
+// record; the parser extracts the SNI from arbitrary (possibly
+// truncated) captured bytes, because the capture pipeline stores at most
+// the first packets of a connection and a ClientHello may be split.
+package tlswire
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// TLS record and handshake constants.
+const (
+	RecordTypeHandshake   = 22
+	HandshakeClientHello  = 1
+	VersionTLS10          = 0x0301
+	VersionTLS12          = 0x0303
+	ExtensionServerName   = 0
+	ExtensionSupportedVer = 43
+	sniHostNameType       = 0
+)
+
+// Parse errors.
+var (
+	ErrNotHandshake   = errors.New("tlswire: not a TLS handshake record")
+	ErrNotClientHello = errors.New("tlswire: not a ClientHello")
+	ErrTruncated      = errors.New("tlswire: truncated message")
+	ErrNoSNI          = errors.New("tlswire: no server_name extension")
+)
+
+// ClientHelloSpec describes the ClientHello to build.
+type ClientHelloSpec struct {
+	ServerName   string   // SNI; empty omits the extension
+	Random       [32]byte // client random
+	SessionID    []byte   // up to 32 bytes
+	CipherSuites []uint16 // defaults to a modern set if empty
+	ALPN         []string // ignored unless non-empty (kept minimal)
+}
+
+var defaultCiphers = []uint16{0x1301, 0x1302, 0x1303, 0xc02f, 0xc030}
+
+// BuildClientHello serializes a TLS handshake record containing a
+// ClientHello per the spec.
+func BuildClientHello(spec ClientHelloSpec) []byte {
+	ciphers := spec.CipherSuites
+	if len(ciphers) == 0 {
+		ciphers = defaultCiphers
+	}
+
+	// Extensions.
+	var ext []byte
+	if spec.ServerName != "" {
+		name := []byte(spec.ServerName)
+		// server_name extension: list length (2) + type (1) + name length (2) + name
+		sni := make([]byte, 0, 5+len(name))
+		sni = append16(sni, uint16(3+len(name)))
+		sni = append(sni, sniHostNameType)
+		sni = append16(sni, uint16(len(name)))
+		sni = append(sni, name...)
+		ext = append16(ext, ExtensionServerName)
+		ext = append16(ext, uint16(len(sni)))
+		ext = append(ext, sni...)
+	}
+	// supported_versions advertising TLS 1.3 and 1.2, so middleboxes
+	// that look for it see a realistic hello.
+	sv := []byte{4, 0x03, 0x04, 0x03, 0x03}
+	ext = append16(ext, ExtensionSupportedVer)
+	ext = append16(ext, uint16(len(sv)))
+	ext = append(ext, sv...)
+
+	// ClientHello body.
+	body := make([]byte, 0, 128+len(ext))
+	body = append16(body, VersionTLS12)
+	body = append(body, spec.Random[:]...)
+	sid := spec.SessionID
+	if len(sid) > 32 {
+		sid = sid[:32]
+	}
+	body = append(body, byte(len(sid)))
+	body = append(body, sid...)
+	body = append16(body, uint16(2*len(ciphers)))
+	for _, c := range ciphers {
+		body = append16(body, c)
+	}
+	body = append(body, 1, 0) // compression methods: null only
+	body = append16(body, uint16(len(ext)))
+	body = append(body, ext...)
+
+	// Handshake header.
+	hs := make([]byte, 0, 4+len(body))
+	hs = append(hs, HandshakeClientHello)
+	hs = append(hs, byte(len(body)>>16), byte(len(body)>>8), byte(len(body)))
+	hs = append(hs, body...)
+
+	// Record header.
+	rec := make([]byte, 0, 5+len(hs))
+	rec = append(rec, RecordTypeHandshake)
+	rec = append16(rec, VersionTLS10) // legacy record version
+	rec = append16(rec, uint16(len(hs)))
+	rec = append(rec, hs...)
+	return rec
+}
+
+func append16(b []byte, v uint16) []byte {
+	return append(b, byte(v>>8), byte(v))
+}
+
+// LooksLikeClientHello reports whether data plausibly begins with a TLS
+// ClientHello record, tolerating truncation after the first 6 bytes.
+// This is the check the paper runs on SYN payloads (§4.1: "only 0.02% of
+// SYN packets contained a valid TLS Client Hello").
+func LooksLikeClientHello(data []byte) bool {
+	if len(data) < 6 {
+		return false
+	}
+	return data[0] == RecordTypeHandshake &&
+		data[1] == 0x03 && data[2] <= 0x04 &&
+		data[5] == HandshakeClientHello
+}
+
+// ParseSNI extracts the server name from a captured ClientHello. It
+// tolerates records truncated by the capture pipeline: if the SNI
+// extension itself is present in the captured prefix it is returned even
+// when the record claims more bytes than were captured.
+func ParseSNI(data []byte) (string, error) {
+	if len(data) < 5 || data[0] != RecordTypeHandshake {
+		return "", ErrNotHandshake
+	}
+	body := data[5:]
+	if len(body) < 4 || body[0] != HandshakeClientHello {
+		return "", ErrNotClientHello
+	}
+	p := body[4:] // skip handshake header
+	// client_version(2) + random(32)
+	if len(p) < 35 {
+		return "", ErrTruncated
+	}
+	p = p[34:]
+	// session id
+	sidLen := int(p[0])
+	if len(p) < 1+sidLen+2 {
+		return "", ErrTruncated
+	}
+	p = p[1+sidLen:]
+	// cipher suites
+	csLen := int(binary.BigEndian.Uint16(p))
+	if len(p) < 2+csLen+1 {
+		return "", ErrTruncated
+	}
+	p = p[2+csLen:]
+	// compression methods
+	cmLen := int(p[0])
+	if len(p) < 1+cmLen+2 {
+		return "", ErrTruncated
+	}
+	p = p[1+cmLen:]
+	// extensions
+	extLen := int(binary.BigEndian.Uint16(p))
+	p = p[2:]
+	if extLen < len(p) {
+		p = p[:extLen]
+	}
+	for len(p) >= 4 {
+		typ := binary.BigEndian.Uint16(p)
+		l := int(binary.BigEndian.Uint16(p[2:]))
+		p = p[4:]
+		if l > len(p) {
+			// Truncated extension: only usable if it is the SNI and
+			// enough of the name survived.
+			if typ == ExtensionServerName {
+				return parseSNIExtension(p)
+			}
+			return "", ErrTruncated
+		}
+		if typ == ExtensionServerName {
+			return parseSNIExtension(p[:l])
+		}
+		p = p[l:]
+	}
+	return "", ErrNoSNI
+}
+
+// parseSNIExtension parses the server_name extension body, tolerating a
+// truncated tail.
+func parseSNIExtension(p []byte) (string, error) {
+	if len(p) < 5 {
+		return "", ErrTruncated
+	}
+	// list length (2), then entry: type(1) + length(2) + name
+	if p[2] != sniHostNameType {
+		return "", ErrNoSNI
+	}
+	nameLen := int(binary.BigEndian.Uint16(p[3:5]))
+	name := p[5:]
+	if nameLen <= len(name) {
+		name = name[:nameLen]
+	} else if len(name) == 0 {
+		return "", ErrTruncated
+	}
+	return string(name), nil
+}

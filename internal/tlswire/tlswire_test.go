@@ -1,0 +1,152 @@
+package tlswire
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildParseRoundTrip(t *testing.T) {
+	hello := BuildClientHello(ClientHelloSpec{ServerName: "blocked.example.com"})
+	got, err := ParseSNI(hello)
+	if err != nil {
+		t.Fatalf("ParseSNI: %v", err)
+	}
+	if got != "blocked.example.com" {
+		t.Errorf("SNI = %q, want %q", got, "blocked.example.com")
+	}
+}
+
+func TestBuildWithSessionIDAndCiphers(t *testing.T) {
+	spec := ClientHelloSpec{
+		ServerName:   "a.example",
+		SessionID:    []byte{1, 2, 3, 4, 5, 6, 7, 8},
+		CipherSuites: []uint16{0x1301},
+	}
+	hello := BuildClientHello(spec)
+	got, err := ParseSNI(hello)
+	if err != nil || got != "a.example" {
+		t.Fatalf("SNI = %q, %v", got, err)
+	}
+}
+
+func TestNoSNI(t *testing.T) {
+	hello := BuildClientHello(ClientHelloSpec{})
+	if _, err := ParseSNI(hello); err != ErrNoSNI {
+		t.Errorf("err = %v, want ErrNoSNI", err)
+	}
+}
+
+func TestLooksLikeClientHello(t *testing.T) {
+	hello := BuildClientHello(ClientHelloSpec{ServerName: "x.example"})
+	if !LooksLikeClientHello(hello) {
+		t.Error("built hello not recognized")
+	}
+	if LooksLikeClientHello(hello[:5]) {
+		t.Error("5-byte prefix should not be recognized")
+	}
+	if LooksLikeClientHello([]byte("GET / HTTP/1.1\r\n")) {
+		t.Error("HTTP recognized as ClientHello")
+	}
+	if LooksLikeClientHello(nil) {
+		t.Error("nil recognized as ClientHello")
+	}
+}
+
+func TestParseSNITruncated(t *testing.T) {
+	hello := BuildClientHello(ClientHelloSpec{ServerName: "very-long-domain-name.example.org"})
+	// The SNI extension is emitted first; even an aggressively truncated
+	// capture that still contains the full name must parse.
+	for cut := len(hello); cut > 0; cut-- {
+		got, err := ParseSNI(hello[:cut])
+		if err == nil && got == "very-long-domain-name.example.org" {
+			continue // full name recovered
+		}
+		if err == nil && !strings.HasPrefix("very-long-domain-name.example.org", got) {
+			t.Fatalf("cut=%d: got unrelated name %q", cut, got)
+		}
+		// Once errors start appearing, shorter prefixes may also error;
+		// the key property is no garbage names, checked above.
+	}
+	// A capture holding everything through the full SNI name must succeed.
+	full := BuildClientHello(ClientHelloSpec{ServerName: "short.example"})
+	// Find the name bytes and cut immediately after them.
+	idx := strings.Index(string(full), "short.example")
+	if idx < 0 {
+		t.Fatal("name not found in wire bytes")
+	}
+	got, err := ParseSNI(full[:idx+len("short.example")])
+	if err != nil || got != "short.example" {
+		t.Errorf("truncated-after-name parse = %q, %v", got, err)
+	}
+}
+
+func TestParseSNIRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte{22},
+		[]byte("GET / HTTP/1.1\r\nHost: x\r\n\r\n"),
+		{22, 3, 1, 0, 5, 2, 0, 0, 1, 0}, // ServerHello, not ClientHello
+	}
+	for i, c := range cases {
+		if _, err := ParseSNI(c); err == nil {
+			t.Errorf("case %d: ParseSNI accepted garbage", i)
+		}
+	}
+}
+
+// TestParseSNIQuick property-tests that any hostname round-trips and
+// that random mutations never panic.
+func TestParseSNIQuick(t *testing.T) {
+	f := func(rnd [32]byte, nameBytes []byte) bool {
+		// Build a printable name from arbitrary bytes.
+		name := make([]byte, 0, len(nameBytes)%64)
+		for _, b := range nameBytes {
+			if len(name) >= 63 {
+				break
+			}
+			name = append(name, 'a'+b%26)
+		}
+		if len(name) == 0 {
+			name = []byte("x")
+		}
+		hello := BuildClientHello(ClientHelloSpec{ServerName: string(name), Random: rnd})
+		got, err := ParseSNI(hello)
+		return err == nil && got == string(name)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseSNINeverPanics feeds truncations and bit flips of a valid
+// hello; the parser must return errors, not panic.
+func TestParseSNINeverPanics(t *testing.T) {
+	hello := BuildClientHello(ClientHelloSpec{ServerName: "panic-proof.example"})
+	for cut := 0; cut <= len(hello); cut++ {
+		_, _ = ParseSNI(hello[:cut])
+	}
+	for i := range hello {
+		mut := append([]byte{}, hello...)
+		mut[i] ^= 0xff
+		_, _ = ParseSNI(mut)
+	}
+}
+
+func BenchmarkBuildClientHello(b *testing.B) {
+	spec := ClientHelloSpec{ServerName: "www.example.com"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = BuildClientHello(spec)
+	}
+}
+
+func BenchmarkParseSNI(b *testing.B) {
+	hello := BuildClientHello(ClientHelloSpec{ServerName: "www.example.com"})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseSNI(hello); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"tamperdetect/internal/domains"
+)
+
+// This file loads scenario definitions from JSON so operators can
+// describe custom country tables without recompiling (used by
+// `trafficgen -config`). The JSON schema mirrors CountryConfig with
+// string names for styles and categories.
+
+// ScenarioFile is the JSON root.
+type ScenarioFile struct {
+	Name  string `json:"name"`
+	Seed  uint64 `json:"seed"`
+	Hours int    `json:"hours"`
+	Total int    `json:"total"`
+	// SYNPayloadSurgeDay < 0 disables the surge (default -1).
+	SYNPayloadSurgeDay *int          `json:"syn_payload_surge_day,omitempty"`
+	Countries          []CountryFile `json:"countries"`
+}
+
+// CountryFile is the JSON form of CountryConfig.
+type CountryFile struct {
+	Code            string  `json:"code"`
+	Share           float64 `json:"share"`
+	ASCount         int     `json:"as_count,omitempty"`
+	ASSkew          float64 `json:"as_skew,omitempty"`
+	IPv6Share       float64 `json:"ipv6_share,omitempty"`
+	V6SeekFactor    float64 `json:"v6_seek_factor,omitempty"`
+	TZOffset        int     `json:"tz_offset,omitempty"`
+	BlockedSeekBase float64 `json:"blocked_seek_base,omitempty"`
+	NightBoost      float64 `json:"night_boost,omitempty"`
+	WeekendFactor   float64 `json:"weekend_factor,omitempty"`
+	Decentralized   bool    `json:"decentralized,omitempty"`
+	MinASIntensity  float64 `json:"min_as_intensity,omitempty"`
+	HTTPOnlyCensor  bool    `json:"http_only_censor,omitempty"`
+	HTTPLeniency    float64 `json:"http_leniency,omitempty"`
+	ForceHTTPShare  float64 `json:"force_http_share,omitempty"`
+	// Profile maps category names to request-mix weights.
+	Profile map[string]float64 `json:"profile,omitempty"`
+	// BlockCoverage maps category names to blocklist coverage, with an
+	// optional "*" key as the floor for unlisted categories.
+	BlockCoverage map[string]float64 `json:"block_coverage,omitempty"`
+	// Styles maps style names to weights.
+	Styles map[string]float64 `json:"styles,omitempty"`
+}
+
+// styleNames maps JSON style names to CensorStyle values.
+var styleNames = map[string]CensorStyle{
+	"gfw":                  StyleGFW,
+	"gfw-ip-block":         StyleGFWIPBlock,
+	"iran-dpi":             StyleIranDPI,
+	"http-reset":           StyleHTTPReset,
+	"tspu":                 StyleTSPU,
+	"ack-guess-random-ttl": StyleAckGuessRandomTTL,
+	"ack-guess-fixed-ttl":  StyleAckGuessFixedTTL,
+	"post-ack-multi-rst":   StylePostACKMultiRST,
+	"enterprise-rst":       StyleEnterpriseRST,
+	"enterprise-rstack":    StyleEnterpriseRSTACK,
+	"ip-blackhole":         StyleIPBlackhole,
+	"ip-reset-rst":         StyleIPResetRST,
+	"ip-reset-rstack":      StyleIPResetRSTACK,
+	"ipid-copy":            StyleIPIDCopy,
+	"drop-rstack":          StyleDropRSTACK,
+	"psh-blackhole":        StylePSHBlackhole,
+	"psh-single-rst":       StylePSHSingleRST,
+	"psh-double-rst":       StylePSHDoubleRST,
+	"psh-single-rstack":    StylePSHSingleRSTACK,
+}
+
+// StyleNames returns the accepted style names, for error messages and
+// documentation.
+func StyleNames() []string {
+	out := make([]string, 0, len(styleNames))
+	for n := range styleNames {
+		out = append(out, n)
+	}
+	return out
+}
+
+// categoryByName resolves a Table 2 category display name or slug.
+func categoryByName(name string) (domains.Category, bool) {
+	for _, c := range domains.AllCategories() {
+		if c.String() == name {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// LoadScenario reads a JSON scenario description and assembles it.
+func LoadScenario(r io.Reader) (*Scenario, error) {
+	var sf ScenarioFile
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sf); err != nil {
+		return nil, fmt.Errorf("workload: parsing scenario: %w", err)
+	}
+	if sf.Total <= 0 {
+		return nil, fmt.Errorf("workload: scenario needs total > 0")
+	}
+	if sf.Hours <= 0 {
+		sf.Hours = 24
+	}
+	if len(sf.Countries) == 0 {
+		return nil, fmt.Errorf("workload: scenario needs at least one country")
+	}
+	countries := make([]CountryConfig, 0, len(sf.Countries))
+	for i, cf := range sf.Countries {
+		c, err := cf.toConfig()
+		if err != nil {
+			return nil, fmt.Errorf("workload: country %d (%s): %w", i, cf.Code, err)
+		}
+		countries = append(countries, c)
+	}
+	s, err := AssembleScenario(sf.Name, sf.Total, sf.Hours, sf.Seed, countries)
+	if err != nil {
+		return nil, err
+	}
+	if sf.SYNPayloadSurgeDay != nil {
+		s.SYNPayloadSurgeDay = *sf.SYNPayloadSurgeDay
+	}
+	return s, nil
+}
+
+// LoadScenarioFile reads a scenario from a JSON file.
+func LoadScenarioFile(path string) (*Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	defer f.Close()
+	return LoadScenario(f)
+}
+
+// toConfig converts the JSON form to a CountryConfig with defaults.
+func (cf *CountryFile) toConfig() (CountryConfig, error) {
+	if cf.Code == "" {
+		return CountryConfig{}, fmt.Errorf("missing code")
+	}
+	if cf.Share <= 0 {
+		return CountryConfig{}, fmt.Errorf("share must be > 0")
+	}
+	c := CountryConfig{
+		Code:            cf.Code,
+		Share:           cf.Share,
+		ASCount:         cf.ASCount,
+		ASSkew:          cf.ASSkew,
+		IPv6Share:       cf.IPv6Share,
+		V6SeekFactor:    cf.V6SeekFactor,
+		TZOffset:        cf.TZOffset,
+		BlockedSeekBase: cf.BlockedSeekBase,
+		NightBoost:      cf.NightBoost,
+		WeekendFactor:   cf.WeekendFactor,
+		Decentralized:   cf.Decentralized,
+		MinASIntensity:  cf.MinASIntensity,
+		HTTPOnlyCensor:  cf.HTTPOnlyCensor,
+		HTTPLeniency:    cf.HTTPLeniency,
+		ForceHTTPShare:  cf.ForceHTTPShare,
+	}
+	if len(cf.Profile) > 0 {
+		var p domains.CategoryProfile
+		for name, w := range cf.Profile {
+			cat, ok := categoryByName(name)
+			if !ok {
+				return c, fmt.Errorf("unknown profile category %q", name)
+			}
+			p[cat] = w
+		}
+		p.Normalize()
+		c.Profile = p
+	}
+	if len(cf.BlockCoverage) > 0 {
+		floor := cf.BlockCoverage["*"]
+		overrides := map[domains.Category]float64{}
+		for name, v := range cf.BlockCoverage {
+			if name == "*" {
+				continue
+			}
+			cat, ok := categoryByName(name)
+			if !ok {
+				return c, fmt.Errorf("unknown coverage category %q", name)
+			}
+			overrides[cat] = v
+		}
+		c.BlockCoverage = cov(floor, overrides)
+	} else {
+		c.BlockCoverage = cov(0.004, nil)
+	}
+	for name, w := range cf.Styles {
+		style, ok := styleNames[name]
+		if !ok {
+			return c, fmt.Errorf("unknown style %q (known: %v)", name, StyleNames())
+		}
+		c.Styles = append(c.Styles, WeightedStyle{Style: style, Weight: w})
+	}
+	return quirks(c), nil
+}

@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"tamperdetect/internal/domains"
+)
+
+const sampleScenarioJSON = `{
+  "name": "custom",
+  "seed": 9,
+  "hours": 48,
+  "total": 1000,
+  "countries": [
+    {
+      "code": "AA",
+      "share": 0.7,
+      "tz_offset": 8,
+      "blocked_seek_base": 0.3,
+      "profile": {"Adult Themes": 0.5, "News": 0.5},
+      "block_coverage": {"*": 0.01, "Adult Themes": 0.6},
+      "styles": {"gfw": 0.8, "ip-blackhole": 0.2}
+    },
+    {
+      "code": "BB",
+      "share": 0.3,
+      "http_only_censor": true,
+      "force_http_share": 0.9,
+      "blocked_seek_base": 0.5,
+      "styles": {"http-reset": 1}
+    }
+  ]
+}`
+
+func TestLoadScenario(t *testing.T) {
+	s, err := LoadScenario(strings.NewReader(sampleScenarioJSON))
+	if err != nil {
+		t.Fatalf("LoadScenario: %v", err)
+	}
+	if s.Name != "custom" || s.Hours != 48 || s.Total != 1000 {
+		t.Errorf("scenario header = %q/%d/%d", s.Name, s.Hours, s.Total)
+	}
+	if len(s.Countries) != 2 {
+		t.Fatalf("countries = %d", len(s.Countries))
+	}
+	aa := s.Countries[0]
+	if aa.Code != "AA" || aa.BlockCoverage[domains.AdultThemes] != 0.6 {
+		t.Errorf("AA config: %+v", aa.BlockCoverage)
+	}
+	if aa.BlockCoverage[domains.Technology] != 0.01 {
+		t.Errorf("AA floor = %v, want 0.01", aa.BlockCoverage[domains.Technology])
+	}
+	if aa.Profile[domains.AdultThemes] != 0.5 {
+		t.Errorf("AA profile = %v", aa.Profile[domains.AdultThemes])
+	}
+	if len(aa.Styles) != 2 {
+		t.Errorf("AA styles = %v", aa.Styles)
+	}
+	bb := s.Countries[1]
+	if !bb.HTTPOnlyCensor || bb.ForceHTTPShare != 0.9 {
+		t.Errorf("BB config: %+v", bb)
+	}
+	// Defaults applied by quirks.
+	if aa.ScannerShare == 0 || aa.ASCount == 0 {
+		t.Error("quirk defaults not applied")
+	}
+	// The scenario must actually run.
+	conns := s.Run(0)
+	if len(conns) < 900 {
+		t.Errorf("run produced %d connections", len(conns))
+	}
+}
+
+func TestLoadScenarioErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad json":      `{`,
+		"no countries":  `{"total": 10, "countries": []}`,
+		"no total":      `{"countries": [{"code":"AA","share":1}]}`,
+		"unknown style": `{"total":10,"countries":[{"code":"AA","share":1,"styles":{"nope":1}}]}`,
+		"unknown cat":   `{"total":10,"countries":[{"code":"AA","share":1,"profile":{"Nope":1}}]}`,
+		"missing code":  `{"total":10,"countries":[{"share":1}]}`,
+		"zero share":    `{"total":10,"countries":[{"code":"AA"}]}`,
+		"unknown field": `{"total":10,"zzz":1,"countries":[{"code":"AA","share":1}]}`,
+	}
+	for name, in := range cases {
+		if _, err := LoadScenario(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestStyleNamesComplete(t *testing.T) {
+	// Every style constant except StyleNone must be reachable by name.
+	byValue := map[CensorStyle]bool{}
+	for _, v := range styleNames {
+		byValue[v] = true
+	}
+	for s := StyleGFW; s <= StylePSHSingleRSTACK; s++ {
+		if !byValue[s] {
+			t.Errorf("style %d has no JSON name", s)
+		}
+	}
+}
+
+func TestSurgeDayOverride(t *testing.T) {
+	in := `{"total":10,"hours":200,"syn_payload_surge_day":-1,"countries":[{"code":"AA","share":1}]}`
+	s, err := LoadScenario(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SYNPayloadSurgeDay != -1 {
+		t.Errorf("surge day = %d, want disabled", s.SYNPayloadSurgeDay)
+	}
+}

@@ -1,0 +1,432 @@
+package workload
+
+import (
+	"fmt"
+
+	"tamperdetect/internal/domains"
+	"tamperdetect/internal/geo"
+)
+
+// This file encodes the per-country scenario table behind the global
+// experiments: the ~46 countries on the x-axis of Figure 4 plus their
+// censorship character as the paper reports or cites it. Parameters
+// are calibrated to the paper's qualitative shape (who tampers most,
+// with which signatures, on which categories) — see EXPERIMENTS.md for
+// the paper-vs-measured comparison.
+
+// defaultProfile is the generic request category mix.
+func defaultProfile() domains.CategoryProfile {
+	var p domains.CategoryProfile
+	p[domains.ContentServers] = 0.18
+	p[domains.Technology] = 0.14
+	p[domains.Business] = 0.12
+	p[domains.Advertisements] = 0.10
+	p[domains.AdultThemes] = 0.08
+	p[domains.HobbiesInterests] = 0.08
+	p[domains.News] = 0.07
+	p[domains.SocialNetworks] = 0.07
+	p[domains.Chat] = 0.05
+	p[domains.Education] = 0.04
+	p[domains.Gaming] = 0.04
+	p[domains.LoginScreens] = 0.03
+	p.Normalize()
+	return p
+}
+
+// cov builds a BlockCoverage map with a small default floor so every
+// category can occasionally be blocked (as Table 2 shows for DE/GB/US).
+func cov(floor float64, overrides map[domains.Category]float64) map[domains.Category]float64 {
+	m := make(map[domains.Category]float64, int(domains.NumCategories))
+	for _, c := range domains.AllCategories() {
+		m[c] = floor
+	}
+	for c, v := range overrides {
+		m[c] = v
+	}
+	return m
+}
+
+// quirks applies the global client-quirk defaults (§4.2 rates are
+// small) onto a config.
+func quirks(c CountryConfig) CountryConfig {
+	if c.ScannerShare == 0 {
+		// Scanners cause ≈1% of ⟨SYN → RST⟩ matches (§4.2).
+		c.ScannerShare = 0.0008
+	}
+	if c.HEResetShare == 0 {
+		c.HEResetShare = 0.002
+	}
+	if c.HEDropShare == 0 {
+		// Abandoned SYNs (Happy Eyeballs losers, flaky mobile clients,
+		// SYN-flood residue past the DDoS scrubbers) are the largest
+		// benign contributor to the Post-SYN stage (§4.1: 43.2%).
+		c.HEDropShare = 0.095
+	}
+	if c.StallShare == 0 {
+		c.StallShare = 0.02
+	}
+	if c.AbandonShare == 0 {
+		// Idle-without-FIN clients are the uncovered ~31% of the
+		// Post-Data stage (§4.1).
+		c.AbandonShare = 0.028
+	}
+	if c.ResetCloseShare == 0 {
+		// RST-instead-of-FIN closers are the matched ~69% of the
+		// Post-Data stage, appearing from every country (§4.1).
+		c.ResetCloseShare = 0.048
+	}
+	if c.WeirdShare == 0 {
+		c.WeirdShare = 0.007
+	}
+	if c.SYNPayloadShare == 0 {
+		c.SYNPayloadShare = 0.02
+	}
+	if c.WeekendFactor == 0 {
+		c.WeekendFactor = 0.75
+	}
+	if c.HTTPLeniency == 0 && !c.HTTPOnlyCensor {
+		c.HTTPLeniency = 0.72
+	}
+	if c.NightBoost == 0 {
+		c.NightBoost = 0.5
+	}
+	if c.IPv6Share == 0 {
+		c.IPv6Share = 0.25
+	}
+	if c.ASCount == 0 {
+		c.ASCount = 6
+	}
+	if c.ASSkew == 0 {
+		c.ASSkew = 0.4
+	}
+	if c.Profile == (domains.CategoryProfile{}) {
+		c.Profile = defaultProfile()
+	}
+	return c
+}
+
+// genericCensored builds a mid-table censored country.
+func genericCensored(code string, share, seek float64, tz int, styles []WeightedStyle) CountryConfig {
+	return quirks(CountryConfig{
+		Code: code, Share: share, TZOffset: tz,
+		BlockedSeekBase: seek,
+		BlockCoverage: cov(0.004, map[domains.Category]float64{
+			domains.AdultThemes:    0.25,
+			domains.News:           0.12,
+			domains.SocialNetworks: 0.10,
+			domains.Chat:           0.08,
+		}),
+		Styles: styles,
+	})
+}
+
+// DefaultCountries returns the full country table of the global
+// scenario (Figure 4's x-axis).
+func DefaultCountries() []CountryConfig {
+	var cs []CountryConfig
+	add := func(c CountryConfig) { cs = append(cs, quirks(c)) }
+
+	// Turkmenistan: blanket HTTP blocking, one state ISP, TLS-blind
+	// (⟨SYN;ACK → RST⟩ dominant; Figure 7b outlier).
+	add(CountryConfig{
+		Code: "TM", Share: 0.004, TZOffset: 5, ASCount: 2, ASSkew: 2.5,
+		BlockedSeekBase: 0.72, ForceHTTPShare: 0.80, HTTPOnlyCensor: true,
+		IPv6Share: 0.02,
+		BlockCoverage: cov(0.35, map[domains.Category]float64{
+			domains.AdultThemes: 0.9, domains.News: 0.85, domains.SocialNetworks: 0.9,
+			domains.Chat: 0.8, domains.ContentServers: 0.6,
+		}),
+		Styles: []WeightedStyle{{StyleHTTPReset, 0.85}, {StyleIPBlackhole, 0.15}},
+	})
+	// Peru: advertising/ISP-level blocking, AS-heterogeneous.
+	add(CountryConfig{
+		Code: "PE", Share: 0.012, TZOffset: -5, ASCount: 8, Decentralized: true, MinASIntensity: 0.45,
+		BlockedSeekBase: 0.50,
+		Profile: func() domains.CategoryProfile {
+			p := defaultProfile()
+			p[domains.Advertisements] = 0.30
+			p.Normalize()
+			return p
+		}(),
+		BlockCoverage: cov(0.02, map[domains.Category]float64{
+			domains.Advertisements: 0.62, domains.Business: 0.06, domains.Technology: 0.085,
+		}),
+		Styles: []WeightedStyle{{StyleIPBlackhole, 0.45}, {StyleEnterpriseRSTACK, 0.3}, {StyleIPResetRST, 0.25}},
+	})
+	// Uzbekistan: drop + single RST+ACK after handshake.
+	add(genericCensored("UZ", 0.005, 0.45, 5,
+		[]WeightedStyle{{StyleDropRSTACK, 0.75}, {StyleIranDPI, 0.25}}))
+	// Cuba: IP blackholes plus handshake drops.
+	add(genericCensored("CU", 0.003, 0.42, -5,
+		[]WeightedStyle{{StyleIPBlackhole, 0.5}, {StyleIranDPI, 0.35}, {StyleIPResetRSTACK, 0.15}}))
+	// Saudi Arabia: content resets after the first data packet.
+	add(genericCensored("SA", 0.012, 0.40, 3,
+		[]WeightedStyle{{StylePSHSingleRST, 0.45}, {StylePSHSingleRSTACK, 0.35}, {StyleIranDPI, 0.2}}))
+	// Kazakhstan: RST+ACK after handshake; known IP-ID-copying MitM.
+	add(genericCensored("KZ", 0.005, 0.37, 6,
+		[]WeightedStyle{{StyleDropRSTACK, 0.6}, {StyleIPIDCopy, 0.25}, {StyleIPBlackhole, 0.15}}))
+	// Russia: decentralized TSPU, many ASes, very mixed signatures.
+	add(CountryConfig{
+		Code: "RU", Share: 0.035, TZOffset: 3, ASCount: 16, ASSkew: 0.25,
+		Decentralized: true, MinASIntensity: 0.3,
+		BlockedSeekBase: 0.35,
+		Profile: func() domains.CategoryProfile {
+			p := defaultProfile()
+			p[domains.HobbiesInterests] = 0.2
+			p.Normalize()
+			return p
+		}(),
+		BlockCoverage: cov(0.01, map[domains.Category]float64{
+			domains.HobbiesInterests: 0.28, domains.News: 0.2, domains.SocialNetworks: 0.18,
+			domains.Business: 0.03, domains.Advertisements: 0.074,
+		}),
+		Styles: []WeightedStyle{{StyleTSPU, 0.9}, {StyleIPBlackhole, 0.1}},
+	})
+	// Pakistan: decentralized mixed dropping/resets.
+	add(CountryConfig{
+		Code: "PK", Share: 0.012, TZOffset: 5, ASCount: 9, Decentralized: true, MinASIntensity: 0.35,
+		BlockedSeekBase: 0.33,
+		BlockCoverage: cov(0.008, map[domains.Category]float64{
+			domains.AdultThemes: 0.5, domains.News: 0.15, domains.SocialNetworks: 0.2,
+		}),
+		Styles: []WeightedStyle{{StyleIranDPI, 0.4}, {StyleIPBlackhole, 0.3}, {StylePSHSingleRST, 0.3}},
+	})
+	add(genericCensored("NI", 0.002, 0.31, -6,
+		[]WeightedStyle{{StyleIPBlackhole, 0.6}, {StylePSHBlackhole, 0.4}}))
+	// Ukraine: commercial firewall RST+ACK after data (§5.1).
+	add(CountryConfig{
+		Code: "UA", Share: 0.008, TZOffset: 2, ASCount: 10, Decentralized: true, MinASIntensity: 0.25,
+		BlockedSeekBase: 0.29,
+		BlockCoverage: cov(0.015, map[domains.Category]float64{
+			domains.SocialNetworks: 0.3, domains.News: 0.2, domains.Business: 0.05,
+		}),
+		Styles: []WeightedStyle{{StyleEnterpriseRSTACK, 0.65}, {StyleTSPU, 0.35}},
+	})
+	add(genericCensored("BD", 0.006, 0.28, 6,
+		[]WeightedStyle{{StyleIranDPI, 0.5}, {StylePSHSingleRST, 0.5}}))
+	// Mexico: decentralized, not previously well studied.
+	add(CountryConfig{
+		Code: "MX", Share: 0.018, TZOffset: -6, ASCount: 10, Decentralized: true, MinASIntensity: 0.2,
+		BlockedSeekBase: 0.27,
+		Profile: func() domains.CategoryProfile {
+			p := defaultProfile()
+			p[domains.Advertisements] = 0.22
+			p.Normalize()
+			return p
+		}(),
+		BlockCoverage: cov(0.01, map[domains.Category]float64{
+			domains.Advertisements: 0.126, domains.Technology: 0.034, domains.Business: 0.029,
+		}),
+		Styles: []WeightedStyle{{StyleEnterpriseRST, 0.4}, {StyleIPBlackhole, 0.3}, {StylePSHSingleRSTACK, 0.3}},
+	})
+	// Iran: ClientHello drops, strong night pattern, protest-reactive.
+	add(CountryConfig{
+		Code: "IR", Share: 0.015, TZOffset: 4, ASCount: 6, ASSkew: 0.9,
+		BlockedSeekBase: 0.26, NightBoost: 1.3, WeekendFactor: 0.55,
+		Profile: func() domains.CategoryProfile {
+			p := defaultProfile()
+			p[domains.ContentServers] = 0.28
+			p[domains.Technology] = 0.22
+			p.Normalize()
+			return p
+		}(),
+		BlockCoverage: cov(0.012, map[domains.Category]float64{
+			domains.ContentServers: 0.30, domains.Technology: 0.022, domains.Business: 0.014,
+			domains.SocialNetworks: 0.5, domains.News: 0.4,
+		}),
+		Styles: []WeightedStyle{{StyleIranDPI, 0.85}, {StyleIPBlackhole, 0.15}},
+	})
+	add(genericCensored("OM", 0.002, 0.24, 4,
+		[]WeightedStyle{{StylePSHSingleRSTACK, 0.6}, {StyleIranDPI, 0.4}}))
+	add(genericCensored("DJ", 0.001, 0.23, 3,
+		[]WeightedStyle{{StyleIPBlackhole, 0.7}, {StylePSHSingleRST, 0.3}}))
+	add(genericCensored("AZ", 0.002, 0.22, 4,
+		[]WeightedStyle{{StyleTSPU, 0.7}, {StyleIPResetRST, 0.3}}))
+	add(genericCensored("AE", 0.006, 0.21, 4,
+		[]WeightedStyle{{StylePSHSingleRSTACK, 0.5}, {StyleIranDPI, 0.5}}))
+	add(genericCensored("SD", 0.002, 0.20, 2,
+		[]WeightedStyle{{StyleIPBlackhole, 0.6}, {StyleIranDPI, 0.4}}))
+	// China: the GFW. TLS more tampered than HTTP (Figure 7b).
+	add(CountryConfig{
+		Code: "CN", Share: 0.10, TZOffset: 8, ASCount: 9, ASSkew: 0.5,
+		BlockedSeekBase: 0.17, NightBoost: 0.6,
+		IPv6Share: 0.35,
+		Profile: func() domains.CategoryProfile {
+			p := defaultProfile()
+			p[domains.AdultThemes] = 0.14
+			p[domains.Education] = 0.07
+			p.Normalize()
+			return p
+		}(),
+		BlockCoverage: cov(0.008, map[domains.Category]float64{
+			domains.AdultThemes: 0.51, domains.ContentServers: 0.031, domains.Education: 0.213,
+			domains.SocialNetworks: 0.35, domains.News: 0.3,
+		}),
+		Styles: []WeightedStyle{{StyleGFW, 0.8}, {StyleGFWIPBlock, 0.12}, {StylePSHBlackhole, 0.08}},
+	})
+	add(genericCensored("BY", 0.003, 0.18, 3,
+		[]WeightedStyle{{StyleTSPU, 0.8}, {StyleIPBlackhole, 0.2}}))
+	add(genericCensored("RW", 0.001, 0.17, 2,
+		[]WeightedStyle{{StyleIranDPI, 0.6}, {StyleIPResetRST, 0.4}}))
+	add(genericCensored("EG", 0.008, 0.16, 2,
+		[]WeightedStyle{{StylePSHBlackhole, 0.5}, {StyleIranDPI, 0.5}}))
+	add(genericCensored("YE", 0.001, 0.155, 3,
+		[]WeightedStyle{{StyleIPBlackhole, 0.5}, {StyleIranDPI, 0.5}}))
+	add(genericCensored("AF", 0.001, 0.15, 4,
+		[]WeightedStyle{{StyleIPBlackhole, 0.6}, {StylePSHSingleRST, 0.4}}))
+	add(genericCensored("LA", 0.001, 0.145, 7,
+		[]WeightedStyle{{StylePSHSingleRST, 0.6}, {StyleIPBlackhole, 0.4}}))
+	add(genericCensored("MM", 0.002, 0.14, 6,
+		[]WeightedStyle{{StyleIPBlackhole, 0.5}, {StyleIranDPI, 0.5}}))
+	add(genericCensored("IQ", 0.003, 0.135, 3,
+		[]WeightedStyle{{StyleIranDPI, 0.5}, {StylePSHSingleRSTACK, 0.5}}))
+	add(genericCensored("KW", 0.002, 0.13, 3,
+		[]WeightedStyle{{StylePSHSingleRSTACK, 0.6}, {StyleIranDPI, 0.4}}))
+	add(genericCensored("TR", 0.015, 0.115, 3,
+		[]WeightedStyle{{StyleTSPU, 0.6}, {StylePSHSingleRST, 0.4}}))
+	add(genericCensored("BH", 0.001, 0.11, 3,
+		[]WeightedStyle{{StylePSHSingleRSTACK, 0.6}, {StyleIranDPI, 0.4}}))
+	add(genericCensored("ET", 0.001, 0.105, 3,
+		[]WeightedStyle{{StyleIPBlackhole, 0.6}, {StyleIranDPI, 0.4}}))
+	// India: Adult-heavy blocking via ISP resets and drops.
+	add(CountryConfig{
+		Code: "IN", Share: 0.08, TZOffset: 5, ASCount: 12, Decentralized: true, MinASIntensity: 0.4,
+		BlockedSeekBase: 0.10, IPv6Share: 0.45,
+		Profile: func() domains.CategoryProfile {
+			p := defaultProfile()
+			p[domains.AdultThemes] = 0.2
+			p[domains.Chat] = 0.09
+			p.Normalize()
+			return p
+		}(),
+		BlockCoverage: cov(0.006, map[domains.Category]float64{
+			domains.AdultThemes: 0.183, domains.Chat: 0.034, domains.ContentServers: 0.024,
+		}),
+		Styles: []WeightedStyle{{StylePSHSingleRST, 0.45}, {StylePSHBlackhole, 0.3}, {StyleIranDPI, 0.25}},
+	})
+	add(genericCensored("HN", 0.001, 0.095, -6,
+		[]WeightedStyle{{StyleIPBlackhole, 0.6}, {StyleEnterpriseRST, 0.4}}))
+	add(genericCensored("ER", 0.0005, 0.09, 3,
+		[]WeightedStyle{{StyleIPBlackhole, 0.7}, {StyleIranDPI, 0.3}}))
+	add(genericCensored("PS", 0.001, 0.085, 2,
+		[]WeightedStyle{{StyleIranDPI, 0.5}, {StylePSHSingleRST, 0.5}}))
+	add(genericCensored("MY", 0.006, 0.08, 8,
+		[]WeightedStyle{{StyleIranDPI, 0.5}, {StylePSHSingleRSTACK, 0.5}}))
+	add(genericCensored("TH", 0.007, 0.075, 7,
+		[]WeightedStyle{{StylePSHSingleRST, 0.5}, {StyleIranDPI, 0.5}}))
+	// South Korea: ack-guessing injectors with randomized TTLs.
+	add(CountryConfig{
+		Code: "KR", Share: 0.022, TZOffset: 9, ASCount: 5, ASSkew: 1.2,
+		BlockedSeekBase: 0.07, IPv6Share: 0.2,
+		Profile: func() domains.CategoryProfile {
+			p := defaultProfile()
+			p[domains.AdultThemes] = 0.18
+			p[domains.Gaming] = 0.1
+			p.Normalize()
+			return p
+		}(),
+		BlockCoverage: cov(0.004, map[domains.Category]float64{
+			domains.AdultThemes: 0.376, domains.Gaming: 0.015, domains.LoginScreens: 0.305,
+		}),
+		Styles: []WeightedStyle{{StyleAckGuessRandomTTL, 0.75}, {StylePSHDoubleRST, 0.25}},
+	})
+	add(genericCensored("VN", 0.009, 0.065, 7,
+		[]WeightedStyle{{StyleIranDPI, 0.5}, {StyleIPBlackhole, 0.5}}))
+	add(genericCensored("VE", 0.003, 0.06, -4,
+		[]WeightedStyle{{StyleTSPU, 0.6}, {StyleIPBlackhole, 0.4}}))
+	add(genericCensored("SY", 0.001, 0.05, 3,
+		[]WeightedStyle{{StyleIranDPI, 0.6}, {StyleIPBlackhole, 0.4}}))
+	// Sri Lanka: post-handshake drops, much heavier on IPv4 than IPv6
+	// (Figure 7a: >40% v4 vs <25% v6).
+	lk := genericCensored("LK", 0.007, 0.35, 5,
+		[]WeightedStyle{{StyleIranDPI, 0.7}, {StyleDropRSTACK, 0.3}})
+	lk.IPv6Share = 0.3
+	lk.V6SeekFactor = 0.3
+	add(lk)
+	// Kenya: the Figure 7a counterexample — IPv6 tampering roughly
+	// double the IPv4 rate.
+	ke := genericCensored("KE", 0.007, 0.12, 3,
+		[]WeightedStyle{{StylePSHSingleRST, 0.6}, {StyleIPBlackhole, 0.4}})
+	ke.IPv6Share = 0.35
+	ke.V6SeekFactor = 2.4
+	add(ke)
+	// Lightly-tampered large economies: enterprise firewalls dominate.
+	western := func(code string, share float64, tz int, seek float64) CountryConfig {
+		return CountryConfig{
+			Code: code, Share: share, TZOffset: tz, ASCount: 14, ASSkew: 0.15,
+			Decentralized: true, MinASIntensity: 0.0,
+			BlockedSeekBase: seek, IPv6Share: 0.45,
+			BlockCoverage: cov(0.0012, map[domains.Category]float64{
+				domains.ContentServers: 0.005, domains.Technology: 0.0032,
+				domains.Business: 0.0028, domains.AdultThemes: 0.004,
+			}),
+			Styles: []WeightedStyle{{StyleEnterpriseRST, 0.5}, {StyleEnterpriseRSTACK, 0.5}},
+		}
+	}
+	add(western("GB", 0.05, 0, 0.045))
+	add(western("US", 0.19, -5, 0.035))
+	add(western("DE", 0.05, 1, 0.03))
+	// North Korea: negligible traffic.
+	add(CountryConfig{
+		Code: "KP", Share: 0.0002, TZOffset: 9, ASCount: 1, IPv6Share: 0.01,
+		BlockedSeekBase: 0.02,
+		BlockCoverage:   cov(0.002, nil),
+		Styles:          []WeightedStyle{{StyleIPBlackhole, 1}},
+	})
+	// The rest of the world, lightly touched by enterprise firewalls.
+	rest := western("FR", 0.04, 1, 0.03)
+	add(rest)
+	for _, r := range []struct {
+		code  string
+		share float64
+		tz    int
+	}{
+		{"BR", 0.05, -3}, {"JP", 0.05, 9}, {"CA", 0.03, -5}, {"AU", 0.02, 10},
+		{"NL", 0.02, 1}, {"IT", 0.025, 1}, {"ES", 0.025, 1}, {"PL", 0.015, 1},
+		{"ID", 0.03, 7}, {"NG", 0.012, 1}, {"ZA", 0.012, 2}, {"AR", 0.015, -3},
+	} {
+		w := western(r.code, r.share, r.tz, 0.02)
+		add(w)
+	}
+	return cs
+}
+
+// BuildScenario assembles the default global scenario: the country
+// table, a generated domain universe, and a geo address plan.
+func BuildScenario(name string, total, hours int, seed uint64) (*Scenario, error) {
+	countries := DefaultCountries()
+	return AssembleScenario(name, total, hours, seed, countries)
+}
+
+// AssembleScenario builds a scenario from an explicit country table.
+func AssembleScenario(name string, total, hours int, seed uint64, countries []CountryConfig) (*Scenario, error) {
+	var specs []geo.CountrySpec
+	for _, c := range countries {
+		asCount := c.ASCount
+		if asCount == 0 {
+			asCount = 6
+		}
+		specs = append(specs, geo.CountrySpec{Code: c.Code, ASCount: asCount, Skew: c.ASSkew})
+	}
+	db, err := geo.Build(specs, seed^0x9e0)
+	if err != nil {
+		return nil, fmt.Errorf("workload: building geo plan: %w", err)
+	}
+	ucfg := domains.DefaultConfig()
+	ucfg.Seed = seed ^ 0xd0
+	s := &Scenario{
+		Name:               name,
+		Seed:               seed,
+		Hours:              hours,
+		Total:              total,
+		Countries:          countries,
+		Universe:           domains.Generate(ucfg),
+		Geo:                db,
+		SYNPayloadSurgeDay: -1,
+	}
+	if hours >= 6*24 {
+		// Long scenarios include one §4.1-style SYN-payload surge day.
+		s.SYNPayloadSurgeDay = 5
+	}
+	return s, nil
+}

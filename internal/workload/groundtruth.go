@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tamperdetect/internal/core"
+)
+
+// This file implements the ground-truth validation experiment — an
+// extension the paper could not run: in the wild there is no oracle
+// for which connections were actually censored, but the simulator
+// knows. We measure the classifier's precision and recall against the
+// generator's intent, per censor style, quantifying §4.2's qualitative
+// claims about false-positive sources.
+
+// GroundTruth summarizes classifier accuracy against generator intent.
+type GroundTruth struct {
+	// Censored/NotCensored count evaluated connections by intent.
+	Censored    int
+	NotCensored int
+	// TruePos: censored and matched a signature. FalseNeg: censored but
+	// classified clean. FalsePos: not censored yet matched a signature.
+	TruePos, FalseNeg, FalsePos int
+	// Invisible counts censored connections whose every packet was
+	// dropped before the server — in-path censorship of the first SYN,
+	// which passive detection cannot even enumerate (§3.4).
+	Invisible int
+	// FalsePosBenign counts false positives from intentionally
+	// anomalous clients (scanners, Happy Eyeballs, reset-closers) —
+	// the §4.2 threat-to-validity sources, as opposed to unexplained
+	// ones.
+	FalsePosBenign int
+	// PerStyle is recall per censor style.
+	PerStyle map[CensorStyle]*StyleRecall
+}
+
+// StyleRecall is one style's detection rate.
+type StyleRecall struct {
+	Total    int
+	Detected int
+	// TopSignature is the most frequent signature the style produced.
+	TopSignature core.Signature
+	sigCounts    map[core.Signature]int
+}
+
+// Recall is detected/total.
+func (s *StyleRecall) Recall() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.Detected) / float64(s.Total)
+}
+
+// Precision is TP/(TP+FP).
+func (g *GroundTruth) Precision() float64 {
+	if g.TruePos+g.FalsePos == 0 {
+		return 0
+	}
+	return float64(g.TruePos) / float64(g.TruePos+g.FalsePos)
+}
+
+// Recall is TP/(TP+FN).
+func (g *GroundTruth) Recall() float64 {
+	if g.TruePos+g.FalseNeg == 0 {
+		return 0
+	}
+	return float64(g.TruePos) / float64(g.TruePos+g.FalseNeg)
+}
+
+// benignAnomaly reports whether the spec is one of the §4.2 sources
+// that legitimately mimic tampering signatures.
+func benignAnomaly(spec *ConnSpec) bool {
+	switch spec.Behavior {
+	case 0: // BehaviorNormal
+		return false
+	default:
+		return true
+	}
+}
+
+// ValidateGroundTruth simulates up to maxConns of the scenario's specs
+// and scores the classifier against the generator's intent.
+func ValidateGroundTruth(s *Scenario, maxConns int, workers int) GroundTruth {
+	specs := s.Specs()
+	if maxConns > 0 && len(specs) > maxConns {
+		specs = specs[:maxConns]
+	}
+	conns := s.RunSpecs(specs, workers)
+	cl := core.NewClassifier(core.DefaultConfig())
+	g := GroundTruth{PerStyle: map[CensorStyle]*StyleRecall{}}
+	for i := range conns {
+		spec := &specs[i]
+		if conns[i] == nil {
+			// Nothing reached the server: the connection is invisible
+			// to a passive observer.
+			if spec.CensorActive {
+				g.Censored++
+				g.FalseNeg++
+				g.Invisible++
+			}
+			continue
+		}
+		res := cl.Classify(conns[i])
+		matched := res.Signature.IsTampering()
+		if spec.CensorActive {
+			g.Censored++
+			sr := g.PerStyle[spec.Style]
+			if sr == nil {
+				sr = &StyleRecall{sigCounts: map[core.Signature]int{}}
+				g.PerStyle[spec.Style] = sr
+			}
+			sr.Total++
+			if matched {
+				g.TruePos++
+				sr.Detected++
+				sr.sigCounts[res.Signature]++
+				if sr.sigCounts[res.Signature] > sr.sigCounts[sr.TopSignature] || sr.TopSignature == 0 {
+					sr.TopSignature = res.Signature
+				}
+			} else {
+				g.FalseNeg++
+			}
+			continue
+		}
+		g.NotCensored++
+		if matched {
+			g.FalsePos++
+			if benignAnomaly(spec) {
+				g.FalsePosBenign++
+			}
+		}
+	}
+	return g
+}
+
+// styleDisplayNames maps styles back to their JSON names for reports.
+func styleDisplayName(s CensorStyle) string {
+	for name, v := range styleNames {
+		if v == s {
+			return name
+		}
+	}
+	return fmt.Sprintf("style-%d", int(s))
+}
+
+// RenderGroundTruth formats the validation report.
+func RenderGroundTruth(g GroundTruth) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ground-truth validation (the oracle the paper lacked):\n")
+	fmt.Fprintf(&b, "  censored connections:      %d\n", g.Censored)
+	fmt.Fprintf(&b, "  uncensored connections:    %d\n", g.NotCensored)
+	fmt.Fprintf(&b, "  recall    (censored detected):         %.3f\n", g.Recall())
+	if g.Invisible > 0 {
+		fmt.Fprintf(&b, "  invisible (all packets dropped in-path): %d\n", g.Invisible)
+	}
+	fmt.Fprintf(&b, "  precision (matches truly censored):    %.3f\n", g.Precision())
+	benignShare := 0.0
+	if g.FalsePos > 0 {
+		benignShare = float64(g.FalsePosBenign) / float64(g.FalsePos)
+	}
+	fmt.Fprintf(&b, "  false positives: %d (%.0f%% from the §4.2 benign sources: scanners,\n"+
+		"    Happy Eyeballs, RST-closing apps; the rest are stalls/drops)\n",
+		g.FalsePos, 100*benignShare)
+	fmt.Fprintf(&b, "  per-style recall:\n")
+	type row struct {
+		style CensorStyle
+		sr    *StyleRecall
+	}
+	var rows []row
+	for st, sr := range g.PerStyle {
+		rows = append(rows, row{st, sr})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].style < rows[j].style })
+	for _, r := range rows {
+		fmt.Fprintf(&b, "    %-22s %5.1f%% of %4d   top signature: %s\n",
+			styleDisplayName(r.style), 100*r.sr.Recall(), r.sr.Total, r.sr.TopSignature)
+	}
+	return b.String()
+}

@@ -1,0 +1,233 @@
+package workload
+
+import (
+	"testing"
+
+	"tamperdetect/internal/core"
+	"tamperdetect/internal/tcpsim"
+)
+
+// countrySpecs collects specs for one country from a scenario.
+func countrySpecs(s *Scenario, code string) []ConnSpec {
+	var out []ConnSpec
+	for _, spec := range s.Specs() {
+		if spec.Country.Code == code {
+			out = append(out, spec)
+		}
+	}
+	return out
+}
+
+func TestIPv6ShareApproximatesConfig(t *testing.T) {
+	s := smallScenario(t, 20000, 24)
+	for _, code := range []string{"CN", "IN", "TM"} {
+		specs := countrySpecs(s, code)
+		if len(specs) < 100 {
+			continue
+		}
+		v6 := 0
+		for _, sp := range specs {
+			if sp.V6 {
+				v6++
+			}
+		}
+		var want float64
+		for i := range s.Countries {
+			if s.Countries[i].Code == code {
+				want = s.Countries[i].IPv6Share
+			}
+		}
+		got := float64(v6) / float64(len(specs))
+		if got < want-0.08 || got > want+0.08 {
+			t.Errorf("%s IPv6 share = %.3f, configured %.3f", code, got, want)
+		}
+	}
+}
+
+func TestForceHTTPShare(t *testing.T) {
+	s := smallScenario(t, 20000, 24)
+	tm := countrySpecs(s, "TM")
+	if len(tm) < 20 {
+		t.Skip("too few TM specs at this scale")
+	}
+	http := 0
+	withDomain := 0
+	for _, sp := range tm {
+		if sp.Domain == nil {
+			continue
+		}
+		withDomain++
+		if !sp.UseTLS {
+			http++
+		}
+	}
+	if withDomain == 0 {
+		t.Fatal("no TM request specs")
+	}
+	if share := float64(http) / float64(withDomain); share < 0.7 {
+		t.Errorf("TM HTTP share = %.2f, want ≫ baseline (ForceHTTPShare 0.8)", share)
+	}
+}
+
+func TestTMCensorSkipsTLS(t *testing.T) {
+	s := smallScenario(t, 30000, 24)
+	for _, sp := range countrySpecs(s, "TM") {
+		if sp.CensorActive && sp.UseTLS && sp.Style == StyleHTTPReset {
+			t.Fatalf("HTTP-only censor active on a TLS connection")
+		}
+	}
+}
+
+func TestSYNPayloadSurgeDay(t *testing.T) {
+	s := smallScenario(t, 30000, 7*24)
+	if s.SYNPayloadSurgeDay < 0 {
+		t.Fatal("long scenario has no surge day")
+	}
+	surge, surgeTotal := 0, 0
+	normal, normalTotal := 0, 0
+	for _, sp := range s.Specs() {
+		if sp.Domain == nil || sp.UseTLS {
+			continue
+		}
+		day := int(sp.StartSec / 86400)
+		if day == s.SYNPayloadSurgeDay {
+			surgeTotal++
+			if sp.SYNPayload {
+				surge++
+			}
+		} else {
+			normalTotal++
+			if sp.SYNPayload {
+				normal++
+			}
+		}
+	}
+	if surgeTotal == 0 || normalTotal == 0 {
+		t.Fatal("insufficient HTTP specs")
+	}
+	sShare := float64(surge) / float64(surgeTotal)
+	nShare := float64(normal) / float64(normalTotal)
+	if sShare < 5*nShare {
+		t.Errorf("surge day share %.3f vs normal %.3f; surge missing", sShare, nShare)
+	}
+}
+
+func TestSurgeTrafficConcentratedOnHotDomains(t *testing.T) {
+	s := smallScenario(t, 30000, 7*24)
+	hot := map[string]bool{}
+	for _, sp := range s.Specs() {
+		if !sp.SYNPayload || sp.Domain == nil {
+			continue
+		}
+		hot[sp.Domain.Name] = true
+	}
+	// 93% go to four domains, plus a 7% tail: the distinct-domain count
+	// must be far below what uniform sampling would give.
+	if len(hot) > 60 {
+		t.Errorf("SYN-payload traffic spread over %d domains; want concentration", len(hot))
+	}
+}
+
+func TestSimulateEvasiveBlindSpot(t *testing.T) {
+	s := smallScenario(t, 6000, 12)
+	cl := core.NewClassifier(core.DefaultConfig())
+	checked := 0
+	for _, sp := range s.Specs() {
+		if checked >= 25 {
+			break
+		}
+		if !sp.Blocked || sp.Domain == nil || sp.Behavior != tcpsim.BehaviorNormal {
+			continue
+		}
+		sp := sp
+		conn := SimulateEvasive(&sp, s.Universe)
+		if conn == nil {
+			t.Fatal("no capture from evasive simulation")
+		}
+		r := cl.Classify(conn)
+		if r.Signature.IsTampering() || r.PossiblyTampered {
+			t.Errorf("evasive censorship detected: %v", r.Signature)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no blocked specs found")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a := smallScenario(t, 800, 6).Run(4)
+	b := smallScenario(t, 800, 6).Run(2)
+	if len(a) != len(b) {
+		t.Fatalf("run lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].SrcIP != b[i].SrcIP || a[i].TotalPackets != b[i].TotalPackets ||
+			len(a[i].Packets) != len(b[i].Packets) {
+			t.Fatalf("connection %d differs across runs with different parallelism", i)
+		}
+		for j := range a[i].Packets {
+			if a[i].Packets[j].Seq != b[i].Packets[j].Seq || a[i].Packets[j].Flags != b[i].Packets[j].Flags {
+				t.Fatalf("connection %d packet %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestRepeatClientsShareAddresses(t *testing.T) {
+	s := smallScenario(t, 20000, 24)
+	specs := s.Specs()
+	seen := map[string]int{}
+	for i := range specs {
+		if specs[i].HostIdx < 0 {
+			continue
+		}
+		conn := SimulateConn(&specs[i], s.Universe, s.CaptureConfig)
+		if conn == nil {
+			continue
+		}
+		seen[conn.SrcIP.String()]++
+		if len(seen) > 400 {
+			break
+		}
+	}
+	repeats := 0
+	for _, n := range seen {
+		if n > 1 {
+			repeats++
+		}
+	}
+	if repeats == 0 {
+		t.Error("no repeat client addresses observed")
+	}
+}
+
+func TestGroundTruthValidation(t *testing.T) {
+	s := smallScenario(t, 8000, 24)
+	g := ValidateGroundTruth(s, 0, 0)
+	if g.Censored < 300 {
+		t.Fatalf("only %d censored connections", g.Censored)
+	}
+	// Every censor style the generator deploys must be detected with
+	// high recall — the classifier's core promise.
+	if r := g.Recall(); r < 0.9 {
+		t.Errorf("overall recall = %.3f, want ≥0.9", r)
+	}
+	for st, sr := range g.PerStyle {
+		if sr.Total >= 20 && sr.Recall() < 0.8 {
+			t.Errorf("style %s recall = %.3f over %d conns", styleDisplayName(st), sr.Recall(), sr.Total)
+		}
+	}
+	// Precision is bounded by the benign RST-close/scanner population:
+	// those ARE signature matches by design. It must still be the case
+	// that most false positives are the documented benign sources.
+	if g.FalsePos > 0 {
+		benignShare := float64(g.FalsePosBenign) / float64(g.FalsePos)
+		if benignShare < 0.5 {
+			t.Errorf("only %.2f of false positives from documented benign sources", benignShare)
+		}
+	}
+	if out := RenderGroundTruth(g); len(out) < 100 {
+		t.Error("render too short")
+	}
+}

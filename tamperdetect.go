@@ -1,0 +1,158 @@
+// Package tamperdetect passively detects connection tampering from
+// server-side packet captures, implementing the tampering-signature
+// taxonomy and classifier of "Global, Passive Detection of Connection
+// Tampering" (SIGCOMM 2023).
+//
+// The library classifies each observed TCP connection — given only its
+// inbound packets, 1-second timestamps, and a 10-packet capture window
+// — into one of 19 tampering signatures (RST injection and packet-drop
+// patterns at four connection stages), "not tampering", or an
+// uncovered anomaly, and computes the supporting evidence the paper
+// validates with: IP-ID and TTL deltas of suspected injected packets
+// and scanner fingerprints.
+//
+// Quick start:
+//
+//	cl := tamperdetect.NewClassifier(tamperdetect.DefaultConfig())
+//	conns, err := tamperdetect.ReadCaptureFile("sample.tdcap")
+//	...
+//	for _, conn := range conns {
+//		res := cl.Classify(conn)
+//		if res.Signature.IsTampering() {
+//			fmt.Println(res.Signature, res.Domain)
+//		}
+//	}
+//
+// The internal packages provide the full reproduction substrate: a
+// wire-accurate packet codec (internal/packet), TLS/HTTP trigger
+// parsers, TCP endpoint simulators, DPI middlebox models of known
+// censors, the capture pipeline, a global traffic scenario generator,
+// and the analysis code regenerating every table and figure of the
+// paper (run cmd/paperbench).
+package tamperdetect
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"tamperdetect/internal/capture"
+	"tamperdetect/internal/core"
+)
+
+// Re-exported core types: the classifier's public surface.
+type (
+	// Signature is one of the 19 tampering signatures (Table 1), or
+	// SigNotTampering / SigOtherAnomalous.
+	Signature = core.Signature
+	// Stage is the connection stage a signature belongs to.
+	Stage = core.Stage
+	// Result is a classified connection.
+	Result = core.Result
+	// Evidence holds injection-evidence metrics and scanner
+	// fingerprints.
+	Evidence = core.Evidence
+	// Protocol is the application protocol of a connection.
+	Protocol = core.Protocol
+	// Config tunes the classifier.
+	Config = core.Config
+	// Classifier applies the signature taxonomy.
+	Classifier = core.Classifier
+	// Connection is one sampled connection's inbound record.
+	Connection = capture.Connection
+	// PacketRecord is one logged inbound packet.
+	PacketRecord = capture.PacketRecord
+)
+
+// Signature constants, re-exported for matching on results.
+const (
+	SigNotTampering = core.SigNotTampering
+
+	SigSYNTimeout   = core.SigSYNTimeout
+	SigSYNRST       = core.SigSYNRST
+	SigSYNRSTACK    = core.SigSYNRSTACK
+	SigSYNRSTRSTACK = core.SigSYNRSTRSTACK
+
+	SigACKTimeout      = core.SigACKTimeout
+	SigACKRST          = core.SigACKRST
+	SigACKRSTRST       = core.SigACKRSTRST
+	SigACKRSTACK       = core.SigACKRSTACK
+	SigACKRSTACKRSTACK = core.SigACKRSTACKRSTACK
+
+	SigPSHTimeout      = core.SigPSHTimeout
+	SigPSHRST          = core.SigPSHRST
+	SigPSHRSTACK       = core.SigPSHRSTACK
+	SigPSHRSTRSTACK    = core.SigPSHRSTRSTACK
+	SigPSHRSTACKRSTACK = core.SigPSHRSTACKRSTACK
+	SigPSHRSTEqRST     = core.SigPSHRSTEqRST
+	SigPSHRSTNeqRST    = core.SigPSHRSTNeqRST
+	SigPSHRSTRSTZero   = core.SigPSHRSTRSTZero
+
+	SigDataRST    = core.SigDataRST
+	SigDataRSTACK = core.SigDataRSTACK
+
+	SigOtherAnomalous = core.SigOtherAnomalous
+)
+
+// Stage constants.
+const (
+	StageNone     = core.StageNone
+	StagePostSYN  = core.StagePostSYN
+	StagePostACK  = core.StagePostACK
+	StagePostPSH  = core.StagePostPSH
+	StagePostData = core.StagePostData
+	StageOther    = core.StageOther
+)
+
+// DefaultConfig returns the paper's deployment parameters: 3-second
+// inactivity threshold, 10-packet capture window.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewClassifier builds a classifier; it is safe for concurrent use.
+func NewClassifier(cfg Config) *Classifier { return core.NewClassifier(cfg) }
+
+// AllSignatures lists the 19 tampering signatures in Table 1 order.
+func AllSignatures() []Signature { return core.AllSignatures() }
+
+// Reconstruct restores likely arrival order of a connection's packets
+// from headers, despite 1-second timestamp granularity.
+func Reconstruct(c *Connection) []PacketRecord { return capture.Reconstruct(c) }
+
+// ReadCapture streams connection records from a TDCAP capture.
+func ReadCapture(r io.Reader) ([]*Connection, error) {
+	return capture.NewReader(r).ReadAll()
+}
+
+// ReadCaptureFile loads a TDCAP capture file.
+func ReadCaptureFile(path string) ([]*Connection, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("tamperdetect: %w", err)
+	}
+	defer f.Close()
+	conns, err := ReadCapture(f)
+	if err != nil {
+		return conns, fmt.Errorf("tamperdetect: reading %s: %w", path, err)
+	}
+	return conns, nil
+}
+
+// WriteCaptureFile stores connection records as a TDCAP capture file.
+func WriteCaptureFile(path string, conns []*Connection) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("tamperdetect: %w", err)
+	}
+	w := capture.NewWriter(f)
+	for _, c := range conns {
+		if err := w.Write(c); err != nil {
+			f.Close()
+			return fmt.Errorf("tamperdetect: writing %s: %w", path, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("tamperdetect: flushing %s: %w", path, err)
+	}
+	return f.Close()
+}

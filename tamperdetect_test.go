@@ -1,0 +1,77 @@
+package tamperdetect
+
+import (
+	"net/netip"
+	"path/filepath"
+	"testing"
+
+	"tamperdetect/internal/packet"
+)
+
+func sample() *Connection {
+	return &Connection{
+		SrcIP: netip.MustParseAddr("20.0.0.7"), DstIP: netip.MustParseAddr("192.0.2.80"),
+		SrcPort: 40000, DstPort: 443, IPVersion: 4,
+		TotalPackets: 4, LastActivity: 1, CloseTime: 30,
+		Packets: []PacketRecord{
+			{Timestamp: 0, Flags: packet.FlagsSYN, Seq: 100, IPID: 10, TTL: 54, HasOptions: true},
+			{Timestamp: 0, Flags: packet.FlagsACK, Seq: 101, IPID: 11, TTL: 54},
+			{Timestamp: 1, Flags: packet.FlagsPSHACK, Seq: 101, IPID: 12, TTL: 54, PayloadLen: 100},
+			{Timestamp: 1, Flags: packet.FlagsRSTACK, Seq: 201, Ack: 1, IPID: 40000, TTL: 200},
+		},
+	}
+}
+
+func TestPublicClassify(t *testing.T) {
+	cl := NewClassifier(DefaultConfig())
+	res := cl.Classify(sample())
+	if res.Signature != SigPSHRSTACK {
+		t.Errorf("signature = %v, want PSH → RST+ACK", res.Signature)
+	}
+	if res.Stage != StagePostPSH {
+		t.Errorf("stage = %v", res.Stage)
+	}
+	if !res.Signature.IsTampering() {
+		t.Error("IsTampering false")
+	}
+	if res.Evidence.MaxIPIDDelta < 1000 {
+		t.Errorf("evidence delta = %d", res.Evidence.MaxIPIDDelta)
+	}
+}
+
+func TestPublicCaptureRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.tdcap")
+	in := []*Connection{sample(), sample()}
+	if err := WriteCaptureFile(path, in); err != nil {
+		t.Fatalf("WriteCaptureFile: %v", err)
+	}
+	out, err := ReadCaptureFile(path)
+	if err != nil {
+		t.Fatalf("ReadCaptureFile: %v", err)
+	}
+	if len(out) != 2 || out[0].SrcPort != 40000 || len(out[0].Packets) != 4 {
+		t.Errorf("round trip mismatch: %d conns", len(out))
+	}
+}
+
+func TestPublicReconstruct(t *testing.T) {
+	c := sample()
+	// Scramble within second 1.
+	c.Packets[2], c.Packets[3] = c.Packets[3], c.Packets[2]
+	recs := Reconstruct(c)
+	if !recs[3].Flags.IsRST() {
+		t.Error("RST not restored to last position")
+	}
+}
+
+func TestPublicAllSignatures(t *testing.T) {
+	if got := len(AllSignatures()); got != 19 {
+		t.Errorf("AllSignatures = %d, want 19", got)
+	}
+}
+
+func TestReadCaptureFileMissing(t *testing.T) {
+	if _, err := ReadCaptureFile("/nonexistent/path.tdcap"); err == nil {
+		t.Error("missing file did not error")
+	}
+}
