@@ -1,0 +1,17 @@
+# Verification tiers. Tier 1 is the fast always-green gate; tier 2
+# adds go vet and the race detector over the full test suite
+# (including the pipeline's concurrency tests) and is the bar for any
+# PR touching concurrent code.
+
+.PHONY: tier1 tier2 check bench
+
+tier1:
+	go build ./... && go test ./...
+
+tier2:
+	go vet ./... && go test -race ./...
+
+check: tier1 tier2
+
+bench:
+	go test -run=NONE -bench=. -benchmem ./...

@@ -9,7 +9,11 @@ package tamperdetect
 // a results table.
 
 import (
+	"bytes"
+	"context"
+	"fmt"
 	"math/rand/v2"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -17,6 +21,7 @@ import (
 	"tamperdetect/internal/capture"
 	"tamperdetect/internal/core"
 	"tamperdetect/internal/domains"
+	"tamperdetect/internal/pipeline"
 	"tamperdetect/internal/testlists"
 	"tamperdetect/internal/workload"
 )
@@ -378,6 +383,50 @@ func BenchmarkAblationSamplingRate(b *testing.B) {
 		}
 	}
 	b.ReportMetric(100*worst, "worst-country-error-pp")
+}
+
+// BenchmarkPipelineThroughput measures the streaming classification
+// pipeline end to end — TDCAP decode, classifier worker pool, counting
+// sink — in connections/sec at 1 worker and at NumCPU workers. This is
+// the perf baseline every later scaling PR (sharding, live ingest)
+// compares against; current numbers live in EXPERIMENTS.md.
+func BenchmarkPipelineThroughput(b *testing.B) {
+	conns, _, _ := benchData(b)
+	var buf bytes.Buffer
+	w := capture.NewWriter(&buf)
+	for _, c := range conns {
+		if err := w.Write(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	workerCounts := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			b.ReportAllocs()
+			classified := int64(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				counts, err := pipeline.Stream(context.Background(),
+					bytes.NewReader(data), pipeline.Config{Workers: workers}, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if counts.Classified != int64(len(conns)) {
+					b.Fatalf("classified %d of %d", counts.Classified, len(conns))
+				}
+				classified += counts.Classified
+			}
+			b.ReportMetric(float64(classified)/b.Elapsed().Seconds(), "conns/sec")
+		})
+	}
 }
 
 // BenchmarkCaptureCodec times the TDCAP encode+decode round trip.

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +25,7 @@ import (
 	"tamperdetect/internal/capture"
 	"tamperdetect/internal/core"
 	"tamperdetect/internal/domains"
+	"tamperdetect/internal/pipeline"
 	"tamperdetect/internal/stats"
 	"tamperdetect/internal/testlists"
 	"tamperdetect/internal/workload"
@@ -63,17 +65,34 @@ type dataset struct {
 	recs  []analysis.Record
 }
 
+// buildDataset streams the scenario simulation through the
+// classification pipeline: connections are classified and turned into
+// analysis records as they are simulated, instead of materialising the
+// full []*capture.Connection before classification starts. (The
+// dataset still retains conns/recs because the experiments aggregate
+// them many ways.)
 func buildDataset(total, hours int, seed uint64, workers int) (*dataset, error) {
 	s, err := workload.BuildScenario("paperbench", total, hours, seed)
 	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	conns := s.Run(workers)
-	recs := analysis.Analyze(conns, s.Geo, core.NewClassifier(core.DefaultConfig()), workers)
-	fmt.Printf("# dataset: %d connections, %d scenario-hours, built in %v\n\n",
-		len(conns), s.Hours, time.Since(start).Round(time.Millisecond))
-	return &dataset{scen: s, conns: conns, recs: recs}, nil
+	src := s.Stream(workers)
+	defer src.Close()
+	ds := &dataset{scen: s, conns: make([]*capture.Connection, 0, total)}
+	counts, err := pipeline.Run(context.Background(), src,
+		pipeline.Config{Workers: workers, Ordered: true},
+		func(it pipeline.Item) error {
+			ds.conns = append(ds.conns, it.Conn)
+			ds.recs = append(ds.recs, analysis.NewRecord(it.Conn, s.Geo, it.Res))
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("# dataset: %d connections, %d scenario-hours, streamed in %v\n\n",
+		counts.Delivered, s.Hours, time.Since(start).Round(time.Millisecond))
+	return ds, nil
 }
 
 func run(exp string, total, hours int, seed uint64, workers, threshold int) error {

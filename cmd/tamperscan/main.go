@@ -9,13 +9,19 @@
 // sampling pipeline first (inbound-only flow records, 10-packet cap,
 // 1-second timestamps).
 //
+// Either way the capture streams through the classification pipeline
+// (internal/pipeline): connections are decoded incrementally, fanned
+// across a classifier worker pool, and aggregated in decode order, so
+// arbitrarily large captures scan in bounded memory.
+//
 // Usage:
 //
-//	tamperscan [-v] [-tampered-only] capture.{tdcap,pcap}
+//	tamperscan [-v] [-tampered-only] [-workers N] capture.{tdcap,pcap}
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -27,14 +33,16 @@ import (
 	"tamperdetect/internal/core"
 	"tamperdetect/internal/netsim"
 	"tamperdetect/internal/pcap"
+	"tamperdetect/internal/pipeline"
 	"tamperdetect/internal/stats"
 )
 
 func main() {
 	verbose := flag.Bool("v", false, "print each connection's verdict")
 	tamperedOnly := flag.Bool("tampered-only", false, "with -v, print only tampered connections")
+	workers := flag.Int("workers", 0, "classifier parallelism (0 = all cores)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: tamperscan [-v] [-tampered-only] capture.tdcap\n")
+		fmt.Fprintf(os.Stderr, "usage: tamperscan [-v] [-tampered-only] [-workers N] capture.tdcap\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -42,51 +50,66 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *verbose, *tamperedOnly); err != nil {
+	if err := run(flag.Arg(0), *verbose, *tamperedOnly, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "tamperscan:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, verbose, tamperedOnly bool) error {
-	conns, err := loadCapture(path)
-	if err != nil {
-		return err
-	}
-	cl := tamperdetect.NewClassifier(tamperdetect.DefaultConfig())
+// report accumulates the scan statistics; the pipeline invokes add
+// from a single goroutine in decode order, so plain fields suffice.
+type report struct {
+	verbose      bool
+	tamperedOnly bool
 
-	var counts [core.NumSignatures]int
-	var stages [core.NumStages]int
-	possibly := 0
-	evidenceBig := map[tamperdetect.Signature]int{}
-	evidenceAll := map[tamperdetect.Signature]int{}
-	for _, conn := range conns {
-		res := cl.Classify(conn)
-		counts[res.Signature]++
-		if res.PossiblyTampered {
-			possibly++
-			stages[res.Stage]++
-		}
-		if res.Signature.IsTampering() && res.Evidence.IPIDValid {
-			evidenceAll[res.Signature]++
-			if res.Evidence.MaxIPIDDelta > 100 {
-				evidenceBig[res.Signature]++
-			}
-		}
-		if verbose && (!tamperedOnly || res.Signature.IsTampering()) {
-			domain := res.Domain
-			if domain == "" {
-				domain = "-"
-			}
-			fmt.Printf("%s:%d -> :%d  %-26s %-9s proto=%s domain=%s\n",
-				conn.SrcIP, conn.SrcPort, conn.DstPort,
-				res.Signature, res.Stage, res.Protocol, domain)
+	total       int
+	counts      [core.NumSignatures]int
+	stages      [core.NumStages]int
+	possibly    int
+	evidenceBig map[tamperdetect.Signature]int
+	evidenceAll map[tamperdetect.Signature]int
+}
+
+func newReport(verbose, tamperedOnly bool) *report {
+	return &report{
+		verbose:      verbose,
+		tamperedOnly: tamperedOnly,
+		evidenceBig:  map[tamperdetect.Signature]int{},
+		evidenceAll:  map[tamperdetect.Signature]int{},
+	}
+}
+
+// add is the pipeline sink.
+func (rep *report) add(it pipeline.Item) error {
+	res := it.Res
+	rep.total++
+	rep.counts[res.Signature]++
+	if res.PossiblyTampered {
+		rep.possibly++
+		rep.stages[res.Stage]++
+	}
+	if res.Signature.IsTampering() && res.Evidence.IPIDValid {
+		rep.evidenceAll[res.Signature]++
+		if res.Evidence.MaxIPIDDelta > 100 {
+			rep.evidenceBig[res.Signature]++
 		}
 	}
+	if rep.verbose && (!rep.tamperedOnly || res.Signature.IsTampering()) {
+		domain := res.Domain
+		if domain == "" {
+			domain = "-"
+		}
+		fmt.Printf("%s:%d -> :%d  %-26s %-9s proto=%s domain=%s\n",
+			it.Conn.SrcIP, it.Conn.SrcPort, it.Conn.DstPort,
+			res.Signature, res.Stage, res.Protocol, domain)
+	}
+	return nil
+}
 
-	fmt.Printf("connections:       %d\n", len(conns))
-	fmt.Printf("possibly tampered: %d (%.1f%%)\n", possibly,
-		stats.Percent(stats.Ratio(possibly, len(conns))))
+func (rep *report) print() {
+	fmt.Printf("connections:       %d\n", rep.total)
+	fmt.Printf("possibly tampered: %d (%.1f%%)\n", rep.possibly,
+		stats.Percent(stats.Ratio(rep.possibly, rep.total)))
 	fmt.Println("\nsignature histogram:")
 	type row struct {
 		sig tamperdetect.Signature
@@ -94,93 +117,146 @@ func run(path string, verbose, tamperedOnly bool) error {
 	}
 	var rows []row
 	for s := tamperdetect.Signature(0); s < core.NumSignatures; s++ {
-		if counts[s] > 0 {
-			rows = append(rows, row{s, counts[s]})
+		if rep.counts[s] > 0 {
+			rows = append(rows, row{s, rep.counts[s]})
 		}
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].n > rows[j].n })
 	for _, r := range rows {
 		evid := ""
-		if n := evidenceAll[r.sig]; n > 0 {
+		if n := rep.evidenceAll[r.sig]; n > 0 {
 			evid = fmt.Sprintf("  (IP-ID delta >100 in %.0f%%)",
-				stats.Percent(stats.Ratio(evidenceBig[r.sig], n)))
+				stats.Percent(stats.Ratio(rep.evidenceBig[r.sig], n)))
 		}
 		fmt.Printf("  %-28s %8d  %5.1f%%%s\n", r.sig, r.n,
-			stats.Percent(stats.Ratio(r.n, len(conns))), evid)
+			stats.Percent(stats.Ratio(r.n, rep.total)), evid)
 	}
 	fmt.Println("\nstage breakdown of possibly-tampered:")
 	for st := core.StagePostSYN; st <= core.StageOther; st++ {
-		if stages[st] > 0 {
-			fmt.Printf("  %-10s %8d  %5.1f%%\n", st, stages[st],
-				stats.Percent(stats.Ratio(stages[st], possibly)))
+		if rep.stages[st] > 0 {
+			fmt.Printf("  %-10s %8d  %5.1f%%\n", st, rep.stages[st],
+				stats.Percent(stats.Ratio(rep.stages[st], rep.possibly)))
 		}
 	}
+}
+
+func run(path string, verbose, tamperedOnly bool, workers int) error {
+	src, cleanup, err := openSource(path)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	rep := newReport(verbose, tamperedOnly)
+	// Ordered delivery keeps -v output deterministic across worker
+	// counts.
+	_, err = pipeline.Run(context.Background(), src,
+		pipeline.Config{Workers: workers, Ordered: true}, rep.add)
+	if err != nil {
+		return err
+	}
+	rep.print()
 	return nil
 }
 
-// loadCapture auto-detects TDCAP vs pcap input; "-" reads a stream
-// (either format) from stdin.
-func loadCapture(path string) ([]*tamperdetect.Connection, error) {
+// openSource auto-detects TDCAP vs pcap input and returns a streaming
+// connection source; "-" reads a stream (either format) from stdin.
+func openSource(path string) (pipeline.Source, func(), error) {
 	var r io.Reader
+	cleanup := func() {}
 	if path == "-" {
 		r = os.Stdin
 	} else {
 		f, err := os.Open(path)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		defer f.Close()
+		cleanup = func() { f.Close() }
 		r = f
 	}
 	br := bufio.NewReader(r)
 	magic, err := br.Peek(8)
 	if err != nil {
-		return nil, fmt.Errorf("reading %s: %w", path, err)
+		cleanup()
+		return nil, nil, fmt.Errorf("reading %s: %w", path, err)
 	}
 	if string(magic[:5]) == "TDCAP" {
-		return tamperdetect.ReadCapture(br)
+		return pipeline.NewReaderSource(br), cleanup, nil
 	}
-	return ingestPcap(br)
+	src, err := newPcapSource(br)
+	if err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	return src, cleanup, nil
 }
 
-// ingestPcap runs raw packets through the paper's sampling pipeline,
-// producing connection records. Both directions may be present in the
-// file; the sampler keeps only inbound (client→server) packets, keyed
-// by each flow's initial SYN, exactly as the deployment does.
-func ingestPcap(r io.Reader) ([]*tamperdetect.Connection, error) {
+// pcapSource runs raw packets through the paper's sampling pipeline as
+// they are read, emitting connection records incrementally: long-idle
+// flows are evicted every 300 s of capture time, and the remainder is
+// drained at EOF. Both directions may be present in the file; the
+// sampler keeps only inbound (client→server) packets, keyed by each
+// flow's initial SYN, exactly as the deployment does.
+type pcapSource struct {
+	ch  chan *capture.Connection
+	err error // set before ch closes
+}
+
+func newPcapSource(r io.Reader) (*pcapSource, error) {
 	pr, err := pcap.NewReader(r)
 	if err != nil {
 		return nil, err
 	}
-	sampler := capture.NewSampler(capture.DefaultConfig())
-	var conns []*tamperdetect.Connection
-	var first, last, lastSweep int64 = -1, 0, 0
-	for {
-		p, err := pr.Read()
-		if err == io.EOF {
-			break
+	s := &pcapSource{ch: make(chan *capture.Connection, 64)}
+	go func() {
+		defer close(s.ch)
+		sampler := capture.NewSampler(capture.DefaultConfig())
+		emit := func(conns []*capture.Connection) {
+			for _, c := range conns {
+				s.ch <- c
+			}
 		}
-		if err != nil {
-			return nil, err
+		var first, last, lastSweep int64 = -1, 0, 0
+		for {
+			p, err := pr.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				s.err = err
+				return
+			}
+			if len(p.Data) == 0 {
+				continue
+			}
+			if first < 0 {
+				first = p.TimestampNanos
+			}
+			last = p.TimestampNanos
+			// Rebase to the capture's own epoch so record timestamps are
+			// small offsets, like the simulator's.
+			at := netsim.Time(p.TimestampNanos - first)
+			sampler.Inbound(at, p.Data)
+			// Periodically evict long-idle flows so arbitrarily large
+			// captures stream in bounded memory.
+			if sec := at.Unix(); sec-lastSweep >= 300 {
+				lastSweep = sec
+				emit(sampler.DrainIdle(at, 120))
+			}
 		}
-		if len(p.Data) == 0 {
-			continue
+		closeAt := netsim.Time(last - first).Add(60e9)
+		emit(sampler.Drain(closeAt))
+	}()
+	return s, nil
+}
+
+// Next yields the next sampled connection.
+func (s *pcapSource) Next() (*capture.Connection, error) {
+	c, ok := <-s.ch
+	if !ok {
+		if s.err != nil {
+			return nil, s.err
 		}
-		if first < 0 {
-			first = p.TimestampNanos
-		}
-		last = p.TimestampNanos
-		// Rebase to the capture's own epoch so record timestamps are
-		// small offsets, like the simulator's.
-		at := netsim.Time(p.TimestampNanos - first)
-		sampler.Inbound(at, p.Data)
-		// Periodically evict long-idle flows so arbitrarily large
-		// captures stream in bounded memory.
-		if sec := at.Unix(); sec-lastSweep >= 300 {
-			lastSweep = sec
-			conns = append(conns, sampler.DrainIdle(at, 120)...)
-		}
+		return nil, io.EOF
 	}
-	closeAt := netsim.Time(last - first).Add(60e9)
-	return append(conns, sampler.Drain(closeAt)...), nil
+	return c, nil
 }

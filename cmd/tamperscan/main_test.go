@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"io"
 	"net/netip"
 	"os"
 	"path/filepath"
@@ -25,15 +26,34 @@ func sampleConns() []*tamperdetect.Connection {
 	}}
 }
 
-func TestLoadCaptureTDCAP(t *testing.T) {
+// drainSource collects a streaming source, failing on any non-EOF
+// error.
+func drainSource(t *testing.T, path string) []*tamperdetect.Connection {
+	t.Helper()
+	src, cleanup, err := openSource(path)
+	if err != nil {
+		t.Fatalf("openSource: %v", err)
+	}
+	defer cleanup()
+	var conns []*tamperdetect.Connection
+	for {
+		c, err := src.Next()
+		if err == io.EOF {
+			return conns
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		conns = append(conns, c)
+	}
+}
+
+func TestOpenSourceTDCAP(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "x.tdcap")
 	if err := tamperdetect.WriteCaptureFile(path, sampleConns()); err != nil {
 		t.Fatal(err)
 	}
-	conns, err := loadCapture(path)
-	if err != nil {
-		t.Fatalf("loadCapture: %v", err)
-	}
+	conns := drainSource(t, path)
 	if len(conns) != 1 || len(conns[0].Packets) != 3 {
 		t.Errorf("loaded %d conns", len(conns))
 	}
@@ -74,10 +94,7 @@ func TestLoadCapturePcap(t *testing.T) {
 	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	conns, err := loadCapture(path)
-	if err != nil {
-		t.Fatalf("loadCapture(pcap): %v", err)
-	}
+	conns := drainSource(t, path)
 	if len(conns) != 1 {
 		t.Fatalf("conns = %d, want 1", len(conns))
 	}
@@ -86,15 +103,15 @@ func TestLoadCapturePcap(t *testing.T) {
 	}
 }
 
-func TestLoadCaptureErrors(t *testing.T) {
-	if _, err := loadCapture("/nonexistent"); err == nil {
+func TestOpenSourceErrors(t *testing.T) {
+	if _, _, err := openSource("/nonexistent"); err == nil {
 		t.Error("missing file accepted")
 	}
 	path := filepath.Join(t.TempDir(), "junk")
 	if err := os.WriteFile(path, []byte("neither format at all"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := loadCapture(path); err == nil {
+	if _, _, err := openSource(path); err == nil {
 		t.Error("junk file accepted")
 	}
 }
@@ -104,7 +121,9 @@ func TestRunReport(t *testing.T) {
 	if err := tamperdetect.WriteCaptureFile(path, sampleConns()); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, true, true); err != nil {
-		t.Fatalf("run: %v", err)
+	for _, workers := range []int{1, 4} {
+		if err := run(path, true, true, workers); err != nil {
+			t.Fatalf("run(workers=%d): %v", workers, err)
+		}
 	}
 }

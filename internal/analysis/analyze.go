@@ -30,9 +30,29 @@ type Record struct {
 	SrcKey string
 }
 
+// NewRecord builds one aggregation record from a classified
+// connection, attaching country/AS via the geo database — exactly the
+// paper's pipeline: aggregation keys come only from the source
+// address. It is the single-record form of Analyze, used by streaming
+// classification sinks.
+func NewRecord(c *capture.Connection, db *geo.DB, res core.Result) Record {
+	rec := Record{
+		Res:       res,
+		IPVersion: c.IPVersion,
+		SrcKey:    c.SrcIP.String(),
+	}
+	if as := db.Lookup(c.SrcIP); as != nil {
+		rec.Country = as.Country
+		rec.ASN = as.ASN
+	}
+	if len(c.Packets) > 0 {
+		rec.Hour = int(c.Packets[0].Timestamp / 3600)
+	}
+	return rec
+}
+
 // Analyze classifies every connection (in parallel) and attaches
-// country/AS via the geo database — exactly the paper's pipeline:
-// aggregation keys come only from the source address.
+// country/AS via the geo database.
 func Analyze(conns []*capture.Connection, db *geo.DB, cl *core.Classifier, workers int) []Record {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -46,19 +66,7 @@ func Analyze(conns []*capture.Connection, db *geo.DB, cl *core.Classifier, worke
 			defer wg.Done()
 			for i := range ch {
 				c := conns[i]
-				rec := Record{
-					Res:       cl.Classify(c),
-					IPVersion: c.IPVersion,
-					SrcKey:    c.SrcIP.String(),
-				}
-				if as := db.Lookup(c.SrcIP); as != nil {
-					rec.Country = as.Country
-					rec.ASN = as.ASN
-				}
-				if len(c.Packets) > 0 {
-					rec.Hour = int(c.Packets[0].Timestamp / 3600)
-				}
-				out[i] = rec
+				out[i] = NewRecord(c, db, cl.Classify(c))
 			}
 		}()
 	}

@@ -106,6 +106,8 @@ func appendAddr(buf []byte, a netip.Addr, ipver int) []byte {
 type Reader struct {
 	r     *bufio.Reader
 	began bool
+	count int
+	err   error // sticky error for Next
 }
 
 // NewReader wraps r.
@@ -194,6 +196,28 @@ func (r *Reader) Read() (*Connection, error) {
 	}
 	return c, nil
 }
+
+// Next is the incremental iterator: it returns the next connection
+// record, or io.EOF at a clean end of stream. Unlike Read, errors are
+// sticky — after any failure (including io.EOF) every subsequent call
+// returns the same error, so streaming consumers can poll it from a
+// loop without re-reading a corrupt tail. Records returned by Next are
+// counted; see Count.
+func (r *Reader) Next() (*Connection, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
+	c, err := r.Read()
+	if err != nil {
+		r.err = err
+		return nil, err
+	}
+	r.count++
+	return c, nil
+}
+
+// Count reports how many records Next has returned so far.
+func (r *Reader) Count() int { return r.count }
 
 // ReadAll drains the reader.
 func (r *Reader) ReadAll() ([]*Connection, error) {

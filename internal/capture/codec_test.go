@@ -129,3 +129,70 @@ func TestCodecGarbageMarker(t *testing.T) {
 		t.Error("garbage marker accepted")
 	}
 }
+
+func TestReaderNext(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 3; i++ {
+		if err := w.Write(sampleConn(i%2 == 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	for i := 0; i < 3; i++ {
+		c, err := r.Next()
+		if err != nil {
+			t.Fatalf("Next #%d: %v", i, err)
+		}
+		if c == nil {
+			t.Fatalf("Next #%d returned nil connection", i)
+		}
+		if r.Count() != i+1 {
+			t.Errorf("Count after #%d = %d, want %d", i, r.Count(), i+1)
+		}
+	}
+	// EOF is sticky too: every further call keeps returning io.EOF.
+	for i := 0; i < 2; i++ {
+		if _, err := r.Next(); err != io.EOF {
+			t.Fatalf("Next past end: %v, want io.EOF", err)
+		}
+	}
+	if r.Count() != 3 {
+		t.Errorf("final Count = %d, want 3", r.Count())
+	}
+}
+
+func TestReaderNextStickyError(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(sampleConn(false)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// One good record, then a corrupt tail.
+	data := append(append([]byte(nil), full...), connMarker, 0x07)
+	r := NewReader(bytes.NewReader(data))
+	if _, err := r.Next(); err != nil {
+		t.Fatalf("first Next: %v", err)
+	}
+	_, err := r.Next()
+	if err == nil {
+		t.Fatal("corrupt record accepted")
+	}
+	// The error must repeat identically instead of re-reading the
+	// stream past the corruption.
+	for i := 0; i < 2; i++ {
+		if _, again := r.Next(); again != err {
+			t.Fatalf("sticky error lost: %v then %v", err, again)
+		}
+	}
+	if r.Count() != 1 {
+		t.Errorf("Count = %d, want 1", r.Count())
+	}
+}

@@ -1,0 +1,138 @@
+package pipeline
+
+// End-to-end determinism: a seeded workload scenario streamed through
+// the pipeline — at several worker counts, through the TDCAP codec,
+// and through the streaming simulation source — must produce exactly
+// the per-signature histogram of the batch path (classify in a plain
+// loop over Run's output). This is the acceptance gate for every
+// later scaling PR that touches the pipeline.
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"tamperdetect/internal/core"
+	"tamperdetect/internal/workload"
+)
+
+// e2eTotal is the fixed-seed scenario size; -short runs a reduced one.
+func e2eTotal(t *testing.T) int {
+	if testing.Short() {
+		return 6000
+	}
+	return 60000
+}
+
+func TestPipelineMatchesBatch(t *testing.T) {
+	total := e2eTotal(t)
+	s, err := workload.BuildScenario("pipeline-e2e", total, 72, 2023)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conns := s.Run(0)
+	if len(conns) < total/2 {
+		t.Fatalf("scenario produced only %d connections", len(conns))
+	}
+	want := batchHistogram(conns)
+	data := encode(t, conns)
+	t.Logf("scenario: %d connections, %d byte capture", len(conns), len(data))
+
+	for _, workers := range []int{1, 4, 16} {
+		for _, ordered := range []bool{false, true} {
+			var got [core.NumSignatures]int64
+			counts, err := Stream(context.Background(), bytes.NewReader(data),
+				Config{Workers: workers, Ordered: ordered},
+				func(it Item) error {
+					got[it.Res.Signature]++
+					return nil
+				})
+			if err != nil {
+				t.Fatalf("workers=%d ordered=%v: %v", workers, ordered, err)
+			}
+			if got != want {
+				t.Errorf("workers=%d ordered=%v: per-signature histogram diverges from batch path",
+					workers, ordered)
+				for sig := range got {
+					if got[sig] != want[sig] {
+						t.Errorf("  %s: pipeline %d, batch %d",
+							core.Signature(sig), got[sig], want[sig])
+					}
+				}
+			}
+			if counts.Classified != int64(len(conns)) {
+				t.Errorf("workers=%d ordered=%v: classified %d of %d",
+					workers, ordered, counts.Classified, len(conns))
+			}
+		}
+	}
+}
+
+// TestPipelineOrderedMatchesBatchOrder pins byte-level determinism of
+// the ordered path: connection i delivered by the pipeline is
+// connection i of the batch decode, with the identical Result.
+func TestPipelineOrderedMatchesBatchOrder(t *testing.T) {
+	total := e2eTotal(t) / 4
+	s, err := workload.BuildScenario("pipeline-order", total, 48, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conns := s.Run(0)
+	data := encode(t, conns)
+	cl := core.NewClassifier(core.DefaultConfig())
+
+	next := 0
+	_, err = Stream(context.Background(), bytes.NewReader(data),
+		Config{Workers: 16, Ordered: true, Depth: 16},
+		func(it Item) error {
+			if it.Index != next {
+				t.Fatalf("index %d delivered, want %d", it.Index, next)
+			}
+			batch := conns[next]
+			if it.Conn.SrcIP != batch.SrcIP || it.Conn.SrcPort != batch.SrcPort ||
+				len(it.Conn.Packets) != len(batch.Packets) {
+				t.Fatalf("connection %d does not round-trip", next)
+			}
+			if res := cl.Classify(batch); it.Res != res {
+				t.Fatalf("connection %d: pipeline %v, batch %v", next, it.Res.Signature, res.Signature)
+			}
+			next++
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != len(conns) {
+		t.Fatalf("delivered %d of %d", next, len(conns))
+	}
+}
+
+// TestStreamingSimulationMatchesBatch closes the loop paperbench now
+// uses: simulate the scenario through workload's streaming source (no
+// materialised slice) into the pipeline and compare against the batch
+// path histogram.
+func TestStreamingSimulationMatchesBatch(t *testing.T) {
+	total := e2eTotal(t) / 4
+	s, err := workload.BuildScenario("pipeline-simstream", total, 48, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := batchHistogram(s.Run(0))
+	for _, workers := range []int{1, 4} {
+		src := s.Stream(workers)
+		var got [core.NumSignatures]int64
+		_, err := Run(context.Background(), src,
+			Config{Workers: workers, Ordered: true},
+			func(it Item) error {
+				got[it.Res.Signature]++
+				return nil
+			})
+		src.Close()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got != want {
+			t.Errorf("workers=%d: streamed-simulation histogram diverges from batch", workers)
+		}
+	}
+}

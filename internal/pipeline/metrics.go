@@ -1,0 +1,60 @@
+package pipeline
+
+import "sync/atomic"
+
+// Metrics holds the pipeline's per-stage counters. All fields are
+// updated atomically while a run is in flight, so a Metrics passed in
+// via Config.Metrics can be observed live from another goroutine (a
+// stats ticker, an HTTP handler) without racing the pipeline.
+type Metrics struct {
+	decoded    atomic.Int64
+	classified atomic.Int64
+	tampering  atomic.Int64
+	delivered  atomic.Int64
+	errors     atomic.Int64
+	dropped    atomic.Int64
+}
+
+// Snapshot returns a consistent-enough point-in-time copy of the
+// counters. During a run the individual values may be mid-update
+// relative to each other; after Run returns they are exact.
+func (m *Metrics) Snapshot() Counts {
+	return Counts{
+		Decoded:    m.decoded.Load(),
+		Classified: m.classified.Load(),
+		Tampering:  m.tampering.Load(),
+		Delivered:  m.delivered.Load(),
+		Errors:     m.errors.Load(),
+		Dropped:    m.dropped.Load(),
+	}
+}
+
+// Reset zeroes every counter, so one Metrics can span multiple runs
+// either cumulatively (no Reset) or per-run.
+func (m *Metrics) Reset() {
+	m.decoded.Store(0)
+	m.classified.Store(0)
+	m.tampering.Store(0)
+	m.delivered.Store(0)
+	m.errors.Store(0)
+	m.dropped.Store(0)
+}
+
+// Counts is a plain snapshot of the pipeline's per-stage counters.
+type Counts struct {
+	// Decoded counts records successfully produced by the source.
+	Decoded int64
+	// Classified counts records classified by the worker pool.
+	Classified int64
+	// Tampering counts classified records whose signature is one of
+	// the 19 tampering signatures.
+	Tampering int64
+	// Delivered counts items the sink accepted.
+	Delivered int64
+	// Errors counts decode and sink failures (at most one of each per
+	// run, since either stops the pipeline).
+	Errors int64
+	// Dropped counts records decoded but never delivered — nonzero
+	// only when the run was cancelled or stopped early.
+	Dropped int64
+}

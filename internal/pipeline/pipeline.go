@@ -1,0 +1,236 @@
+// Package pipeline implements the streaming classification pipeline:
+// a source of connection records fans out across a pool of classifier
+// workers and fans back into a single ordered or unordered sink, with
+// bounded channel depths (backpressure end to end), per-stage
+// counters, context-based cancellation, and a graceful drain on both
+// normal EOF and early shutdown.
+//
+// This is the paper's deployment shape: the detector runs continuously
+// over a sampled stream of connections rather than over batches loaded
+// into memory. Every stage holds O(Workers + Depth) records, so
+// arbitrarily large captures stream in constant memory:
+//
+//	source (decode) ──▶ [depth] ──▶ classify ×W ──▶ [depth] ──▶ sink
+//
+// A slow sink throttles the workers, which throttle the decoder, which
+// throttles the source. Cancelling the context stops every stage;
+// records already decoded but not delivered are counted as Dropped.
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"tamperdetect/internal/capture"
+	"tamperdetect/internal/core"
+)
+
+// DefaultDepth is the per-stage channel depth when Config.Depth is 0.
+const DefaultDepth = 256
+
+// ErrStop may be returned by a Sink to stop the pipeline early without
+// reporting an error: Run cancels the remaining work, drains, and
+// returns nil.
+var ErrStop = errors.New("pipeline: stop")
+
+// Item is one classified connection flowing out of the pipeline.
+type Item struct {
+	// Index is the record's zero-based decode position. In ordered
+	// mode the sink sees indexes 0, 1, 2, … with no gaps.
+	Index int
+	// Conn is the decoded connection record.
+	Conn *capture.Connection
+	// Res is the classifier's verdict.
+	Res core.Result
+}
+
+// Sink consumes classified items. It is always invoked from a single
+// goroutine — never concurrently — so it may update plain state.
+// Returning a non-nil error stops the pipeline; returning ErrStop
+// stops it without error.
+type Sink func(Item) error
+
+// Config tunes the pipeline.
+type Config struct {
+	// Workers is the classifier pool size; 0 means GOMAXPROCS.
+	Workers int
+	// Depth bounds each inter-stage channel; 0 means DefaultDepth.
+	// Total in-flight records are at most 2*Depth + Workers + 1.
+	Depth int
+	// Ordered delivers items to the sink in decode order (index 0, 1,
+	// 2, …). Unordered delivery has lower latency skew under uneven
+	// classify costs; ordered delivery is deterministic.
+	Ordered bool
+	// Classifier overrides the classifier; nil builds one with
+	// core.DefaultConfig(). A single *core.Classifier is shared by all
+	// workers (it is concurrency-safe).
+	Classifier *core.Classifier
+	// Metrics, when non-nil, receives the live per-stage counters so
+	// callers can observe a run in flight. Counters are cumulative
+	// across runs unless the caller Resets between them.
+	Metrics *Metrics
+}
+
+// Run streams records from src through the classifier pool into sink
+// and blocks until the pipeline has fully drained: on return no
+// pipeline goroutine is left running, regardless of how the run ended.
+//
+// Run returns the final counter snapshot and the first error among
+// the sink's, the source's, and the context's. A nil sink counts and
+// discards. EOF from the source is a clean end of stream.
+func Run(ctx context.Context, src Source, cfg Config, sink Sink) (Counts, error) {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	depth := cfg.Depth
+	if depth <= 0 {
+		depth = DefaultDepth
+	}
+	cl := cfg.Classifier
+	if cl == nil {
+		cl = core.NewClassifier(core.DefaultConfig())
+	}
+	m := cfg.Metrics
+	if m == nil {
+		m = &Metrics{}
+	}
+	if sink == nil {
+		sink = func(Item) error { return nil }
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	decoded := make(chan Item, depth) // decode → classify (Res unset)
+	results := make(chan Item, depth) // classify → deliver
+
+	// Decode stage: a single goroutine pulls records off the source
+	// and enqueues them. It stops on EOF, on a source error, or when
+	// the context is cancelled (backpressure propagates here: a full
+	// decoded channel blocks the source).
+	var srcErr error // written before decodeDone closes
+	decodeDone := make(chan struct{})
+	go func() {
+		defer close(decodeDone)
+		defer close(decoded)
+		for i := 0; ; i++ {
+			c, err := src.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				// Stop decoding but do NOT cancel: the records already
+				// decoded drain through and are delivered, mirroring the
+				// batch reader's return-the-good-prefix behaviour. The
+				// error surfaces once the pipeline is empty.
+				m.errors.Add(1)
+				srcErr = err
+				return
+			}
+			m.decoded.Add(1)
+			select {
+			case decoded <- Item{Index: i, Conn: c}:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	// Classify stage: the worker pool. Workers exit when the decode
+	// channel closes (drain) or the context is cancelled mid-send.
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := range decoded {
+				it.Res = cl.Classify(it.Conn)
+				m.classified.Add(1)
+				if it.Res.Signature.IsTampering() {
+					m.tampering.Add(1)
+				}
+				select {
+				case results <- it:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Deliver stage, on the caller's goroutine. After a sink error or
+	// cancellation we keep draining the results channel (so blocked
+	// workers can exit) but stop invoking the sink.
+	var sinkErr error
+	stopped := false
+	deliver := func(it Item) {
+		if stopped || ctx.Err() != nil {
+			return
+		}
+		switch err := sink(it); {
+		case err == nil:
+			m.delivered.Add(1)
+		case errors.Is(err, ErrStop):
+			stopped = true
+			cancel()
+		default:
+			m.errors.Add(1)
+			sinkErr = fmt.Errorf("pipeline: sink: %w", err)
+			stopped = true
+			cancel()
+		}
+	}
+	if cfg.Ordered {
+		// Reorder buffer: holds out-of-order results until their
+		// predecessors arrive. Bounded by the records in flight, so at
+		// most 2*Depth + Workers entries.
+		pending := make(map[int]Item)
+		next := 0
+		for it := range results {
+			pending[it.Index] = it
+			for {
+				n, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				next++
+				deliver(n)
+			}
+		}
+	} else {
+		for it := range results {
+			deliver(it)
+		}
+	}
+	<-decodeDone
+
+	counts := m.Snapshot()
+	counts.Dropped = counts.Decoded - counts.Delivered
+	m.dropped.Store(counts.Dropped)
+
+	switch {
+	case sinkErr != nil:
+		return counts, sinkErr
+	case srcErr != nil:
+		return counts, fmt.Errorf("pipeline: source: %w", srcErr)
+	case ctx.Err() != nil && !stopped:
+		return counts, ctx.Err()
+	}
+	return counts, nil
+}
+
+// Stream decodes TDCAP connection records incrementally from r and
+// runs them through the pipeline; see Run.
+func Stream(ctx context.Context, r io.Reader, cfg Config, sink Sink) (Counts, error) {
+	return Run(ctx, NewReaderSource(r), cfg, sink)
+}

@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"io"
+	"runtime"
+	"sync"
+
+	"tamperdetect/internal/capture"
+)
+
+// StreamRun simulates a scenario's specs with bounded parallelism and
+// yields the sampled capture records incrementally, in spec order,
+// through Next — the streaming counterpart of Run. It satisfies the
+// classification pipeline's Source contract, so a scenario can be
+// classified while it is still being simulated, without ever holding
+// the full []*capture.Connection in memory.
+//
+// At most ~4×workers simulated connections are buffered ahead of the
+// consumer; a slow consumer throttles the simulation. The caller must
+// either drain Next to io.EOF or call Close, or the producer goroutine
+// leaks.
+type StreamRun struct {
+	// futures carries, in spec order, one single-use channel per spec;
+	// each receives that spec's simulation result exactly once (nil
+	// when the sampler did not select the connection).
+	futures  chan chan *capture.Connection
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     bool
+}
+
+// Stream starts a streaming simulation of all the scenario's specs
+// with the given parallelism (0 = GOMAXPROCS).
+func (s *Scenario) Stream(workers int) *StreamRun {
+	return s.StreamSpecs(s.Specs(), workers)
+}
+
+// StreamSpecs starts a streaming simulation of a prepared spec list.
+func (s *Scenario) StreamSpecs(specs []ConnSpec, workers int) *StreamRun {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sr := &StreamRun{
+		futures: make(chan chan *capture.Connection, 4*workers),
+		stop:    make(chan struct{}),
+	}
+	go func() {
+		defer close(sr.futures)
+		sem := make(chan struct{}, workers)
+		for i := range specs {
+			f := make(chan *capture.Connection, 1)
+			select {
+			case sr.futures <- f: // bounded read-ahead: backpressure
+			case <-sr.stop:
+				return
+			}
+			select {
+			case sem <- struct{}{}:
+			case <-sr.stop:
+				f <- nil // unblock a Next already waiting on f
+				return
+			}
+			go func(i int) {
+				defer func() { <-sem }()
+				f <- SimulateConn(&specs[i], s.Universe, s.CaptureConfig)
+			}(i)
+		}
+	}()
+	return sr
+}
+
+// Next returns the next sampled connection in spec order, skipping
+// specs the sampler did not select, and io.EOF after the last spec.
+// The sequence of non-nil records is exactly Run's output.
+func (sr *StreamRun) Next() (*capture.Connection, error) {
+	for {
+		f, ok := <-sr.futures
+		if !ok {
+			sr.done = true
+			return nil, io.EOF
+		}
+		if c := <-f; c != nil {
+			return c, nil
+		}
+	}
+}
+
+// Close abandons the stream early: in-flight simulations finish, the
+// producer stops scheduling new ones, and subsequent Next calls drain
+// to io.EOF quickly. Close is idempotent and safe to defer alongside
+// a full drain.
+func (sr *StreamRun) Close() {
+	sr.stopOnce.Do(func() { close(sr.stop) })
+	if !sr.done {
+		// Release buffered futures so their sim goroutines' sends (to
+		// cap-1 channels) are garbage, not blockers, and observe the
+		// producer's close.
+		for range sr.futures {
+		}
+		sr.done = true
+	}
+}

@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"io"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestStreamSpecsMatchesRun(t *testing.T) {
+	s, err := BuildScenario("stream-test", 1500, 24, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s.Run(1)
+	for _, workers := range []int{1, 4} {
+		sr := s.Stream(workers)
+		i := 0
+		for {
+			c, err := sr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("workers=%d: Next: %v", workers, err)
+			}
+			if i >= len(want) {
+				t.Fatalf("workers=%d: stream yielded more than %d connections", workers, len(want))
+			}
+			w := want[i]
+			if c.SrcIP != w.SrcIP || c.SrcPort != w.SrcPort || c.TotalPackets != w.TotalPackets ||
+				len(c.Packets) != len(w.Packets) {
+				t.Fatalf("workers=%d: connection %d differs from Run's output", workers, i)
+			}
+			i++
+		}
+		if i != len(want) {
+			t.Errorf("workers=%d: streamed %d connections, Run produced %d", workers, i, len(want))
+		}
+	}
+}
+
+func TestStreamRunClose(t *testing.T) {
+	s, err := BuildScenario("stream-close", 2000, 24, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	sr := s.Stream(4)
+	// Consume a few, then abandon.
+	for i := 0; i < 5; i++ {
+		if _, err := sr.Next(); err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+	}
+	sr.Close()
+	sr.Close() // idempotent
+	// After Close, Next drains to EOF rather than hanging.
+	for {
+		_, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next after Close: %v", err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Errorf("goroutines leaked after Close: %d before, %d after\n%s",
+		before, runtime.NumGoroutine(), buf[:n])
+}
+
+// TestStreamBoundedReadAhead checks that an unconsumed stream parks
+// after its bounded read-ahead instead of simulating every spec: the
+// goroutine population during the stall stays at producer + worker
+// pool, not one goroutine per remaining spec.
+func TestStreamBoundedReadAhead(t *testing.T) {
+	s, err := BuildScenario("stream-bound", 1200, 24, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	workers := 2
+	sr := s.Stream(workers)
+	time.Sleep(300 * time.Millisecond)
+	if g := runtime.NumGoroutine(); g > before+workers+2 {
+		t.Errorf("stalled stream is running %d goroutines over baseline (want ≤ %d)",
+			g-before, workers+2)
+	}
+	n := 0
+	for {
+		_, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("stream yielded nothing")
+	}
+}

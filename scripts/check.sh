@@ -1,0 +1,15 @@
+#!/bin/sh
+# Tier-2 verification: static vetting plus the full test suite under
+# the race detector (the pipeline's concurrency tests are written to
+# be meaningful only under -race). Run from the repo root:
+#
+#	./scripts/check.sh
+set -eu
+
+echo "== go vet ./... =="
+go vet ./...
+
+echo "== go test -race ./... =="
+go test -race ./...
+
+echo "tier-2 checks passed"

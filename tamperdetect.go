@@ -11,7 +11,7 @@
 // validates with: IP-ID and TTL deltas of suspected injected packets
 // and scanner fingerprints.
 //
-// Quick start:
+// Quick start (batch):
 //
 //	cl := tamperdetect.NewClassifier(tamperdetect.DefaultConfig())
 //	conns, err := tamperdetect.ReadCaptureFile("sample.tdcap")
@@ -23,6 +23,22 @@
 //		}
 //	}
 //
+// Quick start (streaming): Stream classifies a capture of any size in
+// constant memory through a backpressured worker pool, calling the
+// sink from a single goroutine:
+//
+//	f, _ := os.Open("sample.tdcap")
+//	defer f.Close()
+//	counts, err := tamperdetect.Stream(context.Background(), f,
+//		tamperdetect.StreamConfig{Ordered: true},
+//		func(it tamperdetect.StreamItem) error {
+//			if it.Res.Signature.IsTampering() {
+//				fmt.Println(it.Res.Signature, it.Res.Domain)
+//			}
+//			return nil
+//		})
+//	fmt.Println(counts.Classified, "classified,", counts.Tampering, "tampering")
+//
 // The internal packages provide the full reproduction substrate: a
 // wire-accurate packet codec (internal/packet), TLS/HTTP trigger
 // parsers, TCP endpoint simulators, DPI middlebox models of known
@@ -32,12 +48,14 @@
 package tamperdetect
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
 
 	"tamperdetect/internal/capture"
 	"tamperdetect/internal/core"
+	"tamperdetect/internal/pipeline"
 )
 
 // Re-exported core types: the classifier's public surface.
@@ -62,7 +80,24 @@ type (
 	Connection = capture.Connection
 	// PacketRecord is one logged inbound packet.
 	PacketRecord = capture.PacketRecord
+
+	// StreamConfig tunes the streaming classification pipeline used by
+	// Stream: worker count, channel depth, ordered delivery, and an
+	// optional live Metrics sink.
+	StreamConfig = pipeline.Config
+	// StreamItem is one classified connection delivered by Stream.
+	StreamItem = pipeline.Item
+	// StreamCounts is the pipeline's per-stage counter snapshot:
+	// decoded, classified, tampering, delivered, errors, dropped.
+	StreamCounts = pipeline.Counts
+	// StreamMetrics holds live per-stage counters observable while a
+	// Stream is in flight (pass one via StreamConfig.Metrics).
+	StreamMetrics = pipeline.Metrics
 )
+
+// ErrStopStream may be returned by a Stream sink to stop the pipeline
+// early without error.
+var ErrStopStream = pipeline.ErrStop
 
 // Signature constants, re-exported for matching on results.
 const (
@@ -137,22 +172,38 @@ func ReadCaptureFile(path string) ([]*Connection, error) {
 	return conns, nil
 }
 
+// Stream decodes TDCAP connection records incrementally from r and
+// classifies them through a backpressured worker pool, delivering each
+// classified connection to fn from a single goroutine. It processes
+// captures of any size in constant memory and blocks until the
+// pipeline has drained — on EOF, on error, or on ctx cancellation.
+// fn may be nil to only count, and may return ErrStopStream to stop
+// early without error.
+func Stream(ctx context.Context, r io.Reader, cfg StreamConfig, fn func(StreamItem) error) (StreamCounts, error) {
+	return pipeline.Stream(ctx, r, cfg, fn)
+}
+
 // WriteCaptureFile stores connection records as a TDCAP capture file.
-func WriteCaptureFile(path string, conns []*Connection) error {
+func WriteCaptureFile(path string, conns []*Connection) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("tamperdetect: %w", err)
 	}
+	defer func() {
+		// Single close for every path; a close failure after a clean
+		// flush is a real write error and must surface.
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("tamperdetect: closing %s: %w", path, cerr)
+		}
+	}()
 	w := capture.NewWriter(f)
 	for _, c := range conns {
 		if err := w.Write(c); err != nil {
-			f.Close()
 			return fmt.Errorf("tamperdetect: writing %s: %w", path, err)
 		}
 	}
 	if err := w.Flush(); err != nil {
-		f.Close()
 		return fmt.Errorf("tamperdetect: flushing %s: %w", path, err)
 	}
-	return f.Close()
+	return nil
 }

@@ -1,7 +1,9 @@
 package tamperdetect
 
 import (
+	"context"
 	"net/netip"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -73,5 +75,76 @@ func TestPublicAllSignatures(t *testing.T) {
 func TestReadCaptureFileMissing(t *testing.T) {
 	if _, err := ReadCaptureFile("/nonexistent/path.tdcap"); err == nil {
 		t.Error("missing file did not error")
+	}
+}
+
+func TestPublicStream(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.tdcap")
+	in := []*Connection{sample(), sample(), sample()}
+	if err := WriteCaptureFile(path, in); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var sigs []Signature
+	counts, err := Stream(context.Background(), f, StreamConfig{Workers: 4, Ordered: true},
+		func(it StreamItem) error {
+			sigs = append(sigs, it.Res.Signature)
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("Stream: %v", err)
+	}
+	if counts.Classified != 3 || counts.Tampering != 3 || counts.Dropped != 0 {
+		t.Errorf("counts = %+v", counts)
+	}
+	for i, sig := range sigs {
+		if sig != SigPSHRSTACK {
+			t.Errorf("connection %d: signature %v, want PSH → RST+ACK", i, sig)
+		}
+	}
+}
+
+func TestPublicStreamStop(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.tdcap")
+	in := []*Connection{sample(), sample(), sample(), sample()}
+	if err := WriteCaptureFile(path, in); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	seen := 0
+	counts, err := Stream(context.Background(), f, StreamConfig{Ordered: true},
+		func(it StreamItem) error {
+			seen++
+			return ErrStopStream
+		})
+	if err != nil {
+		t.Fatalf("ErrStopStream surfaced: %v", err)
+	}
+	if seen != 1 || counts.Delivered != 0 {
+		t.Errorf("seen=%d counts=%+v", seen, counts)
+	}
+}
+
+func TestWriteCaptureFileErrors(t *testing.T) {
+	// Creating over a directory must fail up front.
+	dir := t.TempDir()
+	if err := WriteCaptureFile(dir, []*Connection{sample()}); err == nil {
+		t.Error("writing over a directory succeeded")
+	}
+	// A failing flush (no space on /dev/full) must surface exactly one
+	// error and still close the file.
+	if _, statErr := os.Stat("/dev/full"); statErr == nil {
+		err := WriteCaptureFile("/dev/full", []*Connection{sample()})
+		if err == nil {
+			t.Error("write to /dev/full succeeded")
+		}
 	}
 }
