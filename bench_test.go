@@ -63,7 +63,7 @@ func BenchmarkScenarioSimulation(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		spec := specs[i%len(specs)]
-		if workload.SimulateConn(&spec, s.Universe, s.CaptureConfig) == nil {
+		if workload.SimulateConn(&spec, s.Universe, s.CaptureConfig, s.Impairments) == nil {
 			b.Fatal("connection not sampled")
 		}
 	}

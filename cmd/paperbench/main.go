@@ -10,7 +10,14 @@
 //	           [-threshold T] <experiment>
 //
 // Experiments: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7a fig7b
-// table2 table3 fig8 fig9 fig10 scanners all
+// table2 table3 fig8 fig9 fig10 scanners stability evasion
+// groundtruth robustness all
+//
+// -impair applies a named link-impairment grade (internal/faults:
+// clean, lossy, hostile) to the scenario simulation, exercising the
+// detector over degraded but untampered paths. The robustness
+// experiment ignores -impair: it sweeps a benign scenario across every
+// grade and prints the per-signature false-positive matrix.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"tamperdetect/internal/capture"
 	"tamperdetect/internal/core"
 	"tamperdetect/internal/domains"
+	"tamperdetect/internal/faults"
 	"tamperdetect/internal/pipeline"
 	"tamperdetect/internal/stats"
 	"tamperdetect/internal/testlists"
@@ -34,7 +42,8 @@ import (
 var experiments = []string{
 	"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
 	"fig7a", "fig7b", "table2", "table3", "fig8", "fig9", "fig10",
-	"scanners", "stability", "evasion", "groundtruth", "all",
+	"scanners", "stability", "evasion", "groundtruth", "robustness",
+	"all",
 }
 
 func main() {
@@ -43,6 +52,7 @@ func main() {
 	seed := flag.Uint64("seed", 2023, "deterministic seed")
 	workers := flag.Int("workers", 0, "parallelism (0 = all cores)")
 	threshold := flag.Int("threshold", 3, "per-domain match threshold for Tables 2-3 (paper: 100/day at CDN scale)")
+	impair := flag.String("impair", "", "link-impairment grade applied to the scenario (clean|lossy|hostile)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: paperbench [flags] <%s>\n", strings.Join(experiments, "|"))
 		flag.PrintDefaults()
@@ -52,7 +62,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *total, *hours, *seed, *workers, *threshold); err != nil {
+	if err := run(flag.Arg(0), *total, *hours, *seed, *workers, *threshold, *impair); err != nil {
 		fmt.Fprintln(os.Stderr, "paperbench:", err)
 		os.Exit(1)
 	}
@@ -71,11 +81,12 @@ type dataset struct {
 // full []*capture.Connection before classification starts. (The
 // dataset still retains conns/recs because the experiments aggregate
 // them many ways.)
-func buildDataset(total, hours int, seed uint64, workers int) (*dataset, error) {
+func buildDataset(total, hours int, seed uint64, workers int, imp faults.Config) (*dataset, error) {
 	s, err := workload.BuildScenario("paperbench", total, hours, seed)
 	if err != nil {
 		return nil, err
 	}
+	s.Impairments = imp
 	start := time.Now()
 	src := s.Stream(workers)
 	defer src.Close()
@@ -95,7 +106,7 @@ func buildDataset(total, hours int, seed uint64, workers int) (*dataset, error) 
 	return ds, nil
 }
 
-func run(exp string, total, hours int, seed uint64, workers, threshold int) error {
+func run(exp string, total, hours int, seed uint64, workers, threshold int, impair string) error {
 	known := false
 	for _, e := range experiments {
 		if e == exp {
@@ -105,11 +116,19 @@ func run(exp string, total, hours int, seed uint64, workers, threshold int) erro
 	if !known {
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
+	var imp faults.Config
+	var err error
+	if impair != "" {
+		if imp, err = faults.Grade(impair); err != nil {
+			return err
+		}
+	}
 
 	var ds *dataset
-	var err error
-	if exp != "fig8" { // the Iran case study uses its own scenario
-		ds, err = buildDataset(total, hours, seed, workers)
+	// fig8 (the Iran case study) and robustness build their own
+	// scenarios; everything else shares one dataset.
+	if exp != "fig8" && exp != "robustness" {
+		ds, err = buildDataset(total, hours, seed, workers, imp)
 		if err != nil {
 			return err
 		}
@@ -168,6 +187,7 @@ func run(exp string, total, hours int, seed uint64, workers, threshold int) erro
 			if err != nil {
 				return err
 			}
+			s.Impairments = imp
 			conns := s.Run(workers)
 			recs := analysis.Analyze(conns, s.Geo, core.NewClassifier(core.DefaultConfig()), workers)
 			fmt.Printf("# iran2022: %d connections over 17 days\n", len(recs))
@@ -201,6 +221,30 @@ func run(exp string, total, hours int, seed uint64, workers, threshold int) erro
 			fmt.Println(renderEvasion(total/10, seed))
 		case "stability":
 			fmt.Print(analysis.RenderStability(analysis.StabilityReport(ds.recs, 30)))
+		case "robustness":
+			// False-positive harness: a scenario with no tampering and no
+			// benign anomalies, swept across every impairment grade. Any
+			// tampering verdict is by construction a false positive.
+			n := total / 5
+			if n < 1000 {
+				n = 1000
+			}
+			s, err := workload.BenignScenario("robustness", n, 24, seed)
+			if err != nil {
+				return err
+			}
+			start := time.Now()
+			outs, err := workload.RobustnessSweep(s, faults.GradeNames(), workers)
+			if err != nil {
+				return err
+			}
+			rows := make([]analysis.RobustnessGrade, len(outs))
+			for i, o := range outs {
+				rows[i] = analysis.TallyRobustness(o.Grade, o.EffectiveLoss, o.Signatures)
+			}
+			fmt.Printf("# robustness: %d benign connections per grade, %v\n\n",
+				n, time.Since(start).Round(time.Millisecond))
+			fmt.Print(analysis.RenderRobustnessMatrix(rows))
 		case "scanners":
 			fmt.Print(analysis.RenderScannerStats(analysis.ComputeScannerStats(ds.recs, ds.conns)))
 			// §5.1 companion stat: the share of tampering restricted to

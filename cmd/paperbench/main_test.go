@@ -11,7 +11,7 @@ func TestRunExperiments(t *testing.T) {
 		}
 		exp := exp
 		t.Run(exp, func(t *testing.T) {
-			if err := run(exp, 3000, 48, 7, 2, 2); err != nil {
+			if err := run(exp, 3000, 48, 7, 2, 2, ""); err != nil {
 				t.Fatalf("run(%s): %v", exp, err)
 			}
 		})
@@ -19,7 +19,10 @@ func TestRunExperiments(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("nope", 10, 1, 1, 1, 1); err == nil {
+	if err := run("nope", 10, 1, 1, 1, 1, ""); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+	if err := run("table1", 10, 1, 1, 1, 1, "nope"); err == nil {
+		t.Error("unknown impairment grade accepted")
 	}
 }

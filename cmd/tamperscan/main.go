@@ -17,11 +17,16 @@
 // Usage:
 //
 //	tamperscan [-v] [-tampered-only] [-workers N] capture.{tdcap,pcap}
+//
+// Exit status: 0 on a clean scan, 1 on failure, 2 on usage errors, and
+// 3 when the input turned out to be truncated or corrupt partway
+// through — the report for the good prefix is still printed.
 package main
 
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -52,9 +57,25 @@ func main() {
 	}
 	if err := run(flag.Arg(0), *verbose, *tamperedOnly, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "tamperscan:", err)
+		// A truncated or corrupt capture that still yielded results
+		// exits 3, distinct from total failure (1) and usage (2), so
+		// callers can keep the partial report while noticing the damage.
+		if errors.As(err, new(*partialError)) {
+			os.Exit(3)
+		}
 		os.Exit(1)
 	}
 }
+
+// partialError marks a scan that failed mid-stream after producing a
+// partial report.
+type partialError struct{ err error }
+
+func (e *partialError) Error() string {
+	return fmt.Sprintf("input damaged after %s (partial results above)", e.err)
+}
+
+func (e *partialError) Unwrap() error { return e.err }
 
 // report accumulates the scan statistics; the pipeline invokes add
 // from a single goroutine in decode order, so plain fields suffice.
@@ -152,7 +173,15 @@ func run(path string, verbose, tamperedOnly bool, workers int) error {
 	_, err = pipeline.Run(context.Background(), src,
 		pipeline.Config{Workers: workers, Ordered: true}, rep.add)
 	if err != nil {
-		return err
+		if rep.total == 0 {
+			return err
+		}
+		// Truncated/corrupt tail after a good prefix: report what was
+		// classified, then surface the damage with a distinct exit code.
+		fmt.Fprintf(os.Stderr, "tamperscan: warning: %v — reporting the %d connections scanned before the damage\n",
+			err, rep.total)
+		rep.print()
+		return &partialError{err: err}
 	}
 	rep.print()
 	return nil

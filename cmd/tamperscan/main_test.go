@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"net/netip"
 	"os"
@@ -125,5 +126,47 @@ func TestRunReport(t *testing.T) {
 		if err := run(path, true, true, workers); err != nil {
 			t.Fatalf("run(workers=%d): %v", workers, err)
 		}
+	}
+}
+
+func TestRunPartialOnCorruptTail(t *testing.T) {
+	// A good record followed by a corrupt tail must still produce a
+	// report, and the error must be the partial-results kind so main
+	// exits 3 rather than 1.
+	path := filepath.Join(t.TempDir(), "x.tdcap")
+	if err := tamperdetect.WriteCaptureFile(path, sampleConns()); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0xC0 is the connection-record marker; 0x07 is an invalid IP
+	// version byte, so decoding fails right after the good prefix.
+	bad := append(append([]byte(nil), good...), 0xC0, 0x07)
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run(path, false, false, 1)
+	if err == nil {
+		t.Fatal("corrupt tail scanned without error")
+	}
+	var pe *partialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *partialError", err, err)
+	}
+
+	// A capture that is corrupt from the first record has no partial
+	// results to report: plain error, exit 1.
+	allBad := filepath.Join(t.TempDir(), "bad.tdcap")
+	if err := os.WriteFile(allBad, append(good[:8:8], 0xC0, 0x07), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run(allBad, false, false, 1)
+	if err == nil {
+		t.Fatal("fully corrupt capture scanned without error")
+	}
+	if errors.As(err, &pe) {
+		t.Fatalf("err = %v is partial, want plain error when nothing was scanned", err)
 	}
 }

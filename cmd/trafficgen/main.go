@@ -6,11 +6,17 @@
 // Usage:
 //
 //	trafficgen [-scenario global|iran2022] [-total N] [-hours H]
-//	           [-seed S] [-workers W] [-config scenario.json] -o out.tdcap
+//	           [-seed S] [-workers W] [-impair grade]
+//	           [-config scenario.json] -o out.tdcap
 //
 // With -config, the scenario (countries, censor styles, coverage, and
 // temporal knobs) is loaded from a JSON file; see
 // internal/workload/config.go for the schema and style names.
+//
+// -impair degrades every simulated path with a named fault grade from
+// internal/faults (clean, lossy, hostile): burst loss, duplication,
+// reordering, jitter, corruption. It overrides the config file's
+// "impairment" field when both are given.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"time"
 
 	"tamperdetect"
+	"tamperdetect/internal/faults"
 	"tamperdetect/internal/workload"
 )
 
@@ -30,16 +37,17 @@ func main() {
 	hours := flag.Int("hours", 14*24, "scenario duration in hours (global scenario)")
 	seed := flag.Uint64("seed", 1, "deterministic seed")
 	workers := flag.Int("workers", 0, "simulation parallelism (0 = all cores)")
+	impair := flag.String("impair", "", "link-impairment grade (clean|lossy|hostile)")
 	out := flag.String("o", "capture.tdcap", "output capture path")
 	flag.Parse()
 
-	if err := run(*scenario, *config, *total, *hours, *seed, *workers, *out); err != nil {
+	if err := run(*scenario, *config, *total, *hours, *seed, *workers, *impair, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "trafficgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scenario, config string, total, hours int, seed uint64, workers int, out string) error {
+func run(scenario, config string, total, hours int, seed uint64, workers int, impair, out string) error {
 	var s *workload.Scenario
 	var err error
 	switch {
@@ -54,6 +62,11 @@ func run(scenario, config string, total, hours int, seed uint64, workers int, ou
 	}
 	if err != nil {
 		return err
+	}
+	if impair != "" {
+		if s.Impairments, err = faults.Grade(impair); err != nil {
+			return err
+		}
 	}
 	start := time.Now()
 	conns := s.Run(workers)

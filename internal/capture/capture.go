@@ -84,6 +84,11 @@ type Config struct {
 	// ShuffleWithinSecond randomizes logging order among packets that
 	// share a timestamp, reproducing constraint 2; nil disables.
 	ShuffleWithinSecond *rand.Rand
+	// VerifyChecksums drops inbound packets whose IP/TCP checksums do
+	// not verify, as the deployment's kernel tap would never surface
+	// them. Enable when the feed can carry corrupted-in-flight packets
+	// (e.g. simulations with bit-corruption impairments).
+	VerifyChecksums bool
 }
 
 // DefaultConfig is the paper's deployment configuration, except Rate=1:
@@ -128,6 +133,9 @@ func NewSampler(cfg Config) *Sampler {
 
 // Inbound ingests one inbound packet; use it as a netsim path tap.
 func (s *Sampler) Inbound(at netsim.Time, data []byte) {
+	if s.cfg.VerifyChecksums && !packet.ChecksumsValid(data) {
+		return
+	}
 	var sum packet.Summary
 	if err := s.parser.Parse(data, &sum); err != nil {
 		return

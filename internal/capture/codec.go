@@ -32,6 +32,18 @@ var (
 	ErrCorrupt  = errors.New("capture: corrupt record")
 )
 
+// Decode bounds for untrusted input. A length prefix beyond these is a
+// corrupt (or hostile) file, never a reason to allocate gigabytes: real
+// records hold ~10 packets of ≤512 captured bytes.
+const (
+	maxPacketsPerRecord = 1 << 14
+	maxCapturedPayload  = 1 << 14
+	// initialPacketAlloc caps the slice capacity allocated on the
+	// strength of an unvalidated count; growth past it requires the
+	// bytes to actually be present in the stream.
+	initialPacketAlloc = 256
+)
+
 // Writer streams connection records to an io.Writer.
 type Writer struct {
 	w     *bufio.Writer
@@ -41,8 +53,19 @@ type Writer struct {
 // NewWriter wraps w.
 func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
 
-// Write appends one connection record.
+// Write appends one connection record. Records that exceed the codec's
+// wire limits (packet count, captured payload length) are rejected
+// rather than silently truncated: such a record would not round-trip.
 func (w *Writer) Write(c *Connection) error {
+	if len(c.Packets) > maxPacketsPerRecord {
+		return fmt.Errorf("capture: record has %d packets, max %d", len(c.Packets), maxPacketsPerRecord)
+	}
+	for i := range c.Packets {
+		if len(c.Packets[i].Payload) > maxCapturedPayload {
+			return fmt.Errorf("capture: packet %d captured payload %d bytes, max %d",
+				i, len(c.Packets[i].Payload), maxCapturedPayload)
+		}
+	}
 	if !w.began {
 		if _, err := w.w.Write(captureMagic[:]); err != nil {
 			return err
@@ -160,12 +183,14 @@ func (r *Reader) Read() (*Connection, error) {
 	c.LastActivity = int64(binary.BigEndian.Uint64(fixed[8:16]))
 	c.CloseTime = int64(binary.BigEndian.Uint64(fixed[16:24]))
 	n := int(binary.BigEndian.Uint16(fixed[24:26]))
-	if n > 1<<14 {
+	if n > maxPacketsPerRecord {
 		return nil, ErrCorrupt
 	}
-	c.Packets = make([]PacketRecord, n)
-	for i := range c.Packets {
-		p := &c.Packets[i]
+	// Allocate incrementally: the count is untrusted, so capacity beyond
+	// initialPacketAlloc is only committed as packets actually decode.
+	c.Packets = make([]PacketRecord, 0, min(n, initialPacketAlloc))
+	for i := 0; i < n; i++ {
+		var p PacketRecord
 		var ph [8 + 1 + 4 + 4 + 2 + 1 + 2 + 4 + 2]byte
 		if _, err := io.ReadFull(r.r, ph[:]); err != nil {
 			return nil, corrupt(err)
@@ -179,7 +204,7 @@ func (r *Reader) Read() (*Connection, error) {
 		p.Window = binary.BigEndian.Uint16(ph[20:22])
 		p.PayloadLen = int(binary.BigEndian.Uint32(ph[22:26]))
 		capLen := int(binary.BigEndian.Uint16(ph[26:28]))
-		if capLen > 1<<16 {
+		if capLen > maxCapturedPayload || capLen > p.PayloadLen {
 			return nil, ErrCorrupt
 		}
 		if capLen > 0 {
@@ -193,6 +218,7 @@ func (r *Reader) Read() (*Connection, error) {
 			return nil, corrupt(err)
 		}
 		p.HasOptions = opt == 1
+		c.Packets = append(c.Packets, p)
 	}
 	return c, nil
 }

@@ -196,3 +196,64 @@ func TestReaderNextStickyError(t *testing.T) {
 		t.Errorf("Count = %d, want 1", r.Count())
 	}
 }
+
+// TestCodecCorruptLengthPrefixes is the untrusted-input bound: a forged
+// or bit-flipped length prefix must yield ErrCorrupt quickly, never a
+// giant allocation or a hang waiting for bytes that don't exist.
+func TestCodecCorruptLengthPrefixes(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(sampleConn(false)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	// Locate the 2-byte packet-count field: magic(8) marker(1) ipver(1)
+	// src(4) dst(4) ports(4) total(4) last(8) close(8).
+	countOff := 8 + 1 + 1 + 4 + 4 + 4 + 4 + 8 + 8
+	overCount := append([]byte(nil), full...)
+	overCount[countOff] = 0xFF
+	overCount[countOff+1] = 0xFF
+	if _, err := NewReader(bytes.NewReader(overCount)).Read(); err == nil {
+		t.Error("packet count 0xFFFF accepted")
+	}
+
+	// Claim many packets but supply none: the reader must fail on the
+	// missing bytes, not pre-commit memory for the claimed count.
+	claimed := append([]byte(nil), full[:countOff]...)
+	claimed = append(claimed, 0x3F, 0xFF) // 16383 packets, within the cap
+	if _, err := NewReader(bytes.NewReader(claimed)).Read(); err == nil {
+		t.Error("claimed packets with empty body accepted")
+	}
+
+	// Captured length beyond the original payload length is impossible
+	// for a writer-produced record — reject it.
+	// Packet record layout after count: ts(8) flags(1) seq(4) ack(4)
+	// ipid(2) ttl(1) window(2) payloadLen(4) capLen(2).
+	pktOff := countOff + 2
+	capOff := pktOff + 8 + 1 + 4 + 4 + 2 + 1 + 2 + 4
+	overCap := append([]byte(nil), full...)
+	overCap[capOff] = 0xFF // first packet has PayloadLen 0
+	overCap[capOff+1] = 0xFF
+	if _, err := NewReader(bytes.NewReader(overCap)).Read(); err == nil {
+		t.Error("captured length > payload length accepted")
+	}
+}
+
+func TestWriterRejectsOversizeRecords(t *testing.T) {
+	w := NewWriter(io.Discard)
+	big := sampleConn(false)
+	big.Packets = make([]PacketRecord, maxPacketsPerRecord+1)
+	if err := w.Write(big); err == nil {
+		t.Error("oversize packet count written")
+	}
+	fat := sampleConn(false)
+	fat.Packets[1].Payload = make([]byte, maxCapturedPayload+1)
+	fat.Packets[1].PayloadLen = maxCapturedPayload + 1
+	if err := w.Write(fat); err == nil {
+		t.Error("oversize captured payload written")
+	}
+}

@@ -1,0 +1,224 @@
+package faults
+
+import (
+	"math/rand/v2"
+	"net/netip"
+	"testing"
+	"time"
+
+	"tamperdetect/internal/netsim"
+	"tamperdetect/internal/packet"
+)
+
+func mustAddr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+func TestGradeTable(t *testing.T) {
+	names := GradeNames()
+	want := []string{"clean", "hostile", "lossy"}
+	if len(names) != len(want) {
+		t.Fatalf("GradeNames = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("GradeNames = %v, want %v", names, want)
+		}
+	}
+	clean, err := Grade("clean")
+	if err != nil || clean.Enabled() {
+		t.Fatalf("clean grade: err=%v enabled=%v", err, clean.Enabled())
+	}
+	for _, n := range []string{"lossy", "hostile"} {
+		g, err := Grade(n)
+		if err != nil || !g.Enabled() {
+			t.Fatalf("%s grade: err=%v enabled=%v", n, err, g.Enabled())
+		}
+		if g.Grade != n {
+			t.Fatalf("%s grade carries name %q", n, g.Grade)
+		}
+	}
+	if _, err := Grade("bogus"); err == nil {
+		t.Fatal("unknown grade accepted")
+	}
+}
+
+func TestEffectiveLossMatchesSimulation(t *testing.T) {
+	cfg, _ := Grade("lossy")
+	cfg.DupProb, cfg.ReorderProb, cfg.JitterMax, cfg.CorruptProb, cfg.TruncateProb = 0, 0, 0, 0, 0
+	ch := NewChain(cfg, rand.New(rand.NewPCG(7, 11)))
+	data := []byte{0x45}
+	const n = 200000
+	lost := 0
+	now := netsim.Time(0)
+	for i := 0; i < n; i++ {
+		now += netsim.Time(2 * time.Millisecond) // steady 500 pps
+		if len(ch.Hook(now, netsim.ClientToServer, data)) == 0 {
+			lost++
+		}
+	}
+	got := float64(lost) / n
+	want := cfg.EffectiveLoss()
+	if got < want*0.8 || got > want*1.2 {
+		t.Fatalf("simulated loss %.4f, want ≈%.4f", got, want)
+	}
+}
+
+// TestBurstCorrelation is the Gilbert–Elliott property itself: loss is
+// correlated at packet spacing (bursts) but decorrelates at RTO
+// spacing, which is what lets retransmissions escape a burst.
+func TestBurstCorrelation(t *testing.T) {
+	cfg, _ := Grade("lossy")
+	cfg.DupProb, cfg.ReorderProb, cfg.JitterMax, cfg.CorruptProb, cfg.TruncateProb = 0, 0, 0, 0, 0
+
+	condLoss := func(gap time.Duration) (pLoss, pLossAfterLoss float64) {
+		ch := NewChain(cfg, rand.New(rand.NewPCG(42, 43)))
+		data := []byte{0x45}
+		const n = 400000
+		losses, pairs, pairLosses := 0, 0, 0
+		prevLost := false
+		now := netsim.Time(0)
+		for i := 0; i < n; i++ {
+			now += netsim.Time(gap)
+			lost := len(ch.Hook(now, netsim.ClientToServer, data)) == 0
+			if lost {
+				losses++
+			}
+			if prevLost {
+				pairs++
+				if lost {
+					pairLosses++
+				}
+			}
+			prevLost = lost
+		}
+		return float64(losses) / n, float64(pairLosses) / float64(pairs)
+	}
+
+	p, pAfter := condLoss(time.Millisecond)
+	if pAfter < 4*p {
+		t.Errorf("1ms spacing: P(loss|loss)=%.3f not ≫ P(loss)=%.3f — loss is not bursty", pAfter, p)
+	}
+	p, pAfter = condLoss(3 * time.Second)
+	if pAfter > 2.5*p {
+		t.Errorf("3s spacing: P(loss|loss)=%.3f vs P(loss)=%.3f — bursts should decorrelate at RTO spacing", pAfter, p)
+	}
+}
+
+func TestHookDuplication(t *testing.T) {
+	cfg := Config{DupProb: 1}
+	ch := NewChain(cfg, rand.New(rand.NewPCG(1, 2)))
+	data := []byte{1, 2, 3}
+	out := ch.Hook(0, netsim.ClientToServer, data)
+	if len(out) != 2 {
+		t.Fatalf("DupProb=1 delivered %d copies, want 2", len(out))
+	}
+	if out[1].ExtraDelay <= out[0].ExtraDelay {
+		t.Fatal("duplicate does not trail the original")
+	}
+	if &out[0].Data[0] == &out[1].Data[0] {
+		t.Fatal("duplicate shares the original's backing array")
+	}
+}
+
+func TestHookCorruptionBreaksChecksums(t *testing.T) {
+	raw := buildPacket(t)
+	cfg := Config{CorruptProb: 1}
+	ch := NewChain(cfg, rand.New(rand.NewPCG(5, 6)))
+	for i := 0; i < 100; i++ {
+		out := ch.Hook(0, netsim.ServerToClient, append([]byte(nil), raw...))
+		if len(out) != 1 {
+			t.Fatal("corruption must not drop or duplicate")
+		}
+		// A flipped bit in the version nibble can make the packet
+		// unparsable; either way it must not verify. (v6 flow-label
+		// flips would be undetectable, but this packet is IPv4.)
+		if packet.ChecksumsValid(out[0].Data) {
+			t.Fatalf("iteration %d: corrupted packet still verifies", i)
+		}
+	}
+}
+
+func TestHookTruncation(t *testing.T) {
+	raw := buildPacket(t)
+	cfg := Config{TruncateProb: 1, TruncateMTU: 60}
+	ch := NewChain(cfg, rand.New(rand.NewPCG(8, 9)))
+	out := ch.Hook(0, netsim.ClientToServer, raw)
+	if len(out) != 1 || len(out[0].Data) != 60 {
+		t.Fatalf("truncation: got %d deliveries, len %d", len(out), len(out[0].Data))
+	}
+	if packet.ChecksumsValid(out[0].Data) {
+		t.Fatal("truncated packet still verifies")
+	}
+	// Short packets pass untouched.
+	small := buildPacketPayload(t, nil)
+	if len(small) > 60 {
+		t.Fatalf("test packet unexpectedly long: %d", len(small))
+	}
+	out = ch.Hook(0, netsim.ClientToServer, small)
+	if len(out) != 1 || len(out[0].Data) != len(small) {
+		t.Fatal("sub-MTU packet was modified")
+	}
+}
+
+func TestHookJitterBounds(t *testing.T) {
+	cfg := Config{JitterMax: 5 * time.Millisecond}
+	ch := NewChain(cfg, rand.New(rand.NewPCG(3, 4)))
+	for i := 0; i < 1000; i++ {
+		out := ch.Hook(0, netsim.ClientToServer, []byte{0x45})
+		if len(out) != 1 {
+			t.Fatal("jitter must not drop")
+		}
+		if d := out[0].ExtraDelay; d < 0 || d >= 5*time.Millisecond {
+			t.Fatalf("jitter %v out of [0, 5ms)", d)
+		}
+	}
+}
+
+func TestChainDeterminism(t *testing.T) {
+	cfg, _ := Grade("hostile")
+	run := func() []int64 {
+		ch := NewChain(cfg, rand.New(rand.NewPCG(99, 100)))
+		var trace []int64
+		raw := buildPacket(t)
+		now := netsim.Time(0)
+		for i := 0; i < 5000; i++ {
+			now += netsim.Time(777 * time.Microsecond)
+			out := ch.Hook(now, netsim.Direction(i%2), append([]byte(nil), raw...))
+			trace = append(trace, int64(len(out)))
+			for _, d := range out {
+				trace = append(trace, int64(d.ExtraDelay), int64(len(d.Data)))
+			}
+		}
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d", i)
+		}
+	}
+}
+
+func buildPacket(t *testing.T) []byte {
+	return buildPacketPayload(t, make([]byte, 200))
+}
+
+func buildPacketPayload(t *testing.T, payload []byte) []byte {
+	t.Helper()
+	buf := packet.NewSerializeBuffer()
+	opts := packet.SerializeOptions{FixLengths: true, ComputeChecksums: true}
+	ip := packet.IPv4{
+		TTL: 64, ID: 7, Protocol: 6,
+		SrcIP: mustAddr("192.0.2.1"), DstIP: mustAddr("198.51.100.9"),
+	}
+	tcp := packet.TCP{SrcPort: 4000, DstPort: 443, Flags: packet.FlagsPSHACK, Window: 64240}
+	tcp.SetNetworkLayerForChecksum(&ip)
+	if err := packet.SerializeLayers(buf, opts, &ip, &tcp, packet.Payload(payload)); err != nil {
+		t.Fatalf("serialize: %v", err)
+	}
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out
+}

@@ -57,6 +57,25 @@ type Segment struct {
 	Hops  uint8
 }
 
+// Delivery is one copy of a packet a SegmentHook lets onto a segment.
+// ExtraDelay is added to the segment's propagation delay, so a hook
+// can jitter, reorder (large extra delay), or duplicate (two
+// deliveries) traffic. Deliveries that share or mutate bytes must use
+// distinct backing arrays: the path decrements TTLs in place.
+type Delivery struct {
+	Data       []byte
+	ExtraDelay time.Duration
+}
+
+// SegmentHook intercepts every packet entering a path segment, in
+// either direction, and decides what actually traverses it: return an
+// empty slice to drop the packet, one Delivery to pass (possibly
+// delayed or corrupted), or several to duplicate. Hooks model benign
+// link pathologies — loss, reordering, duplication, jitter, bit
+// corruption — as opposed to Middlebox, which models intentional
+// tampering at a specific position.
+type SegmentHook func(now Time, dir Direction, data []byte) []Delivery
+
 // PathConfig describes a client↔server path with optional middleboxes.
 // Segments has exactly len(Middleboxes)+1 entries: client—mb1—…—server.
 type PathConfig struct {
@@ -66,6 +85,9 @@ type PathConfig struct {
 	// [0,1); Rand supplies the randomness when Loss > 0.
 	Loss float64
 	Rand func() float64
+	// Hook, when set, filters every packet entering any segment (after
+	// the legacy Loss draw); see SegmentHook.
+	Hook SegmentHook
 }
 
 // Path carries packets between a client and a server endpoint through
@@ -111,11 +133,23 @@ func (p *Path) send(dir Direction, pos int, data []byte) {
 	if p.Down {
 		return
 	}
-	seg := p.segmentAt(dir, pos)
 	if p.cfg.Loss > 0 && p.cfg.Rand != nil && p.cfg.Rand() < p.cfg.Loss {
 		return
 	}
-	p.sim.Schedule(seg.Delay, func() {
+	if p.cfg.Hook != nil {
+		for _, d := range p.cfg.Hook(p.sim.Now(), dir, data) {
+			p.deliver(dir, pos, d.Data, d.ExtraDelay)
+		}
+		return
+	}
+	p.deliver(dir, pos, data, 0)
+}
+
+// deliver carries one packet copy across the segment at pos, applying
+// the segment delay plus any hook-imposed extra delay.
+func (p *Path) deliver(dir Direction, pos int, data []byte, extra time.Duration) {
+	seg := p.segmentAt(dir, pos)
+	p.sim.Schedule(seg.Delay+extra, func() {
 		if p.Down {
 			return
 		}

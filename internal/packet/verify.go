@@ -1,0 +1,71 @@
+package packet
+
+import (
+	"encoding/binary"
+	"net/netip"
+)
+
+// ChecksumsValid reports whether a raw IP packet's checksums verify:
+// the IPv4 header checksum and, for TCP, the transport checksum over
+// the pseudo-header and segment. A receiver (NIC, kernel, or capture
+// tap) drops packets that fail these checks, so the simulator uses
+// this to make bit corruption and truncation behave like loss rather
+// than delivering garbage to the endpoints.
+//
+// Truncated packets — where the IP header claims more bytes than are
+// present — fail verification. Non-TCP payloads are checked only at
+// the IP layer (IPv6 has no header checksum at all).
+func ChecksumsValid(data []byte) bool {
+	switch IPVersion(data) {
+	case 4:
+		if len(data) < 20 {
+			return false
+		}
+		ihl := int(data[0]&0x0f) * 4
+		totalLen := int(binary.BigEndian.Uint16(data[2:4]))
+		if ihl < 20 || totalLen < ihl || len(data) < totalLen {
+			return false
+		}
+		// RFC 1071: the one's-complement sum over the header including
+		// its checksum field folds to zero on an intact header.
+		if foldChecksum(onesSum(0, data[:ihl])) != 0 {
+			return false
+		}
+		if data[9] != protoTCP {
+			return true
+		}
+		seg := data[ihl:totalLen]
+		src := netip.AddrFrom4([4]byte(data[12:16]))
+		dst := netip.AddrFrom4([4]byte(data[16:20]))
+		return segmentChecksumValid(src, dst, seg)
+	case 6:
+		if len(data) < 40 {
+			return false
+		}
+		plen := int(binary.BigEndian.Uint16(data[4:6]))
+		if len(data) < 40+plen {
+			return false
+		}
+		if data[6] != protoTCP {
+			return true
+		}
+		seg := data[40 : 40+plen]
+		src := netip.AddrFrom16([16]byte(data[8:24]))
+		dst := netip.AddrFrom16([16]byte(data[24:40]))
+		return segmentChecksumValid(src, dst, seg)
+	default:
+		return false
+	}
+}
+
+// segmentChecksumValid verifies a TCP segment's checksum in place: the
+// sum over pseudo-header and segment (checksum field included) folds
+// to zero when intact.
+func segmentChecksumValid(src, dst netip.Addr, seg []byte) bool {
+	if len(seg) < 20 {
+		return false
+	}
+	acc := pseudoHeaderSum(src, dst, protoTCP, len(seg))
+	acc = onesSum(acc, seg)
+	return foldChecksum(acc) == 0
+}

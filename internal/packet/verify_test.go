@@ -1,0 +1,99 @@
+package packet
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func buildTestPacket(t *testing.T, v6 bool, payload []byte) []byte {
+	t.Helper()
+	buf := NewSerializeBuffer()
+	opts := SerializeOptions{FixLengths: true, ComputeChecksums: true}
+	tcp := TCP{SrcPort: 40000, DstPort: 443, Seq: 100, Ack: 200, Flags: FlagsPSHACK, Window: 64240}
+	var err error
+	if v6 {
+		ip := IPv6{
+			NextHeader: 6, HopLimit: 64,
+			SrcIP: netip.MustParseAddr("2001:db8::1"),
+			DstIP: netip.MustParseAddr("2001:db8::2"),
+		}
+		tcp.SetNetworkLayerForChecksum(&ip)
+		err = SerializeLayers(buf, opts, &ip, &tcp, Payload(payload))
+	} else {
+		ip := IPv4{
+			TTL: 64, ID: 7, Protocol: 6,
+			SrcIP: netip.MustParseAddr("192.0.2.1"),
+			DstIP: netip.MustParseAddr("198.51.100.1"),
+		}
+		tcp.SetNetworkLayerForChecksum(&ip)
+		err = SerializeLayers(buf, opts, &ip, &tcp, Payload(payload))
+	}
+	if err != nil {
+		t.Fatalf("serialize: %v", err)
+	}
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out
+}
+
+func TestChecksumsValidIntact(t *testing.T) {
+	for _, v6 := range []bool{false, true} {
+		data := buildTestPacket(t, v6, []byte("hello checksum"))
+		if !ChecksumsValid(data) {
+			t.Errorf("v6=%v: intact packet failed verification", v6)
+		}
+	}
+}
+
+func TestChecksumsValidDetectsBitFlips(t *testing.T) {
+	for _, v6 := range []bool{false, true} {
+		base := buildTestPacket(t, v6, []byte("hello checksum"))
+		// Flip a single bit at every checksummed offset: each flip must
+		// be caught (any flipped word breaks the one's-complement sum,
+		// and flips in the version nibble break parsing). IPv6 has no
+		// header checksum, so its flow-label, next-header, and hop-limit
+		// bytes (1-3, 6-7) are legitimately unprotected — as on real
+		// networks — and are skipped.
+		for off := 0; off < len(base); off++ {
+			if v6 && (off == 1 || off == 2 || off == 3 || off == 6 || off == 7) {
+				continue
+			}
+			data := append([]byte(nil), base...)
+			data[off] ^= 0x10
+			if ChecksumsValid(data) {
+				t.Fatalf("v6=%v: bit flip at offset %d went undetected", v6, off)
+			}
+		}
+	}
+}
+
+func TestChecksumsValidDetectsTruncation(t *testing.T) {
+	for _, v6 := range []bool{false, true} {
+		data := buildTestPacket(t, v6, []byte("a longer payload that truncation will cut"))
+		for _, cut := range []int{1, 8, len(data) / 2} {
+			if ChecksumsValid(data[:len(data)-cut]) {
+				t.Errorf("v6=%v: truncation by %d went undetected", v6, cut)
+			}
+		}
+	}
+}
+
+func TestChecksumsValidAfterTTLDecrement(t *testing.T) {
+	for _, v6 := range []bool{false, true} {
+		data := buildTestPacket(t, v6, []byte("payload"))
+		if !DecrementTTL(data, 5) {
+			t.Fatalf("v6=%v: DecrementTTL failed", v6)
+		}
+		if !ChecksumsValid(data) {
+			t.Errorf("v6=%v: TTL decrement broke checksum verification", v6)
+		}
+	}
+}
+
+func TestChecksumsValidGarbage(t *testing.T) {
+	for _, data := range [][]byte{nil, {}, {0x45}, make([]byte, 19), make([]byte, 39)} {
+		if ChecksumsValid(data) {
+			t.Errorf("garbage %d bytes verified", len(data))
+		}
+	}
+}

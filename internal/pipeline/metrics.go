@@ -51,8 +51,10 @@ type Counts struct {
 	Tampering int64
 	// Delivered counts items the sink accepted.
 	Delivered int64
-	// Errors counts decode and sink failures (at most one of each per
-	// run, since either stops the pipeline).
+	// Errors counts decode failures, sink failures (at most one of
+	// each per run, since either stops the pipeline), and recovered
+	// per-record classifier panics (one per poisoned record; the run
+	// continues).
 	Errors int64
 	// Dropped counts records decoded but never delivered — nonzero
 	// only when the run was cancelled or stopped early.

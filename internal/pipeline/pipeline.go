@@ -44,8 +44,13 @@ type Item struct {
 	Index int
 	// Conn is the decoded connection record.
 	Conn *capture.Connection
-	// Res is the classifier's verdict.
+	// Res is the classifier's verdict; zero-valued when Err is set.
 	Res core.Result
+	// Err reports a classification failure (a classifier panic on this
+	// record, recovered). The item still flows to the sink — ordered
+	// mode depends on every index arriving — so sinks that care must
+	// check Err before trusting Res.
+	Err error
 }
 
 // Sink consumes classified items. It is always invoked from a single
@@ -143,16 +148,33 @@ func Run(ctx context.Context, src Source, cfg Config, sink Sink) (Counts, error)
 
 	// Classify stage: the worker pool. Workers exit when the decode
 	// channel closes (drain) or the context is cancelled mid-send.
+	// A classifier panic on one record is contained to that record: it
+	// is converted to Item.Err, counted as an error, and still
+	// forwarded so ordered delivery never stalls on the gap — one
+	// poisoned record must not take down the whole stream.
+	classify := func(c *capture.Connection) (res core.Result, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				res = core.Result{}
+				err = fmt.Errorf("pipeline: classifier panic: %v", r)
+			}
+		}()
+		return cl.Classify(c), nil
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for it := range decoded {
-				it.Res = cl.Classify(it.Conn)
-				m.classified.Add(1)
-				if it.Res.Signature.IsTampering() {
-					m.tampering.Add(1)
+				it.Res, it.Err = classify(it.Conn)
+				if it.Err != nil {
+					m.errors.Add(1)
+				} else {
+					m.classified.Add(1)
+					if it.Res.Signature.IsTampering() {
+						m.tampering.Add(1)
+					}
 				}
 				select {
 				case results <- it:

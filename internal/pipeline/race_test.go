@@ -254,3 +254,86 @@ func TestConcurrentRuns(t *testing.T) {
 		t.Errorf("shared metrics classified = %d, want %d", got, runs*len(conns))
 	}
 }
+
+// poisonSource yields records verbatim, including nil entries —
+// unlike SliceSource it does not skip them, so a nil reaches the
+// classifier and panics there (capture.Reconstruct dereferences it).
+type poisonSource struct {
+	conns []*capture.Connection
+	i     int
+}
+
+func (s *poisonSource) Next() (*capture.Connection, error) {
+	if s.i >= len(s.conns) {
+		return nil, io.EOF
+	}
+	c := s.conns[s.i]
+	s.i++
+	return c, nil
+}
+
+// TestClassifierPanicContained feeds records that make the classifier
+// panic, mixed among valid ones, and asserts the pipeline's poisoned-
+// record contract in both delivery modes: the run completes without
+// deadlock, every record (poisoned included) reaches the sink exactly
+// once, panics are counted in Counts.Errors, ordered delivery never
+// stalls on the gap, and no goroutine leaks.
+func TestClassifierPanicContained(t *testing.T) {
+	for _, ordered := range []bool{false, true} {
+		t.Run(fmt.Sprintf("ordered=%v", ordered), func(t *testing.T) {
+			defer checkGoroutines(t)()
+			valid := testConns(300)
+			var mixed []*capture.Connection
+			poisoned := 0
+			for i, c := range valid {
+				if i%50 == 25 {
+					mixed = append(mixed, nil)
+					poisoned++
+				}
+				mixed = append(mixed, c)
+			}
+			seen := make(map[int]bool)
+			var errItems, okItems int
+			next := 0
+			counts, err := Run(context.Background(), &poisonSource{conns: mixed},
+				Config{Workers: 8, Ordered: ordered},
+				func(it Item) error {
+					if seen[it.Index] {
+						return fmt.Errorf("index %d delivered twice", it.Index)
+					}
+					seen[it.Index] = true
+					if ordered {
+						if it.Index != next {
+							return fmt.Errorf("ordered gap: got %d, want %d", it.Index, next)
+						}
+						next++
+					}
+					if it.Err != nil {
+						errItems++
+						if it.Conn != nil {
+							return fmt.Errorf("index %d: Err set on valid record", it.Index)
+						}
+					} else {
+						okItems++
+					}
+					return nil
+				})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if errItems != poisoned || okItems != len(valid) {
+				t.Errorf("sink saw %d poisoned + %d valid, want %d + %d",
+					errItems, okItems, poisoned, len(valid))
+			}
+			if counts.Errors != int64(poisoned) {
+				t.Errorf("Counts.Errors = %d, want %d", counts.Errors, poisoned)
+			}
+			if counts.Delivered != int64(len(mixed)) {
+				t.Errorf("Counts.Delivered = %d, want %d", counts.Delivered, len(mixed))
+			}
+			if counts.Classified != int64(len(valid)) {
+				t.Errorf("Counts.Classified = %d, want %d", counts.Classified, len(valid))
+			}
+		})
+	}
+}

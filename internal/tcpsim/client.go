@@ -136,13 +136,21 @@ type Client struct {
 	respSeen     bool // response data seen since last segment
 	sentAll      bool
 	finSent      bool
-	unackedSeq   uint32
-	unackedLen   int
-	unackedData  []byte
+	finAcked     bool
+	finSeq       uint32
+	finTry       int
+	// sendQ holds sent-but-unacknowledged data segments, oldest first;
+	// the head is what RTO and fast retransmit resend.
+	sendQ   []sendSeg
+	dupAcks int
+	// ooo buffers out-of-order response data (seq → length; the client
+	// never inspects response bytes) until the gap fills.
+	ooo          map[uint32]int
 	retransTimer netsim.Timer
 	respTimer    netsim.Timer
 	closeTimer   netsim.Timer
 	ackTimer     netsim.Timer
+	finTimer     netsim.Timer
 	ackPending   bool
 
 	// Done reports how the attempt ended, for tests and ground truth.
@@ -293,32 +301,43 @@ func (c *Client) scheduleSegment() {
 }
 
 func (c *Client) sendSegment(seg Segment) {
-	c.dataTry = 0
-	c.unackedSeq = c.sndNxt
-	c.unackedLen = len(seg.Data)
-	c.unackedData = seg.Data
+	seq := c.sndNxt
+	c.sendQ = append(c.sendQ, sendSeg{seq: seq, data: seg.Data})
 	c.respSeen = false
-	c.transmitData()
+	c.send(c.w.build(packet.FlagsPSHACK, seq, c.rcvNxt, seg.Data, false))
+	c.sndNxt = seq + uint32(len(seg.Data))
+	if len(c.sendQ) == 1 {
+		// Fresh RTO series for a newly exposed head-of-queue.
+		c.dataTry = 1
+		c.armDataRTO()
+	}
 	c.segIdx++
 	c.scheduleSegment()
 }
 
-func (c *Client) transmitData() {
-	c.send(c.w.build(packet.FlagsPSHACK, c.unackedSeq, c.rcvNxt, c.unackedData, false))
-	c.sndNxt = c.unackedSeq + uint32(c.unackedLen)
-	c.dataTry++
+// armDataRTO schedules the retransmission timer for the current try,
+// with exponential backoff.
+func (c *Client) armDataRTO() {
 	c.retransTimer.Stop()
 	backoff := c.cfg.RTO << (c.dataTry - 1)
 	c.retransTimer = c.sim.Schedule(backoff, func() {
-		if c.state != clEstablished || c.unackedLen == 0 {
+		if c.state != clEstablished || len(c.sendQ) == 0 {
 			return
 		}
 		if c.dataTry > c.cfg.DataRetries {
 			c.finish("data-timeout")
 			return
 		}
-		c.transmitData()
+		c.retransmitHead()
+		c.dataTry++
+		c.armDataRTO()
 	})
+}
+
+// retransmitHead resends the oldest unacknowledged segment.
+func (c *Client) retransmitHead() {
+	h := c.sendQ[0]
+	c.send(c.w.build(packet.FlagsPSHACK, h.seq, c.rcvNxt, h.data, false))
 }
 
 func (c *Client) armResponseTimeout() {
@@ -331,17 +350,41 @@ func (c *Client) armResponseTimeout() {
 }
 
 func (c *Client) handleEstablished(s packet.Summary) {
-	// ACK progress releases retransmission state.
-	if s.Flags.Has(packet.FlagACK) && c.unackedLen > 0 &&
-		seqGE(s.Ack, c.unackedSeq+uint32(c.unackedLen)) {
-		c.unackedLen = 0
-		c.retransTimer.Stop()
+	if s.Flags.Has(packet.FlagSYN) {
+		// Duplicate SYN+ACK: our handshake ACK was lost in transit.
+		// Re-acknowledge cumulatively so the server can establish.
+		c.send(c.w.build(packet.FlagsACK, c.sndNxt, c.rcvNxt, nil, false))
+		return
+	}
+	if s.Flags.Has(packet.FlagACK) {
+		c.handleACK(s)
 	}
 	if s.PayloadLen > 0 {
-		// In-order only: our server never reorders.
 		if s.Seq == c.rcvNxt {
 			c.rcvNxt += uint32(s.PayloadLen)
+			// Drain any buffered out-of-order continuation.
+			for c.ooo != nil {
+				l, ok := c.ooo[c.rcvNxt]
+				if !ok {
+					break
+				}
+				delete(c.ooo, c.rcvNxt)
+				c.rcvNxt += uint32(l)
+			}
+		} else if seqGT(s.Seq, c.rcvNxt) {
+			// Out-of-order: buffer the length and emit an immediate
+			// duplicate ACK so the server's fast retransmit can fill
+			// the gap.
+			if c.ooo == nil {
+				c.ooo = make(map[uint32]int)
+			}
+			if len(c.ooo) < 64 {
+				c.ooo[s.Seq] = s.PayloadLen
+			}
+			c.send(c.w.build(packet.FlagsACK, c.sndNxt, c.rcvNxt, nil, false))
 		}
+		// Below-rcvNxt duplicates still count as response activity and
+		// get re-ACKed by the delayed ACK below.
 		c.respSeen = true
 		c.respTimer.Stop()
 		// Delayed ACK: coalesce the acknowledgments of a response
@@ -397,6 +440,44 @@ func (c *Client) handleEstablished(s packet.Summary) {
 	}
 }
 
+// handleACK applies cumulative acknowledgment progress: fully-acked
+// segments leave the send queue; three duplicate ACKs for the head
+// trigger a fast retransmit without waiting for the RTO.
+func (c *Client) handleACK(s packet.Summary) {
+	if c.finSent && !c.finAcked && seqGE(s.Ack, c.sndNxt) {
+		c.finAcked = true
+		c.finTimer.Stop()
+	}
+	if len(c.sendQ) == 0 {
+		return
+	}
+	progressed := false
+	for len(c.sendQ) > 0 {
+		h := c.sendQ[0]
+		if !seqGE(s.Ack, h.seq+uint32(len(h.data))) {
+			break
+		}
+		c.sendQ = c.sendQ[1:]
+		progressed = true
+	}
+	switch {
+	case progressed:
+		c.dupAcks = 0
+		c.retransTimer.Stop()
+		if len(c.sendQ) > 0 {
+			c.dataTry = 1
+			c.armDataRTO()
+		}
+	case s.PayloadLen == 0 && !s.Flags.Has(packet.FlagSYN) && !s.Flags.Has(packet.FlagFIN) &&
+		s.Ack == c.sendQ[0].seq:
+		c.dupAcks++
+		if c.dupAcks == 3 {
+			c.dupAcks = 0
+			c.retransmitHead()
+		}
+	}
+}
+
 func (c *Client) scheduleClose() {
 	if c.closeTimer != (netsim.Timer{}) {
 		return
@@ -407,8 +488,9 @@ func (c *Client) scheduleClose() {
 		}
 		c.finSent = true
 		c.state = clFinWait
-		c.send(c.w.build(packet.FlagsFINACK, c.sndNxt, c.rcvNxt, nil, false))
+		c.finSeq = c.sndNxt
 		c.sndNxt++
+		c.sendFIN()
 		// Await the server FIN; handled in handleEstablished. Give up
 		// eventually either way.
 		c.sim.Schedule(5*time.Second, func() {
@@ -417,6 +499,21 @@ func (c *Client) scheduleClose() {
 			}
 		})
 	})
+}
+
+// sendFIN transmits (or retransmits) the client FIN with backoff until
+// it is acknowledged or the close gives up.
+func (c *Client) sendFIN() {
+	c.send(c.w.build(packet.FlagsFINACK, c.finSeq, c.rcvNxt, nil, false))
+	c.finTry++
+	c.finTimer.Stop()
+	if c.finTry <= 3 {
+		c.finTimer = c.sim.Schedule(c.cfg.RTO<<(c.finTry-1), func() {
+			if !c.Done && c.state == clFinWait && !c.finAcked {
+				c.sendFIN()
+			}
+		})
+	}
 }
 
 func (c *Client) finish(reason string) {
@@ -429,7 +526,17 @@ func (c *Client) finish(reason string) {
 	c.retransTimer.Stop()
 	c.respTimer.Stop()
 	c.ackTimer.Stop()
+	c.finTimer.Stop()
+}
+
+// sendSeg is one sent-but-unacknowledged client data segment.
+type sendSeg struct {
+	seq  uint32
+	data []byte
 }
 
 // seqGE reports a >= b in sequence space.
 func seqGE(a, b uint32) bool { return int32(a-b) >= 0 }
+
+// seqGT reports a > b in sequence space.
+func seqGT(a, b uint32) bool { return int32(a-b) > 0 }

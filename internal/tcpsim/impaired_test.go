@@ -1,0 +1,138 @@
+package tcpsim
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"tamperdetect/internal/capture"
+	"tamperdetect/internal/core"
+	"tamperdetect/internal/faults"
+	"tamperdetect/internal/netsim"
+)
+
+// These tests run fixed-seed connections through benign link
+// impairments (duplication, reordering, burst loss) and assert the two
+// robustness properties the fault layer exists to prove: the endpoints
+// still complete the exchange, and the captured flag sequence never
+// classifies as a tampering signature.
+
+// impairedHarness wires a client and server over a two-segment path
+// with an impairment chain installed, and taps inbound packets into a
+// capture sampler so the result can be classified.
+type impairedHarness struct {
+	sim     *netsim.Sim
+	client  *Client
+	server  *Server
+	sampler *capture.Sampler
+}
+
+func newImpairedHarness(ccfg ClientConfig, imp faults.Config, seed uint64) *impairedHarness {
+	h := &impairedHarness{sim: netsim.NewSim(0)}
+	rng := rand.New(rand.NewPCG(seed, seed^0xbeef))
+	h.client = NewClient(h.sim, ccfg, rng)
+	h.server = NewServer(h.sim, ServerConfig{Net: serverProfile()}, rng)
+	segs := []netsim.Segment{
+		{Delay: 20 * time.Millisecond, Hops: 5},
+	}
+	chain := faults.NewChain(imp, rand.New(rand.NewPCG(seed^0xfa, seed)))
+	path := netsim.NewPath(h.sim, netsim.PathConfig{Segments: segs, Hook: chain.Hook}, h.client, h.server)
+	capCfg := capture.DefaultConfig()
+	capCfg.VerifyChecksums = true
+	h.sampler = capture.NewSampler(capCfg)
+	path.Tap = h.sampler.Inbound
+	h.client.Attach(path.SendFromClient)
+	h.server.Attach(path.SendFromServer)
+	return h
+}
+
+func (h *impairedHarness) run() *capture.Connection {
+	h.client.Start()
+	h.sim.Run(200000)
+	conns := h.sampler.Drain(h.sim.Now().Add(45 * time.Second))
+	if len(conns) == 0 {
+		return nil
+	}
+	return conns[0]
+}
+
+// runImpaired simulates one request/response connection under imp with
+// the given seed and asserts completion plus a non-tampering verdict.
+func runImpaired(t *testing.T, imp faults.Config, seed uint64, extraRetries, wantExactClose bool) {
+	t.Helper()
+	req := []byte("GET / HTTP/1.1\r\nHost: ok.example\r\n\r\n")
+	ccfg := ClientConfig{
+		Net:      clientProfile(),
+		Segments: []Segment{{Data: req}},
+	}
+	if extraRetries {
+		ccfg.SYNRetries = 6
+		ccfg.DataRetries = 5
+	}
+	h := newImpairedHarness(ccfg, imp, seed)
+	conn := h.run()
+
+	if !h.client.Done {
+		t.Fatalf("seed %d: client never finished", seed)
+	}
+	if wantExactClose {
+		// Without loss every packet arrives, so the exchange must end in
+		// a graceful peer close with the request intact.
+		if h.client.Reason != "closed-by-peer" {
+			t.Errorf("seed %d: client finished with %q, want closed-by-peer", seed, h.client.Reason)
+		}
+		if !bytes.Equal(h.server.RequestData, req) {
+			t.Errorf("seed %d: server got %q, want %q", seed, h.server.RequestData, req)
+		}
+	}
+	if conn == nil {
+		if !wantExactClose {
+			return // every inbound copy lost: nothing captured, nothing flagged
+		}
+		t.Fatalf("seed %d: no capture record", seed)
+	}
+	res := core.NewClassifier(core.DefaultConfig()).Classify(conn)
+	if res.Signature.IsTampering() {
+		t.Errorf("seed %d: benign impaired connection classified %q", seed, res.Signature)
+	}
+}
+
+func TestImpairedDuplicationCompletes(t *testing.T) {
+	imp := faults.Config{Grade: "dup-test", DupProb: 0.4, DupDelay: 500 * time.Microsecond}
+	for seed := uint64(1); seed <= 25; seed++ {
+		runImpaired(t, imp, seed, false, true)
+	}
+}
+
+func TestImpairedReorderingCompletes(t *testing.T) {
+	imp := faults.Config{
+		Grade:       "reorder-test",
+		ReorderProb: 0.5, ReorderDelay: 30 * time.Millisecond,
+		JitterMax: 2 * time.Millisecond,
+	}
+	for seed := uint64(1); seed <= 25; seed++ {
+		runImpaired(t, imp, seed, false, true)
+	}
+}
+
+func TestImpairedDupAndReorderCompletes(t *testing.T) {
+	imp := faults.Config{
+		Grade:   "dup-reorder-test",
+		DupProb: 0.3, DupDelay: 500 * time.Microsecond,
+		ReorderProb: 0.3, ReorderDelay: 25 * time.Millisecond,
+	}
+	for seed := uint64(1); seed <= 25; seed++ {
+		runImpaired(t, imp, seed, false, true)
+	}
+}
+
+func TestImpairedBurstLossNeverFlagsTampering(t *testing.T) {
+	imp, err := faults.Grade("lossy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(1); seed <= 50; seed++ {
+		runImpaired(t, imp, seed, true, false)
+	}
+}

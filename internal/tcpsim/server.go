@@ -18,10 +18,15 @@ type ServerConfig struct {
 	ResponseSegmentSize int
 	// ResponseDelay models server think time.
 	ResponseDelay time.Duration
-	// RTO is the base retransmission timeout for the SYN+ACK.
+	// RTO is the base retransmission timeout for the SYN+ACK and for
+	// unacknowledged response data.
 	RTO time.Duration
 	// SYNACKRetries bounds SYN+ACK retransmission.
 	SYNACKRetries int
+	// ResponseRetries bounds response-data retransmission; after that
+	// many unanswered timeouts the server stops resending (the client
+	// is presumed gone) without closing the connection.
+	ResponseRetries int
 }
 
 func (c *ServerConfig) withDefaults() ServerConfig {
@@ -40,6 +45,9 @@ func (c *ServerConfig) withDefaults() ServerConfig {
 	}
 	if out.SYNACKRetries == 0 {
 		out.SYNACKRetries = 2
+	}
+	if out.ResponseRetries == 0 {
+		out.ResponseRetries = 5
 	}
 	return out
 }
@@ -74,6 +82,15 @@ type Server struct {
 	synackTry  int
 	retransmit netsim.Timer
 	finSent    bool
+
+	// respQ holds sent-but-unacknowledged response segments, oldest
+	// first; respTimer drives their RTO retransmission.
+	respQ     []respSeg
+	respTry   int
+	respTimer netsim.Timer
+	dupAcks   int
+	// ooo buffers out-of-order request data until the gap fills.
+	ooo map[uint32][]byte
 
 	// RequestData accumulates the application bytes received, in
 	// order, for tests and ground-truth checks.
@@ -130,13 +147,20 @@ func (s *Server) Recv(data []byte) {
 			s.state = svEstablished
 			s.retransmit.Stop()
 		}
-		// SYN payloads (request-on-SYN) are delivered once established.
-		if p.PayloadLen > 0 && s.state == svEstablished {
-			s.handleData(p)
+		// Data or FIN riding the establishing segment (request-on-SYN
+		// payloads, or a FIN whose predecessors were lost) is handled
+		// once established.
+		if s.state == svEstablished && (p.PayloadLen > 0 || p.Flags.Has(packet.FlagFIN)) {
+			s.handleSegment(p)
 		}
 	case svEstablished, svCloseWait:
 		s.handleSegment(p)
-	case svAborted, svClosed:
+	case svClosed:
+		// LAST_ACK/TIME_WAIT equivalent: a late duplicate of a cleanly
+		// closed connection gets a challenge ACK, not a RST (RFC 793
+		// §3.9) — wandering duplicates must not look like resets.
+		s.send(s.w.build(packet.FlagsACK, s.sndNxt, s.rcvNxt, nil, false))
+	case svAborted:
 		// Half-open: answer with RST keyed to the incoming segment.
 		s.respondRST(p)
 	}
@@ -170,6 +194,9 @@ func (s *Server) sendSYNACK() {
 }
 
 func (s *Server) handleSegment(p packet.Summary) {
+	if p.Flags.Has(packet.FlagACK) {
+		s.handleACK(p)
+	}
 	if p.PayloadLen > 0 {
 		s.handleData(p)
 	}
@@ -181,31 +208,125 @@ func (s *Server) handleSegment(p packet.Summary) {
 			s.send(s.w.build(packet.FlagsFINACK, s.sndNxt, s.rcvNxt, nil, false))
 			s.sndNxt++
 		}
+		s.respTimer.Stop()
+		s.respQ = nil
 		s.state = svClosed
 	}
 }
 
+// handleACK retires acknowledged response segments and fast-retransmits
+// on three duplicate ACKs, mirroring the client's loss recovery.
+func (s *Server) handleACK(p packet.Summary) {
+	progressed := false
+	for len(s.respQ) > 0 {
+		head := s.respQ[0]
+		if !seqGE(p.Ack, head.seq+uint32(len(head.payload))) {
+			break
+		}
+		s.respQ = s.respQ[1:]
+		progressed = true
+	}
+	if progressed {
+		s.dupAcks = 0
+		s.respTimer.Stop()
+		if len(s.respQ) > 0 {
+			s.respTry = 1
+			s.armRespRTO()
+		}
+		return
+	}
+	if len(s.respQ) > 0 && p.PayloadLen == 0 &&
+		!p.Flags.Has(packet.FlagSYN) && !p.Flags.Has(packet.FlagFIN) &&
+		p.Ack == s.respQ[0].seq {
+		s.dupAcks++
+		if s.dupAcks >= 3 {
+			s.dupAcks = 0
+			s.retransmitResponseHead()
+		}
+	}
+}
+
 func (s *Server) handleData(p packet.Summary) {
+	advanced := false
 	if p.Seq == s.rcvNxt {
 		s.RequestData = append(s.RequestData, p.Payload...)
 		s.rcvNxt += uint32(p.PayloadLen)
+		advanced = true
+		// Drain any buffered out-of-order segments the gap fill exposed.
+		for s.ooo != nil {
+			payload, ok := s.ooo[s.rcvNxt]
+			if !ok {
+				break
+			}
+			delete(s.ooo, s.rcvNxt)
+			s.RequestData = append(s.RequestData, payload...)
+			s.rcvNxt += uint32(len(payload))
+		}
+	} else if seqGT(p.Seq, s.rcvNxt) {
+		// Out-of-order: buffer a copy until the hole fills.
+		if s.ooo == nil {
+			s.ooo = make(map[uint32][]byte)
+		}
+		if _, dup := s.ooo[p.Seq]; !dup && len(s.ooo) < 32 {
+			s.ooo[p.Seq] = append([]byte(nil), p.Payload...)
+		}
 	}
-	// ACK whatever we have (cumulative; duplicates re-ACKed).
+	// ACK whatever we have (cumulative; duplicates and gaps re-ACKed,
+	// which doubles as the client's dup-ACK signal).
 	s.send(s.w.build(packet.FlagsACK, s.sndNxt, s.rcvNxt, nil, false))
-	// Respond to each request burst after think time.
-	s.sim.Schedule(s.cfg.ResponseDelay, func() { s.respond() })
+	// Respond only when the request actually advanced: retransmitted or
+	// duplicated request data must not elicit a second response burst.
+	if advanced {
+		s.sim.Schedule(s.cfg.ResponseDelay, func() { s.respond() })
+	}
 }
 
-// respond sends the configured response segments.
+// respond sends the configured response segments and tracks them for
+// retransmission until acknowledged.
 func (s *Server) respond() {
 	if s.state != svEstablished {
 		return
 	}
+	arm := len(s.respQ) == 0
 	for i := 0; i < s.cfg.ResponseSegments; i++ {
 		payload := responseBody(s.cfg.ResponseSegmentSize)
+		s.respQ = append(s.respQ, respSeg{seq: s.sndNxt, payload: payload})
 		s.send(s.w.build(packet.FlagsPSHACK, s.sndNxt, s.rcvNxt, payload, false))
 		s.sndNxt += uint32(len(payload))
 	}
+	if arm && len(s.respQ) > 0 {
+		s.respTry = 1
+		s.armRespRTO()
+	}
+}
+
+func (s *Server) retransmitResponseHead() {
+	if len(s.respQ) == 0 {
+		return
+	}
+	head := s.respQ[0]
+	s.send(s.w.build(packet.FlagsPSHACK, head.seq, s.rcvNxt, head.payload, false))
+}
+
+// armRespRTO schedules response retransmission with exponential
+// backoff. After ResponseRetries unanswered timeouts the server stops
+// resending without closing — a real server eventually gives up on a
+// silent client, and the already-captured flow must still classify as
+// untampered.
+func (s *Server) armRespRTO() {
+	s.respTimer.Stop()
+	s.respTimer = s.sim.Schedule(s.cfg.RTO<<(s.respTry-1), func() {
+		if s.state != svEstablished || len(s.respQ) == 0 {
+			return
+		}
+		if s.respTry > s.cfg.ResponseRetries {
+			s.respQ = nil
+			return
+		}
+		s.retransmitResponseHead()
+		s.respTry++
+		s.armRespRTO()
+	})
 }
 
 // respondRST answers a segment for a dead connection, mirroring RFC 793
@@ -224,6 +345,13 @@ func (s *Server) abort() {
 	s.state = svAborted
 	s.Aborted = true
 	s.retransmit.Stop()
+	s.respTimer.Stop()
+}
+
+// respSeg is one unacknowledged response segment.
+type respSeg struct {
+	seq     uint32
+	payload []byte
 }
 
 // responseBody builds a deterministic response payload of n bytes.

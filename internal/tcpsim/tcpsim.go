@@ -151,8 +151,13 @@ func randISN(rng *rand.Rand) uint32 {
 }
 
 // decodeFor parses raw bytes, filtering to this endpoint's ports.
+// Packets with broken IP/TCP checksums are discarded first, as a real
+// NIC/kernel would — in-flight corruption degenerates to loss.
 func decodeFor(parser *packet.SummaryParser, prof *NetProfile, data []byte) (packet.Summary, bool) {
 	var s packet.Summary
+	if !packet.ChecksumsValid(data) {
+		return s, false
+	}
 	if err := parser.Parse(data, &s); err != nil {
 		return s, false
 	}

@@ -7,6 +7,7 @@ import (
 	"os"
 
 	"tamperdetect/internal/domains"
+	"tamperdetect/internal/faults"
 )
 
 // This file loads scenario definitions from JSON so operators can
@@ -21,8 +22,11 @@ type ScenarioFile struct {
 	Hours int    `json:"hours"`
 	Total int    `json:"total"`
 	// SYNPayloadSurgeDay < 0 disables the surge (default -1).
-	SYNPayloadSurgeDay *int          `json:"syn_payload_surge_day,omitempty"`
-	Countries          []CountryFile `json:"countries"`
+	SYNPayloadSurgeDay *int `json:"syn_payload_surge_day,omitempty"`
+	// Impairment names a faults grade ("clean", "lossy", "hostile")
+	// applied to every connection's path; empty means clean.
+	Impairment string        `json:"impairment,omitempty"`
+	Countries  []CountryFile `json:"countries"`
 }
 
 // CountryFile is the JSON form of CountryConfig.
@@ -125,6 +129,13 @@ func LoadScenario(r io.Reader) (*Scenario, error) {
 	}
 	if sf.SYNPayloadSurgeDay != nil {
 		s.SYNPayloadSurgeDay = *sf.SYNPayloadSurgeDay
+	}
+	if sf.Impairment != "" {
+		imp, err := faults.Grade(sf.Impairment)
+		if err != nil {
+			return nil, fmt.Errorf("workload: %w", err)
+		}
+		s.Impairments = imp
 	}
 	return s, nil
 }

@@ -182,7 +182,7 @@ func TestRepeatClientsShareAddresses(t *testing.T) {
 		if specs[i].HostIdx < 0 {
 			continue
 		}
-		conn := SimulateConn(&specs[i], s.Universe, s.CaptureConfig)
+		conn := SimulateConn(&specs[i], s.Universe, s.CaptureConfig, s.Impairments)
 		if conn == nil {
 			continue
 		}

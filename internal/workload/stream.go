@@ -62,7 +62,7 @@ func (s *Scenario) StreamSpecs(specs []ConnSpec, workers int) *StreamRun {
 			}
 			go func(i int) {
 				defer func() { <-sem }()
-				f <- SimulateConn(&specs[i], s.Universe, s.CaptureConfig)
+				f <- SimulateConn(&specs[i], s.Universe, s.CaptureConfig, s.Impairments)
 			}(i)
 		}
 	}()

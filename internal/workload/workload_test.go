@@ -130,7 +130,7 @@ func TestSimulateConnTamperedAndClean(t *testing.T) {
 		} else if cleanTotal >= 80 {
 			continue
 		}
-		conn := SimulateConn(spec, s.Universe, s.CaptureConfig)
+		conn := SimulateConn(spec, s.Universe, s.CaptureConfig, s.Impairments)
 		if conn == nil {
 			t.Fatal("sampler dropped a rate-1 connection")
 		}

@@ -1,7 +1,9 @@
 #!/bin/sh
-# Tier-2 verification: static vetting plus the full test suite under
-# the race detector (the pipeline's concurrency tests are written to
-# be meaningful only under -race). Run from the repo root:
+# Tier-2 verification: static vetting, the full test suite under the
+# race detector (the pipeline's concurrency tests are written to be
+# meaningful only under -race), the robustness false-positive gate at
+# its full 10k-connection scale, and a fuzz smoke pass. Run from the
+# repo root:
 #
 #	./scripts/check.sh
 set -eu
@@ -11,5 +13,14 @@ go vet ./...
 
 echo "== go test -race ./... =="
 go test -race ./...
+
+# Re-run the robustness false-positive gate (10k benign connections
+# per grade) focused and uncached, so a flake in the broad -race pass
+# cannot mask it and its pass/fail is visible on its own line.
+echo "== robustness false-positive gate (full scale) =="
+go test ./internal/workload/ -run 'TestLossyGradeZeroFalsePositives' -count=1
+
+echo "== fuzz smoke =="
+./scripts/fuzz_smoke.sh
 
 echo "tier-2 checks passed"
