@@ -429,6 +429,59 @@ func BenchmarkPipelineThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkStreamPipeline is the recorded perf-trajectory benchmark:
+// the full streaming path (TDCAP decode, batched classifier workers,
+// counting sink) across the workers × batch grid that
+// scripts/bench.sh aggregates into BENCH_pipeline.json. Each
+// connection record in the capture is one "record"; the custom
+// metrics (conns/sec, ns/record, B/record, allocs/record) are the
+// units EXPERIMENTS.md's Performance section tracks across PRs.
+func BenchmarkStreamPipeline(b *testing.B) {
+	conns, _, _ := benchData(b)
+	var buf bytes.Buffer
+	w := capture.NewWriter(&buf)
+	for _, c := range conns {
+		if err := w.Write(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, workers := range []int{1, 4, 16} {
+		for _, batch := range []int{1, 64} {
+			b.Run(fmt.Sprintf("workers=%d/batch=%d", workers, batch), func(b *testing.B) {
+				b.SetBytes(int64(len(data)))
+				b.ReportAllocs()
+				var before, after runtime.MemStats
+				runtime.ReadMemStats(&before)
+				classified := int64(0)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					counts, err := pipeline.Stream(context.Background(),
+						bytes.NewReader(data),
+						pipeline.Config{Workers: workers, BatchSize: batch}, nil)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if counts.Classified != int64(len(conns)) {
+						b.Fatalf("classified %d of %d", counts.Classified, len(conns))
+					}
+					classified += counts.Classified
+				}
+				b.StopTimer()
+				runtime.ReadMemStats(&after)
+				records := float64(classified)
+				b.ReportMetric(records/b.Elapsed().Seconds(), "conns/sec")
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/records, "ns/record")
+				b.ReportMetric(float64(after.TotalAlloc-before.TotalAlloc)/records, "B/record")
+				b.ReportMetric(float64(after.Mallocs-before.Mallocs)/records, "allocs/record")
+			})
+		}
+	}
+}
+
 // BenchmarkCaptureCodec times the TDCAP encode+decode round trip.
 func BenchmarkCaptureCodec(b *testing.B) {
 	conns, _, _ := benchData(b)

@@ -34,6 +34,7 @@ import (
 	"tamperdetect/internal/domains"
 	"tamperdetect/internal/faults"
 	"tamperdetect/internal/pipeline"
+	"tamperdetect/internal/profiling"
 	"tamperdetect/internal/stats"
 	"tamperdetect/internal/testlists"
 	"tamperdetect/internal/workload"
@@ -53,6 +54,8 @@ func main() {
 	workers := flag.Int("workers", 0, "parallelism (0 = all cores)")
 	threshold := flag.Int("threshold", 3, "per-domain match threshold for Tables 2-3 (paper: 100/day at CDN scale)")
 	impair := flag.String("impair", "", "link-impairment grade applied to the scenario (clean|lossy|hostile)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this path")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: paperbench [flags] <%s>\n", strings.Join(experiments, "|"))
 		flag.PrintDefaults()
@@ -62,8 +65,17 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *total, *hours, *seed, *workers, *threshold, *impair); err != nil {
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(1)
+	}
+	runErr := run(flag.Arg(0), *total, *hours, *seed, *workers, *threshold, *impair)
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", runErr)
 		os.Exit(1)
 	}
 }

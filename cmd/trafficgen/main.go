@@ -27,6 +27,7 @@ import (
 
 	"tamperdetect"
 	"tamperdetect/internal/faults"
+	"tamperdetect/internal/profiling"
 	"tamperdetect/internal/workload"
 )
 
@@ -39,10 +40,21 @@ func main() {
 	workers := flag.Int("workers", 0, "simulation parallelism (0 = all cores)")
 	impair := flag.String("impair", "", "link-impairment grade (clean|lossy|hostile)")
 	out := flag.String("o", "capture.tdcap", "output capture path")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this path")
 	flag.Parse()
 
-	if err := run(*scenario, *config, *total, *hours, *seed, *workers, *impair, *out); err != nil {
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "trafficgen:", err)
+		os.Exit(1)
+	}
+	runErr := run(*scenario, *config, *total, *hours, *seed, *workers, *impair, *out)
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "trafficgen:", err)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "trafficgen:", runErr)
 		os.Exit(1)
 	}
 }

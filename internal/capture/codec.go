@@ -44,10 +44,25 @@ const (
 	initialPacketAlloc = 256
 )
 
+// Slab sizing for the Reader's arena allocator. Slabs are never reused
+// or recycled, so records carved from them stay valid for as long as
+// the caller retains them; a retained Connection pins at most one
+// conn/packet/byte slab triple.
+const (
+	connSlabSize = 64
+	pktSlabSize  = 1024
+	byteSlabSize = 1 << 15
+
+	// maxRetainedWriteBuf caps the encode scratch a Writer keeps between
+	// records, so one pathological record doesn't pin memory forever.
+	maxRetainedWriteBuf = 1 << 16
+)
+
 // Writer streams connection records to an io.Writer.
 type Writer struct {
-	w     *bufio.Writer
-	began bool
+	w       *bufio.Writer
+	began   bool
+	scratch []byte // reusable encode buffer
 }
 
 // NewWriter wraps w.
@@ -72,7 +87,10 @@ func (w *Writer) Write(c *Connection) error {
 		}
 		w.began = true
 	}
-	buf := make([]byte, 0, 64+len(c.Packets)*40)
+	buf := w.scratch[:0]
+	if buf == nil {
+		buf = make([]byte, 0, 64+len(c.Packets)*40)
+	}
 	buf = append(buf, connMarker, byte(c.IPVersion))
 	buf = appendAddr(buf, c.SrcIP, c.IPVersion)
 	buf = appendAddr(buf, c.DstIP, c.IPVersion)
@@ -100,6 +118,11 @@ func (w *Writer) Write(c *Connection) error {
 			buf = append(buf, 0)
 		}
 	}
+	if cap(buf) <= maxRetainedWriteBuf {
+		w.scratch = buf
+	} else {
+		w.scratch = nil
+	}
 	_, err := w.w.Write(buf)
 	return err
 }
@@ -126,56 +149,112 @@ func appendAddr(buf []byte, a netip.Addr, ipver int) []byte {
 }
 
 // Reader streams connection records from an io.Reader.
+//
+// Read and Next return records carved from internal slabs: large
+// pre-allocated arrays of Connections, PacketRecords, and payload
+// bytes. Slab memory is never reused, so returned records remain valid
+// indefinitely and may be retained by the caller; the cost model is
+// O(1) allocations per connection amortised over the slab sizes rather
+// than one allocation per record plus one per packet payload.
+//
+// NextInto decodes into caller-owned storage instead, reusing the
+// destination's Packets and per-packet Payload capacity; it is the
+// zero-steady-state-allocation path for callers that process one
+// record at a time without retaining it.
 type Reader struct {
 	r     *bufio.Reader
 	began bool
 	count int
-	err   error // sticky error for Next
+	err   error // sticky error for Next/NextInto
+
+	connSlab []Connection
+	pktSlab  []PacketRecord
+	byteSlab []byte
+
+	// tmp is the fixed-field decode scratch. Local arrays would escape
+	// through the io.ReadFull interface call and cost one heap
+	// allocation each per record; a field on the (already heap-resident)
+	// Reader costs none.
+	tmp [28]byte
 }
 
 // NewReader wraps r.
 func NewReader(r io.Reader) *Reader { return &Reader{r: bufio.NewReader(r)} }
 
-// Read returns the next connection, or io.EOF at the end.
-func (r *Reader) Read() (*Connection, error) {
+// slabConn carves one Connection from the arena.
+func (r *Reader) slabConn() *Connection {
+	if len(r.connSlab) == 0 {
+		r.connSlab = make([]Connection, connSlabSize)
+	}
+	c := &r.connSlab[0]
+	r.connSlab = r.connSlab[1:]
+	return c
+}
+
+// slabPackets carves a zeroed n-slot packet slice from the arena. The
+// caller guarantees n ≤ initialPacketAlloc, so a hostile count can pin
+// at most that many slots of already-allocated slab.
+func (r *Reader) slabPackets(n int) []PacketRecord {
+	if len(r.pktSlab) < n {
+		r.pktSlab = make([]PacketRecord, pktSlabSize)
+	}
+	s := r.pktSlab[:n:n]
+	r.pktSlab = r.pktSlab[n:]
+	return s[:0]
+}
+
+// slabBytes carves an n-byte payload slice from the arena.
+func (r *Reader) slabBytes(n int) []byte {
+	if len(r.byteSlab) < n {
+		r.byteSlab = make([]byte, max(byteSlabSize, n))
+	}
+	s := r.byteSlab[:n:n]
+	r.byteSlab = r.byteSlab[n:]
+	return s
+}
+
+// readHeader consumes the file magic (once) and one record's fixed
+// fields into c, returning the record's packet count. io.EOF at a
+// record boundary is returned verbatim as clean end-of-stream.
+func (r *Reader) readHeader(c *Connection) (int, error) {
 	if !r.began {
-		var magic [8]byte
-		if _, err := io.ReadFull(r.r, magic[:]); err != nil {
+		magic := r.tmp[:8]
+		if _, err := io.ReadFull(r.r, magic); err != nil {
 			if err == io.EOF {
-				return nil, io.EOF
+				return 0, io.EOF
 			}
-			return nil, fmt.Errorf("%w: %v", ErrBadMagic, err)
+			return 0, fmt.Errorf("%w: %v", ErrBadMagic, err)
 		}
-		if magic != captureMagic {
-			return nil, ErrBadMagic
+		if [8]byte(magic) != captureMagic {
+			return 0, ErrBadMagic
 		}
 		r.began = true
 	}
 	marker, err := r.r.ReadByte()
 	if err != nil {
-		return nil, err // io.EOF at a record boundary is clean EOF
+		return 0, err // io.EOF at a record boundary is clean EOF
 	}
 	if marker != connMarker {
-		return nil, ErrCorrupt
+		return 0, ErrCorrupt
 	}
-	var hdr [1]byte
-	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
-		return nil, corrupt(err)
+	hdr, err := r.r.ReadByte()
+	if err != nil {
+		return 0, corrupt(err)
 	}
-	ipver := int(hdr[0])
+	ipver := int(hdr)
 	if ipver != 4 && ipver != 6 {
-		return nil, ErrCorrupt
+		return 0, ErrCorrupt
 	}
-	c := &Connection{IPVersion: ipver}
+	c.IPVersion = ipver
 	if c.SrcIP, err = r.readAddr(ipver); err != nil {
-		return nil, err
+		return 0, err
 	}
 	if c.DstIP, err = r.readAddr(ipver); err != nil {
-		return nil, err
+		return 0, err
 	}
-	var fixed [2 + 2 + 4 + 8 + 8 + 2]byte
-	if _, err := io.ReadFull(r.r, fixed[:]); err != nil {
-		return nil, corrupt(err)
+	fixed := r.tmp[:2+2+4+8+8+2]
+	if _, err := io.ReadFull(r.r, fixed); err != nil {
+		return 0, corrupt(err)
 	}
 	c.SrcPort = binary.BigEndian.Uint16(fixed[0:2])
 	c.DstPort = binary.BigEndian.Uint16(fixed[2:4])
@@ -184,41 +263,67 @@ func (r *Reader) Read() (*Connection, error) {
 	c.CloseTime = int64(binary.BigEndian.Uint64(fixed[16:24]))
 	n := int(binary.BigEndian.Uint16(fixed[24:26]))
 	if n > maxPacketsPerRecord {
-		return nil, ErrCorrupt
+		return 0, ErrCorrupt
 	}
-	// Allocate incrementally: the count is untrusted, so capacity beyond
-	// initialPacketAlloc is only committed as packets actually decode.
-	c.Packets = make([]PacketRecord, 0, min(n, initialPacketAlloc))
+	return n, nil
+}
+
+// readPacket decodes one packet record into p. payload allocates (or
+// reuses) storage for capLen captured bytes; it is only called with
+// capLen in (0, maxCapturedPayload].
+func (r *Reader) readPacket(p *PacketRecord, payload func(capLen int) []byte) error {
+	ph := r.tmp[:8+1+4+4+2+1+2+4+2]
+	if _, err := io.ReadFull(r.r, ph); err != nil {
+		return corrupt(err)
+	}
+	p.Timestamp = int64(binary.BigEndian.Uint64(ph[0:8]))
+	p.Flags = packet.TCPFlags(ph[8])
+	p.Seq = binary.BigEndian.Uint32(ph[9:13])
+	p.Ack = binary.BigEndian.Uint32(ph[13:17])
+	p.IPID = binary.BigEndian.Uint16(ph[17:19])
+	p.TTL = ph[19]
+	p.Window = binary.BigEndian.Uint16(ph[20:22])
+	p.PayloadLen = int(binary.BigEndian.Uint32(ph[22:26]))
+	capLen := int(binary.BigEndian.Uint16(ph[26:28]))
+	if capLen > maxCapturedPayload || capLen > p.PayloadLen {
+		return ErrCorrupt
+	}
+	if capLen > 0 {
+		p.Payload = payload(capLen)
+		if _, err := io.ReadFull(r.r, p.Payload); err != nil {
+			return corrupt(err)
+		}
+	} else {
+		p.Payload = p.Payload[:0]
+	}
+	opt, err := r.r.ReadByte()
+	if err != nil {
+		return corrupt(err)
+	}
+	p.HasOptions = opt == 1
+	return nil
+}
+
+// Read returns the next connection, or io.EOF at the end. The record
+// is carved from the reader's slabs and safe to retain.
+func (r *Reader) Read() (*Connection, error) {
+	c := r.slabConn()
+	n, err := r.readHeader(c)
+	if err != nil {
+		return nil, err
+	}
+	if n <= initialPacketAlloc {
+		c.Packets = r.slabPackets(n)
+	} else {
+		// The count is untrusted: capacity beyond initialPacketAlloc is
+		// only committed as packets actually decode.
+		c.Packets = make([]PacketRecord, 0, initialPacketAlloc)
+	}
 	for i := 0; i < n; i++ {
-		var p PacketRecord
-		var ph [8 + 1 + 4 + 4 + 2 + 1 + 2 + 4 + 2]byte
-		if _, err := io.ReadFull(r.r, ph[:]); err != nil {
-			return nil, corrupt(err)
+		c.Packets = append(c.Packets, PacketRecord{})
+		if err := r.readPacket(&c.Packets[i], r.slabBytes); err != nil {
+			return nil, err
 		}
-		p.Timestamp = int64(binary.BigEndian.Uint64(ph[0:8]))
-		p.Flags = packet.TCPFlags(ph[8])
-		p.Seq = binary.BigEndian.Uint32(ph[9:13])
-		p.Ack = binary.BigEndian.Uint32(ph[13:17])
-		p.IPID = binary.BigEndian.Uint16(ph[17:19])
-		p.TTL = ph[19]
-		p.Window = binary.BigEndian.Uint16(ph[20:22])
-		p.PayloadLen = int(binary.BigEndian.Uint32(ph[22:26]))
-		capLen := int(binary.BigEndian.Uint16(ph[26:28]))
-		if capLen > maxCapturedPayload || capLen > p.PayloadLen {
-			return nil, ErrCorrupt
-		}
-		if capLen > 0 {
-			p.Payload = make([]byte, capLen)
-			if _, err := io.ReadFull(r.r, p.Payload); err != nil {
-				return nil, corrupt(err)
-			}
-		}
-		opt, err := r.r.ReadByte()
-		if err != nil {
-			return nil, corrupt(err)
-		}
-		p.HasOptions = opt == 1
-		c.Packets = append(c.Packets, p)
 	}
 	return c, nil
 }
@@ -242,7 +347,57 @@ func (r *Reader) Next() (*Connection, error) {
 	return c, nil
 }
 
-// Count reports how many records Next has returned so far.
+// NextInto decodes the next record into c, reusing c's Packets slice
+// and each slot's Payload capacity. After a few records the reader
+// reaches a steady state of zero allocations per call, which makes
+// this the right API for single-pass consumers that do not retain
+// records. Contents of c are unspecified on error. Errors are sticky
+// and records are counted, exactly as for Next.
+func (r *Reader) NextInto(c *Connection) error {
+	if r.err != nil {
+		return r.err
+	}
+	if err := r.readInto(c); err != nil {
+		r.err = err
+		return err
+	}
+	r.count++
+	return nil
+}
+
+func (r *Reader) readInto(c *Connection) error {
+	n, err := r.readHeader(c)
+	if err != nil {
+		return err
+	}
+	if cap(c.Packets) == 0 && n > 0 {
+		c.Packets = make([]PacketRecord, 0, min(n, initialPacketAlloc))
+	}
+	c.Packets = c.Packets[:0]
+	for i := 0; i < n; i++ {
+		// Extend by reslicing when within capacity so the slot's previous
+		// Payload backing array survives for reuse; append (which would
+		// zero the slot) only on genuine growth, one decoded packet at a
+		// time so a hostile count cannot force a large allocation.
+		if i < cap(c.Packets) {
+			c.Packets = c.Packets[:i+1]
+		} else {
+			c.Packets = append(c.Packets, PacketRecord{})
+		}
+		p := &c.Packets[i]
+		if err := r.readPacket(p, func(capLen int) []byte {
+			if cap(p.Payload) >= capLen {
+				return p.Payload[:capLen]
+			}
+			return make([]byte, capLen)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Count reports how many records Next and NextInto have returned so far.
 func (r *Reader) Count() int { return r.count }
 
 // ReadAll drains the reader.
@@ -262,17 +417,17 @@ func (r *Reader) ReadAll() ([]*Connection, error) {
 
 func (r *Reader) readAddr(ipver int) (netip.Addr, error) {
 	if ipver == 6 {
-		var b [16]byte
-		if _, err := io.ReadFull(r.r, b[:]); err != nil {
+		b := r.tmp[:16]
+		if _, err := io.ReadFull(r.r, b); err != nil {
 			return netip.Addr{}, corrupt(err)
 		}
-		return netip.AddrFrom16(b), nil
+		return netip.AddrFrom16([16]byte(b)), nil
 	}
-	var b [4]byte
-	if _, err := io.ReadFull(r.r, b[:]); err != nil {
+	b := r.tmp[:4]
+	if _, err := io.ReadFull(r.r, b); err != nil {
 		return netip.Addr{}, corrupt(err)
 	}
-	return netip.AddrFrom4(b), nil
+	return netip.AddrFrom4([4]byte(b)), nil
 }
 
 func corrupt(err error) error {

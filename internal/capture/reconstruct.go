@@ -16,7 +16,20 @@ import (
 //
 // It returns a new slice; the connection is not modified.
 func Reconstruct(c *Connection) []PacketRecord {
-	out := append([]PacketRecord(nil), c.Packets...)
+	return ReconstructInto(c, nil)
+}
+
+// insertionSortMax bounds the n² reorder path. Real records hold ~10
+// packets, far below it; hostile records (up to 16384 packets) fall
+// back to sort.SliceStable.
+const insertionSortMax = 64
+
+// ReconstructInto is Reconstruct with caller-owned result storage: the
+// ordered packets are appended to dst[:0] and the (possibly grown)
+// slice returned, so a consumer looping over many connections reorders
+// with zero steady-state allocations. The connection is not modified.
+func ReconstructInto(c *Connection, dst []PacketRecord) []PacketRecord {
+	out := append(dst[:0], c.Packets...)
 	if len(out) < 2 {
 		return out
 	}
@@ -40,18 +53,29 @@ func Reconstruct(c *Connection) []PacketRecord {
 			}
 		}
 	}
+	if len(out) <= insertionSortMax {
+		// Stable insertion sort: equal elements never swap, preserving
+		// log order, and typical mostly-ordered records finish in near
+		// linear time with no closure or reflection overhead.
+		for i := 1; i < len(out); i++ {
+			for j := i; j > 0 && recordLess(&out[j], &out[j-1], isn); j-- {
+				out[j], out[j-1] = out[j-1], out[j]
+			}
+		}
+		return out
+	}
 	sort.SliceStable(out, func(i, j int) bool {
-		a, b := &out[i], &out[j]
-		if a.Timestamp != b.Timestamp {
-			return a.Timestamp < b.Timestamp
-		}
-		ra, rb := rankOf(a, isn), rankOf(b, isn)
-		if ra != rb {
-			return ra < rb
-		}
-		return false // stable: preserve log order among equals
+		return recordLess(&out[i], &out[j], isn)
 	})
 	return out
+}
+
+// recordLess orders packets by arrival second, then by the rank key.
+func recordLess(a, b *PacketRecord, isn uint32) bool {
+	if a.Timestamp != b.Timestamp {
+		return a.Timestamp < b.Timestamp
+	}
+	return rankOf(a, isn) < rankOf(b, isn)
 }
 
 // rankOf computes an ordering key for a packet within one second:

@@ -1,0 +1,253 @@
+package capture
+
+import (
+	"bytes"
+	"io"
+	"math/rand/v2"
+	"reflect"
+	"sort"
+	"testing"
+
+	"tamperdetect/internal/packet"
+)
+
+// encodeConns serializes conns into a TDCAP byte stream.
+func encodeConns(t testing.TB, conns []*Connection) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, c := range conns {
+		if err := w.Write(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestNextIntoMatchesNext decodes the same stream through Next and
+// NextInto and requires identical records, counts, and sticky EOF.
+func TestNextIntoMatchesNext(t *testing.T) {
+	var conns []*Connection
+	for i := 0; i < 32; i++ {
+		c := sampleConn(i%3 == 0)
+		c.SrcPort = uint16(2000 + i)
+		if i%5 == 0 {
+			c.Packets = nil // zero-packet records must round-trip too
+		}
+		conns = append(conns, c)
+	}
+	data := encodeConns(t, conns)
+
+	ra := NewReader(bytes.NewReader(data))
+	rb := NewReader(bytes.NewReader(data))
+	var scratch Connection
+	for i := range conns {
+		want, err := ra.Next()
+		if err != nil {
+			t.Fatalf("Next #%d: %v", i, err)
+		}
+		if err := rb.NextInto(&scratch); err != nil {
+			t.Fatalf("NextInto #%d: %v", i, err)
+		}
+		// Normalise nil-vs-empty Packets before comparing: NextInto
+		// reuses capacity, so an empty record keeps a non-nil slice.
+		got := scratch
+		if len(got.Packets) == 0 && len(want.Packets) == 0 {
+			got.Packets, want.Packets = nil, nil
+		}
+		for j := range got.Packets {
+			if len(got.Packets[j].Payload) == 0 && len(want.Packets[j].Payload) == 0 {
+				got.Packets[j].Payload, want.Packets[j].Payload = nil, nil
+			}
+		}
+		if !reflect.DeepEqual(&got, want) {
+			t.Fatalf("record %d mismatch:\n got: %+v\nwant: %+v", i, &got, want)
+		}
+	}
+	if err := rb.NextInto(&scratch); err != io.EOF {
+		t.Fatalf("NextInto past end: %v, want io.EOF", err)
+	}
+	if err := rb.NextInto(&scratch); err != io.EOF {
+		t.Fatalf("NextInto sticky EOF lost: %v", err)
+	}
+	if rb.Count() != len(conns) {
+		t.Errorf("Count = %d, want %d", rb.Count(), len(conns))
+	}
+}
+
+// TestReadRecordsAreRetainSafe verifies the slab contract: records
+// returned by Read/Next stay intact while later records decode.
+func TestReadRecordsAreRetainSafe(t *testing.T) {
+	const n = 3 * connSlabSize // span several slabs
+	var conns []*Connection
+	for i := 0; i < n; i++ {
+		c := sampleConn(false)
+		c.SrcPort = uint16(i)
+		c.Packets[1].Payload = []byte{byte(i), byte(i >> 8), 0xAA}
+		c.Packets[1].PayloadLen = 3
+		conns = append(conns, c)
+	}
+	r := NewReader(bytes.NewReader(encodeConns(t, conns)))
+	var got []*Connection
+	for {
+		c, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, c)
+	}
+	if len(got) != n {
+		t.Fatalf("decoded %d records, want %d", len(got), n)
+	}
+	for i, c := range got {
+		if c.SrcPort != uint16(i) {
+			t.Fatalf("record %d srcPort = %d (slab slot overwritten?)", i, c.SrcPort)
+		}
+		if want := []byte{byte(i), byte(i >> 8), 0xAA}; !bytes.Equal(c.Packets[1].Payload, want) {
+			t.Fatalf("record %d payload = %v, want %v", i, c.Packets[1].Payload, want)
+		}
+	}
+}
+
+// TestNextIntoSteadyStateAllocs pins the zero-allocation contract:
+// after warm-up, NextInto must not allocate per record.
+func TestNextIntoSteadyStateAllocs(t *testing.T) {
+	var conns []*Connection
+	for i := 0; i < 64; i++ {
+		conns = append(conns, sampleConn(false))
+	}
+	data := encodeConns(t, conns)
+	r := NewReader(bytes.NewReader(data))
+	var c Connection
+	// Warm-up: first records size the Packets slice and payload slots.
+	for i := 0; i < 4; i++ {
+		if err := r.NextInto(&c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(32, func() {
+		if err := r.NextInto(&c); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("NextInto steady state: %.1f allocs/record, want 0", allocs)
+	}
+}
+
+// TestReadAmortisedAllocs bounds the slab path: decoding a large
+// stream through Read must cost well under one allocation per record
+// beyond the records themselves.
+func TestReadAmortisedAllocs(t *testing.T) {
+	const n = 512
+	var conns []*Connection
+	for i := 0; i < n; i++ {
+		conns = append(conns, sampleConn(false))
+	}
+	data := encodeConns(t, conns)
+	var sink *Connection
+	allocs := testing.AllocsPerRun(4, func() {
+		r := NewReader(bytes.NewReader(data))
+		for {
+			c, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			sink = c
+		}
+	})
+	_ = sink
+	perRecord := allocs / n
+	if perRecord > 0.5 {
+		t.Errorf("Read slab path: %.2f allocs/record, want amortised < 0.5", perRecord)
+	}
+}
+
+// randomRecord builds a packet list that stresses every ordering rule.
+func randomRecord(rng *rand.Rand, n int) []PacketRecord {
+	recs := make([]PacketRecord, n)
+	flagChoices := []packet.TCPFlags{
+		packet.FlagsSYN, packet.FlagsSYNACK, packet.FlagACK,
+		packet.FlagsPSHACK, packet.FlagsFINACK, packet.FlagsRSTACK, packet.FlagRST,
+	}
+	for i := range recs {
+		recs[i] = PacketRecord{
+			Timestamp:  int64(rng.IntN(4)),
+			Flags:      flagChoices[rng.IntN(len(flagChoices))],
+			Seq:        1000 + uint32(rng.IntN(5))*100,
+			PayloadLen: rng.IntN(2) * 100,
+		}
+	}
+	return recs
+}
+
+// TestReconstructIntoMatchesReferenceSort checks both the insertion
+// path (small n) and the SliceStable fallback (n > insertionSortMax)
+// against a reference stable sort, and verifies dst reuse.
+func TestReconstructIntoMatchesReferenceSort(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 17))
+	var dst []PacketRecord
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.IntN(12)
+		if trial%10 == 0 {
+			n = insertionSortMax + 1 + rng.IntN(40) // exercise the fallback
+		}
+		c := &Connection{Packets: randomRecord(rng, n)}
+
+		// Reference: the pre-optimisation implementation, verbatim.
+		ref := append([]PacketRecord(nil), c.Packets...)
+		var isn uint32
+		found := false
+		for _, p := range ref {
+			if p.Flags.Has(packet.FlagSYN) {
+				isn = p.Seq
+				found = true
+				break
+			}
+		}
+		if !found {
+			isn = ref[0].Seq
+			for _, p := range ref[1:] {
+				if int32(p.Seq-isn) < 0 {
+					isn = p.Seq
+				}
+			}
+		}
+		sort.SliceStable(ref, func(i, j int) bool {
+			a, b := &ref[i], &ref[j]
+			if a.Timestamp != b.Timestamp {
+				return a.Timestamp < b.Timestamp
+			}
+			ra, rb := rankOf(a, isn), rankOf(b, isn)
+			return ra < rb
+		})
+
+		dst = ReconstructInto(c, dst)
+		if !reflect.DeepEqual(dst, ref) {
+			t.Fatalf("trial %d (n=%d): ReconstructInto diverges from reference\n got: %+v\nwant: %+v",
+				trial, n, dst, ref)
+		}
+	}
+}
+
+// TestReconstructIntoReusesDst pins the no-allocation reorder loop.
+func TestReconstructIntoReusesDst(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 9))
+	c := &Connection{Packets: randomRecord(rng, 10)}
+	dst := make([]PacketRecord, 0, 16)
+	allocs := testing.AllocsPerRun(64, func() {
+		dst = ReconstructInto(c, dst)
+	})
+	if allocs > 0 {
+		t.Errorf("ReconstructInto with sized dst: %.1f allocs, want 0", allocs)
+	}
+}

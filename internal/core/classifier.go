@@ -78,11 +78,60 @@ func NewClassifier(cfg Config) *Classifier {
 	return &Classifier{cfg: cfg}
 }
 
+// Scratch holds reusable per-call working storage for ClassifyWith: the
+// reconstructed packet order, the bare-RST ack list, and an intern
+// table for extracted domains (traffic concentrates on a small set of
+// names, so steady state reuses one string per distinct domain). A
+// Scratch must not be shared between concurrent calls; give each
+// worker its own.
+type Scratch struct {
+	recs    []capture.PacketRecord
+	acks    []uint32
+	domains map[string]string
+}
+
+// maxInternedDomains bounds the intern table so hostile captures full
+// of unique names cannot grow it without limit; overflow names are
+// still returned, just not cached.
+const maxInternedDomains = 1 << 14
+
+// internDomain returns b as a string, reusing a previously interned
+// copy when one exists. The compiler elides the allocation for the
+// map lookup's string(b) key, so hits are allocation-free.
+func (s *Scratch) internDomain(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if v, ok := s.domains[string(b)]; ok {
+		return v
+	}
+	v := string(b)
+	if s.domains == nil {
+		s.domains = make(map[string]string, 64)
+	}
+	if len(s.domains) < maxInternedDomains {
+		s.domains[v] = v
+	}
+	return v
+}
+
 // Classify reconstructs packet order and applies the Table 1 taxonomy.
+// It allocates fresh working storage per call and is therefore safe for
+// concurrent use; hot loops should prefer ClassifyWith with a
+// per-worker Scratch.
 func (cl *Classifier) Classify(conn *capture.Connection) Result {
-	recs := capture.Reconstruct(conn)
+	var s Scratch
+	return cl.ClassifyWith(conn, &s)
+}
+
+// ClassifyWith is Classify with caller-owned working storage: the
+// reconstruction buffer and ack list live in s and are reused across
+// calls, making the steady-state classification allocation-free.
+func (cl *Classifier) ClassifyWith(conn *capture.Connection, s *Scratch) Result {
+	s.recs = capture.ReconstructInto(conn, s.recs)
+	recs := s.recs
 	res := Result{Signature: SigNotTampering, Stage: StageNone}
-	res.Domain, res.Protocol = domainAndProtocol(conn, recs)
+	res.Domain, res.Protocol = domainAndProtocol(conn, recs, s)
 
 	if len(recs) == 0 {
 		return res
@@ -159,7 +208,7 @@ func (cl *Classifier) Classify(conn *capture.Connection) Result {
 	// no signature (e.g. a Post-Data timeout): §4.1 counts those
 	// connections inside their stage's uncovered remainder.
 	res.Stage = stage
-	res.Signature = matchSignature(stage, tail)
+	res.Signature = matchSignature(stage, tail, s)
 	return res
 }
 
@@ -214,17 +263,18 @@ func isPureACK(p *capture.PacketRecord) bool {
 
 // matchSignature applies the Table 1 tail taxonomy for the given stage.
 // tail holds only RST-type packets (possibly none, meaning a timeout).
-func matchSignature(stage Stage, tail []capture.PacketRecord) Signature {
+func matchSignature(stage Stage, tail []capture.PacketRecord, s *Scratch) Signature {
 	var bare, withACK int
-	var bareAcks []uint32
+	s.acks = s.acks[:0]
 	for i := range tail {
 		if tail[i].Flags.IsRSTACK() {
 			withACK++
 		} else {
 			bare++
-			bareAcks = append(bareAcks, tail[i].Ack)
+			s.acks = append(s.acks, tail[i].Ack)
 		}
 	}
+	bareAcks := s.acks
 
 	switch stage {
 	case StagePostSYN:
@@ -313,8 +363,10 @@ func classifyMultiRST(acks []uint32) Signature {
 }
 
 // domainAndProtocol extracts the SNI/Host and classifies the protocol
-// from the connection's captured payloads and destination port.
-func domainAndProtocol(conn *capture.Connection, recs []capture.PacketRecord) (string, Protocol) {
+// from the connection's captured payloads and destination port. The
+// byte-slice parsers plus s's intern table keep this allocation-free
+// once the (small) working set of domains has been seen.
+func domainAndProtocol(conn *capture.Connection, recs []capture.PacketRecord, s *Scratch) (string, Protocol) {
 	proto := ProtoUnknown
 	switch conn.DstPort {
 	case 443:
@@ -328,14 +380,14 @@ func domainAndProtocol(conn *capture.Connection, recs []capture.PacketRecord) (s
 			continue
 		}
 		if tlswire.LooksLikeClientHello(p) {
-			if sni, err := tlswire.ParseSNI(p); err == nil {
-				return sni, ProtoTLS
+			if sni, err := tlswire.SNIBytes(p); err == nil {
+				return s.internDomain(sni), ProtoTLS
 			}
 			return "", ProtoTLS
 		}
 		if httpwire.LooksLikeRequest(p) {
-			if host := httpwire.HostOf(p); host != "" {
-				return host, ProtoHTTP
+			if host := httpwire.HostBytes(p); len(host) > 0 {
+				return s.internDomain(host), ProtoHTTP
 			}
 			return "", ProtoHTTP
 		}

@@ -33,7 +33,7 @@ func TestRuleTableAgreesWithSwitch(t *testing.T) {
 		for i := 0; i < withACK; i++ {
 			tail = append(tail, capture.PacketRecord{Flags: packet.FlagsRSTACK, Ack: 501})
 		}
-		want := matchSignature(stage, tail)
+		want := matchSignature(stage, tail, new(Scratch))
 		got := MatchRuleTable(stage, &TailSummary{Bare: bare, WithACK: withACK, BareAcks: acks})
 		return got == want
 	}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+
+	"tamperdetect/internal/capture"
+	"tamperdetect/internal/packet"
+)
+
+// scratchCases builds a connection mix spanning the taxonomy: graceful,
+// timeout, single/multi RST tails, anomalous orders.
+func scratchCases() []*capture.Connection {
+	return []*capture.Connection{
+		conn(200,
+			rec(100, packet.FlagsSYN, 1000, 0, 0),
+			rec(100, packet.FlagACK, 1001, 501, 0),
+			rec(101, packet.FlagsPSHACK, 1001, 501, 200),
+			rec(102, packet.FlagsFINACK, 1201, 501, 0)),
+		conn(200,
+			rec(100, packet.FlagsSYN, 1000, 0, 0),
+			rec(100, packet.FlagsRSTACK, 0, 1001, 0)),
+		conn(200,
+			rec(100, packet.FlagsSYN, 1000, 0, 0),
+			rec(100, packet.FlagACK, 1001, 501, 0),
+			rec(101, packet.FlagsPSHACK, 1001, 501, 200),
+			rec(101, packet.FlagsRST, 1201, 0, 0),
+			rec(101, packet.FlagsRST, 1201, 777, 0)),
+		conn(200,
+			rec(100, packet.FlagsSYN, 1000, 0, 0)),
+		conn(200,
+			rec(100, packet.FlagsPSHACK, 1001, 501, 200),
+			rec(101, packet.FlagsRST, 1201, 0, 0)),
+	}
+}
+
+// TestClassifyWithMatchesClassify pins that the scratch-reusing entry
+// point is behaviourally identical to Classify across repeated reuse of
+// one Scratch.
+func TestClassifyWithMatchesClassify(t *testing.T) {
+	cl := NewClassifier(DefaultConfig())
+	cases := scratchCases()
+	var s Scratch
+	for round := 0; round < 3; round++ {
+		for i, c := range cases {
+			want := cl.Classify(c)
+			got := cl.ClassifyWith(c, &s)
+			if got != want {
+				t.Errorf("round %d case %d: ClassifyWith = %+v, Classify = %+v", round, i, got, want)
+			}
+		}
+	}
+}
+
+// TestClassifyWithSteadyStateAllocs pins the hot-path contract: with a
+// warmed Scratch, classification of payload-free records is
+// allocation-free.
+func TestClassifyWithSteadyStateAllocs(t *testing.T) {
+	cl := NewClassifier(DefaultConfig())
+	c := conn(200,
+		rec(100, packet.FlagsSYN, 1000, 0, 0),
+		rec(100, packet.FlagACK, 1001, 501, 0),
+		rec(101, packet.FlagsPSHACK, 1001, 501, 200),
+		rec(101, packet.FlagsRST, 1201, 0, 0),
+		rec(101, packet.FlagsRST, 1201, 777, 0))
+	var s Scratch
+	cl.ClassifyWith(c, &s) // warm the scratch
+	allocs := testing.AllocsPerRun(64, func() {
+		cl.ClassifyWith(c, &s)
+	})
+	if allocs > 0 {
+		t.Errorf("ClassifyWith steady state: %.1f allocs/record, want 0", allocs)
+	}
+}

@@ -8,6 +8,7 @@
 package httpwire
 
 import (
+	"bytes"
 	"errors"
 	"strings"
 )
@@ -60,16 +61,19 @@ var methods = []string{"GET", "POST", "HEAD", "PUT", "DELETE", "OPTIONS", "CONNE
 
 // LooksLikeRequest reports whether data plausibly begins with an HTTP
 // request line. Used for SYN-payload analysis (§4.1) and protocol
-// classification of captured data packets.
+// classification of captured data packets. It never allocates: this
+// runs once per captured payload on the classification hot path.
 func LooksLikeRequest(data []byte) bool {
-	s := string(data)
+	if len(data) == 0 {
+		return false
+	}
 	for _, m := range methods {
-		if strings.HasPrefix(s, m+" ") {
+		if len(data) > len(m) && data[len(m)] == ' ' && string(data[:len(m)]) == m {
 			return true
 		}
 		// A truncated capture may cut mid-method; accept a prefix of a
 		// method only if the data is shorter than the method itself.
-		if len(s) < len(m) && strings.HasPrefix(m, s) && len(s) > 0 {
+		if len(data) < len(m) && string(data) == m[:len(data)] {
 			return true
 		}
 	}
@@ -118,9 +122,51 @@ func ParseRequest(data []byte) (*Request, error) {
 // HostOf is a convenience that extracts only the Host header (the
 // middlebox trigger) from captured request bytes, or "" if absent.
 func HostOf(data []byte) string {
-	req, err := ParseRequest(data)
-	if err != nil {
-		return ""
+	return string(HostBytes(data))
+}
+
+var (
+	crlfcrlf = []byte("\r\n\r\n")
+	hostKey  = []byte("host")
+)
+
+// HostBytes is the allocation-free core of HostOf: it returns the Host
+// header value as a subslice of data, or nil if absent. The hot
+// classification path interns the result instead of paying a string
+// allocation per captured payload; the returned slice aliases data and
+// must be copied before data is reused.
+func HostBytes(data []byte) []byte {
+	if !LooksLikeRequest(data) {
+		return nil
 	}
-	return req.Host
+	head := data
+	if i := bytes.Index(data, crlfcrlf); i >= 0 {
+		head = data[:i]
+	}
+	// Walk header lines past the request line, mirroring ParseRequest:
+	// keys compare case-insensitively and a later Host header wins. The
+	// final line may be truncated mid-header, which counts only if its
+	// colon survived.
+	var host []byte
+	first := true
+	for len(head) > 0 {
+		line := head
+		if i := bytes.Index(head, crlfcrlf[:2]); i >= 0 {
+			line, head = head[:i], head[i+2:]
+		} else {
+			head = nil
+		}
+		if first {
+			first = false
+			continue
+		}
+		c := bytes.IndexByte(line, ':')
+		if c <= 0 {
+			continue
+		}
+		if bytes.EqualFold(bytes.TrimSpace(line[:c]), hostKey) {
+			host = bytes.TrimSpace(line[c+1:])
+		}
+	}
+	return host
 }

@@ -30,14 +30,15 @@ func tcpWireProfile(s *packet.Summary, toServer bool, ttl uint8, ipid uint16) fo
 	return p
 }
 
-// forgeWire serializes forged tear-down segments.
+// forgeWire serializes forged tear-down segments through the packet
+// package's pooled buffers, so each injection costs one exact-size
+// allocation for the returned wire bytes.
 type forgeWire struct {
 	prof forgeProfile
-	buf  *packet.SerializeBuffer
 }
 
 func newForgeWire(prof forgeProfile) *forgeWire {
-	return &forgeWire{prof: prof, buf: packet.NewSerializeBuffer()}
+	return &forgeWire{prof: prof}
 }
 
 // build serializes a forged segment with the given flags, sequence,
@@ -59,6 +60,7 @@ func (w *forgeWire) build(flags packet.TCPFlags, seq, ack uint32, payload []byte
 		Window:  window,
 	}
 	opts := packet.SerializeOptions{FixLengths: true, ComputeChecksums: true}
+	var out []byte
 	var err error
 	if w.prof.v6 {
 		ip := packet.IPv6{
@@ -68,7 +70,7 @@ func (w *forgeWire) build(flags packet.TCPFlags, seq, ack uint32, payload []byte
 			DstIP:      w.prof.dstIP,
 		}
 		tcp.SetNetworkLayerForChecksum(&ip)
-		err = packet.SerializeLayers(w.buf, opts, &ip, &tcp, packet.Payload(payload))
+		out, err = packet.AppendLayers(nil, opts, &ip, &tcp, packet.Payload(payload))
 	} else {
 		ip := packet.IPv4{
 			TTL:      w.prof.ttl,
@@ -78,12 +80,10 @@ func (w *forgeWire) build(flags packet.TCPFlags, seq, ack uint32, payload []byte
 			DstIP:    w.prof.dstIP,
 		}
 		tcp.SetNetworkLayerForChecksum(&ip)
-		err = packet.SerializeLayers(w.buf, opts, &ip, &tcp, packet.Payload(payload))
+		out, err = packet.AppendLayers(nil, opts, &ip, &tcp, packet.Payload(payload))
 	}
 	if err != nil {
 		panic("middlebox: forge serialize failed: " + err.Error())
 	}
-	out := make([]byte, w.buf.Len())
-	copy(out, w.buf.Bytes())
 	return out
 }

@@ -84,6 +84,8 @@ func (ip *IPv4) DecodeFromBytes(data []byte) error {
 	return nil
 }
 
+func (ip *IPv4) serializedSize() int { return 20 + (len(ip.Options)+3)&^3 }
+
 // SerializeTo prepends the IPv4 header onto b. With opts.FixLengths the
 // total length and IHL are computed; with opts.ComputeChecksums the
 // header checksum is computed.

@@ -61,6 +61,8 @@ func (ip *IPv6) DecodeFromBytes(data []byte) error {
 	return nil
 }
 
+func (ip *IPv6) serializedSize() int { return 40 }
+
 // SerializeTo prepends the IPv6 fixed header onto b.
 func (ip *IPv6) SerializeTo(b *SerializeBuffer, opts SerializeOptions) error {
 	payloadLen := b.Len()

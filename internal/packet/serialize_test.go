@@ -1,0 +1,168 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// testLayers builds a representative IPv4+TCP+payload layer stack.
+func testLayers(t testing.TB, payload int) (*IPv4, *TCP, Payload) {
+	t.Helper()
+	ip := &IPv4{TTL: 64, ID: 7, Flags: IPv4DontFragment, Protocol: protoTCP,
+		SrcIP: mustAddrB(t, "10.1.2.3"), DstIP: mustAddrB(t, "192.0.2.80")}
+	tcp := &TCP{SrcPort: 40000, DstPort: 443, Seq: 100, Ack: 1,
+		Flags: FlagsPSHACK, Window: 64240, Options: []TCPOption{
+			{Kind: TCPOptionMSS, Data: []byte{0x05, 0xb4}},
+		}}
+	tcp.SetNetworkLayerForChecksum(ip)
+	return ip, tcp, Payload(bytes.Repeat([]byte{0xab}, payload))
+}
+
+// TestSerializeLayersExactSizing pins the presize path: serializing a
+// sized layer stack into a fresh buffer must produce a backing array of
+// exactly the wire size (one allocation, no grow, no slack).
+func TestSerializeLayersExactSizing(t *testing.T) {
+	ip, tcp, pay := testLayers(t, 100)
+	b := NewSerializeBuffer()
+	opts := SerializeOptions{FixLengths: true, ComputeChecksums: true}
+	if err := SerializeLayers(b, opts, ip, tcp, pay); err != nil {
+		t.Fatal(err)
+	}
+	want := 20 + 24 + 100 // IPv4 + TCP(MSS padded) + payload
+	if b.Len() != want {
+		t.Fatalf("Len = %d, want %d", b.Len(), want)
+	}
+	if len(b.data) != want {
+		t.Errorf("backing array = %d bytes, want exactly %d", len(b.data), want)
+	}
+	var s Summary
+	if err := NewSummaryParser().Parse(b.Bytes(), &s); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if s.PayloadLen != 100 || s.SrcPort != 40000 {
+		t.Errorf("round trip decoded %+v", s)
+	}
+}
+
+// TestSerializeBufferReuseNoGrow verifies that re-serializing into the
+// same buffer reuses the backing array.
+func TestSerializeBufferReuseNoGrow(t *testing.T) {
+	ip, tcp, pay := testLayers(t, 64)
+	b := NewSerializeBuffer()
+	opts := SerializeOptions{FixLengths: true, ComputeChecksums: true}
+	if err := SerializeLayers(b, opts, ip, tcp, pay); err != nil {
+		t.Fatal(err)
+	}
+	first := &b.data[0]
+	for i := 0; i < 8; i++ {
+		if err := SerializeLayers(b, opts, ip, tcp, pay); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if &b.data[0] != first {
+		t.Error("backing array reallocated on same-size reuse")
+	}
+}
+
+// TestAppendLayers verifies the append-style encode both into empty and
+// into preloaded destination buffers, with capacity reuse.
+func TestAppendLayers(t *testing.T) {
+	ip, tcp, pay := testLayers(t, 32)
+	opts := SerializeOptions{FixLengths: true, ComputeChecksums: true}
+	ref := NewSerializeBuffer()
+	if err := SerializeLayers(ref, opts, ip, tcp, pay); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := AppendLayers(nil, opts, ip, tcp, pay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, ref.Bytes()) {
+		t.Error("AppendLayers(nil) diverges from SerializeLayers")
+	}
+
+	prefix := []byte("prefix")
+	out2, err := AppendLayers(append([]byte(nil), prefix...), opts, ip, tcp, pay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out2[:len(prefix)], prefix) || !bytes.Equal(out2[len(prefix):], ref.Bytes()) {
+		t.Error("AppendLayers did not append after existing content")
+	}
+
+	// Capacity reuse: appending into a recycled buffer must not grow it.
+	scratch := make([]byte, 0, 4096)
+	out3, err := AppendLayers(scratch, opts, ip, tcp, pay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &out3[:1][0] != &scratch[:1][0] {
+		t.Error("AppendLayers reallocated a destination with spare capacity")
+	}
+}
+
+// TestSerializeBufferPool round-trips buffers through the pool and
+// checks cleared state plus the retention cap.
+func TestSerializeBufferPool(t *testing.T) {
+	b := GetSerializeBuffer()
+	copy(b.PrependBytes(16), bytes.Repeat([]byte{1}, 16))
+	PutSerializeBuffer(b)
+	b2 := GetSerializeBuffer()
+	if b2.Len() != 0 {
+		t.Errorf("pooled buffer not cleared: Len = %d", b2.Len())
+	}
+	PutSerializeBuffer(b2)
+
+	huge := NewSerializeBufferSize(maxPooledBuffer + 1)
+	PutSerializeBuffer(huge) // must be dropped, not pooled
+	if got := GetSerializeBuffer(); len(got.data) > maxPooledBuffer {
+		t.Error("oversized buffer retained by pool")
+	}
+	PutSerializeBuffer(nil) // must not panic
+}
+
+// TestPrependGrowCopiesSuffix pins the grow fix: after forcing growth,
+// previously-written bytes survive and appear at the right offsets.
+func TestPrependGrowCopiesSuffix(t *testing.T) {
+	b := NewSerializeBufferSize(4)
+	copy(b.PrependBytes(4), []byte{9, 9, 9, 9})
+	copy(b.PrependBytes(6), []byte{1, 2, 3, 4, 5, 6}) // forces growth
+	got := b.Bytes()
+	want := []byte{1, 2, 3, 4, 5, 6, 9, 9, 9, 9}
+	if !bytes.Equal(got, want) {
+		t.Errorf("bytes = %v, want %v", got, want)
+	}
+}
+
+// TestAppendGrowKeepsData pins the append grow path: growing via
+// AppendBytes preserves prepended content and zeroes the new region.
+func TestAppendGrowKeepsData(t *testing.T) {
+	b := NewSerializeBufferSize(2)
+	copy(b.PrependBytes(2), []byte{7, 8})
+	s := b.AppendBytes(5) // forces growth
+	for _, v := range s {
+		if v != 0 {
+			t.Fatal("AppendBytes returned non-zeroed memory")
+		}
+	}
+	copy(s, []byte{1, 2, 3, 4, 5})
+	if got, want := b.Bytes(), []byte{7, 8, 1, 2, 3, 4, 5}; !bytes.Equal(got, want) {
+		t.Errorf("bytes = %v, want %v", got, want)
+	}
+}
+
+// BenchmarkSerializeReuse measures the steady-state serialize cost with
+// a reused buffer — the simulator's per-packet hot path.
+func BenchmarkSerializeReuse(b *testing.B) {
+	ip, tcp, pay := testLayers(b, 512)
+	opts := SerializeOptions{FixLengths: true, ComputeChecksums: true}
+	buf := NewSerializeBuffer()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := SerializeLayers(buf, opts, ip, tcp, pay); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

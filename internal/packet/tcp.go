@@ -120,6 +120,14 @@ func (t *TCP) DecodeFromBytes(data []byte) error {
 	return nil
 }
 
+func (t *TCP) serializedSize() int {
+	optLen := 0
+	for _, o := range t.Options {
+		optLen += o.wireLen()
+	}
+	return 20 + (optLen+3)&^3
+}
+
 // SerializeTo prepends the TCP header onto b. With opts.FixLengths the
 // data offset is computed from the options; with opts.ComputeChecksums
 // the checksum is computed using the pseudo-header registered via

@@ -39,30 +39,32 @@ func TestPipelineMatchesBatch(t *testing.T) {
 	t.Logf("scenario: %d connections, %d byte capture", len(conns), len(data))
 
 	for _, workers := range []int{1, 4, 16} {
-		for _, ordered := range []bool{false, true} {
-			var got [core.NumSignatures]int64
-			counts, err := Stream(context.Background(), bytes.NewReader(data),
-				Config{Workers: workers, Ordered: ordered},
-				func(it Item) error {
-					got[it.Res.Signature]++
-					return nil
-				})
-			if err != nil {
-				t.Fatalf("workers=%d ordered=%v: %v", workers, ordered, err)
-			}
-			if got != want {
-				t.Errorf("workers=%d ordered=%v: per-signature histogram diverges from batch path",
-					workers, ordered)
-				for sig := range got {
-					if got[sig] != want[sig] {
-						t.Errorf("  %s: pipeline %d, batch %d",
-							core.Signature(sig), got[sig], want[sig])
+		for _, batch := range []int{1, 64} {
+			for _, ordered := range []bool{false, true} {
+				var got [core.NumSignatures]int64
+				counts, err := Stream(context.Background(), bytes.NewReader(data),
+					Config{Workers: workers, Ordered: ordered, BatchSize: batch},
+					func(it Item) error {
+						got[it.Res.Signature]++
+						return nil
+					})
+				if err != nil {
+					t.Fatalf("workers=%d batch=%d ordered=%v: %v", workers, batch, ordered, err)
+				}
+				if got != want {
+					t.Errorf("workers=%d batch=%d ordered=%v: per-signature histogram diverges from batch path",
+						workers, batch, ordered)
+					for sig := range got {
+						if got[sig] != want[sig] {
+							t.Errorf("  %s: pipeline %d, batch %d",
+								core.Signature(sig), got[sig], want[sig])
+						}
 					}
 				}
-			}
-			if counts.Classified != int64(len(conns)) {
-				t.Errorf("workers=%d ordered=%v: classified %d of %d",
-					workers, ordered, counts.Classified, len(conns))
+				if counts.Classified != int64(len(conns)) {
+					t.Errorf("workers=%d batch=%d ordered=%v: classified %d of %d",
+						workers, batch, ordered, counts.Classified, len(conns))
+				}
 			}
 		}
 	}
@@ -81,29 +83,32 @@ func TestPipelineOrderedMatchesBatchOrder(t *testing.T) {
 	data := encode(t, conns)
 	cl := core.NewClassifier(core.DefaultConfig())
 
-	next := 0
-	_, err = Stream(context.Background(), bytes.NewReader(data),
-		Config{Workers: 16, Ordered: true, Depth: 16},
-		func(it Item) error {
-			if it.Index != next {
-				t.Fatalf("index %d delivered, want %d", it.Index, next)
-			}
-			batch := conns[next]
-			if it.Conn.SrcIP != batch.SrcIP || it.Conn.SrcPort != batch.SrcPort ||
-				len(it.Conn.Packets) != len(batch.Packets) {
-				t.Fatalf("connection %d does not round-trip", next)
-			}
-			if res := cl.Classify(batch); it.Res != res {
-				t.Fatalf("connection %d: pipeline %v, batch %v", next, it.Res.Signature, res.Signature)
-			}
-			next++
-			return nil
-		})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if next != len(conns) {
-		t.Fatalf("delivered %d of %d", next, len(conns))
+	for _, batchSize := range []int{1, 8, 64} {
+		next := 0
+		_, err = Stream(context.Background(), bytes.NewReader(data),
+			Config{Workers: 16, Ordered: true, Depth: 16, BatchSize: batchSize},
+			func(it Item) error {
+				if it.Index != next {
+					t.Fatalf("batch=%d: index %d delivered, want %d", batchSize, it.Index, next)
+				}
+				batch := conns[next]
+				if it.Conn.SrcIP != batch.SrcIP || it.Conn.SrcPort != batch.SrcPort ||
+					len(it.Conn.Packets) != len(batch.Packets) {
+					t.Fatalf("batch=%d: connection %d does not round-trip", batchSize, next)
+				}
+				if res := cl.Classify(batch); it.Res != res {
+					t.Fatalf("batch=%d: connection %d: pipeline %v, batch %v",
+						batchSize, next, it.Res.Signature, res.Signature)
+				}
+				next++
+				return nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if next != len(conns) {
+			t.Fatalf("batch=%d: delivered %d of %d", batchSize, next, len(conns))
+		}
 	}
 }
 

@@ -7,10 +7,15 @@
 //
 // This is the paper's deployment shape: the detector runs continuously
 // over a sampled stream of connections rather than over batches loaded
-// into memory. Every stage holds O(Workers + Depth) records, so
-// arbitrarily large captures stream in constant memory:
+// into memory. Every stage holds O(Workers + Depth + BatchSize)
+// records, so arbitrarily large captures stream in constant memory:
 //
 //	source (decode) ──▶ [depth] ──▶ classify ×W ──▶ [depth] ──▶ sink
+//
+// Records move through the inter-stage channels in pooled batches of
+// Config.BatchSize, which amortises channel synchronisation over many
+// records; each worker owns a private classifier instance and scratch
+// arena so the per-record classify cost is allocation-free.
 //
 // A slow sink throttles the workers, which throttle the decoder, which
 // throttles the source. Cancelling the context stops every stage;
@@ -29,8 +34,13 @@ import (
 	"tamperdetect/internal/core"
 )
 
-// DefaultDepth is the per-stage channel depth when Config.Depth is 0.
+// DefaultDepth is the per-stage channel depth (in records) when
+// Config.Depth is 0.
 const DefaultDepth = 256
+
+// DefaultBatchSize is the records-per-batch granularity of the
+// inter-stage channels when Config.BatchSize is 0.
+const DefaultBatchSize = 64
 
 // ErrStop may be returned by a Sink to stop the pipeline early without
 // reporting an error: Run cancels the remaining work, drains, and
@@ -63,9 +73,19 @@ type Sink func(Item) error
 type Config struct {
 	// Workers is the classifier pool size; 0 means GOMAXPROCS.
 	Workers int
-	// Depth bounds each inter-stage channel; 0 means DefaultDepth.
-	// Total in-flight records are at most 2*Depth + Workers + 1.
+	// Depth bounds each inter-stage channel, in records; 0 means
+	// DefaultDepth. Together with BatchSize it bounds the records in
+	// flight: each channel holds max(1, Depth/BatchSize) batches, so at
+	// most 2*Depth + (Workers+2)*BatchSize records exist between the
+	// source and the sink at any instant.
 	Depth int
+	// BatchSize groups records N at a time through the inter-stage
+	// channels, amortising channel synchronisation across the batch; 0
+	// means DefaultBatchSize, and values above Depth are clamped to
+	// Depth so shallow test pipelines keep tight in-flight bounds.
+	// BatchSize 1 reproduces the record-at-a-time pipeline exactly.
+	// Delivery semantics are identical at every batch size.
+	BatchSize int
 	// Ordered delivers items to the sink in decode order (index 0, 1,
 	// 2, …). Unordered delivery has lower latency skew under uneven
 	// classify costs; ordered delivery is deterministic.
@@ -96,6 +116,13 @@ func Run(ctx context.Context, src Source, cfg Config, sink Sink) (Counts, error)
 	if depth <= 0 {
 		depth = DefaultDepth
 	}
+	batch := cfg.BatchSize
+	if batch <= 0 {
+		batch = DefaultBatchSize
+	}
+	if batch > depth {
+		batch = depth
+	}
 	cl := cfg.Classifier
 	if cl == nil {
 		cl = core.NewClassifier(core.DefaultConfig())
@@ -111,21 +138,55 @@ func Run(ctx context.Context, src Source, cfg Config, sink Sink) (Counts, error)
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	decoded := make(chan Item, depth) // decode → classify (Res unset)
-	results := make(chan Item, depth) // classify → deliver
+	// Channel capacities are expressed in batches so Depth keeps
+	// bounding the records in flight regardless of the batch size.
+	chanCap := depth / batch
+	if chanCap < 1 {
+		chanCap = 1
+	}
+	decoded := make(chan []Item, chanCap) // decode → classify (Res unset)
+	results := make(chan []Item, chanCap) // classify → deliver
+
+	// Batches recycle through a pool; a drained batch is cleared before
+	// reuse so pooled slices don't pin delivered records.
+	pool := sync.Pool{New: func() any {
+		b := make([]Item, 0, batch)
+		return &b
+	}}
+	getBatch := func() []Item { return (*pool.Get().(*[]Item))[:0] }
+	putBatch := func(b []Item) {
+		b = b[:cap(b)]
+		clear(b)
+		b = b[:0]
+		pool.Put(&b)
+	}
 
 	// Decode stage: a single goroutine pulls records off the source
-	// and enqueues them. It stops on EOF, on a source error, or when
-	// the context is cancelled (backpressure propagates here: a full
-	// decoded channel blocks the source).
+	// and enqueues them batch by batch. It stops on EOF, on a source
+	// error, or when the context is cancelled (backpressure propagates
+	// here: a full decoded channel blocks the source).
 	var srcErr error // written before decodeDone closes
 	decodeDone := make(chan struct{})
 	go func() {
 		defer close(decodeDone)
 		defer close(decoded)
+		cur := getBatch()
+		flush := func() bool {
+			if len(cur) == 0 {
+				return true
+			}
+			select {
+			case decoded <- cur:
+				cur = getBatch()
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		}
 		for i := 0; ; i++ {
 			c, err := src.Next()
 			if err == io.EOF {
+				flush()
 				return
 			}
 			if err != nil {
@@ -135,49 +196,56 @@ func Run(ctx context.Context, src Source, cfg Config, sink Sink) (Counts, error)
 				// error surfaces once the pipeline is empty.
 				m.errors.Add(1)
 				srcErr = err
+				flush()
 				return
 			}
 			m.decoded.Add(1)
-			select {
-			case decoded <- Item{Index: i, Conn: c}:
-			case <-ctx.Done():
+			cur = append(cur, Item{Index: i, Conn: c})
+			if len(cur) >= batch && !flush() {
 				return
 			}
 		}
 	}()
 
-	// Classify stage: the worker pool. Workers exit when the decode
-	// channel closes (drain) or the context is cancelled mid-send.
+	// Classify stage: the worker pool. Each worker owns a private copy
+	// of the (stateless) classifier and a scratch arena, so records
+	// classify without shared state or per-record allocation. Workers
+	// exit when the decode channel closes (drain) or the context is
+	// cancelled mid-send.
 	// A classifier panic on one record is contained to that record: it
 	// is converted to Item.Err, counted as an error, and still
 	// forwarded so ordered delivery never stalls on the gap — one
 	// poisoned record must not take down the whole stream.
-	classify := func(c *capture.Connection) (res core.Result, err error) {
+	classify := func(wcl *core.Classifier, s *core.Scratch, c *capture.Connection) (res core.Result, err error) {
 		defer func() {
 			if r := recover(); r != nil {
 				res = core.Result{}
 				err = fmt.Errorf("pipeline: classifier panic: %v", r)
 			}
 		}()
-		return cl.Classify(c), nil
+		return wcl.ClassifyWith(c, s), nil
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for it := range decoded {
-				it.Res, it.Err = classify(it.Conn)
-				if it.Err != nil {
-					m.errors.Add(1)
-				} else {
-					m.classified.Add(1)
-					if it.Res.Signature.IsTampering() {
-						m.tampering.Add(1)
+			wcl := *cl // private instance: no false sharing across workers
+			var scratch core.Scratch
+			for b := range decoded {
+				for i := range b {
+					b[i].Res, b[i].Err = classify(&wcl, &scratch, b[i].Conn)
+					if b[i].Err != nil {
+						m.errors.Add(1)
+					} else {
+						m.classified.Add(1)
+						if b[i].Res.Signature.IsTampering() {
+							m.tampering.Add(1)
+						}
 					}
 				}
 				select {
-				case results <- it:
+				case results <- b:
 				case <-ctx.Done():
 					return
 				}
@@ -212,26 +280,34 @@ func Run(ctx context.Context, src Source, cfg Config, sink Sink) (Counts, error)
 		}
 	}
 	if cfg.Ordered {
-		// Reorder buffer: holds out-of-order results until their
-		// predecessors arrive. Bounded by the records in flight, so at
-		// most 2*Depth + Workers entries.
-		pending := make(map[int]Item)
+		// Reorder buffer: holds out-of-order batches until their
+		// predecessors arrive, keyed by first index. The single decoder
+		// fills batches with contiguous indexes, so delivering batches in
+		// first-index order delivers every record in decode order. Bounded
+		// by the batches in flight.
+		pending := make(map[int][]Item)
 		next := 0
-		for it := range results {
-			pending[it.Index] = it
+		for b := range results {
+			pending[b[0].Index] = b
 			for {
-				n, ok := pending[next]
+				nb, ok := pending[next]
 				if !ok {
 					break
 				}
 				delete(pending, next)
-				next++
-				deliver(n)
+				next += len(nb)
+				for i := range nb {
+					deliver(nb[i])
+				}
+				putBatch(nb)
 			}
 		}
 	} else {
-		for it := range results {
-			deliver(it)
+		for b := range results {
+			for i := range b {
+				deliver(b[i])
+			}
+			putBatch(b)
 		}
 	}
 	<-decodeDone

@@ -60,31 +60,33 @@ func (s *endlessSource) Next() (*capture.Connection, error) {
 
 func TestCancelMidStream(t *testing.T) {
 	for _, workers := range []int{1, 4, 16} {
-		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
-			verify := checkGoroutines(t)
-			defer verify()
+		for _, batch := range []int{1, 3, 64} {
+			t.Run(fmt.Sprintf("workers=%d/batch=%d", workers, batch), func(t *testing.T) {
+				verify := checkGoroutines(t)
+				defer verify()
 
-			ctx, cancel := context.WithCancel(context.Background())
-			src := newEndlessSource()
-			delivered := 0
-			counts, err := Run(ctx, src, Config{Workers: workers, Depth: 8},
-				func(it Item) error {
-					delivered++
-					if delivered == 50 {
-						cancel() // cancel from inside the stream
-					}
-					return nil
-				})
-			if !errors.Is(err, context.Canceled) {
-				t.Errorf("err = %v, want context.Canceled", err)
-			}
-			if counts.Delivered == 0 {
-				t.Error("nothing delivered before cancellation")
-			}
-			if counts.Dropped != counts.Decoded-counts.Delivered {
-				t.Errorf("dropped %d, want %d", counts.Dropped, counts.Decoded-counts.Delivered)
-			}
-		})
+				ctx, cancel := context.WithCancel(context.Background())
+				src := newEndlessSource()
+				delivered := 0
+				counts, err := Run(ctx, src, Config{Workers: workers, Depth: 8, BatchSize: batch},
+					func(it Item) error {
+						delivered++
+						if delivered == 50 {
+							cancel() // cancel from inside the stream
+						}
+						return nil
+					})
+				if !errors.Is(err, context.Canceled) {
+					t.Errorf("err = %v, want context.Canceled", err)
+				}
+				if counts.Delivered == 0 {
+					t.Error("nothing delivered before cancellation")
+				}
+				if counts.Dropped != counts.Decoded-counts.Delivered {
+					t.Errorf("dropped %d, want %d", counts.Dropped, counts.Decoded-counts.Delivered)
+				}
+			})
+		}
 	}
 }
 
@@ -105,45 +107,52 @@ func TestCancelBeforeStart(t *testing.T) {
 
 // TestSlowConsumerBackpressure verifies the bound the package
 // documents: a sink that never drains lets the pipeline read at most
-// 2*Depth + Workers + a small constant records ahead.
+// 2*Depth + (Workers+2)*BatchSize + a small constant records ahead.
 func TestSlowConsumerBackpressure(t *testing.T) {
 	for _, workers := range []int{1, 4, 16} {
-		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
-			verify := checkGoroutines(t)
-			defer verify()
+		for _, batch := range []int{1, 3, 64} {
+			t.Run(fmt.Sprintf("workers=%d/batch=%d", workers, batch), func(t *testing.T) {
+				verify := checkGoroutines(t)
+				defer verify()
 
-			const depth = 8
-			ctx, cancel := context.WithCancel(context.Background())
-			defer cancel()
-			src := newEndlessSource()
-			delivered := 0
-			blocked := make(chan struct{})
-			go func() {
-				// Give the pipeline time to read as far ahead as it ever
-				// will against a stalled sink, then release it.
-				<-blocked
-				time.Sleep(200 * time.Millisecond)
-				cancel()
-			}()
-			_, err := Run(ctx, src, Config{Workers: workers, Depth: depth},
-				func(it Item) error {
-					delivered++
-					if delivered == 1 {
-						close(blocked)
-						<-ctx.Done() // stall: simulate a wedged consumer
-					}
-					return nil
-				})
-			if !errors.Is(err, context.Canceled) {
-				t.Errorf("err = %v, want context.Canceled", err)
-			}
-			// Read-ahead bound: both channels full, one record in each
-			// worker's hands, one in the decoder's, one at the sink.
-			limit := int64(2*depth + workers + 2)
-			if got := src.decoded.Load(); got > limit {
-				t.Errorf("decoded %d records against a stalled sink, bound is %d", got, limit)
-			}
-		})
+				const depth = 8
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				src := newEndlessSource()
+				delivered := 0
+				blocked := make(chan struct{})
+				go func() {
+					// Give the pipeline time to read as far ahead as it ever
+					// will against a stalled sink, then release it.
+					<-blocked
+					time.Sleep(200 * time.Millisecond)
+					cancel()
+				}()
+				_, err := Run(ctx, src, Config{Workers: workers, Depth: depth, BatchSize: batch},
+					func(it Item) error {
+						delivered++
+						if delivered == 1 {
+							close(blocked)
+							<-ctx.Done() // stall: simulate a wedged consumer
+						}
+						return nil
+					})
+				if !errors.Is(err, context.Canceled) {
+					t.Errorf("err = %v, want context.Canceled", err)
+				}
+				// Read-ahead bound: both channels hold Depth records in
+				// batches, one batch in each worker's hands, one partial
+				// batch at the decoder, one draining at the stalled sink.
+				eff := batch
+				if eff > depth {
+					eff = depth
+				}
+				limit := int64(2*depth + (workers+2)*eff + 2)
+				if got := src.decoded.Load(); got > limit {
+					t.Errorf("decoded %d records against a stalled sink, bound is %d", got, limit)
+				}
+			})
+		}
 	}
 }
 
@@ -175,29 +184,31 @@ func TestEarlyReaderClose(t *testing.T) {
 	conns := testConns(400)
 	data := encode(t, conns)
 	for _, workers := range []int{1, 4, 16} {
-		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
-			verify := checkGoroutines(t)
-			defer verify()
+		for _, batch := range []int{1, 64} {
+			t.Run(fmt.Sprintf("workers=%d/batch=%d", workers, batch), func(t *testing.T) {
+				verify := checkGoroutines(t)
+				defer verify()
 
-			r := &readCloser{data: data, n: len(data) / 2}
-			delivered := 0
-			counts, err := Stream(context.Background(), r,
-				Config{Workers: workers, Depth: 8, Ordered: true},
-				func(it Item) error { delivered++; return nil })
-			// Depending on where the close lands, the codec reports it
-			// either as a corrupt record (mid-record) or passes the raw
-			// read error through (record boundary).
-			if !errors.Is(err, capture.ErrCorrupt) && !errors.Is(err, io.ErrClosedPipe) {
-				t.Errorf("err = %v, want ErrCorrupt or ErrClosedPipe", err)
-			}
-			// Everything decoded before the close drains through.
-			if int64(delivered) != counts.Decoded {
-				t.Errorf("delivered %d of %d decoded", delivered, counts.Decoded)
-			}
-			if delivered == 0 {
-				t.Error("no good prefix delivered")
-			}
-		})
+				r := &readCloser{data: data, n: len(data) / 2}
+				delivered := 0
+				counts, err := Stream(context.Background(), r,
+					Config{Workers: workers, Depth: 8, Ordered: true, BatchSize: batch},
+					func(it Item) error { delivered++; return nil })
+				// Depending on where the close lands, the codec reports it
+				// either as a corrupt record (mid-record) or passes the raw
+				// read error through (record boundary).
+				if !errors.Is(err, capture.ErrCorrupt) && !errors.Is(err, io.ErrClosedPipe) {
+					t.Errorf("err = %v, want ErrCorrupt or ErrClosedPipe", err)
+				}
+				// Everything decoded before the close drains through.
+				if int64(delivered) != counts.Decoded {
+					t.Errorf("delivered %d of %d decoded", delivered, counts.Decoded)
+				}
+				if delivered == 0 {
+					t.Error("no good prefix delivered")
+				}
+			})
+		}
 	}
 }
 
@@ -205,25 +216,28 @@ func TestEarlyReaderClose(t *testing.T) {
 // workers blocked sending results must exit, not leak.
 func TestSinkErrorDrains(t *testing.T) {
 	for _, workers := range []int{1, 4, 16} {
-		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
-			verify := checkGoroutines(t)
-			defer verify()
+		for _, batch := range []int{1, 64} {
+			t.Run(fmt.Sprintf("workers=%d/batch=%d", workers, batch), func(t *testing.T) {
+				verify := checkGoroutines(t)
+				defer verify()
 
-			sentinel := errors.New("sink exploded")
-			src := newEndlessSource()
-			delivered := 0
-			_, err := Run(context.Background(), src, Config{Workers: workers, Depth: 4},
-				func(it Item) error {
-					delivered++
-					if delivered == 30 {
-						return sentinel
-					}
-					return nil
-				})
-			if !errors.Is(err, sentinel) {
-				t.Errorf("err = %v, want sink error", err)
-			}
-		})
+				sentinel := errors.New("sink exploded")
+				src := newEndlessSource()
+				delivered := 0
+				_, err := Run(context.Background(), src,
+					Config{Workers: workers, Depth: 4, BatchSize: batch},
+					func(it Item) error {
+						delivered++
+						if delivered == 30 {
+							return sentinel
+						}
+						return nil
+					})
+				if !errors.Is(err, sentinel) {
+					t.Errorf("err = %v, want sink error", err)
+				}
+			})
+		}
 	}
 }
 
@@ -280,60 +294,62 @@ func (s *poisonSource) Next() (*capture.Connection, error) {
 // stalls on the gap, and no goroutine leaks.
 func TestClassifierPanicContained(t *testing.T) {
 	for _, ordered := range []bool{false, true} {
-		t.Run(fmt.Sprintf("ordered=%v", ordered), func(t *testing.T) {
-			defer checkGoroutines(t)()
-			valid := testConns(300)
-			var mixed []*capture.Connection
-			poisoned := 0
-			for i, c := range valid {
-				if i%50 == 25 {
-					mixed = append(mixed, nil)
-					poisoned++
+		for _, batch := range []int{1, 64} {
+			t.Run(fmt.Sprintf("ordered=%v/batch=%d", ordered, batch), func(t *testing.T) {
+				defer checkGoroutines(t)()
+				valid := testConns(300)
+				var mixed []*capture.Connection
+				poisoned := 0
+				for i, c := range valid {
+					if i%50 == 25 {
+						mixed = append(mixed, nil)
+						poisoned++
+					}
+					mixed = append(mixed, c)
 				}
-				mixed = append(mixed, c)
-			}
-			seen := make(map[int]bool)
-			var errItems, okItems int
-			next := 0
-			counts, err := Run(context.Background(), &poisonSource{conns: mixed},
-				Config{Workers: 8, Ordered: ordered},
-				func(it Item) error {
-					if seen[it.Index] {
-						return fmt.Errorf("index %d delivered twice", it.Index)
-					}
-					seen[it.Index] = true
-					if ordered {
-						if it.Index != next {
-							return fmt.Errorf("ordered gap: got %d, want %d", it.Index, next)
+				seen := make(map[int]bool)
+				var errItems, okItems int
+				next := 0
+				counts, err := Run(context.Background(), &poisonSource{conns: mixed},
+					Config{Workers: 8, Ordered: ordered, BatchSize: batch},
+					func(it Item) error {
+						if seen[it.Index] {
+							return fmt.Errorf("index %d delivered twice", it.Index)
 						}
-						next++
-					}
-					if it.Err != nil {
-						errItems++
-						if it.Conn != nil {
-							return fmt.Errorf("index %d: Err set on valid record", it.Index)
+						seen[it.Index] = true
+						if ordered {
+							if it.Index != next {
+								return fmt.Errorf("ordered gap: got %d, want %d", it.Index, next)
+							}
+							next++
 						}
-					} else {
-						okItems++
-					}
-					return nil
-				})
-			if err != nil {
-				t.Fatalf("Run: %v", err)
-			}
-			if errItems != poisoned || okItems != len(valid) {
-				t.Errorf("sink saw %d poisoned + %d valid, want %d + %d",
-					errItems, okItems, poisoned, len(valid))
-			}
-			if counts.Errors != int64(poisoned) {
-				t.Errorf("Counts.Errors = %d, want %d", counts.Errors, poisoned)
-			}
-			if counts.Delivered != int64(len(mixed)) {
-				t.Errorf("Counts.Delivered = %d, want %d", counts.Delivered, len(mixed))
-			}
-			if counts.Classified != int64(len(valid)) {
-				t.Errorf("Counts.Classified = %d, want %d", counts.Classified, len(valid))
-			}
-		})
+						if it.Err != nil {
+							errItems++
+							if it.Conn != nil {
+								return fmt.Errorf("index %d: Err set on valid record", it.Index)
+							}
+						} else {
+							okItems++
+						}
+						return nil
+					})
+				if err != nil {
+					t.Fatalf("Run: %v", err)
+				}
+				if errItems != poisoned || okItems != len(valid) {
+					t.Errorf("sink saw %d poisoned + %d valid, want %d + %d",
+						errItems, okItems, poisoned, len(valid))
+				}
+				if counts.Errors != int64(poisoned) {
+					t.Errorf("Counts.Errors = %d, want %d", counts.Errors, poisoned)
+				}
+				if counts.Delivered != int64(len(mixed)) {
+					t.Errorf("Counts.Delivered = %d, want %d", counts.Delivered, len(mixed))
+				}
+				if counts.Classified != int64(len(valid)) {
+					t.Errorf("Counts.Classified = %d, want %d", counts.Classified, len(valid))
+				}
+			})
+		}
 	}
 }

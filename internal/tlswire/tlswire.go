@@ -128,35 +128,47 @@ func LooksLikeClientHello(data []byte) bool {
 // extension itself is present in the captured prefix it is returned even
 // when the record claims more bytes than were captured.
 func ParseSNI(data []byte) (string, error) {
+	name, err := SNIBytes(data)
+	if err != nil {
+		return "", err
+	}
+	return string(name), nil
+}
+
+// SNIBytes is the allocation-free core of ParseSNI: the returned name
+// is a subslice of data (aliasing it — copy before reuse), which lets
+// the classification hot path intern repeated domains instead of
+// allocating a string per connection.
+func SNIBytes(data []byte) ([]byte, error) {
 	if len(data) < 5 || data[0] != RecordTypeHandshake {
-		return "", ErrNotHandshake
+		return nil, ErrNotHandshake
 	}
 	body := data[5:]
 	if len(body) < 4 || body[0] != HandshakeClientHello {
-		return "", ErrNotClientHello
+		return nil, ErrNotClientHello
 	}
 	p := body[4:] // skip handshake header
 	// client_version(2) + random(32)
 	if len(p) < 35 {
-		return "", ErrTruncated
+		return nil, ErrTruncated
 	}
 	p = p[34:]
 	// session id
 	sidLen := int(p[0])
 	if len(p) < 1+sidLen+2 {
-		return "", ErrTruncated
+		return nil, ErrTruncated
 	}
 	p = p[1+sidLen:]
 	// cipher suites
 	csLen := int(binary.BigEndian.Uint16(p))
 	if len(p) < 2+csLen+1 {
-		return "", ErrTruncated
+		return nil, ErrTruncated
 	}
 	p = p[2+csLen:]
 	// compression methods
 	cmLen := int(p[0])
 	if len(p) < 1+cmLen+2 {
-		return "", ErrTruncated
+		return nil, ErrTruncated
 	}
 	p = p[1+cmLen:]
 	// extensions
@@ -175,32 +187,32 @@ func ParseSNI(data []byte) (string, error) {
 			if typ == ExtensionServerName {
 				return parseSNIExtension(p)
 			}
-			return "", ErrTruncated
+			return nil, ErrTruncated
 		}
 		if typ == ExtensionServerName {
 			return parseSNIExtension(p[:l])
 		}
 		p = p[l:]
 	}
-	return "", ErrNoSNI
+	return nil, ErrNoSNI
 }
 
 // parseSNIExtension parses the server_name extension body, tolerating a
-// truncated tail.
-func parseSNIExtension(p []byte) (string, error) {
+// truncated tail. The returned name aliases p.
+func parseSNIExtension(p []byte) ([]byte, error) {
 	if len(p) < 5 {
-		return "", ErrTruncated
+		return nil, ErrTruncated
 	}
 	// list length (2), then entry: type(1) + length(2) + name
 	if p[2] != sniHostNameType {
-		return "", ErrNoSNI
+		return nil, ErrNoSNI
 	}
 	nameLen := int(binary.BigEndian.Uint16(p[3:5]))
 	name := p[5:]
 	if nameLen <= len(name) {
 		name = name[:nameLen]
 	} else if len(name) == 0 {
-		return "", ErrTruncated
+		return nil, ErrTruncated
 	}
-	return string(name), nil
+	return name, nil
 }

@@ -1,0 +1,82 @@
+package workload
+
+// Shard-determinism gates for the parallel spec expansion: the exact
+// same specs — and therefore the byte-identical TDCAP capture — must
+// come out at every worker count.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"reflect"
+	"testing"
+
+	"tamperdetect/internal/capture"
+)
+
+func shardScenario(t *testing.T, total int) *Scenario {
+	t.Helper()
+	s, err := BuildScenario("shard-determinism", total, 48, 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestSpecsShardedIdentical pins spec-level determinism across worker
+// counts, including the sequential base case.
+func TestSpecsShardedIdentical(t *testing.T) {
+	s := shardScenario(t, 4000)
+	base := s.SpecsSharded(1)
+	if len(base) == 0 {
+		t.Fatal("no specs generated")
+	}
+	for _, shards := range []int{2, 8} {
+		got := s.SpecsSharded(shards)
+		if !reflect.DeepEqual(got, base) {
+			for i := range base {
+				if !reflect.DeepEqual(got[i], base[i]) {
+					t.Fatalf("shards=%d: first divergence at spec %d:\n got: %+v\nwant: %+v",
+						shards, i, got[i], base[i])
+				}
+			}
+			t.Fatalf("shards=%d: specs diverge in length: %d vs %d", shards, len(got), len(base))
+		}
+	}
+}
+
+// tdcapDigest simulates the scenario at the given parallelism for both
+// spec expansion and simulation and hashes the encoded capture.
+func tdcapDigest(t *testing.T, s *Scenario, shards int) [32]byte {
+	t.Helper()
+	specs := s.SpecsSharded(shards)
+	conns := s.RunSpecs(specs, shards)
+	var buf bytes.Buffer
+	w := capture.NewWriter(&buf)
+	for _, c := range conns {
+		if c == nil {
+			continue
+		}
+		if err := w.Write(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return sha256.Sum256(buf.Bytes())
+}
+
+// TestShardedTDCAPDigestIdentical is the end-to-end gate: same seed ⇒
+// identical capture bytes at shards 1 and 8.
+func TestShardedTDCAPDigestIdentical(t *testing.T) {
+	total := 3000
+	if testing.Short() {
+		total = 600
+	}
+	s := shardScenario(t, total)
+	d1 := tdcapDigest(t, s, 1)
+	d8 := tdcapDigest(t, s, 8)
+	if d1 != d8 {
+		t.Fatalf("TDCAP digest differs between shards=1 (%x) and shards=8 (%x)", d1, d8)
+	}
+}

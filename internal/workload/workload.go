@@ -345,13 +345,26 @@ func pickStyle(c *CountryConfig, hour int, rng *rand.Rand) CensorStyle {
 }
 
 // Specs deterministically expands the scenario into per-connection
-// specs, distributing connections across countries and hours.
-func (s *Scenario) Specs() []ConnSpec {
-	rng := rand.New(rand.NewPCG(s.Seed, s.Seed^0x5eed))
+// specs, distributing connections across countries and hours. The
+// expansion is sharded: every (country, hour) bucket draws from its
+// own seed-derived RNG stream and fills a precomputed range of the
+// output, so the result is identical at any parallelism. Specs uses
+// GOMAXPROCS workers; SpecsSharded selects the worker count.
+func (s *Scenario) Specs() []ConnSpec { return s.SpecsSharded(0) }
+
+// SpecsSharded is Specs with an explicit worker count (0 = GOMAXPROCS).
+// The output is byte-identical for every worker count: shard boundaries
+// and per-bucket seeds depend only on the scenario.
+func (s *Scenario) SpecsSharded(workers int) []ConnSpec {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	// Per-country hourly weights.
 	type bucket struct {
 		country int
 		hour    int
+		start   int // first spec index of the bucket
+		n       int // spec count of the bucket
 	}
 	var buckets []bucket
 	var weights []float64
@@ -365,21 +378,47 @@ func (s *Scenario) Specs() []ConnSpec {
 			totalW += w
 		}
 	}
-	specs := make([]ConnSpec, 0, s.Total)
-	// Largest-remainder allocation keeps counts deterministic.
+	// Largest-remainder allocation keeps counts deterministic; it runs
+	// sequentially so bucket boundaries never depend on the worker count.
 	carry := 0.0
 	idx := 0
-	for bi, w := range weights {
-		exact := float64(s.Total) * w / totalW
+	for bi := range buckets {
+		exact := float64(s.Total) * weights[bi] / totalW
 		n := int(exact + carry)
 		carry += exact - float64(n)
-		c := &s.Countries[buckets[bi].country]
-		hour := buckets[bi].hour
-		for k := 0; k < n; k++ {
-			specs = append(specs, s.buildSpec(idx, c, hour, rng))
-			idx++
-		}
+		buckets[bi].start = idx
+		buckets[bi].n = n
+		idx += n
 	}
+	specs := make([]ConnSpec, idx)
+	if workers > len(buckets) {
+		workers = len(buckets)
+	}
+	var wg sync.WaitGroup
+	ch := make(chan int, len(buckets))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for bi := range ch {
+				b := &buckets[bi]
+				c := &s.Countries[b.country]
+				// Each bucket owns an independent, position-derived RNG
+				// stream, so its specs come out the same no matter which
+				// worker builds them or in what order.
+				bseed := s.Seed ^ (uint64(bi)*0x9e3779b97f4a7c15 + 0xb0c4e75)
+				rng := rand.New(rand.NewPCG(bseed, bseed^0x5eed))
+				for k := 0; k < b.n; k++ {
+					specs[b.start+k] = s.buildSpec(b.start+k, c, b.hour, rng)
+				}
+			}
+		}()
+	}
+	for bi := range buckets {
+		ch <- bi
+	}
+	close(ch)
+	wg.Wait()
 	return specs
 }
 
@@ -596,27 +635,40 @@ func (s *Scenario) Run(workers int) []*capture.Connection {
 	return compact
 }
 
+// runSpecsChunk bounds the work-distribution granularity of RunSpecs:
+// workers claim contiguous ranges of this many specs, amortising the
+// channel synchronisation without skewing load balance (a chunk is
+// milliseconds of simulation).
+const runSpecsChunk = 64
+
 // RunSpecs simulates a prepared spec list. The result is positional:
 // element i belongs to specs[i] and is nil when the sampler did not
-// select that connection.
+// select that connection. Simulation order never affects the output —
+// each spec carries its own seed — so chunked distribution is safe.
 func (s *Scenario) RunSpecs(specs []ConnSpec, workers int) []*capture.Connection {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	out := make([]*capture.Connection, len(specs))
 	var wg sync.WaitGroup
-	ch := make(chan int, 256)
+	ch := make(chan [2]int, 256)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range ch {
-				out[i] = SimulateConn(&specs[i], s.Universe, s.CaptureConfig, s.Impairments)
+			for r := range ch {
+				for i := r[0]; i < r[1]; i++ {
+					out[i] = SimulateConn(&specs[i], s.Universe, s.CaptureConfig, s.Impairments)
+				}
 			}
 		}()
 	}
-	for i := range specs {
-		ch <- i
+	for i := 0; i < len(specs); i += runSpecsChunk {
+		end := i + runSpecsChunk
+		if end > len(specs) {
+			end = len(specs)
+		}
+		ch <- [2]int{i, end}
 	}
 	close(ch)
 	wg.Wait()

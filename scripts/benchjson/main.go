@@ -1,0 +1,190 @@
+// Command benchjson turns `go test -bench BenchmarkStreamPipeline`
+// output into the machine-readable perf trajectory BENCH_pipeline.json
+// (see EXPERIMENTS.md's Performance section for the schema and the
+// recorded before/after numbers). It reads bench output on stdin —
+// typically several -count runs — and writes, per workers×batch cell,
+// the median of each custom metric the benchmark reports: conns/sec,
+// ns/record, B/record, allocs/record.
+//
+// Usage:
+//
+//	go test -run '^$' -bench StreamPipeline -count 5 . | benchjson -o BENCH_pipeline.json
+//	benchjson -validate BENCH_pipeline.json
+//
+// -validate re-reads a previously written file and exits non-zero
+// unless it is well-formed and covers at least one cell with positive
+// throughput; scripts/check.sh uses it as the smoke gate.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Workers         int     `json:"workers"`
+	Batch           int     `json:"batch"`
+	RecordsPerSec   float64 `json:"records_per_sec"`
+	NsPerRecord     float64 `json:"ns_per_record"`
+	BytesPerRecord  float64 `json:"bytes_per_record"`
+	AllocsPerRecord float64 `json:"allocs_per_record"`
+}
+
+type report struct {
+	Benchmark string   `json:"benchmark"`
+	GoVersion string   `json:"go_version"`
+	CPU       string   `json:"cpu,omitempty"`
+	Runs      int      `json:"runs"`
+	Results   []result `json:"results"`
+}
+
+var nameRe = regexp.MustCompile(`^BenchmarkStreamPipeline/workers=(\d+)/batch=(\d+)(?:-\d+)?$`)
+
+func main() {
+	out := flag.String("o", "BENCH_pipeline.json", "output JSON path")
+	validate := flag.String("validate", "", "validate an existing JSON file instead of aggregating")
+	flag.Parse()
+
+	if *validate != "" {
+		if err := validateFile(*validate); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid\n", *validate)
+		return
+	}
+
+	rep, err := aggregate(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+type cell struct{ workers, batch int }
+
+func aggregate(src *os.File) (*report, error) {
+	samples := map[cell]map[string][]float64{}
+	rep := &report{Benchmark: "BenchmarkStreamPipeline", GoVersion: runtime.Version()}
+	runs := 0
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if cpu, ok := strings.CutPrefix(line, "cpu:"); ok {
+			rep.CPU = strings.TrimSpace(cpu)
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		m := nameRe.FindStringSubmatch(fields[0])
+		if m == nil {
+			continue
+		}
+		workers, _ := strconv.Atoi(m[1])
+		batch, _ := strconv.Atoi(m[2])
+		c := cell{workers, batch}
+		if samples[c] == nil {
+			samples[c] = map[string][]float64{}
+		}
+		// After the name and iteration count, bench lines are
+		// value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			samples[c][fields[i+1]] = append(samples[c][fields[i+1]], v)
+		}
+		if n := len(samples[c]["conns/sec"]); n > runs {
+			runs = n
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("no BenchmarkStreamPipeline lines on stdin")
+	}
+	rep.Runs = runs
+	for c, units := range samples {
+		rep.Results = append(rep.Results, result{
+			Workers:         c.workers,
+			Batch:           c.batch,
+			RecordsPerSec:   median(units["conns/sec"]),
+			NsPerRecord:     median(units["ns/record"]),
+			BytesPerRecord:  median(units["B/record"]),
+			AllocsPerRecord: median(units["allocs/record"]),
+		})
+	}
+	sort.Slice(rep.Results, func(i, j int) bool {
+		a, b := rep.Results[i], rep.Results[j]
+		if a.Workers != b.Workers {
+			return a.Workers < b.Workers
+		}
+		return a.Batch < b.Batch
+	})
+	return rep, nil
+}
+
+// median is the benchstat-style robust aggregate: the middle sample
+// (or midpoint of the middle two), so a single noisy run cannot skew
+// the recorded trajectory.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func validateFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Benchmark == "" || rep.Runs < 1 || len(rep.Results) == 0 {
+		return fmt.Errorf("%s: missing benchmark name, runs, or results", path)
+	}
+	for _, r := range rep.Results {
+		if r.Workers < 1 || r.Batch < 1 {
+			return fmt.Errorf("%s: result with invalid workers=%d batch=%d", path, r.Workers, r.Batch)
+		}
+		if r.RecordsPerSec <= 0 || r.NsPerRecord <= 0 {
+			return fmt.Errorf("%s: workers=%d batch=%d has non-positive throughput", path, r.Workers, r.Batch)
+		}
+		if r.AllocsPerRecord < 0 || r.BytesPerRecord < 0 {
+			return fmt.Errorf("%s: workers=%d batch=%d has negative allocation metrics", path, r.Workers, r.Batch)
+		}
+	}
+	return nil
+}

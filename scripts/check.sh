@@ -20,6 +20,16 @@ go test -race ./...
 echo "== robustness false-positive gate (full scale) =="
 go test ./internal/workload/ -run 'TestLossyGradeZeroFalsePositives' -count=1
 
+# Smoke the perf harness: one short benchmark iteration, then assert
+# the aggregator produced well-formed JSON. No timing assertions —
+# shared CI machines make those flaky; the recorded trajectory is
+# refreshed manually via `make bench`.
+echo "== bench harness smoke =="
+bench_out="$(mktemp)"
+BENCH_COUNT=1 BENCH_TIME=1x BENCH_OUT="$bench_out" ./scripts/bench.sh >/dev/null
+go run ./scripts/benchjson -validate "$bench_out"
+rm -f "$bench_out"
+
 echo "== fuzz smoke =="
 ./scripts/fuzz_smoke.sh
 
