@@ -13,6 +13,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand/v2"
+	"net/netip"
 	"runtime"
 	"sync"
 	"testing"
@@ -21,6 +22,7 @@ import (
 	"tamperdetect/internal/capture"
 	"tamperdetect/internal/core"
 	"tamperdetect/internal/domains"
+	"tamperdetect/internal/geo"
 	"tamperdetect/internal/pipeline"
 	"tamperdetect/internal/testlists"
 	"tamperdetect/internal/workload"
@@ -525,6 +527,35 @@ func BenchmarkClassifierDispatch(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			t := &tails[i%len(tails)]
 			_ = core.MatchRuleTable(stages[i%len(stages)], t)
+		}
+	})
+}
+
+// BenchmarkGeoLookup measures the per-record source-address resolution
+// with and without the per-worker range cache the streaming
+// aggregators use (internal/geo.Cache): mode=uncached binary-searches
+// the plan on every lookup; mode=cached memoizes matched ranges in a
+// direct-mapped table keyed by address prefix. The address stream is
+// the scenario's own client mix, so cache behaviour reflects real
+// workload locality. scripts/bench.sh records the cached/uncached
+// delta in BENCH_pipeline.json.
+func BenchmarkGeoLookup(b *testing.B) {
+	conns, _, s := benchData(b)
+	addrs := make([]netip.Addr, 4096)
+	for i := range addrs {
+		addrs[i] = conns[i%len(conns)].SrcIP
+	}
+	b.Run("mode=uncached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = s.Geo.Lookup(addrs[i%len(addrs)])
+		}
+	})
+	b.Run("mode=cached", func(b *testing.B) {
+		cache := geo.NewCache(s.Geo)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = cache.Lookup(addrs[i%len(addrs)])
 		}
 	})
 }

@@ -7,17 +7,30 @@
 // Usage:
 //
 //	paperbench [-total N] [-hours H] [-seed S] [-workers W]
-//	           [-threshold T] <experiment>
+//	           [-threshold T] [-maxrecords N] <experiment>
 //
 // Experiments: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7a fig7b
 // table2 table3 fig8 fig9 fig10 scanners stability evasion
 // groundtruth robustness all
+//
+// The shared dataset is built in ONE streaming pass: connections flow
+// from the simulator through the classification pipeline, and every
+// experiment's aggregator ingests each record as it is classified —
+// nothing buffers the capture, so peak memory is constant in -total.
+// Each pipeline worker owns a private shard of the aggregator set; the
+// shards merge when the stream drains, exactly as per-PoP aggregates
+// merge into the paper's global tables.
 //
 // -impair applies a named link-impairment grade (internal/faults:
 // clean, lossy, hostile) to the scenario simulation, exercising the
 // detector over degraded but untampered paths. The robustness
 // experiment ignores -impair: it sweeps a benign scenario across every
 // grade and prints the per-signature false-positive matrix.
+//
+// -maxrecords stops the stream after roughly N classified connections
+// (the cap is checked at delivery, so in-flight batches may push the
+// aggregated total slightly past it). It exists to smoke-test the
+// one-pass machinery quickly on large -total values.
 package main
 
 import (
@@ -25,11 +38,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"tamperdetect/internal/analysis"
-	"tamperdetect/internal/capture"
 	"tamperdetect/internal/core"
 	"tamperdetect/internal/domains"
 	"tamperdetect/internal/faults"
@@ -53,6 +66,7 @@ func main() {
 	seed := flag.Uint64("seed", 2023, "deterministic seed")
 	workers := flag.Int("workers", 0, "parallelism (0 = all cores)")
 	threshold := flag.Int("threshold", 3, "per-domain match threshold for Tables 2-3 (paper: 100/day at CDN scale)")
+	maxRecords := flag.Int("maxrecords", 0, "stop the shared dataset stream after roughly N connections (0 = all)")
 	impair := flag.String("impair", "", "link-impairment grade applied to the scenario (clean|lossy|hostile)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this path")
@@ -70,7 +84,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "paperbench:", err)
 		os.Exit(1)
 	}
-	runErr := run(flag.Arg(0), *total, *hours, *seed, *workers, *threshold, *impair)
+	runErr := run(flag.Arg(0), *total, *hours, *seed, *workers, *threshold, *maxRecords, *impair)
 	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, "paperbench:", err)
 	}
@@ -80,45 +94,119 @@ func main() {
 	}
 }
 
-// dataset bundles one scenario run and its classification.
+// The shared dataset's aggregator set, one slot per experiment input.
+// newPaperAggs builds it in this order; dataset accessors index into
+// the merged result. Time-series slots follow the fixed slots: fig6's
+// per-country series first, then fig9's per-signature series.
+const (
+	aggStages       = iota // table1
+	aggComposition         // fig1
+	aggEvidence            // fig2 + fig3
+	aggDistribution        // fig4
+	aggASN                 // fig5
+	aggIPVersion           // fig7a
+	aggProtocol            // fig7b
+	aggDomains             // table2 + table3
+	aggOverlap             // fig10
+	aggStability           // stability
+	aggScanners            // scanners
+	aggSeries              // fig6 then fig9 series
+)
+
+var (
+	fig5Countries = []string{"TM", "CN", "IR", "RU", "UA", "PK", "MX", "US", "DE"}
+	fig6Countries = []string{"CN", "DE", "GB", "IN", "IR", "RU", "US"}
+	fig8Sigs      = []core.Signature{core.SigSYNRST, core.SigACKTimeout, core.SigACKRSTACK, core.SigSYNTimeout}
+	fig9Sigs      = []core.Signature{core.SigSYNRST, core.SigPSHRST, core.SigDataRST, core.SigDataRSTACK}
+)
+
+// newPaperAggs builds one fresh shard of every aggregator the shared
+// experiments read, in the slot order above.
+func newPaperAggs() analysis.Multi {
+	m := analysis.Multi{
+		analysis.NewStageStatsAgg(),
+		analysis.NewCountryBySignatureAgg(),
+		analysis.NewEvidenceAgg(1000),
+		analysis.NewSignatureByCountryAgg(),
+		analysis.NewASNViewAgg(),
+		analysis.NewIPVersionAgg(50),
+		analysis.NewProtocolAgg(30),
+		analysis.NewDomainAgg(),
+		analysis.NewOverlapAgg(),
+		analysis.NewStabilityAgg(30),
+		analysis.NewScannerAgg(),
+	}
+	for _, c := range fig6Countries {
+		c := c
+		m = append(m, analysis.NewTimeSeriesAgg(4,
+			func(r *analysis.Record) bool { return r.Country == c },
+			analysis.PostACKPSHMatch))
+	}
+	for _, sig := range fig9Sigs {
+		sig := sig
+		m = append(m, analysis.NewTimeSeriesAgg(6, nil,
+			func(r *analysis.Record) bool { return r.Res.Signature == sig }))
+	}
+	return m
+}
+
+// dataset is one scenario's merged aggregator set. It retains no
+// connections and no records — only the constant-size aggregator
+// state every experiment renders from.
 type dataset struct {
-	scen  *workload.Scenario
-	conns []*capture.Connection
-	recs  []analysis.Record
+	scen *workload.Scenario
+	aggs analysis.Multi
+}
+
+func resolveWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
 }
 
 // buildDataset streams the scenario simulation through the
-// classification pipeline: connections are classified and turned into
-// analysis records as they are simulated, instead of materialising the
-// full []*capture.Connection before classification starts. (The
-// dataset still retains conns/recs because the experiments aggregate
-// them many ways.)
-func buildDataset(total, hours int, seed uint64, workers int, imp faults.Config) (*dataset, error) {
+// classification pipeline and aggregates every experiment's tables in
+// that single pass: each worker adds the records it classifies to its
+// private aggregator shard, and the shards merge once the stream
+// drains. maxRecords > 0 stops the stream early (approximately — see
+// the -maxrecords flag doc).
+func buildDataset(total, hours int, seed uint64, workers, maxRecords int, imp faults.Config) (*dataset, error) {
 	s, err := workload.BuildScenario("paperbench", total, hours, seed)
 	if err != nil {
 		return nil, err
 	}
 	s.Impairments = imp
 	start := time.Now()
+	w := resolveWorkers(workers)
+	sharded := analysis.NewSharded(s.Geo, w, func() analysis.Aggregator { return newPaperAggs() })
 	src := s.Stream(workers)
 	defer src.Close()
-	ds := &dataset{scen: s, conns: make([]*capture.Connection, 0, total)}
-	counts, err := pipeline.Run(context.Background(), src,
-		pipeline.Config{Workers: workers, Ordered: true},
-		func(it pipeline.Item) error {
-			ds.conns = append(ds.conns, it.Conn)
-			ds.recs = append(ds.recs, analysis.NewRecord(it.Conn, s.Geo, it.Res))
+	var sink pipeline.Sink
+	if maxRecords > 0 {
+		delivered := 0
+		sink = func(pipeline.Item) error {
+			if delivered++; delivered >= maxRecords {
+				return pipeline.ErrStop
+			}
 			return nil
-		})
+		}
+	}
+	counts, err := pipeline.Run(context.Background(), src,
+		pipeline.Config{Workers: w, Observe: sharded.Observe}, sink)
 	if err != nil {
 		return nil, err
 	}
-	fmt.Printf("# dataset: %d connections, %d scenario-hours, streamed in %v\n\n",
-		counts.Delivered, s.Hours, time.Since(start).Round(time.Millisecond))
-	return ds, nil
+	merged, err := sharded.Merged()
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("# dataset: %d connections, %d scenario-hours, one-pass aggregation in %v\n\n",
+		counts.Classified, s.Hours, time.Since(start).Round(time.Millisecond))
+	return &dataset{scen: s, aggs: merged.(analysis.Multi)}, nil
 }
 
-func run(exp string, total, hours int, seed uint64, workers, threshold int, impair string) error {
+func run(exp string, total, hours int, seed uint64, workers, threshold, maxRecords int, impair string) error {
 	known := false
 	for _, e := range experiments {
 		if e == exp {
@@ -140,7 +228,7 @@ func run(exp string, total, hours int, seed uint64, workers, threshold int, impa
 	// fig8 (the Iran case study) and robustness build their own
 	// scenarios; everything else shares one dataset.
 	if exp != "fig8" && exp != "robustness" {
-		ds, err = buildDataset(total, hours, seed, workers, imp)
+		ds, err = buildDataset(total, hours, seed, workers, maxRecords, imp)
 		if err != nil {
 			return err
 		}
@@ -150,49 +238,47 @@ func run(exp string, total, hours int, seed uint64, workers, threshold int, impa
 		fmt.Printf("== %s ==\n", name)
 		switch name {
 		case "table1":
-			fmt.Print(analysis.RenderStageStats(analysis.ComputeStageStats(ds.recs)))
+			fmt.Print(analysis.RenderStageStats(ds.aggs[aggStages].(*analysis.StageStatsAgg).Stats()))
 		case "fig1":
-			fmt.Print(analysis.RenderSignatureComposition(analysis.CountryBySignature(ds.recs)))
+			fmt.Print(analysis.RenderSignatureComposition(ds.aggs[aggComposition].(*analysis.CountryBySignatureAgg).Table()))
 		case "fig2":
-			cdfs := analysis.ComputeEvidenceCDFs(ds.recs, 1000)
+			cdfs := ds.aggs[aggEvidence].(*analysis.EvidenceAgg).CDFs()
 			fmt.Print(analysis.RenderEvidenceCDF("Figure 2: max |IP-ID delta| (IPv4)", cdfs.IPID,
 				[]float64{0, 1, 10, 100, 1000, 10000}))
 		case "fig3":
-			cdfs := analysis.ComputeEvidenceCDFs(ds.recs, 1000)
+			cdfs := ds.aggs[aggEvidence].(*analysis.EvidenceAgg).CDFs()
 			fmt.Print(analysis.RenderEvidenceCDF("Figure 3: max |TTL delta|", cdfs.TTL,
 				[]float64{0, 1, 5, 20, 60, 150}))
 		case "fig4":
-			fmt.Print(analysis.RenderCountryDistribution(analysis.SignatureByCountry(ds.recs), 50))
+			fmt.Print(analysis.RenderCountryDistribution(ds.aggs[aggDistribution].(*analysis.SignatureByCountryAgg).Table(), 50))
 		case "fig5":
-			for _, c := range []string{"TM", "CN", "IR", "RU", "UA", "PK", "MX", "US", "DE"} {
-				view := analysis.ASNView(ds.recs, c)
+			asn := ds.aggs[aggASN].(*analysis.ASNViewAgg)
+			for _, c := range fig5Countries {
+				view := asn.View(c)
 				if len(view) > 0 {
 					fmt.Print(analysis.RenderASNView(c, view))
 				}
 			}
 		case "fig6":
-			for _, c := range []string{"CN", "DE", "GB", "IN", "IR", "RU", "US"} {
-				c := c
-				series := analysis.TimeSeries(ds.recs, 4,
-					func(r *analysis.Record) bool { return r.Country == c },
-					analysis.PostACKPSHMatch)
+			for i, c := range fig6Countries {
+				series := ds.aggs[aggSeries+i].(*analysis.TimeSeriesAgg).Series()
 				fmt.Print(analysis.RenderTimeSeries("Figure 6: "+c+" (Post-ACK+Post-PSH, 4h buckets)", series))
 			}
 		case "fig7a":
-			rows, slope := analysis.IPVersionCompare(ds.recs, 50)
+			rows, slope := ds.aggs[aggIPVersion].(*analysis.IPVersionAgg).Table()
 			fmt.Print(analysis.RenderVersionComparison(rows, slope))
 		case "fig7b":
-			rows, slope := analysis.ProtocolCompare(ds.recs, 30)
+			rows, slope := ds.aggs[aggProtocol].(*analysis.ProtocolAgg).Table()
 			fmt.Print(analysis.RenderProtocolComparison(rows, slope))
 		case "table2":
+			dom := ds.aggs[aggDomains].(*analysis.DomainAgg)
 			for _, region := range []string{"", "CN", "DE", "GB", "IN", "IR", "KR", "MX", "PE", "RU", "US"} {
-				t := analysis.ComputeCategoryTable(ds.recs, ds.scen.Universe, region, threshold)
-				fmt.Print(analysis.RenderCategoryTable(t, 3))
+				fmt.Print(analysis.RenderCategoryTable(dom.CategoryTable(ds.scen.Universe, region, threshold), 3))
 			}
 		case "table3":
 			suite := testlists.BuildSuite(ds.scen.Universe, sensitiveDomain, testlists.DefaultBuildConfig())
 			regions := []string{"", "CN", "IN", "IR", "KR", "MX", "PE", "RU", "US"}
-			rows := analysis.ListCoverageTable(ds.recs, suite, regions, threshold)
+			rows := ds.aggs[aggDomains].(*analysis.DomainAgg).ListCoverage(suite, regions, threshold)
 			fmt.Print(analysis.RenderListCoverage(rows, regions))
 		case "fig8":
 			s, err := workload.Iran2022Scenario(total, seed)
@@ -200,24 +286,39 @@ func run(exp string, total, hours int, seed uint64, workers, threshold int, impa
 				return err
 			}
 			s.Impairments = imp
-			conns := s.Run(workers)
-			recs := analysis.Analyze(conns, s.Geo, core.NewClassifier(core.DefaultConfig()), workers)
-			fmt.Printf("# iran2022: %d connections over 17 days\n", len(recs))
-			for _, sig := range []core.Signature{core.SigSYNRST, core.SigACKTimeout, core.SigACKRSTACK, core.SigSYNTimeout} {
-				sig := sig
-				series := analysis.TimeSeries(recs, 12, nil,
-					func(r *analysis.Record) bool { return r.Res.Signature == sig })
+			w := resolveWorkers(workers)
+			sharded := analysis.NewSharded(s.Geo, w, func() analysis.Aggregator {
+				m := analysis.Multi{}
+				for _, sig := range fig8Sigs {
+					sig := sig
+					m = append(m, analysis.NewTimeSeriesAgg(12, nil,
+						func(r *analysis.Record) bool { return r.Res.Signature == sig }))
+				}
+				return m
+			})
+			src := s.Stream(workers)
+			counts, err := pipeline.Run(context.Background(), src,
+				pipeline.Config{Workers: w, Observe: sharded.Observe}, nil)
+			src.Close()
+			if err != nil {
+				return err
+			}
+			merged, err := sharded.Merged()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("# iran2022: %d connections over 17 days\n", counts.Classified)
+			for i, sig := range fig8Sigs {
+				series := merged.(analysis.Multi)[i].(*analysis.TimeSeriesAgg).Series()
 				fmt.Print(analysis.RenderTimeSeries("Figure 8: "+sig.String()+" (12h buckets)", series))
 			}
 		case "fig9":
-			for _, sig := range []core.Signature{core.SigSYNRST, core.SigPSHRST, core.SigDataRST, core.SigDataRSTACK} {
-				sig := sig
-				series := analysis.TimeSeries(ds.recs, 6, nil,
-					func(r *analysis.Record) bool { return r.Res.Signature == sig })
+			for i, sig := range fig9Sigs {
+				series := ds.aggs[aggSeries+len(fig6Countries)+i].(*analysis.TimeSeriesAgg).Series()
 				fmt.Print(analysis.RenderTimeSeries("Figure 9: "+sig.String()+" (6h buckets)", series))
 			}
 		case "fig10":
-			fmt.Print(analysis.RenderOverlapMatrix(analysis.ComputeOverlapMatrix(ds.recs)))
+			fmt.Print(analysis.RenderOverlapMatrix(ds.aggs[aggOverlap].(*analysis.OverlapAgg).Matrix()))
 		case "groundtruth":
 			// Extension: score the classifier against the generator's
 			// intent — the oracle unavailable in the wild.
@@ -232,10 +333,11 @@ func run(exp string, total, hours int, seed uint64, workers, threshold int, impa
 			// tampering the passive detector still sees.
 			fmt.Println(renderEvasion(total/10, seed))
 		case "stability":
-			fmt.Print(analysis.RenderStability(analysis.StabilityReport(ds.recs, 30)))
+			fmt.Print(analysis.RenderStability(ds.aggs[aggStability].(*analysis.StabilityAgg).Report()))
 		case "robustness":
 			// False-positive harness: a scenario with no tampering and no
-			// benign anomalies, swept across every impairment grade. Any
+			// benign anomalies, swept across every impairment grade — each
+			// grade one streaming pass into a RobustnessAgg per worker. Any
 			// tampering verdict is by construction a false positive.
 			n := total / 5
 			if n < 1000 {
@@ -246,32 +348,46 @@ func run(exp string, total, hours int, seed uint64, workers, threshold int, impa
 				return err
 			}
 			start := time.Now()
-			outs, err := workload.RobustnessSweep(s, faults.GradeNames(), workers)
-			if err != nil {
-				return err
-			}
-			rows := make([]analysis.RobustnessGrade, len(outs))
-			for i, o := range outs {
-				rows[i] = analysis.TallyRobustness(o.Grade, o.EffectiveLoss, o.Signatures)
+			specs := s.Specs()
+			w := resolveWorkers(workers)
+			var rows []analysis.RobustnessGrade
+			for _, grade := range faults.GradeNames() {
+				grade := grade
+				gradeImp, err := faults.Grade(grade)
+				if err != nil {
+					return err
+				}
+				sweep := *s
+				sweep.Impairments = gradeImp
+				sharded := analysis.NewSharded(nil, w, func() analysis.Aggregator {
+					return analysis.NewRobustnessAgg(grade, gradeImp.EffectiveLoss())
+				})
+				src := sweep.StreamSpecs(specs, workers)
+				counts, err := pipeline.Run(context.Background(), src,
+					pipeline.Config{Workers: w, Observe: sharded.Observe}, nil)
+				src.Close()
+				if err != nil {
+					return err
+				}
+				if counts.Classified == 0 {
+					return fmt.Errorf("robustness: grade %q produced no classified connections", grade)
+				}
+				merged, err := sharded.Merged()
+				if err != nil {
+					return err
+				}
+				rows = append(rows, merged.(*analysis.RobustnessAgg).Grade())
 			}
 			fmt.Printf("# robustness: %d benign connections per grade, %v\n\n",
 				n, time.Since(start).Round(time.Millisecond))
 			fmt.Print(analysis.RenderRobustnessMatrix(rows))
 		case "scanners":
-			fmt.Print(analysis.RenderScannerStats(analysis.ComputeScannerStats(ds.recs, ds.conns)))
+			sc := ds.aggs[aggScanners].(*analysis.ScannerAgg)
+			fmt.Print(analysis.RenderScannerStats(sc.Stats()))
 			// §5.1 companion stat: the share of tampering restricted to
 			// the robust Post-ACK/Post-PSH subset.
-			matched, robust := 0, 0
-			for i := range ds.recs {
-				if ds.recs[i].Res.Signature.IsTampering() {
-					matched++
-					if ds.recs[i].Res.Signature.PostACKOrPSH() {
-						robust++
-					}
-				}
-			}
 			fmt.Printf("Post-ACK/Post-PSH share of matches: %.1f%%\n",
-				stats.Percent(stats.Ratio(robust, matched)))
+				stats.Percent(stats.Ratio(sc.PostACKPSHMatches, sc.TamperingMatches)))
 		}
 		fmt.Println()
 		return nil
@@ -281,9 +397,6 @@ func run(exp string, total, hours int, seed uint64, workers, threshold int, impa
 		for _, e := range experiments {
 			if e == "all" {
 				continue
-			}
-			if e == "fig8" {
-				// fig8 builds its own dataset below.
 			}
 			if err := runOne(e); err != nil {
 				return err

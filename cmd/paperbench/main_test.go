@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"tamperdetect/internal/analysis"
+	"tamperdetect/internal/faults"
+)
 
 // TestRunExperiments smoke-runs every experiment at tiny scale; each
 // must complete without error (output goes to stdout).
@@ -11,7 +16,7 @@ func TestRunExperiments(t *testing.T) {
 		}
 		exp := exp
 		t.Run(exp, func(t *testing.T) {
-			if err := run(exp, 3000, 48, 7, 2, 2, ""); err != nil {
+			if err := run(exp, 3000, 48, 7, 2, 2, 0, ""); err != nil {
 				t.Fatalf("run(%s): %v", exp, err)
 			}
 		})
@@ -19,10 +24,56 @@ func TestRunExperiments(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("nope", 10, 1, 1, 1, 1, ""); err == nil {
+	if err := run("nope", 10, 1, 1, 1, 1, 0, ""); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if err := run("table1", 10, 1, 1, 1, 1, "nope"); err == nil {
+	if err := run("table1", 10, 1, 1, 1, 1, 0, "nope"); err == nil {
 		t.Error("unknown impairment grade accepted")
+	}
+}
+
+// TestMaxRecordsCapsDataset checks -maxrecords stops the shared
+// dataset stream early: the aggregated total may overshoot the cap by
+// at most the pipeline's bounded in-flight window, but must stay well
+// below the full run.
+func TestMaxRecordsCapsDataset(t *testing.T) {
+	full, err := buildDataset(6000, 48, 7, 2, 0, faults.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullTotal := full.aggs[aggStages].(*analysis.StageStatsAgg).Stats().Total
+	capped, err := buildDataset(6000, 48, 7, 2, 200, faults.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := capped.aggs[aggStages].(*analysis.StageStatsAgg).Stats().Total
+	if total < 200 {
+		t.Errorf("capped run aggregated %d records, want >= 200", total)
+	}
+	if total >= fullTotal {
+		t.Errorf("cap had no effect: capped %d >= full %d", total, fullTotal)
+	}
+}
+
+// TestDatasetDeterministicAcrossWorkers checks the one-pass dataset is
+// a pure function of the scenario: worker count cannot change a table.
+func TestDatasetDeterministicAcrossWorkers(t *testing.T) {
+	ds1, err := buildDataset(3000, 48, 7, 1, 0, faults.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds4, err := buildDataset(3000, 48, 7, 4, 0, faults.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := ds1.aggs[aggStages].(*analysis.StageStatsAgg).Stats()
+	s4 := ds4.aggs[aggStages].(*analysis.StageStatsAgg).Stats()
+	if s1 != s4 {
+		t.Errorf("stage stats differ across worker counts:\n1: %+v\n4: %+v", s1, s4)
+	}
+	m1 := analysis.RenderOverlapMatrix(ds1.aggs[aggOverlap].(*analysis.OverlapAgg).Matrix())
+	m4 := analysis.RenderOverlapMatrix(ds4.aggs[aggOverlap].(*analysis.OverlapAgg).Matrix())
+	if m1 != m4 {
+		t.Error("overlap matrix differs across worker counts")
 	}
 }

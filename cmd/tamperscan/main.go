@@ -11,8 +11,9 @@
 //
 // Either way the capture streams through the classification pipeline
 // (internal/pipeline): connections are decoded incrementally, fanned
-// across a classifier worker pool, and aggregated in decode order, so
-// arbitrarily large captures scan in bounded memory.
+// across a classifier worker pool, and tallied into one report shard
+// per worker; the shards merge when the stream drains. Arbitrarily
+// large captures scan in bounded memory.
 //
 // Usage:
 //
@@ -31,9 +32,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 
 	"tamperdetect"
+	"tamperdetect/internal/analysis"
 	"tamperdetect/internal/capture"
 	"tamperdetect/internal/core"
 	"tamperdetect/internal/netsim"
@@ -77,12 +80,13 @@ func (e *partialError) Error() string {
 
 func (e *partialError) Unwrap() error { return e.err }
 
-// report accumulates the scan statistics; the pipeline invokes add
-// from a single goroutine in decode order, so plain fields suffice.
+// report accumulates the scan statistics. It implements
+// analysis.Aggregator, so the pipeline feeds one shard per classifier
+// worker through the Observe hook (no lock, no ordering requirement)
+// and the shards merge into the printed report when the stream drains.
+// The -v per-connection listing stays in the ordered sink, which is
+// the only part of the output that needs decode order.
 type report struct {
-	verbose      bool
-	tamperedOnly bool
-
 	total       int
 	counts      [core.NumSignatures]int
 	stages      [core.NumStages]int
@@ -91,18 +95,16 @@ type report struct {
 	evidenceAll map[tamperdetect.Signature]int
 }
 
-func newReport(verbose, tamperedOnly bool) *report {
+func newReport() analysis.Aggregator {
 	return &report{
-		verbose:      verbose,
-		tamperedOnly: tamperedOnly,
-		evidenceBig:  map[tamperdetect.Signature]int{},
-		evidenceAll:  map[tamperdetect.Signature]int{},
+		evidenceBig: map[tamperdetect.Signature]int{},
+		evidenceAll: map[tamperdetect.Signature]int{},
 	}
 }
 
-// add is the pipeline sink.
-func (rep *report) add(it pipeline.Item) error {
-	res := it.Res
+// Add tallies one classified connection.
+func (rep *report) Add(r *analysis.Record) {
+	res := r.Res
 	rep.total++
 	rep.counts[res.Signature]++
 	if res.PossiblyTampered {
@@ -115,7 +117,42 @@ func (rep *report) add(it pipeline.Item) error {
 			rep.evidenceBig[res.Signature]++
 		}
 	}
-	if rep.verbose && (!rep.tamperedOnly || res.Signature.IsTampering()) {
+}
+
+// Merge folds another worker's shard into this one.
+func (rep *report) Merge(other analysis.Aggregator) error {
+	o, ok := other.(*report)
+	if !ok {
+		return fmt.Errorf("tamperscan: cannot merge %T into *report", other)
+	}
+	rep.total += o.total
+	rep.possibly += o.possibly
+	for s := range rep.counts {
+		rep.counts[s] += o.counts[s]
+	}
+	for st := range rep.stages {
+		rep.stages[st] += o.stages[st]
+	}
+	for s, n := range o.evidenceAll {
+		rep.evidenceAll[s] += n
+	}
+	for s, n := range o.evidenceBig {
+		rep.evidenceBig[s] += n
+	}
+	return nil
+}
+
+// Finalize returns the merged report itself.
+func (rep *report) Finalize() any { return rep }
+
+// verbosePrinter is the ordered pipeline sink behind -v: one line per
+// connection, in decode order.
+func verbosePrinter(tamperedOnly bool) pipeline.Sink {
+	return func(it pipeline.Item) error {
+		res := it.Res
+		if tamperedOnly && !res.Signature.IsTampering() {
+			return nil
+		}
 		domain := res.Domain
 		if domain == "" {
 			domain = "-"
@@ -123,8 +160,8 @@ func (rep *report) add(it pipeline.Item) error {
 		fmt.Printf("%s:%d -> :%d  %-26s %-9s proto=%s domain=%s\n",
 			it.Conn.SrcIP, it.Conn.SrcPort, it.Conn.DstPort,
 			res.Signature, res.Stage, res.Protocol, domain)
+		return nil
 	}
-	return nil
 }
 
 func (rep *report) print() {
@@ -167,21 +204,36 @@ func run(path string, verbose, tamperedOnly bool, workers int) error {
 		return err
 	}
 	defer cleanup()
-	rep := newReport(verbose, tamperedOnly)
-	// Ordered delivery keeps -v output deterministic across worker
-	// counts.
-	_, err = pipeline.Run(context.Background(), src,
-		pipeline.Config{Workers: workers, Ordered: true}, rep.add)
+	w := workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	// The report aggregates per worker through the Observe hook (no geo
+	// plan: a scan keys nothing by country). The sink only exists for
+	// -v; ordered delivery keeps its listing deterministic across
+	// worker counts.
+	sharded := analysis.NewSharded(nil, w, newReport)
+	var sink pipeline.Sink
+	if verbose {
+		sink = verbosePrinter(tamperedOnly)
+	}
+	_, runErr := pipeline.Run(context.Background(), src,
+		pipeline.Config{Workers: w, Ordered: true, Observe: sharded.Observe}, sink)
+	merged, err := sharded.Merged()
 	if err != nil {
+		return err
+	}
+	rep := merged.(*report)
+	if runErr != nil {
 		if rep.total == 0 {
-			return err
+			return runErr
 		}
 		// Truncated/corrupt tail after a good prefix: report what was
 		// classified, then surface the damage with a distinct exit code.
 		fmt.Fprintf(os.Stderr, "tamperscan: warning: %v — reporting the %d connections scanned before the damage\n",
-			err, rep.total)
+			runErr, rep.total)
 		rep.print()
-		return &partialError{err: err}
+		return &partialError{err: runErr}
 	}
 	rep.print()
 	return nil

@@ -26,27 +26,38 @@ type Record struct {
 	// Hour is the scenario hour of the first packet (capture
 	// timestamps are seconds from scenario start).
 	Hour int
+	// Time is the first packet's timestamp in seconds — the canonical
+	// per-pair ordering key of the overlap matrix.
+	Time int64
 	// SrcKey identifies the client address for overlap analysis.
 	SrcKey string
+	// SrcPort and DstPort come from the connection's flow key; DstPort
+	// drives the scanner port counters without the raw connection.
+	SrcPort uint16
+	DstPort uint16
 }
 
 // NewRecord builds one aggregation record from a classified
-// connection, attaching country/AS via the geo database — exactly the
+// connection, attaching country/AS via the geo resolver — exactly the
 // paper's pipeline: aggregation keys come only from the source
 // address. It is the single-record form of Analyze, used by streaming
-// classification sinks.
-func NewRecord(c *capture.Connection, db *geo.DB, res core.Result) Record {
+// classification sinks; those pass a per-worker *geo.Cache so the
+// per-record resolution skips the binary search.
+func NewRecord(c *capture.Connection, db geo.Resolver, res core.Result) Record {
 	rec := Record{
 		Res:       res,
 		IPVersion: c.IPVersion,
 		SrcKey:    c.SrcIP.String(),
+		SrcPort:   c.SrcPort,
+		DstPort:   c.DstPort,
 	}
 	if as := db.Lookup(c.SrcIP); as != nil {
 		rec.Country = as.Country
 		rec.ASN = as.ASN
 	}
 	if len(c.Packets) > 0 {
-		rec.Hour = int(c.Packets[0].Timestamp / 3600)
+		rec.Time = c.Packets[0].Timestamp
+		rec.Hour = int(rec.Time / 3600)
 	}
 	return rec
 }
@@ -119,32 +130,13 @@ func (s *StageStats) StageCoverage(st core.Stage) float64 {
 // possibly-tampered connections is derived from how far the canonical
 // prefix got: the classifier reports StageOther for those, except
 // Post-Data timeouts which it attributes to Post-Data with no match —
-// here we count by the connection's classified stage.
+// the aggregator counts by the connection's classified stage.
 func ComputeStageStats(recs []Record) StageStats {
-	var s StageStats
-	s.Total = len(recs)
+	a := NewStageStatsAgg()
 	for i := range recs {
-		r := &recs[i].Res
-		if !r.PossiblyTampered {
-			continue
-		}
-		s.PossiblyTampered++
-		st := r.Signature.Stage()
-		if r.Signature == core.SigOtherAnomalous {
-			// Attribute to the prefix stage when known (Post-Data
-			// timeouts), else Other.
-			st = r.Stage
-			if st == core.StageNone {
-				st = core.StageOther
-			}
-		}
-		s.StageCounts[st]++
-		if r.Signature.IsTampering() {
-			s.StageMatched[st]++
-			s.Matched++
-		}
+		a.Add(&recs[i])
 	}
-	return s
+	return a.Stats()
 }
 
 // CountryDistribution is Figure 4: per country, the share of
@@ -174,32 +166,11 @@ func (c *CountryDistribution) SignatureShare(sig core.Signature) float64 {
 // SignatureByCountry computes Figure 4 for every country present,
 // sorted by descending tampered share.
 func SignatureByCountry(recs []Record) []CountryDistribution {
-	byCountry := map[string]*CountryDistribution{}
+	a := NewSignatureByCountryAgg()
 	for i := range recs {
-		r := &recs[i]
-		if r.Country == "" {
-			continue
-		}
-		d := byCountry[r.Country]
-		if d == nil {
-			d = &CountryDistribution{Country: r.Country}
-			byCountry[r.Country] = d
-		}
-		d.Total++
-		d.BySignature[r.Res.Signature]++
+		a.Add(&recs[i])
 	}
-	out := make([]CountryDistribution, 0, len(byCountry))
-	for _, d := range byCountry {
-		out = append(out, *d)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		ti, tj := out[i].TamperedShare(), out[j].TamperedShare()
-		if ti != tj {
-			return ti > tj
-		}
-		return out[i].Country < out[j].Country
-	})
-	return out
+	return a.Table()
 }
 
 // SignatureComposition is Figure 1: for one signature, which countries
@@ -244,22 +215,11 @@ func (s *SignatureComposition) TopCountries(n int) []string {
 
 // CountryBySignature computes Figure 1 for all 19 signatures.
 func CountryBySignature(recs []Record) []SignatureComposition {
-	out := make([]SignatureComposition, 0, 19)
-	idx := map[core.Signature]int{}
-	for _, sig := range core.AllSignatures() {
-		idx[sig] = len(out)
-		out = append(out, SignatureComposition{Signature: sig, ByCountry: map[string]int{}})
-	}
+	a := NewCountryBySignatureAgg()
 	for i := range recs {
-		r := &recs[i]
-		if !r.Res.Signature.IsTampering() || r.Country == "" {
-			continue
-		}
-		sc := &out[idx[r.Res.Signature]]
-		sc.Total++
-		sc.ByCountry[r.Country]++
+		a.Add(&recs[i])
 	}
-	return out
+	return a.Table()
 }
 
 // ASNStat is one AS's row in Figure 5.
@@ -277,44 +237,11 @@ func (a *ASNStat) MatchShare() float64 { return stats.Ratio(a.Matched, a.Total) 
 // proportions among the top ASes carrying 80% of the country's
 // connections, ordered by traffic share.
 func ASNView(recs []Record, country string) []ASNStat {
-	byASN := map[uint32]*ASNStat{}
-	total := 0
+	a := NewASNViewAgg()
 	for i := range recs {
-		r := &recs[i]
-		if r.Country != country {
-			continue
-		}
-		total++
-		a := byASN[r.ASN]
-		if a == nil {
-			a = &ASNStat{ASN: r.ASN}
-			byASN[r.ASN] = a
-		}
-		a.Total++
-		if r.Res.Signature.IsTampering() {
-			a.Matched++
-		}
+		a.Add(&recs[i])
 	}
-	if total == 0 {
-		return nil
-	}
-	all := make([]ASNStat, 0, len(byASN))
-	for _, a := range byASN {
-		a.CountryShare = stats.Ratio(a.Total, total)
-		all = append(all, *a)
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i].Total > all[j].Total })
-	// Keep the top ASes covering 80% of traffic.
-	covered := 0.0
-	cut := len(all)
-	for i := range all {
-		covered += all[i].CountryShare
-		if covered >= 0.8 {
-			cut = i + 1
-			break
-		}
-	}
-	return all[:cut]
+	return a.View(country)
 }
 
 // SpreadOfASNView measures Figure 5's key contrast: the range (max-min)
@@ -351,32 +278,11 @@ func (p SeriesPoint) Share() float64 { return stats.Ratio(p.Matched, p.Total) }
 // records that pass the filter as matched (Figures 6, 8, 9 use
 // different filters).
 func TimeSeries(recs []Record, bucketHours int, include func(*Record) bool, matched func(*Record) bool) []SeriesPoint {
-	if bucketHours <= 0 {
-		bucketHours = 1
-	}
-	byBucket := map[int]*SeriesPoint{}
+	a := NewTimeSeriesAgg(bucketHours, include, matched)
 	for i := range recs {
-		r := &recs[i]
-		if include != nil && !include(r) {
-			continue
-		}
-		b := r.Hour / bucketHours * bucketHours
-		p := byBucket[b]
-		if p == nil {
-			p = &SeriesPoint{Hour: b}
-			byBucket[b] = p
-		}
-		p.Total++
-		if matched(r) {
-			p.Matched++
-		}
+		a.Add(&recs[i])
 	}
-	out := make([]SeriesPoint, 0, len(byBucket))
-	for _, p := range byBucket {
-		out = append(out, *p)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Hour < out[j].Hour })
-	return out
+	return a.Series()
 }
 
 // PostACKPSHMatch is the Figure 6/7 matched-predicate: Post-ACK or
@@ -402,42 +308,11 @@ func (v *VersionComparison) V6Share() float64 { return stats.Ratio(v.V6M, v.V6To
 // with at least minPerVersion connections in each family, plus the
 // through-origin regression slope (paper: 0.92).
 func IPVersionCompare(recs []Record, minPerVersion int) ([]VersionComparison, float64) {
-	byCountry := map[string]*VersionComparison{}
+	a := NewIPVersionAgg(minPerVersion)
 	for i := range recs {
-		r := &recs[i]
-		if r.Country == "" {
-			continue
-		}
-		v := byCountry[r.Country]
-		if v == nil {
-			v = &VersionComparison{Country: r.Country}
-			byCountry[r.Country] = v
-		}
-		m := PostACKPSHMatch(r)
-		if r.IPVersion == 6 {
-			v.V6Total++
-			if m {
-				v.V6M++
-			}
-		} else {
-			v.V4Total++
-			if m {
-				v.V4M++
-			}
-		}
+		a.Add(&recs[i])
 	}
-	var out []VersionComparison
-	var xs, ys []float64
-	for _, v := range byCountry {
-		if v.V4Total < minPerVersion || v.V6Total < minPerVersion {
-			continue
-		}
-		out = append(out, *v)
-		xs = append(xs, stats.Percent(v.V4Share()))
-		ys = append(ys, stats.Percent(v.V6Share()))
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Country < out[j].Country })
-	return out, stats.SlopeThroughOrigin(xs, ys)
+	return a.Table()
 }
 
 // ProtocolComparison is Figure 7b: per-country Post-PSH match shares
@@ -457,42 +332,11 @@ func (p *ProtocolComparison) HTTPShare() float64 { return stats.Ratio(p.HTTPM, p
 // regressed on TLS share (paper: ≈0.3, i.e. TLS more tampered, with
 // Turkmenistan the HTTP-only outlier).
 func ProtocolCompare(recs []Record, minPerProto int) ([]ProtocolComparison, float64) {
-	byCountry := map[string]*ProtocolComparison{}
+	a := NewProtocolAgg(minPerProto)
 	for i := range recs {
-		r := &recs[i]
-		if r.Country == "" || r.Res.Protocol == core.ProtoUnknown {
-			continue
-		}
-		p := byCountry[r.Country]
-		if p == nil {
-			p = &ProtocolComparison{Country: r.Country}
-			byCountry[r.Country] = p
-		}
-		m := r.Res.Signature.Stage() == core.StagePostPSH || r.Res.Signature.Stage() == core.StagePostACK
-		if r.Res.Protocol == core.ProtoTLS {
-			p.TLSTotal++
-			if m {
-				p.TLSM++
-			}
-		} else {
-			p.HTTPTotal++
-			if m {
-				p.HTTPM++
-			}
-		}
+		a.Add(&recs[i])
 	}
-	var out []ProtocolComparison
-	var xs, ys []float64
-	for _, p := range byCountry {
-		if p.TLSTotal < minPerProto || p.HTTPTotal < minPerProto {
-			continue
-		}
-		out = append(out, *p)
-		xs = append(xs, stats.Percent(p.TLSShare()))
-		ys = append(ys, stats.Percent(p.HTTPShare()))
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Country < out[j].Country })
-	return out, stats.SlopeThroughOrigin(xs, ys)
+	return a.Table()
 }
 
 // EvidenceCDFs holds the Figure 2 and Figure 3 distributions: per
@@ -506,34 +350,15 @@ type EvidenceCDFs struct {
 }
 
 // ComputeEvidenceCDFs samples up to capPerSig connections per
-// signature (the paper uses 1 000).
+// signature (the paper uses 1 000), via EvidenceAgg's deterministic
+// bottom-k-by-hash sample — a pure function of the record multiset,
+// where earlier versions kept the order-dependent first capPerSig.
 func ComputeEvidenceCDFs(recs []Record, capPerSig int) EvidenceCDFs {
-	ipidSamples := map[core.Signature][]float64{}
-	ttlSamples := map[core.Signature][]float64{}
+	a := NewEvidenceAgg(capPerSig)
 	for i := range recs {
-		r := &recs[i]
-		sig := r.Res.Signature
-		if sig == core.SigOtherAnomalous {
-			continue
-		}
-		if len(ttlSamples[sig]) < capPerSig {
-			ttlSamples[sig] = append(ttlSamples[sig], float64(r.Res.Evidence.MaxTTLDelta))
-		}
-		if r.Res.Evidence.IPIDValid && len(ipidSamples[sig]) < capPerSig {
-			ipidSamples[sig] = append(ipidSamples[sig], float64(r.Res.Evidence.MaxIPIDDelta))
-		}
+		a.Add(&recs[i])
 	}
-	out := EvidenceCDFs{
-		IPID: make(map[core.Signature]*stats.CDF, len(ipidSamples)),
-		TTL:  make(map[core.Signature]*stats.CDF, len(ttlSamples)),
-	}
-	for sig, s := range ipidSamples {
-		out.IPID[sig] = stats.NewCDF(s)
-	}
-	for sig, s := range ttlSamples {
-		out.TTL[sig] = stats.NewCDF(s)
-	}
-	return out
+	return a.CDFs()
 }
 
 // ScannerStats are the §4.2 threat-to-validity numbers.
@@ -553,55 +378,18 @@ type ScannerStats struct {
 	PeakDayShare float64
 }
 
-// ComputeScannerStats tallies the scanner fingerprints. It needs the
-// original connections for port information.
+// ComputeScannerStats tallies the scanner fingerprints. Records built
+// by NewRecord carry the destination port; conns, when non-empty,
+// overrides it positionally for callers with records from older
+// sources.
 func ComputeScannerStats(recs []Record, conns []*capture.Connection) ScannerStats {
-	var s ScannerStats
-	s.Total = len(recs)
-	dayPayload := map[int]int{}
-	daySYNs := map[int]int{}
+	a := NewScannerAgg()
 	for i := range recs {
-		r := &recs[i]
-		ev := &r.Res.Evidence
-		if ev.HighTTL {
-			s.HighTTL++
-		}
-		if ev.NoSYNOptions {
-			s.NoSYNOptions++
-		}
-		if r.Res.Signature == core.SigSYNRST {
-			s.SYNRSTMatches++
-			if ev.ZMapFingerprint {
-				s.SYNRSTZMap++
-			}
-		}
+		r := recs[i]
 		if i < len(conns) {
-			switch conns[i].DstPort {
-			case 80:
-				s.Port80SYNs++
-				daySYNs[r.Hour/24]++
-				if ev.SYNPayloadLen > 0 {
-					s.SYNPayload80++
-					dayPayload[r.Hour/24]++
-				}
-			case 443:
-				s.Port443SYNs++
-				if ev.SYNPayloadLen > 0 {
-					s.SYNPayload443++
-				}
-			}
+			r.DstPort = conns[i].DstPort
 		}
+		a.Add(&r)
 	}
-	s.PeakDay = -1
-	for day, n := range daySYNs {
-		if n < 50 {
-			continue
-		}
-		share := float64(dayPayload[day]) / float64(n)
-		if share > s.PeakDayShare {
-			s.PeakDayShare = share
-			s.PeakDay = day
-		}
-	}
-	return s
+	return a.Stats()
 }

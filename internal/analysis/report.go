@@ -1,11 +1,8 @@
 package analysis
 
 import (
-	"sort"
-
 	"tamperdetect/internal/core"
 	"tamperdetect/internal/domains"
-	"tamperdetect/internal/stats"
 	"tamperdetect/internal/testlists"
 )
 
@@ -45,113 +42,21 @@ func (t *CategoryTable) Top(n int) []CategoryRow {
 // signature matches from the region (the paper uses 100 per day at CDN
 // scale; scale it to the dataset size).
 func ComputeCategoryTable(recs []Record, u *domains.Universe, region string, minMatches int) CategoryTable {
-	if minMatches < 1 {
-		minMatches = 1
-	}
-	// Count Post-PSH matches and total sightings per domain. Both the
-	// tampered set (numerator) and the observed set (denominator) use
-	// the same sighting threshold, mirroring the paper's "domains
-	// observed to be accessed" at its much larger scale.
-	matches := map[string]int{}
-	sightings := map[string]int{}
+	a := NewDomainAgg()
 	for i := range recs {
-		r := &recs[i]
-		if region != "" && r.Country != region {
-			continue
-		}
-		if r.Res.Domain == "" {
-			continue
-		}
-		sightings[r.Res.Domain]++
-		st := r.Res.Signature.Stage()
-		if r.Res.Signature.IsTampering() && (st == core.StagePostPSH || st == core.StagePostData) {
-			matches[r.Res.Domain]++
-		}
+		a.Add(&recs[i])
 	}
-	seen := map[string]bool{}
-	for d, n := range sightings {
-		if n >= minMatches {
-			seen[d] = true
-		}
-	}
-	// Tampered domains passing the threshold.
-	tampered := map[string]bool{}
-	for d, n := range matches {
-		if n >= minMatches {
-			tampered[d] = true
-		}
-	}
-	// Per-category aggregation.
-	var tamperedConns [domains.NumCategories]int
-	var seenDomains [domains.NumCategories]int
-	var tamperedDomains [domains.NumCategories]int
-	total := 0
-	for d := range seen {
-		dom := u.ByName(d)
-		if dom == nil {
-			continue
-		}
-		seenDomains[dom.Category]++
-		if tampered[d] {
-			tamperedDomains[dom.Category]++
-		}
-	}
-	for d, n := range matches {
-		if !tampered[d] {
-			continue
-		}
-		dom := u.ByName(d)
-		if dom == nil {
-			continue
-		}
-		tamperedConns[dom.Category] += n
-		total += n
-	}
-	t := CategoryTable{Region: region, TamperedTotal: total}
-	for _, c := range domains.AllCategories() {
-		if tamperedConns[c] == 0 {
-			continue
-		}
-		t.Rows = append(t.Rows, CategoryRow{
-			Category:      c,
-			TamperedShare: stats.Ratio(tamperedConns[c], total),
-			Coverage:      stats.Ratio(tamperedDomains[c], seenDomains[c]),
-			TamperedConns: tamperedConns[c],
-		})
-	}
-	sort.Slice(t.Rows, func(i, j int) bool { return t.Rows[i].TamperedShare > t.Rows[j].TamperedShare })
-	return t
+	return a.CategoryTable(u, region, minMatches)
 }
 
 // TamperedDomains lists the domains with at least minMatches Post-PSH
 // matches from the region — the §5.5 observation set.
 func TamperedDomains(recs []Record, region string, minMatches int) []string {
-	if minMatches < 1 {
-		minMatches = 1
-	}
-	matches := map[string]int{}
+	a := NewDomainAgg()
 	for i := range recs {
-		r := &recs[i]
-		if region != "" && r.Country != region {
-			continue
-		}
-		if r.Res.Domain == "" || !r.Res.Signature.IsTampering() {
-			continue
-		}
-		st := r.Res.Signature.Stage()
-		if st != core.StagePostPSH && st != core.StagePostData {
-			continue
-		}
-		matches[r.Res.Domain]++
+		a.Add(&recs[i])
 	}
-	var out []string
-	for d, n := range matches {
-		if n >= minMatches {
-			out = append(out, d)
-		}
-	}
-	sort.Strings(out)
-	return out
+	return a.TamperedDomains(region, minMatches)
 }
 
 // ListCoverageRow is one cell-row of Table 3: a list's coverage of each
@@ -168,42 +73,11 @@ type ListCoverageRow struct {
 // ListCoverageTable computes Table 3 over the given regions ("" means
 // global).
 func ListCoverageTable(recs []Record, suite *testlists.Suite, regions []string, minMatches int) []ListCoverageRow {
-	tamperedByRegion := map[string][]string{}
-	for _, reg := range regions {
-		tamperedByRegion[reg] = TamperedDomains(recs, reg, minMatches)
+	a := NewDomainAgg()
+	for i := range recs {
+		a.Add(&recs[i])
 	}
-	lists := suite.Lists()
-	// Union rows, as in the table's last four rows.
-	curated := testlists.Union("Union: Citizenlab + Greatfire", suite.CitizenLab, suite.CitizenLabGlobal, suite.GreatfireAll, suite.Greatfire30d)
-	all := testlists.Union("Union: All lists", append([]*testlists.List{curated}, lists...)...)
-	rows := make([]ListCoverageRow, 0, len(lists)+4)
-	addRow := func(l *testlists.List, substring bool, nameOverride string) {
-		row := ListCoverageRow{
-			ListName:  l.Name,
-			Entries:   l.Len(),
-			Exact:     map[string]float64{},
-			Substring: map[string]float64{},
-		}
-		if nameOverride != "" {
-			row.ListName = nameOverride
-		}
-		for _, reg := range regions {
-			td := tamperedByRegion[reg]
-			row.Exact[reg] = testlists.Coverage(l, td, false)
-			if substring {
-				row.Substring[reg] = testlists.Coverage(l, td, true)
-			}
-		}
-		rows = append(rows, row)
-	}
-	for _, l := range lists {
-		addRow(l, false, "")
-	}
-	addRow(curated, false, "")
-	addRow(all, false, "")
-	addRow(curated, true, "Substring: Citizenlab + Greatfire")
-	addRow(all, true, "Substring: All lists")
-	return rows
+	return a.ListCoverage(suite, regions, minMatches)
 }
 
 // OverlapMatrix is Figure 10: for (client, domain) pairs observed at
@@ -231,54 +105,16 @@ func postPSHAxes() []core.Signature {
 	return out
 }
 
-// ComputeOverlapMatrix builds Figure 10. Records must be in temporal
-// order per pair (Analyze preserves input order; the workload emits
-// specs hour by hour).
+// ComputeOverlapMatrix builds Figure 10 via OverlapAgg, which orders
+// each pair's observations by (time, signature) at finalize — the
+// result no longer depends on the input slice's order, so shuffled or
+// shard-merged record sets produce the identical matrix.
 func ComputeOverlapMatrix(recs []Record) OverlapMatrix {
-	axes := postPSHAxes()
-	axisIdx := map[core.Signature]int{}
-	for i, s := range axes {
-		axisIdx[s] = i
-	}
-	type pairKey struct{ src, domain string }
-	firstSig := map[pairKey]core.Signature{}
-	n := len(axes)
-	counts := make([][]int, n)
-	for i := range counts {
-		counts[i] = make([]int, n)
-	}
-	pairs := 0
+	a := NewOverlapAgg()
 	for i := range recs {
-		r := &recs[i]
-		if r.Res.Domain == "" {
-			continue
-		}
-		sig := r.Res.Signature
-		if _, ok := axisIdx[sig]; !ok {
-			continue
-		}
-		key := pairKey{src: r.SrcKey, domain: r.Res.Domain}
-		if prev, ok := firstSig[key]; ok {
-			counts[axisIdx[prev]][axisIdx[sig]]++
-			pairs++
-			// Slide: the next observation compares against this one.
-			firstSig[key] = sig
-			continue
-		}
-		firstSig[key] = sig
+		a.Add(&recs[i])
 	}
-	frac := make([][]float64, n)
-	for i := range frac {
-		frac[i] = make([]float64, n)
-		rowTotal := 0
-		for j := range counts[i] {
-			rowTotal += counts[i][j]
-		}
-		for j := range counts[i] {
-			frac[i][j] = stats.Ratio(counts[i][j], rowTotal)
-		}
-	}
-	return OverlapMatrix{Sigs: axes, Fraction: frac, Counts: counts, Pairs: pairs}
+	return a.Matrix()
 }
 
 // DiagonalMass is Figure 10's headline: the average over rows (with

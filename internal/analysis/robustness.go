@@ -55,23 +55,11 @@ func (g *RobustnessGrade) FalsePositiveRate() float64 {
 // TallyRobustness folds the classifier verdicts of a tamper-free run
 // into a grade cell.
 func TallyRobustness(grade string, effectiveLoss float64, sigs []core.Signature) RobustnessGrade {
-	g := RobustnessGrade{
-		Grade:          grade,
-		EffectiveLoss:  effectiveLoss,
-		Total:          len(sigs),
-		FalsePositives: make(map[core.Signature]int),
-	}
+	a := NewRobustnessAgg(grade, effectiveLoss)
 	for _, sig := range sigs {
-		switch {
-		case sig.IsTampering():
-			g.FalsePositives[sig]++
-		case sig == core.SigOtherAnomalous:
-			g.Anomalous++
-		default:
-			g.NotTampering++
-		}
+		a.Add(&Record{Res: core.Result{Signature: sig}})
 	}
-	return g
+	return a.Grade()
 }
 
 // RenderRobustnessMatrix prints the per-signature false-positive matrix

@@ -1,12 +1,6 @@
 package analysis
 
-import (
-	"math"
-	"sort"
-
-	"tamperdetect/internal/core"
-	"tamperdetect/internal/stats"
-)
+import "math"
 
 // This file implements the §6 "are tampering signatures stable?"
 // analysis as a measurable experiment: split the observation window in
@@ -31,67 +25,11 @@ type StabilityRow struct {
 // connections in each half, sorted by ascending similarity (least
 // stable first).
 func StabilityReport(recs []Record, minPerHalf int) []StabilityRow {
-	if len(recs) == 0 {
-		return nil
-	}
-	maxHour := 0
+	a := NewStabilityAgg(minPerHalf)
 	for i := range recs {
-		if recs[i].Hour > maxHour {
-			maxHour = recs[i].Hour
-		}
+		a.Add(&recs[i])
 	}
-	split := maxHour / 2
-
-	type acc struct {
-		sig   [2][core.NumSignatures]int
-		total [2]int
-		all   [2]int
-	}
-	byCountry := map[string]*acc{}
-	for i := range recs {
-		r := &recs[i]
-		if r.Country == "" {
-			continue
-		}
-		half := 0
-		if r.Hour > split {
-			half = 1
-		}
-		a := byCountry[r.Country]
-		if a == nil {
-			a = &acc{}
-			byCountry[r.Country] = a
-		}
-		a.all[half]++
-		if r.Res.Signature.IsTampering() {
-			a.sig[half][r.Res.Signature]++
-			a.total[half]++
-		}
-	}
-
-	var out []StabilityRow
-	for country, a := range byCountry {
-		if a.total[0] < minPerHalf || a.total[1] < minPerHalf {
-			continue
-		}
-		row := StabilityRow{
-			Country:     country,
-			FirstTotal:  a.total[0],
-			SecondTotal: a.total[1],
-			Cosine:      cosine(a.sig[0][:], a.sig[1][:]),
-		}
-		r0 := stats.Ratio(a.total[0], a.all[0])
-		r1 := stats.Ratio(a.total[1], a.all[1])
-		row.RateDelta = math.Abs(r1 - r0)
-		out = append(out, row)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Cosine != out[j].Cosine {
-			return out[i].Cosine < out[j].Cosine
-		}
-		return out[i].Country < out[j].Country
-	})
-	return out
+	return a.Report()
 }
 
 // cosine computes the cosine similarity of two count vectors.

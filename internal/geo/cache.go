@@ -1,0 +1,87 @@
+package geo
+
+import "net/netip"
+
+// Resolver resolves a source address to its AS. Both *DB and *Cache
+// implement it, so the analysis layer can accept either the raw
+// binary-search lookup or a memoized front.
+type Resolver interface {
+	Lookup(ip netip.Addr) *AS
+}
+
+// cacheSlots sizes the per-family direct-mapped range tables (power of
+// two). The plan allocates at most ~2k blocks and typical scenarios
+// use a few hundred, so 512 slots keep the hit rate high at ~28 KiB
+// per family table.
+const cacheSlots = 512
+
+// Cache memoizes DB.Lookup for the per-record country/AS resolution in
+// the streaming sink hot path. Instead of caching per address, it
+// caches the *matched range* in a direct-mapped table keyed by the
+// address's prefix bytes: every subsequent address under the same
+// block (a client burst, a repeat client, a scanner sweep) hits the
+// cached range and skips the binary search. A hit is verified with an
+// inclusive range check, so a hash collision can never return a wrong
+// answer — it only falls through to the search and replaces the slot.
+//
+// The slot hash assumes the plan's granularity (≥ /16 IPv4, /32 IPv6)
+// only for hit *rate*; correctness holds for any range layout.
+// Addresses outside the plan are not cached (they are absent from
+// generated traffic). A Cache is NOT safe for concurrent use; give
+// each pipeline worker its own.
+type Cache struct {
+	db     *DB
+	v4, v6 [cacheSlots]rangeEntry
+}
+
+// NewCache returns a cache in front of db. A nil db is tolerated:
+// every lookup resolves to nil, for callers that run without an
+// address plan.
+func NewCache(db *DB) *Cache { return &Cache{db: db} }
+
+// Lookup resolves an address to its AS, or nil if outside the plan.
+// Results are identical to DB.Lookup for every address.
+func (c *Cache) Lookup(ip netip.Addr) *AS {
+	if c.db == nil || !ip.IsValid() {
+		return nil
+	}
+	v6 := ip.Is6() && !ip.Is4In6()
+	if !v6 {
+		ip = ip.Unmap()
+	}
+	table := &c.v4
+	if v6 {
+		table = &c.v6
+	}
+	slot := &table[rangeSlot(ip, v6)]
+	if slot.as != nil && inRange(*slot, ip) {
+		return slot.as
+	}
+	e, ok := c.db.lookupRange(ip, v6)
+	if !ok {
+		return nil
+	}
+	*slot = e
+	return e.as
+}
+
+func inRange(e rangeEntry, ip netip.Addr) bool {
+	return !ip.Less(e.start) && ip.Compare(e.end) <= 0
+}
+
+// rangeSlot indexes the direct-mapped table by the bytes that are
+// stable across a plan block: the /16 prefix for IPv4 (As16 bytes
+// 12–13 after unmapping), the /32 prefix for IPv6 (bytes 0–3, mixed
+// because the leading bytes are shared across the whole plan).
+func rangeSlot(ip netip.Addr, v6 bool) int {
+	b := ip.As16()
+	var h uint32
+	if v6 {
+		h = uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+		h *= 0x9e3779b1
+		h >>= 16
+	} else {
+		h = uint32(b[12])<<8 | uint32(b[13])
+	}
+	return int(h & (cacheSlots - 1))
+}

@@ -1,0 +1,126 @@
+package geo
+
+import (
+	"math/rand/v2"
+	"net/netip"
+	"testing"
+)
+
+func testPlan(t *testing.T) *DB {
+	t.Helper()
+	db, err := Build([]CountrySpec{
+		{Code: "CN", ASCount: 6, Skew: 1.5},
+		{Code: "IR", ASCount: 3, Skew: 1},
+		{Code: "US", ASCount: 8},
+	}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestCacheMatchesDB: the cache must be answer-identical to DB.Lookup
+// for in-plan, out-of-plan, 4-in-6-mapped, and IPv6 addresses, on
+// first and repeated queries.
+func TestCacheMatchesDB(t *testing.T) {
+	db := testPlan(t)
+	cache := NewCache(db)
+	rng := rand.New(rand.NewPCG(7, 8))
+
+	var probes []netip.Addr
+	for _, as := range db.AllASes() {
+		probes = append(probes,
+			as.RandomAddr(rng, false),
+			as.RandomAddr(rng, true),
+			as.V4[0].Addr(),           // range start
+			rangeOf(as.V4[0], as).end, // range end
+		)
+	}
+	// Outside the plan.
+	probes = append(probes,
+		netip.MustParseAddr("1.2.3.4"),
+		netip.MustParseAddr("19.255.255.255"),
+		netip.MustParseAddr("200.0.0.1"),
+		netip.MustParseAddr("2001:db8::1"),
+		netip.MustParseAddr("::ffff:8.8.8.8"), // 4-in-6 mapped, out of plan
+	)
+	// 4-in-6 mapped variants of in-plan v4 addresses.
+	for _, as := range db.AllASes()[:4] {
+		a4 := as.RandomAddr(rng, false).As4()
+		probes = append(probes, netip.AddrFrom16([16]byte{
+			10: 0xff, 11: 0xff, 12: a4[0], 13: a4[1], 14: a4[2], 15: a4[3]}))
+	}
+
+	for pass := 0; pass < 3; pass++ {
+		rng.Shuffle(len(probes), func(i, j int) { probes[i], probes[j] = probes[j], probes[i] })
+		for _, ip := range probes {
+			want, got := db.Lookup(ip), cache.Lookup(ip)
+			if want != got {
+				t.Fatalf("pass %d: Lookup(%s): cache=%v db=%v", pass, ip, got, want)
+			}
+		}
+	}
+}
+
+// TestCacheSequentialBurst: the last-range fast path must stay correct
+// across a burst from one prefix followed by a family switch.
+func TestCacheSequentialBurst(t *testing.T) {
+	db := testPlan(t)
+	cache := NewCache(db)
+	rng := rand.New(rand.NewPCG(9, 10))
+	as := db.AllASes()[0]
+	for i := 0; i < 200; i++ {
+		ip := as.RandomAddr(rng, false)
+		if got := cache.Lookup(ip); got != as {
+			t.Fatalf("burst lookup %s: got %v, want AS%d", ip, got, as.ASN)
+		}
+	}
+	other := db.AllASes()[5]
+	if got := cache.Lookup(other.RandomAddr(rng, true)); got != other {
+		t.Fatalf("v6 switch resolved to %v, want AS%d", got, other.ASN)
+	}
+	if got := cache.Lookup(netip.MustParseAddr("1.1.1.1")); got != nil {
+		t.Fatalf("out-of-plan resolved to %v", got)
+	}
+}
+
+// TestCacheNilDB: a cache over a nil plan resolves everything to nil.
+func TestCacheNilDB(t *testing.T) {
+	cache := NewCache(nil)
+	if got := cache.Lookup(netip.MustParseAddr("20.0.0.1")); got != nil {
+		t.Fatalf("nil-db lookup returned %v", got)
+	}
+	if got := cache.Lookup(netip.Addr{}); got != nil {
+		t.Fatalf("invalid-addr lookup returned %v", got)
+	}
+}
+
+// BenchmarkGeoCache compares the raw binary search against the cached
+// front on a repeat-client access pattern (the sink's actual shape).
+func BenchmarkGeoCache(b *testing.B) {
+	db, err := Build([]CountrySpec{
+		{Code: "CN", ASCount: 12, Skew: 1.5},
+		{Code: "US", ASCount: 20},
+		{Code: "DE", ASCount: 10},
+	}, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	ases := db.AllASes()
+	addrs := make([]netip.Addr, 4096)
+	for i := range addrs {
+		addrs[i] = ases[rng.IntN(len(ases))].RandomAddr(rng, rng.IntN(4) == 0)
+	}
+	b.Run("uncached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			db.Lookup(addrs[i&(len(addrs)-1)])
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		cache := NewCache(db)
+		for i := 0; i < b.N; i++ {
+			cache.Lookup(addrs[i&(len(addrs)-1)])
+		}
+	})
+}

@@ -164,21 +164,33 @@ func rangeOf(p netip.Prefix, as *AS) rangeEntry {
 
 // Lookup resolves an address to its AS, or nil if outside the plan.
 func (db *DB) Lookup(ip netip.Addr) *AS {
-	table := db.v4
-	if ip.Is6() && !ip.Is4In6() {
-		table = db.v6
-	} else {
+	v6 := ip.Is6() && !ip.Is4In6()
+	if !v6 {
 		ip = ip.Unmap()
 	}
-	i := sort.Search(len(table), func(i int) bool { return ip.Less(table[i].start) })
-	if i == 0 {
-		return nil
-	}
-	e := table[i-1]
-	if ip.Compare(e.end) <= 0 {
+	if e, ok := db.lookupRange(ip, v6); ok {
 		return e.as
 	}
 	return nil
+}
+
+// lookupRange binary-searches the family table for the range containing
+// ip (already unmapped). Returning the whole entry lets Cache memoize
+// the matched range, not just the AS.
+func (db *DB) lookupRange(ip netip.Addr, v6 bool) (rangeEntry, bool) {
+	table := db.v4
+	if v6 {
+		table = db.v6
+	}
+	i := sort.Search(len(table), func(i int) bool { return ip.Less(table[i].start) })
+	if i == 0 {
+		return rangeEntry{}, false
+	}
+	e := table[i-1]
+	if ip.Compare(e.end) <= 0 {
+		return e, true
+	}
+	return rangeEntry{}, false
 }
 
 // Country resolves an address to its country code, or "" if unknown.

@@ -1,0 +1,153 @@
+package pipeline
+
+// Contract tests for Config.Observe, the per-worker aggregation hook:
+// every classified record is observed exactly once, the worker index
+// is in range, per-worker calls are sequential (the shards below are
+// updated without locks, so -race proves it), and per-worker shards
+// merged together equal the batch histogram.
+
+import (
+	"bytes"
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"tamperdetect/internal/core"
+	"tamperdetect/internal/workload"
+)
+
+func observeCapture(t *testing.T, total int, seed uint64) ([]byte, [core.NumSignatures]int64) {
+	t.Helper()
+	s, err := workload.BuildScenario("observe-e2e", total, 48, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conns := s.Run(0)
+	return encode(t, conns), batchHistogram(conns)
+}
+
+func TestObserveExactlyOncePerWorkerShards(t *testing.T) {
+	data, want := observeCapture(t, e2eTotal(t)/4, 11)
+
+	for _, workers := range []int{1, 4, 16} {
+		for _, batch := range []int{1, 64} {
+			// One shard per worker, mutated without synchronisation:
+			// correctness here depends on Observe being sequential per
+			// worker index, which is exactly the documented contract.
+			shards := make([][core.NumSignatures]int64, workers)
+			observed := int64(0)
+			counts, err := Stream(context.Background(), bytes.NewReader(data),
+				Config{Workers: workers, BatchSize: batch,
+					Observe: func(worker int, it Item) {
+						if worker < 0 || worker >= workers {
+							panic("worker index out of range")
+						}
+						if it.Err == nil {
+							shards[worker][it.Res.Signature]++
+						}
+						atomic.AddInt64(&observed, 1)
+					}},
+				nil)
+			if err != nil {
+				t.Fatalf("workers=%d batch=%d: %v", workers, batch, err)
+			}
+			if observed != counts.Decoded {
+				t.Errorf("workers=%d batch=%d: observed %d of %d decoded",
+					workers, batch, observed, counts.Decoded)
+			}
+			var merged [core.NumSignatures]int64
+			for _, sh := range shards {
+				for sig, n := range sh {
+					merged[sig] += n
+				}
+			}
+			if merged != want {
+				t.Errorf("workers=%d batch=%d: merged shard histogram diverges from batch path",
+					workers, batch)
+			}
+		}
+	}
+}
+
+// TestObserveSeesEarlyStoppedRecords: Observe fires from the classify
+// stage, so a sink that stops early must not lose observations for
+// records the workers already classified — observed ≥ delivered.
+func TestObserveSeesEarlyStoppedRecords(t *testing.T) {
+	data, _ := observeCapture(t, 2000, 12)
+	observed := int64(0)
+	delivered := 0
+	counts, err := Stream(context.Background(), bytes.NewReader(data),
+		Config{Workers: 4, BatchSize: 16,
+			Observe: func(worker int, it Item) { atomic.AddInt64(&observed, 1) }},
+		func(it Item) error {
+			delivered++
+			if delivered >= 100 {
+				return ErrStop
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 100th record's sink call returned ErrStop, which does not
+	// count as a delivery.
+	if counts.Delivered != 99 {
+		t.Fatalf("delivered %d, want 99", counts.Delivered)
+	}
+	if observed < counts.Delivered {
+		t.Errorf("observed %d < delivered %d", observed, counts.Delivered)
+	}
+	if observed > counts.Decoded {
+		t.Errorf("observed %d > decoded %d", observed, counts.Decoded)
+	}
+}
+
+// TestMetricsMonotonicity: after Run returns, the stage counters obey
+// delivered ≤ classified+errors ≤ decoded — the pipeline never invents
+// records downstream of a stage. Checked on clean runs at several
+// worker counts and on an early-stopped run, where the inequalities
+// are strict candidates (records in flight at cancellation are
+// dropped, never delivered).
+func TestMetricsMonotonicity(t *testing.T) {
+	data, _ := observeCapture(t, 3000, 13)
+	check := func(name string, c Counts) {
+		t.Helper()
+		if c.Delivered > c.Classified+c.Errors {
+			t.Errorf("%s: delivered %d > classified %d + errors %d",
+				name, c.Delivered, c.Classified, c.Errors)
+		}
+		if c.Classified+c.Errors > c.Decoded {
+			t.Errorf("%s: classified %d + errors %d > decoded %d",
+				name, c.Classified, c.Errors, c.Decoded)
+		}
+		if c.Dropped != c.Decoded-c.Delivered {
+			t.Errorf("%s: dropped %d != decoded %d - delivered %d",
+				name, c.Dropped, c.Decoded, c.Delivered)
+		}
+	}
+	for _, workers := range []int{1, 4, 16} {
+		counts, err := Stream(context.Background(), bytes.NewReader(data),
+			Config{Workers: workers}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("clean", counts)
+		if counts.Delivered != counts.Decoded {
+			t.Errorf("clean run workers=%d: delivered %d != decoded %d",
+				workers, counts.Delivered, counts.Decoded)
+		}
+	}
+	n := 0
+	counts, err := Stream(context.Background(), bytes.NewReader(data),
+		Config{Workers: 8, BatchSize: 8},
+		func(Item) error {
+			if n++; n >= 50 {
+				return ErrStop
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("early-stop", counts)
+}

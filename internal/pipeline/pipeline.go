@@ -98,6 +98,18 @@ type Config struct {
 	// callers can observe a run in flight. Counters are cumulative
 	// across runs unless the caller Resets between them.
 	Metrics *Metrics
+	// Observe, when non-nil, is invoked from inside the classify stage
+	// for every record a worker finishes, before the record is handed
+	// downstream. The worker argument is the classifying worker's index
+	// in [0, Workers): calls are sequential per worker but concurrent
+	// across workers, so observers shard their state per worker index
+	// (the aggregating sink in internal/analysis accumulates into
+	// shards[worker] and merges after Run returns). Observe sees
+	// records in an unspecified cross-worker order, sees items whose
+	// Err is set, and — unlike the Sink — may see records that are
+	// never delivered when a run stops early; it must not retain the
+	// *capture.Connection past the call (batches recycle).
+	Observe func(worker int, it Item)
 }
 
 // Run streams records from src through the classifier pool into sink
@@ -228,7 +240,7 @@ func Run(ctx context.Context, src Source, cfg Config, sink Sink) (Counts, error)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			wcl := *cl // private instance: no false sharing across workers
 			var scratch core.Scratch
@@ -243,6 +255,9 @@ func Run(ctx context.Context, src Source, cfg Config, sink Sink) (Counts, error)
 							m.tampering.Add(1)
 						}
 					}
+					if cfg.Observe != nil {
+						cfg.Observe(worker, b[i])
+					}
 				}
 				select {
 				case results <- b:
@@ -250,7 +265,7 @@ func Run(ctx context.Context, src Source, cfg Config, sink Sink) (Counts, error)
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	go func() {
 		wg.Wait()

@@ -1,0 +1,113 @@
+package stats
+
+// Sketch is a deterministic bottom-k sample: it retains the k samples
+// with the smallest (key, value) pairs, where the key is a caller-
+// supplied hash of the sample's identity. Because "the k smallest" is
+// a pure function of the sample multiset, a Sketch is insensitive to
+// insertion order and mergeable — adding records one by one, adding
+// them shuffled, or merging independently built shards all yield the
+// same retained set. The streaming analysis aggregators use it
+// wherever the paper caps a per-signature sample (Figures 2 and 3's
+// 1 000-connection evidence CDFs): a deterministic pseudo-random
+// sample replaces the batch path's order-dependent "first k".
+type Sketch struct {
+	k int
+	// entries is a binary max-heap ordered by (key, value), so the
+	// largest retained pair sits at index 0 and is evicted first.
+	entries []sketchEntry
+}
+
+type sketchEntry struct {
+	key uint64
+	val float64
+}
+
+// less orders entries by (key, value); the value tie-break makes the
+// retained multiset deterministic even under hash collisions.
+func (e sketchEntry) less(o sketchEntry) bool {
+	if e.key != o.key {
+		return e.key < o.key
+	}
+	return e.val < o.val
+}
+
+// NewSketch returns a sketch retaining at most k samples (k ≥ 1).
+func NewSketch(k int) *Sketch {
+	if k < 1 {
+		k = 1
+	}
+	return &Sketch{k: k}
+}
+
+// K reports the retention cap.
+func (s *Sketch) K() int { return s.k }
+
+// Len reports the retained sample count.
+func (s *Sketch) Len() int { return len(s.entries) }
+
+// Add offers one sample under the given identity key. Identical
+// (key, value) pairs may be retained more than once; the sketch keeps
+// the k smallest pairs of the offered multiset.
+func (s *Sketch) Add(key uint64, val float64) {
+	e := sketchEntry{key: key, val: val}
+	if len(s.entries) < s.k {
+		s.entries = append(s.entries, e)
+		s.siftUp(len(s.entries) - 1)
+		return
+	}
+	// Full: only a pair smaller than the current maximum displaces it.
+	if !e.less(s.entries[0]) {
+		return
+	}
+	s.entries[0] = e
+	s.siftDown(0)
+}
+
+// Merge folds another sketch's retained samples into this one. Both
+// sketches must share the same k for merge results to be a pure
+// function of the combined multiset; Merge keeps this sketch's k.
+func (s *Sketch) Merge(o *Sketch) {
+	for _, e := range o.entries {
+		s.Add(e.key, e.val)
+	}
+}
+
+// Values returns the retained sample values in unspecified order
+// (NewCDF sorts); the returned slice is fresh.
+func (s *Sketch) Values() []float64 {
+	out := make([]float64, len(s.entries))
+	for i, e := range s.entries {
+		out[i] = e.val
+	}
+	return out
+}
+
+func (s *Sketch) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.entries[p].less(s.entries[i]) {
+			return
+		}
+		s.entries[p], s.entries[i] = s.entries[i], s.entries[p]
+		i = p
+	}
+}
+
+func (s *Sketch) siftDown(i int) {
+	n := len(s.entries)
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < n && s.entries[big].less(s.entries[l]) {
+			big = l
+		}
+		if r < n && s.entries[big].less(s.entries[r]) {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		s.entries[i], s.entries[big] = s.entries[big], s.entries[i]
+		i = big
+	}
+}

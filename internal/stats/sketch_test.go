@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+)
+
+// sketchSample is one (key, value) test sample.
+type sketchSample struct {
+	key uint64
+	val float64
+}
+
+func randomSamples(rng *rand.Rand, n int) []sketchSample {
+	out := make([]sketchSample, n)
+	for i := range out {
+		out[i] = sketchSample{key: rng.Uint64() >> 4, val: float64(rng.IntN(1000))}
+	}
+	// Inject duplicates and collisions.
+	for i := 0; i+7 < n; i += 7 {
+		out[i+1].key = out[i].key
+	}
+	return out
+}
+
+func sketchOf(k int, samples []sketchSample) *Sketch {
+	s := NewSketch(k)
+	for _, e := range samples {
+		s.Add(e.key, e.val)
+	}
+	return s
+}
+
+func sortedValues(s *Sketch) []float64 {
+	v := s.Values()
+	sort.Float64s(v)
+	return v
+}
+
+func equalValues(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSketchOrderIndependence: any insertion order retains the same
+// multiset of values.
+func TestSketchOrderIndependence(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	samples := randomSamples(rng, 500)
+	want := sortedValues(sketchOf(64, samples))
+	if len(want) != 64 {
+		t.Fatalf("retained %d of cap 64", len(want))
+	}
+	for trial := 0; trial < 5; trial++ {
+		shuffled := append([]sketchSample(nil), samples...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		if got := sortedValues(sketchOf(64, shuffled)); !equalValues(got, want) {
+			t.Fatalf("trial %d: shuffled insertion changed the retained set", trial)
+		}
+	}
+}
+
+// TestSketchMergeEqualsUnion: merging shards equals sketching the
+// concatenation, for any split and merge order.
+func TestSketchMergeEqualsUnion(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	samples := randomSamples(rng, 400)
+	want := sortedValues(sketchOf(32, samples))
+	for _, cut := range []int{0, 1, 133, 399, 400} {
+		a, b := sketchOf(32, samples[:cut]), sketchOf(32, samples[cut:])
+		a.Merge(b)
+		if got := sortedValues(a); !equalValues(got, want) {
+			t.Errorf("cut %d: a.Merge(b) diverges from union", cut)
+		}
+		a2, b2 := sketchOf(32, samples[:cut]), sketchOf(32, samples[cut:])
+		b2.Merge(a2)
+		if got := sortedValues(b2); !equalValues(got, want) {
+			t.Errorf("cut %d: b.Merge(a) diverges from union", cut)
+		}
+	}
+}
+
+// TestSketchBelowCap: fewer samples than k retains everything.
+func TestSketchBelowCap(t *testing.T) {
+	s := NewSketch(100)
+	for i := 0; i < 10; i++ {
+		s.Add(uint64(i), float64(i))
+	}
+	if s.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", s.Len())
+	}
+	got := sortedValues(s)
+	for i := range got {
+		if got[i] != float64(i) {
+			t.Fatalf("values %v missing sample %d", got, i)
+		}
+	}
+	if NewSketch(0).K() != 1 {
+		t.Error("k<1 not clamped")
+	}
+}
+
+// TestSketchKeepsSmallestKeys: retention is exactly the k smallest
+// (key, value) pairs.
+func TestSketchKeepsSmallestKeys(t *testing.T) {
+	s := NewSketch(3)
+	for k := uint64(10); k > 0; k-- {
+		s.Add(k, float64(k))
+	}
+	got := sortedValues(s)
+	if !equalValues(got, []float64{1, 2, 3}) {
+		t.Fatalf("retained %v, want the 3 smallest keys", got)
+	}
+}

@@ -1,0 +1,43 @@
+package workload
+
+// Multi-PoP sharding: the paper's detector runs at ~285 points of
+// presence, each seeing only the clients that anycast routing happens
+// to send it, and the global report is the merge of per-PoP
+// aggregates. PoPPartition models that: it splits a scenario's specs
+// into N client-affine shards — every connection from one client lands
+// on one PoP, as anycast keeps a client on its nearest site — so each
+// shard can be simulated, classified, and aggregated independently and
+// the merged aggregate compared against the single-PoP run.
+
+import "fmt"
+
+// PoPPartition splits specs into pops client-affine shards. The
+// assignment is a pure function of the spec's client identity (AS plus
+// pinned host index, or AS plus spec index for one-shot random-host
+// clients), so repeat clients — the overlap matrix's subject — stay on
+// one PoP and the partition is reproducible across runs. Every spec
+// appears in exactly one shard; relative order within a shard is
+// preserved.
+func PoPPartition(specs []ConnSpec, pops int) [][]ConnSpec {
+	if pops < 1 {
+		pops = 1
+	}
+	shards := make([][]ConnSpec, pops)
+	for _, spec := range specs {
+		shards[popOf(&spec, pops)] = append(shards[popOf(&spec, pops)], spec)
+	}
+	return shards
+}
+
+// popOf maps one spec to its PoP.
+func popOf(spec *ConnSpec, pops int) int {
+	var client string
+	if spec.HostIdx >= 0 {
+		// Pinned host: all of this client's connections share the key.
+		client = fmt.Sprintf("pop|%d|%d", spec.AS.ASN, spec.HostIdx)
+	} else {
+		// Random host: the client exists for one connection only.
+		client = fmt.Sprintf("pop|%d|idx%d", spec.AS.ASN, spec.Index)
+	}
+	return int(splitmixStr(client) % uint64(pops))
+}

@@ -1,0 +1,63 @@
+package workload
+
+import "testing"
+
+func TestPoPPartition(t *testing.T) {
+	s, err := BuildScenario("pop-partition", 8000, 48, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := s.Specs()
+	shards := PoPPartition(specs, 4)
+
+	// Exactly-one-shard: counts add up and every index appears once.
+	seen := make(map[int]int, len(specs))
+	total := 0
+	for pop, shard := range shards {
+		total += len(shard)
+		last := -1
+		for _, spec := range shard {
+			if _, dup := seen[spec.Index]; dup {
+				t.Fatalf("spec %d in two shards", spec.Index)
+			}
+			seen[spec.Index] = pop
+			if spec.Index <= last {
+				t.Fatalf("pop %d: spec order not preserved (%d after %d)", pop, spec.Index, last)
+			}
+			last = spec.Index
+		}
+	}
+	if total != len(specs) {
+		t.Fatalf("shards hold %d specs, want %d", total, len(specs))
+	}
+
+	// Client affinity: every pinned (AS, HostIdx) client stays on one PoP.
+	clientPop := map[[2]int64]int{}
+	for pop, shard := range shards {
+		for _, spec := range shard {
+			if spec.HostIdx < 0 {
+				continue
+			}
+			key := [2]int64{int64(spec.AS.ASN), int64(spec.HostIdx)}
+			if prev, ok := clientPop[key]; ok && prev != pop {
+				t.Fatalf("client AS%d/host%d on PoPs %d and %d", spec.AS.ASN, spec.HostIdx, prev, pop)
+			}
+			clientPop[key] = pop
+		}
+	}
+	if len(clientPop) == 0 {
+		t.Fatal("scenario produced no pinned repeat clients")
+	}
+
+	// Determinism and balance: same input, same partition; no empty PoP
+	// at this scale.
+	again := PoPPartition(specs, 4)
+	for pop := range shards {
+		if len(shards[pop]) == 0 {
+			t.Errorf("pop %d is empty", pop)
+		}
+		if len(again[pop]) != len(shards[pop]) {
+			t.Errorf("pop %d: repartition changed size %d -> %d", pop, len(shards[pop]), len(again[pop]))
+		}
+	}
+}

@@ -1,20 +1,26 @@
 #!/bin/sh
 # Perf-trajectory harness: runs the streaming-pipeline benchmark
-# (BenchmarkStreamPipeline, workers {1,4,16} x batch {1,64}) BENCH_COUNT
-# times and aggregates the per-cell medians into BENCH_pipeline.json via
-# scripts/benchjson — the recorded numbers EXPERIMENTS.md's Performance
-# section tracks across PRs. Run from anywhere:
+# (BenchmarkStreamPipeline, workers {1,4,16} x batch {1,64}) and the
+# geo-lookup cache benchmark (BenchmarkGeoLookup, cached vs uncached)
+# BENCH_COUNT times and aggregates the per-cell medians into
+# BENCH_pipeline.json via scripts/benchjson — the recorded numbers
+# EXPERIMENTS.md's Performance section tracks across PRs. Run from
+# anywhere:
 #
 #	./scripts/bench.sh
 #
 # Environment knobs:
-#	BENCH_COUNT  repetitions to take the median over (default 5)
-#	BENCH_TIME   -benchtime per run (default 10x; check.sh smokes with 1x)
-#	BENCH_OUT    output path (default BENCH_pipeline.json in the repo root)
+#	BENCH_COUNT     repetitions to take the median over (default 5)
+#	BENCH_TIME      -benchtime per stream-pipeline run (default 10x;
+#	                check.sh smokes with 1x)
+#	GEO_BENCH_TIME  -benchtime per geo-lookup run (default 500000x)
+#	BENCH_OUT       output path (default BENCH_pipeline.json in the
+#	                repo root)
 set -eu
 
 COUNT="${BENCH_COUNT:-5}"
 BENCHTIME="${BENCH_TIME:-10x}"
+GEOTIME="${GEO_BENCH_TIME:-500000x}"
 OUT="${BENCH_OUT:-BENCH_pipeline.json}"
 
 cd "$(dirname "$0")/.."
@@ -22,8 +28,14 @@ cd "$(dirname "$0")/.."
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
+# The stream benchmark's op is a whole pipeline run, so a handful of
+# iterations suffice; the geo lookup's op is ~tens of nanoseconds and
+# needs its own much larger iteration budget (GEO_BENCH_TIME).
 echo "== go test -bench BenchmarkStreamPipeline -benchtime $BENCHTIME -count $COUNT =="
 go test -run '^$' -bench 'BenchmarkStreamPipeline' -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$tmp"
+
+echo "== go test -bench BenchmarkGeoLookup -benchtime $GEOTIME -count $COUNT =="
+go test -run '^$' -bench 'BenchmarkGeoLookup' -benchtime "$GEOTIME" -count "$COUNT" . | tee -a "$tmp"
 
 go run ./scripts/benchjson -o "$OUT" <"$tmp"
 echo "wrote $OUT"

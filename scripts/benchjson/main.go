@@ -4,7 +4,9 @@
 // recorded before/after numbers). It reads bench output on stdin —
 // typically several -count runs — and writes, per workers×batch cell,
 // the median of each custom metric the benchmark reports: conns/sec,
-// ns/record, B/record, allocs/record.
+// ns/record, B/record, allocs/record. BenchmarkGeoLookup lines, when
+// present, additionally record the geo range-cache delta as a
+// geo_lookup section (uncached vs cached ns/op and their ratio).
 //
 // Usage:
 //
@@ -38,15 +40,28 @@ type result struct {
 	AllocsPerRecord float64 `json:"allocs_per_record"`
 }
 
-type report struct {
-	Benchmark string   `json:"benchmark"`
-	GoVersion string   `json:"go_version"`
-	CPU       string   `json:"cpu,omitempty"`
-	Runs      int      `json:"runs"`
-	Results   []result `json:"results"`
+// geoLookup records the per-record source-address resolution delta:
+// raw binary search vs the per-worker range cache the streaming
+// aggregators put in front of it (BenchmarkGeoLookup).
+type geoLookup struct {
+	UncachedNsPerOp float64 `json:"uncached_ns_per_op"`
+	CachedNsPerOp   float64 `json:"cached_ns_per_op"`
+	Speedup         float64 `json:"speedup"`
 }
 
-var nameRe = regexp.MustCompile(`^BenchmarkStreamPipeline/workers=(\d+)/batch=(\d+)(?:-\d+)?$`)
+type report struct {
+	Benchmark string     `json:"benchmark"`
+	GoVersion string     `json:"go_version"`
+	CPU       string     `json:"cpu,omitempty"`
+	Runs      int        `json:"runs"`
+	Results   []result   `json:"results"`
+	GeoLookup *geoLookup `json:"geo_lookup,omitempty"`
+}
+
+var (
+	nameRe = regexp.MustCompile(`^BenchmarkStreamPipeline/workers=(\d+)/batch=(\d+)(?:-\d+)?$`)
+	geoRe  = regexp.MustCompile(`^BenchmarkGeoLookup/mode=(cached|uncached)(?:-\d+)?$`)
+)
 
 func main() {
 	out := flag.String("o", "BENCH_pipeline.json", "output JSON path")
@@ -83,6 +98,7 @@ type cell struct{ workers, batch int }
 
 func aggregate(src *os.File) (*report, error) {
 	samples := map[cell]map[string][]float64{}
+	geoSamples := map[string][]float64{}
 	rep := &report{Benchmark: "BenchmarkStreamPipeline", GoVersion: runtime.Version()}
 	runs := 0
 	sc := bufio.NewScanner(src)
@@ -95,6 +111,19 @@ func aggregate(src *os.File) (*report, error) {
 		}
 		fields := strings.Fields(line)
 		if len(fields) < 4 {
+			continue
+		}
+		if g := geoRe.FindStringSubmatch(fields[0]); g != nil {
+			// Geo lines carry the standard ns/op pair right after the
+			// iteration count.
+			for i := 2; i+1 < len(fields); i += 2 {
+				if fields[i+1] != "ns/op" {
+					continue
+				}
+				if v, err := strconv.ParseFloat(fields[i], 64); err == nil {
+					geoSamples[g[1]] = append(geoSamples[g[1]], v)
+				}
+			}
 			continue
 		}
 		m := nameRe.FindStringSubmatch(fields[0])
@@ -144,6 +173,9 @@ func aggregate(src *os.File) (*report, error) {
 		}
 		return a.Batch < b.Batch
 	})
+	if u, c := median(geoSamples["uncached"]), median(geoSamples["cached"]); u > 0 && c > 0 {
+		rep.GeoLookup = &geoLookup{UncachedNsPerOp: u, CachedNsPerOp: c, Speedup: u / c}
+	}
 	return rep, nil
 }
 
@@ -184,6 +216,11 @@ func validateFile(path string) error {
 		}
 		if r.AllocsPerRecord < 0 || r.BytesPerRecord < 0 {
 			return fmt.Errorf("%s: workers=%d batch=%d has negative allocation metrics", path, r.Workers, r.Batch)
+		}
+	}
+	if g := rep.GeoLookup; g != nil {
+		if g.UncachedNsPerOp <= 0 || g.CachedNsPerOp <= 0 || g.Speedup <= 0 {
+			return fmt.Errorf("%s: geo_lookup has non-positive timings", path)
 		}
 	}
 	return nil

@@ -20,6 +20,19 @@ go test -race ./...
 echo "== robustness false-positive gate (full scale) =="
 go test ./internal/workload/ -run 'TestLossyGradeZeroFalsePositives' -count=1
 
+# Aggregation parity gate: the full paper surface rendered via the
+# legacy batch functions, the streaming pipeline at 1/4/16 workers,
+# and a 5-PoP shard-and-merge (both merge orders) must be
+# byte-identical. This is the tentpole invariant of the incremental
+# aggregation subsystem; run it focused and uncached.
+echo "== batch / streaming / PoP-merge parity gate =="
+go test ./internal/analysis/ -run 'TestParityStreamingMatchesBatch|TestParityPoPMergeMatchesBatch' -count=1
+
+# Pipeline metric sanity: after any run, delivered <= classified <=
+# decoded and the dropped counter accounts exactly for the gap.
+echo "== pipeline metrics monotonicity gate =="
+go test ./internal/pipeline/ -run 'TestMetricsMonotonicity' -count=1
+
 # Smoke the perf harness: one short benchmark iteration, then assert
 # the aggregator produced well-formed JSON. No timing assertions —
 # shared CI machines make those flaky; the recorded trajectory is

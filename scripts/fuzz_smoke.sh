@@ -21,6 +21,7 @@ targets="
 ./internal/tlswire:FuzzParseSNI
 ./internal/tlswire:FuzzBuildParse
 ./internal/httpwire:FuzzParseRequest
+./internal/analysis:FuzzMergeAssociativity
 "
 
 for t in $targets; do

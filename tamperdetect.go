@@ -52,9 +52,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
+	"tamperdetect/internal/analysis"
 	"tamperdetect/internal/capture"
 	"tamperdetect/internal/core"
+	"tamperdetect/internal/geo"
 	"tamperdetect/internal/pipeline"
 )
 
@@ -93,6 +96,58 @@ type (
 	// StreamMetrics holds live per-stage counters observable while a
 	// Stream is in flight (pass one via StreamConfig.Metrics).
 	StreamMetrics = pipeline.Metrics
+
+	// Aggregator is one incrementally computed paper table: records
+	// stream in via Add, independently built aggregators combine via
+	// Merge (the multi-PoP rollup), and Finalize renders the table.
+	// Every finalized table is a pure function of the record multiset,
+	// so worker count, shard partitioning, and merge order never change
+	// the output.
+	Aggregator = analysis.Aggregator
+	// AggMulti composes aggregators so one streaming pass fills all of
+	// them.
+	AggMulti = analysis.Multi
+	// AnalysisRecord is one classified connection with its aggregation
+	// keys (country, ASN, IP version, hour, client key, ports).
+	AnalysisRecord = analysis.Record
+	// GeoDB is the synthetic IP→(country, AS) plan aggregation keys
+	// come from. May be nil when geography does not matter.
+	GeoDB = geo.DB
+)
+
+// Aggregator implementations and their finalized tables, re-exported
+// so StreamAnalyze results can be type-asserted and finalized outside
+// this module. Each *Agg type's typed finalize method computes the
+// corresponding paper table.
+type (
+	StageStatsAgg         = analysis.StageStatsAgg         // §4.1 — Stats() StageStats
+	SignatureByCountryAgg = analysis.SignatureByCountryAgg // Fig 4 — Table()
+	CountryBySignatureAgg = analysis.CountryBySignatureAgg // Fig 1 — Table()
+	ASNViewAgg            = analysis.ASNViewAgg            // Fig 5 — View(country)
+	TimeSeriesAgg         = analysis.TimeSeriesAgg         // Figs 6/8/9 — Series()
+	IPVersionAgg          = analysis.IPVersionAgg          // Fig 7a — Table()
+	ProtocolAgg           = analysis.ProtocolAgg           // Fig 7b — Table()
+	EvidenceAgg           = analysis.EvidenceAgg           // Figs 2/3 — CDFs()
+	ScannerAgg            = analysis.ScannerAgg            // §4.2 — Stats()
+	DomainAgg             = analysis.DomainAgg             // Tables 2/3, §5.5
+	OverlapAgg            = analysis.OverlapAgg            // Fig 10 — Matrix()
+	StabilityAgg          = analysis.StabilityAgg          // §6 — Report()
+	RobustnessAgg         = analysis.RobustnessAgg         // FP matrix — Grade()
+
+	StageStats           = analysis.StageStats
+	CountryDistribution  = analysis.CountryDistribution
+	SignatureComposition = analysis.SignatureComposition
+	ASNStat              = analysis.ASNStat
+	SeriesPoint          = analysis.SeriesPoint
+	VersionComparison    = analysis.VersionComparison
+	ProtocolComparison   = analysis.ProtocolComparison
+	EvidenceCDFs         = analysis.EvidenceCDFs
+	ScannerStats         = analysis.ScannerStats
+	CategoryTable        = analysis.CategoryTable
+	ListCoverageRow      = analysis.ListCoverageRow
+	OverlapMatrix        = analysis.OverlapMatrix
+	StabilityRow         = analysis.StabilityRow
+	RobustnessGrade      = analysis.RobustnessGrade
 )
 
 // ErrStopStream may be returned by a Stream sink to stop the pipeline
@@ -181,6 +236,82 @@ func ReadCaptureFile(path string) ([]*Connection, error) {
 // early without error.
 func Stream(ctx context.Context, r io.Reader, cfg StreamConfig, fn func(StreamItem) error) (StreamCounts, error) {
 	return pipeline.Stream(ctx, r, cfg, fn)
+}
+
+// Aggregator constructors, re-exported from internal/analysis. Each
+// returns a concrete aggregator whose typed finalize methods (Stats,
+// Table, View, Series, CDFs, Matrix, Report, …) compute the
+// corresponding paper table; Finalize returns the same value as `any`.
+var (
+	// NewStageStatsAgg aggregates the §4.1 stage breakdown.
+	NewStageStatsAgg = analysis.NewStageStatsAgg
+	// NewSignatureByCountryAgg aggregates Figure 4.
+	NewSignatureByCountryAgg = analysis.NewSignatureByCountryAgg
+	// NewCountryBySignatureAgg aggregates Figure 1.
+	NewCountryBySignatureAgg = analysis.NewCountryBySignatureAgg
+	// NewASNViewAgg aggregates Figure 5 for every country at once.
+	NewASNViewAgg = analysis.NewASNViewAgg
+	// NewTimeSeriesAgg aggregates a Figures 6/8/9 longitudinal series.
+	NewTimeSeriesAgg = analysis.NewTimeSeriesAgg
+	// NewIPVersionAgg aggregates Figure 7a.
+	NewIPVersionAgg = analysis.NewIPVersionAgg
+	// NewProtocolAgg aggregates Figure 7b.
+	NewProtocolAgg = analysis.NewProtocolAgg
+	// NewEvidenceAgg aggregates the Figures 2/3 evidence CDFs.
+	NewEvidenceAgg = analysis.NewEvidenceAgg
+	// NewScannerAgg aggregates the §4.2 scanner fingerprints.
+	NewScannerAgg = analysis.NewScannerAgg
+	// NewDomainAgg aggregates the per-domain counts behind Tables 2/3
+	// and the §5.5 observation set.
+	NewDomainAgg = analysis.NewDomainAgg
+	// NewOverlapAgg aggregates the Figure 10 overlap matrix.
+	NewOverlapAgg = analysis.NewOverlapAgg
+	// NewStabilityAgg aggregates the §6 stability report.
+	NewStabilityAgg = analysis.NewStabilityAgg
+	// NewRobustnessAgg aggregates one impairment grade's
+	// false-positive cell.
+	NewRobustnessAgg = analysis.NewRobustnessAgg
+)
+
+// StreamAnalyze streams a TDCAP capture through the classification
+// pipeline and aggregates every record incrementally: each pipeline
+// worker owns a private aggregator shard (built by fresh) and a
+// private geo lookup cache, records are added lock-free from the
+// worker that classified them, and the shards merge into the returned
+// aggregator when the stream ends. Memory stays constant in capture
+// size — nothing is buffered beyond the pipeline's bounded queues and
+// the aggregator state itself.
+//
+//	agg, counts, err := tamperdetect.StreamAnalyze(ctx, f,
+//		tamperdetect.StreamConfig{Workers: 8}, nil,
+//		func() tamperdetect.Aggregator { return tamperdetect.NewStageStatsAgg() })
+//	stats := agg.(*tamperdetect.StageStatsAgg).Stats()
+//
+// fresh must return a new identically-parameterised aggregator on
+// every call (use AggMulti to fill several tables in one pass); db may
+// be nil, leaving country/AS keys empty. The result is byte-identical
+// across worker counts: aggregators are pure functions of the record
+// multiset.
+func StreamAnalyze(ctx context.Context, r io.Reader, cfg StreamConfig, db *GeoDB, fresh func() Aggregator) (Aggregator, StreamCounts, error) {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		cfg.Workers = workers
+	}
+	sharded := analysis.NewSharded(db, workers, fresh)
+	prev := cfg.Observe
+	cfg.Observe = func(worker int, it StreamItem) {
+		sharded.Observe(worker, it)
+		if prev != nil {
+			prev(worker, it)
+		}
+	}
+	counts, err := pipeline.Stream(ctx, r, cfg, nil)
+	if err != nil {
+		return nil, counts, err
+	}
+	agg, err := sharded.Merged()
+	return agg, counts, err
 }
 
 // WriteCaptureFile stores connection records as a TDCAP capture file.
