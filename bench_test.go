@@ -484,6 +484,67 @@ func BenchmarkStreamPipeline(b *testing.B) {
 	}
 }
 
+// BenchmarkStreamTelemetryOverhead measures what the telemetry
+// subsystem costs on the streaming hot path: the identical Stream run
+// with telemetry off versus attached (stage histograms, queue gauges,
+// per-signature sharded counters, records_total instruments). The
+// contract tracked in EXPERIMENTS.md is ≤5% throughput loss and 0
+// extra allocs/record; scripts/bench.sh records both rows in
+// BENCH_pipeline.json as stream_telemetry_overhead.
+func BenchmarkStreamTelemetryOverhead(b *testing.B) {
+	conns, _, _ := benchData(b)
+	var buf bytes.Buffer
+	w := capture.NewWriter(&buf)
+	for _, c := range conns {
+		if err := w.Write(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	const workers = 4
+	tel := pipeline.NewTelemetry(nil)
+	for _, mode := range []struct {
+		name string
+		tel  *pipeline.Telemetry
+	}{{"telemetry=off", nil}, {"telemetry=on", tel}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			b.ReportAllocs()
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			classified := int64(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// A fresh Metrics per run: the shared Telemetry's own
+				// counter block accumulates across runs by design, so the
+				// per-run count must come from an explicit block (both
+				// modes get one, keeping the comparison symmetric).
+				var m pipeline.Metrics
+				counts, err := pipeline.Stream(context.Background(),
+					bytes.NewReader(data),
+					pipeline.Config{Workers: workers, Telemetry: mode.tel, Metrics: &m}, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if counts.Classified != int64(len(conns)) {
+					b.Fatalf("classified %d of %d", counts.Classified, len(conns))
+				}
+				classified += counts.Classified
+			}
+			b.StopTimer()
+			runtime.ReadMemStats(&after)
+			records := float64(classified)
+			b.ReportMetric(records/b.Elapsed().Seconds(), "conns/sec")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/records, "ns/record")
+			b.ReportMetric(float64(after.TotalAlloc-before.TotalAlloc)/records, "B/record")
+			b.ReportMetric(float64(after.Mallocs-before.Mallocs)/records, "allocs/record")
+		})
+	}
+}
+
 // BenchmarkCaptureCodec times the TDCAP encode+decode round trip.
 func BenchmarkCaptureCodec(b *testing.B) {
 	conns, _, _ := benchData(b)

@@ -31,6 +31,13 @@
 // (the cap is checked at delivery, so in-flight batches may push the
 // aggregated total slightly past it). It exists to smoke-test the
 // one-pass machinery quickly on large -total values.
+//
+// -metrics-addr serves the run's pipeline telemetry (stage latency
+// histograms, per-signature counters, queue gauges) plus health and
+// pprof endpoints while the experiments execute; -progress prints a
+// one-line counter snapshot to stderr on the given interval.
+// -cpuprofile/-memprofile/-blockprofile/-mutexprofile write Go pprof
+// profiles; block and mutex profiling are armed only when requested.
 package main
 
 import (
@@ -49,9 +56,19 @@ import (
 	"tamperdetect/internal/pipeline"
 	"tamperdetect/internal/profiling"
 	"tamperdetect/internal/stats"
+	"tamperdetect/internal/telemetry"
 	"tamperdetect/internal/testlists"
 	"tamperdetect/internal/workload"
 )
+
+// instruments carries the optional observability hooks through run:
+// a pipeline telemetry block shared by every experiment's stream and
+// the fault-event counters attached to impaired scenarios. The zero
+// value disables both.
+type instruments struct {
+	tel    *pipeline.Telemetry
+	fstats *faults.Stats
+}
 
 var experiments = []string{
 	"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
@@ -68,8 +85,12 @@ func main() {
 	threshold := flag.Int("threshold", 3, "per-domain match threshold for Tables 2-3 (paper: 100/day at CDN scale)")
 	maxRecords := flag.Int("maxrecords", 0, "stop the shared dataset stream after roughly N connections (0 = all)")
 	impair := flag.String("impair", "", "link-impairment grade applied to the scenario (clean|lossy|hostile)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address for the run")
+	progress := flag.Duration("progress", 0, "print a progress line to stderr on this interval (0 = off)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this path")
+	blockprofile := flag.String("blockprofile", "", "write a goroutine blocking profile to this path")
+	mutexprofile := flag.String("mutexprofile", "", "write a mutex contention profile to this path")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: paperbench [flags] <%s>\n", strings.Join(experiments, "|"))
 		flag.PrintDefaults()
@@ -79,12 +100,48 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	stopProf, err := profiling.Start(profiling.Config{
+		CPUProfile:   *cpuprofile,
+		MemProfile:   *memprofile,
+		BlockProfile: *blockprofile,
+		MutexProfile: *mutexprofile,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "paperbench:", err)
 		os.Exit(1)
 	}
-	runErr := run(flag.Arg(0), *total, *hours, *seed, *workers, *threshold, *maxRecords, *impair)
+
+	var ins instruments
+	var srv *telemetry.Server
+	var rep *telemetry.Reporter
+	if *metricsAddr != "" || *progress > 0 {
+		ins.tel = pipeline.NewTelemetry(nil)
+		ins.fstats = &faults.Stats{}
+		ins.fstats.Register(ins.tel.Registry())
+	}
+	if *metricsAddr != "" {
+		if srv, err = telemetry.NewServer(*metricsAddr, ins.tel.Registry()); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "paperbench: serving metrics at %s/metrics\n", srv.URL())
+	}
+	if *progress > 0 {
+		m := ins.tel.Metrics()
+		rep = telemetry.StartReporter(os.Stderr, *progress, func() string {
+			c := m.Snapshot()
+			return fmt.Sprintf("paperbench: progress decoded=%d classified=%d tampering=%d delivered=%d",
+				c.Decoded, c.Classified, c.Tampering, c.Delivered)
+		})
+	}
+
+	runErr := run(flag.Arg(0), *total, *hours, *seed, *workers, *threshold, *maxRecords, *impair, ins)
+	if rep != nil {
+		rep.Stop()
+	}
+	if srv != nil {
+		srv.Close()
+	}
 	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, "paperbench:", err)
 	}
@@ -171,7 +228,7 @@ func resolveWorkers(w int) int {
 // private aggregator shard, and the shards merge once the stream
 // drains. maxRecords > 0 stops the stream early (approximately — see
 // the -maxrecords flag doc).
-func buildDataset(total, hours int, seed uint64, workers, maxRecords int, imp faults.Config) (*dataset, error) {
+func buildDataset(total, hours int, seed uint64, workers, maxRecords int, imp faults.Config, ins instruments) (*dataset, error) {
 	s, err := workload.BuildScenario("paperbench", total, hours, seed)
 	if err != nil {
 		return nil, err
@@ -193,7 +250,7 @@ func buildDataset(total, hours int, seed uint64, workers, maxRecords int, imp fa
 		}
 	}
 	counts, err := pipeline.Run(context.Background(), src,
-		pipeline.Config{Workers: w, Observe: sharded.Observe}, sink)
+		pipeline.Config{Workers: w, Observe: sharded.Observe, Telemetry: ins.tel}, sink)
 	if err != nil {
 		return nil, err
 	}
@@ -206,7 +263,7 @@ func buildDataset(total, hours int, seed uint64, workers, maxRecords int, imp fa
 	return &dataset{scen: s, aggs: merged.(analysis.Multi)}, nil
 }
 
-func run(exp string, total, hours int, seed uint64, workers, threshold, maxRecords int, impair string) error {
+func run(exp string, total, hours int, seed uint64, workers, threshold, maxRecords int, impair string, ins instruments) error {
 	known := false
 	for _, e := range experiments {
 		if e == exp {
@@ -223,12 +280,13 @@ func run(exp string, total, hours int, seed uint64, workers, threshold, maxRecor
 			return err
 		}
 	}
+	imp.Stats = ins.fstats // nil-safe: a nil Stats counts nothing
 
 	var ds *dataset
 	// fig8 (the Iran case study) and robustness build their own
 	// scenarios; everything else shares one dataset.
 	if exp != "fig8" && exp != "robustness" {
-		ds, err = buildDataset(total, hours, seed, workers, maxRecords, imp)
+		ds, err = buildDataset(total, hours, seed, workers, maxRecords, imp, ins)
 		if err != nil {
 			return err
 		}
@@ -298,7 +356,7 @@ func run(exp string, total, hours int, seed uint64, workers, threshold, maxRecor
 			})
 			src := s.Stream(workers)
 			counts, err := pipeline.Run(context.Background(), src,
-				pipeline.Config{Workers: w, Observe: sharded.Observe}, nil)
+				pipeline.Config{Workers: w, Observe: sharded.Observe, Telemetry: ins.tel}, nil)
 			src.Close()
 			if err != nil {
 				return err
@@ -364,7 +422,7 @@ func run(exp string, total, hours int, seed uint64, workers, threshold, maxRecor
 				})
 				src := sweep.StreamSpecs(specs, workers)
 				counts, err := pipeline.Run(context.Background(), src,
-					pipeline.Config{Workers: w, Observe: sharded.Observe}, nil)
+					pipeline.Config{Workers: w, Observe: sharded.Observe, Telemetry: ins.tel}, nil)
 				src.Close()
 				if err != nil {
 					return err

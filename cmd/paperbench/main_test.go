@@ -1,10 +1,14 @@
 package main
 
 import (
+	"bytes"
+	"strings"
 	"testing"
 
 	"tamperdetect/internal/analysis"
 	"tamperdetect/internal/faults"
+	"tamperdetect/internal/pipeline"
+	"tamperdetect/internal/telemetry"
 )
 
 // TestRunExperiments smoke-runs every experiment at tiny scale; each
@@ -16,7 +20,7 @@ func TestRunExperiments(t *testing.T) {
 		}
 		exp := exp
 		t.Run(exp, func(t *testing.T) {
-			if err := run(exp, 3000, 48, 7, 2, 2, 0, ""); err != nil {
+			if err := run(exp, 3000, 48, 7, 2, 2, 0, "", instruments{}); err != nil {
 				t.Fatalf("run(%s): %v", exp, err)
 			}
 		})
@@ -24,10 +28,10 @@ func TestRunExperiments(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("nope", 10, 1, 1, 1, 1, 0, ""); err == nil {
+	if err := run("nope", 10, 1, 1, 1, 1, 0, "", instruments{}); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if err := run("table1", 10, 1, 1, 1, 1, 0, "nope"); err == nil {
+	if err := run("table1", 10, 1, 1, 1, 1, 0, "nope", instruments{}); err == nil {
 		t.Error("unknown impairment grade accepted")
 	}
 }
@@ -37,12 +41,12 @@ func TestRunUnknownExperiment(t *testing.T) {
 // at most the pipeline's bounded in-flight window, but must stay well
 // below the full run.
 func TestMaxRecordsCapsDataset(t *testing.T) {
-	full, err := buildDataset(6000, 48, 7, 2, 0, faults.Config{})
+	full, err := buildDataset(6000, 48, 7, 2, 0, faults.Config{}, instruments{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	fullTotal := full.aggs[aggStages].(*analysis.StageStatsAgg).Stats().Total
-	capped, err := buildDataset(6000, 48, 7, 2, 200, faults.Config{})
+	capped, err := buildDataset(6000, 48, 7, 2, 200, faults.Config{}, instruments{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,11 +62,11 @@ func TestMaxRecordsCapsDataset(t *testing.T) {
 // TestDatasetDeterministicAcrossWorkers checks the one-pass dataset is
 // a pure function of the scenario: worker count cannot change a table.
 func TestDatasetDeterministicAcrossWorkers(t *testing.T) {
-	ds1, err := buildDataset(3000, 48, 7, 1, 0, faults.Config{})
+	ds1, err := buildDataset(3000, 48, 7, 1, 0, faults.Config{}, instruments{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ds4, err := buildDataset(3000, 48, 7, 4, 0, faults.Config{})
+	ds4, err := buildDataset(3000, 48, 7, 4, 0, faults.Config{}, instruments{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,5 +79,37 @@ func TestDatasetDeterministicAcrossWorkers(t *testing.T) {
 	m4 := analysis.RenderOverlapMatrix(ds4.aggs[aggOverlap].(*analysis.OverlapAgg).Matrix())
 	if m1 != m4 {
 		t.Error("overlap matrix differs across worker counts")
+	}
+}
+
+// TestRunInstrumented runs an experiment with the full observability
+// hooks attached: the shared dataset stream must feed the telemetry
+// block and the registry must expose a valid scrape afterwards.
+func TestRunInstrumented(t *testing.T) {
+	ins := instruments{tel: pipeline.NewTelemetry(nil), fstats: &faults.Stats{}}
+	ins.fstats.Register(ins.tel.Registry())
+	if err := run("table1", 2000, 24, 7, 2, 2, 0, "lossy", ins); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := ins.tel.Metrics().Snapshot().Classified; got == 0 {
+		t.Error("telemetry metrics saw no classified records")
+	}
+	if ins.fstats.Delivered.Load() == 0 {
+		t.Error("impaired run counted no delivered fault events")
+	}
+	var buf bytes.Buffer
+	if err := ins.tel.Registry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.ValidateExposition(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	}
+	for _, want := range []string{
+		"tamperdetect_pipeline_stage_latency_ns_bucket",
+		`tamperdetect_faults_events_total{event="lost"}`,
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("exposition missing %q", want)
+		}
 	}
 }

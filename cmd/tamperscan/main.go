@@ -17,7 +17,14 @@
 //
 // Usage:
 //
-//	tamperscan [-v] [-tampered-only] [-workers N] capture.{tdcap,pcap}
+//	tamperscan [-v] [-tampered-only] [-workers N] [-metrics-addr host:port]
+//	           [-progress interval] capture.{tdcap,pcap}
+//
+// With -metrics-addr, an introspection HTTP server runs for the
+// duration of the scan: /metrics (Prometheus text), /metrics.json,
+// /healthz, /debug/vars, and /debug/pprof/* (see internal/telemetry).
+// With -progress, a one-line pipeline snapshot goes to stderr on the
+// given interval.
 //
 // Exit status: 0 on a clean scan, 1 on failure, 2 on usage errors, and
 // 3 when the input turned out to be truncated or corrupt partway
@@ -34,6 +41,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"time"
 
 	"tamperdetect"
 	"tamperdetect/internal/analysis"
@@ -43,14 +51,35 @@ import (
 	"tamperdetect/internal/pcap"
 	"tamperdetect/internal/pipeline"
 	"tamperdetect/internal/stats"
+	"tamperdetect/internal/telemetry"
 )
 
+// options carries the command's flags into run.
+type options struct {
+	verbose      bool
+	tamperedOnly bool
+	workers      int
+	metricsAddr  string        // "" = no metrics server
+	progress     time.Duration // 0 = no progress lines
+}
+
 func main() {
-	verbose := flag.Bool("v", false, "print each connection's verdict")
-	tamperedOnly := flag.Bool("tampered-only", false, "with -v, print only tampered connections")
-	workers := flag.Int("workers", 0, "classifier parallelism (0 = all cores)")
+	var opts options
+	flag.BoolVar(&opts.verbose, "v", false, "print each connection's verdict")
+	flag.BoolVar(&opts.tamperedOnly, "tampered-only", false, "with -v, print only tampered connections")
+	flag.IntVar(&opts.workers, "workers", 0, "classifier parallelism (0 = all cores)")
+	flag.StringVar(&opts.metricsAddr, "metrics-addr", "", "serve /metrics, /healthz, /debug/pprof on this host:port for the scan's duration")
+	flag.DurationVar(&opts.progress, "progress", 0, "print a one-line pipeline snapshot to stderr on this interval (e.g. 2s; 0 = off)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: tamperscan [-v] [-tampered-only] [-workers N] capture.tdcap\n")
+		fmt.Fprintf(os.Stderr, `usage: tamperscan [-v] [-tampered-only] [-workers N] [-metrics-addr host:port] [-progress interval] capture.{tdcap,pcap}
+
+exit status:
+  0  clean scan
+  1  failure (unreadable input, no records scanned)
+  2  usage error
+  3  input truncated or corrupt partway through; the report for the
+     good prefix was still printed
+`)
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -58,7 +87,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *verbose, *tamperedOnly, *workers); err != nil {
+	if err := run(flag.Arg(0), opts); err != nil {
 		fmt.Fprintln(os.Stderr, "tamperscan:", err)
 		// A truncated or corrupt capture that still yielded results
 		// exits 3, distinct from total failure (1) and usage (2), so
@@ -198,27 +227,68 @@ func (rep *report) print() {
 	}
 }
 
-func run(path string, verbose, tamperedOnly bool, workers int) error {
+// testHookBeforeMetricsShutdown, when non-nil, is invoked with the
+// metrics server's bound address after the scan finishes but before
+// the server shuts down. The scripts/check.sh metrics gate test uses
+// it to scrape /metrics and /healthz at a deterministic point.
+var testHookBeforeMetricsShutdown func(addr string)
+
+func run(path string, opts options) error {
 	src, cleanup, err := openSource(path)
 	if err != nil {
 		return err
 	}
 	defer cleanup()
-	w := workers
+	w := opts.workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
+
+	// Telemetry is constructed only when something will read it — the
+	// metrics server or the progress reporter — so a bare scan keeps
+	// zero overhead.
+	var m pipeline.Metrics
+	var tel *pipeline.Telemetry
+	if opts.metricsAddr != "" {
+		tel = pipeline.NewTelemetry(nil)
+		srv, err := telemetry.NewServer(opts.metricsAddr, tel.Registry())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "tamperscan: serving metrics at %s/metrics\n", srv.URL())
+		defer func() {
+			if testHookBeforeMetricsShutdown != nil {
+				testHookBeforeMetricsShutdown(srv.Addr())
+			}
+			srv.Close()
+		}()
+	}
+	if opts.progress > 0 {
+		prev := m.Snapshot()
+		prevAt := time.Now()
+		rep := telemetry.StartReporter(os.Stderr, opts.progress, func() string {
+			d := m.Delta(prev)
+			now := time.Now()
+			rate := float64(d.Delivered) / now.Sub(prevAt).Seconds()
+			prev, prevAt = m.Snapshot(), now
+			s := m.Snapshot()
+			return fmt.Sprintf("tamperscan: progress decoded=%d classified=%d tampering=%d delivered=%d errors=%d rate=%.0f conns/s",
+				s.Decoded, s.Classified, s.Tampering, s.Delivered, s.Errors, rate)
+		})
+		defer rep.Stop()
+	}
+
 	// The report aggregates per worker through the Observe hook (no geo
 	// plan: a scan keys nothing by country). The sink only exists for
 	// -v; ordered delivery keeps its listing deterministic across
 	// worker counts.
 	sharded := analysis.NewSharded(nil, w, newReport)
 	var sink pipeline.Sink
-	if verbose {
-		sink = verbosePrinter(tamperedOnly)
+	if opts.verbose {
+		sink = verbosePrinter(opts.tamperedOnly)
 	}
 	_, runErr := pipeline.Run(context.Background(), src,
-		pipeline.Config{Workers: w, Ordered: true, Observe: sharded.Observe}, sink)
+		pipeline.Config{Workers: w, Ordered: true, Observe: sharded.Observe, Metrics: &m, Telemetry: tel}, sink)
 	merged, err := sharded.Merged()
 	if err != nil {
 		return err

@@ -123,7 +123,7 @@ func TestRunReport(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{1, 4} {
-		if err := run(path, true, true, workers); err != nil {
+		if err := run(path, options{verbose: true, tamperedOnly: true, workers: workers}); err != nil {
 			t.Fatalf("run(workers=%d): %v", workers, err)
 		}
 	}
@@ -147,7 +147,7 @@ func TestRunPartialOnCorruptTail(t *testing.T) {
 	if err := os.WriteFile(path, bad, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	err = run(path, false, false, 1)
+	err = run(path, options{workers: 1})
 	if err == nil {
 		t.Fatal("corrupt tail scanned without error")
 	}
@@ -162,7 +162,7 @@ func TestRunPartialOnCorruptTail(t *testing.T) {
 	if err := os.WriteFile(allBad, append(good[:8:8], 0xC0, 0x07), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	err = run(allBad, false, false, 1)
+	err = run(allBad, options{workers: 1})
 	if err == nil {
 		t.Fatal("fully corrupt capture scanned without error")
 	}

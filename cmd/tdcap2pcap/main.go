@@ -13,16 +13,23 @@
 //
 // Usage:
 //
-//	tdcap2pcap capture.tdcap out.pcap
+//	tdcap2pcap [-progress interval] capture.tdcap out.pcap
+//
+// -progress prints a one-line packets/connections snapshot to stderr
+// on the given interval while the export runs.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
+	"sync/atomic"
+	"time"
 
 	"tamperdetect"
 	"tamperdetect/internal/packet"
 	"tamperdetect/internal/pcap"
+	"tamperdetect/internal/telemetry"
 )
 
 // minTimestamp finds the earliest record timestamp for rebasing.
@@ -41,17 +48,23 @@ func minTimestamp(conns []*tamperdetect.Connection) int64 {
 }
 
 func main() {
-	if len(os.Args) != 3 {
-		fmt.Fprintln(os.Stderr, "usage: tdcap2pcap capture.tdcap out.pcap")
+	progress := flag.Duration("progress", 0, "print a progress line to stderr on this interval (0 = off)")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: tdcap2pcap [-progress interval] capture.tdcap out.pcap")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(os.Args[1], os.Args[2]); err != nil {
+	if err := run(flag.Arg(0), flag.Arg(1), *progress); err != nil {
 		fmt.Fprintln(os.Stderr, "tdcap2pcap:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out string) error {
+func run(in, out string, progress time.Duration) error {
 	conns, err := tamperdetect.ReadCaptureFile(in)
 	if err != nil {
 		return err
@@ -63,7 +76,14 @@ func run(in, out string) error {
 	w := pcap.NewWriter(f, 0)
 	buf := packet.NewSerializeBuffer()
 	opts := packet.SerializeOptions{FixLengths: true, ComputeChecksums: true}
-	packets := 0
+	var packets, exported atomic.Int64
+	if progress > 0 {
+		rep := telemetry.StartReporter(os.Stderr, progress, func() string {
+			return fmt.Sprintf("tdcap2pcap: progress connections=%d/%d packets=%d",
+				exported.Load(), len(conns), packets.Load())
+		})
+		defer rep.Stop()
+	}
 	base := minTimestamp(conns)
 	for _, conn := range conns {
 		// Export in reconstructed (likely arrival) order: the TDCAP log
@@ -101,8 +121,9 @@ func run(in, out string) error {
 			if err := w.Write((rec.Timestamp-base)*1e9+int64(i)*1000, buf.Bytes()); err != nil {
 				return err
 			}
-			packets++
+			packets.Add(1)
 		}
+		exported.Add(1)
 	}
 	if err := w.Flush(); err != nil {
 		return err
@@ -110,6 +131,6 @@ func run(in, out string) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %d packets from %d connections to %s\n", packets, len(conns), out)
+	fmt.Printf("wrote %d packets from %d connections to %s\n", packets.Load(), len(conns), out)
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"tamperdetect"
 	"tamperdetect/internal/packet"
@@ -29,7 +30,7 @@ func TestExportRoundTrip(t *testing.T) {
 	if err := tamperdetect.WriteCaptureFile(in, conns); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(in, out); err != nil {
+	if err := run(in, out, time.Millisecond); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	f, err := os.Open(out)
@@ -76,7 +77,7 @@ func TestExportRoundTrip(t *testing.T) {
 }
 
 func TestExportMissingInput(t *testing.T) {
-	if err := run("/nonexistent.tdcap", filepath.Join(t.TempDir(), "o.pcap")); err == nil {
+	if err := run("/nonexistent.tdcap", filepath.Join(t.TempDir(), "o.pcap"), 0); err == nil {
 		t.Error("missing input accepted")
 	}
 }

@@ -7,7 +7,8 @@
 //
 //	trafficgen [-scenario global|iran2022] [-total N] [-hours H]
 //	           [-seed S] [-workers W] [-impair grade]
-//	           [-config scenario.json] -o out.tdcap
+//	           [-config scenario.json] [-metrics-addr host:port]
+//	           -o out.tdcap
 //
 // With -config, the scenario (countries, censor styles, coverage, and
 // temporal knobs) is loaded from a JSON file; see
@@ -17,6 +18,16 @@
 // internal/faults (clean, lossy, hostile): burst loss, duplication,
 // reordering, jitter, corruption. It overrides the config file's
 // "impairment" field when both are given.
+//
+// -metrics-addr serves Prometheus (/metrics), JSON (/metrics.json),
+// health (/healthz), and pprof (/debug/pprof/) endpoints for the
+// duration of the run; fault-injection event counters
+// (tamperdetect_faults_events_total) are exposed there and a summary
+// is printed after the run when impairments are active.
+//
+// -cpuprofile/-memprofile/-blockprofile/-mutexprofile write Go pprof
+// profiles of the simulation; block and mutex profiling are armed only
+// when their flags are given.
 package main
 
 import (
@@ -28,6 +39,7 @@ import (
 	"tamperdetect"
 	"tamperdetect/internal/faults"
 	"tamperdetect/internal/profiling"
+	"tamperdetect/internal/telemetry"
 	"tamperdetect/internal/workload"
 )
 
@@ -40,16 +52,24 @@ func main() {
 	workers := flag.Int("workers", 0, "simulation parallelism (0 = all cores)")
 	impair := flag.String("impair", "", "link-impairment grade (clean|lossy|hostile)")
 	out := flag.String("o", "capture.tdcap", "output capture path")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address for the run")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this path")
+	blockprofile := flag.String("blockprofile", "", "write a goroutine blocking profile to this path")
+	mutexprofile := flag.String("mutexprofile", "", "write a mutex contention profile to this path")
 	flag.Parse()
 
-	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	stopProf, err := profiling.Start(profiling.Config{
+		CPUProfile:   *cpuprofile,
+		MemProfile:   *memprofile,
+		BlockProfile: *blockprofile,
+		MutexProfile: *mutexprofile,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "trafficgen:", err)
 		os.Exit(1)
 	}
-	runErr := run(*scenario, *config, *total, *hours, *seed, *workers, *impair, *out)
+	runErr := run(*scenario, *config, *total, *hours, *seed, *workers, *impair, *out, *metricsAddr)
 	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, "trafficgen:", err)
 	}
@@ -59,7 +79,7 @@ func main() {
 	}
 }
 
-func run(scenario, config string, total, hours int, seed uint64, workers int, impair, out string) error {
+func run(scenario, config string, total, hours int, seed uint64, workers int, impair, out, metricsAddr string) error {
 	var s *workload.Scenario
 	var err error
 	switch {
@@ -80,10 +100,31 @@ func run(scenario, config string, total, hours int, seed uint64, workers int, im
 			return err
 		}
 	}
+
+	// Fault-injection events are counted whenever impairments are
+	// active; with -metrics-addr they are also exposed live.
+	var fstats faults.Stats
+	s.Impairments.Stats = &fstats
+	if metricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		fstats.Register(reg)
+		srv, err := telemetry.NewServer(metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "trafficgen: serving metrics at %s/metrics\n", srv.URL())
+	}
+
 	start := time.Now()
 	conns := s.Run(workers)
 	fmt.Printf("simulated %d connections over %d scenario-hours in %v\n",
 		len(conns), s.Hours, time.Since(start).Round(time.Millisecond))
+	if delivered := fstats.Delivered.Load(); delivered > 0 {
+		fmt.Printf("impairment events: delivered=%d lost=%d dup=%d reordered=%d corrupted=%d truncated=%d\n",
+			delivered, fstats.Lost.Load(), fstats.Duplicated.Load(),
+			fstats.Reordered.Load(), fstats.Corrupted.Load(), fstats.Truncated.Load())
+	}
 	if err := tamperdetect.WriteCaptureFile(out, conns); err != nil {
 		return err
 	}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/netip"
+	"sync/atomic"
 
 	"tamperdetect/internal/packet"
 )
@@ -163,6 +164,7 @@ func appendAddr(buf []byte, a netip.Addr, ipver int) []byte {
 // record at a time without retaining it.
 type Reader struct {
 	r     *bufio.Reader
+	raw   *countingReader
 	began bool
 	count int
 	err   error // sticky error for Next/NextInto
@@ -179,7 +181,24 @@ type Reader struct {
 }
 
 // NewReader wraps r.
-func NewReader(r io.Reader) *Reader { return &Reader{r: bufio.NewReader(r)} }
+func NewReader(r io.Reader) *Reader {
+	cr := &countingReader{r: r}
+	return &Reader{r: bufio.NewReader(cr), raw: cr}
+}
+
+// countingReader counts raw bytes pulled from the underlying stream.
+// The count is atomic so a live observer (a metrics scrape, a progress
+// reporter) can read throughput while another goroutine decodes.
+type countingReader struct {
+	r io.Reader
+	n atomic.Int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(int64(n))
+	return n, err
+}
 
 // slabConn carves one Connection from the arena.
 func (r *Reader) slabConn() *Connection {
@@ -399,6 +418,12 @@ func (r *Reader) readInto(c *Connection) error {
 
 // Count reports how many records Next and NextInto have returned so far.
 func (r *Reader) Count() int { return r.count }
+
+// BytesRead reports the raw bytes consumed from the underlying stream
+// so far, including bytes buffered ahead of the decode position. It is
+// safe to call concurrently with decoding, so throughput gauges can
+// sample it live.
+func (r *Reader) BytesRead() int64 { return r.raw.n.Load() }
 
 // ReadAll drains the reader.
 func (r *Reader) ReadAll() ([]*Connection, error) {

@@ -165,6 +165,38 @@ func TestReaderNext(t *testing.T) {
 	}
 }
 
+func TestReaderBytesRead(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 3; i++ {
+		if err := w.Write(sampleConn(true)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	total := int64(buf.Len())
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	if r.BytesRead() != 0 {
+		t.Fatalf("BytesRead before decoding = %d", r.BytesRead())
+	}
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	// bufio reads ahead, so after one record the counter is somewhere
+	// in (0, total]; after draining it must equal the stream size.
+	if got := r.BytesRead(); got <= 0 || got > total {
+		t.Fatalf("BytesRead after one record = %d, want (0, %d]", got, total)
+	}
+	if _, err := r.ReadAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.BytesRead(); got != total {
+		t.Fatalf("BytesRead after drain = %d, want %d", got, total)
+	}
+}
+
 func TestReaderNextStickyError(t *testing.T) {
 	var buf bytes.Buffer
 	w := NewWriter(&buf)

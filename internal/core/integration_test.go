@@ -407,9 +407,9 @@ func TestMiddleboxPositionIndistinguishable(t *testing.T) {
 		sim := netsim.NewSim(0)
 		rng := rand.New(rand.NewPCG(51, 52))
 		cprof := tcpsim.NetProfile{
-			LocalIP:    netip.MustParseAddr("20.0.5.9"),
-			RemoteIP:   netip.MustParseAddr("192.0.2.80"),
-			LocalPort:  41000, RemotePort: 443,
+			LocalIP:   netip.MustParseAddr("20.0.5.9"),
+			RemoteIP:  netip.MustParseAddr("192.0.2.80"),
+			LocalPort: 41000, RemotePort: 443,
 			InitialTTL: 64, IPID: tcpsim.IPIDCounter, IPIDValue: 500,
 			Window: 64240, SYNOptions: true,
 		}

@@ -67,6 +67,13 @@ type Config struct {
 	// mangled packet fails checksum verification downstream.
 	TruncateProb float64
 	TruncateMTU  int
+
+	// Stats, when non-nil, receives atomic event counts from every
+	// Chain built from this Config. One Stats is typically shared by
+	// all of a simulation's chains (Config is copied by value per
+	// connection; the pointer rides along), so totals aggregate across
+	// the whole run and can be read live.
+	Stats *Stats `json:"-"`
 }
 
 // Enabled reports whether the profile impairs anything.
@@ -161,6 +168,9 @@ func NewChain(cfg Config, rng *rand.Rand) *Chain {
 func (ch *Chain) Hook(now netsim.Time, dir netsim.Direction, data []byte) []netsim.Delivery {
 	cfg := &ch.cfg
 	if ch.rng.Float64() < ch.lossProb(dir, now) {
+		if cfg.Stats != nil {
+			cfg.Stats.Lost.Add(1)
+		}
 		return nil
 	}
 	d := netsim.Delivery{Data: data}
@@ -174,15 +184,27 @@ func (ch *Chain) Hook(now netsim.Time, dir netsim.Direction, data []byte) []nets
 		}
 		// Hold back long enough that closely-following packets overtake.
 		d.ExtraDelay += rd/4 + time.Duration(ch.rng.Int64N(int64(3*rd/4)))
+		if cfg.Stats != nil {
+			cfg.Stats.Reordered.Add(1)
+		}
 	}
 	if cfg.CorruptProb > 0 && ch.rng.Float64() < cfg.CorruptProb && len(d.Data) > 0 {
 		c := append([]byte(nil), d.Data...)
 		c[ch.rng.IntN(len(c))] ^= 1 << ch.rng.IntN(8)
 		d.Data = c
+		if cfg.Stats != nil {
+			cfg.Stats.Corrupted.Add(1)
+		}
 	}
 	if cfg.TruncateProb > 0 && cfg.TruncateMTU > 0 && len(d.Data) > cfg.TruncateMTU &&
 		ch.rng.Float64() < cfg.TruncateProb {
 		d.Data = append([]byte(nil), d.Data[:cfg.TruncateMTU]...)
+		if cfg.Stats != nil {
+			cfg.Stats.Truncated.Add(1)
+		}
+	}
+	if cfg.Stats != nil {
+		cfg.Stats.Delivered.Add(1)
 	}
 	out := []netsim.Delivery{d}
 	if cfg.DupProb > 0 && ch.rng.Float64() < cfg.DupProb {
@@ -196,6 +218,9 @@ func (ch *Chain) Hook(now netsim.Time, dir netsim.Direction, data []byte) []nets
 			Data:       append([]byte(nil), d.Data...),
 			ExtraDelay: d.ExtraDelay + dd,
 		})
+		if cfg.Stats != nil {
+			cfg.Stats.Duplicated.Add(1)
+		}
 	}
 	return out
 }

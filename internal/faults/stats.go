@@ -1,0 +1,45 @@
+package faults
+
+import (
+	"sync/atomic"
+
+	"tamperdetect/internal/telemetry"
+)
+
+// Stats counts fault-injection events across every Chain built from a
+// Config carrying the same *Stats. All fields are atomic: many
+// simulated connections (and worker goroutines) share one Stats, so a
+// live scrape or progress line can read totals mid-simulation.
+//
+// Delivered counts hook invocations whose packet survived (possibly
+// mangled); the event counters are not mutually exclusive — one packet
+// can be jittered, reordered, and duplicated.
+type Stats struct {
+	Delivered  atomic.Int64
+	Lost       atomic.Int64
+	Duplicated atomic.Int64
+	Reordered  atomic.Int64
+	Corrupted  atomic.Int64
+	Truncated  atomic.Int64
+}
+
+// Register exposes the stats in reg as
+// tamperdetect_faults_events_total{event=...} counters.
+func (s *Stats) Register(reg *telemetry.Registry) {
+	const name = "tamperdetect_faults_events_total"
+	const help = "Fault-injection events across all impaired paths."
+	for _, e := range []struct {
+		label string
+		v     *atomic.Int64
+	}{
+		{"delivered", &s.Delivered},
+		{"lost", &s.Lost},
+		{"duplicated", &s.Duplicated},
+		{"reordered", &s.Reordered},
+		{"corrupted", &s.Corrupted},
+		{"truncated", &s.Truncated},
+	} {
+		v := e.v
+		reg.CounterFunc(name, telemetry.Label("event", e.label), help, v.Load)
+	}
+}

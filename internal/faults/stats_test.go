@@ -1,0 +1,79 @@
+package faults
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"time"
+
+	"tamperdetect/internal/netsim"
+	"tamperdetect/internal/telemetry"
+)
+
+func TestStatsCountsEvents(t *testing.T) {
+	cfg, err := Grade("hostile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	cfg.Stats = &st
+	// Crank the optional-event probabilities so every counter moves
+	// within a modest packet budget.
+	cfg.DupProb, cfg.ReorderProb, cfg.CorruptProb, cfg.TruncateProb = 0.3, 0.3, 0.3, 0.3
+	ch := NewChain(cfg, rand.New(rand.NewPCG(1, 2)))
+
+	const n = 4000
+	pkt := make([]byte, 1400) // above TruncateMTU so truncation can fire
+	now := netsim.Time(0)
+	var hookDelivered int
+	for i := 0; i < n; i++ {
+		now += netsim.Time(200 * time.Microsecond)
+		if out := ch.Hook(now, netsim.Direction(i%2), pkt); len(out) > 0 {
+			hookDelivered++
+		}
+	}
+	if got := st.Delivered.Load() + st.Lost.Load(); got != n {
+		t.Fatalf("delivered %d + lost %d != %d hook calls", st.Delivered.Load(), st.Lost.Load(), n)
+	}
+	if int(st.Delivered.Load()) != hookDelivered {
+		t.Fatalf("Delivered = %d, hook returned packets %d times", st.Delivered.Load(), hookDelivered)
+	}
+	for name, v := range map[string]int64{
+		"lost":       st.Lost.Load(),
+		"duplicated": st.Duplicated.Load(),
+		"reordered":  st.Reordered.Load(),
+		"corrupted":  st.Corrupted.Load(),
+		"truncated":  st.Truncated.Load(),
+	} {
+		if v <= 0 {
+			t.Errorf("event %s never counted", name)
+		}
+	}
+}
+
+func TestStatsNilSafe(t *testing.T) {
+	cfg, _ := Grade("lossy")
+	ch := NewChain(cfg, rand.New(rand.NewPCG(3, 4)))
+	for i := 0; i < 100; i++ {
+		ch.Hook(netsim.Time(i)*netsim.Time(time.Millisecond), 0, []byte{1, 2, 3})
+	}
+}
+
+func TestStatsRegister(t *testing.T) {
+	var st Stats
+	st.Lost.Add(7)
+	reg := telemetry.NewRegistry()
+	st.Register(reg)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if err := telemetry.ValidateExposition(strings.NewReader(text)); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, text)
+	}
+	if !strings.Contains(text, `tamperdetect_faults_events_total{event="lost"} 7`) {
+		t.Fatalf("missing lost counter:\n%s", text)
+	}
+}

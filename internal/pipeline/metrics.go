@@ -29,8 +29,36 @@ func (m *Metrics) Snapshot() Counts {
 	}
 }
 
+// Delta returns the counter movement since prev, a snapshot taken
+// earlier from this same Metrics: Delta(prev) == Snapshot() - prev,
+// field by field. It is the rate-friendly way to watch a shared
+// Metrics — take a snapshot, wait, Delta — and works whether one run
+// or several concurrent runs are feeding the counters. Note Dropped
+// is recomputed (stored, not accumulated) at the end of each run, so
+// its delta is only meaningful between snapshots that straddle whole
+// runs; the five monotonic counters are always safe.
+func (m *Metrics) Delta(prev Counts) Counts {
+	cur := m.Snapshot()
+	return Counts{
+		Decoded:    cur.Decoded - prev.Decoded,
+		Classified: cur.Classified - prev.Classified,
+		Tampering:  cur.Tampering - prev.Tampering,
+		Delivered:  cur.Delivered - prev.Delivered,
+		Errors:     cur.Errors - prev.Errors,
+		Dropped:    cur.Dropped - prev.Dropped,
+	}
+}
+
 // Reset zeroes every counter, so one Metrics can span multiple runs
 // either cumulatively (no Reset) or per-run.
+//
+// Cross-run semantics: a Metrics shared across sequential runs
+// accumulates unless Reset is called between them; Reset while any
+// run is in flight races with that run's updates and yields
+// meaningless counts (nothing crashes — the fields are atomics — but
+// per-stage invariants like delivered <= decoded no longer hold).
+// To observe one run of many without Reset, snapshot at run start
+// and use Delta.
 func (m *Metrics) Reset() {
 	m.decoded.Store(0)
 	m.classified.Store(0)

@@ -29,6 +29,7 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"time"
 
 	"tamperdetect/internal/capture"
 	"tamperdetect/internal/core"
@@ -110,6 +111,15 @@ type Config struct {
 	// never delivered when a run stops early; it must not retain the
 	// *capture.Connection past the call (batches recycle).
 	Observe func(worker int, it Item)
+	// Telemetry, when non-nil, streams rich operational metrics from
+	// the run into the Telemetry's registry: per-stage latency
+	// histograms, queue-depth gauges, per-signature and per-
+	// disposition counters, and capture throughput. The per-record
+	// cost is two sharded atomic adds (no allocation); stage latency
+	// is timed per batch. When Metrics is nil the run also uses
+	// Telemetry.Metrics() as its counter block, so the exposed
+	// records_total series follow the run automatically.
+	Telemetry *Telemetry
 }
 
 // Run streams records from src through the classifier pool into sink
@@ -139,9 +149,17 @@ func Run(ctx context.Context, src Source, cfg Config, sink Sink) (Counts, error)
 	if cl == nil {
 		cl = core.NewClassifier(core.DefaultConfig())
 	}
+	tel := cfg.Telemetry
 	m := cfg.Metrics
 	if m == nil {
-		m = &Metrics{}
+		if tel != nil {
+			m = tel.Metrics()
+		} else {
+			m = &Metrics{}
+		}
+	}
+	if tel != nil {
+		tel.attach(m)
 	}
 	if sink == nil {
 		sink = func(Item) error { return nil }
@@ -182,13 +200,35 @@ func Run(ctx context.Context, src Source, cfg Config, sink Sink) (Counts, error)
 	go func() {
 		defer close(decodeDone)
 		defer close(decoded)
+		// Telemetry: batchStart tracks decode time per batch (excluding
+		// time blocked on a full channel, which the queue gauge shows
+		// instead); srcBytes feeds capture throughput when the source
+		// can report raw bytes consumed.
+		var batchStart time.Time
+		var lastBytes int64
+		srcBytes, _ := src.(byteCounter)
+		if tel != nil {
+			batchStart = time.Now()
+		}
 		cur := getBatch()
 		flush := func() bool {
 			if len(cur) == 0 {
 				return true
 			}
+			if tel != nil {
+				tel.stageLat[stageDecode].Observe(time.Since(batchStart).Nanoseconds())
+				if srcBytes != nil {
+					b := srcBytes.BytesRead()
+					tel.capBytes.Add(b - lastBytes)
+					lastBytes = b
+				}
+			}
 			select {
 			case decoded <- cur:
+				if tel != nil {
+					tel.queueDecos.Set(int64(len(decoded)) * int64(batch))
+					batchStart = time.Now()
+				}
 				cur = getBatch()
 				return true
 			case <-ctx.Done():
@@ -245,6 +285,10 @@ func Run(ctx context.Context, src Source, cfg Config, sink Sink) (Counts, error)
 			wcl := *cl // private instance: no false sharing across workers
 			var scratch core.Scratch
 			for b := range decoded {
+				var classifyStart time.Time
+				if tel != nil {
+					classifyStart = time.Now()
+				}
 				for i := range b {
 					b[i].Res, b[i].Err = classify(&wcl, &scratch, b[i].Conn)
 					if b[i].Err != nil {
@@ -255,12 +299,32 @@ func Run(ctx context.Context, src Source, cfg Config, sink Sink) (Counts, error)
 							m.tampering.Add(1)
 						}
 					}
-					if cfg.Observe != nil {
+					if tel != nil {
+						tel.observeSig(worker, b[i])
+					}
+				}
+				var observeStart time.Time
+				if tel != nil {
+					observeStart = time.Now()
+					tel.stageLat[stageClassify].Observe(observeStart.Sub(classifyStart).Nanoseconds())
+				}
+				// Observe runs as a second pass over the batch: per-record
+				// semantics are unchanged (sequential per worker, before the
+				// batch is handed downstream), and its cost is timed apart
+				// from the classify cost.
+				if cfg.Observe != nil {
+					for i := range b {
 						cfg.Observe(worker, b[i])
+					}
+					if tel != nil {
+						tel.stageLat[stageObserve].Observe(time.Since(observeStart).Nanoseconds())
 					}
 				}
 				select {
 				case results <- b:
+					if tel != nil {
+						tel.queueRes.Set(int64(len(results)) * int64(batch))
+					}
 				case <-ctx.Done():
 					return
 				}
@@ -294,6 +358,19 @@ func Run(ctx context.Context, src Source, cfg Config, sink Sink) (Counts, error)
 			cancel()
 		}
 	}
+	deliverBatch := func(b []Item) {
+		var sinkStart time.Time
+		if tel != nil {
+			sinkStart = time.Now()
+		}
+		for i := range b {
+			deliver(b[i])
+		}
+		if tel != nil {
+			tel.stageLat[stageSink].Observe(time.Since(sinkStart).Nanoseconds())
+		}
+		putBatch(b)
+	}
 	if cfg.Ordered {
 		// Reorder buffer: holds out-of-order batches until their
 		// predecessors arrive, keyed by first index. The single decoder
@@ -311,21 +388,20 @@ func Run(ctx context.Context, src Source, cfg Config, sink Sink) (Counts, error)
 				}
 				delete(pending, next)
 				next += len(nb)
-				for i := range nb {
-					deliver(nb[i])
-				}
-				putBatch(nb)
+				deliverBatch(nb)
 			}
 		}
 	} else {
 		for b := range results {
-			for i := range b {
-				deliver(b[i])
-			}
-			putBatch(b)
+			deliverBatch(b)
 		}
 	}
 	<-decodeDone
+	if tel != nil {
+		// Both channels are fully drained once delivery ends.
+		tel.queueDecos.Set(0)
+		tel.queueRes.Set(0)
+	}
 
 	counts := m.Snapshot()
 	counts.Dropped = counts.Decoded - counts.Delivered

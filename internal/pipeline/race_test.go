@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"tamperdetect/internal/capture"
+	"tamperdetect/internal/telemetry"
 )
 
 // checkGoroutines snapshots the goroutine count and returns a verifier
@@ -266,6 +267,154 @@ func TestConcurrentRuns(t *testing.T) {
 	}
 	if got := m.Snapshot().Classified; got != int64(runs*len(conns)) {
 		t.Errorf("shared metrics classified = %d, want %d", got, runs*len(conns))
+	}
+}
+
+// TestConcurrentRunsWithTelemetry is the telemetry-enabled variant of
+// TestConcurrentRuns: several pipelines share one Metrics AND one
+// Telemetry while a scraper goroutine continuously renders and
+// validates the exposition — the live-scrape-during-runs shape the
+// metrics server produces. Meaningful under -race.
+func TestConcurrentRunsWithTelemetry(t *testing.T) {
+	verify := checkGoroutines(t)
+	defer verify()
+
+	conns := testConns(200)
+	data := encode(t, conns)
+	tel := NewTelemetry(nil)
+	var m Metrics
+	const runs = 4
+
+	stop := make(chan struct{})
+	scrapeErr := make(chan error, 1)
+	go func() {
+		var firstErr error
+		for {
+			select {
+			case <-stop:
+				scrapeErr <- firstErr
+				return
+			default:
+			}
+			var buf bytes.Buffer
+			if err := tel.Registry().WritePrometheus(&buf); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("write: %w", err)
+			}
+			if err := telemetry.ValidateExposition(bytes.NewReader(buf.Bytes())); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("validate: %w\n%s", err, buf.String())
+			}
+			var js bytes.Buffer
+			if err := tel.Registry().WriteJSON(&js); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("json: %w", err)
+			}
+		}
+	}()
+
+	errs := make(chan error, runs)
+	for i := 0; i < runs; i++ {
+		go func() {
+			_, err := Stream(context.Background(), bytes.NewReader(data),
+				Config{Workers: 4, Depth: 8, Metrics: &m, Telemetry: tel}, nil)
+			errs <- err
+		}()
+	}
+	for i := 0; i < runs; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	if err := <-scrapeErr; err != nil {
+		t.Fatalf("live scrape failed: %v", err)
+	}
+
+	want := int64(runs * len(conns))
+	if got := m.Snapshot().Classified; got != want {
+		t.Errorf("shared metrics classified = %d, want %d", got, want)
+	}
+	var buf bytes.Buffer
+	if err := tel.Registry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if want := fmt.Sprintf(`tamperdetect_pipeline_records_total{stage="classified"} %d`, want); !bytes.Contains(buf.Bytes(), []byte(want)) {
+		t.Errorf("final exposition missing %q:\n%s", want, buf.String())
+	}
+}
+
+// TestSnapshotDeltaConcurrentRuns is the Metrics.Delta regression
+// test: while several runs feed one shared Metrics, a watcher takes
+// Snapshot/Delta pairs and asserts the five monotonic counters never
+// move backwards and every delta is non-negative (Dropped is store-
+// based, so it is exempt mid-run; see the Delta doc). After the runs
+// finish, the delta from the zero snapshot must equal the final
+// snapshot.
+func TestSnapshotDeltaConcurrentRuns(t *testing.T) {
+	verify := checkGoroutines(t)
+	defer verify()
+
+	conns := testConns(300)
+	data := encode(t, conns)
+	var m Metrics
+	const runs = 4
+
+	start := m.Snapshot() // all-zero baseline
+	stop := make(chan struct{})
+	watchErr := make(chan error, 1)
+	go func() {
+		prev := m.Snapshot()
+		var firstErr error
+		for {
+			select {
+			case <-stop:
+				watchErr <- firstErr
+				return
+			default:
+			}
+			d := m.Delta(prev)
+			if d.Decoded < 0 || d.Classified < 0 || d.Tampering < 0 || d.Delivered < 0 || d.Errors < 0 {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("negative delta: %+v", d)
+				}
+			}
+			cur := m.Snapshot()
+			if cur.Decoded < prev.Decoded || cur.Classified < prev.Classified ||
+				cur.Tampering < prev.Tampering || cur.Delivered < prev.Delivered ||
+				cur.Errors < prev.Errors {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("snapshot went backwards: %+v then %+v", prev, cur)
+				}
+			}
+			prev = cur
+		}
+	}()
+
+	errs := make(chan error, runs)
+	for i := 0; i < runs; i++ {
+		go func() {
+			_, err := Stream(context.Background(), bytes.NewReader(data),
+				Config{Workers: 4, Depth: 8, Metrics: &m}, nil)
+			errs <- err
+		}()
+	}
+	for i := 0; i < runs; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	if err := <-watchErr; err != nil {
+		t.Fatal(err)
+	}
+
+	final := m.Snapshot()
+	if d := m.Delta(start); d != final {
+		t.Errorf("Delta(zero) = %+v, want the full snapshot %+v", d, final)
+	}
+	if d := m.Delta(final); (d != Counts{}) {
+		t.Errorf("Delta(final) = %+v, want all-zero", d)
+	}
+	if final.Classified != int64(runs*len(conns)) {
+		t.Errorf("classified = %d, want %d", final.Classified, runs*len(conns))
 	}
 }
 

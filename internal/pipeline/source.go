@@ -31,6 +31,11 @@ func (s *ReaderSource) Next() (*capture.Connection, error) { return s.r.Next() }
 // Decoded reports how many records have been decoded so far.
 func (s *ReaderSource) Decoded() int { return s.r.Count() }
 
+// BytesRead reports the raw bytes consumed from the underlying
+// stream, feeding the capture throughput counter when the pipeline
+// runs with Telemetry.
+func (s *ReaderSource) BytesRead() int64 { return s.r.BytesRead() }
+
 // SliceSource yields records from an in-memory slice, skipping nil
 // entries (positional simulation output uses nil for unsampled specs).
 type SliceSource struct {

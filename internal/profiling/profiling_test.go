@@ -1,0 +1,76 @@
+package profiling
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStartZeroConfigNoop(t *testing.T) {
+	stop, err := Start(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartWritesAllProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		CPUProfile:   filepath.Join(dir, "cpu.pprof"),
+		MemProfile:   filepath.Join(dir, "mem.pprof"),
+		BlockProfile: filepath.Join(dir, "block.pprof"),
+		MutexProfile: filepath.Join(dir, "mutex.pprof"),
+	}
+	stop, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generate a little of everything: allocation, blocking on a
+	// channel, and mutex contention, so the profiles have content.
+	var mu sync.Mutex
+	ch := make(chan int)
+	go func() {
+		time.Sleep(time.Millisecond)
+		ch <- 1
+	}()
+	<-ch
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				mu.Lock()
+				time.Sleep(10 * time.Microsecond)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	_ = make([]byte, 1<<20)
+
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cfg.CPUProfile, cfg.MemProfile, cfg.BlockProfile, cfg.MutexProfile} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("missing profile %s: %v", p, err)
+			continue
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestStartBadPath(t *testing.T) {
+	if _, err := Start(Config{CPUProfile: filepath.Join(t.TempDir(), "no", "such", "dir", "x")}); err == nil {
+		t.Fatal("bad cpu path did not error")
+	}
+}

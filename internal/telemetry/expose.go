@@ -1,0 +1,375 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// WritePrometheus renders every registered instrument in the
+// Prometheus text exposition format (version 0.0.4): one HELP/TYPE
+// header per metric name, then one sample per series, with histograms
+// expanded into cumulative _bucket{le=...} samples plus _sum and
+// _count. Series appear in first registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	seen := map[string]bool{}
+	for _, e := range r.snapshotEntries() {
+		if !seen[e.name] {
+			seen[e.name] = true
+			if e.help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", e.name, strings.NewReplacer("\\", `\\`, "\n", `\n`).Replace(e.help))
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", e.name, e.kind)
+		}
+		if e.hist != nil {
+			writePromHistogram(bw, e)
+			continue
+		}
+		fmt.Fprintf(bw, "%s%s %d\n", e.name, promLabels(e.labels), e.value())
+	}
+	return bw.Flush()
+}
+
+// promLabels wraps a pre-rendered label string in braces, or returns
+// "" for the empty label set.
+func promLabels(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// promLabelsExtra appends one more rendered pair to a label string.
+func promLabelsExtra(labels, pair string) string {
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return "{" + labels + "," + pair + "}"
+}
+
+func writePromHistogram(w io.Writer, e *entry) {
+	s := e.hist.Snapshot()
+	var cum uint64
+	for i, b := range s.Buckets {
+		cum += b
+		// Skip interior empty buckets to keep the exposition compact;
+		// cumulative semantics make them redundant. Always emit +Inf.
+		if b == 0 && i < NumBuckets-1 {
+			continue
+		}
+		le := "+Inf"
+		if i < NumBuckets-1 {
+			le = strconv.FormatInt(BucketUpper(i), 10)
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", e.name, promLabelsExtra(e.labels, `le="`+le+`"`), cum)
+	}
+	fmt.Fprintf(w, "%s_sum%s %d\n", e.name, promLabels(e.labels), s.Sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", e.name, promLabels(e.labels), s.Count)
+}
+
+// jsonMetric is one series in the JSON snapshot.
+type jsonMetric struct {
+	Name   string `json:"name"`
+	Labels string `json:"labels,omitempty"`
+	Type   string `json:"type"`
+
+	// Scalar instruments.
+	Value *int64 `json:"value,omitempty"`
+
+	// Histograms.
+	Count   *uint64      `json:"count,omitempty"`
+	Sum     *int64       `json:"sum,omitempty"`
+	MeanNs  float64      `json:"mean_ns,omitempty"`
+	P50Ns   int64        `json:"p50_ns,omitempty"`
+	P90Ns   int64        `json:"p90_ns,omitempty"`
+	P99Ns   int64        `json:"p99_ns,omitempty"`
+	Buckets []jsonBucket `json:"buckets,omitempty"`
+}
+
+type jsonBucket struct {
+	LeNs       int64  `json:"le_ns"` // -1 encodes +Inf
+	Cumulative uint64 `json:"cumulative"`
+}
+
+// jsonSnapshot is the top-level /metrics.json document.
+type jsonSnapshot struct {
+	TimestampUnixNs int64        `json:"timestamp_unix_ns"`
+	Metrics         []jsonMetric `json:"metrics"`
+}
+
+// WriteJSON renders the registry as one JSON document: scalars as
+// {name, labels, type, value}, histograms with count/sum/mean and
+// p50/p90/p99 quantile estimates plus the non-empty cumulative
+// buckets. This is the /metrics.json endpoint's payload.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	snap := jsonSnapshot{TimestampUnixNs: time.Now().UnixNano()}
+	for _, e := range r.snapshotEntries() {
+		m := jsonMetric{Name: e.name, Labels: e.labels, Type: e.kind.String()}
+		if e.hist != nil {
+			s := e.hist.Snapshot()
+			count, sum := s.Count, s.Sum
+			m.Count, m.Sum = &count, &sum
+			m.MeanNs = s.Mean()
+			m.P50Ns = s.Quantile(0.50)
+			m.P90Ns = s.Quantile(0.90)
+			m.P99Ns = s.Quantile(0.99)
+			var cum uint64
+			for i, b := range s.Buckets {
+				cum += b
+				if b == 0 {
+					continue
+				}
+				le := BucketUpper(i)
+				if i == NumBuckets-1 {
+					le = -1
+				}
+				m.Buckets = append(m.Buckets, jsonBucket{LeNs: le, Cumulative: cum})
+			}
+		} else {
+			v := e.value()
+			m.Value = &v
+		}
+		snap.Metrics = append(snap.Metrics, m)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// ValidateExposition parses a Prometheus text exposition and returns
+// an error describing the first malformed construct: an unparsable
+// sample line, a sample with no preceding TYPE declaration, a
+// non-finite value, a histogram whose cumulative buckets decrease, or
+// a histogram whose +Inf bucket disagrees with its _count. The
+// scripts/check.sh metrics gate scrapes /metrics through this.
+func ValidateExposition(r io.Reader) error {
+	types := map[string]string{}
+	// histState tracks per-series cumulative bucket sanity, keyed by
+	// base name + labels-without-le.
+	type histState struct {
+		last    uint64
+		inf     uint64
+		infSeen bool
+	}
+	hists := map[string]*histState{}
+	counts := map[string]uint64{}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+					types[fields[2]] = fields[3]
+				default:
+					return fmt.Errorf("line %d: unknown TYPE %q", lineNo, fields[3])
+				}
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if math.IsNaN(value) || math.IsInf(value, 0) {
+			return fmt.Errorf("line %d: non-finite value for %s", lineNo, name)
+		}
+		base, suffix := splitHistName(name, types)
+		if _, ok := types[base]; !ok {
+			return fmt.Errorf("line %d: sample %s has no TYPE declaration", lineNo, name)
+		}
+		switch suffix {
+		case "_bucket":
+			le, rest, err := extractLe(labels)
+			if err != nil {
+				return fmt.Errorf("line %d: %s: %w", lineNo, name, err)
+			}
+			key := base + "{" + rest + "}"
+			h := hists[key]
+			if h == nil {
+				h = &histState{}
+				hists[key] = h
+			}
+			cum := uint64(value)
+			if cum < h.last {
+				return fmt.Errorf("line %d: %s cumulative bucket decreased (%d < %d)", lineNo, key, cum, h.last)
+			}
+			h.last = cum
+			if le == "+Inf" {
+				h.inf = cum
+				h.infSeen = true
+			}
+		case "_count":
+			counts[base+"{"+labels+"}"] = uint64(value)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(types) == 0 {
+		return fmt.Errorf("no TYPE declarations found")
+	}
+	for key, h := range hists {
+		if !h.infSeen {
+			return fmt.Errorf("%s: histogram missing +Inf bucket", key)
+		}
+		if c, ok := counts[key]; ok && c != h.inf {
+			return fmt.Errorf("%s: +Inf bucket %d != _count %d", key, h.inf, c)
+		}
+	}
+	return nil
+}
+
+// splitHistName maps histogram sample suffixes back to the declared
+// base name: foo_bucket/foo_sum/foo_count belong to TYPE foo when foo
+// is declared a histogram. A name with its own TYPE declaration is
+// never split, so counters that merely end in _count stay themselves.
+func splitHistName(name string, types map[string]string) (base, suffix string) {
+	if _, ok := types[name]; ok {
+		return name, ""
+	}
+	for _, s := range []string{"_bucket", "_sum", "_count"} {
+		if b, ok := strings.CutSuffix(name, s); ok && types[b] == "histogram" {
+			return b, s
+		}
+	}
+	return name, ""
+}
+
+// parseSample splits `name{labels} value` (labels optional) and
+// validates the label syntax.
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("unbalanced braces in %q", line)
+		}
+		labels = rest[i+1 : j]
+		rest = strings.TrimSpace(rest[j+1:])
+		if _, err := parseLabelPairs(labels); err != nil {
+			return "", "", 0, err
+		}
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return "", "", 0, fmt.Errorf("malformed sample %q", line)
+		}
+		name = fields[0]
+		rest = fields[1]
+	}
+	if name == "" || !validMetricName(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name in %q", line)
+	}
+	// A timestamp may follow the value; take the first field.
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", "", 0, fmt.Errorf("missing value in %q", line)
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("bad value %q: %w", fields[0], err)
+	}
+	return name, labels, value, nil
+}
+
+func validMetricName(name string) bool {
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// parseLabelPairs parses `k="v",k2="v2"` with Prometheus escaping and
+// returns the pairs in order.
+func parseLabelPairs(s string) ([][2]string, error) {
+	var pairs [][2]string
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 {
+			return nil, fmt.Errorf("malformed label pair in %q", s)
+		}
+		key := s[:eq]
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("label %s: value not quoted", key)
+		}
+		s = s[1:]
+		var b strings.Builder
+		closed := false
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					b.WriteByte(s[i])
+				}
+				continue
+			}
+			if c == '"' {
+				s = s[i+1:]
+				closed = true
+				break
+			}
+			b.WriteByte(c)
+		}
+		if !closed {
+			return nil, fmt.Errorf("label %s: unterminated value", key)
+		}
+		pairs = append(pairs, [2]string{key, b.String()})
+		if len(s) > 0 {
+			if s[0] != ',' {
+				return nil, fmt.Errorf("unexpected %q after label %s", s[0], key)
+			}
+			s = s[1:]
+		}
+	}
+	return pairs, nil
+}
+
+// extractLe pulls the le label out of a bucket sample's label string,
+// returning the remaining labels re-rendered in original order.
+func extractLe(labels string) (le, rest string, err error) {
+	pairs, err := parseLabelPairs(labels)
+	if err != nil {
+		return "", "", err
+	}
+	var kept []string
+	for _, p := range pairs {
+		if p[0] == "le" {
+			le = p[1]
+			continue
+		}
+		kept = append(kept, Label(p[0], p[1]))
+	}
+	if le == "" {
+		return "", "", fmt.Errorf("bucket sample missing le label")
+	}
+	return le, strings.Join(kept, ","), nil
+}

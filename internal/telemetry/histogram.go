@@ -1,0 +1,148 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// NumBuckets is the fixed bucket count of every Histogram. Bucket i
+// holds observations v with bits.Len64(v) == i, i.e. v in
+// [2^(i-1), 2^i - 1] (bucket 0 holds v <= 0); the last bucket is the
+// overflow (+Inf) bucket. 41 buckets cover 0 ns up to ~18 minutes,
+// far beyond any per-batch pipeline stage latency.
+const NumBuckets = 41
+
+// Histogram is a fixed-bucket latency histogram with power-of-two
+// nanosecond buckets. Observe is a few atomic adds with no allocation
+// or locking, so it can sit on the pipeline hot path; Merge folds one
+// histogram into another with the same Add/Merge algebra as the
+// internal/analysis aggregators, so per-worker histograms can be
+// sharded and merged after a run.
+//
+// Because buckets are powers of two, any quantile estimated from a
+// snapshot (the bucket's inclusive upper bound) overestimates the true
+// value by strictly less than 2x — see Snapshot.Quantile.
+// The observation count is derived from the bucket sums rather than
+// kept as a separate atomic: that saves one atomic add per Observe
+// and, more importantly, keeps a concurrent Snapshot internally
+// consistent — the +Inf cumulative bucket always equals the count, an
+// invariant ValidateExposition checks on live scrapes.
+type Histogram struct {
+	sum     atomic.Int64
+	buckets [NumBuckets]atomic.Uint64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// bucketIndex maps an observation to its bucket: 0 for v <= 0, else
+// bits.Len64(v) clamped to the overflow bucket.
+func bucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	i := bits.Len64(uint64(v))
+	if i >= NumBuckets {
+		return NumBuckets - 1
+	}
+	return i
+}
+
+// BucketUpper returns bucket i's inclusive upper bound in ns. The last
+// bucket's bound is conventionally +Inf; this returns its finite lower
+// edge's doubling, which exposition renders as "+Inf".
+func BucketUpper(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= NumBuckets-1 {
+		return int64(1)<<(NumBuckets-1) - 1
+	}
+	return int64(1)<<i - 1
+}
+
+// Observe records one value (nanoseconds for latency histograms).
+// Negative values are clamped into bucket 0 but still contribute to
+// the sum, so Sum/Count stays an honest mean.
+func (h *Histogram) Observe(v int64) {
+	h.sum.Add(v)
+	h.buckets[bucketIndex(v)].Add(1)
+}
+
+// Merge adds other's observations into h. Merge is associative and
+// commutative (each bucket, the count, and the sum are independent
+// sums), so shard merge order never changes the result — the same
+// contract internal/analysis relies on for PoP merges.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	h.sum.Add(other.sum.Load())
+	for i := range h.buckets {
+		h.buckets[i].Add(other.buckets[i].Load())
+	}
+}
+
+// Snapshot returns a point-in-time copy. Count is the sum of the
+// bucket counters, so a snapshot is always internally consistent
+// (buckets total to Count) even while writers are active; only Sum —
+// and therefore Mean — can be slightly torn relative to the buckets
+// mid-run. After writers stop every field is exact.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	s.Sum = h.sum.Load()
+	for i := range h.buckets {
+		b := h.buckets[i].Load()
+		s.Buckets[i] = b
+		s.Count += b
+	}
+	return s
+}
+
+// HistogramSnapshot is a plain copy of a histogram's state.
+type HistogramSnapshot struct {
+	Count   uint64
+	Sum     int64
+	Buckets [NumBuckets]uint64
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) as the inclusive
+// upper bound of the bucket containing the ceil(q*Count)-th smallest
+// observation. For positive observations in a finite bucket the
+// estimate e satisfies v <= e < 2v for the true value v, because each
+// bucket spans exactly one power-of-two octave. Returns 0 for an
+// empty snapshot.
+func (s *HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(s.Count))
+	if float64(rank) < q*float64(s.Count) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, b := range s.Buckets {
+		cum += b
+		if cum >= rank {
+			return BucketUpper(i)
+		}
+	}
+	return BucketUpper(NumBuckets - 1)
+}
+
+// Mean returns the arithmetic mean of all observations, 0 if empty.
+func (s *HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}

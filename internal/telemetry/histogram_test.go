@@ -1,0 +1,195 @@
+package telemetry
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBucketBoundaries pins the power-of-two bucket layout: each
+// boundary value lands in the bucket whose inclusive upper bound it
+// is, and the next value up moves one bucket over.
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, // negative clamps to bucket 0
+		{0, 0},
+		{1, 1},
+		{2, 2},
+		{3, 2},
+		{4, 3},
+		{7, 3},
+		{8, 4},
+		{1023, 10},
+		{1024, 11},
+		{1<<40 - 1, 40},           // largest finite-bucket value
+		{1 << 40, NumBuckets - 1}, // first overflow value
+		{1 << 62, NumBuckets - 1}, // deep overflow stays clamped
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Upper bounds: bucket i's bound is (1<<i)-1, and bucketIndex maps
+	// every bound back to its own bucket.
+	for i := 1; i < NumBuckets-1; i++ {
+		up := BucketUpper(i)
+		if want := int64(1)<<i - 1; up != want {
+			t.Errorf("BucketUpper(%d) = %d, want %d", i, up, want)
+		}
+		if got := bucketIndex(up); got != i {
+			t.Errorf("bucketIndex(BucketUpper(%d)) = %d, want %d", i, got, i)
+		}
+		if got := bucketIndex(up + 1); got != i+1 {
+			t.Errorf("bucketIndex(BucketUpper(%d)+1) = %d, want %d", i, got, i+1)
+		}
+	}
+}
+
+// TestHistogramObserveAndSnapshot checks count/sum/bucket accounting.
+func TestHistogramObserveAndSnapshot(t *testing.T) {
+	h := NewHistogram()
+	vals := []int64{0, 1, 3, 4, 100, 100, 1 << 50}
+	var sum int64
+	for _, v := range vals {
+		h.Observe(v)
+		sum += v
+	}
+	s := h.Snapshot()
+	if s.Count != uint64(len(vals)) {
+		t.Fatalf("Count = %d, want %d", s.Count, len(vals))
+	}
+	if s.Sum != sum {
+		t.Fatalf("Sum = %d, want %d", s.Sum, sum)
+	}
+	var total uint64
+	for _, b := range s.Buckets {
+		total += b
+	}
+	if total != s.Count {
+		t.Fatalf("bucket total %d != count %d", total, s.Count)
+	}
+	if s.Buckets[NumBuckets-1] != 1 {
+		t.Fatalf("overflow bucket = %d, want 1", s.Buckets[NumBuckets-1])
+	}
+}
+
+// TestQuantileErrorBound verifies the documented estimator guarantee:
+// for positive values in finite buckets, the estimated quantile e and
+// the true quantile v satisfy v <= e < 2v.
+func TestQuantileErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := NewHistogram()
+	vals := make([]int64, 0, 5000)
+	for i := 0; i < 5000; i++ {
+		// Log-uniform spread across the useful latency range.
+		v := int64(1) << uint(rng.Intn(30))
+		v += rng.Int63n(v)
+		h.Observe(v)
+		vals = append(vals, v)
+	}
+	// True quantile by sorting.
+	sorted := append([]int64(nil), vals...)
+	for i := 1; i < len(sorted); i++ { // insertion sort keeps deps stdlib-free in tests
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	s := h.Snapshot()
+	for _, q := range []float64{0.5, 0.9, 0.99, 1.0} {
+		rank := int(q * float64(len(sorted)))
+		if float64(rank) < q*float64(len(sorted)) {
+			rank++
+		}
+		if rank < 1 {
+			rank = 1
+		}
+		truth := sorted[rank-1]
+		est := s.Quantile(q)
+		if est < truth {
+			t.Errorf("q=%v: estimate %d below true value %d", q, est, truth)
+		}
+		if est >= 2*truth {
+			t.Errorf("q=%v: estimate %d >= 2x true value %d", q, est, truth)
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var empty HistogramSnapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %d, want 0", got)
+	}
+	h := NewHistogram()
+	h.Observe(5)
+	s := h.Snapshot()
+	// One observation: every quantile is its bucket's upper bound.
+	for _, q := range []float64{-1, 0, 0.001, 0.5, 1, 2} {
+		if got := s.Quantile(q); got != 7 {
+			t.Errorf("Quantile(%v) = %d, want 7", q, got)
+		}
+	}
+	if m := s.Mean(); m != 5 {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+}
+
+// TestHistogramMergeMatchesCombinedObserve: merging shards equals
+// observing everything into one histogram.
+func TestHistogramMergeMatchesCombinedObserve(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	combined := NewHistogram()
+	shards := []*Histogram{NewHistogram(), NewHistogram(), NewHistogram()}
+	for i := 0; i < 3000; i++ {
+		v := rng.Int63n(1 << 35)
+		combined.Observe(v)
+		shards[i%3].Observe(v)
+	}
+	merged := NewHistogram()
+	for _, sh := range shards {
+		merged.Merge(sh)
+	}
+	if got, want := merged.Snapshot(), combined.Snapshot(); got != want {
+		t.Fatalf("merged snapshot differs from combined:\n got %+v\nwant %+v", got, want)
+	}
+	merged.Merge(nil) // nil merge is a no-op
+	if got, want := merged.Snapshot(), combined.Snapshot(); got != want {
+		t.Fatalf("nil Merge changed snapshot")
+	}
+}
+
+// FuzzHistogramMergeAssociativity: (a merge b) merge c must equal
+// a merge (b merge c) for arbitrary observation sets — the invariant
+// that makes per-worker shard merging order-independent, mirroring
+// the internal/analysis aggregator algebra.
+func FuzzHistogramMergeAssociativity(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{4, 5}, []byte{6})
+	f.Add([]byte{}, []byte{0xFF, 0xFF}, []byte{0})
+	f.Add([]byte{8, 0, 8}, []byte{}, []byte{255, 1, 2, 3, 4, 5, 6, 7})
+	f.Fuzz(func(t *testing.T, ba, bb, bc []byte) {
+		fill := func(data []byte) *Histogram {
+			h := NewHistogram()
+			for i := 0; i+7 < len(data); i += 8 {
+				var v int64
+				for j := 0; j < 8; j++ {
+					v = v<<8 | int64(data[i+j])
+				}
+				h.Observe(v)
+			}
+			for _, b := range data { // small values exercise low buckets
+				h.Observe(int64(b))
+			}
+			return h
+		}
+		left := fill(ba)
+		left.Merge(func() *Histogram { m := fill(bb); m.Merge(fill(bc)); return m }())
+		right := fill(ba)
+		right.Merge(fill(bb))
+		right.Merge(fill(bc))
+		if l, r := left.Snapshot(), right.Snapshot(); l != r {
+			t.Fatalf("merge not associative:\n left %+v\nright %+v", l, r)
+		}
+	})
+}

@@ -1,0 +1,58 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Reporter emits one structured progress line to w on a fixed
+// interval, so long tamperscan/paperbench runs are observable from a
+// terminal without the HTTP server. The line content comes from the
+// caller's line func, invoked once per tick on the reporter's own
+// goroutine (the func must be safe to call concurrently with the
+// workload — read atomics, not plain fields).
+type Reporter struct {
+	w    io.Writer
+	line func() string
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// StartReporter begins ticking every interval. A final line is always
+// emitted at Stop, so even runs shorter than one interval report once.
+func StartReporter(w io.Writer, every time.Duration, line func() string) *Reporter {
+	if every <= 0 {
+		every = time.Second
+	}
+	r := &Reporter{w: w, line: line, stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(r.done)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				r.emit()
+			case <-r.stop:
+				r.emit()
+				return
+			}
+		}
+	}()
+	return r
+}
+
+func (r *Reporter) emit() {
+	fmt.Fprintln(r.w, r.line())
+}
+
+// Stop emits a final line and waits for the reporter goroutine to
+// exit. Stop is idempotent.
+func (r *Reporter) Stop() {
+	r.once.Do(func() { close(r.stop) })
+	<-r.done
+}

@@ -1,0 +1,63 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// syncBuffer serialises writes so the reporter goroutine and the test
+// can share it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestReporterEmitsFinalLineOnStop(t *testing.T) {
+	var out syncBuffer
+	var n atomic.Int64
+	r := StartReporter(&out, time.Hour, func() string {
+		return "progress " + string(rune('0'+n.Add(1)))
+	})
+	// Stop before the first tick: the final line must still appear.
+	r.Stop()
+	r.Stop() // idempotent
+	if got := out.String(); !strings.HasPrefix(got, "progress 1\n") {
+		t.Fatalf("final line missing, got %q", got)
+	}
+}
+
+func TestReporterTicks(t *testing.T) {
+	var out syncBuffer
+	var n atomic.Int64
+	r := StartReporter(&out, 5*time.Millisecond, func() string {
+		n.Add(1)
+		return "tick"
+	})
+	deadline := time.Now().Add(5 * time.Second)
+	for n.Load() < 3 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	r.Stop()
+	if n.Load() < 3 {
+		t.Fatalf("reporter ticked %d times, want >= 3", n.Load())
+	}
+	if lines := strings.Count(out.String(), "tick\n"); lines < 3 {
+		t.Fatalf("output has %d lines, want >= 3", lines)
+	}
+}

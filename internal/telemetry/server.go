@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is the lightweight introspection HTTP server behind the
+// -metrics-addr flag. Endpoints:
+//
+//	/metrics       Prometheus text exposition of the registry
+//	/metrics.json  JSON snapshot of the registry
+//	/healthz       {"status":"ok","uptime_seconds":N} while serving
+//	/debug/vars    expvar (Go runtime memstats, cmdline)
+//	/debug/pprof/  CPU, heap, goroutine, block, mutex profiles
+//
+// NewServer binds immediately (so ":0" callers can read the real
+// Addr) and serves on a background goroutine; Close shuts the server
+// down gracefully and waits for that goroutine to exit, so a
+// Close-and-return caller leaks nothing.
+type Server struct {
+	ln    net.Listener
+	srv   *http.Server
+	done  chan struct{}
+	start time.Time
+}
+
+// NewServer listens on addr (host:port; ":0" picks a free port) and
+// starts serving reg.
+func NewServer(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, done: make(chan struct{}), start: time.Now()}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"status":         "ok",
+			"uptime_seconds": time.Since(s.start).Seconds(),
+		})
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		defer close(s.done)
+		s.srv.Serve(ln) // returns http.ErrServerClosed after Close
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the server's base URL for local scraping.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close gracefully shuts the server down and waits for the serve
+// goroutine to exit. In-flight scrapes get a short grace period.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		// Shutdown timed out with hung handlers: force-close so the
+		// serve goroutine still exits and the caller does not block.
+		s.srv.Close()
+	}
+	<-s.done
+	return err
+}

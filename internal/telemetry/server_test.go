@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("t_records_total", "", "records").Add(5)
+	h := reg.Histogram("t_lat_ns", Label("stage", "decode"), "latency")
+	h.Observe(123)
+
+	s, err := NewServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	status, body := get(t, s.URL()+"/healthz")
+	if status != http.StatusOK {
+		t.Fatalf("/healthz status = %d", status)
+	}
+	var health struct {
+		Status        string  `json:"status"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+	}
+	if err := json.Unmarshal([]byte(body), &health); err != nil || health.Status != "ok" {
+		t.Fatalf("/healthz body = %q (err %v)", body, err)
+	}
+
+	status, body = get(t, s.URL()+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics status = %d", status)
+	}
+	if err := ValidateExposition(strings.NewReader(body)); err != nil {
+		t.Fatalf("/metrics invalid: %v\n%s", err, body)
+	}
+	if !strings.Contains(body, "t_records_total 5") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+
+	status, body = get(t, s.URL()+"/metrics.json")
+	if status != http.StatusOK || !json.Valid([]byte(body)) {
+		t.Fatalf("/metrics.json status=%d valid=%v", status, json.Valid([]byte(body)))
+	}
+
+	status, body = get(t, s.URL()+"/debug/vars")
+	if status != http.StatusOK || !strings.Contains(body, "memstats") {
+		t.Fatalf("/debug/vars status=%d", status)
+	}
+
+	status, _ = get(t, s.URL()+"/debug/pprof/")
+	if status != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status = %d", status)
+	}
+}
+
+// TestServerShutdownNoGoroutineLeak is the gate's goroutine-leak
+// check: after Close returns, the serve goroutine and any handler
+// goroutines must be gone.
+func TestServerShutdownNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		reg := NewRegistry()
+		reg.Counter("leak_total", "", "").Inc()
+		s, err := NewServer("127.0.0.1:0", reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if status, _ := get(t, s.URL()+"/metrics"); status != http.StatusOK {
+			t.Fatalf("scrape %d failed", i)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	}
+	// net/http keeps idle client/transport goroutines briefly; allow
+	// them to settle rather than asserting an instant exact count.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		http.DefaultClient.CloseIdleConnections()
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: before=%d after=%d\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestServerAddrAndBadAddr(t *testing.T) {
+	reg := NewRegistry()
+	s, err := NewServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if !strings.HasPrefix(s.Addr(), "127.0.0.1:") || strings.HasSuffix(s.Addr(), ":0") {
+		t.Fatalf("Addr = %q, want a concrete port", s.Addr())
+	}
+	if _, err := NewServer("256.0.0.1:99999", reg); err == nil {
+		t.Fatal("bad addr did not error")
+	}
+}

@@ -1,0 +1,248 @@
+// Package telemetry is the repo's lock-free metrics layer: counters,
+// gauges, and fixed-bucket latency histograms registered in a Registry
+// that can render itself as Prometheus text or a JSON snapshot, plus a
+// small introspection HTTP server (see server.go) and a periodic
+// stderr progress reporter (see reporter.go).
+//
+// The design constraints come from the pipeline hot path (PR 3's
+// zero-allocation batch loop): every mutation is a single atomic
+// add/store on a pre-registered handle, never a map lookup or an
+// allocation, so instruments can sit inside the per-record classify
+// loop. Hot counters that many workers touch concurrently are sharded
+// per worker with cache-line padding (ShardedCounter) and summed only
+// at exposition time — the same shard-then-merge algebra the
+// internal/analysis aggregators use for paper tables.
+//
+// Registration is idempotent: registering the same (name, labels) pair
+// twice returns the first handle, so independent subsystems can share
+// a metric without coordination. Exposition walks instruments in first
+// registration order, grouped by metric name.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n (n should be non-negative).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value that may go up or down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (n may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// shardPad keeps adjacent shards on separate cache lines so concurrent
+// workers incrementing neighbouring shards don't false-share.
+type shard struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// ShardedCounter is a counter split across per-worker shards: each
+// worker adds to its own cache line and the shards are summed only at
+// read time. Use it for counters mutated from the classify hot path,
+// where a single shared atomic would bounce between cores.
+type ShardedCounter struct {
+	shards []shard
+}
+
+// NewShardedCounter returns a counter with n shards (minimum 1).
+func NewShardedCounter(n int) *ShardedCounter {
+	if n < 1 {
+		n = 1
+	}
+	return &ShardedCounter{shards: make([]shard, n)}
+}
+
+// Add increments the counter by n on the given worker's shard. Any
+// worker index is accepted; it is reduced modulo the shard count.
+func (s *ShardedCounter) Add(worker int, n int64) {
+	s.shards[worker%len(s.shards)].v.Add(n)
+}
+
+// Value sums every shard. The sum is not a point-in-time snapshot
+// while writers are active, but each shard's contribution is exact.
+func (s *ShardedCounter) Value() int64 {
+	var t int64
+	for i := range s.shards {
+		t += s.shards[i].v.Load()
+	}
+	return t
+}
+
+// Label renders one key="value" pair for the labels argument of the
+// Registry registration methods, escaping the value per the Prometheus
+// text exposition rules (backslash, double quote, newline).
+func Label(key, value string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return key + `="` + r.Replace(value) + `"`
+}
+
+// Labels joins rendered pairs into one label string, sorted by key so
+// the same label set always produces the same registry key.
+func Labels(pairs ...string) string {
+	sort.Strings(pairs)
+	return strings.Join(pairs, ",")
+}
+
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// entry is one registered instrument. Exactly one of counter, gauge,
+// sharded, fn, or hist is set; fn entries report kind counter or gauge
+// depending on how they were registered.
+type entry struct {
+	name   string
+	labels string // pre-rendered `k="v",k2="v2"`, empty for none
+	help   string
+	kind   kind
+
+	counter *Counter
+	gauge   *Gauge
+	sharded *ShardedCounter
+	fn      func() int64
+	hist    *Histogram
+}
+
+// value returns the entry's current scalar (histograms excluded).
+func (e *entry) value() int64 {
+	switch {
+	case e.counter != nil:
+		return e.counter.Value()
+	case e.gauge != nil:
+		return e.gauge.Value()
+	case e.sharded != nil:
+		return e.sharded.Value()
+	case e.fn != nil:
+		return e.fn()
+	}
+	return 0
+}
+
+// Registry holds registered instruments and renders them (expose.go).
+// Registration takes a lock; reads and writes of the instruments
+// themselves are lock-free.
+type Registry struct {
+	mu      sync.Mutex
+	entries []*entry
+	byKey   map[string]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]*entry)}
+}
+
+// register adds e unless its (name, labels) key already exists, in
+// which case the existing entry is returned. Re-registering a key with
+// a different instrument kind is a programming error and panics.
+func (r *Registry) register(e *entry) *entry {
+	key := e.name + "{" + e.labels + "}"
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.byKey[key]; ok {
+		if prev.kind != e.kind {
+			panic(fmt.Sprintf("telemetry: %s re-registered as %s (was %s)", key, e.kind, prev.kind))
+		}
+		// Func instruments re-bind so a new run can take over an
+		// existing series; value instruments keep the first handle.
+		if e.fn != nil && prev.fn != nil {
+			prev.fn = e.fn
+		}
+		return prev
+	}
+	r.byKey[key] = e
+	r.entries = append(r.entries, e)
+	return e
+}
+
+// Counter registers (or finds) a counter. labels is a pre-rendered
+// label string built with Label/Labels, or "" for none.
+func (r *Registry) Counter(name, labels, help string) *Counter {
+	e := r.register(&entry{name: name, labels: labels, help: help, kind: kindCounter, counter: &Counter{}})
+	if e.counter == nil {
+		panic(fmt.Sprintf("telemetry: %s{%s} re-registered as plain counter (was sharded or func)", name, labels))
+	}
+	return e.counter
+}
+
+// Gauge registers (or finds) a gauge.
+func (r *Registry) Gauge(name, labels, help string) *Gauge {
+	e := r.register(&entry{name: name, labels: labels, help: help, kind: kindGauge, gauge: &Gauge{}})
+	if e.gauge == nil {
+		panic(fmt.Sprintf("telemetry: %s{%s} re-registered as plain gauge (was func)", name, labels))
+	}
+	return e.gauge
+}
+
+// ShardedCounter registers (or finds) a per-worker sharded counter
+// with the given shard count.
+func (r *Registry) ShardedCounter(name, labels, help string, shards int) *ShardedCounter {
+	e := r.register(&entry{name: name, labels: labels, help: help, kind: kindCounter, sharded: NewShardedCounter(shards)})
+	if e.sharded == nil {
+		panic(fmt.Sprintf("telemetry: %s{%s} re-registered as sharded counter (was plain)", name, labels))
+	}
+	return e.sharded
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// exposition time. Re-registering the same key re-binds fn.
+func (r *Registry) CounterFunc(name, labels, help string, fn func() int64) {
+	r.register(&entry{name: name, labels: labels, help: help, kind: kindCounter, fn: fn})
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at
+// exposition time. Re-registering the same key re-binds fn.
+func (r *Registry) GaugeFunc(name, labels, help string, fn func() int64) {
+	r.register(&entry{name: name, labels: labels, help: help, kind: kindGauge, fn: fn})
+}
+
+// Histogram registers (or finds) a latency histogram.
+func (r *Registry) Histogram(name, labels, help string) *Histogram {
+	e := r.register(&entry{name: name, labels: labels, help: help, kind: kindHistogram, hist: NewHistogram()})
+	return e.hist
+}
+
+// snapshotEntries copies the entry list under the lock so exposition
+// can walk it without holding the lock across fn calls.
+func (r *Registry) snapshotEntries() []*entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*entry(nil), r.entries...)
+}

@@ -1,0 +1,199 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "", "help")
+	b := r.Counter("x_total", "", "other help ignored")
+	if a != b {
+		t.Fatal("same (name, labels) returned distinct counters")
+	}
+	c := r.Counter("x_total", Label("k", "v"), "")
+	if a == c {
+		t.Fatal("different labels returned the same counter")
+	}
+	g1 := r.Gauge("g", "", "")
+	g2 := r.Gauge("g", "", "")
+	if g1 != g2 {
+		t.Fatal("gauge registration not idempotent")
+	}
+	h1 := r.Histogram("h", "", "")
+	h2 := r.Histogram("h", "", "")
+	if h1 != h2 {
+		t.Fatal("histogram registration not idempotent")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("x_total", "", "") // counter re-registered as gauge
+}
+
+func TestCounterFuncRebinds(t *testing.T) {
+	r := NewRegistry()
+	r.CounterFunc("f_total", "", "", func() int64 { return 1 })
+	r.CounterFunc("f_total", "", "", func() int64 { return 42 })
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "f_total 42") {
+		t.Fatalf("func did not re-bind:\n%s", buf.String())
+	}
+}
+
+func TestShardedCounter(t *testing.T) {
+	s := NewShardedCounter(4)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ { // worker index beyond shard count wraps
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.Add(w, 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := s.Value(); got != 8000 {
+		t.Fatalf("Value = %d, want 8000", got)
+	}
+	if s := NewShardedCounter(0); len(s.shards) != 1 {
+		t.Fatal("zero shard count not clamped to 1")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	got := Label("sig", "SYN \u2192 \"RST\"\nx\\y")
+	want := `sig="SYN \u2192 \"RST\"\nx\\y"`
+	want = strings.ReplaceAll(want, `\u2192`, "\u2192") // arrow passes through unescaped
+	if got != want {
+		t.Fatalf("Label = %q, want %q", got, want)
+	}
+	pairs, err := parseLabelPairs(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pairs[0][1] != "SYN \u2192 \"RST\"\nx\\y" {
+		t.Fatalf("round-trip = %q", pairs[0][1])
+	}
+}
+
+func TestLabelsSorted(t *testing.T) {
+	got := Labels(Label("b", "2"), Label("a", "1"))
+	if got != `a="1",b="2"` {
+		t.Fatalf("Labels = %q", got)
+	}
+}
+
+// TestPrometheusExpositionValidates renders a populated registry and
+// runs it back through the strict parser the CI gate uses.
+func TestPrometheusExpositionValidates(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("demo_records_total", "", "records processed").Add(12)
+	r.Counter("demo_sig_total", Label("signature", "SYN \u2192 \u2205"), "per-signature").Add(3)
+	r.Counter("demo_sig_total", Label("signature", `quote " back \ slash`), "").Add(1)
+	r.Gauge("demo_queue_depth", Label("queue", "decoded"), "queue depth").Set(17)
+	r.GaugeFunc("demo_live", "", "func gauge", func() int64 { return -4 })
+	sc := r.ShardedCounter("demo_sharded_total", "", "sharded", 4)
+	sc.Add(0, 5)
+	sc.Add(3, 7)
+	h := r.Histogram("demo_latency_ns", Label("stage", "classify"), "latency")
+	for _, v := range []int64{1, 3, 900, 900, 1 << 20, 1 << 50} {
+		h.Observe(v)
+	}
+	r.Histogram("demo_empty_ns", "", "never observed")
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if err := ValidateExposition(strings.NewReader(text)); err != nil {
+		t.Fatalf("self-exposition failed validation: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		"# TYPE demo_records_total counter",
+		"demo_records_total 12",
+		"# TYPE demo_latency_ns histogram",
+		`demo_latency_ns_bucket{stage="classify",le="+Inf"} 6`,
+		"demo_latency_ns_count{stage=\"classify\"} 6",
+		"demo_sharded_total 12",
+		"demo_queue_depth{queue=\"decoded\"} 17",
+		"demo_live -4",
+		"demo_empty_ns_count 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"no TYPE":            "foo 1\n",
+		"bad value":          "# TYPE foo counter\nfoo abc\n",
+		"nan value":          "# TYPE foo gauge\nfoo NaN\n",
+		"bad name":           "# TYPE 9foo counter\n9foo 1\n",
+		"unbalanced braces":  "# TYPE foo counter\nfoo{a=\"1\" 1\n",
+		"unquoted label":     "# TYPE foo counter\nfoo{a=1} 1\n",
+		"decreasing buckets": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+		"missing inf bucket": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n",
+		"inf count mismatch": "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 6\n",
+		"bucket without le":  "# TYPE h histogram\nh_bucket{x=\"1\"} 5\n",
+		"empty exposition":   "\n\n",
+		"unknown TYPE":       "# TYPE foo widget\nfoo 1\n",
+	}
+	for name, text := range cases {
+		if err := ValidateExposition(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: validation unexpectedly passed", name)
+		}
+	}
+	// A counter that merely ends in _count is not histogram shrapnel.
+	ok := "# TYPE record_count counter\nrecord_count 5\n"
+	if err := ValidateExposition(strings.NewReader(ok)); err != nil {
+		t.Errorf("suffix false positive: %v", err)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "", "").Add(9)
+	h := r.Histogram("h_ns", Label("stage", "decode"), "")
+	h.Observe(100)
+	h.Observe(200)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		TimestampUnixNs int64 `json:"timestamp_unix_ns"`
+		Metrics         []struct {
+			Name  string  `json:"name"`
+			Type  string  `json:"type"`
+			Value *int64  `json:"value"`
+			Count *uint64 `json:"count"`
+			P99Ns int64   `json:"p99_ns"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if snap.TimestampUnixNs == 0 || len(snap.Metrics) != 2 {
+		t.Fatalf("unexpected snapshot: %+v", snap)
+	}
+	if *snap.Metrics[0].Value != 9 {
+		t.Errorf("counter value = %d", *snap.Metrics[0].Value)
+	}
+	if *snap.Metrics[1].Count != 2 || snap.Metrics[1].P99Ns != 255 {
+		t.Errorf("histogram = %+v", snap.Metrics[1])
+	}
+}

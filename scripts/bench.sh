@@ -1,11 +1,12 @@
 #!/bin/sh
 # Perf-trajectory harness: runs the streaming-pipeline benchmark
-# (BenchmarkStreamPipeline, workers {1,4,16} x batch {1,64}) and the
-# geo-lookup cache benchmark (BenchmarkGeoLookup, cached vs uncached)
-# BENCH_COUNT times and aggregates the per-cell medians into
-# BENCH_pipeline.json via scripts/benchjson — the recorded numbers
-# EXPERIMENTS.md's Performance section tracks across PRs. Run from
-# anywhere:
+# (BenchmarkStreamPipeline, workers {1,4,16} x batch {1,64}), the
+# geo-lookup cache benchmark (BenchmarkGeoLookup, cached vs uncached),
+# and the telemetry cost benchmark (BenchmarkStreamTelemetryOverhead,
+# telemetry off vs on) BENCH_COUNT times and aggregates the per-cell
+# medians into BENCH_pipeline.json via scripts/benchjson — the
+# recorded numbers EXPERIMENTS.md's Performance section tracks across
+# PRs. Run from anywhere:
 #
 #	./scripts/bench.sh
 #
@@ -36,6 +37,9 @@ go test -run '^$' -bench 'BenchmarkStreamPipeline' -benchtime "$BENCHTIME" -coun
 
 echo "== go test -bench BenchmarkGeoLookup -benchtime $GEOTIME -count $COUNT =="
 go test -run '^$' -bench 'BenchmarkGeoLookup' -benchtime "$GEOTIME" -count "$COUNT" . | tee -a "$tmp"
+
+echo "== go test -bench BenchmarkStreamTelemetryOverhead -benchtime $BENCHTIME -count $COUNT =="
+go test -run '^$' -bench 'BenchmarkStreamTelemetryOverhead' -benchtime "$BENCHTIME" -count "$COUNT" . | tee -a "$tmp"
 
 go run ./scripts/benchjson -o "$OUT" <"$tmp"
 echo "wrote $OUT"

@@ -49,18 +49,40 @@ type geoLookup struct {
 	Speedup         float64 `json:"speedup"`
 }
 
+// telemetryCell is one mode of BenchmarkStreamTelemetryOverhead in the
+// same per-record units the workers×batch cells use.
+type telemetryCell struct {
+	RecordsPerSec   float64 `json:"records_per_sec"`
+	NsPerRecord     float64 `json:"ns_per_record"`
+	BytesPerRecord  float64 `json:"bytes_per_record"`
+	AllocsPerRecord float64 `json:"allocs_per_record"`
+}
+
+// telemetryOverhead records what the telemetry subsystem costs on the
+// streaming hot path: the identical run with instruments detached vs
+// attached. throughput_ratio is on/off (1.0 = free; the contract in
+// EXPERIMENTS.md is >= 0.95); extra_allocs_per_record must stay ~0.
+type telemetryOverhead struct {
+	Off                  telemetryCell `json:"off"`
+	On                   telemetryCell `json:"on"`
+	ThroughputRatio      float64       `json:"throughput_ratio"`
+	ExtraAllocsPerRecord float64       `json:"extra_allocs_per_record"`
+}
+
 type report struct {
-	Benchmark string     `json:"benchmark"`
-	GoVersion string     `json:"go_version"`
-	CPU       string     `json:"cpu,omitempty"`
-	Runs      int        `json:"runs"`
-	Results   []result   `json:"results"`
-	GeoLookup *geoLookup `json:"geo_lookup,omitempty"`
+	Benchmark string             `json:"benchmark"`
+	GoVersion string             `json:"go_version"`
+	CPU       string             `json:"cpu,omitempty"`
+	Runs      int                `json:"runs"`
+	Results   []result           `json:"results"`
+	GeoLookup *geoLookup         `json:"geo_lookup,omitempty"`
+	Telemetry *telemetryOverhead `json:"stream_telemetry_overhead,omitempty"`
 }
 
 var (
-	nameRe = regexp.MustCompile(`^BenchmarkStreamPipeline/workers=(\d+)/batch=(\d+)(?:-\d+)?$`)
-	geoRe  = regexp.MustCompile(`^BenchmarkGeoLookup/mode=(cached|uncached)(?:-\d+)?$`)
+	nameRe      = regexp.MustCompile(`^BenchmarkStreamPipeline/workers=(\d+)/batch=(\d+)(?:-\d+)?$`)
+	geoRe       = regexp.MustCompile(`^BenchmarkGeoLookup/mode=(cached|uncached)(?:-\d+)?$`)
+	telemetryRe = regexp.MustCompile(`^BenchmarkStreamTelemetryOverhead/telemetry=(on|off)(?:-\d+)?$`)
 )
 
 func main() {
@@ -99,6 +121,7 @@ type cell struct{ workers, batch int }
 func aggregate(src *os.File) (*report, error) {
 	samples := map[cell]map[string][]float64{}
 	geoSamples := map[string][]float64{}
+	telSamples := map[string]map[string][]float64{}
 	rep := &report{Benchmark: "BenchmarkStreamPipeline", GoVersion: runtime.Version()}
 	runs := 0
 	sc := bufio.NewScanner(src)
@@ -122,6 +145,17 @@ func aggregate(src *os.File) (*report, error) {
 				}
 				if v, err := strconv.ParseFloat(fields[i], 64); err == nil {
 					geoSamples[g[1]] = append(geoSamples[g[1]], v)
+				}
+			}
+			continue
+		}
+		if tm := telemetryRe.FindStringSubmatch(fields[0]); tm != nil {
+			if telSamples[tm[1]] == nil {
+				telSamples[tm[1]] = map[string][]float64{}
+			}
+			for i := 2; i+1 < len(fields); i += 2 {
+				if v, err := strconv.ParseFloat(fields[i], 64); err == nil {
+					telSamples[tm[1]][fields[i+1]] = append(telSamples[tm[1]][fields[i+1]], v)
 				}
 			}
 			continue
@@ -176,6 +210,23 @@ func aggregate(src *os.File) (*report, error) {
 	if u, c := median(geoSamples["uncached"]), median(geoSamples["cached"]); u > 0 && c > 0 {
 		rep.GeoLookup = &geoLookup{UncachedNsPerOp: u, CachedNsPerOp: c, Speedup: u / c}
 	}
+	telCell := func(mode string) telemetryCell {
+		units := telSamples[mode]
+		return telemetryCell{
+			RecordsPerSec:   median(units["conns/sec"]),
+			NsPerRecord:     median(units["ns/record"]),
+			BytesPerRecord:  median(units["B/record"]),
+			AllocsPerRecord: median(units["allocs/record"]),
+		}
+	}
+	if off, on := telCell("off"), telCell("on"); off.RecordsPerSec > 0 && on.RecordsPerSec > 0 {
+		rep.Telemetry = &telemetryOverhead{
+			Off:                  off,
+			On:                   on,
+			ThroughputRatio:      on.RecordsPerSec / off.RecordsPerSec,
+			ExtraAllocsPerRecord: on.AllocsPerRecord - off.AllocsPerRecord,
+		}
+	}
 	return rep, nil
 }
 
@@ -221,6 +272,11 @@ func validateFile(path string) error {
 	if g := rep.GeoLookup; g != nil {
 		if g.UncachedNsPerOp <= 0 || g.CachedNsPerOp <= 0 || g.Speedup <= 0 {
 			return fmt.Errorf("%s: geo_lookup has non-positive timings", path)
+		}
+	}
+	if t := rep.Telemetry; t != nil {
+		if t.Off.RecordsPerSec <= 0 || t.On.RecordsPerSec <= 0 || t.ThroughputRatio <= 0 {
+			return fmt.Errorf("%s: stream_telemetry_overhead has non-positive throughput", path)
 		}
 	}
 	return nil

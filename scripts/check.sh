@@ -33,6 +33,16 @@ go test ./internal/analysis/ -run 'TestParityStreamingMatchesBatch|TestParityPoP
 echo "== pipeline metrics monotonicity gate =="
 go test ./internal/pipeline/ -run 'TestMetricsMonotonicity' -count=1
 
+# Telemetry gate: run tamperscan with -metrics-addr over a fixture
+# capture, scrape /metrics and /healthz live (the gate test fails on
+# unparseable exposition or non-200 health), and verify the metrics
+# server shuts down without leaking goroutines. The telemetry
+# package's own shutdown-leak test runs alongside for the standalone
+# server path.
+echo "== telemetry exposition + shutdown gate =="
+go test ./cmd/tamperscan/ -run 'TestMetricsAddrServesExposition' -count=1
+go test ./internal/telemetry/ -run 'TestServerShutdownNoGoroutineLeak|TestServerEndpoints' -count=1
+
 # Smoke the perf harness: one short benchmark iteration, then assert
 # the aggregator produced well-formed JSON. No timing assertions —
 # shared CI machines make those flaky; the recorded trajectory is

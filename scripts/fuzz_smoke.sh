@@ -22,6 +22,7 @@ targets="
 ./internal/tlswire:FuzzBuildParse
 ./internal/httpwire:FuzzParseRequest
 ./internal/analysis:FuzzMergeAssociativity
+./internal/telemetry:FuzzHistogramMergeAssociativity
 "
 
 for t in $targets; do

@@ -59,6 +59,7 @@ import (
 	"tamperdetect/internal/core"
 	"tamperdetect/internal/geo"
 	"tamperdetect/internal/pipeline"
+	"tamperdetect/internal/telemetry"
 )
 
 // Re-exported core types: the classifier's public surface.
@@ -96,6 +97,19 @@ type (
 	// StreamMetrics holds live per-stage counters observable while a
 	// Stream is in flight (pass one via StreamConfig.Metrics).
 	StreamMetrics = pipeline.Metrics
+	// StreamTelemetry is the full pipeline instrument set — per-stage
+	// latency histograms, queue-depth gauges, per-signature and
+	// per-disposition counters, capture throughput — registered in a
+	// MetricsRegistry (pass one via StreamConfig.Telemetry). Build
+	// with NewStreamTelemetry; serve with ServeMetrics.
+	StreamTelemetry = pipeline.Telemetry
+	// MetricsRegistry holds registered instruments and writes
+	// Prometheus text (WritePrometheus) or JSON (WriteJSON)
+	// expositions.
+	MetricsRegistry = telemetry.Registry
+	// MetricsServer serves a MetricsRegistry over HTTP: /metrics,
+	// /metrics.json, /healthz, /debug/vars, /debug/pprof/.
+	MetricsServer = telemetry.Server
 
 	// Aggregator is one incrementally computed paper table: records
 	// stream in via Add, independently built aggregators combine via
@@ -225,6 +239,33 @@ func ReadCaptureFile(path string) ([]*Connection, error) {
 		return conns, fmt.Errorf("tamperdetect: reading %s: %w", path, err)
 	}
 	return conns, nil
+}
+
+// NewMetricsRegistry returns an empty instrument registry for
+// ServeMetrics or caller-side instruments alongside NewStreamTelemetry.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// NewStreamTelemetry registers the streaming pipeline's instrument set
+// in reg (nil gets a private registry) and returns the handle to pass
+// as StreamConfig.Telemetry. One StreamTelemetry may be shared across
+// sequential or concurrent Stream / StreamAnalyze calls; its counters
+// and histograms accumulate. The hot path stays allocation-free with
+// telemetry attached.
+//
+//	tel := tamperdetect.NewStreamTelemetry(nil)
+//	srv, _ := tamperdetect.ServeMetrics("127.0.0.1:9090", tel.Registry())
+//	defer srv.Close()
+//	counts, err := tamperdetect.Stream(ctx, f,
+//		tamperdetect.StreamConfig{Telemetry: tel}, nil)
+func NewStreamTelemetry(reg *MetricsRegistry) *StreamTelemetry {
+	return pipeline.NewTelemetry(reg)
+}
+
+// ServeMetrics starts an HTTP server exposing reg on addr (host:port;
+// port 0 picks an ephemeral port — see MetricsServer.Addr). Close the
+// returned server to shut it down gracefully.
+func ServeMetrics(addr string, reg *MetricsRegistry) (*MetricsServer, error) {
+	return telemetry.NewServer(addr, reg)
 }
 
 // Stream decodes TDCAP connection records incrementally from r and

@@ -1,13 +1,19 @@
 package tamperdetect
 
 import (
+	"bytes"
 	"context"
+	"fmt"
+	"io"
+	"net/http"
 	"net/netip"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"tamperdetect/internal/packet"
+	"tamperdetect/internal/telemetry"
 )
 
 func sample() *Connection {
@@ -146,5 +152,57 @@ func TestWriteCaptureFileErrors(t *testing.T) {
 		if err == nil {
 			t.Error("write to /dev/full succeeded")
 		}
+	}
+}
+
+// TestPublicStreamTelemetry exercises the exported observability
+// surface end to end: a telemetry-instrumented Stream, the registry's
+// Prometheus exposition, and the HTTP metrics server.
+func TestPublicStreamTelemetry(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.tdcap")
+	var conns []*Connection
+	for i := 0; i < 50; i++ {
+		conns = append(conns, sample())
+	}
+	if err := WriteCaptureFile(path, conns); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := NewMetricsRegistry()
+	tel := NewStreamTelemetry(reg)
+	srv, err := ServeMetrics("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	counts, err := Stream(context.Background(), f, StreamConfig{Telemetry: tel}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts.Classified != int64(len(conns)) {
+		t.Fatalf("classified %d of %d", counts.Classified, len(conns))
+	}
+
+	resp, err := http.Get(srv.URL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.ValidateExposition(bytes.NewReader(body)); err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	}
+	want := fmt.Sprintf(`tamperdetect_pipeline_records_total{stage="classified"} %d`, len(conns))
+	if !strings.Contains(string(body), want) {
+		t.Errorf("exposition missing %q", want)
 	}
 }
