@@ -7,7 +7,8 @@
 // Usage:
 //
 //	paperbench [-total N] [-hours H] [-seed S] [-workers W]
-//	           [-threshold T] [-maxrecords N] <experiment>
+//	           [-classifier dfa|legacy] [-threshold T] [-maxrecords N]
+//	           <experiment>
 //
 // Experiments: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7a fig7b
 // table2 table3 fig8 fig9 fig10 scanners stability evasion
@@ -61,13 +62,15 @@ import (
 	"tamperdetect/internal/workload"
 )
 
-// instruments carries the optional observability hooks through run:
+// instruments carries the optional observability hooks through run —
 // a pipeline telemetry block shared by every experiment's stream and
-// the fault-event counters attached to impaired scenarios. The zero
-// value disables both.
+// the fault-event counters attached to impaired scenarios — plus the
+// classifier every experiment's pipeline uses (nil = default, the
+// compiled signature DFA). The zero value disables the hooks.
 type instruments struct {
-	tel    *pipeline.Telemetry
-	fstats *faults.Stats
+	tel        *pipeline.Telemetry
+	fstats     *faults.Stats
+	classifier *core.Classifier
 }
 
 var experiments = []string{
@@ -82,6 +85,7 @@ func main() {
 	hours := flag.Int("hours", 14*24, "scenario hours (two weeks, as in the paper)")
 	seed := flag.Uint64("seed", 2023, "deterministic seed")
 	workers := flag.Int("workers", 0, "parallelism (0 = all cores)")
+	classifier := flag.String("classifier", "dfa", "signature matcher: dfa (compiled automaton) or legacy (multi-pass oracle)")
 	threshold := flag.Int("threshold", 3, "per-domain match threshold for Tables 2-3 (paper: 100/day at CDN scale)")
 	maxRecords := flag.Int("maxrecords", 0, "stop the shared dataset stream after roughly N connections (0 = all)")
 	impair := flag.String("impair", "", "link-impairment grade applied to the scenario (clean|lossy|hostile)")
@@ -112,6 +116,17 @@ func main() {
 	}
 
 	var ins instruments
+	coreCfg := core.DefaultConfig()
+	switch *classifier {
+	case "", "dfa":
+		coreCfg.Matcher = core.MatcherDFA
+	case "legacy":
+		coreCfg.Matcher = core.MatcherLegacy
+	default:
+		fmt.Fprintf(os.Stderr, "paperbench: unknown -classifier %q (want dfa or legacy)\n", *classifier)
+		os.Exit(2)
+	}
+	ins.classifier = core.NewClassifier(coreCfg)
 	var srv *telemetry.Server
 	var rep *telemetry.Reporter
 	if *metricsAddr != "" || *progress > 0 {
@@ -250,7 +265,7 @@ func buildDataset(total, hours int, seed uint64, workers, maxRecords int, imp fa
 		}
 	}
 	counts, err := pipeline.Run(context.Background(), src,
-		pipeline.Config{Workers: w, Observe: sharded.Observe, Telemetry: ins.tel}, sink)
+		pipeline.Config{Workers: w, Observe: sharded.Observe, Telemetry: ins.tel, Classifier: ins.classifier}, sink)
 	if err != nil {
 		return nil, err
 	}
@@ -356,7 +371,7 @@ func run(exp string, total, hours int, seed uint64, workers, threshold, maxRecor
 			})
 			src := s.Stream(workers)
 			counts, err := pipeline.Run(context.Background(), src,
-				pipeline.Config{Workers: w, Observe: sharded.Observe, Telemetry: ins.tel}, nil)
+				pipeline.Config{Workers: w, Observe: sharded.Observe, Telemetry: ins.tel, Classifier: ins.classifier}, nil)
 			src.Close()
 			if err != nil {
 				return err
@@ -422,7 +437,7 @@ func run(exp string, total, hours int, seed uint64, workers, threshold, maxRecor
 				})
 				src := sweep.StreamSpecs(specs, workers)
 				counts, err := pipeline.Run(context.Background(), src,
-					pipeline.Config{Workers: w, Observe: sharded.Observe, Telemetry: ins.tel}, nil)
+					pipeline.Config{Workers: w, Observe: sharded.Observe, Telemetry: ins.tel, Classifier: ins.classifier}, nil)
 				src.Close()
 				if err != nil {
 					return err

@@ -17,8 +17,16 @@
 //
 // Usage:
 //
-//	tamperscan [-v] [-tampered-only] [-workers N] [-metrics-addr host:port]
-//	           [-progress interval] capture.{tdcap,pcap}
+//	tamperscan [-v] [-tampered-only] [-workers N] [-classifier dfa|legacy]
+//	           [-seq-decode] [-metrics-addr host:port] [-progress interval]
+//	           capture.{tdcap,pcap}
+//
+// TDCAP input streams through the parallel decode pipeline: a scanner
+// goroutine finds record boundaries and the worker pool decodes and
+// classifies (-seq-decode restores single-goroutine decoding). The
+// classifier is the compiled signature DFA by default; -classifier
+// legacy selects the multi-pass reference matcher it is differentially
+// tested against.
 //
 // With -metrics-addr, an introspection HTTP server runs for the
 // duration of the scan: /metrics (Prometheus text), /metrics.json,
@@ -61,6 +69,19 @@ type options struct {
 	workers      int
 	metricsAddr  string        // "" = no metrics server
 	progress     time.Duration // 0 = no progress lines
+	classifier   string        // "dfa" (default) or "legacy"
+	seqDecode    bool          // force the single-goroutine decode path
+}
+
+// matcherMode maps the -classifier flag to the engine selector.
+func matcherMode(name string) (core.MatcherMode, error) {
+	switch name {
+	case "", "dfa":
+		return core.MatcherDFA, nil
+	case "legacy":
+		return core.MatcherLegacy, nil
+	}
+	return 0, fmt.Errorf("unknown -classifier %q (want dfa or legacy)", name)
 }
 
 func main() {
@@ -70,8 +91,10 @@ func main() {
 	flag.IntVar(&opts.workers, "workers", 0, "classifier parallelism (0 = all cores)")
 	flag.StringVar(&opts.metricsAddr, "metrics-addr", "", "serve /metrics, /healthz, /debug/pprof on this host:port for the scan's duration")
 	flag.DurationVar(&opts.progress, "progress", 0, "print a one-line pipeline snapshot to stderr on this interval (e.g. 2s; 0 = off)")
+	flag.StringVar(&opts.classifier, "classifier", "dfa", "signature matcher: dfa (compiled automaton) or legacy (multi-pass oracle)")
+	flag.BoolVar(&opts.seqDecode, "seq-decode", false, "decode TDCAP records on a single goroutine instead of in the worker pool")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, `usage: tamperscan [-v] [-tampered-only] [-workers N] [-metrics-addr host:port] [-progress interval] capture.{tdcap,pcap}
+		fmt.Fprintf(os.Stderr, `usage: tamperscan [-v] [-tampered-only] [-workers N] [-classifier dfa|legacy] [-seq-decode] [-metrics-addr host:port] [-progress interval] capture.{tdcap,pcap}
 
 exit status:
   0  clean scan
@@ -234,7 +257,11 @@ func (rep *report) print() {
 var testHookBeforeMetricsShutdown func(addr string)
 
 func run(path string, opts options) error {
-	src, cleanup, err := openSource(path)
+	matcher, err := matcherMode(opts.classifier)
+	if err != nil {
+		return err
+	}
+	src, tdcap, cleanup, err := openSource(path)
 	if err != nil {
 		return err
 	}
@@ -287,8 +314,23 @@ func run(path string, opts options) error {
 	if opts.verbose {
 		sink = verbosePrinter(opts.tamperedOnly)
 	}
-	_, runErr := pipeline.Run(context.Background(), src,
-		pipeline.Config{Workers: w, Ordered: true, Observe: sharded.Observe, Metrics: &m, Telemetry: tel}, sink)
+	coreCfg := core.DefaultConfig()
+	coreCfg.Matcher = matcher
+	cfg := pipeline.Config{
+		Workers: w, Ordered: true, Observe: sharded.Observe,
+		Metrics: &m, Telemetry: tel,
+		Classifier:       core.NewClassifier(coreCfg),
+		SequentialDecode: opts.seqDecode,
+	}
+	// TDCAP input goes through Stream so the parallel scanner decodes
+	// in the worker pool; pcap input keeps its incremental sampler
+	// source, whose decode cost lives in the sampler anyway.
+	var runErr error
+	if tdcap != nil {
+		_, runErr = pipeline.Stream(context.Background(), tdcap, cfg, sink)
+	} else {
+		_, runErr = pipeline.Run(context.Background(), src, cfg, sink)
+	}
 	merged, err := sharded.Merged()
 	if err != nil {
 		return err
@@ -309,9 +351,11 @@ func run(path string, opts options) error {
 	return nil
 }
 
-// openSource auto-detects TDCAP vs pcap input and returns a streaming
-// connection source; "-" reads a stream (either format) from stdin.
-func openSource(path string) (pipeline.Source, func(), error) {
+// openSource auto-detects TDCAP vs pcap input; "-" reads a stream
+// (either format) from stdin. TDCAP input comes back as the raw
+// reader (second return) so run can use the parallel scan pipeline;
+// pcap comes back as a connection source (first return).
+func openSource(path string) (pipeline.Source, io.Reader, func(), error) {
 	var r io.Reader
 	cleanup := func() {}
 	if path == "-" {
@@ -319,7 +363,7 @@ func openSource(path string) (pipeline.Source, func(), error) {
 	} else {
 		f, err := os.Open(path)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		cleanup = func() { f.Close() }
 		r = f
@@ -328,17 +372,17 @@ func openSource(path string) (pipeline.Source, func(), error) {
 	magic, err := br.Peek(8)
 	if err != nil {
 		cleanup()
-		return nil, nil, fmt.Errorf("reading %s: %w", path, err)
+		return nil, nil, nil, fmt.Errorf("reading %s: %w", path, err)
 	}
 	if string(magic[:5]) == "TDCAP" {
-		return pipeline.NewReaderSource(br), cleanup, nil
+		return nil, br, cleanup, nil
 	}
 	src, err := newPcapSource(br)
 	if err != nil {
 		cleanup()
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return src, cleanup, nil
+	return src, nil, cleanup, nil
 }
 
 // pcapSource runs raw packets through the paper's sampling pipeline as

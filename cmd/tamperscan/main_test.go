@@ -12,6 +12,7 @@ import (
 	"tamperdetect"
 	"tamperdetect/internal/packet"
 	"tamperdetect/internal/pcap"
+	"tamperdetect/internal/pipeline"
 )
 
 func sampleConns() []*tamperdetect.Connection {
@@ -28,14 +29,19 @@ func sampleConns() []*tamperdetect.Connection {
 }
 
 // drainSource collects a streaming source, failing on any non-EOF
-// error.
+// error. TDCAP paths come back from openSource as a raw reader for
+// the parallel scan pipeline; wrap those in a ReaderSource so either
+// format drains the same way.
 func drainSource(t *testing.T, path string) []*tamperdetect.Connection {
 	t.Helper()
-	src, cleanup, err := openSource(path)
+	src, tdcap, cleanup, err := openSource(path)
 	if err != nil {
 		t.Fatalf("openSource: %v", err)
 	}
 	defer cleanup()
+	if tdcap != nil {
+		src = pipeline.NewReaderSource(tdcap)
+	}
 	var conns []*tamperdetect.Connection
 	for {
 		c, err := src.Next()
@@ -105,14 +111,14 @@ func TestLoadCapturePcap(t *testing.T) {
 }
 
 func TestOpenSourceErrors(t *testing.T) {
-	if _, _, err := openSource("/nonexistent"); err == nil {
+	if _, _, _, err := openSource("/nonexistent"); err == nil {
 		t.Error("missing file accepted")
 	}
 	path := filepath.Join(t.TempDir(), "junk")
 	if err := os.WriteFile(path, []byte("neither format at all"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := openSource(path); err == nil {
+	if _, _, _, err := openSource(path); err == nil {
 		t.Error("junk file accepted")
 	}
 }
@@ -126,6 +132,16 @@ func TestRunReport(t *testing.T) {
 		if err := run(path, options{verbose: true, tamperedOnly: true, workers: workers}); err != nil {
 			t.Fatalf("run(workers=%d): %v", workers, err)
 		}
+	}
+	// Both matcher engines and both decode paths must scan cleanly.
+	if err := run(path, options{classifier: "legacy", workers: 2}); err != nil {
+		t.Fatalf("run(-classifier legacy): %v", err)
+	}
+	if err := run(path, options{seqDecode: true, workers: 2}); err != nil {
+		t.Fatalf("run(-seq-decode): %v", err)
+	}
+	if err := run(path, options{classifier: "nonsense"}); err == nil {
+		t.Fatal("run accepted an unknown -classifier")
 	}
 }
 

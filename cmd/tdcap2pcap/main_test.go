@@ -81,3 +81,37 @@ func TestExportMissingInput(t *testing.T) {
 		t.Error("missing input accepted")
 	}
 }
+
+func TestScanOnly(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.tdcap")
+	conns := []*tamperdetect.Connection{{
+		SrcIP: netip.MustParseAddr("20.0.0.2"), DstIP: netip.MustParseAddr("192.0.2.80"),
+		SrcPort: 41000, DstPort: 443, IPVersion: 4,
+		TotalPackets: 1, LastActivity: 1, CloseTime: 2,
+		Packets: []tamperdetect.PacketRecord{
+			{Timestamp: 1, Flags: packet.FlagsSYN, Seq: 100, TTL: 50},
+		},
+	}}
+	if err := tamperdetect.WriteCaptureFile(in, conns); err != nil {
+		t.Fatal(err)
+	}
+	if err := scanOnlyRun(in); err != nil {
+		t.Fatalf("scanOnlyRun on a valid capture: %v", err)
+	}
+	// Truncate the tail: scan-only must fail, naming the damage.
+	data, err := os.ReadFile(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "bad.tdcap")
+	if err := os.WriteFile(bad, data[:len(data)-4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := scanOnlyRun(bad); err == nil {
+		t.Error("scanOnlyRun accepted a truncated capture")
+	}
+	if err := scanOnlyRun(filepath.Join(dir, "missing.tdcap")); err == nil {
+		t.Error("scanOnlyRun accepted a missing file")
+	}
+}

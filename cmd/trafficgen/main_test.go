@@ -10,7 +10,7 @@ import (
 
 func TestRunGlobal(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "g.tdcap")
-	if err := run("global", "", 500, 6, 3, 2, "", out, ""); err != nil {
+	if err := run("global", "", 500, 6, 3, 2, "", out, "", true); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	conns, err := tamperdetect.ReadCaptureFile(out)
@@ -24,7 +24,7 @@ func TestRunGlobal(t *testing.T) {
 
 func TestRunIran(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "i.tdcap")
-	if err := run("iran2022", "", 400, 0, 3, 2, "lossy", out, ""); err != nil {
+	if err := run("iran2022", "", 400, 0, 3, 2, "lossy", out, "", true); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
@@ -35,16 +35,16 @@ func TestRunConfig(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := filepath.Join(t.TempDir(), "c.tdcap")
-	if err := run("", cfg, 0, 0, 0, 2, "", out, ""); err != nil {
+	if err := run("", cfg, 0, 0, 0, 2, "", out, "", false); err != nil {
 		t.Fatalf("run(config): %v", err)
 	}
 }
 
 func TestRunUnknownScenario(t *testing.T) {
-	if err := run("nope", "", 10, 1, 1, 1, "", filepath.Join(t.TempDir(), "x"), ""); err == nil {
+	if err := run("nope", "", 10, 1, 1, 1, "", filepath.Join(t.TempDir(), "x"), "", false); err == nil {
 		t.Error("unknown scenario accepted")
 	}
-	if err := run("global", "", 10, 1, 1, 1, "nope", filepath.Join(t.TempDir(), "x"), ""); err == nil {
+	if err := run("global", "", 10, 1, 1, 1, "nope", filepath.Join(t.TempDir(), "x"), "", false); err == nil {
 		t.Error("unknown impairment grade accepted")
 	}
 }
@@ -54,7 +54,7 @@ func TestRunUnknownScenario(t *testing.T) {
 // impaired run must count fault events, and shutdown must not wedge.
 func TestRunWithMetricsServer(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "m.tdcap")
-	if err := run("global", "", 300, 6, 3, 2, "lossy", out, "127.0.0.1:0"); err != nil {
+	if err := run("global", "", 300, 6, 3, 2, "lossy", out, "127.0.0.1:0", false); err != nil {
 		t.Fatalf("run with metrics server: %v", err)
 	}
 	if _, err := tamperdetect.ReadCaptureFile(out); err != nil {

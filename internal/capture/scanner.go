@@ -1,0 +1,301 @@
+package capture
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net/netip"
+
+	"tamperdetect/internal/packet"
+)
+
+// Scanner splits a TDCAP stream into raw, undecoded record byte slices
+// without materialising Connections. It is the front half of the
+// parallel decode path: one scanner goroutine finds record boundaries
+// (walking only each record's fixed-size headers and length prefixes),
+// and the actual field decoding — DecodeRecord — runs on whichever
+// worker receives the bytes.
+//
+// The scanner performs the same structural validation as Reader
+// (marker byte, IP version, packet-count and captured-payload bounds),
+// so a slice it returns is always decodable; DecodeRecord failing on
+// scanner-approved bytes would indicate a bug, not bad input. Error
+// classes mirror Reader exactly — io.EOF at a record boundary is a
+// clean end of stream, ErrBadMagic for a damaged header, ErrCorrupt
+// mid-record — so consumers keep the same partial-results behaviour
+// (tamperscan's exit 3) regardless of which front end read the file.
+//
+// Internally the scanner reads the stream in large chunks and parses
+// boundaries in place, then copies each complete record out with a
+// single memcpy. That keeps the per-record cost to a boundary walk
+// plus one copy, far below the cost of decoding, so one scanner feeds
+// many decode workers.
+type Scanner struct {
+	raw   *countingReader
+	buf   []byte // chunked read window
+	rpos  int    // parse cursor: start of the next unscanned record
+	wpos  int    // bytes of buf filled from the stream
+	start int    // start of the record being scanned (compaction anchor)
+	p     int    // cursor within the record being scanned
+	eof   bool   // underlying stream hit EOF
+	began bool   // magic consumed
+	count int
+	err   error // sticky error for Next
+}
+
+// scanBufSize is the scanner's initial window; it grows only when a
+// single record is larger than the window.
+const scanBufSize = 64 << 10
+
+// NewScanner wraps r.
+func NewScanner(r io.Reader) *Scanner {
+	cr := &countingReader{r: r}
+	return &Scanner{raw: cr, buf: make([]byte, scanBufSize)}
+}
+
+// Next appends the raw bytes of the next record to dst and returns the
+// extended slice. The appended bytes start at the record's marker byte
+// (the file magic is consumed once and not part of any record) and are
+// exactly what DecodeRecord accepts. Errors are sticky, records are
+// counted, and io.EOF marks a clean end of stream, as for Reader.Next.
+func (s *Scanner) Next(dst []byte) ([]byte, error) {
+	if s.err != nil {
+		return dst, s.err
+	}
+	rec, err := s.scan()
+	if err != nil {
+		s.err = err
+		return dst, err
+	}
+	s.count++
+	return append(dst, rec...), nil
+}
+
+// Count reports how many records Next has returned so far.
+func (s *Scanner) Count() int { return s.count }
+
+// BytesRead reports the raw bytes consumed from the underlying stream,
+// including bytes buffered ahead of the scan position. Safe to call
+// concurrently with scanning.
+func (s *Scanner) BytesRead() int64 { return s.raw.n.Load() }
+
+// fill makes at least need bytes available at buf[p:wpos], compacting
+// the window from the current record's start and growing it when the
+// record is larger than the window. It returns io.ErrUnexpectedEOF
+// when the stream ends short.
+func (s *Scanner) fill(need int) error {
+	for s.wpos-s.p < need {
+		if s.p+need > len(s.buf) {
+			if s.start > 0 {
+				n := copy(s.buf, s.buf[s.start:s.wpos])
+				s.p -= s.start
+				s.wpos = n
+				s.start = 0
+			}
+			if s.p+need > len(s.buf) {
+				nb := make([]byte, max(2*len(s.buf), s.p+need))
+				copy(nb, s.buf[:s.wpos])
+				s.buf = nb
+			}
+		}
+		if s.eof {
+			return io.ErrUnexpectedEOF
+		}
+		n, err := s.raw.Read(s.buf[s.wpos:])
+		s.wpos += n
+		if err == io.EOF {
+			s.eof = true
+			continue
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scan advances past one record and returns its bytes (a view into the
+// scanner's window, valid until the next call).
+func (s *Scanner) scan() ([]byte, error) {
+	s.start, s.p = s.rpos, s.rpos
+	if !s.began {
+		if err := s.fill(8); err != nil {
+			if s.wpos == s.p {
+				// Nothing at all: an empty stream is clean EOF.
+				return nil, io.EOF
+			}
+			return nil, fmt.Errorf("%w: %v", ErrBadMagic, err)
+		}
+		if [8]byte(s.buf[s.p:s.p+8]) != captureMagic {
+			return nil, ErrBadMagic
+		}
+		s.began = true
+		s.p += 8
+		// The magic is not part of any record; drop it from the window.
+		s.rpos, s.start = s.p, s.p
+	}
+	// Marker byte. No bytes here is a clean record boundary.
+	if err := s.fill(1); err != nil {
+		if s.wpos == s.p {
+			if err == io.ErrUnexpectedEOF {
+				return nil, io.EOF
+			}
+			return nil, err // read error at a boundary, verbatim like Reader
+		}
+		return nil, err
+	}
+	if s.buf[s.p] != connMarker {
+		return nil, ErrCorrupt
+	}
+	s.p++
+	if err := s.fillRec(1); err != nil {
+		return nil, err
+	}
+	ipver := s.buf[s.p]
+	s.p++
+	if ipver != 4 && ipver != 6 {
+		return nil, ErrCorrupt
+	}
+	addrLen := 4
+	if ipver == 6 {
+		addrLen = 16
+	}
+	// src dst srcPort(2) dstPort(2) totalPackets(4) lastActivity(8)
+	// closeTime(8) packetCount(2)
+	fixed := 2*addrLen + 26
+	if err := s.fillRec(fixed); err != nil {
+		return nil, err
+	}
+	n := int(binary.BigEndian.Uint16(s.buf[s.p+fixed-2 : s.p+fixed]))
+	s.p += fixed
+	if n > maxPacketsPerRecord {
+		return nil, ErrCorrupt
+	}
+	for i := 0; i < n; i++ {
+		if err := s.fillRec(packetHeaderLen); err != nil {
+			return nil, err
+		}
+		ph := s.buf[s.p : s.p+packetHeaderLen]
+		payloadLen := int(binary.BigEndian.Uint32(ph[22:26]))
+		capLen := int(binary.BigEndian.Uint16(ph[26:28]))
+		if capLen > maxCapturedPayload || capLen > payloadLen {
+			return nil, ErrCorrupt
+		}
+		s.p += packetHeaderLen
+		if err := s.fillRec(capLen + 1); err != nil { // payload + hasOptions
+			return nil, err
+		}
+		s.p += capLen + 1
+	}
+	rec := s.buf[s.start:s.p]
+	s.rpos = s.p
+	return rec, nil
+}
+
+// fillRec is fill for positions inside a record, where running out of
+// bytes (or any read failure) means the record is corrupt.
+func (s *Scanner) fillRec(need int) error {
+	if err := s.fill(need); err != nil {
+		return corrupt(err)
+	}
+	return nil
+}
+
+// packetHeaderLen is the fixed part of one encoded packet:
+// ts(8) flags(1) seq(4) ack(4) ipid(2) ttl(1) window(2) payloadLen(4)
+// capturedLen(2).
+const packetHeaderLen = 8 + 1 + 4 + 4 + 2 + 1 + 2 + 4 + 2
+
+// DecodeRecord decodes one raw record (as produced by Scanner.Next)
+// into c, reusing c's Packets slice and each slot's Payload capacity
+// exactly like Reader.NextInto — the zero-steady-state-allocation
+// decode for workers that own a small set of reusable Connections.
+// It re-validates the record's structure, so feeding it bytes that
+// did not come from a Scanner yields ErrCorrupt rather than a panic.
+// Contents of c are unspecified on error.
+func DecodeRecord(raw []byte, c *Connection) error {
+	if len(raw) < 2 || raw[0] != connMarker {
+		return ErrCorrupt
+	}
+	ipver := int(raw[1])
+	if ipver != 4 && ipver != 6 {
+		return ErrCorrupt
+	}
+	c.IPVersion = ipver
+	addrLen := 4
+	if ipver == 6 {
+		addrLen = 16
+	}
+	p := 2
+	if len(raw)-p < 2*addrLen+26 {
+		return ErrCorrupt
+	}
+	if ipver == 6 {
+		c.SrcIP = netip.AddrFrom16([16]byte(raw[p : p+16]))
+		c.DstIP = netip.AddrFrom16([16]byte(raw[p+16 : p+32]))
+	} else {
+		c.SrcIP = netip.AddrFrom4([4]byte(raw[p : p+4]))
+		c.DstIP = netip.AddrFrom4([4]byte(raw[p+4 : p+8]))
+	}
+	p += 2 * addrLen
+	c.SrcPort = binary.BigEndian.Uint16(raw[p : p+2])
+	c.DstPort = binary.BigEndian.Uint16(raw[p+2 : p+4])
+	c.TotalPackets = int(binary.BigEndian.Uint32(raw[p+4 : p+8]))
+	c.LastActivity = int64(binary.BigEndian.Uint64(raw[p+8 : p+16]))
+	c.CloseTime = int64(binary.BigEndian.Uint64(raw[p+16 : p+24]))
+	n := int(binary.BigEndian.Uint16(raw[p+24 : p+26]))
+	p += 26
+	if n > maxPacketsPerRecord {
+		return ErrCorrupt
+	}
+	if cap(c.Packets) == 0 && n > 0 {
+		c.Packets = make([]PacketRecord, 0, min(n, initialPacketAlloc))
+	}
+	c.Packets = c.Packets[:0]
+	for i := 0; i < n; i++ {
+		if len(raw)-p < packetHeaderLen {
+			return ErrCorrupt
+		}
+		// Extend by reslicing within capacity so the slot's previous
+		// Payload backing array survives for reuse (see Reader.readInto).
+		if i < cap(c.Packets) {
+			c.Packets = c.Packets[:i+1]
+		} else {
+			c.Packets = append(c.Packets, PacketRecord{})
+		}
+		pk := &c.Packets[i]
+		ph := raw[p : p+packetHeaderLen]
+		pk.Timestamp = int64(binary.BigEndian.Uint64(ph[0:8]))
+		pk.Flags = packet.TCPFlags(ph[8])
+		pk.Seq = binary.BigEndian.Uint32(ph[9:13])
+		pk.Ack = binary.BigEndian.Uint32(ph[13:17])
+		pk.IPID = binary.BigEndian.Uint16(ph[17:19])
+		pk.TTL = ph[19]
+		pk.Window = binary.BigEndian.Uint16(ph[20:22])
+		pk.PayloadLen = int(binary.BigEndian.Uint32(ph[22:26]))
+		capLen := int(binary.BigEndian.Uint16(ph[26:28]))
+		if capLen > maxCapturedPayload || capLen > pk.PayloadLen {
+			return ErrCorrupt
+		}
+		p += packetHeaderLen
+		if len(raw)-p < capLen+1 {
+			return ErrCorrupt
+		}
+		if capLen > 0 {
+			if cap(pk.Payload) >= capLen {
+				pk.Payload = pk.Payload[:capLen]
+			} else {
+				pk.Payload = make([]byte, capLen)
+			}
+			copy(pk.Payload, raw[p:p+capLen])
+		} else {
+			pk.Payload = pk.Payload[:0]
+		}
+		pk.HasOptions = raw[p+capLen] == 1
+		p += capLen + 1
+	}
+	if p != len(raw) {
+		return ErrCorrupt
+	}
+	return nil
+}

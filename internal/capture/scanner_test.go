@@ -1,0 +1,326 @@
+package capture
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/netip"
+	"testing"
+
+	"tamperdetect/internal/packet"
+)
+
+// scannerConns builds a diverse multi-record capture: both IP
+// versions, empty and multi-packet records, payloads of assorted
+// sizes, options flags, and the full TCP flag range — everything the
+// scanner's header walk must step over correctly.
+func scannerConns(t *testing.T) []*Connection {
+	t.Helper()
+	mk := func(v6 bool, pkts ...PacketRecord) *Connection {
+		c := &Connection{
+			SrcIP: netip.MustParseAddr("20.1.2.3"), DstIP: netip.MustParseAddr("192.0.2.80"),
+			SrcPort: 40000, DstPort: 443, IPVersion: 4,
+			TotalPackets: len(pkts), LastActivity: 99, CloseTime: 130,
+			Packets: pkts,
+		}
+		if v6 {
+			c.SrcIP = netip.MustParseAddr("2600:1::5")
+			c.DstIP = netip.MustParseAddr("2600:2::80")
+			c.IPVersion = 6
+		}
+		return c
+	}
+	big := bytes.Repeat([]byte{0xAB}, 1200)
+	return []*Connection{
+		mk(false,
+			PacketRecord{Timestamp: 1, Flags: packet.FlagsSYN, Seq: 7, IPID: 54321, TTL: 44, Window: 64240, HasOptions: true},
+			PacketRecord{Timestamp: 2, Flags: packet.FlagsPSHACK, Seq: 8, Ack: 55, PayloadLen: 300, Payload: []byte("\x16\x03\x01 hello"), TTL: 44},
+			PacketRecord{Timestamp: 3, Flags: packet.FlagsRSTACK, Seq: 308, Ack: 55, IPID: 9999, TTL: 201},
+		),
+		mk(true,
+			PacketRecord{Timestamp: 10, Flags: packet.FlagsSYN, Seq: 1},
+			PacketRecord{Timestamp: 11, Flags: packet.FlagsPSHACK, Seq: 2, PayloadLen: 1200, Payload: big},
+		),
+		mk(false), // zero packets
+		mk(true, PacketRecord{Timestamp: 20, Flags: packet.FlagsRST, Ack: 0xFFFFFFFF}),
+		mk(false,
+			PacketRecord{Timestamp: 30, Flags: packet.FlagFIN | packet.FlagACK | packet.FlagURG, PayloadLen: 1, Payload: []byte{0}},
+			PacketRecord{Timestamp: 31, Flags: 0xFF, PayloadLen: 5}, // capLen 0 < payloadLen
+		),
+	}
+}
+
+// connEqual compares field-wise, treating nil and empty payloads as
+// equal (Reader leaves zero-length payloads nil; DecodeRecord may
+// reuse capacity and reslice to zero).
+func connEqual(a, b *Connection) bool {
+	if a.SrcIP != b.SrcIP || a.DstIP != b.DstIP || a.SrcPort != b.SrcPort ||
+		a.DstPort != b.DstPort || a.IPVersion != b.IPVersion ||
+		a.TotalPackets != b.TotalPackets || a.LastActivity != b.LastActivity ||
+		a.CloseTime != b.CloseTime || len(a.Packets) != len(b.Packets) {
+		return false
+	}
+	for i := range a.Packets {
+		pa, pb := &a.Packets[i], &b.Packets[i]
+		if !bytes.Equal(pa.Payload, pb.Payload) ||
+			pa.Timestamp != pb.Timestamp || pa.Flags != pb.Flags ||
+			pa.Seq != pb.Seq || pa.Ack != pb.Ack || pa.IPID != pb.IPID ||
+			pa.TTL != pb.TTL || pa.Window != pb.Window ||
+			pa.PayloadLen != pb.PayloadLen || pa.HasOptions != pb.HasOptions {
+			return false
+		}
+	}
+	return true
+}
+
+// TestScannerMatchesReader: Scanner.Next + DecodeRecord must
+// reproduce the Reader's connections exactly, record for record, over
+// repeated slab and Connection reuse.
+func TestScannerMatchesReader(t *testing.T) {
+	conns := scannerConns(t)
+	data := encodeConns(t, conns)
+
+	r := NewReader(bytes.NewReader(data))
+	sc := NewScanner(bytes.NewReader(data))
+	var slab []byte
+	var reused Connection // DecodeRecord target, reused across records
+	for i := 0; ; i++ {
+		want, rerr := r.Next()
+		raw, serr := sc.Next(slab[:0])
+		if rerr == io.EOF || serr == io.EOF {
+			if rerr != serr {
+				t.Fatalf("record %d: reader err %v, scanner err %v", i, rerr, serr)
+			}
+			break
+		}
+		if rerr != nil || serr != nil {
+			t.Fatalf("record %d: reader err %v, scanner err %v", i, rerr, serr)
+		}
+		slab = raw
+		if err := DecodeRecord(raw, &reused); err != nil {
+			t.Fatalf("record %d: DecodeRecord: %v", i, err)
+		}
+		if !connEqual(want, &reused) {
+			t.Errorf("record %d mismatch:\nreader:  %+v\nscanner: %+v", i, want, &reused)
+		}
+		if !connEqual(conns[i], &reused) {
+			t.Errorf("record %d does not match original: %+v", i, &reused)
+		}
+	}
+	if sc.Count() != len(conns) || r.Count() != len(conns) {
+		t.Errorf("counts: scanner %d, reader %d, want %d", sc.Count(), r.Count(), len(conns))
+	}
+	if sc.BytesRead() != int64(len(data)) {
+		t.Errorf("BytesRead = %d, want %d", sc.BytesRead(), len(data))
+	}
+}
+
+// errClass buckets an error the way the pipeline's exit codes do.
+func errClass(err error) string {
+	switch {
+	case err == nil:
+		return "nil"
+	case err == io.EOF:
+		return "eof"
+	case errors.Is(err, ErrBadMagic):
+		return "badmagic"
+	case errors.Is(err, ErrCorrupt):
+		return "corrupt"
+	default:
+		return "other"
+	}
+}
+
+// drive runs one front end over data, returning how many records it
+// produced before its terminal error, and the class of that error.
+func driveReader(data []byte) (int, string) {
+	r := NewReader(bytes.NewReader(data))
+	for {
+		if _, err := r.Next(); err != nil {
+			return r.Count(), errClass(err)
+		}
+	}
+}
+
+func driveScanner(data []byte) (int, string) {
+	sc := NewScanner(bytes.NewReader(data))
+	var c Connection
+	for {
+		raw, err := sc.Next(nil)
+		if err != nil {
+			return sc.Count(), errClass(err)
+		}
+		if err := DecodeRecord(raw, &c); err != nil {
+			// Scanner-approved bytes must always decode.
+			return sc.Count(), "decode-failed:" + err.Error()
+		}
+	}
+}
+
+// TestScannerTruncationParity truncates a valid capture at every
+// length: the scanner must deliver the same record count and the same
+// terminal error class as the Reader, which is what pins tamperscan's
+// exit-3 "good prefix then corrupt tail" behaviour to the new path.
+func TestScannerTruncationParity(t *testing.T) {
+	data := encodeConns(t, scannerConns(t))
+	for cut := 0; cut <= len(data); cut++ {
+		rn, rc := driveReader(data[:cut])
+		sn, sclass := driveScanner(data[:cut])
+		if rn != sn || rc != sclass {
+			t.Fatalf("truncation at %d/%d: reader (%d records, %s), scanner (%d records, %s)",
+				cut, len(data), rn, rc, sn, sclass)
+		}
+	}
+}
+
+// TestScannerCorruptionParity flips each byte of a valid capture to a
+// hostile value and checks count + error-class parity. (Not all
+// corruptions are detectable — flipping a TTL yields a different
+// valid capture — but both front ends must fail, or not, identically.)
+func TestScannerCorruptionParity(t *testing.T) {
+	data := encodeConns(t, scannerConns(t))
+	for pos := 0; pos < len(data); pos++ {
+		for _, v := range []byte{0x00, 0xFF, data[pos] ^ 0x80} {
+			if v == data[pos] {
+				continue
+			}
+			mut := append([]byte(nil), data...)
+			mut[pos] = v
+			rn, rc := driveReader(mut)
+			sn, sclass := driveScanner(mut)
+			if rn != sn || rc != sclass {
+				t.Fatalf("corrupt byte %d -> %#x: reader (%d records, %s), scanner (%d records, %s)",
+					pos, v, rn, rc, sn, sclass)
+			}
+		}
+	}
+}
+
+// TestDecodeRecordRejectsTrailingBytes pins the full-consumption
+// check: a raw record with extra bytes appended is corrupt, not
+// silently accepted.
+func TestDecodeRecordRejectsTrailingBytes(t *testing.T) {
+	data := encodeConns(t, scannerConns(t))
+	sc := NewScanner(bytes.NewReader(data))
+	raw, err := sc.Next(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c Connection
+	if err := DecodeRecord(append(raw, 0xEE), &c); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("trailing byte: got %v, want ErrCorrupt", err)
+	}
+	if err := DecodeRecord(raw[:len(raw)-1], &c); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("short record: got %v, want ErrCorrupt", err)
+	}
+	if err := DecodeRecord(nil, &c); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("empty record: got %v, want ErrCorrupt", err)
+	}
+}
+
+// TestScannerSlabAppend pins the slab contract: Next appends to dst,
+// so several records can accumulate in one slab without the earlier
+// ones moving or changing.
+func TestScannerSlabAppend(t *testing.T) {
+	conns := scannerConns(t)
+	data := encodeConns(t, conns)
+	sc := NewScanner(bytes.NewReader(data))
+	var slab []byte
+	offs := []int{0}
+	for {
+		next, err := sc.Next(slab)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		slab = next
+		offs = append(offs, len(slab))
+	}
+	if got := len(offs) - 1; got != len(conns) {
+		t.Fatalf("scanned %d records, want %d", got, len(conns))
+	}
+	for i := 0; i < len(offs)-1; i++ {
+		var c Connection
+		if err := DecodeRecord(slab[offs[i]:offs[i+1]], &c); err != nil {
+			t.Fatalf("record %d from shared slab: %v", i, err)
+		}
+		if !connEqual(conns[i], &c) {
+			t.Errorf("record %d from shared slab mismatches original", i)
+		}
+	}
+}
+
+func TestScannerErrorSticky(t *testing.T) {
+	data := encodeConns(t, scannerConns(t))
+	sc := NewScanner(bytes.NewReader(data[:len(data)-3]))
+	var firstErr error
+	for {
+		if _, err := sc.Next(nil); err != nil {
+			firstErr = err
+			break
+		}
+	}
+	if firstErr == io.EOF {
+		t.Fatal("truncated stream ended cleanly")
+	}
+	if _, err := sc.Next(nil); err != firstErr {
+		t.Errorf("error not sticky: first %v, then %v", firstErr, err)
+	}
+}
+
+// FuzzRecordScanner feeds arbitrary byte streams — seeded with valid
+// captures, truncations, and mutations — to both front ends and
+// requires identical record counts, identical terminal error classes,
+// and that every scanner-approved slab decodes to exactly the
+// connection the Reader produced. This is the invariant the pipeline's
+// partial-results exit code rests on.
+func FuzzRecordScanner(f *testing.F) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	_ = w.Write(&Connection{
+		SrcIP: netip.MustParseAddr("20.0.0.1"), DstIP: netip.MustParseAddr("192.0.2.1"),
+		SrcPort: 1, DstPort: 443, IPVersion: 4,
+		Packets: []PacketRecord{
+			{Flags: packet.FlagsSYN, Seq: 9},
+			{Flags: packet.FlagsPSHACK, Seq: 10, PayloadLen: 40, Payload: []byte("abcdef")},
+		},
+	})
+	_ = w.Write(&Connection{
+		SrcIP: netip.MustParseAddr("2600:1::5"), DstIP: netip.MustParseAddr("2600:2::80"),
+		SrcPort: 2, DstPort: 80, IPVersion: 6,
+	})
+	_ = w.Flush()
+	valid := buf.Bytes()
+	f.Add(append([]byte(nil), valid...))
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("TDCAP001"))
+	f.Add([]byte("TDCAP001\xC0"))
+	f.Add([]byte{})
+	mut := append([]byte(nil), valid...)
+	mut[20] ^= 0xFF
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		sc := NewScanner(bytes.NewReader(data))
+		var c Connection
+		for i := 0; i < 200; i++ {
+			want, rerr := r.Next()
+			raw, serr := sc.Next(nil)
+			if got, want := errClass(serr), errClass(rerr); got != want {
+				t.Fatalf("record %d: scanner error class %q (%v), reader %q (%v)", i, got, serr, want, rerr)
+			}
+			if rerr != nil {
+				return
+			}
+			if err := DecodeRecord(raw, &c); err != nil {
+				t.Fatalf("record %d: scanner approved bytes DecodeRecord rejects: %v", i, err)
+			}
+			if !connEqual(want, &c) {
+				t.Fatalf("record %d: decode mismatch:\nreader:  %+v\nscanner: %+v", i, want, &c)
+			}
+		}
+	})
+}

@@ -54,6 +54,11 @@ type Config struct {
 	// MaxPackets is the capture's per-connection packet cap (paper: 10);
 	// connections that filled the cap without anomaly are "ongoing".
 	MaxPackets int
+	// Matcher selects the signature-matching engine: the single-pass
+	// compiled automaton (MatcherDFA, the zero value) or the original
+	// multi-pass matcher (MatcherLegacy), retained as the differential-
+	// testing oracle. Both produce identical Results on every input.
+	Matcher MatcherMode
 }
 
 // DefaultConfig matches the paper's deployment.
@@ -65,6 +70,9 @@ func DefaultConfig() Config {
 // It is stateless apart from configuration and safe for concurrent use.
 type Classifier struct {
 	cfg Config
+	// dfa is the compiled signature automaton, shared by every
+	// classifier (built once, immutable); nil under MatcherLegacy.
+	dfa *dfa
 }
 
 // NewClassifier builds a classifier.
@@ -75,7 +83,11 @@ func NewClassifier(cfg Config) *Classifier {
 	if cfg.MaxPackets == 0 {
 		cfg.MaxPackets = 10
 	}
-	return &Classifier{cfg: cfg}
+	cl := &Classifier{cfg: cfg}
+	if cfg.Matcher == MatcherDFA {
+		cl.dfa = compiledDFA()
+	}
+	return cl
 }
 
 // Scratch holds reusable per-call working storage for ClassifyWith: the
@@ -128,6 +140,18 @@ func (cl *Classifier) Classify(conn *capture.Connection) Result {
 // reconstruction buffer and ack list live in s and are reused across
 // calls, making the steady-state classification allocation-free.
 func (cl *Classifier) ClassifyWith(conn *capture.Connection, s *Scratch) Result {
+	if cl.dfa != nil {
+		return cl.classifyDFA(conn, s)
+	}
+	return cl.classifyLegacy(conn, s)
+}
+
+// classifyLegacy is the original multi-pass classifier: reconstruct,
+// scan for RST/FIN/gaps, split at the first RST, walk the prefix into
+// a stage, then count the tail against each stage's signature table.
+// It is the ground truth the DFA is differentially tested against; do
+// not modify one without the other.
+func (cl *Classifier) classifyLegacy(conn *capture.Connection, s *Scratch) Result {
 	s.recs = capture.ReconstructInto(conn, s.recs)
 	recs := s.recs
 	res := Result{Signature: SigNotTampering, Stage: StageNone}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"tamperdetect/internal/capture"
+)
+
+// TestDFACompiles pins the automaton's shape: it must build, stay
+// small (the abstract state space is meant to collapse to ~10^2
+// states), and have a verdict row for every state.
+func TestDFACompiles(t *testing.T) {
+	d := compiledDFA()
+	if len(d.next) == 0 || len(d.next) != len(d.info) {
+		t.Fatalf("malformed DFA: %d transition rows, %d info rows", len(d.next), len(d.info))
+	}
+	if len(d.next) > 1000 {
+		t.Errorf("DFA has %d states; the abstract-state canonicalisation has regressed", len(d.next))
+	}
+	t.Logf("DFA: %d states x %d events", len(d.next), numDFAEvents)
+	for st, row := range d.next {
+		for e, to := range row {
+			if int(to) >= len(d.next) {
+				t.Fatalf("state %d event %d transitions to nonexistent state %d", st, e, to)
+			}
+		}
+	}
+}
+
+// TestAckStepMatchesClassifyMultiRST drives the ack-class state
+// machine and the legacy classifyMultiRST over the same ack vectors:
+// the final class must map to the signature classifyMultiRST picks.
+func TestAckStepMatchesClassifyMultiRST(t *testing.T) {
+	vectors := [][]uint32{
+		{0}, {5}, {0, 0}, {5, 5}, {5, 7}, {0, 5}, {5, 0},
+		{5, 0, 7}, {0, 5, 5}, {5, 0, 5}, {5, 7, 5}, {5, 7, 0},
+		{0, 0, 0}, {1, 2, 3}, {7, 7, 7}, {0, 0, 9},
+	}
+	for _, acks := range vectors {
+		// Drive the event encoder + ack class exactly as classifyDFA
+		// would for a run of bare RSTs.
+		var reg uint32
+		haveReg := false
+		cls := uint8(ackNone)
+		for _, a := range acks {
+			p := capture.PacketRecord{Flags: 0x04, Ack: a} // bare RST
+			cls = ackStep(cls, eventOf(&p, &reg, &haveReg))
+		}
+		var fromClass Signature
+		switch cls {
+		case ackMixed:
+			fromClass = SigPSHRSTRSTZero
+		case ackNe:
+			fromClass = SigPSHRSTNeqRST
+		default:
+			fromClass = SigPSHRSTEqRST
+		}
+		var s Scratch
+		s.acks = append(s.acks[:0], acks...)
+		if want := classifyMultiRST(s.acks); fromClass != want {
+			t.Errorf("acks %v: ack-class gives %s, classifyMultiRST gives %s", acks, fromClass, want)
+		}
+	}
+}
+
+// TestMatcherModeSelectsEngine pins that the flag actually switches
+// engines: MatcherLegacy must leave the DFA unbuilt on the classifier.
+func TestMatcherModeSelectsEngine(t *testing.T) {
+	if cl := NewClassifier(Config{Matcher: MatcherLegacy}); cl.dfa != nil {
+		t.Error("MatcherLegacy classifier carries a DFA")
+	}
+	if cl := NewClassifier(Config{}); cl.dfa == nil {
+		t.Error("default classifier has no DFA (MatcherDFA should be the zero value)")
+	}
+	if cl := NewClassifier(Config{Matcher: MatcherDFA}); cl.dfa == nil {
+		t.Error("MatcherDFA classifier has no DFA")
+	}
+}

@@ -91,6 +91,13 @@ type Config struct {
 	// 2, …). Unordered delivery has lower latency skew under uneven
 	// classify costs; ordered delivery is deterministic.
 	Ordered bool
+	// SequentialDecode makes Stream decode every record on the single
+	// source goroutine (the pre-parallel-decode pipeline) instead of
+	// the default scanner + decode-in-worker path (see ScanTDCAP).
+	// Delivery semantics are identical either way; the sequential path
+	// remains chiefly as a baseline and for diagnosing the parallel
+	// one. Run is unaffected: non-TDCAP sources are always sequential.
+	SequentialDecode bool
 	// Classifier overrides the classifier; nil builds one with
 	// core.DefaultConfig(). A single *core.Classifier is shared by all
 	// workers (it is concurrency-safe).
@@ -264,19 +271,10 @@ func Run(ctx context.Context, src Source, cfg Config, sink Sink) (Counts, error)
 	// classify without shared state or per-record allocation. Workers
 	// exit when the decode channel closes (drain) or the context is
 	// cancelled mid-send.
-	// A classifier panic on one record is contained to that record: it
-	// is converted to Item.Err, counted as an error, and still
-	// forwarded so ordered delivery never stalls on the gap — one
-	// poisoned record must not take down the whole stream.
-	classify := func(wcl *core.Classifier, s *core.Scratch, c *capture.Connection) (res core.Result, err error) {
-		defer func() {
-			if r := recover(); r != nil {
-				res = core.Result{}
-				err = fmt.Errorf("pipeline: classifier panic: %v", r)
-			}
-		}()
-		return wcl.ClassifyWith(c, s), nil
-	}
+	// A classifier panic on one record is contained to that record
+	// (safeClassify): it is converted to Item.Err, counted as an error,
+	// and still forwarded so ordered delivery never stalls on the gap —
+	// one poisoned record must not take down the whole stream.
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -290,7 +288,7 @@ func Run(ctx context.Context, src Source, cfg Config, sink Sink) (Counts, error)
 					classifyStart = time.Now()
 				}
 				for i := range b {
-					b[i].Res, b[i].Err = classify(&wcl, &scratch, b[i].Conn)
+					b[i].Res, b[i].Err = safeClassify(&wcl, &scratch, b[i].Conn)
 					if b[i].Err != nil {
 						m.errors.Add(1)
 					} else {
@@ -419,7 +417,15 @@ func Run(ctx context.Context, src Source, cfg Config, sink Sink) (Counts, error)
 }
 
 // Stream decodes TDCAP connection records incrementally from r and
-// runs them through the pipeline; see Run.
+// runs them through the pipeline. By default it uses the parallel
+// decode path (ScanTDCAP): a scanner goroutine finds record
+// boundaries and the workers decode and classify, so ingest scales
+// with Config.Workers. Config.SequentialDecode selects the original
+// decode-on-the-source-goroutine path instead; results and counters
+// are identical either way.
 func Stream(ctx context.Context, r io.Reader, cfg Config, sink Sink) (Counts, error) {
-	return Run(ctx, NewReaderSource(r), cfg, sink)
+	if cfg.SequentialDecode {
+		return Run(ctx, NewReaderSource(r), cfg, sink)
+	}
+	return ScanTDCAP(ctx, r, cfg, sink)
 }

@@ -1,0 +1,375 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"tamperdetect/internal/capture"
+	"tamperdetect/internal/core"
+)
+
+// The parallel decode path. The sequential Run pipeline decodes every
+// record on one source goroutine, which caps throughput at the decode
+// rate no matter how many classify workers run. ScanTDCAP restructures
+// the front end for TDCAP streams:
+//
+//	scanner ──raw slabs──▶ decode+classify ×W ──▶ sink
+//
+// One scanner goroutine finds record boundaries (capture.Scanner: a
+// header walk plus one memcpy per record, far cheaper than decoding)
+// and hands batches of raw record bytes to the workers, which decode
+// AND classify, so the expensive half of ingest scales with the pool.
+//
+// Slab ownership is strict and explicit: the scanner writes a slab
+// only before sending its batch; after the send it takes a fresh one
+// from the pool. A worker returns the slab to the pool as soon as its
+// batch is decoded, before classification, so slabs recycle quickly.
+// Decoded Connections live in per-batch storage that recycles after
+// the sink runs (NextInto-style Packets/Payload capacity reuse), which
+// keeps the steady state allocation-free; sinks and observers must not
+// retain *capture.Connection past the call, exactly as for Run.
+
+// maxSlabBytes flushes a raw batch early when its slab grows past this
+// size, so a run of huge records cannot pin unbounded memory behind
+// one batch.
+const maxSlabBytes = 1 << 20
+
+// rawBatch is a batch of undecoded records: one contiguous byte slab
+// plus record boundaries. Record i is slab[offs[i]:offs[i+1]], and its
+// pipeline index is first+i (indexes stay contiguous per batch, which
+// ordered delivery relies on).
+type rawBatch struct {
+	first int
+	slab  []byte
+	offs  []int32
+}
+
+// itemBatch is a decoded batch: the items the sink sees plus the
+// Connection storage their Conn pointers alias. The storage recycles
+// with the batch; its Packets/Payload capacity survives reuse.
+type itemBatch struct {
+	items []Item
+	conns []capture.Connection
+}
+
+// safeClassify contains a classifier panic to the one record that
+// caused it, converting it to an Item error (see Run).
+func safeClassify(cl *core.Classifier, s *core.Scratch, c *capture.Connection) (res core.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = core.Result{}
+			err = fmt.Errorf("pipeline: classifier panic: %v", r)
+		}
+	}()
+	return cl.ClassifyWith(c, s), nil
+}
+
+// ScanTDCAP streams a TDCAP capture through the parallel decode
+// pipeline: a scanner goroutine splits r into raw record batches and
+// the worker pool decodes and classifies them. Semantics match Run
+// over a ReaderSource exactly — same Counts accounting, same ordered/
+// unordered delivery, same drain-the-good-prefix behaviour on a
+// corrupt tail — only the work placement differs. Stream uses this
+// path by default; Config.SequentialDecode restores the old one.
+func ScanTDCAP(ctx context.Context, r io.Reader, cfg Config, sink Sink) (Counts, error) {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	depth := cfg.Depth
+	if depth <= 0 {
+		depth = DefaultDepth
+	}
+	batch := cfg.BatchSize
+	if batch <= 0 {
+		batch = DefaultBatchSize
+	}
+	if batch > depth {
+		batch = depth
+	}
+	cl := cfg.Classifier
+	if cl == nil {
+		cl = core.NewClassifier(core.DefaultConfig())
+	}
+	tel := cfg.Telemetry
+	m := cfg.Metrics
+	if m == nil {
+		if tel != nil {
+			m = tel.Metrics()
+		} else {
+			m = &Metrics{}
+		}
+	}
+	if tel != nil {
+		tel.attach(m)
+	}
+	if sink == nil {
+		sink = func(Item) error { return nil }
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	chanCap := depth / batch
+	if chanCap < 1 {
+		chanCap = 1
+	}
+	raw := make(chan *rawBatch, chanCap)      // scan → decode+classify
+	results := make(chan *itemBatch, chanCap) // decode+classify → deliver
+
+	// Both batch kinds recycle through pools. Raw slabs keep their byte
+	// capacity; item batches keep their Connection storage (and, inside
+	// it, Packets/Payload capacity) so steady-state decode allocates
+	// nothing.
+	rawPool := sync.Pool{New: func() any {
+		return &rawBatch{slab: make([]byte, 0, batch*512), offs: make([]int32, 1, batch+1)}
+	}}
+	getRaw := func() *rawBatch {
+		rb := rawPool.Get().(*rawBatch)
+		rb.slab = rb.slab[:0]
+		rb.offs = rb.offs[:1] // offs[0] == 0, the first record's start
+		return rb
+	}
+	putRaw := func(rb *rawBatch) { rawPool.Put(rb) }
+	itemPool := sync.Pool{New: func() any { return &itemBatch{} }}
+	getItems := func() *itemBatch {
+		ib := itemPool.Get().(*itemBatch)
+		ib.items = ib.items[:0]
+		return ib
+	}
+	putItems := func(ib *itemBatch) {
+		b := ib.items[:cap(ib.items)]
+		clear(b) // don't pin delivered Results (domains, etc.)
+		ib.items = b[:0]
+		itemPool.Put(ib)
+	}
+
+	// Scan stage: one goroutine splits the stream into raw batches. A
+	// slab is written only before its batch is sent; after the send the
+	// scanner takes a fresh (or recycled) one, so workers own their
+	// slabs exclusively. Errors behave like Run's source stage: stop
+	// scanning but do NOT cancel, so the good prefix drains and the
+	// error surfaces once the pipeline is empty (tamperscan's exit 3).
+	var srcErr error // written before scanDone closes
+	scanDone := make(chan struct{})
+	go func() {
+		defer close(scanDone)
+		defer close(raw)
+		sc := capture.NewScanner(r)
+		var batchStart time.Time
+		var lastBytes int64
+		if tel != nil {
+			batchStart = time.Now()
+		}
+		cur := getRaw()
+		first := 0
+		flush := func() bool {
+			n := len(cur.offs) - 1
+			if n == 0 {
+				return true
+			}
+			if tel != nil {
+				tel.stageLat[stageScan].Observe(time.Since(batchStart).Nanoseconds())
+				b := sc.BytesRead()
+				tel.capBytes.Add(b - lastBytes)
+				lastBytes = b
+			}
+			cur.first = first
+			select {
+			case raw <- cur:
+				if tel != nil {
+					tel.queueDecos.Set(int64(len(raw)) * int64(batch))
+					batchStart = time.Now()
+				}
+				first += n
+				cur = getRaw()
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		}
+		for {
+			slab, err := sc.Next(cur.slab)
+			if err == io.EOF {
+				flush()
+				return
+			}
+			if err != nil {
+				m.errors.Add(1)
+				srcErr = err
+				flush()
+				return
+			}
+			cur.slab = slab
+			cur.offs = append(cur.offs, int32(len(slab)))
+			m.decoded.Add(1)
+			if (len(cur.offs)-1 >= batch || len(cur.slab) >= maxSlabBytes) && !flush() {
+				return
+			}
+		}
+	}()
+
+	// Decode+classify stage: each worker decodes its batch's records
+	// into the batch's own reusable Connection storage, returns the
+	// slab, then classifies. A decode error on one record (impossible
+	// for scanner-approved bytes, but contained anyway) poisons only
+	// that item, like a classifier panic.
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			wcl := *cl // private instance: no false sharing across workers
+			var scratch core.Scratch
+			for rb := range raw {
+				n := len(rb.offs) - 1
+				ib := getItems()
+				ib.conns = ib.conns[:cap(ib.conns)]
+				for len(ib.conns) < n {
+					ib.conns = append(ib.conns, capture.Connection{})
+				}
+				var decodeStart time.Time
+				if tel != nil {
+					decodeStart = time.Now()
+				}
+				for i := 0; i < n; i++ {
+					c := &ib.conns[i]
+					it := Item{Index: rb.first + i, Conn: c}
+					if err := capture.DecodeRecord(rb.slab[rb.offs[i]:rb.offs[i+1]], c); err != nil {
+						it.Conn, it.Err = nil, fmt.Errorf("pipeline: decode: %w", err)
+					}
+					ib.items = append(ib.items, it)
+				}
+				putRaw(rb) // slab ownership returns to the scanner's pool
+				var classifyStart time.Time
+				if tel != nil {
+					classifyStart = time.Now()
+					tel.stageLat[stageDecode].Observe(classifyStart.Sub(decodeStart).Nanoseconds())
+				}
+				for i := range ib.items {
+					it := &ib.items[i]
+					if it.Err == nil {
+						it.Res, it.Err = safeClassify(&wcl, &scratch, it.Conn)
+					}
+					if it.Err != nil {
+						m.errors.Add(1)
+					} else {
+						m.classified.Add(1)
+						if it.Res.Signature.IsTampering() {
+							m.tampering.Add(1)
+						}
+					}
+					if tel != nil {
+						tel.observeSig(worker, *it)
+					}
+				}
+				var observeStart time.Time
+				if tel != nil {
+					observeStart = time.Now()
+					tel.stageLat[stageClassify].Observe(observeStart.Sub(classifyStart).Nanoseconds())
+				}
+				if cfg.Observe != nil {
+					for i := range ib.items {
+						cfg.Observe(worker, ib.items[i])
+					}
+					if tel != nil {
+						tel.stageLat[stageObserve].Observe(time.Since(observeStart).Nanoseconds())
+					}
+				}
+				select {
+				case results <- ib:
+					if tel != nil {
+						tel.queueRes.Set(int64(len(results)) * int64(batch))
+					}
+				case <-ctx.Done():
+					return
+				}
+			}
+		}(w)
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Deliver stage, on the caller's goroutine; identical to Run's.
+	var sinkErr error
+	stopped := false
+	deliver := func(it Item) {
+		if stopped || ctx.Err() != nil {
+			return
+		}
+		switch err := sink(it); {
+		case err == nil:
+			m.delivered.Add(1)
+		case errors.Is(err, ErrStop):
+			stopped = true
+			cancel()
+		default:
+			m.errors.Add(1)
+			sinkErr = fmt.Errorf("pipeline: sink: %w", err)
+			stopped = true
+			cancel()
+		}
+	}
+	deliverBatch := func(ib *itemBatch) {
+		var sinkStart time.Time
+		if tel != nil {
+			sinkStart = time.Now()
+		}
+		for i := range ib.items {
+			deliver(ib.items[i])
+		}
+		if tel != nil {
+			tel.stageLat[stageSink].Observe(time.Since(sinkStart).Nanoseconds())
+		}
+		putItems(ib)
+	}
+	if cfg.Ordered {
+		// Reorder buffer keyed by each batch's first index; the scanner
+		// fills batches with contiguous indexes, exactly like Run's
+		// decoder, so first-index order is record order.
+		pending := make(map[int]*itemBatch)
+		next := 0
+		for ib := range results {
+			pending[ib.items[0].Index] = ib
+			for {
+				nb, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				next += len(nb.items)
+				deliverBatch(nb)
+			}
+		}
+	} else {
+		for ib := range results {
+			deliverBatch(ib)
+		}
+	}
+	<-scanDone
+	if tel != nil {
+		tel.queueDecos.Set(0)
+		tel.queueRes.Set(0)
+	}
+
+	counts := m.Snapshot()
+	counts.Dropped = counts.Decoded - counts.Delivered
+	m.dropped.Store(counts.Dropped)
+
+	switch {
+	case sinkErr != nil:
+		return counts, sinkErr
+	case srcErr != nil:
+		return counts, fmt.Errorf("pipeline: source: %w", srcErr)
+	case ctx.Err() != nil && !stopped:
+		return counts, ctx.Err()
+	}
+	return counts, nil
+}

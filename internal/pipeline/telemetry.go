@@ -8,16 +8,21 @@ import (
 	"tamperdetect/internal/telemetry"
 )
 
-// Pipeline stage indexes for the per-stage latency histograms.
+// Pipeline stage indexes for the per-stage latency histograms. The
+// parallel scan path (Stream's default) times the raw-record scanner
+// under "scan" and the per-worker decode under "decode", so /metrics
+// separates boundary-finding cost from field-decoding cost; the
+// sequential Run path attributes its whole source stage to "decode".
 const (
 	stageDecode = iota
 	stageClassify
 	stageObserve
 	stageSink
+	stageScan
 	numStages
 )
 
-var stageNames = [numStages]string{"decode", "classify", "observe", "sink"}
+var stageNames = [numStages]string{"decode", "classify", "observe", "sink", "scan"}
 
 // Disposition indexes for the per-outcome tallies.
 const (
@@ -39,10 +44,12 @@ var dispositionNames = [numDispositions]string{
 //   - tamperdetect_pipeline_dropped_records: decoded-but-undelivered
 //     records after the most recent finished run.
 //   - tamperdetect_pipeline_stage_latency_ns{stage=...}: per-batch
-//     latency histograms for the decode, classify, observe, and sink
-//     stages. Observations are per batch (Config.BatchSize records),
-//     not per record, which keeps the classify hot path at two
-//     time.Now calls per batch.
+//     latency histograms for the scan, decode, classify, observe, and
+//     sink stages ("scan" is the parallel path's raw-record scanner;
+//     "decode" is its per-worker field decode, or the whole source
+//     stage on the sequential Run path). Observations are per batch
+//     (Config.BatchSize records), not per record, which keeps the
+//     classify hot path at two time.Now calls per batch.
 //   - tamperdetect_pipeline_queue_depth_records{queue=...}: sampled
 //     depth of the decode→classify and classify→sink channels, in
 //     records — the backpressure view.

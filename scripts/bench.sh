@@ -1,12 +1,14 @@
 #!/bin/sh
 # Perf-trajectory harness: runs the streaming-pipeline benchmark
 # (BenchmarkStreamPipeline, workers {1,4,16} x batch {1,64}), the
-# geo-lookup cache benchmark (BenchmarkGeoLookup, cached vs uncached),
-# and the telemetry cost benchmark (BenchmarkStreamTelemetryOverhead,
-# telemetry off vs on) BENCH_COUNT times and aggregates the per-cell
-# medians into BENCH_pipeline.json via scripts/benchjson — the
-# recorded numbers EXPERIMENTS.md's Performance section tracks across
-# PRs. Run from anywhere:
+# decode-parallel benchmark (BenchmarkDecodeParallel, scan vs seq
+# front end at workers {1,4,16}), the geo-lookup cache benchmark
+# (BenchmarkGeoLookup, cached vs uncached), and the telemetry cost
+# benchmark (BenchmarkStreamTelemetryOverhead, telemetry off vs on)
+# BENCH_COUNT times and aggregates the per-cell medians into
+# BENCH_pipeline.json via scripts/benchjson — the recorded numbers
+# EXPERIMENTS.md's Performance section tracks across PRs. Run from
+# anywhere:
 #
 #	./scripts/bench.sh
 #
@@ -34,6 +36,9 @@ trap 'rm -f "$tmp"' EXIT
 # needs its own much larger iteration budget (GEO_BENCH_TIME).
 echo "== go test -bench BenchmarkStreamPipeline -benchtime $BENCHTIME -count $COUNT =="
 go test -run '^$' -bench 'BenchmarkStreamPipeline' -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$tmp"
+
+echo "== go test -bench BenchmarkDecodeParallel -benchtime $BENCHTIME -count $COUNT =="
+go test -run '^$' -bench 'BenchmarkDecodeParallel' -benchtime "$BENCHTIME" -count "$COUNT" . | tee -a "$tmp"
 
 echo "== go test -bench BenchmarkGeoLookup -benchtime $GEOTIME -count $COUNT =="
 go test -run '^$' -bench 'BenchmarkGeoLookup' -benchtime "$GEOTIME" -count "$COUNT" . | tee -a "$tmp"

@@ -69,20 +69,47 @@ type telemetryOverhead struct {
 	ExtraAllocsPerRecord float64       `json:"extra_allocs_per_record"`
 }
 
+// decodeParallelCell is one path×workers cell of
+// BenchmarkDecodeParallel: path "scan" is the scanner + decode-in-
+// worker front end (Stream's default), path "seq" the single-goroutine
+// decode source it replaced.
+type decodeParallelCell struct {
+	Path            string  `json:"path"`
+	Workers         int     `json:"workers"`
+	RecordsPerSec   float64 `json:"records_per_sec"`
+	NsPerRecord     float64 `json:"ns_per_record"`
+	BytesPerRecord  float64 `json:"bytes_per_record"`
+	AllocsPerRecord float64 `json:"allocs_per_record"`
+}
+
+// decodeParallel summarizes the decode-parallel grid. ScalingX is
+// scan-path workers=16 throughput over workers=1 (the scaling gate's
+// metric — meaningful only on multi-core hosts, so NumCPU is recorded
+// beside it); SpeedupAt1 is scan/seq at workers=1, the work-placement
+// win that shows even on one core.
+type decodeParallel struct {
+	NumCPU     int                  `json:"num_cpu"`
+	Cells      []decodeParallelCell `json:"cells"`
+	ScalingX   float64              `json:"scan_workers16_over_1"`
+	SpeedupAt1 float64              `json:"scan_over_seq_workers1"`
+}
+
 type report struct {
-	Benchmark string             `json:"benchmark"`
-	GoVersion string             `json:"go_version"`
-	CPU       string             `json:"cpu,omitempty"`
-	Runs      int                `json:"runs"`
-	Results   []result           `json:"results"`
-	GeoLookup *geoLookup         `json:"geo_lookup,omitempty"`
-	Telemetry *telemetryOverhead `json:"stream_telemetry_overhead,omitempty"`
+	Benchmark      string             `json:"benchmark"`
+	GoVersion      string             `json:"go_version"`
+	CPU            string             `json:"cpu,omitempty"`
+	Runs           int                `json:"runs"`
+	Results        []result           `json:"results"`
+	GeoLookup      *geoLookup         `json:"geo_lookup,omitempty"`
+	Telemetry      *telemetryOverhead `json:"stream_telemetry_overhead,omitempty"`
+	DecodeParallel *decodeParallel    `json:"decode_parallel,omitempty"`
 }
 
 var (
 	nameRe      = regexp.MustCompile(`^BenchmarkStreamPipeline/workers=(\d+)/batch=(\d+)(?:-\d+)?$`)
 	geoRe       = regexp.MustCompile(`^BenchmarkGeoLookup/mode=(cached|uncached)(?:-\d+)?$`)
 	telemetryRe = regexp.MustCompile(`^BenchmarkStreamTelemetryOverhead/telemetry=(on|off)(?:-\d+)?$`)
+	decodeRe    = regexp.MustCompile(`^BenchmarkDecodeParallel/path=(scan|seq)/workers=(\d+)(?:-\d+)?$`)
 )
 
 func main() {
@@ -122,6 +149,11 @@ func aggregate(src *os.File) (*report, error) {
 	samples := map[cell]map[string][]float64{}
 	geoSamples := map[string][]float64{}
 	telSamples := map[string]map[string][]float64{}
+	type dpCell struct {
+		path    string
+		workers int
+	}
+	dpSamples := map[dpCell]map[string][]float64{}
 	rep := &report{Benchmark: "BenchmarkStreamPipeline", GoVersion: runtime.Version()}
 	runs := 0
 	sc := bufio.NewScanner(src)
@@ -156,6 +188,19 @@ func aggregate(src *os.File) (*report, error) {
 			for i := 2; i+1 < len(fields); i += 2 {
 				if v, err := strconv.ParseFloat(fields[i], 64); err == nil {
 					telSamples[tm[1]][fields[i+1]] = append(telSamples[tm[1]][fields[i+1]], v)
+				}
+			}
+			continue
+		}
+		if dm := decodeRe.FindStringSubmatch(fields[0]); dm != nil {
+			w, _ := strconv.Atoi(dm[2])
+			c := dpCell{dm[1], w}
+			if dpSamples[c] == nil {
+				dpSamples[c] = map[string][]float64{}
+			}
+			for i := 2; i+1 < len(fields); i += 2 {
+				if v, err := strconv.ParseFloat(fields[i], 64); err == nil {
+					dpSamples[c][fields[i+1]] = append(dpSamples[c][fields[i+1]], v)
 				}
 			}
 			continue
@@ -227,6 +272,41 @@ func aggregate(src *os.File) (*report, error) {
 			ExtraAllocsPerRecord: on.AllocsPerRecord - off.AllocsPerRecord,
 		}
 	}
+	if len(dpSamples) > 0 {
+		dp := &decodeParallel{NumCPU: runtime.NumCPU()}
+		for c, units := range dpSamples {
+			dp.Cells = append(dp.Cells, decodeParallelCell{
+				Path:            c.path,
+				Workers:         c.workers,
+				RecordsPerSec:   median(units["conns/sec"]),
+				NsPerRecord:     median(units["ns/record"]),
+				BytesPerRecord:  median(units["B/record"]),
+				AllocsPerRecord: median(units["allocs/record"]),
+			})
+		}
+		sort.Slice(dp.Cells, func(i, j int) bool {
+			a, b := dp.Cells[i], dp.Cells[j]
+			if a.Path != b.Path {
+				return a.Path < b.Path // scan before seq
+			}
+			return a.Workers < b.Workers
+		})
+		at := func(path string, workers int) float64 {
+			for _, c := range dp.Cells {
+				if c.Path == path && c.Workers == workers {
+					return c.RecordsPerSec
+				}
+			}
+			return 0
+		}
+		if one := at("scan", 1); one > 0 {
+			dp.ScalingX = at("scan", 16) / one
+			if seq := at("seq", 1); seq > 0 {
+				dp.SpeedupAt1 = one / seq
+			}
+		}
+		rep.DecodeParallel = dp
+	}
 	return rep, nil
 }
 
@@ -277,6 +357,23 @@ func validateFile(path string) error {
 	if t := rep.Telemetry; t != nil {
 		if t.Off.RecordsPerSec <= 0 || t.On.RecordsPerSec <= 0 || t.ThroughputRatio <= 0 {
 			return fmt.Errorf("%s: stream_telemetry_overhead has non-positive throughput", path)
+		}
+	}
+	if d := rep.DecodeParallel; d != nil {
+		if len(d.Cells) == 0 || d.NumCPU < 1 {
+			return fmt.Errorf("%s: decode_parallel is empty", path)
+		}
+		for _, c := range d.Cells {
+			if (c.Path != "scan" && c.Path != "seq") || c.Workers < 1 || c.RecordsPerSec <= 0 {
+				return fmt.Errorf("%s: decode_parallel cell path=%q workers=%d invalid", path, c.Path, c.Workers)
+			}
+		}
+		// The scaling contract is enforced where the hardware can show
+		// it; on a multi-core recording host a regressed ratio is a
+		// stale or broken recording.
+		if d.NumCPU >= 4 && d.ScalingX > 0 && d.ScalingX < 2 {
+			return fmt.Errorf("%s: decode_parallel scan workers=16 is only %.2fx workers=1 on a %d-CPU host (gate requires >=2x)",
+				path, d.ScalingX, d.NumCPU)
 		}
 	}
 	return nil

@@ -33,6 +33,29 @@ go test ./internal/analysis/ -run 'TestParityStreamingMatchesBatch|TestParityPoP
 echo "== pipeline metrics monotonicity gate =="
 go test ./internal/pipeline/ -run 'TestMetricsMonotonicity' -count=1
 
+# DFA classifier differential gate: the compiled signature automaton
+# must match the legacy multi-pass matcher Result-for-Result over the
+# exhaustive event-sequence enumeration (lengths 0-6), the canonical
+# signature table, and the fixture corpus. Run focused and uncached so
+# its pass/fail is visible on its own line.
+echo "== DFA classifier differential gate =="
+go test ./internal/core/ -run 'TestDFAMatchesLegacy|TestDFASignatureTable' -count=1
+
+# Decode scaling gate: the parallel decode path at 16 workers must
+# ingest >=2x the records/sec of 1 worker. The test skips (loudly)
+# on hosts with <4 CPUs — parallel speedup needs parallel hardware —
+# so this line is a no-op on single-core CI but binding anywhere real.
+echo "== decode parallel scaling gate =="
+TAMPERDETECT_SCALING_GATE=1 go test ./internal/pipeline/ -run 'TestDecodeParallelScalingGate' -count=1 -v | grep -E 'SKIP|PASS|FAIL|ok ' || true
+TAMPERDETECT_SCALING_GATE=1 go test ./internal/pipeline/ -run 'TestDecodeParallelScalingGate' -count=1 >/dev/null
+
+# Raw-record scanner parity gate: the slab scanner front end must
+# agree with the sequential Reader on every truncation and byte
+# corruption of the fixture capture (same record counts, same error
+# classes) — the invariant tamperscan's exit-3 behaviour rests on.
+echo "== scanner/reader parity gate =="
+go test ./internal/capture/ -run 'TestScannerMatchesReader|TestScannerTruncationParity|TestScannerCorruptionParity' -count=1
+
 # Telemetry gate: run tamperscan with -metrics-addr over a fixture
 # capture, scrape /metrics and /healthz live (the gate test fails on
 # unparseable exposition or non-200 health), and verify the metrics

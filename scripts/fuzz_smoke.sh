@@ -15,6 +15,8 @@ fuzztime="${1:-10s}"
 # target per invocation, so they run sequentially.
 targets="
 ./internal/capture:FuzzCodecReader
+./internal/capture:FuzzRecordScanner
+./internal/core:FuzzDFAClassifierParity
 ./internal/pcap:FuzzReader
 ./internal/packet:FuzzSummaryParse
 ./internal/packet:FuzzDecrementTTL
