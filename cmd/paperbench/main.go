@@ -39,15 +39,23 @@
 // one-line counter snapshot to stderr on the given interval.
 // -cpuprofile/-memprofile/-blockprofile/-mutexprofile write Go pprof
 // profiles; block and mutex profiling are armed only when requested.
+//
+// SIGINT/SIGTERM stop a run gracefully: the dataset stream drains, the
+// worker shards merge, and the experiments render over whatever was
+// classified before the signal — marked as a partial dataset — before
+// the process exits 1.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"tamperdetect/internal/analysis"
@@ -150,7 +158,9 @@ func main() {
 		})
 	}
 
-	runErr := run(flag.Arg(0), *total, *hours, *seed, *workers, *threshold, *maxRecords, *impair, ins)
+	ctx, stopSig := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	runErr := run(ctx, flag.Arg(0), *total, *hours, *seed, *workers, *threshold, *maxRecords, *impair, ins)
+	stopSig()
 	if rep != nil {
 		rep.Stop()
 	}
@@ -226,8 +236,9 @@ func newPaperAggs() analysis.Multi {
 // connections and no records — only the constant-size aggregator
 // state every experiment renders from.
 type dataset struct {
-	scen *workload.Scenario
-	aggs analysis.Multi
+	scen    *workload.Scenario
+	aggs    analysis.Multi
+	partial bool // stream interrupted by a signal; tables cover a prefix
 }
 
 func resolveWorkers(w int) int {
@@ -243,7 +254,7 @@ func resolveWorkers(w int) int {
 // private aggregator shard, and the shards merge once the stream
 // drains. maxRecords > 0 stops the stream early (approximately — see
 // the -maxrecords flag doc).
-func buildDataset(total, hours int, seed uint64, workers, maxRecords int, imp faults.Config, ins instruments) (*dataset, error) {
+func buildDataset(ctx context.Context, total, hours int, seed uint64, workers, maxRecords int, imp faults.Config, ins instruments) (*dataset, error) {
 	s, err := workload.BuildScenario("paperbench", total, hours, seed)
 	if err != nil {
 		return nil, err
@@ -264,21 +275,28 @@ func buildDataset(total, hours int, seed uint64, workers, maxRecords int, imp fa
 			return nil
 		}
 	}
-	counts, err := pipeline.Run(context.Background(), src,
+	counts, runErr := pipeline.Run(ctx, src,
 		pipeline.Config{Workers: w, Observe: sharded.Observe, Telemetry: ins.tel, Classifier: ins.classifier}, sink)
-	if err != nil {
-		return nil, err
+	// A signal cancels the stream; if anything was classified, the
+	// merged shards still make a usable (partial) dataset to render.
+	partial := runErr != nil && errors.Is(runErr, context.Canceled) && counts.Classified > 0
+	if runErr != nil && !partial {
+		return nil, runErr
 	}
 	merged, err := sharded.Merged()
 	if err != nil {
 		return nil, err
 	}
-	fmt.Printf("# dataset: %d connections, %d scenario-hours, one-pass aggregation in %v\n\n",
-		counts.Classified, s.Hours, time.Since(start).Round(time.Millisecond))
-	return &dataset{scen: s, aggs: merged.(analysis.Multi)}, nil
+	mark := ""
+	if partial {
+		mark = " — INTERRUPTED, tables cover this partial prefix"
+	}
+	fmt.Printf("# dataset: %d connections, %d scenario-hours, one-pass aggregation in %v%s\n\n",
+		counts.Classified, s.Hours, time.Since(start).Round(time.Millisecond), mark)
+	return &dataset{scen: s, aggs: merged.(analysis.Multi), partial: partial}, nil
 }
 
-func run(exp string, total, hours int, seed uint64, workers, threshold, maxRecords int, impair string, ins instruments) error {
+func run(ctx context.Context, exp string, total, hours int, seed uint64, workers, threshold, maxRecords int, impair string, ins instruments) error {
 	known := false
 	for _, e := range experiments {
 		if e == exp {
@@ -301,7 +319,7 @@ func run(exp string, total, hours int, seed uint64, workers, threshold, maxRecor
 	// fig8 (the Iran case study) and robustness build their own
 	// scenarios; everything else shares one dataset.
 	if exp != "fig8" && exp != "robustness" {
-		ds, err = buildDataset(total, hours, seed, workers, maxRecords, imp, ins)
+		ds, err = buildDataset(ctx, total, hours, seed, workers, maxRecords, imp, ins)
 		if err != nil {
 			return err
 		}
@@ -370,7 +388,7 @@ func run(exp string, total, hours int, seed uint64, workers, threshold, maxRecor
 				return m
 			})
 			src := s.Stream(workers)
-			counts, err := pipeline.Run(context.Background(), src,
+			counts, err := pipeline.Run(ctx, src,
 				pipeline.Config{Workers: w, Observe: sharded.Observe, Telemetry: ins.tel, Classifier: ins.classifier}, nil)
 			src.Close()
 			if err != nil {
@@ -436,7 +454,7 @@ func run(exp string, total, hours int, seed uint64, workers, threshold, maxRecor
 					return analysis.NewRobustnessAgg(grade, gradeImp.EffectiveLoss())
 				})
 				src := sweep.StreamSpecs(specs, workers)
-				counts, err := pipeline.Run(context.Background(), src,
+				counts, err := pipeline.Run(ctx, src,
 					pipeline.Config{Workers: w, Observe: sharded.Observe, Telemetry: ins.tel, Classifier: ins.classifier}, nil)
 				src.Close()
 				if err != nil {
@@ -475,9 +493,13 @@ func run(exp string, total, hours int, seed uint64, workers, threshold, maxRecor
 				return err
 			}
 		}
-		return nil
+	} else if err := runOne(exp); err != nil {
+		return err
 	}
-	return runOne(exp)
+	if ds != nil && ds.partial {
+		return fmt.Errorf("interrupted: the tables above cover only the dataset classified before the signal")
+	}
+	return nil
 }
 
 // renderEvasion measures the §6 blind spot: connections censored by

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -20,7 +21,7 @@ func TestRunExperiments(t *testing.T) {
 		}
 		exp := exp
 		t.Run(exp, func(t *testing.T) {
-			if err := run(exp, 3000, 48, 7, 2, 2, 0, "", instruments{}); err != nil {
+			if err := run(context.Background(), exp, 3000, 48, 7, 2, 2, 0, "", instruments{}); err != nil {
 				t.Fatalf("run(%s): %v", exp, err)
 			}
 		})
@@ -28,10 +29,10 @@ func TestRunExperiments(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("nope", 10, 1, 1, 1, 1, 0, "", instruments{}); err == nil {
+	if err := run(context.Background(), "nope", 10, 1, 1, 1, 1, 0, "", instruments{}); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if err := run("table1", 10, 1, 1, 1, 1, 0, "nope", instruments{}); err == nil {
+	if err := run(context.Background(), "table1", 10, 1, 1, 1, 1, 0, "nope", instruments{}); err == nil {
 		t.Error("unknown impairment grade accepted")
 	}
 }
@@ -41,12 +42,12 @@ func TestRunUnknownExperiment(t *testing.T) {
 // at most the pipeline's bounded in-flight window, but must stay well
 // below the full run.
 func TestMaxRecordsCapsDataset(t *testing.T) {
-	full, err := buildDataset(6000, 48, 7, 2, 0, faults.Config{}, instruments{})
+	full, err := buildDataset(context.Background(), 6000, 48, 7, 2, 0, faults.Config{}, instruments{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	fullTotal := full.aggs[aggStages].(*analysis.StageStatsAgg).Stats().Total
-	capped, err := buildDataset(6000, 48, 7, 2, 200, faults.Config{}, instruments{})
+	capped, err := buildDataset(context.Background(), 6000, 48, 7, 2, 200, faults.Config{}, instruments{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,11 +63,11 @@ func TestMaxRecordsCapsDataset(t *testing.T) {
 // TestDatasetDeterministicAcrossWorkers checks the one-pass dataset is
 // a pure function of the scenario: worker count cannot change a table.
 func TestDatasetDeterministicAcrossWorkers(t *testing.T) {
-	ds1, err := buildDataset(3000, 48, 7, 1, 0, faults.Config{}, instruments{})
+	ds1, err := buildDataset(context.Background(), 3000, 48, 7, 1, 0, faults.Config{}, instruments{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ds4, err := buildDataset(3000, 48, 7, 4, 0, faults.Config{}, instruments{})
+	ds4, err := buildDataset(context.Background(), 3000, 48, 7, 4, 0, faults.Config{}, instruments{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestDatasetDeterministicAcrossWorkers(t *testing.T) {
 func TestRunInstrumented(t *testing.T) {
 	ins := instruments{tel: pipeline.NewTelemetry(nil), fstats: &faults.Stats{}}
 	ins.fstats.Register(ins.tel.Registry())
-	if err := run("table1", 2000, 24, 7, 2, 2, 0, "lossy", ins); err != nil {
+	if err := run(context.Background(), "table1", 2000, 24, 7, 2, 2, 0, "lossy", ins); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if got := ins.tel.Metrics().Snapshot().Classified; got == 0 {

@@ -1,0 +1,116 @@
+// Command popmerge is the fleet-mode merge service: it accepts
+// per-epoch aggregator snapshots pushed by tamperscan -push clients,
+// deduplicates them by (pop, epoch) — an ACK-lost retransmission can
+// never double-count — and serves the continuously-updated global
+// paper report.
+//
+// Endpoints (all on one listener):
+//
+//	POST /v1/push   one snapshot frame (see internal/fleet)
+//	GET  /report    the merged global paper report (plain text)
+//	GET  /v1/status merge stats, per-PoP liveness, epoch progress
+//	GET  /metrics   Prometheus exposition   (internal/telemetry)
+//	GET  /healthz   liveness probe
+//
+// Epochs close on a quorum of distinct PoPs (-quorum) and/or a
+// deadline after their first frame (-epoch-deadline); frames for a
+// closed epoch follow the -late policy: "merge" (default — stragglers
+// still count, surfaced in /v1/status) or "drop" (counted, never an
+// error). A PoP silent for longer than -stale-after shows as stale in
+// /v1/status.
+//
+// Usage:
+//
+//	popmerge [-addr host:port] [-quorum N] [-epoch-deadline D]
+//	         [-late merge|drop] [-stale-after D]
+//
+// popmerge runs until SIGINT/SIGTERM, then shuts the listener down
+// gracefully and prints the final merge stats to stderr.
+//
+// Exit status: 0 on a clean (signalled) shutdown, 2 on usage or
+// startup errors.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tamperdetect/internal/analysis"
+	"tamperdetect/internal/fleet"
+	"tamperdetect/internal/telemetry"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
+
+// testHookServing is invoked with the bound address once the listener
+// is up; tests use it to reach a :0 server and then signal shutdown.
+var testHookServing = func(addr string) {}
+
+func run(args []string, errw *os.File) int {
+	fs := flag.NewFlagSet("popmerge", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	addr := fs.String("addr", ":7343", "listen address (host:port; :0 picks a free port)")
+	quorum := fs.Int("quorum", 0, "close an epoch once this many distinct PoPs reported (0 = never)")
+	deadline := fs.Duration("epoch-deadline", 0, "close an epoch this long after its first frame (0 = never)")
+	late := fs.String("late", "merge", "closed-epoch policy: merge or drop")
+	staleAfter := fs.Duration("stale-after", 5*time.Minute, "mark a PoP stale after this much silence")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(errw, "popmerge: unexpected arguments")
+		fs.Usage()
+		return 2
+	}
+	var policy fleet.LatePolicy
+	switch *late {
+	case "merge":
+		policy = fleet.LateMerge
+	case "drop":
+		policy = fleet.LateDrop
+	default:
+		fmt.Fprintf(errw, "popmerge: -late must be merge or drop, got %q\n", *late)
+		return 2
+	}
+
+	merger, err := fleet.NewMerger(fleet.MergerConfig{
+		Fresh:         analysis.NewFleetAggs,
+		Quorum:        *quorum,
+		EpochDeadline: *deadline,
+		Late:          policy,
+		StaleAfter:    *staleAfter,
+	})
+	if err != nil {
+		fmt.Fprintf(errw, "popmerge: %v\n", err)
+		return 2
+	}
+
+	reg := telemetry.NewRegistry()
+	merger.RegisterMetrics(reg)
+	srv, err := telemetry.NewServerWith(*addr, reg, merger.Handler())
+	if err != nil {
+		fmt.Fprintf(errw, "popmerge: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(errw, "popmerge: serving on %s (push to %s/v1/push)\n", srv.Addr(), srv.URL())
+	testHookServing(srv.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+
+	srv.Close()
+	st := merger.Stats()
+	fmt.Fprintf(errw,
+		"popmerge: shut down: accepted=%d duplicates=%d late_merged=%d late_dropped=%d rejected=%d\n",
+		st.Accepted, st.Duplicates, st.LateMerged, st.LateDropped, st.Rejected)
+	return 0
+}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"tamperdetect/internal/analysis"
+	"tamperdetect/internal/core"
+	"tamperdetect/internal/fleet"
+	"tamperdetect/internal/pipeline"
+	"tamperdetect/internal/workload"
+)
+
+// TestServePushReportShutdown boots the real service on :0, pushes a
+// frame, reads the report and health endpoints, then delivers SIGTERM
+// and requires a clean exit with the final stats line.
+func TestServePushReportShutdown(t *testing.T) {
+	scen, err := workload.BuildScenario("popmerge-test", 600, 12, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := core.NewClassifier(core.DefaultConfig())
+	agg := analysis.NewFleetAggs()
+	n := int64(0)
+	for _, c := range scen.Run(0) {
+		rec := analysis.NewRecord(c, scen.Geo, cl.Classify(c))
+		agg.Add(&rec)
+		n++
+	}
+	want := analysis.RenderFleetReport(agg)
+	frame, err := fleet.EncodeSnapshot("ams01", 0, 0, agg, pipeline.Counts{Decoded: n, Classified: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	addrCh := make(chan string, 1)
+	old := testHookServing
+	testHookServing = func(addr string) { addrCh <- addr }
+	defer func() { testHookServing = old }()
+
+	errFile, err := os.CreateTemp(t.TempDir(), "stderr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exitCh := make(chan int, 1)
+	go func() { exitCh <- run([]string{"-addr", "127.0.0.1:0", "-quorum", "2"}, errFile) }()
+
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never came up")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Post(base+"/v1/push", "application/octet-stream", bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(pushBody), "accepted") {
+		t.Fatalf("push: %d %s", resp.StatusCode, pushBody)
+	}
+
+	for _, path := range []string{"/report", "/v1/status", "/healthz", "/metrics"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d", path, resp.StatusCode)
+		}
+		if path == "/report" && string(body) != want {
+			t.Errorf("/report diverges from the single-process render")
+		}
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exitCh:
+		if code != 0 {
+			t.Errorf("exit code = %d, want 0", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("no graceful shutdown after SIGTERM")
+	}
+	errFile.Seek(0, io.SeekStart)
+	out, _ := io.ReadAll(errFile)
+	if !strings.Contains(string(out), "accepted=1") {
+		t.Errorf("final stats line missing: %s", out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+	if code := run([]string{"-late", "nonsense"}, null); code != 2 {
+		t.Errorf("bad -late exit = %d, want 2", code)
+	}
+	if code := run([]string{"stray"}, null); code != 2 {
+		t.Errorf("stray arg exit = %d, want 2", code)
+	}
+	if code := run([]string{"-addr", "256.0.0.1:bad"}, null); code != 2 {
+		t.Errorf("bad addr exit = %d, want 2", code)
+	}
+}

@@ -34,9 +34,23 @@
 // With -progress, a one-line pipeline snapshot goes to stderr on the
 // given interval.
 //
+// With -push URL, the scan doubles as a fleet PoP: classified
+// connections also feed the full fleet aggregator set, and per-epoch
+// delta snapshots are pushed to a popmerge service (internal/fleet) —
+// periodically on -push-interval, and always once at scan end. The
+// push client retries with capped jittered backoff; -push-spill names
+// a directory where undeliverable frames survive a merger outage and
+// are resumed by the next -push run. -pop names this vantage (default
+// the hostname).
+//
+// SIGINT/SIGTERM cancel the scan gracefully: the pipeline drains, the
+// partial report prints, pending pushes flush, and the process exits 3
+// (the partial-results code).
+//
 // Exit status: 0 on a clean scan, 1 on failure, 2 on usage errors, and
-// 3 when the input turned out to be truncated or corrupt partway
-// through — the report for the good prefix is still printed.
+// 3 when the scan ended early — input truncated or corrupt partway
+// through, or interrupted by a signal — with the report for the
+// scanned prefix still printed.
 package main
 
 import (
@@ -47,8 +61,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"sort"
+	"syscall"
 	"time"
 
 	"tamperdetect"
@@ -71,6 +87,10 @@ type options struct {
 	progress     time.Duration // 0 = no progress lines
 	classifier   string        // "dfa" (default) or "legacy"
 	seqDecode    bool          // force the single-goroutine decode path
+	pushURL      string        // "" = no fleet push
+	pop          string        // PoP name for pushed snapshots
+	pushInterval time.Duration // 0 = single epoch at scan end
+	pushSpill    string        // "" = no spill directory
 }
 
 // matcherMode maps the -classifier flag to the engine selector.
@@ -93,15 +113,21 @@ func main() {
 	flag.DurationVar(&opts.progress, "progress", 0, "print a one-line pipeline snapshot to stderr on this interval (e.g. 2s; 0 = off)")
 	flag.StringVar(&opts.classifier, "classifier", "dfa", "signature matcher: dfa (compiled automaton) or legacy (multi-pass oracle)")
 	flag.BoolVar(&opts.seqDecode, "seq-decode", false, "decode TDCAP records on a single goroutine instead of in the worker pool")
+	flag.StringVar(&opts.pushURL, "push", "", "push per-epoch fleet snapshots to this popmerge base URL")
+	flag.StringVar(&opts.pop, "pop", "", "PoP name stamped on pushed snapshots (default: hostname)")
+	flag.DurationVar(&opts.pushInterval, "push-interval", 0, "push a delta snapshot on this interval (0 = one snapshot at scan end)")
+	flag.StringVar(&opts.pushSpill, "push-spill", "", "spill undeliverable push frames to this directory and resume them next run")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, `usage: tamperscan [-v] [-tampered-only] [-workers N] [-classifier dfa|legacy] [-seq-decode] [-metrics-addr host:port] [-progress interval] capture.{tdcap,pcap}
+		fmt.Fprintf(os.Stderr, `usage: tamperscan [-v] [-tampered-only] [-workers N] [-classifier dfa|legacy] [-seq-decode] [-metrics-addr host:port] [-progress interval]
+                  [-push URL [-pop name] [-push-interval D] [-push-spill dir]] capture.{tdcap,pcap}
 
 exit status:
   0  clean scan
   1  failure (unreadable input, no records scanned)
   2  usage error
-  3  input truncated or corrupt partway through; the report for the
-     good prefix was still printed
+  3  scan ended early — input truncated or corrupt partway through, or
+     interrupted by SIGINT/SIGTERM; the report for the scanned prefix
+     was still printed
 `)
 		flag.PrintDefaults()
 	}
@@ -122,11 +148,14 @@ exit status:
 	}
 }
 
-// partialError marks a scan that failed mid-stream after producing a
-// partial report.
+// partialError marks a scan that ended mid-stream — damaged input or a
+// signal — after producing a partial report.
 type partialError struct{ err error }
 
 func (e *partialError) Error() string {
+	if errors.Is(e.err, context.Canceled) {
+		return "interrupted (partial results above)"
+	}
 	return fmt.Sprintf("input damaged after %s (partial results above)", e.err)
 }
 
@@ -314,35 +343,59 @@ func run(path string, opts options) error {
 	if opts.verbose {
 		sink = verbosePrinter(opts.tamperedOnly)
 	}
+	observe := sharded.Observe
+	var fp *fleetPush
+	if opts.pushURL != "" {
+		fp, err = newFleetPush(opts, &m)
+		if err != nil {
+			return err
+		}
+		observe = func(worker int, it pipeline.Item) {
+			sharded.Observe(worker, it)
+			fp.observe(it)
+		}
+	}
 	coreCfg := core.DefaultConfig()
 	coreCfg.Matcher = matcher
 	cfg := pipeline.Config{
-		Workers: w, Ordered: true, Observe: sharded.Observe,
+		Workers: w, Ordered: true, Observe: observe,
 		Metrics: &m, Telemetry: tel,
 		Classifier:       core.NewClassifier(coreCfg),
 		SequentialDecode: opts.seqDecode,
 	}
+	// SIGINT/SIGTERM cancel the pipeline's context: the workers drain,
+	// the merged partial report still prints, and the push queue still
+	// flushes (against its own deadline) before exit.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 	// TDCAP input goes through Stream so the parallel scanner decodes
 	// in the worker pool; pcap input keeps its incremental sampler
 	// source, whose decode cost lives in the sampler anyway.
 	var runErr error
 	if tdcap != nil {
-		_, runErr = pipeline.Stream(context.Background(), tdcap, cfg, sink)
+		_, runErr = pipeline.Stream(ctx, tdcap, cfg, sink)
 	} else {
-		_, runErr = pipeline.Run(context.Background(), src, cfg, sink)
+		_, runErr = pipeline.Run(ctx, src, cfg, sink)
 	}
+	stop()
 	merged, err := sharded.Merged()
 	if err != nil {
 		return err
 	}
 	rep := merged.(*report)
+	if fp != nil {
+		if err := fp.finish(); err != nil {
+			fmt.Fprintf(os.Stderr, "tamperscan: warning: %v\n", err)
+		}
+	}
 	if runErr != nil {
 		if rep.total == 0 {
 			return runErr
 		}
-		// Truncated/corrupt tail after a good prefix: report what was
-		// classified, then surface the damage with a distinct exit code.
-		fmt.Fprintf(os.Stderr, "tamperscan: warning: %v — reporting the %d connections scanned before the damage\n",
+		// Truncated/corrupt tail (or a signal) after a good prefix:
+		// report what was classified, then surface the early end with a
+		// distinct exit code.
+		fmt.Fprintf(os.Stderr, "tamperscan: warning: %v — reporting the %d connections scanned before the scan ended\n",
 			runErr, rep.total)
 		rep.print()
 		return &partialError{err: runErr}

@@ -21,15 +21,23 @@
 // pcap export and just validates the capture with the raw-record
 // scanner, printing the record and byte counts — a fast structural
 // integrity check for large captures.
+//
+// SIGINT/SIGTERM stop either mode gracefully: the export flushes a
+// valid pcap of the packets written so far (the scan reports how far
+// it got) and the process exits 1 with an "interrupted" message naming
+// the partial output.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"tamperdetect"
@@ -63,12 +71,14 @@ func main() {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	ctx, stopSig := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stopSig()
 	if *scanOnly {
 		if flag.NArg() != 1 {
 			flag.Usage()
 			os.Exit(2)
 		}
-		if err := scanOnlyRun(flag.Arg(0)); err != nil {
+		if err := scanOnlyRun(ctx, flag.Arg(0)); err != nil {
 			fmt.Fprintln(os.Stderr, "tdcap2pcap:", err)
 			os.Exit(1)
 		}
@@ -78,7 +88,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), flag.Arg(1), *progress); err != nil {
+	if err := run(ctx, flag.Arg(0), flag.Arg(1), *progress); err != nil {
 		fmt.Fprintln(os.Stderr, "tdcap2pcap:", err)
 		os.Exit(1)
 	}
@@ -88,7 +98,7 @@ func main() {
 // only, no field decode, no buffering of the whole file — and reports
 // what it found. Any truncation or corruption fails with the record
 // count reached, so the bad offset region is easy to locate.
-func scanOnlyRun(in string) error {
+func scanOnlyRun(ctx context.Context, in string) error {
 	f, err := os.Open(in)
 	if err != nil {
 		return err
@@ -97,6 +107,11 @@ func scanOnlyRun(in string) error {
 	sc := capture.NewScanner(bufio.NewReaderSize(f, 1<<20))
 	var slab []byte
 	for {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("interrupted after %d valid records (%d bytes)", sc.Count(), sc.BytesRead())
+		default:
+		}
 		next, err := sc.Next(slab[:0])
 		slab = next
 		if err == io.EOF {
@@ -110,7 +125,7 @@ func scanOnlyRun(in string) error {
 	}
 }
 
-func run(in, out string, progress time.Duration) error {
+func run(ctx context.Context, in, out string, progress time.Duration) error {
 	conns, err := tamperdetect.ReadCaptureFile(in)
 	if err != nil {
 		return err
@@ -131,7 +146,19 @@ func run(in, out string, progress time.Duration) error {
 		defer rep.Stop()
 	}
 	base := minTimestamp(conns)
+	interrupted := false
 	for _, conn := range conns {
+		// A signal mid-export flushes what has been written: every
+		// packet emitted so far is complete, so the truncated pcap stays
+		// structurally valid.
+		select {
+		case <-ctx.Done():
+			interrupted = true
+		default:
+		}
+		if interrupted {
+			break
+		}
 		// Export in reconstructed (likely arrival) order: the TDCAP log
 		// order may be shuffled within seconds (§3.2), and downstream
 		// consumers — including re-ingestion through the sampler —
@@ -177,6 +204,10 @@ func run(in, out string, progress time.Duration) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %d packets from %d connections to %s\n", packets.Load(), len(conns), out)
+	fmt.Printf("wrote %d packets from %d connections to %s\n", packets.Load(), exported.Load(), out)
+	if interrupted {
+		return fmt.Errorf("interrupted: %s is a valid pcap of the %d connections exported before the signal (of %d)",
+			out, exported.Load(), len(conns))
+	}
 	return nil
 }

@@ -1,9 +1,11 @@
 package main
 
 import (
+	"context"
 	"net/netip"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -30,7 +32,7 @@ func TestExportRoundTrip(t *testing.T) {
 	if err := tamperdetect.WriteCaptureFile(in, conns); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(in, out, time.Millisecond); err != nil {
+	if err := run(context.Background(), in, out, time.Millisecond); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	f, err := os.Open(out)
@@ -77,7 +79,7 @@ func TestExportRoundTrip(t *testing.T) {
 }
 
 func TestExportMissingInput(t *testing.T) {
-	if err := run("/nonexistent.tdcap", filepath.Join(t.TempDir(), "o.pcap"), 0); err == nil {
+	if err := run(context.Background(), "/nonexistent.tdcap", filepath.Join(t.TempDir(), "o.pcap"), 0); err == nil {
 		t.Error("missing input accepted")
 	}
 }
@@ -96,7 +98,7 @@ func TestScanOnly(t *testing.T) {
 	if err := tamperdetect.WriteCaptureFile(in, conns); err != nil {
 		t.Fatal(err)
 	}
-	if err := scanOnlyRun(in); err != nil {
+	if err := scanOnlyRun(context.Background(), in); err != nil {
 		t.Fatalf("scanOnlyRun on a valid capture: %v", err)
 	}
 	// Truncate the tail: scan-only must fail, naming the damage.
@@ -108,10 +110,46 @@ func TestScanOnly(t *testing.T) {
 	if err := os.WriteFile(bad, data[:len(data)-4], 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := scanOnlyRun(bad); err == nil {
+	if err := scanOnlyRun(context.Background(), bad); err == nil {
 		t.Error("scanOnlyRun accepted a truncated capture")
 	}
-	if err := scanOnlyRun(filepath.Join(dir, "missing.tdcap")); err == nil {
+	if err := scanOnlyRun(context.Background(), filepath.Join(dir, "missing.tdcap")); err == nil {
 		t.Error("scanOnlyRun accepted a missing file")
+	}
+}
+
+// TestRunInterrupted: a cancelled context (the signal path) still
+// flushes a readable pcap and reports the interruption.
+func TestRunInterrupted(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.tdcap")
+	out := filepath.Join(dir, "out.pcap")
+	conns := []*tamperdetect.Connection{{
+		SrcIP: netip.MustParseAddr("20.0.0.2"), DstIP: netip.MustParseAddr("192.0.2.80"),
+		SrcPort: 41000, DstPort: 443, IPVersion: 4,
+		TotalPackets: 1, LastActivity: 1, CloseTime: 2,
+		Packets: []tamperdetect.PacketRecord{
+			{Timestamp: 1, Flags: packet.FlagsSYN, Seq: 100, TTL: 50, IPID: 2},
+		},
+	}}
+	if err := tamperdetect.WriteCaptureFile(in, conns); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := run(ctx, in, out, 0)
+	if err == nil {
+		t.Fatal("interrupted run reported success")
+	}
+	if !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("err = %v, want an interrupted message", err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := pcap.NewReader(f); err != nil {
+		t.Fatalf("partial pcap unreadable: %v", err)
 	}
 }

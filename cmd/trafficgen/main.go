@@ -28,17 +28,25 @@
 // -cpuprofile/-memprofile/-blockprofile/-mutexprofile write Go pprof
 // profiles of the simulation; block and mutex profiling are armed only
 // when their flags are given.
+//
+// Connections are written to the capture file as they are simulated,
+// so SIGINT/SIGTERM stop the run gracefully: in-flight simulations
+// drain, the file is flushed as a VALID partial capture of everything
+// simulated so far, and the run summary still prints. An interrupted
+// run exits 1 with a message naming the partial file.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
-	"tamperdetect"
 	"tamperdetect/internal/capture"
 	"tamperdetect/internal/faults"
 	"tamperdetect/internal/profiling"
@@ -73,7 +81,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "trafficgen:", err)
 		os.Exit(1)
 	}
-	runErr := run(*scenario, *config, *total, *hours, *seed, *workers, *impair, *out, *metricsAddr, *verify)
+	ctx, stopSig := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stopSig()
+	runErr := run(ctx, *scenario, *config, *total, *hours, *seed, *workers, *impair, *out, *metricsAddr, *verify)
 	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, "trafficgen:", err)
 	}
@@ -83,7 +93,7 @@ func main() {
 	}
 }
 
-func run(scenario, config string, total, hours int, seed uint64, workers int, impair, out, metricsAddr string, verify bool) error {
+func run(ctx context.Context, scenario, config string, total, hours int, seed uint64, workers int, impair, out, metricsAddr string, verify bool) error {
 	var s *workload.Scenario
 	var err error
 	switch {
@@ -120,17 +130,55 @@ func run(scenario, config string, total, hours int, seed uint64, workers int, im
 		fmt.Fprintf(os.Stderr, "trafficgen: serving metrics at %s/metrics\n", srv.URL())
 	}
 
+	// Connections stream from the simulator straight into the capture
+	// writer — nothing buffers the whole run, and a SIGINT/SIGTERM
+	// leaves a valid capture of everything simulated so far.
 	start := time.Now()
-	conns := s.Run(workers)
+	src := s.Stream(workers)
+	defer src.Close()
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	w := capture.NewWriter(f)
+	written := 0
+	interrupted := false
+loop:
+	for {
+		select {
+		case <-ctx.Done():
+			interrupted = true
+			break loop
+		default:
+		}
+		c, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			f.Close()
+			return err
+		}
+		if err := w.Write(c); err != nil {
+			f.Close()
+			return err
+		}
+		written++
+	}
+	src.Close()
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
 	fmt.Printf("simulated %d connections over %d scenario-hours in %v\n",
-		len(conns), s.Hours, time.Since(start).Round(time.Millisecond))
+		written, s.Hours, time.Since(start).Round(time.Millisecond))
 	if delivered := fstats.Delivered.Load(); delivered > 0 {
 		fmt.Printf("impairment events: delivered=%d lost=%d dup=%d reordered=%d corrupted=%d truncated=%d\n",
 			delivered, fstats.Lost.Load(), fstats.Duplicated.Load(),
 			fstats.Reordered.Load(), fstats.Corrupted.Load(), fstats.Truncated.Load())
-	}
-	if err := tamperdetect.WriteCaptureFile(out, conns); err != nil {
-		return err
 	}
 	fi, err := os.Stat(out)
 	if err != nil {
@@ -142,10 +190,13 @@ func run(scenario, config string, total, hours int, seed uint64, workers int, im
 		if err != nil {
 			return fmt.Errorf("verify %s: %w", out, err)
 		}
-		if n != len(conns) {
-			return fmt.Errorf("verify %s: scanned %d records, wrote %d", out, n, len(conns))
+		if n != written {
+			return fmt.Errorf("verify %s: scanned %d records, wrote %d", out, n, written)
 		}
 		fmt.Printf("verified %s: %d records scan clean\n", out, n)
+	}
+	if interrupted {
+		return fmt.Errorf("interrupted: %s is a valid partial capture of the %d connections simulated before the signal", out, written)
 	}
 	return nil
 }

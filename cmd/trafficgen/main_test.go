@@ -1,8 +1,10 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"tamperdetect"
@@ -10,7 +12,7 @@ import (
 
 func TestRunGlobal(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "g.tdcap")
-	if err := run("global", "", 500, 6, 3, 2, "", out, "", true); err != nil {
+	if err := run(context.Background(), "global", "", 500, 6, 3, 2, "", out, "", true); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	conns, err := tamperdetect.ReadCaptureFile(out)
@@ -24,7 +26,7 @@ func TestRunGlobal(t *testing.T) {
 
 func TestRunIran(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "i.tdcap")
-	if err := run("iran2022", "", 400, 0, 3, 2, "lossy", out, "", true); err != nil {
+	if err := run(context.Background(), "iran2022", "", 400, 0, 3, 2, "lossy", out, "", true); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
@@ -35,16 +37,16 @@ func TestRunConfig(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := filepath.Join(t.TempDir(), "c.tdcap")
-	if err := run("", cfg, 0, 0, 0, 2, "", out, "", false); err != nil {
+	if err := run(context.Background(), "", cfg, 0, 0, 0, 2, "", out, "", false); err != nil {
 		t.Fatalf("run(config): %v", err)
 	}
 }
 
 func TestRunUnknownScenario(t *testing.T) {
-	if err := run("nope", "", 10, 1, 1, 1, "", filepath.Join(t.TempDir(), "x"), "", false); err == nil {
+	if err := run(context.Background(), "nope", "", 10, 1, 1, 1, "", filepath.Join(t.TempDir(), "x"), "", false); err == nil {
 		t.Error("unknown scenario accepted")
 	}
-	if err := run("global", "", 10, 1, 1, 1, "nope", filepath.Join(t.TempDir(), "x"), "", false); err == nil {
+	if err := run(context.Background(), "global", "", 10, 1, 1, 1, "nope", filepath.Join(t.TempDir(), "x"), "", false); err == nil {
 		t.Error("unknown impairment grade accepted")
 	}
 }
@@ -54,10 +56,31 @@ func TestRunUnknownScenario(t *testing.T) {
 // impaired run must count fault events, and shutdown must not wedge.
 func TestRunWithMetricsServer(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "m.tdcap")
-	if err := run("global", "", 300, 6, 3, 2, "lossy", out, "127.0.0.1:0", false); err != nil {
+	if err := run(context.Background(), "global", "", 300, 6, 3, 2, "lossy", out, "127.0.0.1:0", false); err != nil {
 		t.Fatalf("run with metrics server: %v", err)
 	}
 	if _, err := tamperdetect.ReadCaptureFile(out); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunInterrupted: a cancelled context (the signal path) still
+// leaves a valid — possibly empty — capture file and reports the
+// interruption as an error naming it.
+func TestRunInterrupted(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out := filepath.Join(t.TempDir(), "p.tdcap")
+	err := run(ctx, "global", "", 500, 6, 3, 2, "", out, "", false)
+	if err == nil {
+		t.Fatal("interrupted run reported success")
+	}
+	if !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("err = %v, want an interrupted message", err)
+	}
+	// Whatever was written must still scan as a structurally valid
+	// capture.
+	if _, err := verifyCapture(out); err != nil {
+		t.Fatalf("partial capture damaged: %v", err)
 	}
 }

@@ -1,0 +1,190 @@
+package analysis
+
+// Codec suite: the snapshot wire format must carry the merge algebra
+// exactly — Restore(snapshot(x)) behaves as Merge(x), encoding is
+// byte-deterministic regardless of insertion order, and decoding
+// rejects truncation, parameter drift, and type confusion without
+// ever panicking.
+
+import (
+	"bytes"
+	"testing"
+)
+
+// snapshotOf encodes a or fails the test.
+func snapshotOf(t testing.TB, a Aggregator) []byte {
+	t.Helper()
+	b, err := AppendSnapshot(nil, a)
+	if err != nil {
+		t.Fatalf("AppendSnapshot: %v", err)
+	}
+	return b
+}
+
+// TestSnapshotRoundTripParity feeds the full dataset into the complete
+// paper aggregator surface, ships it through the codec, and requires
+// the restored render to be byte-identical — and the re-encoded bytes
+// to match, proving the state (not just the render) survived exactly.
+func TestSnapshotRoundTripParity(t *testing.T) {
+	_, recs, scen := dataset(t)
+	src := parityAggs()
+	for i := range recs {
+		src.Add(&recs[i])
+	}
+	want := renderAggs(src, scen)
+	frame := snapshotOf(t, src)
+
+	restored := parityAggs()
+	if err := RestoreSnapshot(frame, restored); err != nil {
+		t.Fatalf("RestoreSnapshot: %v", err)
+	}
+	if got := renderAggs(restored, scen); got != want {
+		t.Errorf("restored render diverges at %s", firstDiff(got, want))
+	}
+	if re := snapshotOf(t, restored); !bytes.Equal(re, frame) {
+		t.Errorf("re-encoded snapshot differs: %d vs %d bytes", len(re), len(frame))
+	}
+}
+
+// TestSnapshotRestoreIsMerge checks the codec's defining property:
+// restoring a snapshot into a non-empty aggregator folds state in
+// exactly as Merge would.
+func TestSnapshotRestoreIsMerge(t *testing.T) {
+	_, recs, scen := dataset(t)
+	half := len(recs) / 2
+
+	all := parityAggs()
+	for i := range recs {
+		all.Add(&recs[i])
+	}
+	want := renderAggs(all, scen)
+
+	first, second := parityAggs(), parityAggs()
+	for i := range recs[:half] {
+		first.Add(&recs[i])
+	}
+	for i := half; i < len(recs); i++ {
+		second.Add(&recs[i])
+	}
+	if err := RestoreSnapshot(snapshotOf(t, second), first); err != nil {
+		t.Fatalf("RestoreSnapshot into non-empty: %v", err)
+	}
+	if got := renderAggs(first, scen); got != want {
+		t.Errorf("restore-as-merge render diverges at %s", firstDiff(got, want))
+	}
+}
+
+// TestSnapshotEncodingOrderInsensitive builds the same state in
+// forward and reverse record order and requires identical bytes —
+// sorted-key encoding makes the frame a pure function of the state.
+func TestSnapshotEncodingOrderInsensitive(t *testing.T) {
+	_, recs, _ := dataset(t)
+	fwd, rev := parityAggs(), parityAggs()
+	for i := range recs {
+		fwd.Add(&recs[i])
+	}
+	for i := len(recs) - 1; i >= 0; i-- {
+		rev.Add(&recs[i])
+	}
+	if !bytes.Equal(snapshotOf(t, fwd), snapshotOf(t, rev)) {
+		t.Error("snapshot bytes depend on insertion order")
+	}
+}
+
+// TestSnapshotRobustnessAgg round-trips the one aggregator outside the
+// parity set, including its grade/loss parameter checks.
+func TestSnapshotRobustnessAgg(t *testing.T) {
+	_, recs, _ := dataset(t)
+	src := NewRobustnessAgg("lossy", 0.02)
+	for i := range recs[:500] {
+		src.Add(&recs[i])
+	}
+	frame := snapshotOf(t, src)
+
+	dst := NewRobustnessAgg("lossy", 0.02)
+	if err := RestoreSnapshot(frame, dst); err != nil {
+		t.Fatalf("RestoreSnapshot: %v", err)
+	}
+	if !bytes.Equal(snapshotOf(t, dst), frame) {
+		t.Error("robustness round trip not exact")
+	}
+	if err := RestoreSnapshot(frame, NewRobustnessAgg("hostile", 0.02)); err == nil {
+		t.Error("grade mismatch accepted")
+	}
+	if err := RestoreSnapshot(frame, NewRobustnessAgg("lossy", 0.5)); err == nil {
+		t.Error("effectiveLoss mismatch accepted")
+	}
+}
+
+// TestSnapshotParameterMismatch: construction parameters are part of
+// the Merge compatibility contract and must be enforced on restore.
+func TestSnapshotParameterMismatch(t *testing.T) {
+	_, recs, _ := dataset(t)
+	cases := []struct {
+		name     string
+		src, dst Aggregator
+	}{
+		{"bucketHours", NewTimeSeriesAgg(4, nil, AnySignatureMatch), NewTimeSeriesAgg(8, nil, AnySignatureMatch)},
+		{"minPerVersion", NewIPVersionAgg(50), NewIPVersionAgg(10)},
+		{"minPerProto", NewProtocolAgg(30), NewProtocolAgg(10)},
+		{"capPerSig", NewEvidenceAgg(1000), NewEvidenceAgg(100)},
+		{"minPerHalf", NewStabilityAgg(30), NewStabilityAgg(10)},
+		{"type", NewStageStatsAgg(), NewScannerAgg()},
+		{"multiLen", Multi{NewStageStatsAgg(), NewScannerAgg()}, Multi{NewStageStatsAgg()}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for i := range recs[:200] {
+				tc.src.Add(&recs[i])
+			}
+			if err := RestoreSnapshot(snapshotOf(t, tc.src), tc.dst); err == nil {
+				t.Errorf("%s mismatch accepted", tc.name)
+			}
+		})
+	}
+}
+
+// TestSnapshotTruncation cuts a small frame at every byte boundary; no
+// prefix may decode cleanly or panic.
+func TestSnapshotTruncation(t *testing.T) {
+	_, recs, _ := dataset(t)
+	src := Multi{NewStageStatsAgg(), NewSignatureByCountryAgg(), NewScannerAgg()}
+	for i := range recs[:50] {
+		src.Add(&recs[i])
+	}
+	frame := snapshotOf(t, src)
+	for cut := 0; cut < len(frame); cut++ {
+		dst := Multi{NewStageStatsAgg(), NewSignatureByCountryAgg(), NewScannerAgg()}
+		if err := RestoreSnapshot(frame[:cut], dst); err == nil {
+			t.Fatalf("cut=%d: truncated snapshot decoded cleanly", cut)
+		}
+	}
+	// Trailing garbage after a complete frame is rejected too.
+	dst := Multi{NewStageStatsAgg(), NewSignatureByCountryAgg(), NewScannerAgg()}
+	if err := RestoreSnapshot(append(append([]byte(nil), frame...), 0xFF), dst); err == nil {
+		t.Error("trailing byte accepted")
+	}
+}
+
+// FuzzSnapshotCodec feeds arbitrary bytes to RestoreSnapshot: decoding
+// untrusted input must return an error or a state that re-encodes —
+// never panic, hang, or over-allocate. Seeded with a valid frame.
+func FuzzSnapshotCodec(f *testing.F) {
+	src := parityAggs()
+	rec := Record{}
+	src.Add(&rec)
+	if seed, err := AppendSnapshot(nil, src); err == nil {
+		f.Add(seed)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{byte(tagMulti), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dst := parityAggs()
+		if err := RestoreSnapshot(data, dst); err != nil {
+			return
+		}
+		if _, err := AppendSnapshot(nil, dst); err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,80 @@
+package analysis
+
+// The fleet report surface: the aggregator set a PoP pushes over the
+// wire and the merger renders globally. It is the full paper surface
+// minus the two tables that need scenario-side inputs (the domain
+// Universe for Table 2, the test-list Suite for Table 3) — those stay
+// with whoever holds the dataset; everything else is a pure function
+// of the merged aggregator state, which is what makes the distributed
+// render byte-comparable against a single-process run.
+
+import "strings"
+
+// Slots of the fleet aggregator set, in NewFleetAggs order.
+const (
+	fleetStages = iota
+	fleetComposition
+	fleetEvidence
+	fleetDistribution
+	fleetASN
+	fleetIPVersion
+	fleetProtocol
+	fleetDomains
+	fleetOverlap
+	fleetStability
+	fleetScanners
+	fleetSeries
+	numFleetAggs
+)
+
+// NewFleetAggs builds a fresh fleet aggregator set. Every PoP and the
+// merger must construct it identically (same parameters), which is
+// exactly what sharing this factory guarantees; the snapshot codec
+// rejects parameter drift at decode time.
+func NewFleetAggs() Multi {
+	return Multi{
+		NewStageStatsAgg(),
+		NewCountryBySignatureAgg(),
+		NewEvidenceAgg(1000),
+		NewSignatureByCountryAgg(),
+		NewASNViewAgg(),
+		NewIPVersionAgg(50),
+		NewProtocolAgg(30),
+		NewDomainAgg(),
+		NewOverlapAgg(),
+		NewStabilityAgg(30),
+		NewScannerAgg(),
+		NewTimeSeriesAgg(4, nil, AnySignatureMatch),
+	}
+}
+
+// RenderFleetReport renders every fleet table from a NewFleetAggs set.
+// The output is deterministic in the aggregate state, so two merges of
+// the same snapshot multiset — whatever the arrival order or duplicate
+// pattern — render byte-identically.
+func RenderFleetReport(agg Multi) string {
+	var b strings.Builder
+	b.WriteString(RenderStageStats(agg[fleetStages].(*StageStatsAgg).Stats()))
+	b.WriteString(RenderSignatureComposition(agg[fleetComposition].(*CountryBySignatureAgg).Table()))
+	cdfs := agg[fleetEvidence].(*EvidenceAgg).CDFs()
+	b.WriteString(RenderEvidenceCDF("ipid", cdfs.IPID, []float64{0, 1, 10, 100, 1000, 10000}))
+	b.WriteString(RenderEvidenceCDF("ttl", cdfs.TTL, []float64{0, 1, 5, 20, 60, 150}))
+	b.WriteString(RenderCountryDistribution(agg[fleetDistribution].(*SignatureByCountryAgg).Table(), 50))
+	asn := agg[fleetASN].(*ASNViewAgg)
+	for _, c := range asn.Countries() {
+		b.WriteString(RenderASNView(c, asn.View(c)))
+	}
+	vRows, vSlope := agg[fleetIPVersion].(*IPVersionAgg).Table()
+	b.WriteString(RenderVersionComparison(vRows, vSlope))
+	pRows, pSlope := agg[fleetProtocol].(*ProtocolAgg).Table()
+	b.WriteString(RenderProtocolComparison(pRows, pSlope))
+	b.WriteString("== tampered domains (global, >=3 matches) ==\n")
+	for _, d := range agg[fleetDomains].(*DomainAgg).TamperedDomains("", 3) {
+		b.WriteString("  " + d + "\n")
+	}
+	b.WriteString(RenderOverlapMatrix(agg[fleetOverlap].(*OverlapAgg).Matrix()))
+	b.WriteString(RenderStability(agg[fleetStability].(*StabilityAgg).Report()))
+	b.WriteString(RenderScannerStats(agg[fleetScanners].(*ScannerAgg).Stats()))
+	b.WriteString(RenderTimeSeries("series", agg[fleetSeries].(*TimeSeriesAgg).Series()))
+	return b.String()
+}

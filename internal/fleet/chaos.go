@@ -1,0 +1,198 @@
+package fleet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ChaosConfig is one fault grade for the push path, mirroring the
+// data-plane grades in internal/faults: independent per-request
+// probabilities for each failure mode, applied by ChaosTransport.
+type ChaosConfig struct {
+	Name string
+	// DropRequest loses the request before it reaches the server.
+	DropRequest float64
+	// DropResponse delivers the request but loses the response — the
+	// ACK-lost case that makes (pop, epoch) dedup mandatory.
+	DropResponse float64
+	// Duplicate delivers the request twice.
+	Duplicate float64
+	// Truncate delivers a prefix of the body, which the merger must
+	// reject cleanly (the client then retries the intact frame).
+	Truncate float64
+	// Err5xx synthesizes a 503 without delivering.
+	Err5xx float64
+	// MaxDelay sleeps a uniform random duration up to this before
+	// delivery.
+	MaxDelay time.Duration
+}
+
+// chaosGrades mirrors the faults.Grade naming scheme: clean, lossy,
+// hostile.
+var chaosGrades = map[string]ChaosConfig{
+	"clean": {Name: "clean"},
+	"lossy": {
+		Name:        "lossy",
+		DropRequest: 0.15, DropResponse: 0.10, Duplicate: 0.10,
+		Truncate: 0.05, Err5xx: 0.10, MaxDelay: 2 * time.Millisecond,
+	},
+	"hostile": {
+		Name:        "hostile",
+		DropRequest: 0.30, DropResponse: 0.20, Duplicate: 0.20,
+		Truncate: 0.15, Err5xx: 0.20, MaxDelay: 5 * time.Millisecond,
+	},
+}
+
+// ChaosGrade returns a named fault grade.
+func ChaosGrade(name string) (ChaosConfig, bool) {
+	g, ok := chaosGrades[name]
+	return g, ok
+}
+
+// ChaosGradeNames lists the grades in severity order.
+func ChaosGradeNames() []string { return []string{"clean", "lossy", "hostile"} }
+
+// errChaosDrop is the injected network failure.
+var errChaosDrop = errors.New("fleet: chaos transport dropped the exchange")
+
+// ChaosStats counts injected faults.
+type ChaosStats struct {
+	Requests, DroppedRequests, DroppedResponses, Duplicates, Truncated, Synth5xx int64
+}
+
+// ChaosTransport wraps an http.RoundTripper with seeded fault
+// injection. Faults compose per request in a fixed order (delay, drop
+// request, 5xx, truncate, deliver, duplicate, drop response), and the
+// RNG is consumed in that same order, so a given (seed, request
+// sequence) replays the identical fault schedule — the chaos parity
+// gate is deterministic, not merely probable.
+type ChaosTransport struct {
+	next http.RoundTripper
+	cfg  ChaosConfig
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	stats ChaosStats
+}
+
+// NewChaosTransport wraps next (nil means http.DefaultTransport) with
+// the grade's faults under the given seed.
+func NewChaosTransport(next http.RoundTripper, cfg ChaosConfig, seed int64) *ChaosTransport {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	return &ChaosTransport{next: next, cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Stats returns the injected-fault counters.
+func (t *ChaosTransport) Stats() ChaosStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// plan is one request's pre-rolled fault schedule.
+type plan struct {
+	delay                                         time.Duration
+	dropReq, err5xx, dup, dropResp                bool
+	truncateAt                                    int // -1: intact
+}
+
+// RoundTrip applies the fault schedule to one exchange.
+func (t *ChaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	var body []byte
+	if req.Body != nil {
+		var err error
+		body, err = io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Roll the whole schedule up front under one lock so concurrent
+	// PoPs (each with its own transport) stay deterministic.
+	t.mu.Lock()
+	t.stats.Requests++
+	p := plan{truncateAt: -1}
+	if t.cfg.MaxDelay > 0 {
+		p.delay = time.Duration(t.rng.Int63n(int64(t.cfg.MaxDelay) + 1))
+	}
+	p.dropReq = t.rng.Float64() < t.cfg.DropRequest
+	p.err5xx = t.rng.Float64() < t.cfg.Err5xx
+	if t.rng.Float64() < t.cfg.Truncate && len(body) > 1 {
+		p.truncateAt = 1 + t.rng.Intn(len(body)-1)
+	}
+	p.dup = t.rng.Float64() < t.cfg.Duplicate
+	p.dropResp = t.rng.Float64() < t.cfg.DropResponse
+	switch {
+	case p.dropReq:
+		t.stats.DroppedRequests++
+	case p.err5xx:
+		t.stats.Synth5xx++
+	default:
+		if p.truncateAt >= 0 {
+			t.stats.Truncated++
+		}
+		if p.dup {
+			t.stats.Duplicates++
+		}
+		if p.dropResp {
+			t.stats.DroppedResponses++
+		}
+	}
+	t.mu.Unlock()
+
+	if p.delay > 0 {
+		time.Sleep(p.delay)
+	}
+	if p.dropReq {
+		return nil, errChaosDrop
+	}
+	if p.err5xx {
+		return &http.Response{
+			StatusCode: http.StatusServiceUnavailable,
+			Status:     "503 Service Unavailable (injected)",
+			Body:       io.NopCloser(bytes.NewReader(nil)),
+			Header:     http.Header{},
+			Request:    req,
+		}, nil
+	}
+
+	delivered := body
+	if p.truncateAt >= 0 && p.truncateAt < len(body) {
+		delivered = body[:p.truncateAt]
+	}
+	resp, err := t.deliver(req, delivered)
+	if p.dup {
+		// The duplicate carries the intact body: this is the retry
+		// storm case where the network replays a frame the merger
+		// already ACKed.
+		if dupResp, dupErr := t.deliver(req, body); dupErr == nil {
+			io.Copy(io.Discard, dupResp.Body)
+			dupResp.Body.Close()
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	if p.dropResp {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, errChaosDrop
+	}
+	return resp, nil
+}
+
+// deliver forwards one copy of the request with the given body.
+func (t *ChaosTransport) deliver(req *http.Request, body []byte) (*http.Response, error) {
+	clone := req.Clone(req.Context())
+	clone.Body = io.NopCloser(bytes.NewReader(body))
+	clone.ContentLength = int64(len(body))
+	return t.next.RoundTrip(clone)
+}

@@ -1,0 +1,213 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+)
+
+// fastPusher returns a config tuned for tests: microsecond backoff,
+// few attempts.
+func fastPusher(url string, mod func(*PusherConfig)) PusherConfig {
+	cfg := PusherConfig{
+		URL:         url,
+		Timeout:     2 * time.Second,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  4 * time.Millisecond,
+		MaxAttempts: 4,
+		QueueLen:    16,
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	return cfg
+}
+
+type rtFunc func(*http.Request) (*http.Response, error)
+
+func (f rtFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }
+
+// TestPusherDelivers: the happy path end-to-end into a live merger.
+func TestPusherDelivers(t *testing.T) {
+	pops, _ := fleetDataset(t)
+	m := newTestMerger(t, nil)
+	mux := http.NewServeMux()
+	for pat, h := range m.Handler() {
+		mux.Handle(pat, h)
+	}
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	p, err := NewPusher(fastPusher(srv.URL, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	frames := popFrames(t, "pop00", pops[0])
+	for _, f := range frames {
+		if err := p.Push(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := p.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Delivered != int64(len(frames)) || st.Failed != 0 {
+		t.Errorf("pusher stats = %+v", st)
+	}
+	if st := m.Stats(); st.Accepted != int64(len(frames)) {
+		t.Errorf("merger stats = %+v", st)
+	}
+}
+
+// TestPusherRetriesThenDelivers: transient 503s are retried with
+// backoff until the service recovers.
+func TestPusherRetriesThenDelivers(t *testing.T) {
+	pops, _ := fleetDataset(t)
+	m := newTestMerger(t, nil)
+	mux := http.NewServeMux()
+	for pat, h := range m.Handler() {
+		mux.Handle(pat, h)
+	}
+	fails := 3
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if fails > 0 {
+			fails--
+			http.Error(w, "warming up", http.StatusServiceUnavailable)
+			return
+		}
+		mux.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	p, err := NewPusher(fastPusher(srv.URL, func(c *PusherConfig) { c.MaxAttempts = 8 }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	frame := popFrames(t, "pop00", pops[0])[0]
+	if err := p.Push(frame); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := p.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Delivered != 1 || st.Retries < 3 {
+		t.Errorf("pusher stats = %+v, want 1 delivered after >=3 retries", st)
+	}
+}
+
+// TestPusherSpillAndResume: a dead merger loses nothing — frames
+// spill to disk and a later pusher resumes them into a live merger.
+func TestPusherSpillAndResume(t *testing.T) {
+	pops, _ := fleetDataset(t)
+	dir := t.TempDir()
+
+	// Phase 1: merger unreachable; every frame must settle on disk.
+	dead := rtFunc(func(*http.Request) (*http.Response, error) {
+		return nil, errors.New("merger down")
+	})
+	p1, err := NewPusher(fastPusher("http://merger.invalid", func(c *PusherConfig) {
+		c.SpillDir = dir
+		c.MaxAttempts = 2
+		c.Client = &http.Client{Transport: dead}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := popFrames(t, "pop00", pops[0])
+	for _, f := range frames {
+		if err := p1.Push(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := p1.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	p1.Close()
+	if st := p1.Stats(); st.Spilled != int64(len(frames)) || st.Failed != 0 {
+		t.Fatalf("phase 1 stats = %+v, want all %d spilled", st, len(frames))
+	}
+
+	// Phase 2: merger up; Resume must deliver every spilled frame and
+	// clean up the directory.
+	m := newTestMerger(t, nil)
+	mux := http.NewServeMux()
+	for pat, h := range m.Handler() {
+		mux.Handle(pat, h)
+	}
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	p2, err := NewPusher(fastPusher(srv.URL, func(c *PusherConfig) { c.SpillDir = dir }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	n, err := p2.Resume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(frames) {
+		t.Fatalf("Resume = %d, want %d", n, len(frames))
+	}
+	if err := p2.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.Accepted != int64(len(frames)) {
+		t.Errorf("merger stats after resume = %+v", st)
+	}
+	left, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Errorf("%d spill files left after acknowledged resume", len(left))
+	}
+}
+
+// TestPusherQueueFull: without a spill dir a full queue is an error,
+// not a block.
+func TestPusherQueueFull(t *testing.T) {
+	blocked := make(chan struct{})
+	slow := rtFunc(func(*http.Request) (*http.Response, error) {
+		<-blocked
+		return nil, errors.New("never")
+	})
+	p, err := NewPusher(fastPusher("http://merger.invalid", func(c *PusherConfig) {
+		c.QueueLen = 1
+		c.MaxAttempts = 1
+		c.Client = &http.Client{Transport: slow}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { close(blocked); p.Close() }()
+
+	// First frame occupies the worker, second fills the queue; a third
+	// must fail fast.
+	p.Push([]byte("a"))
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := p.Push([]byte("b")); err != nil {
+			if !errors.Is(err, ErrQueueFull) {
+				t.Fatalf("err = %v, want ErrQueueFull", err)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

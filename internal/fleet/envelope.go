@@ -1,0 +1,107 @@
+// Package fleet is the distributed-aggregation layer: it ships each
+// PoP's per-epoch aggregator snapshot to a central merge service and
+// folds the frames back into the global paper report. The paper's
+// rollup across ~285 PoPs is modeled end-to-end — a versioned wire
+// envelope (this file), an epoch-idempotent merger (merger.go), a
+// retrying push client (client.go), and a fault-injecting transport
+// for chaos testing the whole path (chaos.go).
+//
+// The robustness contract is inherited from the aggregator algebra:
+// snapshots are per-epoch deltas, merging is associative, commutative,
+// and — via (pop, epoch) deduplication — idempotent, so the merged
+// report is a pure function of the set of distinct frames, whatever
+// the duplicate pattern, retry storm, or arrival order the network
+// imposes.
+package fleet
+
+import (
+	"fmt"
+
+	"tamperdetect/internal/analysis"
+	"tamperdetect/internal/pipeline"
+	"tamperdetect/internal/wire"
+)
+
+// Wire framing constants.
+const (
+	magic   = "TDSNAP"
+	version = 1
+
+	// MaxFrameBytes bounds a decoded envelope (and hence the HTTP
+	// request body the merger will read).
+	MaxFrameBytes = 64 << 20
+
+	// maxPoPName bounds the PoP identifier string.
+	maxPoPName = 256
+)
+
+// Envelope is one decoded push frame: which PoP, which collection
+// epoch, a per-PoP monotone sequence number (retransmissions reuse
+// it), the epoch's pipeline counter deltas, and the aggregator
+// snapshot payload (still encoded; the merger restores it into a
+// prototype it constructs itself).
+type Envelope struct {
+	PoP     string
+	Epoch   uint64
+	Seq     uint64
+	Counts  pipeline.Counts
+	Payload []byte
+}
+
+// EncodeSnapshot frames one per-epoch delta: the aggregator snapshot
+// plus the epoch's pipeline counter movement, addressed (pop, epoch,
+// seq).
+func EncodeSnapshot(pop string, epoch, seq uint64, agg analysis.Aggregator, counts pipeline.Counts) ([]byte, error) {
+	if pop == "" || len(pop) > maxPoPName {
+		return nil, fmt.Errorf("fleet: invalid pop name %q", pop)
+	}
+	payload, err := analysis.AppendSnapshot(nil, agg)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: encode snapshot: %w", err)
+	}
+	b := make([]byte, 0, len(magic)+32+len(payload))
+	b = append(b, magic...)
+	b = wire.AppendUvarint(b, version)
+	b = wire.AppendString(b, pop)
+	b = wire.AppendUvarint(b, epoch)
+	b = wire.AppendUvarint(b, seq)
+	b = counts.AppendWire(b)
+	b = wire.AppendBytes(b, payload)
+	return b, nil
+}
+
+// DecodeEnvelope strictly decodes one frame from untrusted bytes. The
+// payload is returned still encoded (it aliases data) — restoring it
+// into an aggregator is the merger's job, so a frame with a valid
+// envelope but a corrupt payload still fails before touching global
+// state.
+func DecodeEnvelope(data []byte) (*Envelope, error) {
+	if len(data) > MaxFrameBytes {
+		return nil, fmt.Errorf("fleet: frame of %d bytes exceeds limit %d", len(data), MaxFrameBytes)
+	}
+	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("fleet: bad frame magic")
+	}
+	d := wire.NewDecoder(data[len(magic):])
+	if v := d.Uvarint(); d.Err() == nil && v != version {
+		return nil, fmt.Errorf("fleet: unsupported frame version %d (want %d)", v, version)
+	}
+	env := &Envelope{
+		PoP:   d.String(maxPoPName),
+		Epoch: d.Uvarint(),
+		Seq:   d.Uvarint(),
+	}
+	var err error
+	env.Counts, err = pipeline.DecodeCounts(d)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: decode frame: %w", err)
+	}
+	env.Payload = d.Bytes(MaxFrameBytes)
+	if err := d.Done(); err != nil {
+		return nil, fmt.Errorf("fleet: decode frame: %w", err)
+	}
+	if env.PoP == "" {
+		return nil, fmt.Errorf("fleet: frame missing pop name")
+	}
+	return env, nil
+}

@@ -1,0 +1,78 @@
+package fleet
+
+import (
+	"bytes"
+	"testing"
+
+	"tamperdetect/internal/analysis"
+	"tamperdetect/internal/pipeline"
+)
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	pops, _ := fleetDataset(t)
+	agg := analysis.NewFleetAggs()
+	for i := range pops[0] {
+		agg.Add(&pops[0][i])
+	}
+	counts := pipeline.Counts{Decoded: 7, Classified: 7, Tampering: 2, Delivered: 7}
+	frame, err := EncodeSnapshot("ams01", 3, 9, agg, counts)
+	if err != nil {
+		t.Fatalf("EncodeSnapshot: %v", err)
+	}
+	env, err := DecodeEnvelope(frame)
+	if err != nil {
+		t.Fatalf("DecodeEnvelope: %v", err)
+	}
+	if env.PoP != "ams01" || env.Epoch != 3 || env.Seq != 9 || env.Counts != counts {
+		t.Errorf("envelope = %+v", env)
+	}
+	restored := analysis.NewFleetAggs()
+	if err := analysis.RestoreSnapshot(env.Payload, restored); err != nil {
+		t.Fatalf("RestoreSnapshot: %v", err)
+	}
+	if got := analysis.RenderFleetReport(restored); got != analysis.RenderFleetReport(agg) {
+		t.Error("restored payload renders differently")
+	}
+}
+
+func TestEnvelopeRejectsMalformed(t *testing.T) {
+	agg := analysis.NewFleetAggs()
+	frame, err := EncodeSnapshot("pop", 0, 0, agg, pipeline.Counts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(frame); cut++ {
+		if _, err := DecodeEnvelope(frame[:cut]); err == nil {
+			t.Fatalf("cut=%d: truncated envelope decoded cleanly", cut)
+		}
+	}
+	if _, err := DecodeEnvelope(append(append([]byte(nil), frame...), 0)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+	bad := append([]byte(nil), frame...)
+	bad[0] = 'X'
+	if _, err := DecodeEnvelope(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := EncodeSnapshot("", 0, 0, agg, pipeline.Counts{}); err == nil {
+		t.Error("empty pop name accepted")
+	}
+}
+
+func FuzzEnvelope(f *testing.F) {
+	agg := analysis.NewFleetAggs()
+	if seed, err := EncodeSnapshot("pop", 1, 2, agg, pipeline.Counts{Decoded: 3}); err == nil {
+		f.Add(seed)
+	}
+	f.Add([]byte(magic))
+	f.Add(bytes.Repeat([]byte{0xFF}, 32))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := DecodeEnvelope(data)
+		if err != nil {
+			return
+		}
+		// A decodable envelope may still carry a corrupt payload; the
+		// restore must fail cleanly, never panic.
+		analysis.RestoreSnapshot(env.Payload, analysis.NewFleetAggs())
+	})
+}

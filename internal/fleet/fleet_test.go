@@ -1,0 +1,137 @@
+package fleet
+
+// Shared fixtures: a deterministic scenario partitioned client-affine
+// across simulated PoPs (distinct country mixes fall out of the
+// partition), per-(pop, epoch) delta frames, and the single-process
+// reference report every distributed test must reproduce exactly.
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"tamperdetect/internal/analysis"
+	"tamperdetect/internal/core"
+	"tamperdetect/internal/pipeline"
+	"tamperdetect/internal/workload"
+)
+
+// epochHours splits the 48-hour scenario into 4 collection epochs.
+const epochHours = 12
+
+var (
+	fxOnce sync.Once
+	fxErr  string
+	fxPops [][]analysis.Record // per-PoP record sets, 20 PoPs
+	fxWant string              // single-process RenderFleetReport
+)
+
+// fleetDataset builds (once) 20 PoPs' record sets and the reference
+// report over their union.
+func fleetDataset(t testing.TB) ([][]analysis.Record, string) {
+	t.Helper()
+	fxOnce.Do(func() {
+		scen, err := workload.BuildScenario("fleet-test", 8000, 48, 41)
+		if err != nil {
+			fxErr = err.Error()
+			return
+		}
+		const pops = 20
+		shards := workload.PoPPartition(scen.Specs(), pops)
+		cl := core.NewClassifier(core.DefaultConfig())
+		global := analysis.NewFleetAggs()
+		fxPops = make([][]analysis.Record, pops)
+		for pop, specs := range shards {
+			for _, c := range scen.RunSpecs(specs, 0) {
+				if c == nil {
+					continue // unsampled
+				}
+				rec := analysis.NewRecord(c, scen.Geo, cl.Classify(c))
+				fxPops[pop] = append(fxPops[pop], rec)
+				global.Add(&rec)
+			}
+		}
+		fxWant = analysis.RenderFleetReport(global)
+	})
+	if fxErr != "" {
+		t.Fatalf("fleet dataset: %s", fxErr)
+	}
+	return fxPops, fxWant
+}
+
+// popFrames encodes one PoP's records as per-epoch delta frames in
+// epoch order, with synthetic pipeline counts (one classified per
+// record).
+func popFrames(t testing.TB, pop string, recs []analysis.Record) [][]byte {
+	t.Helper()
+	byEpoch := map[uint64][]int{}
+	maxEpoch := uint64(0)
+	for i := range recs {
+		e := uint64(recs[i].Hour / epochHours)
+		byEpoch[e] = append(byEpoch[e], i)
+		if e > maxEpoch {
+			maxEpoch = e
+		}
+	}
+	var frames [][]byte
+	seq := uint64(0)
+	for e := uint64(0); e <= maxEpoch; e++ {
+		idx := byEpoch[e]
+		if len(idx) == 0 {
+			continue
+		}
+		agg := analysis.NewFleetAggs()
+		for _, i := range idx {
+			agg.Add(&recs[i])
+		}
+		n := int64(len(idx))
+		counts := pipeline.Counts{Decoded: n, Classified: n, Delivered: n}
+		frame, err := EncodeSnapshot(pop, e, seq, agg, counts)
+		if err != nil {
+			t.Fatalf("encode %s epoch %d: %v", pop, e, err)
+		}
+		frames = append(frames, frame)
+		seq++
+	}
+	return frames
+}
+
+// newTestMerger builds a merger over NewFleetAggs with the given
+// tweaks applied.
+func newTestMerger(t testing.TB, mod func(*MergerConfig)) *Merger {
+	t.Helper()
+	cfg := MergerConfig{Fresh: analysis.NewFleetAggs}
+	if mod != nil {
+		mod(&cfg)
+	}
+	m, err := NewMerger(cfg)
+	if err != nil {
+		t.Fatalf("NewMerger: %v", err)
+	}
+	return m
+}
+
+// firstDiff locates the first differing line of two renders.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return "line " + itoa(i+1) + ":\n  a: " + al[i] + "\n  b: " + bl[i]
+		}
+	}
+	return "lengths differ: " + itoa(len(al)) + " vs " + itoa(len(bl)) + " lines"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,38 @@
+package pipeline
+
+import (
+	"testing"
+
+	"tamperdetect/internal/wire"
+)
+
+func TestCountsWireRoundTrip(t *testing.T) {
+	c := Counts{Decoded: 1, Classified: 2, Tampering: 3, Delivered: 4, Errors: 5, Dropped: 6}
+	got, err := DecodeCounts(wire.NewDecoder(c.AppendWire(nil)))
+	if err != nil {
+		t.Fatalf("DecodeCounts: %v", err)
+	}
+	if got != c {
+		t.Errorf("round trip = %+v, want %+v", got, c)
+	}
+
+	// Truncation at every byte must error, never panic.
+	full := c.AppendWire(nil)
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := DecodeCounts(wire.NewDecoder(full[:cut])); err == nil {
+			t.Errorf("cut=%d: truncated counts decoded cleanly", cut)
+		}
+	}
+}
+
+func TestCountsAdd(t *testing.T) {
+	a := Counts{Decoded: 1, Classified: 2, Tampering: 3, Delivered: 4, Errors: 5, Dropped: 6}
+	b := Counts{Decoded: 10, Classified: 20, Tampering: 30, Delivered: 40, Errors: 50, Dropped: 60}
+	want := Counts{Decoded: 11, Classified: 22, Tampering: 33, Delivered: 44, Errors: 55, Dropped: 66}
+	if got := a.Add(b); got != want {
+		t.Errorf("Add = %+v, want %+v", got, want)
+	}
+	if got := a.Add(Counts{}); got != a {
+		t.Errorf("Add zero = %+v, want %+v", got, a)
+	}
+}

@@ -1,6 +1,10 @@
 package pipeline
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"tamperdetect/internal/wire"
+)
 
 // Metrics holds the pipeline's per-stage counters. All fields are
 // updated atomically while a run is in flight, so a Metrics passed in
@@ -87,4 +91,41 @@ type Counts struct {
 	// Dropped counts records decoded but never delivered — nonzero
 	// only when the run was cancelled or stopped early.
 	Dropped int64
+}
+
+// Add returns the field-wise sum of two snapshots — the inverse of
+// Delta, used by the fleet merger to accumulate pushed per-epoch
+// deltas into global pipeline totals.
+func (c Counts) Add(o Counts) Counts {
+	return Counts{
+		Decoded:    c.Decoded + o.Decoded,
+		Classified: c.Classified + o.Classified,
+		Tampering:  c.Tampering + o.Tampering,
+		Delivered:  c.Delivered + o.Delivered,
+		Errors:     c.Errors + o.Errors,
+		Dropped:    c.Dropped + o.Dropped,
+	}
+}
+
+// AppendWire appends the snapshot to b in the fleet wire format. A
+// Counts is a value copy, so serializing one taken via Snapshot/Delta
+// can never race the live atomics it was read from.
+func (c Counts) AppendWire(b []byte) []byte {
+	for _, v := range []int64{c.Decoded, c.Classified, c.Tampering, c.Delivered, c.Errors, c.Dropped} {
+		b = wire.AppendVarint(b, v)
+	}
+	return b
+}
+
+// DecodeCounts reads one AppendWire frame from d.
+func DecodeCounts(d *wire.Decoder) (Counts, error) {
+	c := Counts{
+		Decoded:    d.Varint(),
+		Classified: d.Varint(),
+		Tampering:  d.Varint(),
+		Delivered:  d.Varint(),
+		Errors:     d.Varint(),
+		Dropped:    d.Varint(),
+	}
+	return c, d.Err()
 }

@@ -282,7 +282,20 @@ func Run(ctx context.Context, src Source, cfg Config, sink Sink) (Counts, error)
 			defer wg.Done()
 			wcl := *cl // private instance: no false sharing across workers
 			var scratch core.Scratch
-			for b := range decoded {
+			for {
+				// Receive under the context so cancellation (a signal, a
+				// deadline) releases workers even while the decoder is
+				// blocked inside an uninterruptible source read.
+				var b []Item
+				select {
+				case bb, ok := <-decoded:
+					if !ok {
+						return
+					}
+					b = bb
+				case <-ctx.Done():
+					return
+				}
 				var classifyStart time.Time
 				if tel != nil {
 					classifyStart = time.Now()
@@ -394,7 +407,22 @@ func Run(ctx context.Context, src Source, cfg Config, sink Sink) (Counts, error)
 			deliverBatch(b)
 		}
 	}
-	<-decodeDone
+	// Wait for the decoder unless the context was cancelled: a cancelled
+	// run must not hang on a source blocked in an uninterruptible read.
+	// The decode goroutine exits on its own once the read returns (its
+	// channel send selects on ctx.Done); srcErr is read only when it has
+	// finished, which is what makes the unsynchronized write safe.
+	srcDone := false
+	select {
+	case <-decodeDone:
+		srcDone = true
+	case <-ctx.Done():
+		select {
+		case <-decodeDone:
+			srcDone = true
+		default:
+		}
+	}
 	if tel != nil {
 		// Both channels are fully drained once delivery ends.
 		tel.queueDecos.Set(0)
@@ -408,7 +436,7 @@ func Run(ctx context.Context, src Source, cfg Config, sink Sink) (Counts, error)
 	switch {
 	case sinkErr != nil:
 		return counts, sinkErr
-	case srcErr != nil:
+	case srcDone && srcErr != nil:
 		return counts, fmt.Errorf("pipeline: source: %w", srcErr)
 	case ctx.Err() != nil && !stopped:
 		return counts, ctx.Err()

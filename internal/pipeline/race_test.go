@@ -19,6 +19,7 @@ import (
 
 	"tamperdetect/internal/capture"
 	"tamperdetect/internal/telemetry"
+	"tamperdetect/internal/wire"
 )
 
 // checkGoroutines snapshots the goroutine count and returns a verifier
@@ -374,6 +375,20 @@ func TestSnapshotDeltaConcurrentRuns(t *testing.T) {
 			if d.Decoded < 0 || d.Classified < 0 || d.Tampering < 0 || d.Delivered < 0 || d.Errors < 0 {
 				if firstErr == nil {
 					firstErr = fmt.Errorf("negative delta: %+v", d)
+				}
+			}
+			// Serialize the delta while the runs are still feeding the
+			// atomics — the fleet push path does exactly this, and a
+			// Counts must be a value copy that never races the live
+			// Metrics it came from (the race detector enforces it).
+			back, err := DecodeCounts(wire.NewDecoder(d.AppendWire(nil)))
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("delta round trip: %w", err)
+				}
+			} else if back != d {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("delta round trip changed: %+v vs %+v", back, d)
 				}
 			}
 			cur := m.Snapshot()

@@ -226,7 +226,20 @@ func ScanTDCAP(ctx context.Context, r io.Reader, cfg Config, sink Sink) (Counts,
 			defer wg.Done()
 			wcl := *cl // private instance: no false sharing across workers
 			var scratch core.Scratch
-			for rb := range raw {
+			for {
+				// Receive under the context so cancellation releases workers
+				// even while the scanner is blocked inside an
+				// uninterruptible read (see Run).
+				var rb *rawBatch
+				select {
+				case b, ok := <-raw:
+					if !ok {
+						return
+					}
+					rb = b
+				case <-ctx.Done():
+					return
+				}
 				n := len(rb.offs) - 1
 				ib := getItems()
 				ib.conns = ib.conns[:cap(ib.conns)]
@@ -353,7 +366,20 @@ func ScanTDCAP(ctx context.Context, r io.Reader, cfg Config, sink Sink) (Counts,
 			deliverBatch(ib)
 		}
 	}
-	<-scanDone
+	// As in Run: don't hang on a scanner blocked in an uninterruptible
+	// read when the context was cancelled; srcErr is read only once the
+	// scan goroutine has finished.
+	srcDone := false
+	select {
+	case <-scanDone:
+		srcDone = true
+	case <-ctx.Done():
+		select {
+		case <-scanDone:
+			srcDone = true
+		default:
+		}
+	}
 	if tel != nil {
 		tel.queueDecos.Set(0)
 		tel.queueRes.Set(0)
@@ -366,7 +392,7 @@ func ScanTDCAP(ctx context.Context, r io.Reader, cfg Config, sink Sink) (Counts,
 	switch {
 	case sinkErr != nil:
 		return counts, sinkErr
-	case srcErr != nil:
+	case srcDone && srcErr != nil:
 		return counts, fmt.Errorf("pipeline: source: %w", srcErr)
 	case ctx.Err() != nil && !stopped:
 		return counts, ctx.Err()

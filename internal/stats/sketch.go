@@ -72,6 +72,16 @@ func (s *Sketch) Merge(o *Sketch) {
 	}
 }
 
+// Each visits every retained (key, value) pair in unspecified order.
+// The fleet snapshot codec serializes a sketch through it and rebuilds
+// the sketch by re-Adding the pairs; because the retained set is a
+// pure function of the offered multiset, the round trip is exact.
+func (s *Sketch) Each(f func(key uint64, val float64)) {
+	for _, e := range s.entries {
+		f(e.key, e.val)
+	}
+}
+
 // Values returns the retained sample values in unspecified order
 // (NewCDF sorts); the returned slice is fresh.
 func (s *Sketch) Values() []float64 {

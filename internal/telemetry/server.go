@@ -34,13 +34,35 @@ type Server struct {
 // NewServer listens on addr (host:port; ":0" picks a free port) and
 // starts serving reg.
 func NewServer(addr string, reg *Registry) (*Server, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	return NewServerWith(addr, reg, nil)
+}
+
+// NewServerWith is NewServer plus service-specific routes: each extra
+// pattern is mounted on the same mux as the introspection endpoints,
+// so a service like popmerge serves its API, /metrics, and /healthz
+// from one listener. Extra patterns must not collide with the built-in
+// ones (the mux panics on duplicates, surfaced here as an error).
+func NewServerWith(addr string, reg *Registry, extra map[string]http.Handler) (_ *Server, err error) {
+	ln, lnErr := net.Listen("tcp", addr)
+	if lnErr != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, lnErr)
 	}
+	defer func() {
+		if err != nil {
+			ln.Close()
+		}
+	}()
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("telemetry: route registration: %v", p)
+		}
+	}()
 	s := &Server{ln: ln, done: make(chan struct{}), start: time.Now()}
 
 	mux := http.NewServeMux()
+	for pattern, h := range extra {
+		mux.Handle(pattern, h)
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.WritePrometheus(w)

@@ -1,0 +1,201 @@
+// Package wire provides the append-style binary primitives behind the
+// fleet snapshot codec: unsigned/signed varints, IEEE-754 floats, and
+// length-prefixed byte strings, plus a strict bounded Decoder for
+// untrusted input.
+//
+// Encoding is the allocation-friendly append idiom (each Append*
+// returns the extended slice). Decoding is defensive by construction:
+// the Decoder carries a sticky error, every length and count is
+// validated against the bytes actually remaining before anything is
+// allocated, and a successful decode can require the input to be fully
+// consumed (Done). A malformed or adversarial frame can therefore
+// produce an error, never a panic, an overflow, or an attacker-sized
+// allocation.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrTruncated reports input that ended before the value it promised.
+var ErrTruncated = errors.New("wire: truncated input")
+
+// ErrTrailing reports undecoded bytes after a frame that must consume
+// its whole input.
+var ErrTrailing = errors.New("wire: trailing bytes after frame")
+
+// AppendUvarint appends v in unsigned LEB128.
+func AppendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+// AppendVarint appends v in zig-zag LEB128.
+func AppendVarint(b []byte, v int64) []byte {
+	return binary.AppendVarint(b, v)
+}
+
+// AppendFloat64 appends v as its IEEE-754 bits, little-endian.
+func AppendFloat64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// AppendString appends a uvarint length followed by the bytes of s.
+func AppendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// AppendBytes appends a uvarint length followed by p.
+func AppendBytes(b, p []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+// Decoder reads the primitives back out of one buffer. The zero-value
+// rule: after any failure the decoder is poisoned (Err returns the
+// first error) and every subsequent read returns a zero value, so
+// call sites can decode a whole frame linearly and check Err once.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder returns a decoder over data. The decoder aliases data;
+// Bytes results alias it too.
+func NewDecoder(data []byte) *Decoder { return &Decoder{buf: data} }
+
+// Err returns the first decoding error, or nil.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining reports how many undecoded bytes are left.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// fail poisons the decoder with its first error.
+func (d *Decoder) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+// Uvarint decodes one unsigned varint.
+func (d *Decoder) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail(ErrTruncated)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Varint decodes one zig-zag varint.
+func (d *Decoder) Varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail(ErrTruncated)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Int decodes a varint that must fit a non-negative int (counters).
+func (d *Decoder) Int() int {
+	v := d.Varint()
+	if d.err != nil {
+		return 0
+	}
+	if v < 0 || v > math.MaxInt64 || int64(int(v)) != v {
+		d.fail(fmt.Errorf("wire: count %d out of range", v))
+		return 0
+	}
+	return int(v)
+}
+
+// Float64 decodes IEEE-754 bits.
+func (d *Decoder) Float64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.Remaining() < 8 {
+		d.fail(ErrTruncated)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.off:]))
+	d.off += 8
+	return v
+}
+
+// Len decodes a collection length and bounds it: at most max entries,
+// and — since every entry encodes to at least minEntryBytes — no more
+// entries than the remaining input could possibly hold. This is the
+// guard that keeps adversarial counts from driving allocations.
+func (d *Decoder) Len(max, minEntryBytes int) int {
+	n := d.Uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if minEntryBytes < 1 {
+		minEntryBytes = 1
+	}
+	if n > uint64(max) {
+		d.fail(fmt.Errorf("wire: count %d exceeds limit %d", n, max))
+		return 0
+	}
+	if n > uint64(d.Remaining()/minEntryBytes) {
+		d.fail(fmt.Errorf("wire: count %d exceeds remaining input (%d bytes)", n, d.Remaining()))
+		return 0
+	}
+	return int(n)
+}
+
+// String decodes a length-prefixed string of at most max bytes.
+func (d *Decoder) String(max int) string {
+	return string(d.bytesInternal(max))
+}
+
+// Bytes decodes a length-prefixed byte string of at most max bytes.
+// The result aliases the decoder's input.
+func (d *Decoder) Bytes(max int) []byte {
+	return d.bytesInternal(max)
+}
+
+func (d *Decoder) bytesInternal(max int) []byte {
+	n := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(max) {
+		d.fail(fmt.Errorf("wire: length %d exceeds limit %d", n, max))
+		return nil
+	}
+	if n > uint64(d.Remaining()) {
+		d.fail(ErrTruncated)
+		return nil
+	}
+	out := d.buf[d.off : d.off+int(n)]
+	d.off += int(n)
+	return out
+}
+
+// Done requires the input to be fully consumed and returns the
+// decoder's final status.
+func (d *Decoder) Done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.Remaining() != 0 {
+		return fmt.Errorf("%w: %d bytes", ErrTrailing, d.Remaining())
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+package wire
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var b []byte
+	b = AppendUvarint(b, 0)
+	b = AppendUvarint(b, math.MaxUint64)
+	b = AppendVarint(b, -1)
+	b = AppendVarint(b, math.MaxInt64)
+	b = AppendVarint(b, math.MinInt64)
+	b = AppendFloat64(b, 3.5)
+	b = AppendFloat64(b, math.Inf(-1))
+	b = AppendString(b, "")
+	b = AppendString(b, "pop-α")
+	b = AppendBytes(b, []byte{1, 2, 3})
+
+	d := NewDecoder(b)
+	if v := d.Uvarint(); v != 0 {
+		t.Errorf("uvarint = %d, want 0", v)
+	}
+	if v := d.Uvarint(); v != math.MaxUint64 {
+		t.Errorf("uvarint = %d, want max", v)
+	}
+	if v := d.Varint(); v != -1 {
+		t.Errorf("varint = %d, want -1", v)
+	}
+	if v := d.Varint(); v != math.MaxInt64 {
+		t.Errorf("varint = %d, want maxint64", v)
+	}
+	if v := d.Varint(); v != math.MinInt64 {
+		t.Errorf("varint = %d, want minint64", v)
+	}
+	if v := d.Float64(); v != 3.5 {
+		t.Errorf("float = %v, want 3.5", v)
+	}
+	if v := d.Float64(); !math.IsInf(v, -1) {
+		t.Errorf("float = %v, want -inf", v)
+	}
+	if v := d.String(16); v != "" {
+		t.Errorf("string = %q, want empty", v)
+	}
+	if v := d.String(16); v != "pop-α" {
+		t.Errorf("string = %q", v)
+	}
+	if v := d.Bytes(16); len(v) != 3 || v[0] != 1 {
+		t.Errorf("bytes = %v", v)
+	}
+	if err := d.Done(); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	full := AppendString(AppendUvarint(nil, 300), "hello")
+	for cut := 0; cut < len(full); cut++ {
+		d := NewDecoder(full[:cut])
+		d.Uvarint()
+		d.String(16)
+		if err := d.Done(); err == nil {
+			t.Errorf("cut=%d: truncated input decoded cleanly", cut)
+		}
+	}
+}
+
+func TestStickyError(t *testing.T) {
+	d := NewDecoder(nil)
+	if d.Uvarint() != 0 || d.Err() == nil {
+		t.Fatal("empty decode should poison the decoder")
+	}
+	first := d.Err()
+	d.Float64()
+	d.String(4)
+	if d.Err() != first {
+		t.Errorf("error not sticky: %v then %v", first, d.Err())
+	}
+}
+
+func TestBoundedLen(t *testing.T) {
+	// A count far larger than the remaining input must be rejected
+	// before any allocation.
+	b := AppendUvarint(nil, 1<<40)
+	d := NewDecoder(b)
+	if n := d.Len(1<<50, 4); n != 0 || d.Err() == nil {
+		t.Errorf("oversized count accepted: n=%d err=%v", n, d.Err())
+	}
+
+	// A count within both the limit and the remaining input passes.
+	b = AppendUvarint(nil, 3)
+	b = append(b, make([]byte, 12)...)
+	d = NewDecoder(b)
+	if n := d.Len(10, 4); n != 3 || d.Err() != nil {
+		t.Errorf("valid count rejected: n=%d err=%v", n, d.Err())
+	}
+
+	// Explicit caps bind even when the input is long enough.
+	d = NewDecoder(b)
+	if n := d.Len(2, 1); n != 0 || d.Err() == nil {
+		t.Errorf("cap ignored: n=%d err=%v", n, d.Err())
+	}
+}
+
+func TestOversizedString(t *testing.T) {
+	b := AppendString(nil, "abcdefgh")
+	d := NewDecoder(b)
+	if s := d.String(4); s != "" || d.Err() == nil {
+		t.Errorf("oversized string accepted: %q err=%v", s, d.Err())
+	}
+}
+
+func TestTrailing(t *testing.T) {
+	d := NewDecoder([]byte{0, 1, 2})
+	d.Uvarint()
+	if err := d.Done(); !errors.Is(err, ErrTrailing) {
+		t.Errorf("Done = %v, want ErrTrailing", err)
+	}
+}
+
+func TestNegativeInt(t *testing.T) {
+	b := AppendVarint(nil, -5)
+	d := NewDecoder(b)
+	if v := d.Int(); v != 0 || d.Err() == nil {
+		t.Errorf("negative count accepted: %d err=%v", v, d.Err())
+	}
+}

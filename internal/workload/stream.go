@@ -4,6 +4,7 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"tamperdetect/internal/capture"
 )
@@ -26,7 +27,12 @@ type StreamRun struct {
 	futures  chan chan *capture.Connection
 	stop     chan struct{}
 	stopOnce sync.Once
-	done     bool
+	// done is atomic because Close may run concurrently with a Next
+	// still in flight: a cancelled pipeline returns to its caller —
+	// who Closes the source — without waiting for a source goroutine
+	// that may be blocked in Next. Channel operations are already safe
+	// under that overlap; this flag must be too.
+	done atomic.Bool
 }
 
 // Stream starts a streaming simulation of all the scenario's specs
@@ -76,7 +82,7 @@ func (sr *StreamRun) Next() (*capture.Connection, error) {
 	for {
 		f, ok := <-sr.futures
 		if !ok {
-			sr.done = true
+			sr.done.Store(true)
 			return nil, io.EOF
 		}
 		if c := <-f; c != nil {
@@ -87,16 +93,18 @@ func (sr *StreamRun) Next() (*capture.Connection, error) {
 
 // Close abandons the stream early: in-flight simulations finish, the
 // producer stops scheduling new ones, and subsequent Next calls drain
-// to io.EOF quickly. Close is idempotent and safe to defer alongside
-// a full drain.
+// to io.EOF quickly. Close is idempotent, safe to defer alongside a
+// full drain, and safe to call while another goroutine is blocked in
+// Next (the cancelled-pipeline hand-off).
 func (sr *StreamRun) Close() {
 	sr.stopOnce.Do(func() { close(sr.stop) })
-	if !sr.done {
+	if !sr.done.Load() {
 		// Release buffered futures so their sim goroutines' sends (to
 		// cap-1 channels) are garbage, not blockers, and observe the
-		// producer's close.
+		// producer's close. A concurrent Next draining the same channel
+		// is fine: both receivers discard toward the same io.EOF.
 		for range sr.futures {
 		}
-		sr.done = true
+		sr.done.Store(true)
 	}
 }

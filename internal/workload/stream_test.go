@@ -78,6 +78,41 @@ func TestStreamRunClose(t *testing.T) {
 		before, runtime.NumGoroutine(), buf[:n])
 }
 
+// TestStreamCloseDuringNext pins the cancelled-pipeline hand-off: a
+// cancelled run returns to its caller — who Closes the source — while
+// the pipeline's source goroutine may still be inside Next. Close and
+// Next must be safe under that overlap (this is a -race test; the
+// regression it guards was a data race on the drained flag, not a
+// wrong result).
+func TestStreamCloseDuringNext(t *testing.T) {
+	for iter := 0; iter < 20; iter++ {
+		s, err := BuildScenario("stream-overlap", 300, 24, uint64(21+iter))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr := s.Stream(2)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for {
+				if _, err := sr.Next(); err == io.EOF {
+					return
+				} else if err != nil {
+					t.Errorf("Next: %v", err)
+					return
+				}
+			}
+		}()
+		time.Sleep(time.Duration(iter%5) * time.Millisecond)
+		sr.Close()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("Next did not drain to EOF after a concurrent Close")
+		}
+	}
+}
+
 // TestStreamBoundedReadAhead checks that an unconsumed stream parks
 // after its bounded read-ahead instead of simulating every spec: the
 // goroutine population during the stall stays at producer + worker

@@ -66,6 +66,18 @@ echo "== telemetry exposition + shutdown gate =="
 go test ./cmd/tamperscan/ -run 'TestMetricsAddrServesExposition' -count=1
 go test ./internal/telemetry/ -run 'TestServerShutdownNoGoroutineLeak|TestServerEndpoints' -count=1
 
+# Fleet chaos-parity gate: 20 in-process PoPs (19 concurrent + one
+# straggler past the quorum close) push per-epoch snapshots through a
+# fault-injecting transport — drops, duplicates, truncations, 5xxs —
+# into a live popmerge handler under the "lossy" grade. The merged
+# report must be byte-identical to the single-process run, and a
+# re-push of an already-ACKed frame must change nothing. The snapshot
+# round-trip/merge-equivalence and (pop, epoch) idempotency property
+# tests run alongside, focused and uncached.
+echo "== fleet chaos parity gate (20 PoPs, lossy) =="
+go test ./internal/fleet/ -run 'TestChaosParity20PoPs/lossy|TestMergerIdempotent|TestMergerOrderAndDuplicationInvariance' -count=1
+go test ./internal/analysis/ -run 'TestSnapshotRoundTripParity|TestSnapshotRestoreIsMerge' -count=1
+
 # Smoke the perf harness: one short benchmark iteration, then assert
 # the aggregator produced well-formed JSON. No timing assertions —
 # shared CI machines make those flaky; the recorded trajectory is

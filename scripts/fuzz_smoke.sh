@@ -24,6 +24,8 @@ targets="
 ./internal/tlswire:FuzzBuildParse
 ./internal/httpwire:FuzzParseRequest
 ./internal/analysis:FuzzMergeAssociativity
+./internal/analysis:FuzzSnapshotCodec
+./internal/fleet:FuzzEnvelope
 ./internal/telemetry:FuzzHistogramMergeAssociativity
 "
 
