@@ -543,6 +543,98 @@ func BenchmarkDecodeParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedIngest measures the sharded multi-reader ingest
+// against the single-scanner stream over the identical indexed capture
+// bytes: path=scan is pipeline.Stream at 1 worker (the serial-scanner
+// baseline every shard cell is normalized against), path=sharded runs
+// pipeline.ShardedScan over a SegmentedSource at shards {1,2,4,8} with
+// the worker pool sized to the shard count, so each cell isolates what
+// adding independent scanners buys. scripts/bench.sh aggregates the
+// grid into BENCH_pipeline.json's sharded_ingest section; the scaling
+// gate (TestShardedIngestScalingGate via scripts/check.sh) enforces
+// shards=8 >= 2x shards=1 wherever the hardware has the cores, and the
+// 1-core contract — shards=1 within 5% of path=scan, no tax for the
+// segment indirection — is checked from the recorded cells.
+func BenchmarkShardedIngest(b *testing.B) {
+	conns, _, _ := benchData(b)
+	var buf bytes.Buffer
+	w := capture.NewWriter(&buf)
+	if err := w.EnableIndex(256); err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range conns {
+		if err := w.Write(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	idx, err := capture.FindIndex(bytes.NewReader(data), int64(len(data)), "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	report := func(b *testing.B, classified int64, before, after *runtime.MemStats) {
+		records := float64(classified)
+		b.ReportMetric(records/b.Elapsed().Seconds(), "conns/sec")
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/records, "ns/record")
+		b.ReportMetric(float64(after.TotalAlloc-before.TotalAlloc)/records, "B/record")
+		b.ReportMetric(float64(after.Mallocs-before.Mallocs)/records, "allocs/record")
+	}
+	b.Run("path=scan/workers=1", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		b.ReportAllocs()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		classified := int64(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			counts, err := pipeline.Stream(context.Background(),
+				bytes.NewReader(data),
+				pipeline.Config{Workers: 1, BatchSize: 64}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if counts.Classified != int64(len(conns)) {
+				b.Fatalf("classified %d of %d", counts.Classified, len(conns))
+			}
+			classified += counts.Classified
+		}
+		b.StopTimer()
+		runtime.ReadMemStats(&after)
+		report(b, classified, &before, &after)
+	})
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("path=sharded/shards=%d", shards), func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			b.ReportAllocs()
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			classified := int64(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				src, err := capture.NewSegmentedSource(bytes.NewReader(data), int64(len(data)), idx, shards)
+				if err != nil {
+					b.Fatal(err)
+				}
+				counts, err := pipeline.ShardedScan(context.Background(), src,
+					pipeline.Config{Workers: shards, BatchSize: 64}, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if counts.Classified != int64(len(conns)) {
+					b.Fatalf("classified %d of %d", counts.Classified, len(conns))
+				}
+				classified += counts.Classified
+			}
+			b.StopTimer()
+			runtime.ReadMemStats(&after)
+			report(b, classified, &before, &after)
+		})
+	}
+}
+
 // BenchmarkStreamTelemetryOverhead measures what the telemetry
 // subsystem costs on the streaming hot path: the identical Stream run
 // with telemetry off versus attached (stage histograms, queue gauges,

@@ -33,6 +33,18 @@
 // aggregated total slightly past it). It exists to smoke-test the
 // one-pass machinery quickly on large -total values.
 //
+// -capture replaces the simulated shared dataset with a TDCAP capture
+// file: the capture streams through the same classify-and-aggregate
+// pass, and when it carries a segment index (trafficgen footer or
+// tdcapindex sidecar) the scan shards into independent readers —
+// -shards picks the count (0 = one per worker, 1 = single scanner). A
+// missing or untrustworthy index falls back to the single-scanner path
+// exactly as tamperscan does. Captures carry no scenario metadata, so
+// experiments that need the generator's domain universe or their own
+// simulated scenario (table2, table3, fig8, groundtruth, evasion,
+// robustness, all) reject -capture, and country attribution is absent
+// from the rendered tables.
+//
 // -metrics-addr serves the run's pipeline telemetry (stage latency
 // histograms, per-signature counters, queue gauges) plus health and
 // pprof endpoints while the experiments execute; -progress prints a
@@ -47,6 +59,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"flag"
@@ -59,6 +72,7 @@ import (
 	"time"
 
 	"tamperdetect/internal/analysis"
+	"tamperdetect/internal/capture"
 	"tamperdetect/internal/core"
 	"tamperdetect/internal/domains"
 	"tamperdetect/internal/faults"
@@ -96,6 +110,8 @@ func main() {
 	classifier := flag.String("classifier", "dfa", "signature matcher: dfa (compiled automaton) or legacy (multi-pass oracle)")
 	threshold := flag.Int("threshold", 3, "per-domain match threshold for Tables 2-3 (paper: 100/day at CDN scale)")
 	maxRecords := flag.Int("maxrecords", 0, "stop the shared dataset stream after roughly N connections (0 = all)")
+	capturePath := flag.String("capture", "", "aggregate the shared dataset from this TDCAP capture instead of simulating")
+	shards := flag.Int("shards", 0, "independent scan shards over an indexed -capture (0 = one per worker, 1 = single scanner)")
 	impair := flag.String("impair", "", "link-impairment grade applied to the scenario (clean|lossy|hostile)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address for the run")
 	progress := flag.Duration("progress", 0, "print a progress line to stderr on this interval (0 = off)")
@@ -159,7 +175,7 @@ func main() {
 	}
 
 	ctx, stopSig := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	runErr := run(ctx, flag.Arg(0), *total, *hours, *seed, *workers, *threshold, *maxRecords, *impair, ins)
+	runErr := run(ctx, flag.Arg(0), *total, *hours, *seed, *workers, *threshold, *maxRecords, *impair, *capturePath, *shards, ins)
 	stopSig()
 	if rep != nil {
 		rep.Stop()
@@ -296,7 +312,136 @@ func buildDataset(ctx context.Context, total, hours int, seed uint64, workers, m
 	return &dataset{scen: s, aggs: merged.(analysis.Multi), partial: partial}, nil
 }
 
-func run(ctx context.Context, exp string, total, hours int, seed uint64, workers, threshold, maxRecords int, impair string, ins instruments) error {
+// buildCaptureDataset streams a TDCAP capture through the same
+// classify-and-aggregate pass as buildDataset. A seekable capture with
+// a segment index shards into independent scanners; a capture without
+// a trustworthy index streams through the single scanner, and an index
+// that betrays its promises mid-run is discarded and the capture
+// rescanned single-threaded, so the aggregates never depend on index
+// integrity. The dataset carries no scenario (scen == nil): run
+// rejects the experiments that need generator metadata before calling
+// this, and country attribution is absent from the tables.
+func buildCaptureDataset(ctx context.Context, path string, workers, shards, maxRecords int, ins instruments) (*dataset, error) {
+	if shards < 0 {
+		return nil, fmt.Errorf("-shards %d: want >= 0", shards)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	start := time.Now()
+	w := resolveWorkers(workers)
+
+	// scanOnce builds fresh aggregators (and a fresh -maxrecords cap) so
+	// a discarded sharded attempt cannot leak into the fallback rescan.
+	// The sharded path reads via ReadAt only, which never moves the file
+	// offset, so the fallback's streaming read still starts at byte 0.
+	scanOnce := func(seg *capture.SegmentedSource) (analysis.Multi, pipeline.Counts, error) {
+		nworkers := w
+		if seg != nil {
+			nworkers = pipeline.ShardWorkers(w, seg.Segments())
+		}
+		sharded := analysis.NewSharded(nil, nworkers, func() analysis.Aggregator { return newPaperAggs() })
+		var sink pipeline.Sink
+		if maxRecords > 0 {
+			delivered := 0
+			sink = func(pipeline.Item) error {
+				if delivered++; delivered >= maxRecords {
+					return pipeline.ErrStop
+				}
+				return nil
+			}
+		}
+		cfg := pipeline.Config{Workers: w, Observe: sharded.Observe, Telemetry: ins.tel, Classifier: ins.classifier}
+		var counts pipeline.Counts
+		var runErr error
+		if seg != nil {
+			counts, runErr = pipeline.ShardedScan(ctx, seg, cfg, sink)
+		} else {
+			counts, runErr = pipeline.Stream(ctx, bufio.NewReaderSize(f, 1<<20), cfg, sink)
+		}
+		if runErr != nil {
+			return nil, counts, runErr
+		}
+		merged, err := sharded.Merged()
+		if err != nil {
+			return nil, counts, err
+		}
+		return merged.(analysis.Multi), counts, nil
+	}
+
+	seg := segmentCapture(f, path, shards, w)
+	placement := "single scanner"
+	if seg != nil {
+		placement = fmt.Sprintf("%d shards", seg.Segments())
+		if seg.Segments() == 1 {
+			placement = "1 shard"
+		}
+	}
+	aggs, counts, runErr := scanOnce(seg)
+	if seg != nil && runErr != nil && ctx.Err() == nil {
+		// Any sharded scan error means the index cannot be trusted — a
+		// lying seam can surface as a generic decode error rather than
+		// ErrBadIndex — so the single-scanner rescan is the arbiter: it
+		// either yields the full dataset or reproduces a genuine input
+		// error over the true record stream.
+		fmt.Fprintf(os.Stderr, "paperbench: warning: %v — discarding sharded results, rescanning single-threaded\n", runErr)
+		placement = "single scanner after index fallback"
+		aggs, counts, runErr = scanOnce(nil)
+	}
+	if runErr != nil {
+		// Unlike the simulator's one-shot stream, the capture is durable:
+		// an interrupted or damaged scan is simply an error and the run
+		// can be repeated, so no partial-dataset rendering here.
+		return nil, fmt.Errorf("scanning %s: %w", path, runErr)
+	}
+	fmt.Printf("# dataset: %d connections from %s (%s), one-pass aggregation in %v\n\n",
+		counts.Classified, path, placement, time.Since(start).Round(time.Millisecond))
+	return &dataset{scen: nil, aggs: aggs, partial: false}, nil
+}
+
+// segmentCapture decides whether the capture scan can shard, exactly
+// like tamperscan: a regular file, a loadable index, shards != 1. Any
+// reason it cannot is at worst a warning — the single-scanner path is
+// always correct — but an index that exists and fails validation is
+// reported unconditionally, while plain "no index" warns only when
+// sharding was requested explicitly.
+func segmentCapture(f *os.File, path string, shards, workers int) *capture.SegmentedSource {
+	if shards == 1 {
+		return nil
+	}
+	warn := func(always bool, format string, args ...any) {
+		if always || shards > 1 {
+			fmt.Fprintf(os.Stderr, "paperbench: warning: "+format+"\n", args...)
+		}
+	}
+	fi, err := f.Stat()
+	if err != nil || !fi.Mode().IsRegular() {
+		warn(false, "sharded ingest needs a regular capture file; scanning single-threaded")
+		return nil
+	}
+	idx, err := capture.FindIndex(f, fi.Size(), path)
+	if err != nil {
+		if errors.Is(err, capture.ErrNoIndex) {
+			warn(false, "%s has no segment index (build one with tdcapindex); scanning single-threaded", path)
+		} else {
+			warn(true, "%v; scanning single-threaded", err)
+		}
+		return nil
+	}
+	if shards == 0 {
+		shards = workers
+	}
+	seg, err := capture.NewSegmentedSource(f, fi.Size(), idx, shards)
+	if err != nil {
+		warn(true, "%v; scanning single-threaded", err)
+		return nil
+	}
+	return seg
+}
+
+func run(ctx context.Context, exp string, total, hours int, seed uint64, workers, threshold, maxRecords int, impair, capturePath string, shards int, ins instruments) error {
 	known := false
 	for _, e := range experiments {
 		if e == exp {
@@ -315,11 +460,24 @@ func run(ctx context.Context, exp string, total, hours int, seed uint64, workers
 	}
 	imp.Stats = ins.fstats // nil-safe: a nil Stats counts nothing
 
+	if capturePath != "" {
+		// A capture has no generator metadata: no domain universe for the
+		// list-coverage tables, no scenario for the case studies.
+		switch exp {
+		case "table2", "table3", "fig8", "groundtruth", "evasion", "robustness", "all":
+			return fmt.Errorf("%s needs a simulated scenario; it cannot run over -capture", exp)
+		}
+	}
+
 	var ds *dataset
 	// fig8 (the Iran case study) and robustness build their own
 	// scenarios; everything else shares one dataset.
 	if exp != "fig8" && exp != "robustness" {
-		ds, err = buildDataset(ctx, total, hours, seed, workers, maxRecords, imp, ins)
+		if capturePath != "" {
+			ds, err = buildCaptureDataset(ctx, capturePath, workers, shards, maxRecords, ins)
+		} else {
+			ds, err = buildDataset(ctx, total, hours, seed, workers, maxRecords, imp, ins)
+		}
 		if err != nil {
 			return err
 		}

@@ -3,11 +3,16 @@ package main
 import (
 	"bytes"
 	"context"
+	"net/netip"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"tamperdetect/internal/analysis"
+	"tamperdetect/internal/capture"
 	"tamperdetect/internal/faults"
+	"tamperdetect/internal/packet"
 	"tamperdetect/internal/pipeline"
 	"tamperdetect/internal/telemetry"
 )
@@ -21,7 +26,7 @@ func TestRunExperiments(t *testing.T) {
 		}
 		exp := exp
 		t.Run(exp, func(t *testing.T) {
-			if err := run(context.Background(), exp, 3000, 48, 7, 2, 2, 0, "", instruments{}); err != nil {
+			if err := run(context.Background(), exp, 3000, 48, 7, 2, 2, 0, "", "", 0, instruments{}); err != nil {
 				t.Fatalf("run(%s): %v", exp, err)
 			}
 		})
@@ -29,10 +34,10 @@ func TestRunExperiments(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run(context.Background(), "nope", 10, 1, 1, 1, 1, 0, "", instruments{}); err == nil {
+	if err := run(context.Background(), "nope", 10, 1, 1, 1, 1, 0, "", "", 0, instruments{}); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if err := run(context.Background(), "table1", 10, 1, 1, 1, 1, 0, "nope", instruments{}); err == nil {
+	if err := run(context.Background(), "table1", 10, 1, 1, 1, 1, 0, "nope", "", 0, instruments{}); err == nil {
 		t.Error("unknown impairment grade accepted")
 	}
 }
@@ -89,7 +94,7 @@ func TestDatasetDeterministicAcrossWorkers(t *testing.T) {
 func TestRunInstrumented(t *testing.T) {
 	ins := instruments{tel: pipeline.NewTelemetry(nil), fstats: &faults.Stats{}}
 	ins.fstats.Register(ins.tel.Registry())
-	if err := run(context.Background(), "table1", 2000, 24, 7, 2, 2, 0, "lossy", ins); err != nil {
+	if err := run(context.Background(), "table1", 2000, 24, 7, 2, 2, 0, "lossy", "", 0, ins); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if got := ins.tel.Metrics().Snapshot().Classified; got == 0 {
@@ -112,5 +117,120 @@ func TestRunInstrumented(t *testing.T) {
 		if !strings.Contains(buf.String(), want) {
 			t.Errorf("exposition missing %q", want)
 		}
+	}
+}
+
+// TestCaptureDataset: -capture aggregates the shared dataset from a
+// TDCAP file through the sharded ingest path, and the resulting tables
+// are identical to the forced single-scanner scan of the same capture.
+func TestCaptureDataset(t *testing.T) {
+	dir := t.TempDir()
+	writeCap := func(path string, indexed bool) {
+		t.Helper()
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := capture.NewWriter(f)
+		if indexed {
+			if err := w.EnableIndex(32); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 2000; i++ {
+			c := &capture.Connection{
+				SrcIP:   netip.AddrFrom4([4]byte{20, 0, byte(i >> 8), byte(i)}),
+				DstIP:   netip.MustParseAddr("192.0.2.80"),
+				SrcPort: uint16(30000 + i), DstPort: 443, IPVersion: 4,
+				TotalPackets: 2, LastActivity: 1, CloseTime: 30,
+				Packets: []capture.PacketRecord{
+					{Timestamp: 0, Flags: packet.FlagsSYN, Seq: 100, TTL: 54, IPID: 1, HasOptions: true},
+					{Timestamp: 1, Flags: packet.FlagsACK, Seq: 101, TTL: 54, IPID: 2},
+				},
+			}
+			if i%4 == 0 {
+				c.Packets = append(c.Packets, capture.PacketRecord{
+					Timestamp: 1, Flags: packet.FlagsRSTACK, Seq: 101, Ack: 7, TTL: 200, IPID: 50000,
+				})
+				c.TotalPackets = 3
+			}
+			if err := w.Write(c); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(dir, "x.tdcap")
+	writeCap(path, true)
+
+	single, err := buildCaptureDataset(context.Background(), path, 2, 1, 0, instruments{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := buildCaptureDataset(context.Background(), path, 2, 4, 0, instruments{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := single.aggs[aggStages].(*analysis.StageStatsAgg).Stats()
+	s4 := sharded.aggs[aggStages].(*analysis.StageStatsAgg).Stats()
+	if s1.Total != 2000 {
+		t.Errorf("single-scanner dataset total = %d, want 2000", s1.Total)
+	}
+	if s1 != s4 {
+		t.Errorf("stage stats differ between single and sharded capture scans:\n1: %+v\n4: %+v", s1, s4)
+	}
+	m1 := analysis.RenderOverlapMatrix(single.aggs[aggOverlap].(*analysis.OverlapAgg).Matrix())
+	m4 := analysis.RenderOverlapMatrix(sharded.aggs[aggOverlap].(*analysis.OverlapAgg).Matrix())
+	if m1 != m4 {
+		t.Error("overlap matrix differs between single and sharded capture scans")
+	}
+
+	// The flag wires through run for dataset-backed experiments...
+	if err := run(context.Background(), "table1", 0, 0, 0, 2, 2, 0, "", path, 0, instruments{}); err != nil {
+		t.Fatalf("run(table1, -capture): %v", err)
+	}
+	// ...and rejects the ones that need generator metadata.
+	for _, exp := range []string{"table2", "fig8", "all"} {
+		if err := run(context.Background(), exp, 0, 0, 0, 2, 2, 0, "", path, 0, instruments{}); err == nil {
+			t.Errorf("run(%s, -capture) accepted", exp)
+		}
+	}
+
+	// A seam shifted mid-record passes upfront index validation and can
+	// surface as a generic decode error rather than ErrBadIndex; the
+	// sharded scan must still discard and rescan to the full dataset.
+	// The footer index outranks sidecars, so the lie rides an
+	// unindexed copy of the capture.
+	lying := filepath.Join(dir, "lying.tdcap")
+	writeCap(lying, false)
+	data, err := os.ReadFile(lying)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interval 500 over 2000 records yields exactly 4 index points, so
+	// the 4-shard placement must seat a seam on the shifted one.
+	idx, err := capture.BuildIndex(bytes.NewReader(data), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.Offsets) != 4 {
+		t.Fatalf("want 4 index points, got %d", len(idx.Offsets))
+	}
+	idx.Offsets[2] += 7
+	idx.FileSize = int64(len(data))
+	if err := os.WriteFile(capture.SidecarPath(lying), capture.EncodeSidecar(idx), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lied, err := buildCaptureDataset(context.Background(), lying, 2, 4, 0, instruments{})
+	if err != nil {
+		t.Fatalf("capture scan over mid-record seam: %v", err)
+	}
+	if got := lied.aggs[aggStages].(*analysis.StageStatsAgg).Stats(); got != s1 {
+		t.Errorf("mid-record seam changed the dataset:\nlied: %+v\ntrue: %+v", got, s1)
 	}
 }

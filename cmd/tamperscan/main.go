@@ -17,8 +17,9 @@
 //
 // Usage:
 //
-//	tamperscan [-v] [-tampered-only] [-workers N] [-classifier dfa|legacy]
-//	           [-seq-decode] [-metrics-addr host:port] [-progress interval]
+//	tamperscan [-v] [-tampered-only] [-workers N] [-shards N]
+//	           [-classifier dfa|legacy] [-seq-decode]
+//	           [-metrics-addr host:port] [-progress interval]
 //	           capture.{tdcap,pcap}
 //
 // TDCAP input streams through the parallel decode pipeline: a scanner
@@ -27,6 +28,17 @@
 // classifier is the compiled signature DFA by default; -classifier
 // legacy selects the multi-pass reference matcher it is differentially
 // tested against.
+//
+// When the capture is a seekable file with a segment index — a footer
+// written by trafficgen, or a .tdx sidecar from tdcapindex — the scan
+// shards into independent readers, one per index segment, removing the
+// single-scanner bottleneck. -shards picks the shard count (0 = auto:
+// one per worker when an index exists; 1 = force the single-scanner
+// path). A missing, stale, or damaged index is never trusted: the scan
+// warns and falls back to the single-scanner path, and if the index
+// betrays its promises mid-run (a seam that is not a record boundary)
+// the sharded results are discarded and the whole capture is rescanned
+// single-threaded, so output never depends on index integrity.
 //
 // With -metrics-addr, an introspection HTTP server runs for the
 // duration of the scan: /metrics (Prometheus text), /metrics.json,
@@ -83,6 +95,7 @@ type options struct {
 	verbose      bool
 	tamperedOnly bool
 	workers      int
+	shards       int           // 0 = auto (index-driven), 1 = force single-scanner
 	metricsAddr  string        // "" = no metrics server
 	progress     time.Duration // 0 = no progress lines
 	classifier   string        // "dfa" (default) or "legacy"
@@ -109,6 +122,7 @@ func main() {
 	flag.BoolVar(&opts.verbose, "v", false, "print each connection's verdict")
 	flag.BoolVar(&opts.tamperedOnly, "tampered-only", false, "with -v, print only tampered connections")
 	flag.IntVar(&opts.workers, "workers", 0, "classifier parallelism (0 = all cores)")
+	flag.IntVar(&opts.shards, "shards", 0, "independent scan shards over an indexed capture (0 = auto, 1 = single scanner)")
 	flag.StringVar(&opts.metricsAddr, "metrics-addr", "", "serve /metrics, /healthz, /debug/pprof on this host:port for the scan's duration")
 	flag.DurationVar(&opts.progress, "progress", 0, "print a one-line pipeline snapshot to stderr on this interval (e.g. 2s; 0 = off)")
 	flag.StringVar(&opts.classifier, "classifier", "dfa", "signature matcher: dfa (compiled automaton) or legacy (multi-pass oracle)")
@@ -118,7 +132,7 @@ func main() {
 	flag.DurationVar(&opts.pushInterval, "push-interval", 0, "push a delta snapshot on this interval (0 = one snapshot at scan end)")
 	flag.StringVar(&opts.pushSpill, "push-spill", "", "spill undeliverable push frames to this directory and resume them next run")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, `usage: tamperscan [-v] [-tampered-only] [-workers N] [-classifier dfa|legacy] [-seq-decode] [-metrics-addr host:port] [-progress interval]
+		fmt.Fprintf(os.Stderr, `usage: tamperscan [-v] [-tampered-only] [-workers N] [-shards N] [-classifier dfa|legacy] [-seq-decode] [-metrics-addr host:port] [-progress interval]
                   [-push URL [-pop name] [-push-interval D] [-push-spill dir]] capture.{tdcap,pcap}
 
 exit status:
@@ -290,7 +304,10 @@ func run(path string, opts options) error {
 	if err != nil {
 		return err
 	}
-	src, tdcap, cleanup, err := openSource(path)
+	if opts.shards < 0 {
+		return fmt.Errorf("-shards %d: want >= 0", opts.shards)
+	}
+	src, tdcap, file, cleanup, err := openSource(path)
 	if err != nil {
 		return err
 	}
@@ -334,60 +351,111 @@ func run(path string, opts options) error {
 		defer rep.Stop()
 	}
 
-	// The report aggregates per worker through the Observe hook (no geo
-	// plan: a scan keys nothing by country). The sink only exists for
-	// -v; ordered delivery keeps its listing deterministic across
-	// worker counts.
-	sharded := analysis.NewSharded(nil, w, newReport)
-	var sink pipeline.Sink
-	if opts.verbose {
-		sink = verbosePrinter(opts.tamperedOnly)
-	}
-	observe := sharded.Observe
-	var fp *fleetPush
-	if opts.pushURL != "" {
-		fp, err = newFleetPush(opts, &m)
-		if err != nil {
-			return err
-		}
-		observe = func(worker int, it pipeline.Item) {
-			sharded.Observe(worker, it)
-			fp.observe(it)
-		}
-	}
-	coreCfg := core.DefaultConfig()
-	coreCfg.Matcher = matcher
-	cfg := pipeline.Config{
-		Workers: w, Ordered: true, Observe: observe,
-		Metrics: &m, Telemetry: tel,
-		Classifier:       core.NewClassifier(coreCfg),
-		SequentialDecode: opts.seqDecode,
-	}
 	// SIGINT/SIGTERM cancel the pipeline's context: the workers drain,
 	// the merged partial report still prints, and the push queue still
 	// flushes (against its own deadline) before exit.
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	// TDCAP input goes through Stream so the parallel scanner decodes
-	// in the worker pool; pcap input keeps its incremental sampler
-	// source, whose decode cost lives in the sampler anyway.
-	var runErr error
-	if tdcap != nil {
-		_, runErr = pipeline.Stream(ctx, tdcap, cfg, sink)
-	} else {
-		_, runErr = pipeline.Run(ctx, src, cfg, sink)
+	coreCfg := core.DefaultConfig()
+	coreCfg.Matcher = matcher
+
+	// scanOnce runs one full classify-aggregate-push cycle over one
+	// work placement: sharded over an indexed capture's segments,
+	// single-scanner TDCAP, or a pcap source. Aggregators are created
+	// fresh per call so a discarded sharded attempt cannot leak into
+	// the fallback rescan's report. The report aggregates per worker
+	// through the Observe hook (no geo plan: a scan keys nothing by
+	// country); the sink only exists for -v, and ordered delivery
+	// keeps its listing deterministic across worker and shard counts.
+	scanOnce := func(seg *capture.SegmentedSource) (*report, error, error) {
+		nworkers := w
+		if seg != nil {
+			// Sharded runs use one worker per shard at minimum; size the
+			// per-worker observer shards to the resolved total.
+			nworkers = pipeline.ShardWorkers(w, seg.Segments())
+		}
+		sharded := analysis.NewSharded(nil, nworkers, newReport)
+		var sink pipeline.Sink
+		if opts.verbose {
+			sink = verbosePrinter(opts.tamperedOnly)
+		}
+		observe := sharded.Observe
+		var fp *fleetPush
+		if opts.pushURL != "" {
+			var err error
+			fp, err = newFleetPush(opts, &m)
+			if err != nil {
+				return nil, nil, err
+			}
+			observe = func(worker int, it pipeline.Item) {
+				sharded.Observe(worker, it)
+				fp.observe(it)
+			}
+		}
+		cfg := pipeline.Config{
+			Workers: w, Ordered: true, Observe: observe,
+			Metrics: &m, Telemetry: tel,
+			Classifier:       core.NewClassifier(coreCfg),
+			SequentialDecode: opts.seqDecode,
+		}
+		var runErr error
+		switch {
+		case seg != nil:
+			_, runErr = pipeline.ShardedScan(ctx, seg, cfg, sink)
+		case tdcap != nil:
+			// TDCAP input goes through Stream so the parallel scanner
+			// decodes in the worker pool; pcap input keeps its
+			// incremental sampler source, whose decode cost lives in
+			// the sampler anyway.
+			_, runErr = pipeline.Stream(ctx, tdcap, cfg, sink)
+		default:
+			_, runErr = pipeline.Run(ctx, src, cfg, sink)
+		}
+		merged, err := sharded.Merged()
+		if err != nil {
+			return nil, nil, err
+		}
+		rep := merged.(*report)
+		// A sharded attempt that errors for any reason other than
+		// cancellation is discarded and rerun single-threaded (see the
+		// caller), so its partial epoch must not be pushed.
+		willRescan := seg != nil && runErr != nil && ctx.Err() == nil
+		if fp != nil && !willRescan {
+			if err := fp.finish(); err != nil {
+				fmt.Fprintf(os.Stderr, "tamperscan: warning: %v\n", err)
+			}
+		}
+		return rep, runErr, nil
 	}
-	stop()
-	merged, err := sharded.Merged()
-	if err != nil {
+
+	var rep *report
+	var runErr error
+	if seg := segmentedSource(tdcap != nil, file, path, opts.shards, w); seg != nil {
+		rep, runErr, err = scanOnce(seg)
+		if err != nil {
+			return err
+		}
+		if runErr != nil && ctx.Err() == nil {
+			// Any scan error under a sharded placement is treated as index
+			// distrust: a seam that passes the boundary re-validation can
+			// still land mid-record and surface as a generic decode error,
+			// so ErrBadIndex alone is not a reliable signal. The whole
+			// capture is rescanned single-threaded from the start (the
+			// sharded attempt read via ReadAt only, so the streaming
+			// reader is still at offset zero); if the input itself is
+			// damaged, the rescan reproduces the error over the true
+			// record stream and the partial-report path below applies.
+			// Cancellation is the one exception: the user asked to stop.
+			fmt.Fprintf(os.Stderr, "tamperscan: warning: %v — discarding sharded results, rescanning single-threaded\n", runErr)
+			rep, runErr, err = scanOnce(nil)
+			if err != nil {
+				return err
+			}
+		}
+	} else if rep, runErr, err = scanOnce(nil); err != nil {
 		return err
 	}
-	rep := merged.(*report)
-	if fp != nil {
-		if err := fp.finish(); err != nil {
-			fmt.Fprintf(os.Stderr, "tamperscan: warning: %v\n", err)
-		}
-	}
+	stop()
 	if runErr != nil {
 		if rep.total == 0 {
 			return runErr
@@ -407,35 +475,92 @@ func run(path string, opts options) error {
 // openSource auto-detects TDCAP vs pcap input; "-" reads a stream
 // (either format) from stdin. TDCAP input comes back as the raw
 // reader (second return) so run can use the parallel scan pipeline;
-// pcap comes back as a connection source (first return).
-func openSource(path string) (pipeline.Source, io.Reader, func(), error) {
+// pcap comes back as a connection source (first return). When the
+// input is a regular TDCAP file, the open *os.File also comes back
+// (third return) so the sharded path can read segments via ReadAt —
+// which never moves the file offset, so the streaming reader stays
+// usable for the fallback path.
+func openSource(path string) (pipeline.Source, io.Reader, *os.File, func(), error) {
 	var r io.Reader
+	var file *os.File
 	cleanup := func() {}
 	if path == "-" {
 		r = os.Stdin
 	} else {
 		f, err := os.Open(path)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
 		cleanup = func() { f.Close() }
+		if fi, err := f.Stat(); err == nil && fi.Mode().IsRegular() {
+			file = f
+		}
 		r = f
 	}
 	br := bufio.NewReader(r)
 	magic, err := br.Peek(8)
 	if err != nil {
 		cleanup()
-		return nil, nil, nil, fmt.Errorf("reading %s: %w", path, err)
+		return nil, nil, nil, nil, fmt.Errorf("reading %s: %w", path, err)
 	}
 	if string(magic[:5]) == "TDCAP" {
-		return nil, br, cleanup, nil
+		return nil, br, file, cleanup, nil
 	}
 	src, err := newPcapSource(br)
 	if err != nil {
 		cleanup()
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
-	return src, nil, cleanup, nil
+	return src, nil, nil, cleanup, nil
+}
+
+// segmentedSource decides whether this scan can shard: TDCAP input, a
+// seekable file, a loadable index, and -shards != 1. Every reason it
+// cannot is at worst a stderr warning — the single-scanner path is
+// always available and always correct — but an index that exists and
+// cannot be trusted is reported unconditionally, while the mundane
+// "no index" case only warns when -shards > 1 asked for sharding
+// explicitly.
+func segmentedSource(isTDCAP bool, f *os.File, path string, shards, workers int) *capture.SegmentedSource {
+	if !isTDCAP || shards == 1 {
+		return nil
+	}
+	explicit := shards > 1
+	quiet := func(format string, args ...any) {
+		if explicit {
+			fmt.Fprintf(os.Stderr, "tamperscan: warning: "+format+"\n", args...)
+		}
+	}
+	warn := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "tamperscan: warning: "+format+"\n", args...)
+	}
+	if f == nil {
+		quiet("sharded ingest needs a seekable capture file; scanning single-threaded")
+		return nil
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		quiet("stat %s: %v; scanning single-threaded", path, err)
+		return nil
+	}
+	idx, err := capture.FindIndex(f, fi.Size(), path)
+	if err != nil {
+		if errors.Is(err, capture.ErrNoIndex) {
+			quiet("%s has no segment index (build one with tdcapindex); scanning single-threaded", path)
+		} else {
+			warn("%v; scanning single-threaded", err)
+		}
+		return nil
+	}
+	if shards == 0 {
+		shards = workers
+	}
+	seg, err := capture.NewSegmentedSource(f, fi.Size(), idx, shards)
+	if err != nil {
+		warn("%v; scanning single-threaded", err)
+		return nil
+	}
+	return seg
 }
 
 // pcapSource runs raw packets through the paper's sampling pipeline as

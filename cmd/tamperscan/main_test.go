@@ -34,7 +34,7 @@ func sampleConns() []*tamperdetect.Connection {
 // format drains the same way.
 func drainSource(t *testing.T, path string) []*tamperdetect.Connection {
 	t.Helper()
-	src, tdcap, cleanup, err := openSource(path)
+	src, tdcap, _, cleanup, err := openSource(path)
 	if err != nil {
 		t.Fatalf("openSource: %v", err)
 	}
@@ -111,14 +111,14 @@ func TestLoadCapturePcap(t *testing.T) {
 }
 
 func TestOpenSourceErrors(t *testing.T) {
-	if _, _, _, err := openSource("/nonexistent"); err == nil {
+	if _, _, _, _, err := openSource("/nonexistent"); err == nil {
 		t.Error("missing file accepted")
 	}
 	path := filepath.Join(t.TempDir(), "junk")
 	if err := os.WriteFile(path, []byte("neither format at all"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, _, err := openSource(path); err == nil {
+	if _, _, _, _, err := openSource(path); err == nil {
 		t.Error("junk file accepted")
 	}
 }

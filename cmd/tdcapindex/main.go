@@ -1,0 +1,110 @@
+// Command tdcapindex builds a segment-index sidecar for a legacy TDCAP
+// capture, making it shard-scannable by tamperscan without rewriting
+// the capture itself. It scans the whole file once, recording every
+// Nth record boundary, and writes the checksummed index to a .tdx file
+// next to the capture (see internal/capture's index format).
+//
+// Usage:
+//
+//	tdcapindex [-interval N] [-o out.tdx] capture.tdcap
+//
+// -interval sets the index granularity in records (default 1024). The
+// sidecar records the capture's exact byte size, so a capture that is
+// appended to or rewritten after indexing is detected as stale at load
+// time and scanned single-threaded; rerun tdcapindex to refresh it.
+//
+// Captures whose trailing footer already carries an index do not need
+// a sidecar; tdcapindex still works on them (the footer is skipped at
+// its record boundary like any stream consumer would) but says so.
+//
+// Exit status: 0 on success, 1 on failure (unreadable, corrupt, or
+// empty capture — an index over zero records has no segments to hand
+// to shards, so refusing beats writing a useless sidecar), 2 on usage
+// errors.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"tamperdetect/internal/capture"
+)
+
+func main() {
+	interval := flag.Int("interval", capture.DefaultIndexInterval, "records per index point")
+	out := flag.String("o", "", "output sidecar path (default: <capture>.tdx)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, `usage: tdcapindex [-interval N] [-o out.tdx] capture.tdcap
+
+Builds a .tdx segment-index sidecar so tamperscan can shard the scan
+across independent readers. The capture file itself is not modified.
+`)
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *out, *interval); err != nil {
+		fmt.Fprintln(os.Stderr, "tdcapindex:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, out string, interval int) error {
+	if interval < 1 {
+		return fmt.Errorf("-interval %d: want >= 1", interval)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if !fi.Mode().IsRegular() {
+		return fmt.Errorf("%s is not a regular file; a sidecar index needs a stable capture size", path)
+	}
+	idx, err := capture.BuildIndex(bufio.NewReaderSize(f, 1<<20), interval)
+	if err != nil {
+		return fmt.Errorf("scanning %s: %w", path, err)
+	}
+	if idx.Records == 0 {
+		return fmt.Errorf("%s holds no records; nothing to index", path)
+	}
+	// Stat again after the full scan: a capture that changed size while
+	// being indexed would get a sidecar that is stale on arrival.
+	after, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if after.Size() != fi.Size() {
+		return fmt.Errorf("%s changed size during indexing (%d -> %d bytes); is it still being written?",
+			path, fi.Size(), after.Size())
+	}
+	idx.FileSize = fi.Size()
+	if out == "" {
+		out = capture.SidecarPath(path)
+	}
+	if err := os.WriteFile(out, capture.EncodeSidecar(idx), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("indexed %s: %d records, %d index points (interval %d), wrote %s\n",
+		path, idx.Records, len(idx.Offsets), idx.Interval, out)
+	if hasFooter(f, fi.Size()) {
+		fmt.Printf("note: %s already carries an index footer; tamperscan prefers the footer over the sidecar\n", path)
+	}
+	return nil
+}
+
+// hasFooter reports whether the capture already ends in an index
+// footer (written by an indexing trafficgen).
+func hasFooter(f *os.File, size int64) bool {
+	_, err := capture.ReadFooterIndex(f, size)
+	return err == nil
+}

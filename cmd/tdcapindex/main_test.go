@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tamperdetect"
+	"tamperdetect/internal/capture"
+	"tamperdetect/internal/packet"
+)
+
+func sampleConns(n int) []*tamperdetect.Connection {
+	out := make([]*tamperdetect.Connection, n)
+	for i := range out {
+		out[i] = &tamperdetect.Connection{
+			SrcIP: netip.AddrFrom4([4]byte{20, 0, byte(i >> 8), byte(i)}), DstIP: netip.MustParseAddr("192.0.2.80"),
+			SrcPort: uint16(40000 + i), DstPort: 443, IPVersion: 4,
+			TotalPackets: 1, LastActivity: 1, CloseTime: 30,
+			Packets: []tamperdetect.PacketRecord{
+				{Timestamp: 0, Flags: packet.FlagsSYN, Seq: 100, TTL: 54, IPID: 1, HasOptions: true},
+			},
+		}
+	}
+	return out
+}
+
+func TestBuildsSidecar(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.tdcap")
+	conns := sampleConns(37)
+	if err := tamperdetect.WriteCaptureFile(path, conns); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "", 8); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// The sidecar must load through FindIndex against the capture and
+	// describe exactly its records, segmentable end to end.
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := capture.FindIndex(f, fi.Size(), path)
+	if err != nil {
+		t.Fatalf("FindIndex: %v", err)
+	}
+	if idx.Records != len(conns) || idx.Interval != 8 || idx.FileSize != fi.Size() {
+		t.Fatalf("index %+v, want %d records at interval 8, file size %d", idx, len(conns), fi.Size())
+	}
+	if _, err := capture.NewSegmentedSource(f, fi.Size(), idx, 4); err != nil {
+		t.Fatalf("NewSegmentedSource over sidecar index: %v", err)
+	}
+
+	// Appending to the capture must make the sidecar stale, not wrong.
+	if err := os.WriteFile(path, append(mustRead(t, path), 0xC0), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	fi2, err := f2.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := capture.FindIndex(f2, fi2.Size(), path); err == nil {
+		t.Fatal("stale sidecar accepted after the capture grew")
+	}
+}
+
+func TestRejectsBadInput(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.tdcap")
+	if err := tamperdetect.WriteCaptureFile(empty, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(empty, "", 8); err == nil {
+		t.Error("empty capture indexed")
+	}
+	if _, err := os.Stat(capture.SidecarPath(empty)); !os.IsNotExist(err) {
+		t.Error("sidecar written for an empty capture")
+	}
+	if err := run(empty, "", 0); err == nil {
+		t.Error("interval 0 accepted")
+	}
+	junk := filepath.Join(dir, "junk.tdcap")
+	if err := os.WriteFile(junk, []byte("not a capture at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(junk, "", 8); err == nil {
+		t.Error("junk input indexed")
+	}
+	if err := run(filepath.Join(dir, "missing.tdcap"), "", 8); err == nil {
+		t.Error("missing input indexed")
+	}
+}
+
+func TestCustomOutputPath(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.tdcap")
+	if err := tamperdetect.WriteCaptureFile(path, sampleConns(5)); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "elsewhere.tdx")
+	if err := run(path, out, 2); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := capture.DecodeSidecar(data)
+	if err != nil {
+		t.Fatalf("DecodeSidecar: %v", err)
+	}
+	if idx.Records != 5 {
+		t.Errorf("index %+v, want 5 records", idx)
+	}
+}
+
+func mustRead(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.Clone(data)
+}

@@ -6,9 +6,14 @@
 // Usage:
 //
 //	trafficgen [-scenario global|iran2022] [-total N] [-hours H]
-//	           [-seed S] [-workers W] [-impair grade]
+//	           [-seed S] [-workers W] [-impair grade] [-index N]
 //	           [-config scenario.json] [-metrics-addr host:port]
 //	           -o out.tdcap
+//
+// -index appends a segment index footer recording every Nth record
+// boundary (default 1024), which lets tamperscan shard the scan across
+// independent readers; -index 0 writes a legacy unindexed capture
+// (cmd/tdcapindex can build a sidecar index for those later).
 //
 // With -config, the scenario (countries, censor styles, coverage, and
 // temporal knobs) is loaded from a JSON file; see
@@ -63,6 +68,7 @@ func main() {
 	workers := flag.Int("workers", 0, "simulation parallelism (0 = all cores)")
 	impair := flag.String("impair", "", "link-impairment grade (clean|lossy|hostile)")
 	out := flag.String("o", "capture.tdcap", "output capture path")
+	index := flag.Int("index", capture.DefaultIndexInterval, "segment index granularity in records (0 = no index footer)")
 	verify := flag.Bool("verify", false, "re-scan the written capture and confirm every record is structurally valid")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address for the run")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
@@ -83,7 +89,7 @@ func main() {
 	}
 	ctx, stopSig := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stopSig()
-	runErr := run(ctx, *scenario, *config, *total, *hours, *seed, *workers, *impair, *out, *metricsAddr, *verify)
+	runErr := run(ctx, *scenario, *config, *total, *hours, *seed, *workers, *impair, *out, *metricsAddr, *verify, *index)
 	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, "trafficgen:", err)
 	}
@@ -93,7 +99,10 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, scenario, config string, total, hours int, seed uint64, workers int, impair, out, metricsAddr string, verify bool) error {
+func run(ctx context.Context, scenario, config string, total, hours int, seed uint64, workers int, impair, out, metricsAddr string, verify bool, index int) error {
+	if index < 0 {
+		return fmt.Errorf("-index %d: want >= 0", index)
+	}
 	var s *workload.Scenario
 	var err error
 	switch {
@@ -141,6 +150,12 @@ func run(ctx context.Context, scenario, config string, total, hours int, seed ui
 		return err
 	}
 	w := capture.NewWriter(f)
+	if index > 0 {
+		if err := w.EnableIndex(index); err != nil {
+			f.Close()
+			return err
+		}
+	}
 	written := 0
 	interrupted := false
 loop:

@@ -8,11 +8,12 @@ import (
 	"testing"
 
 	"tamperdetect"
+	"tamperdetect/internal/capture"
 )
 
 func TestRunGlobal(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "g.tdcap")
-	if err := run(context.Background(), "global", "", 500, 6, 3, 2, "", out, "", true); err != nil {
+	if err := run(context.Background(), "global", "", 500, 6, 3, 2, "", out, "", true, 64); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	conns, err := tamperdetect.ReadCaptureFile(out)
@@ -22,11 +23,29 @@ func TestRunGlobal(t *testing.T) {
 	if len(conns) < 450 {
 		t.Errorf("capture has %d connections", len(conns))
 	}
+	// The default run writes an index footer that describes exactly the
+	// records in the file.
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := capture.FindIndex(f, fi.Size(), out)
+	if err != nil {
+		t.Fatalf("FindIndex on trafficgen output: %v", err)
+	}
+	if idx.Records != len(conns) || idx.Interval != 64 {
+		t.Errorf("index %+v, want %d records at interval 64", idx, len(conns))
+	}
 }
 
 func TestRunIran(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "i.tdcap")
-	if err := run(context.Background(), "iran2022", "", 400, 0, 3, 2, "lossy", out, "", true); err != nil {
+	if err := run(context.Background(), "iran2022", "", 400, 0, 3, 2, "lossy", out, "", true, 0); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
@@ -37,16 +56,16 @@ func TestRunConfig(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := filepath.Join(t.TempDir(), "c.tdcap")
-	if err := run(context.Background(), "", cfg, 0, 0, 0, 2, "", out, "", false); err != nil {
+	if err := run(context.Background(), "", cfg, 0, 0, 0, 2, "", out, "", false, capture.DefaultIndexInterval); err != nil {
 		t.Fatalf("run(config): %v", err)
 	}
 }
 
 func TestRunUnknownScenario(t *testing.T) {
-	if err := run(context.Background(), "nope", "", 10, 1, 1, 1, "", filepath.Join(t.TempDir(), "x"), "", false); err == nil {
+	if err := run(context.Background(), "nope", "", 10, 1, 1, 1, "", filepath.Join(t.TempDir(), "x"), "", false, 0); err == nil {
 		t.Error("unknown scenario accepted")
 	}
-	if err := run(context.Background(), "global", "", 10, 1, 1, 1, "nope", filepath.Join(t.TempDir(), "x"), "", false); err == nil {
+	if err := run(context.Background(), "global", "", 10, 1, 1, 1, "nope", filepath.Join(t.TempDir(), "x"), "", false, 0); err == nil {
 		t.Error("unknown impairment grade accepted")
 	}
 }
@@ -56,7 +75,7 @@ func TestRunUnknownScenario(t *testing.T) {
 // impaired run must count fault events, and shutdown must not wedge.
 func TestRunWithMetricsServer(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "m.tdcap")
-	if err := run(context.Background(), "global", "", 300, 6, 3, 2, "lossy", out, "127.0.0.1:0", false); err != nil {
+	if err := run(context.Background(), "global", "", 300, 6, 3, 2, "lossy", out, "127.0.0.1:0", false, 0); err != nil {
 		t.Fatalf("run with metrics server: %v", err)
 	}
 	if _, err := tamperdetect.ReadCaptureFile(out); err != nil {
@@ -71,7 +90,7 @@ func TestRunInterrupted(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	out := filepath.Join(t.TempDir(), "p.tdcap")
-	err := run(ctx, "global", "", 500, 6, 3, 2, "", out, "", false)
+	err := run(ctx, "global", "", 500, 6, 3, 2, "", out, "", false, 64)
 	if err == nil {
 		t.Fatal("interrupted run reported success")
 	}

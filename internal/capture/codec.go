@@ -59,20 +59,47 @@ const (
 	maxRetainedWriteBuf = 1 << 16
 )
 
-// Writer streams connection records to an io.Writer.
+// Writer streams connection records to an io.Writer. With EnableIndex
+// it also tracks record-boundary offsets and appends a segment-index
+// footer on Flush, making the capture shard-scannable (see index.go).
 type Writer struct {
 	w       *bufio.Writer
 	began   bool
 	scratch []byte // reusable encode buffer
+
+	interval  int // records per index point; 0 = no index
+	off       int64
+	records   int
+	offsets   []int64
+	finalized bool // index footer written; no further records
 }
 
 // NewWriter wraps w.
 func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
 
+// EnableIndex makes the writer record a boundary offset every interval
+// records and append the index footer when Flush is called. It must be
+// called before the first record, and a flushed indexed capture is
+// final: further Writes fail rather than silently invalidating the
+// footer (readers locate it from the end of the file).
+func (w *Writer) EnableIndex(interval int) error {
+	if w.began {
+		return fmt.Errorf("capture: EnableIndex after first record")
+	}
+	if interval < 1 {
+		return fmt.Errorf("capture: index interval %d, want >= 1", interval)
+	}
+	w.interval = interval
+	return nil
+}
+
 // Write appends one connection record. Records that exceed the codec's
 // wire limits (packet count, captured payload length) are rejected
 // rather than silently truncated: such a record would not round-trip.
 func (w *Writer) Write(c *Connection) error {
+	if w.finalized {
+		return fmt.Errorf("capture: write after index footer")
+	}
 	if len(c.Packets) > maxPacketsPerRecord {
 		return fmt.Errorf("capture: record has %d packets, max %d", len(c.Packets), maxPacketsPerRecord)
 	}
@@ -87,6 +114,10 @@ func (w *Writer) Write(c *Connection) error {
 			return err
 		}
 		w.began = true
+		w.off = 8
+	}
+	if w.interval > 0 && w.records%w.interval == 0 {
+		w.offsets = append(w.offsets, w.off)
 	}
 	buf := w.scratch[:0]
 	if buf == nil {
@@ -124,18 +155,37 @@ func (w *Writer) Write(c *Connection) error {
 	} else {
 		w.scratch = nil
 	}
-	_, err := w.w.Write(buf)
-	return err
+	if _, err := w.w.Write(buf); err != nil {
+		return err
+	}
+	w.records++
+	w.off += int64(len(buf))
+	return nil
 }
 
 // Flush commits buffered data. Call it before closing the underlying
-// writer. An empty capture still gets a valid header.
+// writer. An empty capture still gets a valid header. When indexing is
+// enabled the first Flush finalizes the capture by appending the index
+// footer; the capture accepts no further records after that.
 func (w *Writer) Flush() error {
 	if !w.began {
 		if _, err := w.w.Write(captureMagic[:]); err != nil {
 			return err
 		}
 		w.began = true
+		w.off = 8
+	}
+	if w.interval > 0 && !w.finalized {
+		idx := &Index{
+			Interval: w.interval,
+			Records:  w.records,
+			DataSize: w.off,
+			Offsets:  w.offsets,
+		}
+		if _, err := w.w.Write(appendFooter(nil, idx)); err != nil {
+			return err
+		}
+		w.finalized = true
 	}
 	return w.w.Flush()
 }
@@ -253,8 +303,33 @@ func (r *Reader) readHeader(c *Connection) (int, error) {
 	if err != nil {
 		return 0, err // io.EOF at a record boundary is clean EOF
 	}
-	if marker != connMarker {
-		return 0, ErrCorrupt
+	// Index footers and repeated file magics at a record boundary are
+	// structural, not records: skip and read the next marker, exactly
+	// as Scanner does, so indexed and concatenated captures decode
+	// identically through both front ends.
+	for marker != connMarker {
+		switch marker {
+		case idxMarker:
+			if err := r.skipFooter(); err != nil {
+				return 0, err
+			}
+		case captureMagic[0]:
+			rest := r.tmp[:7]
+			if _, err := io.ReadFull(r.r, rest); err != nil {
+				return 0, corrupt(err)
+			}
+			for i, b := range rest {
+				if b != captureMagic[i+1] {
+					return 0, ErrCorrupt
+				}
+			}
+		default:
+			return 0, ErrCorrupt
+		}
+		marker, err = r.r.ReadByte()
+		if err != nil {
+			return 0, err // clean EOF right after a footer or magic
+		}
 	}
 	hdr, err := r.r.ReadByte()
 	if err != nil {
@@ -285,6 +360,32 @@ func (r *Reader) readHeader(c *Connection) (int, error) {
 		return 0, ErrCorrupt
 	}
 	return n, nil
+}
+
+// skipFooter consumes one index footer whose marker byte has already
+// been read: payloadLen(8) payload payloadLen(8) magic(8). Mirrors
+// Scanner.skipFooter byte for byte, including the error class of every
+// failure, to preserve Reader/Scanner parity.
+func (r *Reader) skipFooter() error {
+	ln := r.tmp[:8]
+	if _, err := io.ReadFull(r.r, ln); err != nil {
+		return corrupt(err)
+	}
+	plen := binary.BigEndian.Uint64(ln)
+	if plen > maxIndexPayload {
+		return ErrCorrupt
+	}
+	if _, err := io.CopyN(io.Discard, r.r, int64(plen)); err != nil {
+		return corrupt(err)
+	}
+	tail := r.tmp[:footerTailLen]
+	if _, err := io.ReadFull(r.r, tail); err != nil {
+		return corrupt(err)
+	}
+	if binary.BigEndian.Uint64(tail[:8]) != plen || [8]byte(tail[8:]) != idxFooterMagic {
+		return ErrCorrupt
+	}
+	return nil
 }
 
 // readPacket decodes one packet record into p. payload allocates (or

@@ -1,0 +1,411 @@
+package capture
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"tamperdetect/internal/wire"
+)
+
+// The segment index makes a TDCAP file shard-scannable: it records the
+// byte offset of every Interval-th record so independent scanners can
+// each take a byte range that is guaranteed to start and end on record
+// boundaries. Two carriers exist for the same payload:
+//
+//   - an in-file footer, appended by an indexing Writer after the last
+//     record:
+//
+//	footer := idxMarker(1=0xC1) payloadLen(8) payload
+//	          payloadLen(8) idxFooterMagic(8)
+//
+//     The leading marker+length lets a streaming Reader/Scanner skip
+//     the footer when it meets one at a record boundary; the trailing
+//     length+magic lets ReadFooterIndex locate the payload from the
+//     end of the file without scanning. Payload lengths are big-endian.
+//
+//   - a sidecar file (capture path + ".tdx", see SidecarPath), written
+//     by cmd/tdcapindex for legacy captures that cannot be rewritten:
+//
+//	sidecar := idxSidecarMagic(8) payload
+//
+// The payload itself is versioned, varint-packed with internal/wire,
+// strictly bounds-checked on decode, and closed by a CRC-32 so that a
+// truncated or bit-flipped index is detected deterministically at load
+// time — consumers then fall back to the plain single-scanner path
+// rather than risk misdecoding:
+//
+//	payload := version(uvarint=1) interval records dataSize fileSize
+//	           nOffsets delta-encoded offsets... crc32(4, LE)
+//
+// Offsets are strictly increasing absolute file offsets delta-encoded
+// as uvarints; the first is always 8 (the record area starts right
+// after the file magic). dataSize is the offset one past the last
+// record — the footer, when present, starts exactly there. fileSize is
+// the total size of the capture file at indexing time for sidecars
+// (staleness check), or 0 for footer-resident indexes, whose location
+// at the very end of the file is its own staleness proof.
+
+const (
+	indexVersion = 1
+
+	// idxMarker opens an index footer where a record marker (0xC0)
+	// would otherwise appear, so streaming consumers can skip it.
+	idxMarker = 0xC1
+
+	// maxIndexPayload bounds the encoded index; a length prefix beyond
+	// it is corrupt, never a reason to allocate or skip gigabytes.
+	maxIndexPayload = 64 << 20
+
+	// maxIndexOffsets bounds the offset count (16M index points covers
+	// any plausible capture at any interval).
+	maxIndexOffsets = 1 << 24
+
+	// DefaultIndexInterval is the records-per-index-point granularity
+	// writers use unless told otherwise. At ~100 bytes per record one
+	// point per 1024 records costs ~2 payload bytes per 100 KiB of
+	// capture and still splits a 60k-record file into 58 seams.
+	DefaultIndexInterval = 1024
+)
+
+var (
+	idxFooterMagic  = [8]byte{'T', 'D', 'X', 'F', 'T', 'R', '0', '1'}
+	idxSidecarMagic = [8]byte{'T', 'D', 'X', 'S', 'D', 'C', '0', '1'}
+)
+
+// Index errors. Consumers treat every one of them the same way — use
+// a single scanner instead — so a damaged index can degrade throughput
+// but never correctness.
+var (
+	// ErrNoIndex reports that the capture has no footer and no sidecar.
+	ErrNoIndex = errors.New("capture: no segment index")
+	// ErrBadIndex reports an index that is structurally invalid,
+	// truncated, or fails its checksum.
+	ErrBadIndex = errors.New("capture: bad segment index")
+	// ErrStaleIndex reports an index that is well-formed but describes
+	// a different file state (the capture grew or shrank since
+	// indexing).
+	ErrStaleIndex = errors.New("capture: stale segment index")
+)
+
+// Index records where every Interval-th record of a capture starts.
+type Index struct {
+	Interval int     // records per index point, >= 1
+	Records  int     // total records in the capture
+	DataSize int64   // offset one past the last record (footer starts here)
+	FileSize int64   // capture size at indexing time (sidecar), 0 for footer
+	Offsets  []int64 // Offsets[k] = start of record k*Interval; Offsets[0] == 8
+}
+
+// Segment is one shard's slice of a capture: the byte range
+// [Start, End), known to begin and end on record boundaries per the
+// index, and the records it holds.
+type Segment struct {
+	Start, End  int64
+	FirstRecord int
+	Records     int
+}
+
+// Segments splits the index into at most shards contiguous segments of
+// near-equal record count, cut only at index points so every seam is a
+// record boundary. Fewer segments come back when the index has fewer
+// points than shards; an empty capture yields none.
+func (idx *Index) Segments(shards int) []Segment {
+	if shards < 1 {
+		shards = 1
+	}
+	np := len(idx.Offsets)
+	if np == 0 {
+		return nil
+	}
+	segs := make([]Segment, 0, min(shards, np))
+	for i := 0; i < shards; i++ {
+		lo, hi := i*np/shards, (i+1)*np/shards
+		if lo == hi {
+			continue
+		}
+		seg := Segment{
+			Start:       idx.Offsets[lo],
+			End:         idx.DataSize,
+			FirstRecord: lo * idx.Interval,
+		}
+		if hi < np {
+			seg.End = idx.Offsets[hi]
+			seg.Records = (hi - lo) * idx.Interval
+		} else {
+			seg.Records = idx.Records - seg.FirstRecord
+		}
+		segs = append(segs, seg)
+	}
+	return segs
+}
+
+// validate checks the structural invariants shared by both carriers.
+func (idx *Index) validate() error {
+	if idx.Interval < 1 {
+		return fmt.Errorf("%w: interval %d", ErrBadIndex, idx.Interval)
+	}
+	if idx.Records < 0 {
+		return fmt.Errorf("%w: negative record count", ErrBadIndex)
+	}
+	want := 0
+	if idx.Records > 0 {
+		want = (idx.Records + idx.Interval - 1) / idx.Interval
+	}
+	if len(idx.Offsets) != want {
+		return fmt.Errorf("%w: %d offsets for %d records at interval %d (want %d)",
+			ErrBadIndex, len(idx.Offsets), idx.Records, idx.Interval, want)
+	}
+	if idx.DataSize < 8 {
+		return fmt.Errorf("%w: data size %d", ErrBadIndex, idx.DataSize)
+	}
+	prev := int64(7) // first offset must be 8, right past the file magic
+	for k, off := range idx.Offsets {
+		if k == 0 && off != 8 {
+			return fmt.Errorf("%w: first offset %d, want 8", ErrBadIndex, off)
+		}
+		if off <= prev || off >= idx.DataSize {
+			return fmt.Errorf("%w: offset %d out of order or range", ErrBadIndex, off)
+		}
+		prev = off
+	}
+	if idx.FileSize != 0 && idx.FileSize < idx.DataSize {
+		return fmt.Errorf("%w: file size %d below data size %d", ErrBadIndex, idx.FileSize, idx.DataSize)
+	}
+	return nil
+}
+
+// CheckFileSize verifies the index still describes a capture of the
+// given size. Sidecar indexes carry the exact size they were built
+// against; footer indexes are validated positionally by
+// ReadFooterIndex instead.
+func (idx *Index) CheckFileSize(size int64) error {
+	if idx.FileSize != 0 && idx.FileSize != size {
+		return fmt.Errorf("%w: indexed at %d bytes, file is %d", ErrStaleIndex, idx.FileSize, size)
+	}
+	if idx.DataSize > size {
+		return fmt.Errorf("%w: data size %d beyond file end %d", ErrStaleIndex, idx.DataSize, size)
+	}
+	return nil
+}
+
+// appendIndexPayload appends the versioned, checksummed payload.
+func appendIndexPayload(b []byte, idx *Index) []byte {
+	start := len(b)
+	b = wire.AppendUvarint(b, indexVersion)
+	b = wire.AppendUvarint(b, uint64(idx.Interval))
+	b = wire.AppendUvarint(b, uint64(idx.Records))
+	b = wire.AppendUvarint(b, uint64(idx.DataSize))
+	b = wire.AppendUvarint(b, uint64(idx.FileSize))
+	b = wire.AppendUvarint(b, uint64(len(idx.Offsets)))
+	prev := int64(0)
+	for _, off := range idx.Offsets {
+		b = wire.AppendUvarint(b, uint64(off-prev))
+		prev = off
+	}
+	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b[start:]))
+}
+
+// decodeIndexPayload strictly decodes and validates one payload. Any
+// damage — truncation, trailing bytes, checksum mismatch, structural
+// nonsense — comes back as ErrBadIndex.
+func decodeIndexPayload(data []byte) (*Index, error) {
+	if len(data) < 5 {
+		return nil, fmt.Errorf("%w: %d-byte payload", ErrBadIndex, len(data))
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadIndex)
+	}
+	d := wire.NewDecoder(body)
+	if v := d.Uvarint(); d.Err() == nil && v != indexVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadIndex, v)
+	}
+	idx := &Index{}
+	interval := d.Uvarint()
+	records := d.Uvarint()
+	dataSize := d.Uvarint()
+	fileSize := d.Uvarint()
+	if d.Err() == nil {
+		if interval > 1<<30 || records > uint64(maxIndexOffsets)*interval ||
+			dataSize > 1<<62 || fileSize > 1<<62 {
+			return nil, fmt.Errorf("%w: field out of range", ErrBadIndex)
+		}
+		idx.Interval = int(interval)
+		idx.Records = int(records)
+		idx.DataSize = int64(dataSize)
+		idx.FileSize = int64(fileSize)
+	}
+	n := d.Len(maxIndexOffsets, 1)
+	if d.Err() == nil && n > 0 {
+		idx.Offsets = make([]int64, n)
+		var off uint64
+		for k := range idx.Offsets {
+			off += d.Uvarint()
+			if off > 1<<62 {
+				return nil, fmt.Errorf("%w: offset overflow", ErrBadIndex)
+			}
+			idx.Offsets[k] = int64(off)
+		}
+	}
+	if err := d.Done(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadIndex, err)
+	}
+	if err := idx.validate(); err != nil {
+		return nil, err
+	}
+	return idx, nil
+}
+
+// footerTailLen is the fixed tail of a footer: payloadLen(8) magic(8).
+const footerTailLen = 16
+
+// appendFooter appends the complete in-file footer for idx.
+func appendFooter(b []byte, idx *Index) []byte {
+	payload := appendIndexPayload(nil, idx)
+	b = append(b, idxMarker)
+	b = binary.BigEndian.AppendUint64(b, uint64(len(payload)))
+	b = append(b, payload...)
+	b = binary.BigEndian.AppendUint64(b, uint64(len(payload)))
+	return append(b, idxFooterMagic[:]...)
+}
+
+// ReadFooterIndex locates and decodes the index footer of the capture
+// in ra (size bytes long). It returns ErrNoIndex when the file simply
+// does not end in a footer — appended records erase the trailing magic,
+// so a stale footer reads as absent — and ErrBadIndex/ErrStaleIndex
+// when a footer is present but damaged or displaced.
+func ReadFooterIndex(ra io.ReaderAt, size int64) (*Index, error) {
+	var tail [footerTailLen]byte
+	if size < int64(footerTailLen) {
+		return nil, ErrNoIndex
+	}
+	if _, err := ra.ReadAt(tail[:], size-footerTailLen); err != nil {
+		return nil, fmt.Errorf("%w: reading tail: %v", ErrBadIndex, err)
+	}
+	if [8]byte(tail[8:]) != idxFooterMagic {
+		return nil, ErrNoIndex
+	}
+	plen := binary.BigEndian.Uint64(tail[:8])
+	if plen > maxIndexPayload || int64(plen)+9+footerTailLen > size {
+		return nil, fmt.Errorf("%w: footer payload length %d", ErrBadIndex, plen)
+	}
+	head := make([]byte, 9+plen)
+	footerStart := size - footerTailLen - int64(plen) - 9
+	if _, err := ra.ReadAt(head, footerStart); err != nil {
+		return nil, fmt.Errorf("%w: reading footer: %v", ErrBadIndex, err)
+	}
+	if head[0] != idxMarker || binary.BigEndian.Uint64(head[1:9]) != plen {
+		return nil, fmt.Errorf("%w: footer framing mismatch", ErrBadIndex)
+	}
+	idx, err := decodeIndexPayload(head[9:])
+	if err != nil {
+		return nil, err
+	}
+	if idx.FileSize != 0 {
+		return nil, fmt.Errorf("%w: footer index carries a sidecar file size", ErrBadIndex)
+	}
+	if idx.DataSize != footerStart {
+		return nil, fmt.Errorf("%w: footer at %d, index says data ends at %d", ErrStaleIndex, footerStart, idx.DataSize)
+	}
+	return idx, nil
+}
+
+// EncodeSidecar renders idx as a standalone .tdx sidecar file.
+// idx.FileSize must be set to the capture's size so loads can detect
+// staleness.
+func EncodeSidecar(idx *Index) []byte {
+	b := append([]byte(nil), idxSidecarMagic[:]...)
+	return appendIndexPayload(b, idx)
+}
+
+// DecodeSidecar decodes a sidecar file's bytes. Pair with
+// Index.CheckFileSize against the capture it claims to describe.
+func DecodeSidecar(data []byte) (*Index, error) {
+	if len(data) < 8 || [8]byte(data[:8]) != idxSidecarMagic {
+		return nil, fmt.Errorf("%w: bad sidecar magic", ErrBadIndex)
+	}
+	if len(data)-8 > maxIndexPayload {
+		return nil, fmt.Errorf("%w: sidecar payload of %d bytes", ErrBadIndex, len(data)-8)
+	}
+	idx, err := decodeIndexPayload(data[8:])
+	if err != nil {
+		return nil, err
+	}
+	if idx.FileSize == 0 {
+		return nil, fmt.Errorf("%w: sidecar index missing file size", ErrBadIndex)
+	}
+	return idx, nil
+}
+
+// SidecarPath is where tdcapindex writes (and consumers look for) the
+// sidecar index of the capture at path.
+func SidecarPath(path string) string { return path + ".tdx" }
+
+// FindIndex looks for a segment index describing the capture in ra:
+// the in-file footer first, then — when path is non-empty — the
+// sidecar next to it. ErrNoIndex means neither exists; any other error
+// means an index exists but cannot be trusted, and the caller should
+// scan single-threaded.
+func FindIndex(ra io.ReaderAt, size int64, path string) (*Index, error) {
+	idx, err := ReadFooterIndex(ra, size)
+	if !errors.Is(err, ErrNoIndex) {
+		return idx, err
+	}
+	if path == "" {
+		return nil, ErrNoIndex
+	}
+	data, rerr := os.ReadFile(SidecarPath(path))
+	if rerr != nil {
+		if os.IsNotExist(rerr) {
+			return nil, ErrNoIndex
+		}
+		return nil, fmt.Errorf("%w: sidecar: %v", ErrBadIndex, rerr)
+	}
+	idx, err = DecodeSidecar(data)
+	if err != nil {
+		return nil, err
+	}
+	if err := idx.CheckFileSize(size); err != nil {
+		return nil, err
+	}
+	return idx, nil
+}
+
+// BuildIndex scans a whole TDCAP stream once, recording every
+// interval-th record boundary. It is the one-pass legacy path behind
+// cmd/tdcapindex; captures written by an indexing Writer get the same
+// payload for free. The resulting FileSize is left 0 — sidecar writers
+// set it to the capture's size before encoding.
+func BuildIndex(r io.Reader, interval int) (*Index, error) {
+	if interval < 1 {
+		return nil, fmt.Errorf("capture: index interval %d, want >= 1", interval)
+	}
+	sc := NewScanner(r)
+	idx := &Index{Interval: interval, DataSize: 8}
+	var buf []byte
+	for {
+		var err error
+		buf, err = sc.Next(buf[:0])
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if idx.Records%interval == 0 {
+			idx.Offsets = append(idx.Offsets, sc.RecordOffset())
+		}
+		idx.Records++
+		idx.DataSize = sc.DataEnd()
+	}
+	if idx.Records == 0 {
+		// Empty capture: DataEnd never advanced past the magic (or the
+		// stream was empty altogether).
+		idx.DataSize = max(sc.DataEnd(), 8)
+	}
+	return idx, nil
+}

@@ -1,0 +1,455 @@
+package capture
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/netip"
+	"testing"
+)
+
+// encodeIndexedConns writes conns as an indexed capture (footer
+// appended on Flush) at the given interval.
+func encodeIndexedConns(t testing.TB, conns []*Connection, interval int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.EnableIndex(interval); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range conns {
+		if err := w.Write(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// scanAllRecords runs a single Scanner over data and returns every raw
+// record concatenated plus boundaries — the canonical byte-level view
+// sharded scans are compared against.
+func scanAllRecords(data []byte) (slab []byte, offs []int, err error) {
+	sc := NewScanner(bytes.NewReader(data))
+	offs = []int{0}
+	for {
+		next, nerr := sc.Next(slab)
+		if nerr == io.EOF {
+			return slab, offs, nil
+		}
+		if nerr != nil {
+			return slab, offs, nerr
+		}
+		slab = next
+		offs = append(offs, len(slab))
+	}
+}
+
+// scanSegments drives every segment of src sequentially, returning the
+// concatenated raw records (in file order) or the first error,
+// including seam-check failures.
+func scanSegments(src *SegmentedSource) ([]byte, []int, error) {
+	var slab []byte
+	offs := []int{0}
+	for i := 0; i < src.Segments(); i++ {
+		sc := src.Scanner(i)
+		for {
+			next, err := sc.Next(slab)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return slab, offs, err
+			}
+			slab = next
+			offs = append(offs, len(slab))
+		}
+		if err := src.CheckSegment(i); err != nil {
+			return slab, offs, err
+		}
+	}
+	return slab, offs, nil
+}
+
+func indexEqual(a, b *Index) bool {
+	if a.Interval != b.Interval || a.Records != b.Records ||
+		a.DataSize != b.DataSize || a.FileSize != b.FileSize ||
+		len(a.Offsets) != len(b.Offsets) {
+		return false
+	}
+	for i := range a.Offsets {
+		if a.Offsets[i] != b.Offsets[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestWriterIndexFooter pins the whole footer path: an indexing Writer
+// produces a capture whose footer decodes to exactly the index a
+// one-pass BuildIndex scan reconstructs, and the footer is invisible
+// to both streaming front ends.
+func TestWriterIndexFooter(t *testing.T) {
+	conns := scannerConns(t)
+	plain := encodeConns(t, conns)
+	indexed := encodeIndexedConns(t, conns, 2)
+
+	if !bytes.HasPrefix(indexed, plain) {
+		t.Fatal("indexed capture does not start with the plain capture bytes")
+	}
+	idx, err := ReadFooterIndex(bytes.NewReader(indexed), int64(len(indexed)))
+	if err != nil {
+		t.Fatalf("ReadFooterIndex: %v", err)
+	}
+	if idx.Records != len(conns) || idx.Interval != 2 || idx.DataSize != int64(len(plain)) {
+		t.Fatalf("footer index %+v, want %d records interval 2 dataSize %d", idx, len(conns), len(plain))
+	}
+	built, err := BuildIndex(bytes.NewReader(plain), 2)
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	if !indexEqual(idx, built) {
+		t.Fatalf("footer %+v != built %+v", idx, built)
+	}
+	// BuildIndex over the *indexed* bytes must skip the footer and
+	// reconstruct the same index.
+	rebuilt, err := BuildIndex(bytes.NewReader(indexed), 2)
+	if err != nil {
+		t.Fatalf("BuildIndex over indexed capture: %v", err)
+	}
+	if !indexEqual(idx, rebuilt) {
+		t.Fatalf("rebuilt over indexed bytes %+v != %+v", rebuilt, idx)
+	}
+
+	// Footer invisibility: both front ends read the indexed capture
+	// identically to the plain one.
+	for _, d := range [][]byte{plain, indexed} {
+		if n, class := driveReader(d); n != len(conns) || class != "eof" {
+			t.Fatalf("reader over %d bytes: %d records, %s", len(d), n, class)
+		}
+		if n, class := driveScanner(d); n != len(conns) || class != "eof" {
+			t.Fatalf("scanner over %d bytes: %d records, %s", len(d), n, class)
+		}
+	}
+	wantSlab, _, err := scanAllRecords(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSlab, _, err := scanAllRecords(indexed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantSlab, gotSlab) {
+		t.Fatal("indexed capture scans to different record bytes")
+	}
+}
+
+// TestWriterIndexFinalizes: after the footer is written, further
+// records are refused rather than silently landing past the footer.
+func TestWriterIndexFinalizes(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.EnableIndex(4); err != nil {
+		t.Fatal(err)
+	}
+	conns := scannerConns(t)
+	if err := w.Write(conns[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(conns[0]); err == nil {
+		t.Fatal("Write after indexed Flush succeeded")
+	}
+	if err := w.EnableIndex(4); err == nil {
+		t.Fatal("EnableIndex after first record succeeded")
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("second Flush: %v", err)
+	}
+}
+
+// TestSidecarRoundTrip pins the sidecar carrier: BuildIndex + FileSize
+// + EncodeSidecar round-trips through DecodeSidecar, FindIndex locates
+// nothing for a plain capture, and CheckFileSize flags staleness.
+func TestSidecarRoundTrip(t *testing.T) {
+	plain := encodeConns(t, scannerConns(t))
+	idx, err := BuildIndex(bytes.NewReader(plain), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx.FileSize = int64(len(plain))
+	enc := EncodeSidecar(idx)
+	dec, err := DecodeSidecar(enc)
+	if err != nil {
+		t.Fatalf("DecodeSidecar: %v", err)
+	}
+	if !indexEqual(idx, dec) {
+		t.Fatalf("sidecar round trip: %+v != %+v", dec, idx)
+	}
+	if err := dec.CheckFileSize(int64(len(plain))); err != nil {
+		t.Fatalf("CheckFileSize on matching size: %v", err)
+	}
+	if err := dec.CheckFileSize(int64(len(plain)) + 40); !errors.Is(err, ErrStaleIndex) {
+		t.Fatalf("CheckFileSize on grown file: %v, want ErrStaleIndex", err)
+	}
+	if _, err := FindIndex(bytes.NewReader(plain), int64(len(plain)), ""); !errors.Is(err, ErrNoIndex) {
+		t.Fatalf("FindIndex on unindexed capture: %v, want ErrNoIndex", err)
+	}
+	// A footer index must never carry a sidecar FileSize and vice versa.
+	if _, err := DecodeSidecar(EncodeSidecar(&Index{Interval: 1, DataSize: 8})); !errors.Is(err, ErrBadIndex) {
+		t.Fatal("sidecar without FileSize accepted")
+	}
+}
+
+// TestSegmentedSourceParity: for every shard count, scanning the
+// segments back to back must reproduce the single-scanner byte stream
+// exactly, and the aggregate BytesRead must equal the record area read
+// by all shards together (the multi-source accounting fix).
+func TestSegmentedSourceParity(t *testing.T) {
+	conns := scannerConns(t)
+	for _, interval := range []int{1, 2, 3} {
+		indexed := encodeIndexedConns(t, conns, interval)
+		want, wantOffs, err := scanAllRecords(indexed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx, err := ReadFooterIndex(bytes.NewReader(indexed), int64(len(indexed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []int{1, 2, 4, 8, 64} {
+			src, err := NewSegmentedSource(bytes.NewReader(indexed), int64(len(indexed)), idx, shards)
+			if err != nil {
+				t.Fatalf("interval %d shards %d: %v", interval, shards, err)
+			}
+			got, gotOffs, err := scanSegments(src)
+			if err != nil {
+				t.Fatalf("interval %d shards %d: %v", interval, shards, err)
+			}
+			if !bytes.Equal(want, got) || len(wantOffs) != len(gotOffs) {
+				t.Fatalf("interval %d shards %d: sharded scan diverges from single scan", interval, shards)
+			}
+			if br := src.BytesRead(); br != idx.DataSize-8 {
+				t.Fatalf("interval %d shards %d: aggregate BytesRead %d, want %d",
+					interval, shards, br, idx.DataSize-8)
+			}
+		}
+	}
+}
+
+// TestSegmentedSourceRejects pins the eager validation failures that
+// trigger the single-scanner fallback: truncated file, stale sidecar,
+// wrong magic, index past EOF.
+func TestSegmentedSourceRejects(t *testing.T) {
+	indexed := encodeIndexedConns(t, scannerConns(t), 2)
+	idx, err := ReadFooterIndex(bytes.NewReader(indexed), int64(len(indexed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Index describing data beyond the file's end (file truncated
+	// after indexing, or hostile DataSize).
+	short := indexed[:idx.DataSize-4]
+	if _, err := NewSegmentedSource(bytes.NewReader(short), int64(len(short)), idx, 4); !errors.Is(err, ErrStaleIndex) {
+		t.Fatalf("truncated file: %v, want ErrStaleIndex", err)
+	}
+	// Wrong magic.
+	mut := append([]byte(nil), indexed...)
+	mut[0] ^= 0xFF
+	if _, err := NewSegmentedSource(bytes.NewReader(mut), int64(len(mut)), idx, 4); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic: %v, want ErrBadMagic", err)
+	}
+	// Structurally invalid index.
+	bad := *idx
+	bad.Interval = 0
+	if _, err := NewSegmentedSource(bytes.NewReader(indexed), int64(len(indexed)), &bad, 4); !errors.Is(err, ErrBadIndex) {
+		t.Fatalf("invalid index: %v, want ErrBadIndex", err)
+	}
+}
+
+// TestSegmentSeamValidation crafts checksum-valid indexes that lie
+// about boundaries — an offset landing mid-record, a wrong record
+// count, offsets past the data area — and requires the segment scan to
+// error rather than misparse. This is the runtime half of the "a
+// corrupt index never produces wrong output" guarantee; the eager half
+// is TestSegmentedSourceRejects.
+func TestSegmentSeamValidation(t *testing.T) {
+	indexed := encodeIndexedConns(t, scannerConns(t), 1)
+	good, err := ReadFooterIndex(bytes.NewReader(indexed), int64(len(indexed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(name string, f func(idx *Index)) {
+		idx := *good
+		idx.Offsets = append([]int64(nil), good.Offsets...)
+		f(&idx)
+		src, err := NewSegmentedSource(bytes.NewReader(indexed), int64(len(indexed)), &idx, 4)
+		if err != nil {
+			return // eager rejection is an acceptable outcome
+		}
+		slab, _, err := scanSegments(src)
+		if err == nil {
+			// A lying index that still scans cleanly must have produced
+			// the exact single-scan bytes (e.g. a no-op mutation).
+			want, _, werr := scanAllRecords(indexed)
+			if werr != nil || !bytes.Equal(want, slab) {
+				t.Errorf("%s: seam violation scanned cleanly with divergent output", name)
+			}
+			return
+		}
+		if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrBadIndex) {
+			t.Errorf("%s: error %v, want ErrCorrupt or ErrBadIndex", name, err)
+		}
+	}
+	mutate("offset mid-record", func(idx *Index) { idx.Offsets[2]++ })
+	mutate("offset early", func(idx *Index) { idx.Offsets[3] -= 2 })
+	mutate("undercounted records", func(idx *Index) {
+		idx.Records--
+		idx.Offsets = idx.Offsets[:(idx.Records+idx.Interval-1)/idx.Interval]
+	})
+	mutate("short data area", func(idx *Index) { idx.DataSize -= 3 })
+}
+
+// TestIndexHostileSweep corrupts and truncates every byte of an
+// indexed capture and requires, for each mutation: loading the index
+// either fails (callers fall back to the single scanner — always
+// safe), or the index it yields drives a segmented scan that is
+// byte-identical to the single-scanner scan of the same mutated file,
+// or that scan errors. Silent divergence is the one forbidden outcome.
+func TestIndexHostileSweep(t *testing.T) {
+	indexed := encodeIndexedConns(t, scannerConns(t), 2)
+	check := func(mut []byte) {
+		t.Helper()
+		idx, err := FindIndex(bytes.NewReader(mut), int64(len(mut)), "")
+		if err != nil {
+			return // fallback path; nothing to compare
+		}
+		src, err := NewSegmentedSource(bytes.NewReader(mut), int64(len(mut)), idx, 4)
+		if err != nil {
+			return
+		}
+		got, _, err := scanSegments(src)
+		if err != nil {
+			return // surfaced error; caller reruns single-scanner
+		}
+		want, _, werr := scanAllRecords(mut)
+		if werr != nil {
+			// Sharded succeeded where single scan failed: only legal if
+			// the failure is past all segment data (e.g. damaged footer
+			// after intact records) and the records agree.
+			if !bytes.Equal(want, got[:min(len(got), len(want))]) {
+				t.Fatalf("sharded scan diverges from single-scan good prefix")
+			}
+			return
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("silent divergence: single scan %d bytes, sharded %d bytes", len(want), len(got))
+		}
+	}
+	for cut := 0; cut <= len(indexed); cut++ {
+		check(indexed[:cut])
+	}
+	for pos := 0; pos < len(indexed); pos++ {
+		for _, v := range []byte{0x00, 0xFF, indexed[pos] ^ 0x80} {
+			if v == indexed[pos] {
+				continue
+			}
+			mut := append([]byte(nil), indexed...)
+			mut[pos] = v
+			check(mut)
+		}
+	}
+}
+
+// FuzzSegmentIndex feeds arbitrary bytes as a sidecar index for a
+// fixed valid capture: decoding must never panic, must round-trip
+// cleanly when it succeeds, and any index it accepts must drive a
+// segmented scan to byte-parity with the full-file scan or to an
+// error — never to silently different output.
+func FuzzSegmentIndex(f *testing.F) {
+	conns := []*Connection{}
+	mk := scannerConnsForFuzz()
+	conns = append(conns, mk...)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, c := range conns {
+		if err := w.Write(c); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	capData := buf.Bytes()
+
+	valid, err := BuildIndex(bytes.NewReader(capData), 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid.FileSize = int64(len(capData))
+	f.Add(EncodeSidecar(valid))
+	valid2 := *valid
+	valid2.Interval = 2
+	valid2.Offsets = nil
+	for k := 0; k < valid.Records; k += 2 {
+		valid2.Offsets = append(valid2.Offsets, valid.Offsets[k])
+	}
+	f.Add(EncodeSidecar(&valid2))
+	trunc := EncodeSidecar(valid)
+	f.Add(trunc[:len(trunc)-3])
+	f.Add([]byte("TDXSDC01"))
+	f.Add([]byte{})
+
+	want, _, werr := scanAllRecords(capData)
+	if werr != nil {
+		f.Fatal(werr)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		idx, err := DecodeSidecar(data)
+		if err != nil {
+			return
+		}
+		// Round trip: what decodes must re-encode to a decodable,
+		// equal index.
+		re, err := DecodeSidecar(EncodeSidecar(idx))
+		if err != nil || !indexEqual(idx, re) {
+			t.Fatalf("sidecar round trip broke: %v", err)
+		}
+		if err := idx.CheckFileSize(int64(len(capData))); err != nil {
+			return
+		}
+		src, err := NewSegmentedSource(bytes.NewReader(capData), int64(len(capData)), idx, 4)
+		if err != nil {
+			return
+		}
+		got, _, err := scanSegments(src)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("hostile index produced divergent scan: %d vs %d bytes", len(got), len(want))
+		}
+	})
+}
+
+// scannerConnsForFuzz mirrors scannerConns without *testing.T (fuzz
+// seeds run under *testing.F).
+func scannerConnsForFuzz() []*Connection {
+	var out []*Connection
+	for i := 0; i < 6; i++ {
+		out = append(out, &Connection{
+			SrcIP:   netip.AddrFrom4([4]byte{20, 0, 0, byte(i + 1)}),
+			DstIP:   netip.AddrFrom4([4]byte{192, 0, 2, byte(i + 1)}),
+			SrcPort: uint16(40000 + i), DstPort: 443, IPVersion: 4,
+			TotalPackets: 1, LastActivity: int64(i), CloseTime: int64(i + 30),
+			Packets: []PacketRecord{
+				{Timestamp: int64(i), Seq: uint32(i), PayloadLen: 4, Payload: []byte{1, 2, 3, 4}},
+			},
+		})
+	}
+	return out
+}

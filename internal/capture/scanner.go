@@ -31,16 +31,19 @@ import (
 // plus one copy, far below the cost of decoding, so one scanner feeds
 // many decode workers.
 type Scanner struct {
-	raw   *countingReader
-	buf   []byte // chunked read window
-	rpos  int    // parse cursor: start of the next unscanned record
-	wpos  int    // bytes of buf filled from the stream
-	start int    // start of the record being scanned (compaction anchor)
-	p     int    // cursor within the record being scanned
-	eof   bool   // underlying stream hit EOF
-	began bool   // magic consumed
-	count int
-	err   error // sticky error for Next
+	raw     *countingReader
+	buf     []byte // chunked read window
+	rpos    int    // parse cursor: start of the next unscanned record
+	wpos    int    // bytes of buf filled from the stream
+	start   int    // start of the record being scanned (compaction anchor)
+	p       int    // cursor within the record being scanned
+	abs     int64  // absolute stream offset of buf[0]
+	lastOff int64  // absolute offset of the last record returned
+	dataEnd int64  // absolute offset one past the last record returned
+	eof     bool   // underlying stream hit EOF
+	began   bool   // magic consumed
+	count   int
+	err     error // sticky error for Next
 }
 
 // scanBufSize is the scanner's initial window; it grows only when a
@@ -51,6 +54,19 @@ const scanBufSize = 64 << 10
 func NewScanner(r io.Reader) *Scanner {
 	cr := &countingReader{r: r}
 	return &Scanner{raw: cr, buf: make([]byte, scanBufSize)}
+}
+
+// newScannerAt wraps a reader positioned mid-stream at a record
+// boundary (a segment cut at an index point): no file magic is
+// expected, and base is the boundary's absolute file offset so
+// RecordOffset and DataEnd stay file-absolute. The segment front end
+// (SegmentedSource) builds one of these per shard.
+func newScannerAt(r io.Reader, base int64) *Scanner {
+	s := NewScanner(r)
+	s.began = true
+	s.abs = base
+	s.dataEnd = base
+	return s
 }
 
 // Next appends the raw bytes of the next record to dst and returns the
@@ -79,6 +95,23 @@ func (s *Scanner) Count() int { return s.count }
 // concurrently with scanning.
 func (s *Scanner) BytesRead() int64 { return s.raw.n.Load() }
 
+// RecordOffset reports the absolute stream offset at which the most
+// recently returned record starts. Meaningful only after a successful
+// Next; index builders use it to record boundary offsets.
+func (s *Scanner) RecordOffset() int64 { return s.lastOff }
+
+// DataEnd reports the absolute stream offset one past the most
+// recently returned record — the end of record data so far, excluding
+// any skipped index footer or repeated file magic. Before the first
+// record it reports the offset just past the file magic (or the
+// segment base for a mid-stream scanner).
+func (s *Scanner) DataEnd() int64 { return s.dataEnd }
+
+// Offset reports the absolute stream offset of the next unscanned
+// byte. After a clean io.EOF it is the exact end of the consumed
+// range, which segment consumers check against their segment bounds.
+func (s *Scanner) Offset() int64 { return s.abs + int64(s.rpos) }
+
 // fill makes at least need bytes available at buf[p:wpos], compacting
 // the window from the current record's start and growing it when the
 // record is larger than the window. It returns io.ErrUnexpectedEOF
@@ -88,7 +121,9 @@ func (s *Scanner) fill(need int) error {
 		if s.p+need > len(s.buf) {
 			if s.start > 0 {
 				n := copy(s.buf, s.buf[s.start:s.wpos])
+				s.abs += int64(s.start)
 				s.p -= s.start
+				s.rpos = max(s.rpos-s.start, 0)
 				s.wpos = n
 				s.start = 0
 			}
@@ -133,19 +168,44 @@ func (s *Scanner) scan() ([]byte, error) {
 		s.p += 8
 		// The magic is not part of any record; drop it from the window.
 		s.rpos, s.start = s.p, s.p
+		s.dataEnd = s.abs + int64(s.p)
 	}
-	// Marker byte. No bytes here is a clean record boundary.
-	if err := s.fill(1); err != nil {
-		if s.wpos == s.p {
-			if err == io.ErrUnexpectedEOF {
-				return nil, io.EOF
+	// Marker byte. No bytes here is a clean record boundary. An index
+	// footer (idxMarker) or a repeated file magic at a boundary is
+	// structural, not a record: skip it and look again, which makes
+	// indexed captures and concatenations of TDCAP files scan cleanly.
+	for {
+		if err := s.fill(1); err != nil {
+			if s.wpos == s.p {
+				if err == io.ErrUnexpectedEOF {
+					return nil, io.EOF
+				}
+				return nil, err // read error at a boundary, verbatim like Reader
 			}
-			return nil, err // read error at a boundary, verbatim like Reader
+			return nil, err
 		}
-		return nil, err
-	}
-	if s.buf[s.p] != connMarker {
-		return nil, ErrCorrupt
+		b := s.buf[s.p]
+		if b == connMarker {
+			break
+		}
+		switch b {
+		case idxMarker:
+			if err := s.skipFooter(); err != nil {
+				return nil, err
+			}
+		case captureMagic[0]:
+			if err := s.fill(8); err != nil {
+				return nil, corrupt(err)
+			}
+			if [8]byte(s.buf[s.p:s.p+8]) != captureMagic {
+				return nil, ErrCorrupt
+			}
+			s.p += 8
+		default:
+			return nil, ErrCorrupt
+		}
+		// Skipped bytes are not part of any record.
+		s.rpos, s.start = s.p, s.p
 	}
 	s.p++
 	if err := s.fillRec(1); err != nil {
@@ -188,8 +248,72 @@ func (s *Scanner) scan() ([]byte, error) {
 		s.p += capLen + 1
 	}
 	rec := s.buf[s.start:s.p]
+	s.lastOff = s.abs + int64(s.start)
+	s.dataEnd = s.abs + int64(s.p)
 	s.rpos = s.p
 	return rec, nil
+}
+
+// skipFooter consumes one index footer whose marker byte is at s.p:
+// marker(1) payloadLen(8) payload payloadLen(8) magic(8). The payload
+// is discarded without buffering (it can be megabytes for a huge
+// capture); the trailing length and magic are verified so a damaged
+// footer surfaces as ErrCorrupt exactly as it would through Reader.
+func (s *Scanner) skipFooter() error {
+	if err := s.fill(9); err != nil {
+		return corrupt(err)
+	}
+	plen := binary.BigEndian.Uint64(s.buf[s.p+1 : s.p+9])
+	if plen > maxIndexPayload {
+		return ErrCorrupt
+	}
+	s.p += 9
+	if err := s.discard(int64(plen)); err != nil {
+		return corrupt(err)
+	}
+	if err := s.fill(footerTailLen); err != nil {
+		return corrupt(err)
+	}
+	if binary.BigEndian.Uint64(s.buf[s.p:s.p+8]) != plen ||
+		[8]byte(s.buf[s.p+8:s.p+footerTailLen]) != idxFooterMagic {
+		return ErrCorrupt
+	}
+	s.p += footerTailLen
+	return nil
+}
+
+// discard consumes n bytes without retaining them. Only called between
+// records (skipping a footer payload), so when the window runs dry it
+// can be reset wholesale instead of grown.
+func (s *Scanner) discard(n int64) error {
+	if avail := int64(s.wpos - s.p); n <= avail {
+		s.p += int(n)
+		return nil
+	} else {
+		n -= avail
+	}
+	s.abs += int64(s.wpos)
+	s.p, s.rpos, s.start, s.wpos = 0, 0, 0, 0
+	for n > 0 && !s.eof {
+		lim := int64(len(s.buf))
+		if n < lim {
+			lim = n
+		}
+		m, err := s.raw.Read(s.buf[:lim])
+		s.abs += int64(m)
+		n -= int64(m)
+		if err == io.EOF {
+			s.eof = true
+			break
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if n > 0 {
+		return io.ErrUnexpectedEOF
+	}
+	return nil
 }
 
 // fillRec is fill for positions inside a record, where running out of

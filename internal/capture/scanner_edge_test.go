@@ -1,0 +1,166 @@
+package capture
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// Edge inputs the segment seams hit in practice: empty files,
+// zero-record captures, concatenated captures (a footer or repeated
+// file magic mid-stream), and indexes that point outside the data they
+// describe. Both streaming front ends must agree on all of them.
+
+func TestScannerEmptyInputs(t *testing.T) {
+	cases := map[string][]byte{
+		"empty file":           {},
+		"magic only":           []byte("TDCAP001"),
+		"indexed zero records": encodeIndexedConns(t, nil, 4),
+		"two empty captures":   []byte("TDCAP001TDCAP001"),
+		"empty then indexed":   append([]byte("TDCAP001"), encodeIndexedConns(t, nil, 4)...),
+	}
+	for name, data := range cases {
+		rn, rc := driveReader(data)
+		sn, sc := driveScanner(data)
+		if rn != 0 || sn != 0 || rc != "eof" || sc != "eof" {
+			t.Errorf("%s: reader (%d, %s), scanner (%d, %s), want clean EOF with 0 records",
+				name, rn, rc, sn, sc)
+		}
+	}
+}
+
+// TestConcatenatedCaptures: `cat a.tdcap b.tdcap` is a valid stream —
+// the repeated magic (and a.tdcap's footer, when indexed) is skipped
+// at the record boundary, and both front ends see all records of both
+// files in order.
+func TestConcatenatedCaptures(t *testing.T) {
+	conns := scannerConns(t)
+	a := encodeConns(t, conns[:2])
+	b := encodeConns(t, conns[2:])
+	ai := encodeIndexedConns(t, conns[:2], 1)
+	bi := encodeIndexedConns(t, conns[2:], 1)
+	cases := map[string][]byte{
+		"plain+plain":     append(append([]byte(nil), a...), b...),
+		"indexed+plain":   append(append([]byte(nil), ai...), b...),
+		"plain+indexed":   append(append([]byte(nil), a...), bi...),
+		"indexed+indexed": append(append([]byte(nil), ai...), bi...),
+	}
+	for name, data := range cases {
+		rn, rc := driveReader(data)
+		sn, sc := driveScanner(data)
+		if rn != len(conns) || sn != len(conns) || rc != "eof" || sc != "eof" {
+			t.Errorf("%s: reader (%d, %s), scanner (%d, %s), want %d records",
+				name, rn, rc, sn, sc, len(conns))
+			continue
+		}
+		// Record-level parity with the single-file scans.
+		r := NewReader(bytes.NewReader(data))
+		for i := range conns {
+			got, err := r.Next()
+			if err != nil {
+				t.Fatalf("%s: record %d: %v", name, i, err)
+			}
+			if !connEqual(conns[i], got) {
+				t.Errorf("%s: record %d differs from source", name, i)
+			}
+		}
+		// A sidecar built over the concatenation shards it like any
+		// other capture: byte parity between segmented and single scan.
+		idx, err := BuildIndex(bytes.NewReader(data), 2)
+		if err != nil {
+			t.Fatalf("%s: BuildIndex: %v", name, err)
+		}
+		idx.FileSize = int64(len(data))
+		src, err := NewSegmentedSource(bytes.NewReader(data), int64(len(data)), idx, 3)
+		if err != nil {
+			t.Fatalf("%s: NewSegmentedSource: %v", name, err)
+		}
+		want, _, werr := scanAllRecords(data)
+		got, _, gerr := scanSegments(src)
+		if werr != nil || gerr != nil || !bytes.Equal(want, got) {
+			t.Errorf("%s: sharded scan over concatenation diverges (%v, %v)", name, werr, gerr)
+		}
+	}
+}
+
+// TestIndexPastEOF: a checksum-valid index whose offsets or data size
+// reach beyond the file must be rejected eagerly (stale) — and if the
+// data size is shrunk to fit, the seam checks catch it at scan time.
+func TestIndexPastEOF(t *testing.T) {
+	plain := encodeConns(t, scannerConns(t))
+	idx, err := BuildIndex(bytes.NewReader(plain), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beyond := *idx
+	beyond.Offsets = append([]int64(nil), idx.Offsets...)
+	beyond.DataSize = int64(len(plain)) + 100
+	beyond.Offsets[len(beyond.Offsets)-1] = int64(len(plain)) + 50
+	if _, err := NewSegmentedSource(bytes.NewReader(plain), int64(len(plain)), &beyond, 4); err == nil {
+		t.Fatal("index pointing past EOF accepted")
+	} else if !errors.Is(err, ErrStaleIndex) && !errors.Is(err, ErrBadIndex) {
+		t.Fatalf("index past EOF: %v, want ErrStaleIndex/ErrBadIndex", err)
+	}
+	// Segment whose section reader ends mid-record (DataSize overhangs
+	// by one whole record): the last shard must hit ErrCorrupt or a
+	// seam-check failure, never return a half record.
+	overhang := *idx
+	overhang.Offsets = idx.Offsets[:len(idx.Offsets)-1]
+	overhang.Records = idx.Records - 1
+	overhang.DataSize = idx.Offsets[len(idx.Offsets)-1]
+	src, err := NewSegmentedSource(bytes.NewReader(plain[:overhang.DataSize-2]), overhang.DataSize-2, &overhang, 2)
+	if err == nil {
+		if _, _, err = scanSegments(src); err == nil {
+			t.Fatal("mid-record segment end scanned cleanly")
+		}
+	}
+	if err != nil && !errors.Is(err, ErrStaleIndex) && !errors.Is(err, ErrBadIndex) &&
+		!errors.Is(err, ErrCorrupt) {
+		t.Fatalf("unexpected error class: %v", err)
+	}
+}
+
+// TestScannerStopsAtSectionEnd pins the seam re-validation mechanism
+// itself: a mid-stream scanner over a byte range that cuts a record in
+// half must return ErrCorrupt (the record runs off the section), and
+// one over a range that ends exactly on a boundary returns clean EOF
+// with the exact consumed offset.
+func TestScannerStopsAtSectionEnd(t *testing.T) {
+	indexed := encodeIndexedConns(t, scannerConns(t), 1)
+	idx, err := ReadFooterIndex(bytes.NewReader(indexed), int64(len(indexed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := bytes.NewReader(indexed)
+	// Exact boundary: records 1..2.
+	start, end := idx.Offsets[1], idx.Offsets[3]
+	sc := newScannerAt(io.NewSectionReader(ra, start, end-start), start)
+	n := 0
+	for {
+		_, err := sc.Next(nil)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("record %d: %v", n, err)
+		}
+		n++
+	}
+	if n != 2 || sc.Offset() != end {
+		t.Fatalf("section scan: %d records ending at %d, want 2 ending at %d", n, sc.Offset(), end)
+	}
+	// Mid-record cut: same range short one byte.
+	sc = newScannerAt(io.NewSectionReader(ra, start, end-start-1), start)
+	var lastErr error
+	for {
+		_, err := sc.Next(nil)
+		if err != nil {
+			lastErr = err
+			break
+		}
+	}
+	if !errors.Is(lastErr, ErrCorrupt) {
+		t.Fatalf("mid-record section end: %v, want ErrCorrupt", lastErr)
+	}
+}

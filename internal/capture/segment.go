@@ -1,0 +1,113 @@
+package capture
+
+import (
+	"fmt"
+	"io"
+)
+
+// SegmentedSource is the shard-parallel front end over an indexed
+// capture: it validates the index against the file, splits the record
+// area into per-shard byte ranges cut at index points, and hands each
+// shard its own Scanner over an independent io.SectionReader. Scanners
+// are fully independent — separate windows, separate byte counters —
+// so shards share no mutable state and need no locks.
+//
+// Trust model: the index is advisory, never authoritative. Structural
+// validation (versioning, checksum, offset monotonicity, staleness)
+// happens before construction succeeds, and every segment seam is
+// re-validated during the scan itself — each shard's scanner must
+// consume exactly its byte range and yield exactly the record count
+// the index promised (CheckSegment). A hostile or stale index can
+// therefore cost a failed run, but never a misdecoded record.
+type SegmentedSource struct {
+	ra       io.ReaderAt
+	idx      *Index
+	segs     []Segment
+	scanners []*Scanner
+}
+
+// NewSegmentedSource validates idx against the capture in ra (size
+// bytes) and splits it into at most shards segments. Validation
+// failures come back as ErrBadIndex/ErrStaleIndex/ErrBadMagic so
+// callers can fall back to the single-scanner path with a warning.
+func NewSegmentedSource(ra io.ReaderAt, size int64, idx *Index, shards int) (*SegmentedSource, error) {
+	if err := idx.validate(); err != nil {
+		return nil, err
+	}
+	if err := idx.CheckFileSize(size); err != nil {
+		return nil, err
+	}
+	if size < 8 {
+		return nil, fmt.Errorf("%w: %d-byte file", ErrBadMagic, size)
+	}
+	var magic [8]byte
+	if _, err := ra.ReadAt(magic[:], 0); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMagic, err)
+	}
+	if magic != captureMagic {
+		return nil, ErrBadMagic
+	}
+	segs := idx.Segments(shards)
+	return &SegmentedSource{ra: ra, idx: idx, segs: segs, scanners: make([]*Scanner, len(segs))}, nil
+}
+
+// Index returns the validated index the source was built from.
+func (s *SegmentedSource) Index() *Index { return s.idx }
+
+// Records reports the total record count the index promises.
+func (s *SegmentedSource) Records() int { return s.idx.Records }
+
+// Segments reports how many shards the capture was split into. It can
+// be lower than requested (few index points) or zero (empty capture).
+func (s *SegmentedSource) Segments() int { return len(s.segs) }
+
+// Segment returns shard i's byte range and record span.
+func (s *SegmentedSource) Segment(i int) Segment { return s.segs[i] }
+
+// Scanner returns shard i's scanner, creating it on first use. Each
+// scanner owns an independent SectionReader over [Start, End), starts
+// in mid-stream mode (the segment base is a record boundary, not a
+// file header), and reports file-absolute offsets.
+func (s *SegmentedSource) Scanner(i int) *Scanner {
+	if s.scanners[i] == nil {
+		seg := s.segs[i]
+		sec := io.NewSectionReader(s.ra, seg.Start, seg.End-seg.Start)
+		s.scanners[i] = newScannerAt(sec, seg.Start)
+	}
+	return s.scanners[i]
+}
+
+// CheckSegment validates shard i's seam invariants after its scanner
+// returned a clean io.EOF: the scanner must have consumed its byte
+// range exactly and produced exactly the promised record count. Any
+// mismatch means the index lied about a boundary — the caller's run
+// is invalid and the error says so as ErrBadIndex.
+func (s *SegmentedSource) CheckSegment(i int) error {
+	seg, sc := s.segs[i], s.scanners[i]
+	if sc == nil {
+		return fmt.Errorf("%w: segment %d never scanned", ErrBadIndex, i)
+	}
+	if got := sc.Count(); got != seg.Records {
+		return fmt.Errorf("%w: segment %d yielded %d records, index promised %d",
+			ErrBadIndex, i, got, seg.Records)
+	}
+	if off := sc.Offset(); off != seg.End {
+		return fmt.Errorf("%w: segment %d ended at offset %d, want %d",
+			ErrBadIndex, i, off, seg.End)
+	}
+	return nil
+}
+
+// BytesRead reports the aggregate raw bytes consumed across every
+// shard's scanner — the multi-source answer to Reader.BytesRead, so
+// throughput accounting sums shards instead of reporting whichever
+// shard was observed last. Safe to call concurrently with scanning.
+func (s *SegmentedSource) BytesRead() int64 {
+	var n int64
+	for _, sc := range s.scanners {
+		if sc != nil {
+			n += sc.BytesRead()
+		}
+	}
+	return n
+}

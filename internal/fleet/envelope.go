@@ -15,17 +15,25 @@
 package fleet
 
 import (
+	"bytes"
+	"compress/flate"
 	"fmt"
+	"io"
 
 	"tamperdetect/internal/analysis"
 	"tamperdetect/internal/pipeline"
 	"tamperdetect/internal/wire"
 )
 
-// Wire framing constants.
+// Wire framing constants. Two frame versions are live: v1 carries the
+// snapshot payload raw; v2 carries it flate-compressed, prefixed with
+// its raw length. The encoder emits whichever is smaller (tiny or
+// incompressible snapshots stay v1), the decoder accepts both, so a
+// fleet can mix old and new binaries mid-upgrade.
 const (
-	magic   = "TDSNAP"
-	version = 1
+	magic        = "TDSNAP"
+	versionRaw   = 1
+	versionFlate = 2
 
 	// MaxFrameBytes bounds a decoded envelope (and hence the HTTP
 	// request body the merger will read).
@@ -59,22 +67,48 @@ func EncodeSnapshot(pop string, epoch, seq uint64, agg analysis.Aggregator, coun
 	if err != nil {
 		return nil, fmt.Errorf("fleet: encode snapshot: %w", err)
 	}
-	b := make([]byte, 0, len(magic)+32+len(payload))
+	ver, body := uint64(versionRaw), payload
+	if cz := deflateBytes(payload); cz != nil && len(cz) < len(payload) {
+		ver, body = versionFlate, cz
+	}
+	b := make([]byte, 0, len(magic)+40+len(body))
 	b = append(b, magic...)
-	b = wire.AppendUvarint(b, version)
+	b = wire.AppendUvarint(b, ver)
 	b = wire.AppendString(b, pop)
 	b = wire.AppendUvarint(b, epoch)
 	b = wire.AppendUvarint(b, seq)
 	b = counts.AppendWire(b)
-	b = wire.AppendBytes(b, payload)
+	if ver == versionFlate {
+		b = wire.AppendUvarint(b, uint64(len(payload)))
+	}
+	b = wire.AppendBytes(b, body)
 	return b, nil
 }
 
+// deflateBytes flate-compresses p, or returns nil when compression is
+// unavailable for the input (callers then fall back to a raw frame).
+func deflateBytes(p []byte) []byte {
+	var buf bytes.Buffer
+	zw, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return nil
+	}
+	if _, err := zw.Write(p); err != nil {
+		return nil
+	}
+	if err := zw.Close(); err != nil {
+		return nil
+	}
+	return buf.Bytes()
+}
+
 // DecodeEnvelope strictly decodes one frame from untrusted bytes. The
-// payload is returned still encoded (it aliases data) — restoring it
-// into an aggregator is the merger's job, so a frame with a valid
-// envelope but a corrupt payload still fails before touching global
-// state.
+// payload is returned still encoded — aliasing data for v1 frames,
+// freshly inflated for v2 — and restoring it into an aggregator is the
+// merger's job, so a frame with a valid envelope but a corrupt payload
+// still fails before touching global state. Decompression is bounded:
+// a v2 frame must declare a raw length within MaxFrameBytes and its
+// flate stream must inflate to exactly that many bytes.
 func DecodeEnvelope(data []byte) (*Envelope, error) {
 	if len(data) > MaxFrameBytes {
 		return nil, fmt.Errorf("fleet: frame of %d bytes exceeds limit %d", len(data), MaxFrameBytes)
@@ -83,8 +117,9 @@ func DecodeEnvelope(data []byte) (*Envelope, error) {
 		return nil, fmt.Errorf("fleet: bad frame magic")
 	}
 	d := wire.NewDecoder(data[len(magic):])
-	if v := d.Uvarint(); d.Err() == nil && v != version {
-		return nil, fmt.Errorf("fleet: unsupported frame version %d (want %d)", v, version)
+	ver := d.Uvarint()
+	if d.Err() == nil && ver != versionRaw && ver != versionFlate {
+		return nil, fmt.Errorf("fleet: unsupported frame version %d (want %d or %d)", ver, versionRaw, versionFlate)
 	}
 	env := &Envelope{
 		PoP:   d.String(maxPoPName),
@@ -96,12 +131,32 @@ func DecodeEnvelope(data []byte) (*Envelope, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fleet: decode frame: %w", err)
 	}
-	env.Payload = d.Bytes(MaxFrameBytes)
+	var rawLen uint64
+	if ver == versionFlate {
+		rawLen = d.Uvarint()
+		if d.Err() == nil && rawLen > MaxFrameBytes {
+			return nil, fmt.Errorf("fleet: compressed payload declares %d raw bytes, limit %d", rawLen, MaxFrameBytes)
+		}
+	}
+	body := d.Bytes(MaxFrameBytes)
 	if err := d.Done(); err != nil {
 		return nil, fmt.Errorf("fleet: decode frame: %w", err)
 	}
 	if env.PoP == "" {
 		return nil, fmt.Errorf("fleet: frame missing pop name")
 	}
+	if ver == versionRaw {
+		env.Payload = body
+		return env, nil
+	}
+	zr := flate.NewReader(bytes.NewReader(body))
+	payload := make([]byte, rawLen)
+	if _, err := io.ReadFull(zr, payload); err != nil {
+		return nil, fmt.Errorf("fleet: inflate payload: %w", err)
+	}
+	if n, _ := io.CopyN(io.Discard, zr, 1); n != 0 {
+		return nil, fmt.Errorf("fleet: compressed payload longer than declared %d bytes", rawLen)
+	}
+	env.Payload = payload
 	return env, nil
 }

@@ -6,7 +6,26 @@ import (
 
 	"tamperdetect/internal/analysis"
 	"tamperdetect/internal/pipeline"
+	"tamperdetect/internal/wire"
 )
+
+// encodeRawFrame hand-crafts a v1 (uncompressed) frame — the format
+// pre-flate binaries emit — so legacy decode stays pinned even after
+// the encoder starts preferring v2.
+func encodeRawFrame(t testing.TB, pop string, epoch, seq uint64, agg analysis.Aggregator, counts pipeline.Counts) []byte {
+	t.Helper()
+	payload, err := analysis.AppendSnapshot(nil, agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := append([]byte(nil), magic...)
+	b = wire.AppendUvarint(b, versionRaw)
+	b = wire.AppendString(b, pop)
+	b = wire.AppendUvarint(b, epoch)
+	b = wire.AppendUvarint(b, seq)
+	b = counts.AppendWire(b)
+	return wire.AppendBytes(b, payload)
+}
 
 func TestEnvelopeRoundTrip(t *testing.T) {
 	pops, _ := fleetDataset(t)
@@ -59,10 +78,102 @@ func TestEnvelopeRejectsMalformed(t *testing.T) {
 	}
 }
 
+// TestEnvelopeCompression pins the v2 flate path: a realistic snapshot
+// compresses, so the encoder emits a v2 frame smaller than the v1
+// encoding of the same snapshot, and decoding either version yields an
+// identical envelope.
+func TestEnvelopeCompression(t *testing.T) {
+	pops, _ := fleetDataset(t)
+	agg := analysis.NewFleetAggs()
+	for i := range pops[0] {
+		agg.Add(&pops[0][i])
+	}
+	counts := pipeline.Counts{Decoded: int64(len(pops[0])), Classified: int64(len(pops[0]))}
+	frame, err := EncodeSnapshot("ams01", 3, 9, agg, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := encodeRawFrame(t, "ams01", 3, 9, agg, counts)
+	if frame[len(magic)] != versionFlate {
+		t.Fatalf("encoder chose version %d for a compressible snapshot", frame[len(magic)])
+	}
+	if len(frame) >= len(raw) {
+		t.Fatalf("v2 frame (%d bytes) is not smaller than v1 (%d bytes)", len(frame), len(raw))
+	}
+	ev2, err := DecodeEnvelope(frame)
+	if err != nil {
+		t.Fatalf("decode v2: %v", err)
+	}
+	ev1, err := DecodeEnvelope(raw)
+	if err != nil {
+		t.Fatalf("decode v1: %v", err)
+	}
+	if ev1.PoP != ev2.PoP || ev1.Epoch != ev2.Epoch || ev1.Seq != ev2.Seq ||
+		ev1.Counts != ev2.Counts || !bytes.Equal(ev1.Payload, ev2.Payload) {
+		t.Error("v1 and v2 frames decode to different envelopes")
+	}
+	restored := analysis.NewFleetAggs()
+	if err := analysis.RestoreSnapshot(ev2.Payload, restored); err != nil {
+		t.Fatalf("RestoreSnapshot of inflated payload: %v", err)
+	}
+	if analysis.RenderFleetReport(restored) != analysis.RenderFleetReport(agg) {
+		t.Error("inflated payload renders differently")
+	}
+}
+
+// TestEnvelopeRejectsCompressedDamage: every truncation of a v2 frame
+// must fail decode — flate streams cut short, shortened declared
+// lengths, and envelope-level cuts all surface as errors, never as a
+// silently shorter payload.
+func TestEnvelopeRejectsCompressedDamage(t *testing.T) {
+	pops, _ := fleetDataset(t)
+	agg := analysis.NewFleetAggs()
+	for i := range pops[0] {
+		agg.Add(&pops[0][i])
+	}
+	frame, err := EncodeSnapshot("pop", 1, 1, agg, pipeline.Counts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame[len(magic)] != versionFlate {
+		t.Skipf("snapshot did not compress; v2 damage sweep needs a v2 frame")
+	}
+	for cut := 0; cut < len(frame); cut++ {
+		if _, err := DecodeEnvelope(frame[:cut]); err == nil {
+			t.Fatalf("cut=%d: truncated v2 envelope decoded cleanly", cut)
+		}
+	}
+	// A declared raw length beyond the frame cap must be rejected before
+	// any inflation happens.
+	huge := append([]byte(nil), magic...)
+	huge = wire.AppendUvarint(huge, versionFlate)
+	huge = wire.AppendString(huge, "pop")
+	huge = wire.AppendUvarint(huge, 1)
+	huge = wire.AppendUvarint(huge, 1)
+	huge = (pipeline.Counts{}).AppendWire(huge)
+	huge = wire.AppendUvarint(huge, MaxFrameBytes+1)
+	huge = wire.AppendBytes(huge, []byte{0})
+	if _, err := DecodeEnvelope(huge); err == nil {
+		t.Error("over-limit declared raw length accepted")
+	}
+}
+
 func FuzzEnvelope(f *testing.F) {
 	agg := analysis.NewFleetAggs()
 	if seed, err := EncodeSnapshot("pop", 1, 2, agg, pipeline.Counts{Decoded: 3}); err == nil {
 		f.Add(seed)
+	}
+	f.Add(encodeRawFrame(f, "pop", 1, 2, agg, pipeline.Counts{Decoded: 3}))
+	// A v2 frame whose payload actually went through flate.
+	if payload, err := analysis.AppendSnapshot(nil, agg); err == nil {
+		b := append([]byte(nil), magic...)
+		b = wire.AppendUvarint(b, versionFlate)
+		b = wire.AppendString(b, "pop")
+		b = wire.AppendUvarint(b, 1)
+		b = wire.AppendUvarint(b, 2)
+		b = (pipeline.Counts{Decoded: 3}).AppendWire(b)
+		b = wire.AppendUvarint(b, uint64(len(payload)))
+		f.Add(wire.AppendBytes(b, deflateBytes(payload)))
 	}
 	f.Add([]byte(magic))
 	f.Add(bytes.Repeat([]byte{0xFF}, 32))

@@ -69,6 +69,71 @@ func safeClassify(cl *core.Classifier, s *core.Scratch, c *capture.Connection) (
 	return cl.ClassifyWith(c, s), nil
 }
 
+// decodeClassifyBatch is the shared worker body of ScanTDCAP and
+// ShardedScan: decode rb's records into ib's reusable Connection
+// storage, return the slab to its pool (before classification, so
+// slabs recycle quickly), then classify, tally, and observe. worker is
+// the caller's stable worker index for per-worker observers; observe
+// may be nil.
+func decodeClassifyBatch(rb *rawBatch, ib *itemBatch, putRaw func(*rawBatch),
+	cl *core.Classifier, scratch *core.Scratch,
+	m *Metrics, tel *Telemetry, worker int, observe func(int, Item)) *itemBatch {
+	n := len(rb.offs) - 1
+	ib.conns = ib.conns[:cap(ib.conns)]
+	for len(ib.conns) < n {
+		ib.conns = append(ib.conns, capture.Connection{})
+	}
+	var decodeStart time.Time
+	if tel != nil {
+		decodeStart = time.Now()
+	}
+	for i := 0; i < n; i++ {
+		c := &ib.conns[i]
+		it := Item{Index: rb.first + i, Conn: c}
+		if err := capture.DecodeRecord(rb.slab[rb.offs[i]:rb.offs[i+1]], c); err != nil {
+			it.Conn, it.Err = nil, fmt.Errorf("pipeline: decode: %w", err)
+		}
+		ib.items = append(ib.items, it)
+	}
+	putRaw(rb) // slab ownership returns to the scanner's pool
+	var classifyStart time.Time
+	if tel != nil {
+		classifyStart = time.Now()
+		tel.stageLat[stageDecode].Observe(classifyStart.Sub(decodeStart).Nanoseconds())
+	}
+	for i := range ib.items {
+		it := &ib.items[i]
+		if it.Err == nil {
+			it.Res, it.Err = safeClassify(cl, scratch, it.Conn)
+		}
+		if it.Err != nil {
+			m.errors.Add(1)
+		} else {
+			m.classified.Add(1)
+			if it.Res.Signature.IsTampering() {
+				m.tampering.Add(1)
+			}
+		}
+		if tel != nil {
+			tel.observeSig(worker, *it)
+		}
+	}
+	var observeStart time.Time
+	if tel != nil {
+		observeStart = time.Now()
+		tel.stageLat[stageClassify].Observe(observeStart.Sub(classifyStart).Nanoseconds())
+	}
+	if observe != nil {
+		for i := range ib.items {
+			observe(worker, ib.items[i])
+		}
+		if tel != nil {
+			tel.stageLat[stageObserve].Observe(time.Since(observeStart).Nanoseconds())
+		}
+	}
+	return ib
+}
+
 // ScanTDCAP streams a TDCAP capture through the parallel decode
 // pipeline: a scanner goroutine splits r into raw record batches and
 // the worker pool decodes and classifies them. Semantics match Run
@@ -240,60 +305,7 @@ func ScanTDCAP(ctx context.Context, r io.Reader, cfg Config, sink Sink) (Counts,
 				case <-ctx.Done():
 					return
 				}
-				n := len(rb.offs) - 1
-				ib := getItems()
-				ib.conns = ib.conns[:cap(ib.conns)]
-				for len(ib.conns) < n {
-					ib.conns = append(ib.conns, capture.Connection{})
-				}
-				var decodeStart time.Time
-				if tel != nil {
-					decodeStart = time.Now()
-				}
-				for i := 0; i < n; i++ {
-					c := &ib.conns[i]
-					it := Item{Index: rb.first + i, Conn: c}
-					if err := capture.DecodeRecord(rb.slab[rb.offs[i]:rb.offs[i+1]], c); err != nil {
-						it.Conn, it.Err = nil, fmt.Errorf("pipeline: decode: %w", err)
-					}
-					ib.items = append(ib.items, it)
-				}
-				putRaw(rb) // slab ownership returns to the scanner's pool
-				var classifyStart time.Time
-				if tel != nil {
-					classifyStart = time.Now()
-					tel.stageLat[stageDecode].Observe(classifyStart.Sub(decodeStart).Nanoseconds())
-				}
-				for i := range ib.items {
-					it := &ib.items[i]
-					if it.Err == nil {
-						it.Res, it.Err = safeClassify(&wcl, &scratch, it.Conn)
-					}
-					if it.Err != nil {
-						m.errors.Add(1)
-					} else {
-						m.classified.Add(1)
-						if it.Res.Signature.IsTampering() {
-							m.tampering.Add(1)
-						}
-					}
-					if tel != nil {
-						tel.observeSig(worker, *it)
-					}
-				}
-				var observeStart time.Time
-				if tel != nil {
-					observeStart = time.Now()
-					tel.stageLat[stageClassify].Observe(observeStart.Sub(classifyStart).Nanoseconds())
-				}
-				if cfg.Observe != nil {
-					for i := range ib.items {
-						cfg.Observe(worker, ib.items[i])
-					}
-					if tel != nil {
-						tel.stageLat[stageObserve].Observe(time.Since(observeStart).Nanoseconds())
-					}
-				}
+				ib := decodeClassifyBatch(rb, getItems(), putRaw, &wcl, &scratch, m, tel, worker, cfg.Observe)
 				select {
 				case results <- ib:
 					if tel != nil {

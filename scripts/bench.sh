@@ -2,7 +2,9 @@
 # Perf-trajectory harness: runs the streaming-pipeline benchmark
 # (BenchmarkStreamPipeline, workers {1,4,16} x batch {1,64}), the
 # decode-parallel benchmark (BenchmarkDecodeParallel, scan vs seq
-# front end at workers {1,4,16}), the geo-lookup cache benchmark
+# front end at workers {1,4,16}), the sharded-ingest benchmark
+# (BenchmarkShardedIngest, single-scanner baseline vs segment-index
+# shards {1,2,4,8}), the geo-lookup cache benchmark
 # (BenchmarkGeoLookup, cached vs uncached), and the telemetry cost
 # benchmark (BenchmarkStreamTelemetryOverhead, telemetry off vs on)
 # BENCH_COUNT times and aggregates the per-cell medians into
@@ -39,6 +41,9 @@ go test -run '^$' -bench 'BenchmarkStreamPipeline' -benchtime "$BENCHTIME" -coun
 
 echo "== go test -bench BenchmarkDecodeParallel -benchtime $BENCHTIME -count $COUNT =="
 go test -run '^$' -bench 'BenchmarkDecodeParallel' -benchtime "$BENCHTIME" -count "$COUNT" . | tee -a "$tmp"
+
+echo "== go test -bench BenchmarkShardedIngest -benchtime $BENCHTIME -count $COUNT =="
+go test -run '^$' -bench 'BenchmarkShardedIngest' -benchtime "$BENCHTIME" -count "$COUNT" . | tee -a "$tmp"
 
 echo "== go test -bench BenchmarkGeoLookup -benchtime $GEOTIME -count $COUNT =="
 go test -run '^$' -bench 'BenchmarkGeoLookup' -benchtime "$GEOTIME" -count "$COUNT" . | tee -a "$tmp"

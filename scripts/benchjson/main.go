@@ -6,7 +6,9 @@
 // the median of each custom metric the benchmark reports: conns/sec,
 // ns/record, B/record, allocs/record. BenchmarkGeoLookup lines, when
 // present, additionally record the geo range-cache delta as a
-// geo_lookup section (uncached vs cached ns/op and their ratio).
+// geo_lookup section (uncached vs cached ns/op and their ratio);
+// BenchmarkDecodeParallel and BenchmarkShardedIngest lines record the
+// decode_parallel and sharded_ingest grids with their scaling ratios.
 //
 // Usage:
 //
@@ -94,6 +96,32 @@ type decodeParallel struct {
 	SpeedupAt1 float64              `json:"scan_over_seq_workers1"`
 }
 
+// shardedIngestCell is one cell of BenchmarkShardedIngest: path "scan"
+// is the single-scanner Stream baseline at 1 worker (shards recorded
+// as 1), path "sharded" the segment-index multi-reader ShardedScan at
+// the given shard count with the worker pool sized to match.
+type shardedIngestCell struct {
+	Path            string  `json:"path"`
+	Shards          int     `json:"shards"`
+	RecordsPerSec   float64 `json:"records_per_sec"`
+	NsPerRecord     float64 `json:"ns_per_record"`
+	BytesPerRecord  float64 `json:"bytes_per_record"`
+	AllocsPerRecord float64 `json:"allocs_per_record"`
+}
+
+// shardedIngest summarizes the sharded-ingest grid. Shards8Over1 is
+// sharded throughput at 8 shards over 1 shard (the scaling gate's
+// metric, meaningful only with cores to spread over, so NumCPU is
+// recorded beside it); Shards1OverScan is sharded-at-1 over the scan
+// baseline — the cost of the segment indirection itself, which must
+// stay ~1.0 even on a single-core host.
+type shardedIngest struct {
+	NumCPU          int                 `json:"num_cpu"`
+	Cells           []shardedIngestCell `json:"cells"`
+	Shards8Over1    float64             `json:"shards8_over_1"`
+	Shards1OverScan float64             `json:"shards1_over_scan"`
+}
+
 type report struct {
 	Benchmark      string             `json:"benchmark"`
 	GoVersion      string             `json:"go_version"`
@@ -103,6 +131,7 @@ type report struct {
 	GeoLookup      *geoLookup         `json:"geo_lookup,omitempty"`
 	Telemetry      *telemetryOverhead `json:"stream_telemetry_overhead,omitempty"`
 	DecodeParallel *decodeParallel    `json:"decode_parallel,omitempty"`
+	ShardedIngest  *shardedIngest     `json:"sharded_ingest,omitempty"`
 }
 
 var (
@@ -110,6 +139,7 @@ var (
 	geoRe       = regexp.MustCompile(`^BenchmarkGeoLookup/mode=(cached|uncached)(?:-\d+)?$`)
 	telemetryRe = regexp.MustCompile(`^BenchmarkStreamTelemetryOverhead/telemetry=(on|off)(?:-\d+)?$`)
 	decodeRe    = regexp.MustCompile(`^BenchmarkDecodeParallel/path=(scan|seq)/workers=(\d+)(?:-\d+)?$`)
+	shardedRe   = regexp.MustCompile(`^BenchmarkShardedIngest/path=(scan|sharded)/(?:workers|shards)=(\d+)(?:-\d+)?$`)
 )
 
 func main() {
@@ -154,6 +184,11 @@ func aggregate(src *os.File) (*report, error) {
 		workers int
 	}
 	dpSamples := map[dpCell]map[string][]float64{}
+	type siCell struct {
+		path   string
+		shards int
+	}
+	siSamples := map[siCell]map[string][]float64{}
 	rep := &report{Benchmark: "BenchmarkStreamPipeline", GoVersion: runtime.Version()}
 	runs := 0
 	sc := bufio.NewScanner(src)
@@ -201,6 +236,21 @@ func aggregate(src *os.File) (*report, error) {
 			for i := 2; i+1 < len(fields); i += 2 {
 				if v, err := strconv.ParseFloat(fields[i], 64); err == nil {
 					dpSamples[c][fields[i+1]] = append(dpSamples[c][fields[i+1]], v)
+				}
+			}
+			continue
+		}
+		if sm := shardedRe.FindStringSubmatch(fields[0]); sm != nil {
+			// The scan baseline's "workers=1" suffix lands in the same
+			// capture group as a shard count; record it as shards=1.
+			n, _ := strconv.Atoi(sm[2])
+			c := siCell{sm[1], n}
+			if siSamples[c] == nil {
+				siSamples[c] = map[string][]float64{}
+			}
+			for i := 2; i+1 < len(fields); i += 2 {
+				if v, err := strconv.ParseFloat(fields[i], 64); err == nil {
+					siSamples[c][fields[i+1]] = append(siSamples[c][fields[i+1]], v)
 				}
 			}
 			continue
@@ -307,6 +357,41 @@ func aggregate(src *os.File) (*report, error) {
 		}
 		rep.DecodeParallel = dp
 	}
+	if len(siSamples) > 0 {
+		si := &shardedIngest{NumCPU: runtime.NumCPU()}
+		for c, units := range siSamples {
+			si.Cells = append(si.Cells, shardedIngestCell{
+				Path:            c.path,
+				Shards:          c.shards,
+				RecordsPerSec:   median(units["conns/sec"]),
+				NsPerRecord:     median(units["ns/record"]),
+				BytesPerRecord:  median(units["B/record"]),
+				AllocsPerRecord: median(units["allocs/record"]),
+			})
+		}
+		sort.Slice(si.Cells, func(i, j int) bool {
+			a, b := si.Cells[i], si.Cells[j]
+			if a.Path != b.Path {
+				return a.Path < b.Path // scan before sharded
+			}
+			return a.Shards < b.Shards
+		})
+		at := func(path string, shards int) float64 {
+			for _, c := range si.Cells {
+				if c.Path == path && c.Shards == shards {
+					return c.RecordsPerSec
+				}
+			}
+			return 0
+		}
+		if one := at("sharded", 1); one > 0 {
+			si.Shards8Over1 = at("sharded", 8) / one
+			if scan := at("scan", 1); scan > 0 {
+				si.Shards1OverScan = one / scan
+			}
+		}
+		rep.ShardedIngest = si
+	}
 	return rep, nil
 }
 
@@ -374,6 +459,31 @@ func validateFile(path string) error {
 		if d.NumCPU >= 4 && d.ScalingX > 0 && d.ScalingX < 2 {
 			return fmt.Errorf("%s: decode_parallel scan workers=16 is only %.2fx workers=1 on a %d-CPU host (gate requires >=2x)",
 				path, d.ScalingX, d.NumCPU)
+		}
+	}
+	if s := rep.ShardedIngest; s != nil {
+		if len(s.Cells) == 0 || s.NumCPU < 1 {
+			return fmt.Errorf("%s: sharded_ingest is empty", path)
+		}
+		for _, c := range s.Cells {
+			if (c.Path != "scan" && c.Path != "sharded") || c.Shards < 1 || c.RecordsPerSec <= 0 {
+				return fmt.Errorf("%s: sharded_ingest cell path=%q shards=%d invalid", path, c.Path, c.Shards)
+			}
+		}
+		// Multi-core recording hosts must show the shard scaling the
+		// feature exists for; a lower ratio is a stale or broken
+		// recording.
+		if s.NumCPU >= 4 && s.Shards8Over1 > 0 && s.Shards8Over1 < 2 {
+			return fmt.Errorf("%s: sharded_ingest shards=8 is only %.2fx shards=1 on a %d-CPU host (gate requires >=2x)",
+				path, s.Shards8Over1, s.NumCPU)
+		}
+		// On a single-core host sharding cannot win, but the segment
+		// indirection must also not cost anything real: shards=1 must
+		// stay within 5% of the plain scan path. Only enforced with
+		// enough runs for the median to mean something.
+		if s.NumCPU == 1 && rep.Runs >= 3 && s.Shards1OverScan > 0 && s.Shards1OverScan < 0.95 {
+			return fmt.Errorf("%s: sharded_ingest shards=1 runs at %.2fx the scan path on a 1-CPU host (gate requires >=0.95x)",
+				path, s.Shards1OverScan)
 		}
 	}
 	return nil

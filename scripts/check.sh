@@ -49,6 +49,26 @@ echo "== decode parallel scaling gate =="
 TAMPERDETECT_SCALING_GATE=1 go test ./internal/pipeline/ -run 'TestDecodeParallelScalingGate' -count=1 -v | grep -E 'SKIP|PASS|FAIL|ok ' || true
 TAMPERDETECT_SCALING_GATE=1 go test ./internal/pipeline/ -run 'TestDecodeParallelScalingGate' -count=1 >/dev/null
 
+# Sharded ingest parity gate: the segment-index multi-reader scan
+# must deliver byte-identical aggregates to the single scanner at
+# shards {1,2,4,8} x ordered {on,off}, survive a corrupt record with
+# exactly the good-prefix union, and refuse a lying index (seam
+# violations surface as ErrBadIndex; any sharded scan error at all
+# triggers the tamperscan/paperbench discard-and-rescan). The
+# end-to-end fallback contract — a bad index warns and never changes
+# tamperscan's output — runs alongside.
+echo "== sharded ingest parity + fallback gate =="
+go test ./internal/pipeline/ -run 'TestShardedScanParity|TestShardedScanCorruptSegment|TestShardedScanLyingSeamOffset|TestShardedScanSeamUndercount' -count=1
+go test ./cmd/tamperscan/ -run 'TestRunShardedParity|TestRunShardedFallsBack|TestRunShardedRescan' -count=1
+
+# Sharded scaling gate: 8 shards must ingest >=2x the records/sec of
+# 1 shard. Like the decode gate, it skips (loudly) on hosts with <4
+# CPUs, so the line is a no-op on single-core CI but binding anywhere
+# with real parallelism.
+echo "== sharded ingest scaling gate =="
+TAMPERDETECT_SCALING_GATE=1 go test ./internal/pipeline/ -run 'TestShardedIngestScalingGate' -count=1 -v | grep -E 'SKIP|PASS|FAIL|ok ' || true
+TAMPERDETECT_SCALING_GATE=1 go test ./internal/pipeline/ -run 'TestShardedIngestScalingGate' -count=1 >/dev/null
+
 # Raw-record scanner parity gate: the slab scanner front end must
 # agree with the sequential Reader on every truncation and byte
 # corruption of the fixture capture (same record counts, same error

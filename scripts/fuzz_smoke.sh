@@ -16,6 +16,7 @@ fuzztime="${1:-10s}"
 targets="
 ./internal/capture:FuzzCodecReader
 ./internal/capture:FuzzRecordScanner
+./internal/capture:FuzzSegmentIndex
 ./internal/core:FuzzDFAClassifierParity
 ./internal/pcap:FuzzReader
 ./internal/packet:FuzzSummaryParse
