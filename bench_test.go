@@ -12,6 +12,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"io"
 	"math/rand/v2"
 	"net/netip"
 	"runtime"
@@ -770,4 +771,58 @@ func BenchmarkGeoLookup(b *testing.B) {
 			_ = cache.Lookup(addrs[i%len(addrs)])
 		}
 	})
+}
+
+// BenchmarkLongitudinalGen times the virtual-time generator end to
+// end — arrival-process expansion plus packet-level simulation plus
+// TDCAP encoding — over long scenario windows. This is the recorded
+// proof of the event-queue refactor's headline property: wall-clock
+// cost scales with the connection count, not the virtual window, so a
+// 14-day scenario generates in seconds. scripts/bench.sh aggregates
+// the grid into BENCH_pipeline.json's longitudinal_gen section, whose
+// validator enforces the paper-scale contract (a 336-hour window must
+// sustain enough virtual-hours/sec to finish a 14-day run in under a
+// minute).
+func BenchmarkLongitudinalGen(b *testing.B) {
+	for _, hours := range []int{48, 336} {
+		total := hours * 50
+		b.Run(fmt.Sprintf("preset=iran2022/hours=%d", hours), func(b *testing.B) {
+			b.ReportAllocs()
+			written := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := workload.PresetScenario("iran2022", total, hours, 7)
+				if err != nil {
+					b.Fatal(err)
+				}
+				src := s.StreamSpecs(s.SpecsSharded(0), 0)
+				w := capture.NewWriter(io.Discard)
+				for {
+					c, err := src.Next()
+					if err == io.EOF {
+						break
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := w.Write(c); err != nil {
+						b.Fatal(err)
+					}
+					written++
+				}
+				src.Close()
+				if err := w.Flush(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if written == 0 {
+				b.Fatal("generator produced no connections")
+			}
+			secs := b.Elapsed().Seconds()
+			b.ReportMetric(float64(written)/secs, "conns/sec")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(written), "ns/record")
+			b.ReportMetric(float64(hours*b.N)/secs, "virtual-hours/sec")
+		})
+	}
 }

@@ -105,6 +105,7 @@ var experiments = []string{
 func main() {
 	total := flag.Int("total", 60000, "connections in the global scenario")
 	hours := flag.Int("hours", 14*24, "scenario hours (two weeks, as in the paper)")
+	scenario := flag.String("scenario", "", "build the shared dataset from this embedded preset instead of the global table")
 	seed := flag.Uint64("seed", 2023, "deterministic seed")
 	workers := flag.Int("workers", 0, "parallelism (0 = all cores)")
 	classifier := flag.String("classifier", "dfa", "signature matcher: dfa (compiled automaton) or legacy (multi-pass oracle)")
@@ -127,6 +128,18 @@ func main() {
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *scenario != "" {
+		// A preset carries its own total/hours; the flags override them
+		// only when given explicitly on the command line.
+		explicit := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		if !explicit["total"] {
+			*total = 0
+		}
+		if !explicit["hours"] {
+			*hours = 0
+		}
 	}
 	stopProf, err := profiling.Start(profiling.Config{
 		CPUProfile:   *cpuprofile,
@@ -175,7 +188,7 @@ func main() {
 	}
 
 	ctx, stopSig := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	runErr := run(ctx, flag.Arg(0), *total, *hours, *seed, *workers, *threshold, *maxRecords, *impair, *capturePath, *shards, ins)
+	runErr := run(ctx, flag.Arg(0), *scenario, *total, *hours, *seed, *workers, *threshold, *maxRecords, *impair, *capturePath, *shards, ins)
 	stopSig()
 	if rep != nil {
 		rep.Stop()
@@ -270,8 +283,14 @@ func resolveWorkers(w int) int {
 // private aggregator shard, and the shards merge once the stream
 // drains. maxRecords > 0 stops the stream early (approximately — see
 // the -maxrecords flag doc).
-func buildDataset(ctx context.Context, total, hours int, seed uint64, workers, maxRecords int, imp faults.Config, ins instruments) (*dataset, error) {
-	s, err := workload.BuildScenario("paperbench", total, hours, seed)
+func buildDataset(ctx context.Context, scenario string, total, hours int, seed uint64, workers, maxRecords int, imp faults.Config, ins instruments) (*dataset, error) {
+	var s *workload.Scenario
+	var err error
+	if scenario != "" {
+		s, err = workload.PresetScenario(scenario, total, hours, seed)
+	} else {
+		s, err = workload.BuildScenario("paperbench", total, hours, seed)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -441,7 +460,7 @@ func segmentCapture(f *os.File, path string, shards, workers int) *capture.Segme
 	return seg
 }
 
-func run(ctx context.Context, exp string, total, hours int, seed uint64, workers, threshold, maxRecords int, impair, capturePath string, shards int, ins instruments) error {
+func run(ctx context.Context, exp, scenario string, total, hours int, seed uint64, workers, threshold, maxRecords int, impair, capturePath string, shards int, ins instruments) error {
 	known := false
 	for _, e := range experiments {
 		if e == exp {
@@ -476,7 +495,7 @@ func run(ctx context.Context, exp string, total, hours int, seed uint64, workers
 		if capturePath != "" {
 			ds, err = buildCaptureDataset(ctx, capturePath, workers, shards, maxRecords, ins)
 		} else {
-			ds, err = buildDataset(ctx, total, hours, seed, workers, maxRecords, imp, ins)
+			ds, err = buildDataset(ctx, scenario, total, hours, seed, workers, maxRecords, imp, ins)
 		}
 		if err != nil {
 			return err

@@ -26,7 +26,7 @@ func TestRunExperiments(t *testing.T) {
 		}
 		exp := exp
 		t.Run(exp, func(t *testing.T) {
-			if err := run(context.Background(), exp, 3000, 48, 7, 2, 2, 0, "", "", 0, instruments{}); err != nil {
+			if err := run(context.Background(), exp, "", 3000, 48, 7, 2, 2, 0, "", "", 0, instruments{}); err != nil {
 				t.Fatalf("run(%s): %v", exp, err)
 			}
 		})
@@ -34,10 +34,10 @@ func TestRunExperiments(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run(context.Background(), "nope", 10, 1, 1, 1, 1, 0, "", "", 0, instruments{}); err == nil {
+	if err := run(context.Background(), "nope", "", 10, 1, 1, 1, 1, 0, "", "", 0, instruments{}); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if err := run(context.Background(), "table1", 10, 1, 1, 1, 1, 0, "nope", "", 0, instruments{}); err == nil {
+	if err := run(context.Background(), "table1", "", 10, 1, 1, 1, 1, 0, "nope", "", 0, instruments{}); err == nil {
 		t.Error("unknown impairment grade accepted")
 	}
 }
@@ -47,12 +47,12 @@ func TestRunUnknownExperiment(t *testing.T) {
 // at most the pipeline's bounded in-flight window, but must stay well
 // below the full run.
 func TestMaxRecordsCapsDataset(t *testing.T) {
-	full, err := buildDataset(context.Background(), 6000, 48, 7, 2, 0, faults.Config{}, instruments{})
+	full, err := buildDataset(context.Background(), "", 6000, 48, 7, 2, 0, faults.Config{}, instruments{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	fullTotal := full.aggs[aggStages].(*analysis.StageStatsAgg).Stats().Total
-	capped, err := buildDataset(context.Background(), 6000, 48, 7, 2, 200, faults.Config{}, instruments{})
+	capped, err := buildDataset(context.Background(), "", 6000, 48, 7, 2, 200, faults.Config{}, instruments{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,11 +68,11 @@ func TestMaxRecordsCapsDataset(t *testing.T) {
 // TestDatasetDeterministicAcrossWorkers checks the one-pass dataset is
 // a pure function of the scenario: worker count cannot change a table.
 func TestDatasetDeterministicAcrossWorkers(t *testing.T) {
-	ds1, err := buildDataset(context.Background(), 3000, 48, 7, 1, 0, faults.Config{}, instruments{})
+	ds1, err := buildDataset(context.Background(), "", 3000, 48, 7, 1, 0, faults.Config{}, instruments{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ds4, err := buildDataset(context.Background(), 3000, 48, 7, 4, 0, faults.Config{}, instruments{})
+	ds4, err := buildDataset(context.Background(), "", 3000, 48, 7, 4, 0, faults.Config{}, instruments{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestDatasetDeterministicAcrossWorkers(t *testing.T) {
 func TestRunInstrumented(t *testing.T) {
 	ins := instruments{tel: pipeline.NewTelemetry(nil), fstats: &faults.Stats{}}
 	ins.fstats.Register(ins.tel.Registry())
-	if err := run(context.Background(), "table1", 2000, 24, 7, 2, 2, 0, "lossy", "", 0, ins); err != nil {
+	if err := run(context.Background(), "table1", "", 2000, 24, 7, 2, 2, 0, "lossy", "", 0, ins); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if got := ins.tel.Metrics().Snapshot().Classified; got == 0 {
@@ -191,12 +191,12 @@ func TestCaptureDataset(t *testing.T) {
 	}
 
 	// The flag wires through run for dataset-backed experiments...
-	if err := run(context.Background(), "table1", 0, 0, 0, 2, 2, 0, "", path, 0, instruments{}); err != nil {
+	if err := run(context.Background(), "table1", "", 0, 0, 0, 2, 2, 0, "", path, 0, instruments{}); err != nil {
 		t.Fatalf("run(table1, -capture): %v", err)
 	}
 	// ...and rejects the ones that need generator metadata.
 	for _, exp := range []string{"table2", "fig8", "all"} {
-		if err := run(context.Background(), exp, 0, 0, 0, 2, 2, 0, "", path, 0, instruments{}); err == nil {
+		if err := run(context.Background(), exp, "", 0, 0, 0, 2, 2, 0, "", path, 0, instruments{}); err == nil {
 			t.Errorf("run(%s, -capture) accepted", exp)
 		}
 	}

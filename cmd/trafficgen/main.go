@@ -5,10 +5,17 @@
 //
 // Usage:
 //
-//	trafficgen [-scenario global|iran2022] [-total N] [-hours H]
+//	trafficgen [-scenario global|<preset>] [-total N] [-hours H]
 //	           [-seed S] [-workers W] [-impair grade] [-index N]
 //	           [-config scenario.json] [-metrics-addr host:port]
+//	           [-trace-out t.trace] [-trace-in t.trace]
 //	           -o out.tdcap
+//
+// -scenario accepts "global" (the full hardcoded country table) or any
+// embedded preset name (e.g. iran2022, default-diurnal; run with
+// -scenario list to print them). Presets carry their own total/hours
+// defaults; -total and -hours override them only when given
+// explicitly on the command line.
 //
 // -index appends a segment index footer recording every Nth record
 // boundary (default 1024), which lets tamperscan shard the scan across
@@ -18,6 +25,12 @@
 // With -config, the scenario (countries, censor styles, coverage, and
 // temporal knobs) is loaded from a JSON file; see
 // internal/workload/config.go for the schema and style names.
+//
+// -trace-out records the expanded arrival stream (every virtual-time
+// arrival plus its drawn connection parameters) to a compact
+// CRC-guarded trace file; -trace-in replays such a trace against the
+// same scenario and seed, reproducing the TDCAP byte for byte — a
+// regression harness for the generator (see internal/workload/trace.go).
 //
 // -impair degrades every simulated path with a named fault grade from
 // internal/faults (clean, lossy, hostile): burst loss, duplication,
@@ -60,7 +73,7 @@ import (
 )
 
 func main() {
-	scenario := flag.String("scenario", "global", "scenario: global or iran2022")
+	scenario := flag.String("scenario", "global", "scenario: global, an embedded preset name, or list")
 	config := flag.String("config", "", "JSON scenario file (overrides -scenario)")
 	total := flag.Int("total", 50000, "total connections to simulate")
 	hours := flag.Int("hours", 14*24, "scenario duration in hours (global scenario)")
@@ -69,6 +82,8 @@ func main() {
 	impair := flag.String("impair", "", "link-impairment grade (clean|lossy|hostile)")
 	out := flag.String("o", "capture.tdcap", "output capture path")
 	index := flag.Int("index", capture.DefaultIndexInterval, "segment index granularity in records (0 = no index footer)")
+	traceOut := flag.String("trace-out", "", "record the arrival trace (expanded spec stream) to this file")
+	traceIn := flag.String("trace-in", "", "replay a recorded arrival trace instead of expanding the scenario (must match its scenario/seed)")
 	verify := flag.Bool("verify", false, "re-scan the written capture and confirm every record is structurally valid")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address for the run")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
@@ -76,6 +91,24 @@ func main() {
 	blockprofile := flag.String("blockprofile", "", "write a goroutine blocking profile to this path")
 	mutexprofile := flag.String("mutexprofile", "", "write a mutex contention profile to this path")
 	flag.Parse()
+
+	// Presets carry their own total/hours defaults; the flags override
+	// them only when the user actually set them.
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if !explicit["total"] {
+		*total = 0
+	}
+	if !explicit["hours"] {
+		*hours = 0
+	}
+	if *scenario == "list" {
+		fmt.Println("global")
+		for _, n := range workload.PresetNames() {
+			fmt.Println(n)
+		}
+		return
+	}
 
 	stopProf, err := profiling.Start(profiling.Config{
 		CPUProfile:   *cpuprofile,
@@ -89,7 +122,7 @@ func main() {
 	}
 	ctx, stopSig := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stopSig()
-	runErr := run(ctx, *scenario, *config, *total, *hours, *seed, *workers, *impair, *out, *metricsAddr, *verify, *index)
+	runErr := run(ctx, *scenario, *config, *total, *hours, *seed, *workers, *impair, *out, *metricsAddr, *traceOut, *traceIn, *verify, *index)
 	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, "trafficgen:", err)
 	}
@@ -99,7 +132,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, scenario, config string, total, hours int, seed uint64, workers int, impair, out, metricsAddr string, verify bool, index int) error {
+func run(ctx context.Context, scenario, config string, total, hours int, seed uint64, workers int, impair, out, metricsAddr, traceOut, traceIn string, verify bool, index int) error {
 	if index < 0 {
 		return fmt.Errorf("-index %d: want >= 0", index)
 	}
@@ -109,11 +142,18 @@ func run(ctx context.Context, scenario, config string, total, hours int, seed ui
 	case config != "":
 		s, err = workload.LoadScenarioFile(config)
 	case scenario == "global":
+		if total <= 0 {
+			total = 50000
+		}
+		if hours <= 0 {
+			hours = 14 * 24
+		}
 		s, err = workload.BuildScenario("global", total, hours, seed)
-	case scenario == "iran2022":
-		s, err = workload.Iran2022Scenario(total, seed)
 	default:
-		return fmt.Errorf("unknown scenario %q (want global or iran2022)", scenario)
+		// Any embedded preset name; total/hours are zero unless the
+		// flags were given explicitly, in which case they override the
+		// preset's defaults.
+		s, err = workload.PresetScenario(scenario, total, hours, seed)
 	}
 	if err != nil {
 		return err
@@ -139,11 +179,44 @@ func run(ctx context.Context, scenario, config string, total, hours int, seed ui
 		fmt.Fprintf(os.Stderr, "trafficgen: serving metrics at %s/metrics\n", srv.URL())
 	}
 
+	// The spec stream either replays a recorded arrival trace or
+	// expands the scenario's arrival processes; -trace-out records the
+	// expansion for later byte-identical replay.
+	var specs []workload.ConnSpec
+	if traceIn != "" {
+		tf, err := os.Open(traceIn)
+		if err != nil {
+			return err
+		}
+		specs, err = workload.ReadTrace(tf, s)
+		tf.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trafficgen: replaying %d arrivals from %s\n", len(specs), traceIn)
+	} else {
+		specs = s.SpecsSharded(workers)
+	}
+	if traceOut != "" {
+		tf, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := workload.WriteTrace(tf, s, specs); err != nil {
+			tf.Close()
+			return err
+		}
+		if err := tf.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trafficgen: recorded %d arrivals to %s\n", len(specs), traceOut)
+	}
+
 	// Connections stream from the simulator straight into the capture
 	// writer — nothing buffers the whole run, and a SIGINT/SIGTERM
 	// leaves a valid capture of everything simulated so far.
 	start := time.Now()
-	src := s.Stream(workers)
+	src := s.StreamSpecs(specs, workers)
 	defer src.Close()
 	f, err := os.Create(out)
 	if err != nil {

@@ -1,19 +1,22 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"tamperdetect"
+	"tamperdetect/internal/analysis"
 	"tamperdetect/internal/capture"
 )
 
 func TestRunGlobal(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "g.tdcap")
-	if err := run(context.Background(), "global", "", 500, 6, 3, 2, "", out, "", true, 64); err != nil {
+	if err := run(context.Background(), "global", "", 500, 6, 3, 2, "", out, "", "", "", true, 64); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	conns, err := tamperdetect.ReadCaptureFile(out)
@@ -45,7 +48,7 @@ func TestRunGlobal(t *testing.T) {
 
 func TestRunIran(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "i.tdcap")
-	if err := run(context.Background(), "iran2022", "", 400, 0, 3, 2, "lossy", out, "", true, 0); err != nil {
+	if err := run(context.Background(), "iran2022", "", 400, 0, 3, 2, "lossy", out, "", "", "", true, 0); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
@@ -56,17 +59,100 @@ func TestRunConfig(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := filepath.Join(t.TempDir(), "c.tdcap")
-	if err := run(context.Background(), "", cfg, 0, 0, 0, 2, "", out, "", false, capture.DefaultIndexInterval); err != nil {
+	if err := run(context.Background(), "", cfg, 0, 0, 0, 2, "", out, "", "", "", false, capture.DefaultIndexInterval); err != nil {
 		t.Fatalf("run(config): %v", err)
 	}
 }
 
 func TestRunUnknownScenario(t *testing.T) {
-	if err := run(context.Background(), "nope", "", 10, 1, 1, 1, "", filepath.Join(t.TempDir(), "x"), "", false, 0); err == nil {
+	if err := run(context.Background(), "nope", "", 10, 1, 1, 1, "", filepath.Join(t.TempDir(), "x"), "", "", "", false, 0); err == nil {
 		t.Error("unknown scenario accepted")
 	}
-	if err := run(context.Background(), "global", "", 10, 1, 1, 1, "nope", filepath.Join(t.TempDir(), "x"), "", false, 0); err == nil {
+	if err := run(context.Background(), "global", "", 10, 1, 1, 1, "nope", filepath.Join(t.TempDir(), "x"), "", "", "", false, 0); err == nil {
 		t.Error("unknown impairment grade accepted")
+	}
+}
+
+// TestRunDeterministicAcrossWorkers is the virtual-time determinism
+// contract end to end: the same preset and seed must produce a
+// byte-identical TDCAP regardless of worker count or repetition —
+// the property scripts/check.sh gates on the full-size scenario.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	dir := t.TempDir()
+	outs := make([][]byte, 0, 3)
+	for i, workers := range []int{1, 4, 4} {
+		out := filepath.Join(dir, fmt.Sprintf("d%d.tdcap", i))
+		if err := run(context.Background(), "iran2022", "", 500, 24, 5, workers, "", out, "", "", "", false, 64); err != nil {
+			t.Fatalf("run workers=%d: %v", workers, err)
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, data)
+	}
+	if !bytes.Equal(outs[0], outs[1]) {
+		t.Error("workers=1 and workers=4 captures differ")
+	}
+	if !bytes.Equal(outs[1], outs[2]) {
+		t.Error("two workers=4 runs differ")
+	}
+}
+
+// TestRunVirtualWindowCoverage: capture timestamps from the
+// event-queue generator must span the whole virtual window — every
+// scenario hour populated, at sub-hour (1-second) resolution.
+func TestRunVirtualWindowCoverage(t *testing.T) {
+	const hours = 48
+	out := filepath.Join(t.TempDir(), "w.tdcap")
+	if err := run(context.Background(), "iran2022", "", 4000, hours, 11, 0, "", out, "", "", "", false, 0); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	conns, err := tamperdetect.ReadCaptureFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]analysis.Record, 0, len(conns))
+	for _, c := range conns {
+		if len(c.Packets) == 0 {
+			continue
+		}
+		ts := c.Packets[0].Timestamp
+		recs = append(recs, analysis.Record{Time: ts, Hour: int(ts / 3600)})
+	}
+	if err := analysis.ComputeTimeSpan(recs).CoversWindow(hours); err != nil {
+		t.Errorf("virtual window not covered: %v", err)
+	}
+}
+
+// TestRunTraceRecordReplay: -trace-out records the arrival stream and
+// -trace-in replays it to a byte-identical capture; a trace from a
+// different seed is rejected.
+func TestRunTraceRecordReplay(t *testing.T) {
+	dir := t.TempDir()
+	out1 := filepath.Join(dir, "a.tdcap")
+	out2 := filepath.Join(dir, "b.tdcap")
+	trace := filepath.Join(dir, "a.trace")
+	if err := run(context.Background(), "iran2022", "", 400, 24, 3, 2, "", out1, "", trace, "", false, 64); err != nil {
+		t.Fatalf("record run: %v", err)
+	}
+	if err := run(context.Background(), "iran2022", "", 400, 24, 3, 4, "", out2, "", "", trace, false, 64); err != nil {
+		t.Fatalf("replay run: %v", err)
+	}
+	a, err := os.ReadFile(out1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("trace replay produced a different capture than the recording run")
+	}
+	// A different seed must refuse the trace.
+	if err := run(context.Background(), "iran2022", "", 400, 24, 9, 2, "", out2, "", "", trace, false, 64); err == nil {
+		t.Error("trace accepted against a different seed")
 	}
 }
 
@@ -75,7 +161,7 @@ func TestRunUnknownScenario(t *testing.T) {
 // impaired run must count fault events, and shutdown must not wedge.
 func TestRunWithMetricsServer(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "m.tdcap")
-	if err := run(context.Background(), "global", "", 300, 6, 3, 2, "lossy", out, "127.0.0.1:0", false, 0); err != nil {
+	if err := run(context.Background(), "global", "", 300, 6, 3, 2, "lossy", out, "127.0.0.1:0", "", "", false, 0); err != nil {
 		t.Fatalf("run with metrics server: %v", err)
 	}
 	if _, err := tamperdetect.ReadCaptureFile(out); err != nil {
@@ -90,7 +176,7 @@ func TestRunInterrupted(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	out := filepath.Join(t.TempDir(), "p.tdcap")
-	err := run(ctx, "global", "", 500, 6, 3, 2, "", out, "", false, 64)
+	err := run(ctx, "global", "", 500, 6, 3, 2, "", out, "", "", "", false, 64)
 	if err == nil {
 		t.Fatal("interrupted run reported success")
 	}

@@ -49,6 +49,7 @@ const (
 	tagStability
 	tagRobustness
 	tagMulti
+	tagTimeSpan
 )
 
 // Typed enum sizes as plain ints, for array loops and Len bounds.
@@ -94,6 +95,8 @@ func aggTag(a Aggregator) (byte, error) {
 		return tagStability, nil
 	case *RobustnessAgg:
 		return tagRobustness, nil
+	case *TimeSpanAgg:
+		return tagTimeSpan, nil
 	case Multi:
 		return tagMulti, nil
 	}
@@ -133,6 +136,8 @@ func AppendSnapshot(b []byte, a Aggregator) ([]byte, error) {
 	case *StabilityAgg:
 		return v.appendSnapshot(b), nil
 	case *RobustnessAgg:
+		return v.appendSnapshot(b), nil
+	case *TimeSpanAgg:
 		return v.appendSnapshot(b), nil
 	case Multi:
 		b = wire.AppendUvarint(b, uint64(len(v)))
@@ -198,6 +203,8 @@ func restoreInto(d *wire.Decoder, into Aggregator) error {
 	case *StabilityAgg:
 		return v.restoreSnapshot(d)
 	case *RobustnessAgg:
+		return v.restoreSnapshot(d)
+	case *TimeSpanAgg:
 		return v.restoreSnapshot(d)
 	case Multi:
 		n := d.Uvarint()
@@ -851,6 +858,56 @@ func (a *RobustnessAgg) appendSnapshot(b []byte) []byte {
 		b = wire.AppendVarint(b, int64(a.fps[sig]))
 	}
 	return b
+}
+
+func (a *TimeSpanAgg) appendSnapshot(b []byte) []byte {
+	b = wire.AppendVarint(b, int64(a.total))
+	keys := a.sortedTimes()
+	b = wire.AppendUvarint(b, uint64(len(keys)))
+	prev := int64(0)
+	for i, t := range keys {
+		// First second absolute (signed), the rest as the gap from the
+		// previous one — sorted order makes every gap non-negative.
+		if i == 0 {
+			b = wire.AppendVarint(b, t)
+		} else {
+			b = wire.AppendUvarint(b, uint64(t-prev))
+		}
+		prev = t
+		b = wire.AppendVarint(b, int64(a.secs[t]))
+	}
+	return b
+}
+
+// maxTimeDelta bounds the gap between consecutive snapshot seconds;
+// anything past ~136 years of virtual time is a corrupt frame, and
+// the bound keeps the running sum from overflowing.
+const maxTimeDelta = int64(1) << 32
+
+func (a *TimeSpanAgg) restoreSnapshot(d *wire.Decoder) error {
+	a.total += d.Int()
+	n := d.Len(maxSnapshotEntries, 2)
+	prev := int64(0)
+	for i := 0; i < n; i++ {
+		if i == 0 {
+			prev = d.Varint()
+		} else {
+			gap := d.Uvarint()
+			if gap == 0 || int64(gap) > maxTimeDelta {
+				return fmt.Errorf("analysis: time-span snapshot gap %d out of range", gap)
+			}
+			prev += int64(gap)
+		}
+		cnt := d.Int()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if cnt <= 0 {
+			return fmt.Errorf("analysis: time-span snapshot count %d for second %d", cnt, prev)
+		}
+		a.secs[prev] += cnt
+	}
+	return d.Err()
 }
 
 func (a *RobustnessAgg) restoreSnapshot(d *wire.Decoder) error {

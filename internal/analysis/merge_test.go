@@ -36,6 +36,7 @@ func mergeCases() []mergeCase {
 		{"overlap", func() Aggregator { return NewOverlapAgg() }},
 		{"stability", func() Aggregator { return NewStabilityAgg(10) }},
 		{"robustness", func() Aggregator { return NewRobustnessAgg("clean", 0.01) }},
+		{"time-span", func() Aggregator { return NewTimeSpanAgg() }},
 		{"multi", func() Aggregator {
 			return Multi{NewStageStatsAgg(), NewOverlapAgg(), NewEvidenceAgg(16)}
 		}},

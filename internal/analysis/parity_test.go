@@ -36,6 +36,7 @@ const (
 	parStability
 	parScanners
 	parSeries
+	parSpan
 )
 
 var parityRegions = []string{"", "CN", "IR", "RU", "US"}
@@ -56,6 +57,7 @@ func parityAggs() Aggregator {
 		NewStabilityAgg(30),
 		NewScannerAgg(),
 		NewTimeSeriesAgg(4, nil, AnySignatureMatch),
+		NewTimeSpanAgg(),
 	}
 }
 
@@ -97,6 +99,7 @@ func renderAggs(agg Aggregator, scen *workload.Scenario) string {
 	b.WriteString(RenderStability(a[parStability].(*StabilityAgg).Report()))
 	b.WriteString(RenderScannerStats(a[parScanners].(*ScannerAgg).Stats()))
 	b.WriteString(RenderTimeSeries("series", a[parSeries].(*TimeSeriesAgg).Series()))
+	b.WriteString(RenderTimeSpan(a[parSpan].(*TimeSpanAgg).Span()))
 	return b.String()
 }
 
@@ -125,6 +128,7 @@ func renderBatch(recs []Record, conns []*capture.Connection, scen *workload.Scen
 	b.WriteString(RenderStability(StabilityReport(recs, 30)))
 	b.WriteString(RenderScannerStats(ComputeScannerStats(recs, conns)))
 	b.WriteString(RenderTimeSeries("series", TimeSeries(recs, 4, nil, AnySignatureMatch)))
+	b.WriteString(RenderTimeSpan(ComputeTimeSpan(recs)))
 	return b.String()
 }
 

@@ -110,9 +110,15 @@ type Segment struct {
 }
 
 // Segments splits the index into at most shards contiguous segments of
-// near-equal record count, cut only at index points so every seam is a
-// record boundary. Fewer segments come back when the index has fewer
-// points than shards; an empty capture yields none.
+// near-equal BYTE size, cut only at index points so every seam is a
+// record boundary. Balancing by bytes rather than index points keeps
+// shard wall-clock even when record sizes vary wildly (long censored
+// connections serialize to many times the bytes of a SYN scan, so
+// equal point counts can leave one scanner with most of the file).
+// Each shard's byte target is recomputed from what remains, so early
+// oversized chunks do not starve the tail. Fewer segments come back
+// when the index has fewer points than shards; an empty capture yields
+// none.
 func (idx *Index) Segments(shards int) []Segment {
 	if shards < 1 {
 		shards = 1
@@ -121,24 +127,38 @@ func (idx *Index) Segments(shards int) []Segment {
 	if np == 0 {
 		return nil
 	}
-	segs := make([]Segment, 0, min(shards, np))
-	for i := 0; i < shards; i++ {
-		lo, hi := i*np/shards, (i+1)*np/shards
-		if lo == hi {
-			continue
+	if shards > np {
+		shards = np
+	}
+	// pointEnd(h) is the byte offset one past index point h-1's chunk.
+	pointEnd := func(h int) int64 {
+		if h < np {
+			return idx.Offsets[h]
+		}
+		return idx.DataSize
+	}
+	segs := make([]Segment, 0, shards)
+	lo := 0
+	for s := 0; s < shards && lo < np; s++ {
+		target := (idx.DataSize - idx.Offsets[lo]) / int64(shards-s)
+		hi := lo + 1
+		// Grow the segment to its byte target, but always leave at
+		// least one index point for each shard still to come.
+		for hi < np && np-hi > shards-s-1 && pointEnd(hi)-idx.Offsets[lo] < target {
+			hi++
 		}
 		seg := Segment{
 			Start:       idx.Offsets[lo],
-			End:         idx.DataSize,
+			End:         pointEnd(hi),
 			FirstRecord: lo * idx.Interval,
 		}
 		if hi < np {
-			seg.End = idx.Offsets[hi]
 			seg.Records = (hi - lo) * idx.Interval
 		} else {
 			seg.Records = idx.Records - seg.FirstRecord
 		}
 		segs = append(segs, seg)
+		lo = hi
 	}
 	return segs
 }

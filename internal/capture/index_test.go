@@ -453,3 +453,142 @@ func scannerConnsForFuzz() []*Connection {
 	}
 	return out
 }
+
+// synthIndex builds an index whose point-to-point chunks have the
+// given byte sizes (one chunk per index point).
+func synthIndex(t *testing.T, interval int, chunks []int64) *Index {
+	t.Helper()
+	idx := &Index{Interval: interval, Records: len(chunks) * interval}
+	off := int64(8)
+	for _, sz := range chunks {
+		if sz < 1 {
+			t.Fatal("chunk sizes must be positive")
+		}
+		idx.Offsets = append(idx.Offsets, off)
+		off += sz
+	}
+	idx.DataSize = off
+	if err := idx.validate(); err != nil {
+		t.Fatalf("synthetic index invalid: %v", err)
+	}
+	return idx
+}
+
+// checkSegmentsCover asserts segs tile [8, DataSize) contiguously,
+// start on index points, and account for every record.
+func checkSegmentsCover(t *testing.T, idx *Index, segs []Segment) {
+	t.Helper()
+	if len(segs) == 0 {
+		t.Fatal("no segments")
+	}
+	if segs[0].Start != 8 || segs[0].FirstRecord != 0 {
+		t.Fatalf("first segment %+v does not start at the first record", segs[0])
+	}
+	records := 0
+	for i, seg := range segs {
+		if seg.End <= seg.Start {
+			t.Fatalf("segment %d empty: %+v", i, seg)
+		}
+		if i > 0 {
+			if seg.Start != segs[i-1].End {
+				t.Fatalf("gap between segments %d and %d", i-1, i)
+			}
+			if seg.FirstRecord != segs[i-1].FirstRecord+segs[i-1].Records {
+				t.Fatalf("record discontinuity at segment %d", i)
+			}
+		}
+		records += seg.Records
+	}
+	if last := segs[len(segs)-1]; last.End != idx.DataSize {
+		t.Fatalf("last segment ends at %d, data ends at %d", last.End, idx.DataSize)
+	}
+	if records != idx.Records {
+		t.Fatalf("segments cover %d records, index has %d", records, idx.Records)
+	}
+}
+
+// TestSegmentsBalanceBytes: with wildly variable record sizes, the
+// split must balance byte ranges, not index-point counts. The first
+// half of this capture is tiny records, the second half huge ones — a
+// point-count split would give one scanner ~99% of the bytes.
+func TestSegmentsBalanceBytes(t *testing.T) {
+	chunks := make([]int64, 64)
+	for i := range chunks {
+		if i < 32 {
+			chunks[i] = 100
+		} else {
+			chunks[i] = 10000
+		}
+	}
+	idx := synthIndex(t, 16, chunks)
+	for _, shards := range []int{2, 3, 4, 7, 8} {
+		segs := idx.Segments(shards)
+		if len(segs) != shards {
+			t.Fatalf("shards=%d: got %d segments", shards, len(segs))
+		}
+		checkSegmentsCover(t, idx, segs)
+		total := idx.DataSize - 8
+		ideal := total / int64(shards)
+		var maxChunk int64
+		for _, c := range chunks {
+			maxChunk = max(maxChunk, c)
+		}
+		for i, seg := range segs {
+			size := seg.End - seg.Start
+			if size > ideal+maxChunk {
+				t.Errorf("shards=%d: segment %d holds %d bytes, ideal %d + max chunk %d",
+					shards, i, size, ideal, maxChunk)
+			}
+		}
+	}
+}
+
+// TestSegmentsUniformStaysBalanced: equal-size chunks split evenly,
+// matching the old point-count behaviour.
+func TestSegmentsUniformStaysBalanced(t *testing.T) {
+	chunks := make([]int64, 40)
+	for i := range chunks {
+		chunks[i] = 500
+	}
+	idx := synthIndex(t, 8, chunks)
+	segs := idx.Segments(4)
+	if len(segs) != 4 {
+		t.Fatalf("got %d segments", len(segs))
+	}
+	checkSegmentsCover(t, idx, segs)
+	for i, seg := range segs {
+		if size := seg.End - seg.Start; size != 10*500 {
+			t.Errorf("segment %d spans %d bytes, want %d", i, size, 10*500)
+		}
+	}
+}
+
+// TestSegmentsEdgeCases: more shards than points, one point, one shard.
+func TestSegmentsEdgeCases(t *testing.T) {
+	idx := synthIndex(t, 4, []int64{100, 200, 300})
+	segs := idx.Segments(10)
+	if len(segs) != 3 {
+		t.Fatalf("3 points across 10 shards: got %d segments", len(segs))
+	}
+	checkSegmentsCover(t, idx, segs)
+
+	one := synthIndex(t, 4, []int64{1000})
+	segs = one.Segments(5)
+	if len(segs) != 1 {
+		t.Fatalf("single point: got %d segments", len(segs))
+	}
+	checkSegmentsCover(t, one, segs)
+
+	segs = idx.Segments(1)
+	if len(segs) != 1 || segs[0].Start != 8 || segs[0].End != idx.DataSize {
+		t.Fatalf("single shard must cover everything: %+v", segs)
+	}
+	if (&Index{Interval: 4}).Segments(3) != nil {
+		t.Error("empty index yielded segments")
+	}
+	// Partial tail: last point covers fewer than Interval records.
+	partial := synthIndex(t, 4, []int64{100, 100, 100})
+	partial.Records = 9 // 4 + 4 + 1
+	segs = partial.Segments(3)
+	checkSegmentsCover(t, partial, segs)
+}

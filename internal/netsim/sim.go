@@ -9,148 +9,29 @@
 // (middlebox DPI, TCP endpoints, the capture tap) operates on genuine
 // serialized packets, so the classifier under test sees wire-accurate
 // inputs.
+//
+// The clock itself lives in internal/simtime: the event queue, Time,
+// and Timer were extracted there (PR 9) so the workload layer can
+// schedule scenario-scale connection arrivals on the same engine that
+// drives packet-level timers here. The aliases below keep every
+// existing call site — and the per-connection event order, pinned by
+// workload's TestSimCorpusGolden — exactly as it was.
 package netsim
 
-import (
-	"container/heap"
-	"time"
-)
+import "tamperdetect/internal/simtime"
 
 // Time is virtual simulation time, in nanoseconds since scenario start.
-type Time int64
-
-// Duration converts a standard duration to simulator time units.
-func (t Time) Add(d time.Duration) Time { return t + Time(d) }
-
-// Seconds returns the time in (floating point) seconds.
-func (t Time) Seconds() float64 { return float64(t) / 1e9 }
-
-// Unix returns the whole-second timestamp the capture pipeline records
-// (the paper's 1-second granularity).
-func (t Time) Unix() int64 { return int64(t) / 1e9 }
-
-// event is a scheduled callback.
-type event struct {
-	at   Time
-	seq  uint64 // tiebreaker preserving schedule order
-	fn   func()
-	dead bool
-	idx  int
-}
+type Time = simtime.Time
 
 // Timer handles allow cancelling a scheduled event (e.g. a TCP
 // retransmission timer that was answered).
-type Timer struct{ ev *event }
-
-// Stop cancels the timer if it has not fired. Safe to call repeatedly
-// and on a zero Timer.
-func (t Timer) Stop() {
-	if t.ev != nil {
-		t.ev.dead = true
-	}
-}
-
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].idx, q[j].idx = i, j
-}
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
-	ev.idx = len(*q)
-	*q = append(*q, ev)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
-}
+type Timer = simtime.Timer
 
 // Sim is a single-threaded discrete-event simulator. It is not safe for
 // concurrent use; run one Sim per goroutine.
-type Sim struct {
-	now   Time
-	queue eventQueue
-	seq   uint64
-	// Steps counts processed events, a cheap runaway guard for tests.
-	Steps int
-}
+type Sim = simtime.Engine
 
 // NewSim returns a simulator starting at the given virtual time.
 func NewSim(start Time) *Sim {
-	return &Sim{now: start}
-}
-
-// Now returns the current virtual time.
-func (s *Sim) Now() Time { return s.now }
-
-// Schedule runs fn after d of virtual time and returns a cancellable
-// handle. A negative d schedules immediately.
-func (s *Sim) Schedule(d time.Duration, fn func()) Timer {
-	if d < 0 {
-		d = 0
-	}
-	s.seq++
-	ev := &event{at: s.now.Add(d), seq: s.seq, fn: fn}
-	heap.Push(&s.queue, ev)
-	return Timer{ev: ev}
-}
-
-// Run processes events until the queue is empty or maxSteps events have
-// run (0 means no limit). It returns the number of events processed.
-func (s *Sim) Run(maxSteps int) int {
-	n := 0
-	for len(s.queue) > 0 {
-		if maxSteps > 0 && n >= maxSteps {
-			break
-		}
-		ev := heap.Pop(&s.queue).(*event)
-		if ev.dead {
-			continue
-		}
-		s.now = ev.at
-		ev.fn()
-		n++
-		s.Steps++
-	}
-	return n
-}
-
-// RunUntil processes events with at ≤ deadline, advancing the clock to
-// the deadline afterwards.
-func (s *Sim) RunUntil(deadline Time) {
-	for len(s.queue) > 0 && s.queue[0].at <= deadline {
-		ev := heap.Pop(&s.queue).(*event)
-		if ev.dead {
-			continue
-		}
-		s.now = ev.at
-		ev.fn()
-		s.Steps++
-	}
-	if s.now < deadline {
-		s.now = deadline
-	}
-}
-
-// Pending reports the number of live events still queued.
-func (s *Sim) Pending() int {
-	n := 0
-	for _, ev := range s.queue {
-		if !ev.dead {
-			n++
-		}
-	}
-	return n
+	return simtime.New(start)
 }

@@ -273,7 +273,10 @@ func TestShardedScanLyingSeamOffset(t *testing.T) {
 	}
 	lying := *idx
 	lying.Offsets = append([]int64(nil), idx.Offsets...)
-	lying.Offsets[50] += 2 // mid-record; with 4 shards this is a segment seam
+	// Shift an actual 4-shard seam mid-record (segments are cut by byte
+	// balance, so derive the seam instead of assuming point np/2).
+	seam := idx.Segments(4)[2].FirstRecord / idx.Interval
+	lying.Offsets[seam] += 2
 	src, err := capture.NewSegmentedSource(bytes.NewReader(data), int64(len(data)), &lying, 4)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,170 @@
+// Package simtime is the shared discrete-event virtual-time core: a
+// heap-backed event queue with a deterministic clock and cancellable
+// timers. It was extracted verbatim from internal/netsim (which keeps
+// type aliases, so per-connection simulation semantics are
+// byte-identical — pinned by workload's TestSimCorpusGolden) so that
+// the workload layer can schedule *connection arrivals* on the same
+// engine the packet-level simulator uses for retransmission timers:
+// one clock abstraction spans everything from a 14-day scenario window
+// down to a sub-millisecond RTO, and capture timestamps fall out of
+// virtual time instead of being painted on.
+//
+// An Engine is single-threaded by design: determinism comes from the
+// (time, schedule-order) total order of its queue, so two runs with
+// the same seed replay the exact same event sequence. Run one Engine
+// per goroutine.
+package simtime
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Time is virtual time, in nanoseconds since scenario start.
+type Time int64
+
+// Add shifts the time by a standard duration.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Seconds returns the time in (floating point) seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Unix returns the whole-second timestamp the capture pipeline records
+// (the paper's 1-second granularity).
+func (t Time) Unix() int64 { return int64(t) / 1e9 }
+
+// event is a scheduled callback.
+type event struct {
+	at   Time
+	seq  uint64 // tiebreaker preserving schedule order
+	fn   func()
+	dead bool
+	idx  int
+}
+
+// Timer handles allow cancelling a scheduled event (e.g. a TCP
+// retransmission timer that was answered).
+type Timer struct{ ev *event }
+
+// Stop cancels the timer if it has not fired. Safe to call repeatedly
+// and on a zero Timer.
+func (t Timer) Stop() {
+	if t.ev != nil {
+		t.ev.dead = true
+	}
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx, q[j].idx = i, j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe
+// for concurrent use; run one Engine per goroutine.
+type Engine struct {
+	now   Time
+	queue eventQueue
+	seq   uint64
+	// Steps counts processed events, a cheap runaway guard for tests.
+	Steps int
+}
+
+// New returns an engine starting at the given virtual time.
+func New(start Time) *Engine {
+	return &Engine{now: start}
+}
+
+// Now returns the current virtual time.
+func (s *Engine) Now() Time { return s.now }
+
+// Schedule runs fn after d of virtual time and returns a cancellable
+// handle. A negative d schedules immediately.
+func (s *Engine) Schedule(d time.Duration, fn func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.ScheduleAt(s.now.Add(d), fn)
+}
+
+// ScheduleAt runs fn at the given absolute virtual time and returns a
+// cancellable handle. A time in the past schedules at the current
+// instant (the event still runs, after already-queued events at now).
+func (s *Engine) ScheduleAt(at Time, fn func()) Timer {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	ev := &event{at: at, seq: s.seq, fn: fn}
+	heap.Push(&s.queue, ev)
+	return Timer{ev: ev}
+}
+
+// Run processes events until the queue is empty or maxSteps events have
+// run (0 means no limit). It returns the number of events processed.
+func (s *Engine) Run(maxSteps int) int {
+	n := 0
+	for len(s.queue) > 0 {
+		if maxSteps > 0 && n >= maxSteps {
+			break
+		}
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.dead {
+			continue
+		}
+		s.now = ev.at
+		ev.fn()
+		n++
+		s.Steps++
+	}
+	return n
+}
+
+// RunUntil processes events with at ≤ deadline, advancing the clock to
+// the deadline afterwards.
+func (s *Engine) RunUntil(deadline Time) {
+	for len(s.queue) > 0 && s.queue[0].at <= deadline {
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.dead {
+			continue
+		}
+		s.now = ev.at
+		ev.fn()
+		s.Steps++
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// Pending reports the number of live events still queued.
+func (s *Engine) Pending() int {
+	n := 0
+	for _, ev := range s.queue {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,118 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventOrderAndClock(t *testing.T) {
+	s := New(0)
+	var order []int
+	s.Schedule(30*time.Millisecond, func() { order = append(order, 3) })
+	s.Schedule(10*time.Millisecond, func() { order = append(order, 1) })
+	s.Schedule(20*time.Millisecond, func() {
+		order = append(order, 2)
+		if s.Now() != Time(20*time.Millisecond) {
+			t.Errorf("Now = %d inside event at 20ms", s.Now())
+		}
+	})
+	if n := s.Run(0); n != 3 {
+		t.Fatalf("Run processed %d events", n)
+	}
+	for i, v := range order {
+		if v != i+1 {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if s.Now() != Time(30*time.Millisecond) {
+		t.Errorf("final Now = %d", s.Now())
+	}
+}
+
+// TestTieBreakPreservesScheduleOrder pins the determinism contract:
+// events at the same instant run in the order they were scheduled.
+func TestTieBreakPreservesScheduleOrder(t *testing.T) {
+	s := New(0)
+	var order []int
+	for i := 0; i < 16; i++ {
+		i := i
+		s.Schedule(time.Millisecond, func() { order = append(order, i) })
+	}
+	s.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant order not FIFO: %v", order)
+		}
+	}
+}
+
+func TestScheduleAt(t *testing.T) {
+	s := New(Time(5 * time.Second))
+	var at []Time
+	s.ScheduleAt(Time(7*time.Second), func() { at = append(at, s.Now()) })
+	// Past deadlines clamp to now instead of rewinding the clock.
+	s.ScheduleAt(Time(time.Second), func() { at = append(at, s.Now()) })
+	s.Run(0)
+	if len(at) != 2 || at[0] != Time(5*time.Second) || at[1] != Time(7*time.Second) {
+		t.Fatalf("fire times = %v", at)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	s := New(0)
+	fired := false
+	tm := s.Schedule(time.Millisecond, func() { fired = true })
+	tm.Stop()
+	tm.Stop() // idempotent
+	(Timer{}).Stop()
+	if n := s.Run(0); n != 0 || fired {
+		t.Fatalf("cancelled event ran (n=%d fired=%v)", n, fired)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New(0)
+	var fired []int
+	s.Schedule(time.Second, func() { fired = append(fired, 1) })
+	s.Schedule(3*time.Second, func() { fired = append(fired, 3) })
+	s.RunUntil(Time(2 * time.Second))
+	if len(fired) != 1 || fired[0] != 1 {
+		t.Fatalf("fired = %v", fired)
+	}
+	if s.Now() != Time(2*time.Second) {
+		t.Errorf("Now = %d after RunUntil", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending = %d", s.Pending())
+	}
+	s.Run(0)
+	if len(fired) != 2 || s.Now() != Time(3*time.Second) {
+		t.Fatalf("fired = %v, Now = %d", fired, s.Now())
+	}
+}
+
+func TestMaxStepsGuard(t *testing.T) {
+	s := New(0)
+	var reschedule func()
+	reschedule = func() { s.Schedule(time.Millisecond, reschedule) }
+	s.Schedule(0, reschedule)
+	if n := s.Run(100); n != 100 {
+		t.Fatalf("Run(100) processed %d", n)
+	}
+	if s.Steps != 100 {
+		t.Errorf("Steps = %d", s.Steps)
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	tm := Time(90*time.Second + 500*time.Millisecond)
+	if tm.Unix() != 90 {
+		t.Errorf("Unix = %d", tm.Unix())
+	}
+	if tm.Seconds() != 90.5 {
+		t.Errorf("Seconds = %f", tm.Seconds())
+	}
+	if tm.Add(500*time.Millisecond) != Time(91*time.Second) {
+		t.Errorf("Add broken")
+	}
+}

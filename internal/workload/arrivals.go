@@ -1,0 +1,181 @@
+package workload
+
+// Virtual-time arrival scheduling. A scenario's connections used to be
+// stamped with an ad-hoc per-hour StartSec; now they are *arrival
+// events* on a shared internal/simtime engine. Each (country, hour)
+// bucket is an arrival source: its connection count comes from the
+// same largest-remainder intensity allocation as before (share ×
+// diurnal volume curve — the nonhomogeneous Poisson intensity), and
+// its arrival instants are the order statistics of that intensity
+// within the hour, i.e. a nonhomogeneous Poisson process conditioned
+// on the bucket's count. The engine merges every source into one
+// globally time-ordered spec stream, so the TDCAP a generator writes
+// is ordered by virtual arrival time and its 1-second capture
+// timestamps fall out of the clock naturally.
+//
+// Determinism contract (pinned by TestSpecsShardedIdentical and the
+// trafficgen determinism gate): bucket boundaries, per-bucket spec
+// content, and per-bucket arrival instants each come from their own
+// position-derived RNG stream, and the merge is a single-threaded
+// discrete-event run — so the result is byte-identical at every
+// worker count and across runs.
+
+import (
+	"math/rand/v2"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"tamperdetect/internal/simtime"
+)
+
+// arrivalBucket is one (country, hour) cell of the scenario expansion.
+type arrivalBucket struct {
+	country int
+	hour    int
+	start   int // first spec index of the bucket (bucket-major order)
+	n       int // connection count of the bucket
+}
+
+// arrivalBuckets allocates the scenario's Total connections over
+// (country, hour) cells by largest remainder on the intensity weights
+// share × volumeFactor(local hour). It runs sequentially so bucket
+// boundaries never depend on the worker count. The returned total is
+// the sum of bucket counts (≤ Total by at most rounding).
+func (s *Scenario) arrivalBuckets() ([]arrivalBucket, int) {
+	var buckets []arrivalBucket
+	var weights []float64
+	totalW := 0.0
+	for ci := range s.Countries {
+		c := &s.Countries[ci]
+		for h := 0; h < s.Hours; h++ {
+			w := c.Share * volumeFactor(localHour(c, h))
+			buckets = append(buckets, arrivalBucket{country: ci, hour: h})
+			weights = append(weights, w)
+			totalW += w
+		}
+	}
+	carry := 0.0
+	idx := 0
+	for bi := range buckets {
+		exact := float64(s.Total) * weights[bi] / totalW
+		n := int(exact + carry)
+		carry += exact - float64(n)
+		buckets[bi].start = idx
+		buckets[bi].n = n
+		idx += n
+	}
+	return buckets, idx
+}
+
+// bucketSeed derives the RNG seed of one bucket's stream; kind
+// decorrelates the spec-content stream from the arrival-time stream.
+func (s *Scenario) bucketSeed(bi int, kind uint64) uint64 {
+	return s.Seed ^ (uint64(bi)*0x9e3779b97f4a7c15 + kind)
+}
+
+// bucketArrivals draws one bucket's arrival instants: n points of a
+// Poisson process over the bucket's hour, conditioned on the count —
+// the order statistics of n uniforms under the hour's (constant)
+// intensity. Instants carry full nanosecond resolution; the capture
+// pipeline later quantizes to the paper's 1-second granularity.
+func (s *Scenario) bucketArrivals(bi int, b *arrivalBucket) []simtime.Time {
+	seed := s.bucketSeed(bi, 0xa1217e5)
+	rng := rand.New(rand.NewPCG(seed, seed^0x7153))
+	hourStart := simtime.Time(b.hour) * simtime.Time(time.Hour)
+	offs := make([]simtime.Time, b.n)
+	for k := range offs {
+		offs[k] = hourStart + simtime.Time(rng.Int64N(int64(time.Hour)))
+	}
+	sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+	return offs
+}
+
+// mergeArrivals runs the shared discrete-event engine over every
+// bucket's arrival source and returns the globally time-ordered spec
+// stream. Each source schedules its next arrival when the current one
+// fires, so the engine's queue holds one live event per bucket and the
+// merge costs O(N log B). Spec Seeds keep their bucket-major
+// derivation (they never depend on merge order); Index and Start are
+// assigned at fire time, in arrival order, from the engine clock.
+func (s *Scenario) mergeArrivals(buckets []arrivalBucket, built [][]ConnSpec, offs [][]simtime.Time) []ConnSpec {
+	total := 0
+	for bi := range buckets {
+		total += buckets[bi].n
+	}
+	out := make([]ConnSpec, 0, total)
+	eng := simtime.New(0)
+	var schedule func(bi, k int)
+	schedule = func(bi, k int) {
+		eng.ScheduleAt(offs[bi][k], func() {
+			sp := built[bi][k]
+			sp.Start = eng.Now()
+			sp.Index = len(out)
+			out = append(out, sp)
+			if k+1 < len(offs[bi]) {
+				schedule(bi, k+1)
+			}
+		})
+	}
+	for bi := range buckets {
+		if buckets[bi].n > 0 {
+			schedule(bi, 0)
+		}
+	}
+	eng.Run(0)
+	return out
+}
+
+// Specs deterministically expands the scenario into per-connection
+// specs in global virtual-time order: connection arrivals are
+// scheduled events on a shared simtime engine, drawn from the
+// intensity-driven per-(country, hour) arrival processes. Specs uses
+// GOMAXPROCS workers for spec content; SpecsSharded selects the count.
+func (s *Scenario) Specs() []ConnSpec { return s.SpecsSharded(0) }
+
+// SpecsSharded is Specs with an explicit worker count (0 = GOMAXPROCS).
+// The output is byte-identical for every worker count: shard
+// boundaries, per-bucket RNG streams, and the single-threaded event
+// merge depend only on the scenario.
+func (s *Scenario) SpecsSharded(workers int) []ConnSpec {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	buckets, _ := s.arrivalBuckets()
+	built := make([][]ConnSpec, len(buckets))
+	offs := make([][]simtime.Time, len(buckets))
+	if workers > len(buckets) {
+		workers = len(buckets)
+	}
+	var wg sync.WaitGroup
+	ch := make(chan int, len(buckets))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for bi := range ch {
+				b := &buckets[bi]
+				c := &s.Countries[b.country]
+				// Each bucket owns independent, position-derived RNG
+				// streams — one for spec content, one for arrival
+				// instants — so its output is the same no matter which
+				// worker builds it or in what order.
+				seed := s.bucketSeed(bi, 0xb0c4e75)
+				rng := rand.New(rand.NewPCG(seed, seed^0x5eed))
+				specs := make([]ConnSpec, b.n)
+				for k := 0; k < b.n; k++ {
+					specs[k] = s.buildSpec(b.start+k, c, b.hour, rng)
+				}
+				built[bi] = specs
+				offs[bi] = s.bucketArrivals(bi, b)
+			}
+		}()
+	}
+	for bi := range buckets {
+		ch <- bi
+	}
+	close(ch)
+	wg.Wait()
+	return s.mergeArrivals(buckets, built, offs)
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"tamperdetect/internal/domains"
 	"tamperdetect/internal/faults"
@@ -12,8 +13,13 @@ import (
 
 // This file loads scenario definitions from JSON so operators can
 // describe custom country tables without recompiling (used by
-// `trafficgen -config`). The JSON schema mirrors CountryConfig with
-// string names for styles and categories.
+// `trafficgen -scenario`/`-config` and `paperbench -scenario`; the
+// named presets under presets/ use the same schema — see presets.go).
+// The JSON schema mirrors CountryConfig with string names for styles
+// and categories, plus phase tables for the hourly seek/style curves
+// that used to be expressible only as Go functions. Unknown fields are
+// rejected, and every intensity is range-checked at load time so a
+// typo'd preset fails loudly instead of skewing a 14-day run.
 
 // ScenarioFile is the JSON root.
 type ScenarioFile struct {
@@ -21,12 +27,28 @@ type ScenarioFile struct {
 	Seed  uint64 `json:"seed"`
 	Hours int    `json:"hours"`
 	Total int    `json:"total"`
+	// StartWeekday is the weekday of hour 0 (0=Monday … 6=Sunday).
+	StartWeekday int `json:"start_weekday,omitempty"`
 	// SYNPayloadSurgeDay < 0 disables the surge (default -1).
 	SYNPayloadSurgeDay *int `json:"syn_payload_surge_day,omitempty"`
 	// Impairment names a faults grade ("clean", "lossy", "hostile")
 	// applied to every connection's path; empty means clean.
 	Impairment string        `json:"impairment,omitempty"`
 	Countries  []CountryFile `json:"countries"`
+}
+
+// SeekPhase is one piece of a piecewise-constant blocked-seeking
+// curve: Seek applies to scenario hours below UntilHour. The final
+// phase of a table leaves UntilHour at 0 (open-ended).
+type SeekPhase struct {
+	UntilHour int     `json:"until_hour,omitempty"`
+	Seek      float64 `json:"seek"`
+}
+
+// StylePhase is one piece of a piecewise-constant censor-style mix.
+type StylePhase struct {
+	UntilHour int                `json:"until_hour,omitempty"`
+	Styles    map[string]float64 `json:"styles"`
 }
 
 // CountryFile is the JSON form of CountryConfig.
@@ -53,6 +75,12 @@ type CountryFile struct {
 	BlockCoverage map[string]float64 `json:"block_coverage,omitempty"`
 	// Styles maps style names to weights.
 	Styles map[string]float64 `json:"styles,omitempty"`
+	// SeekPhases overrides BlockedSeekBase per scenario hour (the Iran
+	// 2022 protest ramp); phases must be in increasing UntilHour order
+	// with only the last open-ended.
+	SeekPhases []SeekPhase `json:"seek_phases,omitempty"`
+	// StylePhases overrides Styles per scenario hour.
+	StylePhases []StylePhase `json:"style_phases,omitempty"`
 }
 
 // styleNames maps JSON style names to CensorStyle values.
@@ -85,6 +113,7 @@ func StyleNames() []string {
 	for n := range styleNames {
 		out = append(out, n)
 	}
+	sort.Strings(out)
 	return out
 }
 
@@ -98,22 +127,174 @@ func categoryByName(name string) (domains.Category, bool) {
 	return 0, false
 }
 
-// LoadScenario reads a JSON scenario description and assembles it.
-func LoadScenario(r io.Reader) (*Scenario, error) {
+// ParseScenarioFile strictly decodes one scenario description: unknown
+// fields, trailing garbage, and out-of-range intensities are all
+// errors. The result has not been assembled yet, so callers (the
+// preset loader, the CLIs) may override Total/Hours/Seed first.
+func ParseScenarioFile(r io.Reader) (*ScenarioFile, error) {
 	var sf ScenarioFile
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&sf); err != nil {
 		return nil, fmt.Errorf("workload: parsing scenario: %w", err)
 	}
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return nil, fmt.Errorf("workload: trailing data after scenario document")
+	}
+	if err := sf.validate(); err != nil {
+		return nil, err
+	}
+	return &sf, nil
+}
+
+// unitRange checks a [0,1] intensity.
+func unitRange(what string, v float64) error {
+	if v < 0 || v > 1 {
+		return fmt.Errorf("%s %v out of range [0,1]", what, v)
+	}
+	return nil
+}
+
+// maxSeek caps every blocked-seeking probability (seekProbability
+// clamps at runtime too; the preset validator rejects rather than
+// silently clamping).
+const maxSeek = 0.97
+
+// validate range-checks the file without assembling it.
+func (sf *ScenarioFile) validate() error {
+	if sf.Total < 0 {
+		return fmt.Errorf("workload: total %d must be >= 0", sf.Total)
+	}
+	if sf.Hours < 0 {
+		return fmt.Errorf("workload: hours %d must be >= 0", sf.Hours)
+	}
+	if sf.StartWeekday < 0 || sf.StartWeekday > 6 {
+		return fmt.Errorf("workload: start_weekday %d out of range [0,6]", sf.StartWeekday)
+	}
+	if len(sf.Countries) == 0 {
+		return fmt.Errorf("workload: scenario needs at least one country")
+	}
+	for i, cf := range sf.Countries {
+		if err := cf.validate(); err != nil {
+			return fmt.Errorf("workload: country %d (%s): %w", i, cf.Code, err)
+		}
+	}
+	return nil
+}
+
+// validate range-checks one country entry.
+func (cf *CountryFile) validate() error {
+	if cf.Code == "" {
+		return fmt.Errorf("missing code")
+	}
+	if cf.Share <= 0 {
+		return fmt.Errorf("share must be > 0")
+	}
+	if cf.ASCount < 0 {
+		return fmt.Errorf("as_count %d must be >= 0", cf.ASCount)
+	}
+	for what, v := range map[string]float64{
+		"ipv6_share":       cf.IPv6Share,
+		"min_as_intensity": cf.MinASIntensity,
+		"http_leniency":    cf.HTTPLeniency,
+		"force_http_share": cf.ForceHTTPShare,
+	} {
+		if err := unitRange(what, v); err != nil {
+			return err
+		}
+	}
+	if cf.BlockedSeekBase < 0 || cf.BlockedSeekBase > maxSeek {
+		return fmt.Errorf("blocked_seek_base %v out of range [0,%v]", cf.BlockedSeekBase, maxSeek)
+	}
+	if cf.NightBoost < 0 || cf.NightBoost > 4 {
+		return fmt.Errorf("night_boost %v out of range [0,4]", cf.NightBoost)
+	}
+	if cf.WeekendFactor < 0 || cf.WeekendFactor > 2 {
+		return fmt.Errorf("weekend_factor %v out of range [0,2]", cf.WeekendFactor)
+	}
+	if cf.V6SeekFactor < 0 {
+		return fmt.Errorf("v6_seek_factor %v must be >= 0", cf.V6SeekFactor)
+	}
+	for name, w := range cf.Profile {
+		if _, ok := categoryByName(name); !ok {
+			return fmt.Errorf("unknown profile category %q", name)
+		}
+		if w < 0 {
+			return fmt.Errorf("profile weight %v for %q must be >= 0", w, name)
+		}
+	}
+	for name, v := range cf.BlockCoverage {
+		if name != "*" {
+			if _, ok := categoryByName(name); !ok {
+				return fmt.Errorf("unknown coverage category %q", name)
+			}
+		}
+		if err := unitRange("block_coverage["+name+"]", v); err != nil {
+			return err
+		}
+	}
+	if err := validateStyleMix("styles", cf.Styles, len(cf.Styles) > 0); err != nil {
+		return err
+	}
+	prev := 0
+	for i, ph := range cf.SeekPhases {
+		open := ph.UntilHour == 0
+		if open && i != len(cf.SeekPhases)-1 {
+			return fmt.Errorf("seek_phases[%d]: only the last phase may omit until_hour", i)
+		}
+		if !open && ph.UntilHour <= prev {
+			return fmt.Errorf("seek_phases[%d]: until_hour %d not increasing", i, ph.UntilHour)
+		}
+		if ph.Seek < 0 || ph.Seek > maxSeek {
+			return fmt.Errorf("seek_phases[%d]: seek %v out of range [0,%v]", i, ph.Seek, maxSeek)
+		}
+		prev = ph.UntilHour
+	}
+	prev = 0
+	for i, ph := range cf.StylePhases {
+		open := ph.UntilHour == 0
+		if open && i != len(cf.StylePhases)-1 {
+			return fmt.Errorf("style_phases[%d]: only the last phase may omit until_hour", i)
+		}
+		if !open && ph.UntilHour <= prev {
+			return fmt.Errorf("style_phases[%d]: until_hour %d not increasing", i, ph.UntilHour)
+		}
+		if err := validateStyleMix(fmt.Sprintf("style_phases[%d]", i), ph.Styles, true); err != nil {
+			return err
+		}
+		prev = ph.UntilHour
+	}
+	return nil
+}
+
+// validateStyleMix checks style names and weights; requireSome also
+// demands a positive total weight.
+func validateStyleMix(what string, styles map[string]float64, requireSome bool) error {
+	total := 0.0
+	for name, w := range styles {
+		if _, ok := styleNames[name]; !ok {
+			return fmt.Errorf("%s: unknown style %q (known: %v)", what, name, StyleNames())
+		}
+		if w < 0 {
+			return fmt.Errorf("%s: weight %v for %q must be >= 0", what, w, name)
+		}
+		total += w
+	}
+	if requireSome && len(styles) > 0 && total <= 0 {
+		return fmt.Errorf("%s: style weights sum to %v, want > 0", what, total)
+	}
+	return nil
+}
+
+// Assemble turns a parsed (and validated) scenario file into a
+// runnable Scenario.
+func (sf *ScenarioFile) Assemble() (*Scenario, error) {
 	if sf.Total <= 0 {
 		return nil, fmt.Errorf("workload: scenario needs total > 0")
 	}
-	if sf.Hours <= 0 {
-		sf.Hours = 24
-	}
-	if len(sf.Countries) == 0 {
-		return nil, fmt.Errorf("workload: scenario needs at least one country")
+	hours := sf.Hours
+	if hours <= 0 {
+		hours = 24
 	}
 	countries := make([]CountryConfig, 0, len(sf.Countries))
 	for i, cf := range sf.Countries {
@@ -123,10 +304,11 @@ func LoadScenario(r io.Reader) (*Scenario, error) {
 		}
 		countries = append(countries, c)
 	}
-	s, err := AssembleScenario(sf.Name, sf.Total, sf.Hours, sf.Seed, countries)
+	s, err := AssembleScenario(sf.Name, sf.Total, hours, sf.Seed, countries)
 	if err != nil {
 		return nil, err
 	}
+	s.StartWeekday = sf.StartWeekday
 	if sf.SYNPayloadSurgeDay != nil {
 		s.SYNPayloadSurgeDay = *sf.SYNPayloadSurgeDay
 	}
@@ -140,6 +322,15 @@ func LoadScenario(r io.Reader) (*Scenario, error) {
 	return s, nil
 }
 
+// LoadScenario reads a JSON scenario description and assembles it.
+func LoadScenario(r io.Reader) (*Scenario, error) {
+	sf, err := ParseScenarioFile(r)
+	if err != nil {
+		return nil, err
+	}
+	return sf.Assemble()
+}
+
 // LoadScenarioFile reads a scenario from a JSON file.
 func LoadScenarioFile(path string) (*Scenario, error) {
 	f, err := os.Open(path)
@@ -150,14 +341,37 @@ func LoadScenarioFile(path string) (*Scenario, error) {
 	return LoadScenario(f)
 }
 
+// styleMix converts a validated name→weight map into the ordered
+// WeightedStyle slice pickStyle consumes. The order is sorted by name:
+// pickStyle walks the slice when mapping a random draw to a style, so
+// a map-iteration order here would make JSON-loaded scenarios differ
+// between runs of the same binary — the determinism gate forbids that.
+func styleMix(styles map[string]float64) []WeightedStyle {
+	names := make([]string, 0, len(styles))
+	for n := range styles {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]WeightedStyle, 0, len(names))
+	for _, n := range names {
+		out = append(out, WeightedStyle{Style: styleNames[n], Weight: styles[n]})
+	}
+	return out
+}
+
+// phaseIndex finds the phase covering a scenario hour.
+func phaseIndex(until []int, hour int) int {
+	for i, u := range until {
+		if u == 0 || hour < u { // 0 = open-ended final phase
+			return i
+		}
+	}
+	return len(until) - 1
+}
+
 // toConfig converts the JSON form to a CountryConfig with defaults.
+// The file must already have passed validate.
 func (cf *CountryFile) toConfig() (CountryConfig, error) {
-	if cf.Code == "" {
-		return CountryConfig{}, fmt.Errorf("missing code")
-	}
-	if cf.Share <= 0 {
-		return CountryConfig{}, fmt.Errorf("share must be > 0")
-	}
 	c := CountryConfig{
 		Code:            cf.Code,
 		Share:           cf.Share,
@@ -204,12 +418,22 @@ func (cf *CountryFile) toConfig() (CountryConfig, error) {
 	} else {
 		c.BlockCoverage = cov(0.004, nil)
 	}
-	for name, w := range cf.Styles {
-		style, ok := styleNames[name]
-		if !ok {
-			return c, fmt.Errorf("unknown style %q (known: %v)", name, StyleNames())
+	c.Styles = styleMix(cf.Styles)
+	if len(cf.SeekPhases) > 0 {
+		until := make([]int, len(cf.SeekPhases))
+		seek := make([]float64, len(cf.SeekPhases))
+		for i, ph := range cf.SeekPhases {
+			until[i], seek[i] = ph.UntilHour, ph.Seek
 		}
-		c.Styles = append(c.Styles, WeightedStyle{Style: style, Weight: w})
+		c.HourlySeek = func(hour int) float64 { return seek[phaseIndex(until, hour)] }
+	}
+	if len(cf.StylePhases) > 0 {
+		until := make([]int, len(cf.StylePhases))
+		mixes := make([][]WeightedStyle, len(cf.StylePhases))
+		for i, ph := range cf.StylePhases {
+			until[i], mixes[i] = ph.UntilHour, styleMix(ph.Styles)
+		}
+		c.HourlyStyles = func(hour int) []WeightedStyle { return mixes[phaseIndex(until, hour)] }
 	}
 	return quirks(c), nil
 }

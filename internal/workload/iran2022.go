@@ -1,7 +1,5 @@
 package workload
 
-import "tamperdetect/internal/domains"
-
 // Iran2022Scenario reproduces the §5.6 case study: a 17-day window
 // around the September 13, 2022 protests. Blocking intensity ramps up
 // sharply after the protest onset, the style mix shifts toward
@@ -10,62 +8,10 @@ import "tamperdetect/internal/domains"
 // mobile ISPs carry most of the affected traffic.
 //
 // Hour 0 is 2022-09-12 00:00 local; the protest begins at hour 24
-// (September 13) and escalates over the following days.
+// (September 13) and escalates over the following days. The curves —
+// the four-phase seek ramp and the pre/post-protest style mixes —
+// live in presets/iran2022.json; this function is a thin wrapper over
+// the preset so callers keep a typed entry point.
 func Iran2022Scenario(total int, seed uint64) (*Scenario, error) {
-	const days = 17
-	ir := CountryConfig{
-		Code: "IR", Share: 1.0, TZOffset: 0, // single-country scenario, local time
-		ASCount: 6, ASSkew: 1.6, // two mobile ISPs dominate the weight
-		IPv6Share:       0.1,
-		BlockedSeekBase: 0.2,
-		NightBoost:      0.8,
-		WeekendFactor:   0.9,
-		Profile: func() domains.CategoryProfile {
-			p := defaultProfile()
-			p[domains.SocialNetworks] = 0.22
-			p[domains.Chat] = 0.14
-			p[domains.News] = 0.12
-			p.Normalize()
-			return p
-		}(),
-		BlockCoverage: cov(0.005, map[domains.Category]float64{
-			domains.SocialNetworks: 0.5, domains.Chat: 0.45, domains.News: 0.35,
-			domains.ContentServers: 0.08, domains.Technology: 0.05,
-		}),
-		HourlySeek:   iranSeek,
-		HourlyStyles: iranStyles,
-	}
-	return AssembleScenario("iran2022", total, days*24, seed, []CountryConfig{quirks(ir)})
-}
-
-// iranSeek ramps blocked-seeking from a calm baseline to protest-time
-// intensity, with evening peaks layered on by NightBoost.
-func iranSeek(hour int) float64 {
-	day := hour / 24
-	switch {
-	case day < 1: // pre-protest
-		return 0.12
-	case day < 3: // onset
-		return 0.28
-	case day < 10: // escalation
-		return 0.42
-	default: // sustained aggressive blocking
-		return 0.5
-	}
-}
-
-// iranStyles shifts from ordinary SNI filtering toward the aggressive
-// mix the case study observes.
-func iranStyles(hour int) []WeightedStyle {
-	day := hour / 24
-	if day < 1 {
-		return []WeightedStyle{{StyleIranDPI, 0.85}, {StyleIPBlackhole, 0.15}}
-	}
-	// Protest response: widespread handshake-level interference.
-	return []WeightedStyle{
-		{StyleIranDPI, 0.45},    // ⟨SYN;ACK → ∅⟩ / ⟨SYN;ACK → RST+ACK⟩
-		{StyleIPResetRST, 0.25}, // ⟨SYN → RST⟩
-		{StyleIPBlackhole, 0.2}, // ⟨SYN → ∅⟩
-		{StyleDropRSTACK, 0.1},  // ⟨SYN;ACK → RST+ACK⟩
-	}
+	return PresetScenario("iran2022", total, 0, seed)
 }

@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"bytes"
+	"embed"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Named scenario presets. Each preset is a JSON scenario file (the
+// same schema LoadScenario reads) compiled into the binary, so
+// `trafficgen -scenario iran2022` and `paperbench -scenario <name>`
+// work without shipping files around, and the curves that used to be
+// hardcoded Go functions (iranSeek/iranStyles, the compact global
+// table) live in reviewable, schema-validated data.
+
+//go:embed presets/*.json
+var presetFS embed.FS
+
+// PresetNames lists the embedded presets, sorted.
+func PresetNames() []string {
+	entries, err := presetFS.ReadDir("presets")
+	if err != nil {
+		panic("workload: embedded presets missing: " + err.Error())
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, strings.TrimSuffix(e.Name(), ".json"))
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PresetFile parses one embedded preset. Every preset must pass the
+// same strict validation as user-supplied files (TestPresetsValid
+// keeps them honest).
+func PresetFile(name string) (*ScenarioFile, error) {
+	data, err := presetFS.ReadFile("presets/" + name + ".json")
+	if err != nil {
+		return nil, fmt.Errorf("workload: unknown preset %q (have: %s)",
+			name, strings.Join(PresetNames(), ", "))
+	}
+	sf, err := ParseScenarioFile(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("workload: preset %q: %w", name, err)
+	}
+	return sf, nil
+}
+
+// PresetScenario assembles a named preset. total and hours override
+// the preset's own values when positive; seed always comes from the
+// caller so distinct runs of the same preset are reproducible but
+// independent.
+func PresetScenario(name string, total, hours int, seed uint64) (*Scenario, error) {
+	sf, err := PresetFile(name)
+	if err != nil {
+		return nil, err
+	}
+	if total > 0 {
+		sf.Total = total
+	}
+	if hours > 0 {
+		sf.Hours = hours
+	}
+	sf.Seed = seed
+	return sf.Assemble()
+}

@@ -1,0 +1,204 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestPresetNamesListsEmbedded(t *testing.T) {
+	names := PresetNames()
+	want := map[string]bool{"iran2022": false, "default-diurnal": false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Errorf("preset %q missing from %v", n, names)
+		}
+	}
+}
+
+// TestPresetsValid keeps every embedded preset honest: each must pass
+// the strict parser and assemble into a runnable scenario.
+func TestPresetsValid(t *testing.T) {
+	for _, name := range PresetNames() {
+		sf, err := PresetFile(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if sf.Name != name {
+			t.Errorf("%s: name field %q does not match file name", name, sf.Name)
+		}
+		if sf.Total <= 0 || sf.Hours <= 0 {
+			t.Errorf("%s: preset needs positive total/hours defaults", name)
+		}
+		if _, err := sf.Assemble(); err != nil {
+			t.Errorf("%s: assemble: %v", name, err)
+		}
+	}
+}
+
+// TestPresetRoundTrip re-encodes each parsed preset and checks the
+// reparsed copy expands to the identical spec stream: the JSON codec
+// loses nothing the generator depends on.
+func TestPresetRoundTrip(t *testing.T) {
+	for _, name := range PresetNames() {
+		sf, err := PresetFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, err := json.Marshal(sf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sf2, err := ParseScenarioFile(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatalf("%s: reparse of round-tripped preset: %v", name, err)
+		}
+		sf.Total, sf2.Total = 1500, 1500
+		sf.Hours, sf2.Hours = 48, 48
+		a, err := sf.Assemble()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := sf2.Assemble()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sa, sb := a.Specs(), b.Specs()
+		if len(sa) != len(sb) {
+			t.Fatalf("%s: round-trip spec counts differ: %d vs %d", name, len(sa), len(sb))
+		}
+		domName := func(sp *ConnSpec) string {
+			if sp.Domain == nil {
+				return ""
+			}
+			return sp.Domain.Name
+		}
+		for i := range sa {
+			if sa[i].Seed != sb[i].Seed || sa[i].Start != sb[i].Start ||
+				sa[i].Style != sb[i].Style || sa[i].Country.Code != sb[i].Country.Code ||
+				domName(&sa[i]) != domName(&sb[i]) {
+				t.Fatalf("%s: spec %d differs after JSON round trip", name, i)
+			}
+		}
+	}
+}
+
+// TestPresetSpecsDeterministic pins the styleMix ordering fix: a
+// JSON-loaded scenario's expansion must not depend on Go map iteration
+// order, so two loads in the same process expand identically.
+func TestPresetSpecsDeterministic(t *testing.T) {
+	load := func() []ConnSpec {
+		s, err := PresetScenario("iran2022", 2000, 0, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Specs()
+	}
+	a, b := load(), load()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Style != b[i].Style || a[i].Seed != b[i].Seed || a[i].Start != b[i].Start {
+			t.Fatalf("spec %d differs between identical preset loads", i)
+		}
+	}
+}
+
+func TestPresetOverrides(t *testing.T) {
+	s, err := PresetScenario("iran2022", 777, 48, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Total != 777 || s.Hours != 48 || s.Seed != 99 {
+		t.Errorf("overrides not applied: total=%d hours=%d seed=%d", s.Total, s.Hours, s.Seed)
+	}
+	// Zero total/hours keep the preset defaults.
+	s, err = PresetScenario("iran2022", 0, 0, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Total != 50000 || s.Hours != 408 {
+		t.Errorf("defaults not kept: total=%d hours=%d", s.Total, s.Hours)
+	}
+}
+
+func TestPresetUnknownName(t *testing.T) {
+	_, err := PresetScenario("nope", 10, 0, 1)
+	if err == nil || !strings.Contains(err.Error(), "iran2022") {
+		t.Errorf("want unknown-preset error listing names, got %v", err)
+	}
+}
+
+// TestScenarioFileRejections exercises the range validation added with
+// the phase tables: a typo'd preset must fail loudly at parse time.
+func TestScenarioFileRejections(t *testing.T) {
+	country := func(extra string) string {
+		return `{"total":10,"countries":[{"code":"AA","share":1` + extra + `}]}`
+	}
+	cases := map[string]string{
+		"seek too high":        country(`,"blocked_seek_base":0.99`),
+		"negative seek":        country(`,"blocked_seek_base":-0.1`),
+		"ipv6 over 1":          country(`,"ipv6_share":1.5`),
+		"night boost over 4":   country(`,"night_boost":9`),
+		"weekend over 2":       country(`,"weekend_factor":3`),
+		"coverage over 1":      country(`,"block_coverage":{"*":1.2}`),
+		"negative style":       country(`,"styles":{"gfw":-1}`),
+		"zero style mass":      country(`,"styles":{"gfw":0}`),
+		"phase seek range":     country(`,"seek_phases":[{"seek":1.2}]`),
+		"phase not increasing": country(`,"seek_phases":[{"until_hour":24,"seek":0.1},{"until_hour":24,"seek":0.2}]`),
+		"open phase not last":  country(`,"seek_phases":[{"seek":0.1},{"until_hour":24,"seek":0.2}]`),
+		"style phase unknown":  country(`,"style_phases":[{"styles":{"nope":1}}]`),
+		"style phase order":    country(`,"style_phases":[{"until_hour":10,"styles":{"gfw":1}},{"until_hour":5,"styles":{"gfw":1}}]`),
+		"bad weekday":          `{"total":10,"start_weekday":7,"countries":[{"code":"AA","share":1}]}`,
+		"unknown country key":  country(`,"zzz":1`),
+		"trailing document":    country("") + `{}`,
+	}
+	for name, in := range cases {
+		if _, err := ParseScenarioFile(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestPhaseCurvesApplied checks the piecewise tables drive the same
+// hourly hooks the hardcoded Go curves used to.
+func TestPhaseCurvesApplied(t *testing.T) {
+	in := `{"total":10,"hours":72,"countries":[{"code":"AA","share":1,
+	  "seek_phases":[{"until_hour":24,"seek":0.1},{"seek":0.5}],
+	  "style_phases":[{"until_hour":24,"styles":{"gfw":1}},{"styles":{"tspu":1}}]}]}`
+	s, err := LoadScenario(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &s.Countries[0]
+	if c.HourlySeek == nil || c.HourlyStyles == nil {
+		t.Fatal("phase hooks not installed")
+	}
+	if got := c.HourlySeek(0); got != 0.1 {
+		t.Errorf("HourlySeek(0) = %v", got)
+	}
+	if got := c.HourlySeek(23); got != 0.1 {
+		t.Errorf("HourlySeek(23) = %v", got)
+	}
+	if got := c.HourlySeek(24); got != 0.5 {
+		t.Errorf("HourlySeek(24) = %v", got)
+	}
+	if got := c.HourlySeek(71); got != 0.5 {
+		t.Errorf("HourlySeek(71) = %v", got)
+	}
+	early, late := c.HourlyStyles(0), c.HourlyStyles(24)
+	if len(early) != 1 || early[0].Style != StyleGFW {
+		t.Errorf("early styles = %v", early)
+	}
+	if len(late) != 1 || late[0].Style != StyleTSPU {
+		t.Errorf("late styles = %v", late)
+	}
+}

@@ -89,7 +89,7 @@ func TestSYNPayloadSurgeDay(t *testing.T) {
 		if sp.Domain == nil || sp.UseTLS {
 			continue
 		}
-		day := int(sp.StartSec / 86400)
+		day := sp.Day()
 		if day == s.SYNPayloadSurgeDay {
 			surgeTotal++
 			if sp.SYNPayload {

@@ -1,0 +1,209 @@
+package workload
+
+// Arrival-trace record/replay. A trace file captures a scenario's
+// expanded spec stream — every arrival instant and the per-connection
+// parameters drawn from the scenario's RNG streams — in a compact
+// varint wire format. Replaying a trace against the same scenario
+// bypasses the arrival process entirely and reproduces the exact
+// connection stream, which makes generator regressions bisectable: a
+// recorded trace from a known-good build replays byte-identically on
+// any later build unless the per-connection simulation itself changed.
+//
+// The format is self-checking (CRC32 over the whole payload) and
+// refuses traces whose header does not match the scenario it is
+// replayed against: specs reference the scenario's country table,
+// address plan, and domain universe by index/ASN/name, so a mismatched
+// scenario would resolve them to different objects and silently change
+// the output.
+//
+// Layout (all integers varint unless noted):
+//
+//	magic "TDTR\x01"
+//	header: name string, seed uvarint, hours uvarint, count uvarint
+//	count records:
+//	  seed uvarint, startDelta uvarint (ns since previous arrival),
+//	  country uvarint (index into Scenario.Countries), asn uvarint,
+//	  flags byte, behavior uvarint, style uvarint, variant uvarint,
+//	  ttl byte, hostIdx varint, domain string ("" = none)
+//	footer: crc32(IEEE) of everything above, 4 bytes little-endian
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"tamperdetect/internal/geo"
+	"tamperdetect/internal/netsim"
+	"tamperdetect/internal/tcpsim"
+	"tamperdetect/internal/wire"
+)
+
+var traceMagic = []byte("TDTR\x01")
+
+// spec flag bits.
+const (
+	traceV6 = 1 << iota
+	traceTLS
+	traceBlocked
+	traceSYNPayload
+	traceCensorActive
+	traceKeywordTrigger
+	traceIPIDZero
+)
+
+// maxTraceName bounds the header name on read.
+const maxTraceName = 1 << 10
+
+// WriteTrace serializes a scenario's expanded spec stream.
+func WriteTrace(w io.Writer, s *Scenario, specs []ConnSpec) error {
+	buf := append([]byte{}, traceMagic...)
+	buf = wire.AppendString(buf, s.Name)
+	buf = wire.AppendUvarint(buf, s.Seed)
+	buf = wire.AppendUvarint(buf, uint64(s.Hours))
+	buf = wire.AppendUvarint(buf, uint64(len(specs)))
+	countryIdx := map[*CountryConfig]int{}
+	for ci := range s.Countries {
+		countryIdx[&s.Countries[ci]] = ci
+	}
+	prev := netsim.Time(0)
+	for i := range specs {
+		sp := &specs[i]
+		ci, ok := countryIdx[sp.Country]
+		if !ok {
+			return fmt.Errorf("workload: trace: spec %d references a country outside the scenario", i)
+		}
+		if sp.Start < prev {
+			return fmt.Errorf("workload: trace: spec %d arrives before its predecessor", i)
+		}
+		buf = wire.AppendUvarint(buf, sp.Seed)
+		buf = wire.AppendUvarint(buf, uint64(sp.Start-prev))
+		prev = sp.Start
+		buf = wire.AppendUvarint(buf, uint64(ci))
+		buf = wire.AppendUvarint(buf, uint64(sp.AS.ASN))
+		var flags byte
+		if sp.V6 {
+			flags |= traceV6
+		}
+		if sp.UseTLS {
+			flags |= traceTLS
+		}
+		if sp.Blocked {
+			flags |= traceBlocked
+		}
+		if sp.SYNPayload {
+			flags |= traceSYNPayload
+		}
+		if sp.CensorActive {
+			flags |= traceCensorActive
+		}
+		if sp.KeywordTrigger {
+			flags |= traceKeywordTrigger
+		}
+		if sp.IPIDZero {
+			flags |= traceIPIDZero
+		}
+		buf = wire.AppendUvarint(buf, uint64(flags))
+		buf = wire.AppendUvarint(buf, uint64(sp.Behavior))
+		buf = wire.AppendUvarint(buf, uint64(sp.Style))
+		buf = wire.AppendUvarint(buf, uint64(sp.Variant))
+		buf = wire.AppendUvarint(buf, uint64(sp.TTLInit))
+		buf = wire.AppendVarint(buf, int64(sp.HostIdx))
+		buf = wire.AppendString(buf, specDomainName(sp))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadTrace parses a trace and resolves it against the scenario it was
+// recorded from. The header must match the scenario's name, seed, and
+// hours — a trace replayed against a different scenario would resolve
+// countries, ASes, and domains to different objects.
+func ReadTrace(r io.Reader, s *Scenario) ([]ConnSpec, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("workload: trace: %w", err)
+	}
+	if len(data) < len(traceMagic)+4 || string(data[:len(traceMagic)]) != string(traceMagic) {
+		return nil, fmt.Errorf("workload: trace: bad magic (not a TDTR trace)")
+	}
+	body, footer := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(footer); got != want {
+		return nil, fmt.Errorf("workload: trace: CRC mismatch (corrupt or truncated trace)")
+	}
+	d := wire.NewDecoder(body[len(traceMagic):])
+	name := d.String(maxTraceName)
+	seed := d.Uvarint()
+	hours := int(d.Uvarint())
+	count := int(d.Uvarint())
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("workload: trace header: %w", err)
+	}
+	if name != s.Name || seed != s.Seed || hours != s.Hours {
+		return nil, fmt.Errorf("workload: trace recorded from scenario %q seed=%d hours=%d; replay target is %q seed=%d hours=%d",
+			name, seed, hours, s.Name, s.Seed, s.Hours)
+	}
+	if count < 0 || count > 1<<31 {
+		return nil, fmt.Errorf("workload: trace: implausible record count %d", count)
+	}
+	asByASN := map[uint64]*geo.AS{}
+	for _, as := range s.Geo.AllASes() {
+		asByASN[uint64(as.ASN)] = as
+	}
+	specs := make([]ConnSpec, 0, count)
+	prev := netsim.Time(0)
+	for i := 0; i < count; i++ {
+		var sp ConnSpec
+		sp.Index = i
+		sp.Seed = d.Uvarint()
+		prev += netsim.Time(d.Uvarint())
+		sp.Start = prev
+		ci := int(d.Uvarint())
+		asn := d.Uvarint()
+		flags := byte(d.Uvarint())
+		sp.Behavior = tcpsim.Behavior(d.Uvarint())
+		sp.Style = CensorStyle(d.Uvarint())
+		sp.Variant = int(d.Uvarint())
+		ttl := uint8(d.Uvarint())
+		sp.HostIdx = int(d.Varint())
+		domain := d.String(1 << 12)
+		if err := d.Err(); err != nil {
+			return nil, fmt.Errorf("workload: trace record %d: %w", i, err)
+		}
+		if ci < 0 || ci >= len(s.Countries) {
+			return nil, fmt.Errorf("workload: trace record %d: country index %d out of range", i, ci)
+		}
+		sp.Country = &s.Countries[ci]
+		as, ok := asByASN[asn]
+		if !ok {
+			return nil, fmt.Errorf("workload: trace record %d: AS%d not in the scenario's address plan", i, asn)
+		}
+		if as.Country != sp.Country.Code {
+			return nil, fmt.Errorf("workload: trace record %d: AS%d belongs to %s, spec says %s", i, asn, as.Country, sp.Country.Code)
+		}
+		sp.AS = as
+		sp.V6 = flags&traceV6 != 0
+		sp.UseTLS = flags&traceTLS != 0
+		sp.Blocked = flags&traceBlocked != 0
+		sp.SYNPayload = flags&traceSYNPayload != 0
+		sp.CensorActive = flags&traceCensorActive != 0
+		sp.KeywordTrigger = flags&traceKeywordTrigger != 0
+		sp.IPIDZero = flags&traceIPIDZero != 0
+		sp.TTLInit = ttl
+		if domain != "" {
+			sp.Domain = s.Universe.ByName(domain)
+			if sp.Domain == nil {
+				return nil, fmt.Errorf("workload: trace record %d: domain %q not in the scenario's universe", i, domain)
+			}
+		}
+		if h := sp.Hour(); s.Hours > 0 && h >= s.Hours {
+			return nil, fmt.Errorf("workload: trace record %d: arrival at hour %d beyond the scenario's %d hours", i, h, s.Hours)
+		}
+		specs = append(specs, sp)
+	}
+	if err := d.Done(); err != nil {
+		return nil, fmt.Errorf("workload: trace: %w", err)
+	}
+	return specs, nil
+}

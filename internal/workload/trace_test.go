@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"tamperdetect/internal/capture"
+)
+
+// captureBytes serializes a spec stream's simulated captures, the same
+// way trafficgen writes them.
+func captureBytes(t *testing.T, s *Scenario, specs []ConnSpec) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := capture.NewWriter(&buf)
+	for _, c := range s.RunSpecs(specs, 4) {
+		if c == nil {
+			continue
+		}
+		if err := w.Write(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTraceRoundTrip records a preset scenario's spec stream and
+// replays it: every spec field must survive, and the simulated TDCAP
+// bytes must be identical to the directly-generated ones.
+func TestTraceRoundTrip(t *testing.T) {
+	s, err := PresetScenario("iran2022", 1200, 48, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := s.Specs()
+	var trace bytes.Buffer
+	if err := WriteTrace(&trace, s, specs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(bytes.NewReader(trace.Bytes()), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(specs) {
+		t.Fatalf("replayed %d specs, recorded %d", len(got), len(specs))
+	}
+	for i := range specs {
+		a, b := &specs[i], &got[i]
+		if a.Seed != b.Seed || a.Start != b.Start || a.Country != b.Country ||
+			a.AS != b.AS || a.V6 != b.V6 || a.HostIdx != b.HostIdx ||
+			a.Domain != b.Domain || a.UseTLS != b.UseTLS || a.Behavior != b.Behavior ||
+			a.Blocked != b.Blocked || a.Style != b.Style || a.Variant != b.Variant ||
+			a.SYNPayload != b.SYNPayload || a.CensorActive != b.CensorActive ||
+			a.KeywordTrigger != b.KeywordTrigger || a.TTLInit != b.TTLInit ||
+			a.IPIDZero != b.IPIDZero {
+			t.Fatalf("spec %d differs after trace round trip:\nrec: %+v\ngot: %+v", i, *a, *b)
+		}
+	}
+	direct := captureBytes(t, s, specs)
+	replayed := captureBytes(t, s, got)
+	if !bytes.Equal(direct, replayed) {
+		t.Error("replayed trace produced different TDCAP bytes than direct generation")
+	}
+}
+
+// TestTraceRejectsMismatchedScenario: a trace must only replay against
+// the scenario it was recorded from.
+func TestTraceRejectsMismatchedScenario(t *testing.T) {
+	s, err := PresetScenario("iran2022", 300, 24, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace bytes.Buffer
+	if err := WriteTrace(&trace, s, s.Specs()); err != nil {
+		t.Fatal(err)
+	}
+	otherSeed, err := PresetScenario("iran2022", 300, 24, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTrace(bytes.NewReader(trace.Bytes()), otherSeed); err == nil {
+		t.Error("trace accepted against a different seed")
+	}
+	otherPreset, err := PresetScenario("default-diurnal", 300, 24, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTrace(bytes.NewReader(trace.Bytes()), otherPreset); err == nil {
+		t.Error("trace accepted against a different scenario")
+	}
+}
+
+// TestTraceRejectsCorruption: bit flips and truncation must fail the
+// CRC, not silently alter the replay.
+func TestTraceRejectsCorruption(t *testing.T) {
+	s, err := PresetScenario("iran2022", 200, 24, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace bytes.Buffer
+	if err := WriteTrace(&trace, s, s.Specs()); err != nil {
+		t.Fatal(err)
+	}
+	data := trace.Bytes()
+	flipped := append([]byte{}, data...)
+	flipped[len(flipped)/2] ^= 0x40
+	if _, err := ReadTrace(bytes.NewReader(flipped), s); err == nil {
+		t.Error("bit-flipped trace accepted")
+	}
+	if _, err := ReadTrace(bytes.NewReader(data[:len(data)-9]), s); err == nil {
+		t.Error("truncated trace accepted")
+	}
+	if _, err := ReadTrace(bytes.NewReader([]byte("not a trace")), s); err == nil {
+		t.Error("garbage accepted")
+	}
+}

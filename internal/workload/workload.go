@@ -159,12 +159,17 @@ type Scenario struct {
 // ConnSpec is everything needed to simulate one connection
 // deterministically.
 type ConnSpec struct {
-	Index    int
-	Seed     uint64
-	StartSec int64
-	Country  *CountryConfig
-	AS       *geo.AS
-	V6       bool
+	Index int
+	Seed  uint64
+	// Start is the connection's virtual arrival time — the instant its
+	// arrival event fired on the scenario's simtime engine. The
+	// per-connection simulation clock starts here, so every capture
+	// timestamp derives from it at nanosecond resolution (quantized to
+	// the paper's 1-second granularity by the sampler).
+	Start   netsim.Time
+	Country *CountryConfig
+	AS      *geo.AS
+	V6      bool
 	// HostIdx pins the client to a deterministic address within the AS
 	// (repeat clients, Appendix B); -1 draws a random host.
 	HostIdx  int
@@ -189,6 +194,12 @@ type ConnSpec struct {
 	TTLInit  uint8
 	IPIDZero bool
 }
+
+// Hour returns the scenario hour the spec's arrival falls in.
+func (spec *ConnSpec) Hour() int { return int(spec.Start / netsim.Time(time.Hour)) }
+
+// Day returns the scenario day the spec's arrival falls in.
+func (spec *ConnSpec) Day() int { return int(spec.Start / netsim.Time(24*time.Hour)) }
 
 // blockKeyword is the keyword enterprise firewalls match on.
 const blockKeyword = "forbidden-topic"
@@ -344,92 +355,15 @@ func pickStyle(c *CountryConfig, hour int, rng *rand.Rand) CensorStyle {
 	return styles[len(styles)-1].Style
 }
 
-// Specs deterministically expands the scenario into per-connection
-// specs, distributing connections across countries and hours. The
-// expansion is sharded: every (country, hour) bucket draws from its
-// own seed-derived RNG stream and fills a precomputed range of the
-// output, so the result is identical at any parallelism. Specs uses
-// GOMAXPROCS workers; SpecsSharded selects the worker count.
-func (s *Scenario) Specs() []ConnSpec { return s.SpecsSharded(0) }
-
-// SpecsSharded is Specs with an explicit worker count (0 = GOMAXPROCS).
-// The output is byte-identical for every worker count: shard boundaries
-// and per-bucket seeds depend only on the scenario.
-func (s *Scenario) SpecsSharded(workers int) []ConnSpec {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	// Per-country hourly weights.
-	type bucket struct {
-		country int
-		hour    int
-		start   int // first spec index of the bucket
-		n       int // spec count of the bucket
-	}
-	var buckets []bucket
-	var weights []float64
-	totalW := 0.0
-	for ci := range s.Countries {
-		c := &s.Countries[ci]
-		for h := 0; h < s.Hours; h++ {
-			w := c.Share * volumeFactor(localHour(c, h))
-			buckets = append(buckets, bucket{country: ci, hour: h})
-			weights = append(weights, w)
-			totalW += w
-		}
-	}
-	// Largest-remainder allocation keeps counts deterministic; it runs
-	// sequentially so bucket boundaries never depend on the worker count.
-	carry := 0.0
-	idx := 0
-	for bi := range buckets {
-		exact := float64(s.Total) * weights[bi] / totalW
-		n := int(exact + carry)
-		carry += exact - float64(n)
-		buckets[bi].start = idx
-		buckets[bi].n = n
-		idx += n
-	}
-	specs := make([]ConnSpec, idx)
-	if workers > len(buckets) {
-		workers = len(buckets)
-	}
-	var wg sync.WaitGroup
-	ch := make(chan int, len(buckets))
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for bi := range ch {
-				b := &buckets[bi]
-				c := &s.Countries[b.country]
-				// Each bucket owns an independent, position-derived RNG
-				// stream, so its specs come out the same no matter which
-				// worker builds them or in what order.
-				bseed := s.Seed ^ (uint64(bi)*0x9e3779b97f4a7c15 + 0xb0c4e75)
-				rng := rand.New(rand.NewPCG(bseed, bseed^0x5eed))
-				for k := 0; k < b.n; k++ {
-					specs[b.start+k] = s.buildSpec(b.start+k, c, b.hour, rng)
-				}
-			}
-		}()
-	}
-	for bi := range buckets {
-		ch <- bi
-	}
-	close(ch)
-	wg.Wait()
-	return specs
-}
-
-// buildSpec draws one connection's parameters.
+// buildSpec draws one connection's parameters. The arrival instant is
+// not drawn here: it comes from the bucket's arrival process and is
+// stamped by the simtime engine merge (see arrivals.go).
 func (s *Scenario) buildSpec(idx int, c *CountryConfig, hour int, rng *rand.Rand) ConnSpec {
 	spec := ConnSpec{
-		Index:    idx,
-		Seed:     s.Seed ^ (uint64(idx)*0x9e3779b97f4a7c15 + 0x123456789),
-		StartSec: int64(hour)*3600 + int64(rng.IntN(3600)),
-		Country:  c,
-		HostIdx:  -1,
+		Index:   idx,
+		Seed:    s.Seed ^ (uint64(idx)*0x9e3779b97f4a7c15 + 0x123456789),
+		Country: c,
+		HostIdx: -1,
 	}
 	spec.AS = s.Geo.PickAS(rng, c.Code)
 	// A quarter of connections come from repeat clients: a small pool
@@ -683,8 +617,7 @@ func (s *Scenario) RunSpecs(specs []ConnSpec, workers int) []*capture.Connection
 // behave as loss, never as records).
 func SimulateConn(spec *ConnSpec, u *domains.Universe, capCfg capture.Config, imp faults.Config) *capture.Connection {
 	rng := rand.New(rand.NewPCG(spec.Seed, spec.Seed^0xabcdef))
-	start := netsim.Time(spec.StartSec) * netsim.Time(time.Second)
-	sim := netsim.NewSim(start)
+	sim := netsim.NewSim(spec.Start)
 
 	clientIP := spec.AS.RandomAddr(rng, spec.V6)
 	if spec.HostIdx >= 0 {
@@ -848,8 +781,7 @@ func SimulateEvasive(spec *ConnSpec, u *domains.Universe) *capture.Connection {
 // simulateWith is SimulateConn with an explicit middlebox chain.
 func simulateWith(spec *ConnSpec, mb netsim.Middlebox) *capture.Connection {
 	rng := rand.New(rand.NewPCG(spec.Seed, spec.Seed^0xabcdef))
-	start := netsim.Time(spec.StartSec) * netsim.Time(time.Second)
-	sim := netsim.NewSim(start)
+	sim := netsim.NewSim(spec.Start)
 	clientIP := spec.AS.RandomAddr(rng, spec.V6)
 	serverIP := serverIP4
 	if spec.V6 {

@@ -43,7 +43,7 @@ func TestSpecsDeterministic(t *testing.T) {
 	}
 	for i := range a {
 		if a[i].Seed != b[i].Seed || a[i].Country.Code != b[i].Country.Code ||
-			a[i].StartSec != b[i].StartSec || a[i].Style != b[i].Style {
+			a[i].Start != b[i].Start || a[i].Style != b[i].Style {
 			t.Fatalf("spec %d differs between identical scenarios", i)
 		}
 	}
@@ -178,7 +178,7 @@ func TestIran2022ScenarioShape(t *testing.T) {
 	// Protest days must have a higher censored share than day 0.
 	day0, day0Censored, late, lateCensored := 0, 0, 0, 0
 	for i := range specs {
-		day := int(specs[i].StartSec / 86400)
+		day := specs[i].Day()
 		switch {
 		case day == 0:
 			day0++

@@ -5,8 +5,11 @@
 # front end at workers {1,4,16}), the sharded-ingest benchmark
 # (BenchmarkShardedIngest, single-scanner baseline vs segment-index
 # shards {1,2,4,8}), the geo-lookup cache benchmark
-# (BenchmarkGeoLookup, cached vs uncached), and the telemetry cost
-# benchmark (BenchmarkStreamTelemetryOverhead, telemetry off vs on)
+# (BenchmarkGeoLookup, cached vs uncached), the telemetry cost
+# benchmark (BenchmarkStreamTelemetryOverhead, telemetry off vs on),
+# and the virtual-time generator benchmark (BenchmarkLongitudinalGen,
+# arrival expansion + simulation + TDCAP encode over 48h and 336h
+# windows)
 # BENCH_COUNT times and aggregates the per-cell medians into
 # BENCH_pipeline.json via scripts/benchjson — the recorded numbers
 # EXPERIMENTS.md's Performance section tracks across PRs. Run from
@@ -50,6 +53,9 @@ go test -run '^$' -bench 'BenchmarkGeoLookup' -benchtime "$GEOTIME" -count "$COU
 
 echo "== go test -bench BenchmarkStreamTelemetryOverhead -benchtime $BENCHTIME -count $COUNT =="
 go test -run '^$' -bench 'BenchmarkStreamTelemetryOverhead' -benchtime "$BENCHTIME" -count "$COUNT" . | tee -a "$tmp"
+
+echo "== go test -bench BenchmarkLongitudinalGen -benchtime $BENCHTIME -count $COUNT =="
+go test -run '^$' -bench 'BenchmarkLongitudinalGen' -benchtime "$BENCHTIME" -count "$COUNT" . | tee -a "$tmp"
 
 go run ./scripts/benchjson -o "$OUT" <"$tmp"
 echo "wrote $OUT"

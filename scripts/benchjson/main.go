@@ -122,6 +122,26 @@ type shardedIngest struct {
 	Shards1OverScan float64             `json:"shards1_over_scan"`
 }
 
+// longitudinalGenCell is one preset×hours cell of
+// BenchmarkLongitudinalGen: the virtual-time generator end to end
+// (arrival expansion, packet simulation, TDCAP encode) over a long
+// scenario window.
+type longitudinalGenCell struct {
+	Preset             string  `json:"preset"`
+	Hours              int     `json:"hours"`
+	ConnsPerSec        float64 `json:"conns_per_sec"`
+	NsPerRecord        float64 `json:"ns_per_record"`
+	VirtualHoursPerSec float64 `json:"virtual_hours_per_sec"`
+}
+
+// longitudinalGen summarizes the generator grid. The validator
+// enforces the paper-scale contract on the recorded numbers: any
+// >=336-hour cell must sustain enough virtual-hours/sec to generate a
+// 14-day window in under a minute.
+type longitudinalGen struct {
+	Cells []longitudinalGenCell `json:"cells"`
+}
+
 type report struct {
 	Benchmark      string             `json:"benchmark"`
 	GoVersion      string             `json:"go_version"`
@@ -132,6 +152,7 @@ type report struct {
 	Telemetry      *telemetryOverhead `json:"stream_telemetry_overhead,omitempty"`
 	DecodeParallel *decodeParallel    `json:"decode_parallel,omitempty"`
 	ShardedIngest  *shardedIngest     `json:"sharded_ingest,omitempty"`
+	LongitudinalGen *longitudinalGen  `json:"longitudinal_gen,omitempty"`
 }
 
 var (
@@ -140,6 +161,7 @@ var (
 	telemetryRe = regexp.MustCompile(`^BenchmarkStreamTelemetryOverhead/telemetry=(on|off)(?:-\d+)?$`)
 	decodeRe    = regexp.MustCompile(`^BenchmarkDecodeParallel/path=(scan|seq)/workers=(\d+)(?:-\d+)?$`)
 	shardedRe   = regexp.MustCompile(`^BenchmarkShardedIngest/path=(scan|sharded)/(?:workers|shards)=(\d+)(?:-\d+)?$`)
+	longGenRe   = regexp.MustCompile(`^BenchmarkLongitudinalGen/preset=([A-Za-z0-9_-]+)/hours=(\d+)(?:-\d+)?$`)
 )
 
 func main() {
@@ -189,6 +211,11 @@ func aggregate(src *os.File) (*report, error) {
 		shards int
 	}
 	siSamples := map[siCell]map[string][]float64{}
+	type lgCell struct {
+		preset string
+		hours  int
+	}
+	lgSamples := map[lgCell]map[string][]float64{}
 	rep := &report{Benchmark: "BenchmarkStreamPipeline", GoVersion: runtime.Version()}
 	runs := 0
 	sc := bufio.NewScanner(src)
@@ -251,6 +278,19 @@ func aggregate(src *os.File) (*report, error) {
 			for i := 2; i+1 < len(fields); i += 2 {
 				if v, err := strconv.ParseFloat(fields[i], 64); err == nil {
 					siSamples[c][fields[i+1]] = append(siSamples[c][fields[i+1]], v)
+				}
+			}
+			continue
+		}
+		if lg := longGenRe.FindStringSubmatch(fields[0]); lg != nil {
+			h, _ := strconv.Atoi(lg[2])
+			c := lgCell{lg[1], h}
+			if lgSamples[c] == nil {
+				lgSamples[c] = map[string][]float64{}
+			}
+			for i := 2; i+1 < len(fields); i += 2 {
+				if v, err := strconv.ParseFloat(fields[i], 64); err == nil {
+					lgSamples[c][fields[i+1]] = append(lgSamples[c][fields[i+1]], v)
 				}
 			}
 			continue
@@ -392,6 +432,26 @@ func aggregate(src *os.File) (*report, error) {
 		}
 		rep.ShardedIngest = si
 	}
+	if len(lgSamples) > 0 {
+		lg := &longitudinalGen{}
+		for c, units := range lgSamples {
+			lg.Cells = append(lg.Cells, longitudinalGenCell{
+				Preset:             c.preset,
+				Hours:              c.hours,
+				ConnsPerSec:        median(units["conns/sec"]),
+				NsPerRecord:        median(units["ns/record"]),
+				VirtualHoursPerSec: median(units["virtual-hours/sec"]),
+			})
+		}
+		sort.Slice(lg.Cells, func(i, j int) bool {
+			a, b := lg.Cells[i], lg.Cells[j]
+			if a.Preset != b.Preset {
+				return a.Preset < b.Preset
+			}
+			return a.Hours < b.Hours
+		})
+		rep.LongitudinalGen = lg
+	}
 	return rep, nil
 }
 
@@ -484,6 +544,23 @@ func validateFile(path string) error {
 		if s.NumCPU == 1 && rep.Runs >= 3 && s.Shards1OverScan > 0 && s.Shards1OverScan < 0.95 {
 			return fmt.Errorf("%s: sharded_ingest shards=1 runs at %.2fx the scan path on a 1-CPU host (gate requires >=0.95x)",
 				path, s.Shards1OverScan)
+		}
+	}
+	if l := rep.LongitudinalGen; l != nil {
+		if len(l.Cells) == 0 {
+			return fmt.Errorf("%s: longitudinal_gen is empty", path)
+		}
+		for _, c := range l.Cells {
+			if c.Preset == "" || c.Hours < 1 || c.ConnsPerSec <= 0 || c.VirtualHoursPerSec <= 0 {
+				return fmt.Errorf("%s: longitudinal_gen cell preset=%q hours=%d invalid", path, c.Preset, c.Hours)
+			}
+			// The acceptance contract of the virtual-time generator: a
+			// 14-day window must generate in under a minute, i.e. any
+			// paper-scale cell must sustain >= 336/60 virtual-hours/sec.
+			if c.Hours >= 336 && c.VirtualHoursPerSec < 336.0/60 {
+				return fmt.Errorf("%s: longitudinal_gen preset=%s hours=%d sustains only %.2f virtual-hours/sec (a 14-day window would exceed 60 s)",
+					path, c.Preset, c.Hours, c.VirtualHoursPerSec)
+			}
 		}
 	}
 	return nil

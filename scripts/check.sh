@@ -98,6 +98,45 @@ echo "== fleet chaos parity gate (20 PoPs, lossy) =="
 go test ./internal/fleet/ -run 'TestChaosParity20PoPs/lossy|TestMergerIdempotent|TestMergerOrderAndDuplicationInvariance' -count=1
 go test ./internal/analysis/ -run 'TestSnapshotRoundTripParity|TestSnapshotRestoreIsMerge' -count=1
 
+# Scenario preset gate: every embedded preset must parse, validate,
+# and assemble; the codec must reject unknown fields, out-of-range
+# intensities, and malformed phase tables; and a preset expanded twice
+# must yield identical spec streams. Run focused and uncached.
+echo "== scenario preset validation gate =="
+go test ./internal/workload/ -run 'TestPresetsValid|TestPresetRoundTrip|TestPresetSpecsDeterministic|TestScenarioFileRejections' -count=1
+
+# Arrival trace record/replay gate: a recorded trace must replay to a
+# byte-identical capture and refuse mismatched scenarios or corrupted
+# frames.
+echo "== arrival trace record/replay gate =="
+go test ./internal/workload/ -run 'TestTraceRoundTrip|TestTraceRejects' -count=1
+go test ./cmd/trafficgen/ -run 'TestRunTraceRecordReplay' -count=1
+
+# Virtual-time determinism gate, at full paper scale: the 14-day-class
+# iran2022 preset (408 virtual hours) must generate in under 60
+# seconds of wall-clock, two same-seed runs at different worker counts
+# must be byte-identical, and the capture timestamps must span the
+# whole virtual window at 1-second granularity (the in-tree
+# TestRunVirtualWindowCoverage / TestRunDeterministicAcrossWorkers
+# cover the same contracts at test scale).
+echo "== virtual-time determinism gate (full-scale iran2022) =="
+go test ./cmd/trafficgen/ -run 'TestRunDeterministicAcrossWorkers|TestRunVirtualWindowCoverage' -count=1
+det_dir="$(mktemp -d)"
+go build -o "$det_dir/trafficgen" ./cmd/trafficgen
+det_start="$(date +%s)"
+"$det_dir/trafficgen" -scenario iran2022 -seed 2022 -workers 2 -o "$det_dir/a.tdcap" >/dev/null
+det_end="$(date +%s)"
+"$det_dir/trafficgen" -scenario iran2022 -seed 2022 -workers 8 -o "$det_dir/b.tdcap" >/dev/null
+cmp "$det_dir/a.tdcap" "$det_dir/b.tdcap"
+det_elapsed=$((det_end - det_start))
+if [ "$det_elapsed" -ge 60 ]; then
+	echo "FAIL: full-scale iran2022 generation took ${det_elapsed}s (acceptance bound: < 60s)" >&2
+	rm -rf "$det_dir"
+	exit 1
+fi
+echo "full-scale iran2022 generated in ${det_elapsed}s, runs byte-identical"
+rm -rf "$det_dir"
+
 # Smoke the perf harness: one short benchmark iteration, then assert
 # the aggregator produced well-formed JSON. No timing assertions —
 # shared CI machines make those flaky; the recorded trajectory is
