@@ -26,6 +26,7 @@ import (
 	"tamperdetect/internal/geo"
 	"tamperdetect/internal/pipeline"
 	"tamperdetect/internal/testlists"
+	"tamperdetect/internal/trace"
 	"tamperdetect/internal/workload"
 )
 
@@ -678,6 +679,62 @@ func BenchmarkStreamTelemetryOverhead(b *testing.B) {
 				counts, err := pipeline.Stream(context.Background(),
 					bytes.NewReader(data),
 					pipeline.Config{Workers: workers, Telemetry: mode.tel, Metrics: &m}, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if counts.Classified != int64(len(conns)) {
+					b.Fatalf("classified %d of %d", counts.Classified, len(conns))
+				}
+				classified += counts.Classified
+			}
+			b.StopTimer()
+			runtime.ReadMemStats(&after)
+			records := float64(classified)
+			b.ReportMetric(records/b.Elapsed().Seconds(), "conns/sec")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/records, "ns/record")
+			b.ReportMetric(float64(after.TotalAlloc-before.TotalAlloc)/records, "B/record")
+			b.ReportMetric(float64(after.Mallocs-before.Mallocs)/records, "allocs/record")
+		})
+	}
+}
+
+// BenchmarkStreamTraceOverhead measures what the tracing subsystem
+// costs on the streaming hot path: the identical Stream run with no
+// tracer versus a tracer attached with per-record sampling off — the
+// production default, where only per-batch stage spans are emitted
+// into the lock-free rings. The contract tracked in EXPERIMENTS.md is
+// ≤5% throughput loss and ~0 extra allocs/record; scripts/bench.sh
+// records both rows in BENCH_pipeline.json as stream_trace_overhead.
+func BenchmarkStreamTraceOverhead(b *testing.B) {
+	conns, _, _ := benchData(b)
+	var buf bytes.Buffer
+	w := capture.NewWriter(&buf)
+	for _, c := range conns {
+		if err := w.Write(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	const workers = 4
+	tracer := trace.New(trace.Config{TraceID: 0xbe7c, SampleEvery: 0})
+	for _, mode := range []struct {
+		name   string
+		tracer *trace.Tracer
+	}{{"trace=off", nil}, {"trace=on", tracer}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			b.ReportAllocs()
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			classified := int64(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				counts, err := pipeline.Stream(context.Background(),
+					bytes.NewReader(data),
+					pipeline.Config{Workers: workers, Tracer: mode.tracer}, nil)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -64,6 +64,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"runtime"
@@ -76,6 +77,7 @@ import (
 	"tamperdetect/internal/core"
 	"tamperdetect/internal/domains"
 	"tamperdetect/internal/faults"
+	"tamperdetect/internal/logx"
 	"tamperdetect/internal/pipeline"
 	"tamperdetect/internal/profiling"
 	"tamperdetect/internal/stats"
@@ -102,6 +104,10 @@ var experiments = []string{
 	"all",
 }
 
+// logger is the process-wide structured logger; main replaces it once
+// -log-format is parsed. Tests exercising run() keep this default.
+var logger = slog.Default()
+
 func main() {
 	total := flag.Int("total", 60000, "connections in the global scenario")
 	hours := flag.Int("hours", 14*24, "scenario hours (two weeks, as in the paper)")
@@ -120,6 +126,7 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this path")
 	blockprofile := flag.String("blockprofile", "", "write a goroutine blocking profile to this path")
 	mutexprofile := flag.String("mutexprofile", "", "write a mutex contention profile to this path")
+	logFormat := flag.String("log-format", logx.FormatText, "structured log format on stderr: text or json")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: paperbench [flags] <%s>\n", strings.Join(experiments, "|"))
 		flag.PrintDefaults()
@@ -141,6 +148,12 @@ func main() {
 			*hours = 0
 		}
 	}
+	log, err := logx.New(os.Stderr, *logFormat, logx.NewRunID(), nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(2)
+	}
+	logger = log
 	stopProf, err := profiling.Start(profiling.Config{
 		CPUProfile:   *cpuprofile,
 		MemProfile:   *memprofile,
@@ -148,7 +161,7 @@ func main() {
 		MutexProfile: *mutexprofile,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		logger.Error("profiling setup failed", "err", err.Error())
 		os.Exit(1)
 	}
 
@@ -160,7 +173,7 @@ func main() {
 	case "legacy":
 		coreCfg.Matcher = core.MatcherLegacy
 	default:
-		fmt.Fprintf(os.Stderr, "paperbench: unknown -classifier %q (want dfa or legacy)\n", *classifier)
+		logger.Error("unknown -classifier (want dfa or legacy)", "classifier", *classifier)
 		os.Exit(2)
 	}
 	ins.classifier = core.NewClassifier(coreCfg)
@@ -173,17 +186,18 @@ func main() {
 	}
 	if *metricsAddr != "" {
 		if srv, err = telemetry.NewServer(*metricsAddr, ins.tel.Registry()); err != nil {
-			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			logger.Error("listen failed", "addr", *metricsAddr, "err", err.Error())
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "paperbench: serving metrics at %s/metrics\n", srv.URL())
+		logger.Info("serving metrics", "url", srv.URL()+"/metrics")
 	}
 	if *progress > 0 {
 		m := ins.tel.Metrics()
-		rep = telemetry.StartReporter(os.Stderr, *progress, func() string {
+		rep = telemetry.StartReporterFunc(*progress, func() {
 			c := m.Snapshot()
-			return fmt.Sprintf("paperbench: progress decoded=%d classified=%d tampering=%d delivered=%d",
-				c.Decoded, c.Classified, c.Tampering, c.Delivered)
+			logger.Info("progress",
+				"decoded", c.Decoded, "classified", c.Classified,
+				"tampering", c.Tampering, "delivered", c.Delivered)
 		})
 	}
 
@@ -197,10 +211,10 @@ func main() {
 		srv.Close()
 	}
 	if err := stopProf(); err != nil {
-		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		logger.Warn("profile write failed", "err", err.Error())
 	}
 	if runErr != nil {
-		fmt.Fprintln(os.Stderr, "paperbench:", runErr)
+		logger.Error("experiment failed", "err", runErr.Error())
 		os.Exit(1)
 	}
 }
@@ -405,7 +419,7 @@ func buildCaptureDataset(ctx context.Context, path string, workers, shards, maxR
 		// ErrBadIndex — so the single-scanner rescan is the arbiter: it
 		// either yields the full dataset or reproduces a genuine input
 		// error over the true record stream.
-		fmt.Fprintf(os.Stderr, "paperbench: warning: %v — discarding sharded results, rescanning single-threaded\n", runErr)
+		logger.Warn("sharded scan failed; discarding results and rescanning single-threaded", "err", runErr.Error())
 		placement = "single scanner after index fallback"
 		aggs, counts, runErr = scanOnce(nil)
 	}
@@ -432,7 +446,7 @@ func segmentCapture(f *os.File, path string, shards, workers int) *capture.Segme
 	}
 	warn := func(always bool, format string, args ...any) {
 		if always || shards > 1 {
-			fmt.Fprintf(os.Stderr, "paperbench: warning: "+format+"\n", args...)
+			logger.Warn(fmt.Sprintf(format, args...))
 		}
 	}
 	fi, err := f.Stat()

@@ -6,11 +6,20 @@
 //
 // Endpoints (all on one listener):
 //
-//	POST /v1/push   one snapshot frame (see internal/fleet)
-//	GET  /report    the merged global paper report (plain text)
-//	GET  /v1/status merge stats, per-PoP liveness, epoch progress
-//	GET  /metrics   Prometheus exposition   (internal/telemetry)
-//	GET  /healthz   liveness probe
+//	POST /v1/push       one snapshot frame (see internal/fleet)
+//	GET  /report        the merged global paper report (plain text)
+//	GET  /v1/status     merge stats, per-PoP liveness, epoch progress
+//	GET  /metrics       Prometheus exposition   (internal/telemetry)
+//	GET  /healthz       liveness probe
+//	GET  /debug/tracez  live span rings (text or ?format=json)
+//
+// Every v3 frame carries the pushing scan's trace context, so the
+// validate/merge spans popmerge emits land in the pusher's trace —
+// one distributed trace covers both sides of the hop. Logs go to
+// stderr through log/slog (-log-format text|json) stamped with this
+// process's run_id; rejected or undecodable frames leave structured
+// events in the flight recorder, which is dumped to stderr at
+// shutdown when nonempty.
 //
 // Epochs close on a quorum of distinct PoPs (-quorum) and/or a
 // deadline after their first frame (-epoch-deadline); frames for a
@@ -22,7 +31,7 @@
 // Usage:
 //
 //	popmerge [-addr host:port] [-quorum N] [-epoch-deadline D]
-//	         [-late merge|drop] [-stale-after D]
+//	         [-late merge|drop] [-stale-after D] [-log-format text|json]
 //
 // popmerge runs until SIGINT/SIGTERM, then shuts the listener down
 // gracefully and prints the final merge stats to stderr.
@@ -32,6 +41,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -42,7 +52,9 @@ import (
 
 	"tamperdetect/internal/analysis"
 	"tamperdetect/internal/fleet"
+	"tamperdetect/internal/logx"
 	"tamperdetect/internal/telemetry"
+	"tamperdetect/internal/trace"
 )
 
 func main() {
@@ -61,6 +73,7 @@ func run(args []string, errw *os.File) int {
 	deadline := fs.Duration("epoch-deadline", 0, "close an epoch this long after its first frame (0 = never)")
 	late := fs.String("late", "merge", "closed-epoch policy: merge or drop")
 	staleAfter := fs.Duration("stale-after", 5*time.Minute, "mark a PoP stale after this much silence")
+	logFormat := fs.String("log-format", logx.FormatText, "structured log format on stderr: text or json")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -80,26 +93,41 @@ func run(args []string, errw *os.File) int {
 		return 2
 	}
 
+	// The run ID doubles as the merger's own trace ID — the fallback
+	// for untraced v1/v2 frames; v3 frames override it with the
+	// pushing scan's, joining the two processes in one trace.
+	fl := trace.NewFlight(trace.DefaultFlightEvents)
+	runID := logx.NewRunID()
+	log, err := logx.New(errw, *logFormat, runID, fl)
+	if err != nil {
+		fmt.Fprintf(errw, "popmerge: %v\n", err)
+		return 2
+	}
+	tracer := trace.New(trace.Config{TraceID: runID, Flight: fl})
+
 	merger, err := fleet.NewMerger(fleet.MergerConfig{
 		Fresh:         analysis.NewFleetAggs,
 		Quorum:        *quorum,
 		EpochDeadline: *deadline,
 		Late:          policy,
 		StaleAfter:    *staleAfter,
+		Tracer:        tracer,
 	})
 	if err != nil {
-		fmt.Fprintf(errw, "popmerge: %v\n", err)
+		log.Error("merger construction failed", "err", err.Error())
 		return 2
 	}
 
 	reg := telemetry.NewRegistry()
 	merger.RegisterMetrics(reg)
-	srv, err := telemetry.NewServerWith(*addr, reg, merger.Handler())
+	routes := merger.Handler()
+	routes["/debug/tracez"] = trace.TracezHandler(tracer)
+	srv, err := telemetry.NewServerWith(*addr, reg, routes)
 	if err != nil {
-		fmt.Fprintf(errw, "popmerge: %v\n", err)
+		log.Error("listen failed", "addr", *addr, "err", err.Error())
 		return 2
 	}
-	fmt.Fprintf(errw, "popmerge: serving on %s (push to %s/v1/push)\n", srv.Addr(), srv.URL())
+	log.Info("serving", "addr", srv.Addr(), "push", srv.URL()+"/v1/push", "tracez", srv.URL()+"/debug/tracez")
 	testHookServing(srv.Addr())
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -109,8 +137,16 @@ func run(args []string, errw *os.File) int {
 
 	srv.Close()
 	st := merger.Stats()
-	fmt.Fprintf(errw,
-		"popmerge: shut down: accepted=%d duplicates=%d late_merged=%d late_dropped=%d rejected=%d\n",
-		st.Accepted, st.Duplicates, st.LateMerged, st.LateDropped, st.Rejected)
+	log.Info("shut down",
+		"accepted", st.Accepted, "duplicates", st.Duplicates,
+		"late_merged", st.LateMerged, "late_dropped", st.LateDropped, "rejected", st.Rejected)
+	// A lifetime with rejected or undecodable frames leaves evidence in
+	// the flight recorder; surface it rather than exiting silently.
+	if len(fl.Events()) > 0 {
+		var buf bytes.Buffer
+		if err := fl.Dump(&buf, "shutdown"); err == nil {
+			errw.Write(buf.Bytes())
+		}
+	}
 	return 0
 }

@@ -69,7 +69,7 @@ func TestServePushReportShutdown(t *testing.T) {
 		t.Fatalf("push: %d %s", resp.StatusCode, pushBody)
 	}
 
-	for _, path := range []string{"/report", "/v1/status", "/healthz", "/metrics"} {
+	for _, path := range []string{"/report", "/v1/status", "/healthz", "/metrics", "/debug/tracez"} {
 		resp, err := http.Get(base + path)
 		if err != nil {
 			t.Fatalf("GET %s: %v", path, err)

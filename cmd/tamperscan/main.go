@@ -42,9 +42,22 @@
 //
 // With -metrics-addr, an introspection HTTP server runs for the
 // duration of the scan: /metrics (Prometheus text), /metrics.json,
-// /healthz, /debug/vars, and /debug/pprof/* (see internal/telemetry).
-// With -progress, a one-line pipeline snapshot goes to stderr on the
-// given interval.
+// /healthz, /debug/vars, /debug/pprof/*, and /debug/tracez (recent
+// spans, per-stage latency percentiles, slowest spans — see
+// internal/telemetry and internal/trace). With -progress, a pipeline
+// snapshot is logged on the given interval.
+//
+// Diagnostics are structured: every stderr line goes through log/slog
+// (-log-format text|json) stamped with a per-run correlation ID, which
+// doubles as the scan's root trace ID. -trace-profile FILE records the
+// scan's spans and exports them as Chrome trace-event JSON (load in
+// chrome://tracing or Perfetto); -trace-sample N controls per-record
+// span sampling (deterministic head sampling by record index, so the
+// sampled set is reproducible across runs and -workers counts). A
+// fixed-size flight recorder always runs, holding the last spans and
+// warn-level events; on a signal interrupt or a sharded-scan rescan it
+// dumps to stderr as JSON lines (and to -flight-out FILE when set) for
+// post-mortem triage.
 //
 // With -push URL, the scan doubles as a fleet PoP: classified
 // connections also feed the full fleet aggregator set, and per-epoch
@@ -67,11 +80,14 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -83,11 +99,13 @@ import (
 	"tamperdetect/internal/analysis"
 	"tamperdetect/internal/capture"
 	"tamperdetect/internal/core"
+	"tamperdetect/internal/logx"
 	"tamperdetect/internal/netsim"
 	"tamperdetect/internal/pcap"
 	"tamperdetect/internal/pipeline"
 	"tamperdetect/internal/stats"
 	"tamperdetect/internal/telemetry"
+	"tamperdetect/internal/trace"
 )
 
 // options carries the command's flags into run.
@@ -104,6 +122,10 @@ type options struct {
 	pop          string        // PoP name for pushed snapshots
 	pushInterval time.Duration // 0 = single epoch at scan end
 	pushSpill    string        // "" = no spill directory
+	logFormat    string        // "text" (default) or "json"
+	traceProfile string        // "" = no Chrome trace export
+	traceSample  int           // per-record span sampling interval; <0 = default
+	flightOut    string        // "" = flight dumps go to stderr only
 }
 
 // matcherMode maps the -classifier flag to the engine selector.
@@ -131,8 +153,13 @@ func main() {
 	flag.StringVar(&opts.pop, "pop", "", "PoP name stamped on pushed snapshots (default: hostname)")
 	flag.DurationVar(&opts.pushInterval, "push-interval", 0, "push a delta snapshot on this interval (0 = one snapshot at scan end)")
 	flag.StringVar(&opts.pushSpill, "push-spill", "", "spill undeliverable push frames to this directory and resume them next run")
+	flag.StringVar(&opts.logFormat, "log-format", logx.FormatText, "structured log format on stderr: text or json")
+	flag.StringVar(&opts.traceProfile, "trace-profile", "", "export the scan's spans as Chrome trace-event JSON to this file")
+	flag.IntVar(&opts.traceSample, "trace-sample", trace.DefaultSampleEvery, "emit per-record spans for every Nth record (0 = batch spans only)")
+	flag.StringVar(&opts.flightOut, "flight-out", "", "also write flight-recorder dumps to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, `usage: tamperscan [-v] [-tampered-only] [-workers N] [-shards N] [-classifier dfa|legacy] [-seq-decode] [-metrics-addr host:port] [-progress interval]
+                  [-log-format text|json] [-trace-profile file] [-trace-sample N] [-flight-out file]
                   [-push URL [-pop name] [-push-interval D] [-push-spill dir]] capture.{tdcap,pcap}
 
 exit status:
@@ -307,6 +334,44 @@ func run(path string, opts options) error {
 	if opts.shards < 0 {
 		return fmt.Errorf("-shards %d: want >= 0", opts.shards)
 	}
+	// The flight recorder, correlation ID, and tracer always exist:
+	// batch-level span emission is allocation-free (pinned by the
+	// stream_trace_overhead gate), and a crash dump must be available
+	// even on runs that never asked for tracing. The run ID doubles as
+	// the root trace ID, so log lines and spans join on one key.
+	fl := trace.NewFlight(trace.DefaultFlightEvents)
+	runID := logx.NewRunID()
+	log, err := logx.New(os.Stderr, opts.logFormat, runID, fl)
+	if err != nil {
+		return err
+	}
+	sample := opts.traceSample
+	if sample < 0 {
+		sample = 0
+	}
+	tcfg := trace.Config{TraceID: runID, SampleEvery: sample, Flight: fl}
+	if opts.traceProfile != "" {
+		tcfg.MaxProfile = 1 << 20
+	}
+	tracer := trace.New(tcfg)
+
+	// dumpFlight writes the flight recorder (recent warn+ events and
+	// the span rings) as JSON lines to stderr and, when set, to
+	// -flight-out. Reasons name the trigger: signal-shutdown,
+	// sharded-rescan.
+	dumpFlight := func(reason string) {
+		var buf bytes.Buffer
+		if err := fl.Dump(&buf, reason); err != nil {
+			return
+		}
+		os.Stderr.Write(buf.Bytes())
+		if opts.flightOut != "" {
+			if werr := os.WriteFile(opts.flightOut, buf.Bytes(), 0o644); werr != nil {
+				log.Warn("flight dump write failed", "path", opts.flightOut, "err", werr)
+			}
+		}
+	}
+
 	src, tdcap, file, cleanup, err := openSource(path)
 	if err != nil {
 		return err
@@ -324,11 +389,12 @@ func run(path string, opts options) error {
 	var tel *pipeline.Telemetry
 	if opts.metricsAddr != "" {
 		tel = pipeline.NewTelemetry(nil)
-		srv, err := telemetry.NewServer(opts.metricsAddr, tel.Registry())
+		srv, err := telemetry.NewServerWith(opts.metricsAddr, tel.Registry(),
+			map[string]http.Handler{"/debug/tracez": trace.TracezHandler(tracer)})
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "tamperscan: serving metrics at %s/metrics\n", srv.URL())
+		log.Info("serving metrics", "url", srv.URL()+"/metrics", "tracez", srv.URL()+"/debug/tracez")
 		defer func() {
 			if testHookBeforeMetricsShutdown != nil {
 				testHookBeforeMetricsShutdown(srv.Addr())
@@ -339,14 +405,16 @@ func run(path string, opts options) error {
 	if opts.progress > 0 {
 		prev := m.Snapshot()
 		prevAt := time.Now()
-		rep := telemetry.StartReporter(os.Stderr, opts.progress, func() string {
+		rep := telemetry.StartReporterFunc(opts.progress, func() {
 			d := m.Delta(prev)
 			now := time.Now()
 			rate := float64(d.Delivered) / now.Sub(prevAt).Seconds()
 			prev, prevAt = m.Snapshot(), now
 			s := m.Snapshot()
-			return fmt.Sprintf("tamperscan: progress decoded=%d classified=%d tampering=%d delivered=%d errors=%d rate=%.0f conns/s",
-				s.Decoded, s.Classified, s.Tampering, s.Delivered, s.Errors, rate)
+			log.Info("progress",
+				"decoded", s.Decoded, "classified", s.Classified,
+				"tampering", s.Tampering, "delivered", s.Delivered,
+				"errors", s.Errors, "rate", int64(rate))
 		})
 		defer rep.Stop()
 	}
@@ -383,7 +451,7 @@ func run(path string, opts options) error {
 		var fp *fleetPush
 		if opts.pushURL != "" {
 			var err error
-			fp, err = newFleetPush(opts, &m)
+			fp, err = newFleetPush(opts, &m, tracer, log)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -394,7 +462,7 @@ func run(path string, opts options) error {
 		}
 		cfg := pipeline.Config{
 			Workers: w, Ordered: true, Observe: observe,
-			Metrics: &m, Telemetry: tel,
+			Metrics: &m, Telemetry: tel, Tracer: tracer,
 			Classifier:       core.NewClassifier(coreCfg),
 			SequentialDecode: opts.seqDecode,
 		}
@@ -422,7 +490,7 @@ func run(path string, opts options) error {
 		willRescan := seg != nil && runErr != nil && ctx.Err() == nil
 		if fp != nil && !willRescan {
 			if err := fp.finish(); err != nil {
-				fmt.Fprintf(os.Stderr, "tamperscan: warning: %v\n", err)
+				log.Warn("fleet push incomplete", "err", err)
 			}
 		}
 		return rep, runErr, nil
@@ -430,7 +498,7 @@ func run(path string, opts options) error {
 
 	var rep *report
 	var runErr error
-	if seg := segmentedSource(tdcap != nil, file, path, opts.shards, w); seg != nil {
+	if seg := segmentedSource(tdcap != nil, file, path, opts.shards, w, log); seg != nil {
 		rep, runErr, err = scanOnce(seg)
 		if err != nil {
 			return err
@@ -446,7 +514,8 @@ func run(path string, opts options) error {
 			// damaged, the rescan reproduces the error over the true
 			// record stream and the partial-report path below applies.
 			// Cancellation is the one exception: the user asked to stop.
-			fmt.Fprintf(os.Stderr, "tamperscan: warning: %v — discarding sharded results, rescanning single-threaded\n", runErr)
+			log.Warn("sharded scan failed; discarding results and rescanning single-threaded", "err", runErr.Error())
+			dumpFlight("sharded-rescan")
 			rep, runErr, err = scanOnce(nil)
 			if err != nil {
 				return err
@@ -455,7 +524,24 @@ func run(path string, opts options) error {
 	} else if rep, runErr, err = scanOnce(nil); err != nil {
 		return err
 	}
+	// Read the interrupt state before stop(): NotifyContext's stop
+	// cancels the context itself, so checking afterwards would dump the
+	// flight recorder on every clean run.
+	interrupted := ctx.Err() != nil
 	stop()
+	if interrupted {
+		dumpFlight("signal-shutdown")
+	}
+	if opts.traceProfile != "" {
+		if dropped := tracer.ProfileDropped(); dropped > 0 {
+			log.Warn("trace profile truncated", "dropped_spans", dropped)
+		}
+		if err := trace.WriteChromeFile(opts.traceProfile, tracer); err != nil {
+			log.Warn("trace profile export failed", "path", opts.traceProfile, "err", err.Error())
+		} else {
+			log.Info("trace profile written", "path", opts.traceProfile)
+		}
+	}
 	if runErr != nil {
 		if rep.total == 0 {
 			return runErr
@@ -463,8 +549,7 @@ func run(path string, opts options) error {
 		// Truncated/corrupt tail (or a signal) after a good prefix:
 		// report what was classified, then surface the early end with a
 		// distinct exit code.
-		fmt.Fprintf(os.Stderr, "tamperscan: warning: %v — reporting the %d connections scanned before the scan ended\n",
-			runErr, rep.total)
+		log.Warn("scan ended early; reporting the scanned prefix", "err", runErr.Error(), "connections", rep.total)
 		rep.print()
 		return &partialError{err: runErr}
 	}
@@ -521,18 +606,15 @@ func openSource(path string) (pipeline.Source, io.Reader, *os.File, func(), erro
 // cannot be trusted is reported unconditionally, while the mundane
 // "no index" case only warns when -shards > 1 asked for sharding
 // explicitly.
-func segmentedSource(isTDCAP bool, f *os.File, path string, shards, workers int) *capture.SegmentedSource {
+func segmentedSource(isTDCAP bool, f *os.File, path string, shards, workers int, log *slog.Logger) *capture.SegmentedSource {
 	if !isTDCAP || shards == 1 {
 		return nil
 	}
 	explicit := shards > 1
-	quiet := func(format string, args ...any) {
+	quiet := func(msg string, args ...any) {
 		if explicit {
-			fmt.Fprintf(os.Stderr, "tamperscan: warning: "+format+"\n", args...)
+			log.Warn(msg, args...)
 		}
-	}
-	warn := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "tamperscan: warning: "+format+"\n", args...)
 	}
 	if f == nil {
 		quiet("sharded ingest needs a seekable capture file; scanning single-threaded")
@@ -540,15 +622,15 @@ func segmentedSource(isTDCAP bool, f *os.File, path string, shards, workers int)
 	}
 	fi, err := f.Stat()
 	if err != nil {
-		quiet("stat %s: %v; scanning single-threaded", path, err)
+		quiet("capture stat failed; scanning single-threaded", "path", path, "err", err.Error())
 		return nil
 	}
 	idx, err := capture.FindIndex(f, fi.Size(), path)
 	if err != nil {
 		if errors.Is(err, capture.ErrNoIndex) {
-			quiet("%s has no segment index (build one with tdcapindex); scanning single-threaded", path)
+			quiet("no segment index (build one with tdcapindex); scanning single-threaded", "path", path)
 		} else {
-			warn("%v; scanning single-threaded", err)
+			log.Warn("segment index unusable; scanning single-threaded", "path", path, "err", err.Error())
 		}
 		return nil
 	}
@@ -557,7 +639,7 @@ func segmentedSource(isTDCAP bool, f *os.File, path string, shards, workers int)
 	}
 	seg, err := capture.NewSegmentedSource(f, fi.Size(), idx, shards)
 	if err != nil {
-		warn("%v; scanning single-threaded", err)
+		log.Warn("sharded source unavailable; scanning single-threaded", "path", path, "err", err.Error())
 		return nil
 	}
 	return seg

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"os"
 	"sync"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"tamperdetect/internal/fleet"
 	"tamperdetect/internal/geo"
 	"tamperdetect/internal/pipeline"
+	"tamperdetect/internal/trace"
 )
 
 // fleetPush feeds classified connections into the full fleet
@@ -23,6 +25,9 @@ type fleetPush struct {
 	pusher  *fleet.Pusher
 	pop     string
 	metrics *pipeline.Metrics
+	tracer  *trace.Tracer
+	log     *slog.Logger
+	epochN  int32 // interned "push.epoch" span name
 
 	interval time.Duration
 
@@ -39,6 +44,10 @@ type fleetPush struct {
 	tickDone chan struct{}
 }
 
+// pushEpochSpan names the span that anchors each pushed epoch's trace
+// across the fleet hop (see fleet.SpanFleetValidate/SpanFleetMerge).
+const pushEpochSpan = "push.epoch"
+
 // testHookPusherConfig, when non-nil, adjusts the pusher config before
 // construction; tests use it to shrink backoff so retry-exhaustion
 // paths run in milliseconds.
@@ -47,7 +56,7 @@ var testHookPusherConfig func(*fleet.PusherConfig)
 // newFleetPush builds the push side of a scan: the fleet pusher
 // (resuming any spilled frames from a previous outage), the live
 // aggregator, and — when interval > 0 — the periodic epoch ticker.
-func newFleetPush(opts options, m *pipeline.Metrics) (*fleetPush, error) {
+func newFleetPush(opts options, m *pipeline.Metrics, tracer *trace.Tracer, log *slog.Logger) (*fleetPush, error) {
 	pop := opts.pop
 	if pop == "" {
 		if host, err := os.Hostname(); err == nil && host != "" {
@@ -71,6 +80,9 @@ func newFleetPush(opts options, m *pipeline.Metrics) (*fleetPush, error) {
 		pusher:   p,
 		pop:      pop,
 		metrics:  m,
+		tracer:   tracer,
+		log:      log.With("pop", pop),
+		epochN:   tracer.NameID(pushEpochSpan),
 		interval: opts.pushInterval,
 		agg:      analysis.NewFleetAggs(),
 		geo:      geo.NewCache(nil),
@@ -82,7 +94,7 @@ func newFleetPush(opts options, m *pipeline.Metrics) (*fleetPush, error) {
 			return nil, fmt.Errorf("resuming spilled frames: %w", err)
 		}
 		if n > 0 {
-			fmt.Fprintf(os.Stderr, "tamperscan: push: resumed %d spilled frame(s) from %s\n", n, opts.pushSpill)
+			fp.log.Info("resumed spilled push frames", "frames", n, "dir", opts.pushSpill)
 		}
 	}
 	if opts.pushInterval > 0 {
@@ -117,7 +129,7 @@ func (fp *fleetPush) tick(interval time.Duration) {
 		select {
 		case <-t.C:
 			if err := fp.pushEpoch(false); err != nil {
-				fmt.Fprintf(os.Stderr, "tamperscan: push: %v\n", err)
+				fp.log.Warn("epoch push failed", "err", err.Error())
 			}
 		case <-fp.stopTick:
 			return
@@ -163,11 +175,23 @@ func (fp *fleetPush) pushEpoch(final bool) error {
 	fp.seq++
 	fp.mu.Unlock()
 
-	frame, err := fleet.EncodeSnapshot(fp.pop, epoch, seq, agg, counts)
+	// The epoch span is the cross-PoP trace anchor: its ID rides the v3
+	// envelope, and the merger parents its validate/merge spans to it,
+	// so one trace covers both sides of the push.
+	spanID := fp.tracer.NewSpanID()
+	start := time.Now().UnixNano()
+	frame, err := fleet.EncodeSnapshotTraced(fp.pop, epoch, seq, agg, counts,
+		fleet.TraceContext{TraceID: fp.tracer.TraceID(), SpanID: spanID})
 	if err != nil {
 		return err
 	}
-	return fp.pusher.Push(frame)
+	err = fp.pusher.Push(frame)
+	fp.tracer.EmitShared(trace.SpanRec{
+		TraceID: fp.tracer.TraceID(), SpanID: spanID, Parent: fp.tracer.Root(),
+		NameID: fp.epochN, Start: start, Dur: time.Now().UnixNano() - start,
+		Worker: -1, Shard: -1, Record: -1, Count: 1,
+	})
+	return err
 }
 
 // finish pushes the final epoch, flushes the queue against its own
@@ -185,9 +209,9 @@ func (fp *fleetPush) finish() error {
 	flushErr := fp.pusher.Flush(ctx)
 	fp.pusher.Close()
 	st := fp.pusher.Stats()
-	fmt.Fprintf(os.Stderr,
-		"tamperscan: push: delivered=%d retries=%d spilled=%d resumed=%d failed=%d\n",
-		st.Delivered, st.Retries, st.Spilled, st.Resumed, st.Failed)
+	fp.log.Info("push summary",
+		"delivered", st.Delivered, "retries", st.Retries,
+		"spilled", st.Spilled, "resumed", st.Resumed, "failed", st.Failed)
 	if pushErr != nil {
 		return pushErr
 	}

@@ -119,7 +119,7 @@ func TestRunShardedParity(t *testing.T) {
 		if got != single {
 			t.Errorf("shards=%d: report differs from single-scanner output\n--- sharded\n%s--- single\n%s", shards, got, single)
 		}
-		if strings.Contains(stderr, "warning") {
+		if strings.Contains(stderr, "WARN") {
 			t.Errorf("shards=%d: unexpected warning:\n%s", shards, stderr)
 		}
 	}
@@ -148,7 +148,7 @@ func TestRunShardedFallsBackWithoutIndex(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if strings.Contains(stderr, "warning") {
+	if strings.Contains(stderr, "WARN") {
 		t.Errorf("auto mode warned about a plain capture:\n%s", stderr)
 	}
 }
@@ -169,7 +169,7 @@ func TestRunShardedFallsBackOnDamagedSidecar(t *testing.T) {
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	if !strings.Contains(stderr, "warning") || !strings.Contains(stderr, "single-threaded") {
+	if !strings.Contains(stderr, "WARN") || !strings.Contains(stderr, "single-threaded") {
 		t.Errorf("damaged sidecar did not warn:\n%s", stderr)
 	}
 	if !strings.Contains(stdout, "connections:       200") {

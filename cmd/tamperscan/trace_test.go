@@ -1,0 +1,204 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"tamperdetect"
+	"tamperdetect/internal/analysis"
+	"tamperdetect/internal/capture"
+	"tamperdetect/internal/fleet"
+	"tamperdetect/internal/trace"
+)
+
+// TestRunTraceProfileExport: a -trace-profile scan writes a Chrome
+// trace-event file that passes the strict validator (parseable JSON,
+// known phases, per-thread spans strictly nested) and contains the
+// pipeline's stage spans.
+func TestRunTraceProfileExport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.tdcap")
+	if err := tamperdetect.WriteCaptureFile(path, manyConns(300)); err != nil {
+		t.Fatal(err)
+	}
+	profile := filepath.Join(dir, "scan.trace.json")
+	if err := run(path, options{workers: 2, traceProfile: profile, traceSample: 32}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(profile)
+	if err != nil {
+		t.Fatalf("profile not written: %v", err)
+	}
+	if err := trace.ValidateChrome(data); err != nil {
+		t.Fatalf("exported profile invalid: %v", err)
+	}
+	for _, name := range []string{`"scan"`, `"decode"`, `"classify"`, `"sink"`, `"decode.record"`} {
+		if !bytes.Contains(data, []byte(name)) {
+			t.Errorf("profile missing %s spans", name)
+		}
+	}
+}
+
+// TestRunLogFormatJSON: under -log-format json every stderr line is a
+// parseable JSON object carrying the run correlation ID — warnings
+// included — so a scraping supervisor never sees free-text.
+func TestRunLogFormatJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plain.tdcap")
+	if err := tamperdetect.WriteCaptureFile(path, manyConns(50)); err != nil {
+		t.Fatal(err)
+	}
+	// -shards on an unindexed capture forces a fallback warning.
+	_, stderr, err := capturedRun(t, path, options{workers: 2, shards: 4, logFormat: "json", progress: time.Hour})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(stderr), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("no stderr output")
+	}
+	sawWarn := false
+	for _, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("stderr line not JSON: %v\n%s", err, line)
+		}
+		if s, _ := rec["run_id"].(string); len(s) != 16 {
+			t.Fatalf("line missing run_id: %s", line)
+		}
+		if rec["level"] == "WARN" {
+			sawWarn = true
+		}
+	}
+	if !sawWarn {
+		t.Error("expected a no-segment-index warning in JSON stderr")
+	}
+}
+
+// TestRunFlightDumpOnRescan: a lying index that betrays itself mid-run
+// triggers the discard-and-rescan path, which must dump the flight
+// recorder — the warning that caused it included — to stderr and to
+// -flight-out.
+func TestRunFlightDumpOnRescan(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.tdcap")
+	if err := tamperdetect.WriteCaptureFile(path, manyConns(400)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := capture.BuildIndex(bytes.NewReader(data), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx.Offsets = idx.Offsets[:len(idx.Offsets)-1]
+	idx.Records--
+	idx.FileSize = int64(len(data))
+	if err := os.WriteFile(capture.SidecarPath(path), capture.EncodeSidecar(idx), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	flightOut := filepath.Join(dir, "flight.jsonl")
+	_, stderr, err := capturedRun(t, path, options{workers: 2, shards: 4, flightOut: flightOut})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(stderr, `"kind":"flight_recorder"`) ||
+		!strings.Contains(stderr, `"reason":"sharded-rescan"`) {
+		t.Errorf("no flight dump on stderr:\n%s", stderr)
+	}
+	dump, err := os.ReadFile(flightOut)
+	if err != nil {
+		t.Fatalf("-flight-out not written: %v", err)
+	}
+	var header struct {
+		Kind   string `json:"kind"`
+		Reason string `json:"reason"`
+	}
+	first, _, _ := strings.Cut(string(dump), "\n")
+	if err := json.Unmarshal([]byte(first), &header); err != nil {
+		t.Fatalf("flight dump header not JSON: %v\n%s", err, first)
+	}
+	if header.Kind != "flight_recorder" || header.Reason != "sharded-rescan" {
+		t.Errorf("flight header = %+v", header)
+	}
+	if !strings.Contains(string(dump), "rescanning single-threaded") {
+		t.Error("flight dump missing the warning event that triggered it")
+	}
+}
+
+// TestRunPushTraced is the fleet-tracing e2e through the real CLI
+// path: a -push scan ships v3 frames through a lossy seeded chaos
+// transport to a live popmerge; the merger's validate and merge spans
+// must share the scan's trace, parented to the scan's epoch push span.
+func TestRunPushTraced(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.tdcap")
+	if err := tamperdetect.WriteCaptureFile(path, manyConns(120)); err != nil {
+		t.Fatal(err)
+	}
+	mergeTracer := trace.New(trace.Config{TraceID: 0x4004, MaxProfile: 1 << 12})
+	m, err := fleet.NewMerger(fleet.MergerConfig{Fresh: analysis.NewFleetAggs, Tracer: mergeTracer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	for pat, h := range m.Handler() {
+		mux.Handle(pat, h)
+	}
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+
+	grade, _ := fleet.ChaosGrade("lossy")
+	old := testHookPusherConfig
+	testHookPusherConfig = func(c *fleet.PusherConfig) {
+		c.Client = &http.Client{Transport: fleet.NewChaosTransport(nil, grade, 11)}
+		c.Timeout = 2 * time.Second
+		c.BaseBackoff = time.Millisecond
+		c.MaxBackoff = 5 * time.Millisecond
+		c.MaxAttempts = 20
+		c.Seed = 11
+	}
+	defer func() { testHookPusherConfig = old }()
+
+	if err := run(path, options{workers: 2, pushURL: srv.URL, pop: "trace01"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if st := m.Stats(); st.Accepted == 0 {
+		t.Fatalf("merger accepted nothing: %+v", st)
+	}
+	var traceID, parent uint64
+	var validates, merges int
+	for _, s := range mergeTracer.TakeProfile() {
+		switch s.Name {
+		case fleet.SpanFleetValidate:
+			validates++
+		case fleet.SpanFleetMerge:
+			merges++
+		default:
+			continue
+		}
+		if s.TraceID == 0x4004 || s.TraceID == 0 {
+			t.Fatalf("%s span did not adopt the scan's trace: %x", s.Name, s.TraceID)
+		}
+		if traceID == 0 {
+			traceID, parent = s.TraceID, s.Parent
+		}
+		if s.TraceID != traceID || s.Parent != parent {
+			t.Fatalf("span %s trace/parent %x/%x, want %x/%x (one epoch, one trace)",
+				s.Name, s.TraceID, s.Parent, traceID, parent)
+		}
+	}
+	if validates == 0 || merges == 0 {
+		t.Fatalf("merge-side spans missing: validate=%d merge=%d", validates, merges)
+	}
+	if parent == 0 {
+		t.Error("merge-side spans have no parent epoch span")
+	}
+}

@@ -16,8 +16,9 @@
 //	tdcap2pcap [-progress interval] capture.tdcap out.pcap
 //	tdcap2pcap -scan-only capture.tdcap
 //
-// -progress prints a one-line packets/connections snapshot to stderr
-// on the given interval while the export runs. -scan-only skips the
+// -progress logs a packets/connections snapshot on the given interval
+// while the export runs; all stderr output goes through the shared
+// structured logger (-log-format text|json). -scan-only skips the
 // pcap export and just validates the capture with the raw-record
 // scanner, printing the record and byte counts — a fast structural
 // integrity check for large captures.
@@ -34,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"sync/atomic"
@@ -42,10 +44,15 @@ import (
 
 	"tamperdetect"
 	"tamperdetect/internal/capture"
+	"tamperdetect/internal/logx"
 	"tamperdetect/internal/packet"
 	"tamperdetect/internal/pcap"
 	"tamperdetect/internal/telemetry"
 )
+
+// logger is the process-wide structured logger; main replaces it once
+// -log-format is parsed.
+var logger = slog.Default()
 
 // minTimestamp finds the earliest record timestamp for rebasing.
 func minTimestamp(conns []*tamperdetect.Connection) int64 {
@@ -65,12 +72,19 @@ func minTimestamp(conns []*tamperdetect.Connection) int64 {
 func main() {
 	progress := flag.Duration("progress", 0, "print a progress line to stderr on this interval (0 = off)")
 	scanOnly := flag.Bool("scan-only", false, "validate the capture's structure with the raw-record scanner; no pcap is written")
+	logFormat := flag.String("log-format", logx.FormatText, "structured log format on stderr: text or json")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: tdcap2pcap [-progress interval] capture.tdcap out.pcap")
 		fmt.Fprintln(os.Stderr, "       tdcap2pcap -scan-only capture.tdcap")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	log, err := logx.New(os.Stderr, *logFormat, logx.NewRunID(), nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tdcap2pcap:", err)
+		os.Exit(2)
+	}
+	logger = log
 	ctx, stopSig := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stopSig()
 	if *scanOnly {
@@ -79,7 +93,7 @@ func main() {
 			os.Exit(2)
 		}
 		if err := scanOnlyRun(ctx, flag.Arg(0)); err != nil {
-			fmt.Fprintln(os.Stderr, "tdcap2pcap:", err)
+			logger.Error("scan failed", "err", err.Error())
 			os.Exit(1)
 		}
 		return
@@ -89,7 +103,7 @@ func main() {
 		os.Exit(2)
 	}
 	if err := run(ctx, flag.Arg(0), flag.Arg(1), *progress); err != nil {
-		fmt.Fprintln(os.Stderr, "tdcap2pcap:", err)
+		logger.Error("export failed", "err", err.Error())
 		os.Exit(1)
 	}
 }
@@ -139,9 +153,10 @@ func run(ctx context.Context, in, out string, progress time.Duration) error {
 	opts := packet.SerializeOptions{FixLengths: true, ComputeChecksums: true}
 	var packets, exported atomic.Int64
 	if progress > 0 {
-		rep := telemetry.StartReporter(os.Stderr, progress, func() string {
-			return fmt.Sprintf("tdcap2pcap: progress connections=%d/%d packets=%d",
-				exported.Load(), len(conns), packets.Load())
+		total := len(conns)
+		rep := telemetry.StartReporterFunc(progress, func() {
+			logger.Info("progress",
+				"connections", exported.Load(), "total", total, "packets", packets.Load())
 		})
 		defer rep.Stop()
 	}

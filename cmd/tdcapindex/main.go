@@ -30,11 +30,13 @@ import (
 	"os"
 
 	"tamperdetect/internal/capture"
+	"tamperdetect/internal/logx"
 )
 
 func main() {
 	interval := flag.Int("interval", capture.DefaultIndexInterval, "records per index point")
 	out := flag.String("o", "", "output sidecar path (default: <capture>.tdx)")
+	logFormat := flag.String("log-format", logx.FormatText, "structured log format on stderr: text or json")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, `usage: tdcapindex [-interval N] [-o out.tdx] capture.tdcap
 
@@ -48,8 +50,13 @@ across independent readers. The capture file itself is not modified.
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *out, *interval); err != nil {
+	log, err := logx.New(os.Stderr, *logFormat, logx.NewRunID(), nil)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tdcapindex:", err)
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *out, *interval); err != nil {
+		log.Error("indexing failed", "path", flag.Arg(0), "err", err.Error())
 		os.Exit(1)
 	}
 }

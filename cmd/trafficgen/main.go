@@ -65,12 +65,19 @@ import (
 	"syscall"
 	"time"
 
+	"log/slog"
+
 	"tamperdetect/internal/capture"
 	"tamperdetect/internal/faults"
+	"tamperdetect/internal/logx"
 	"tamperdetect/internal/profiling"
 	"tamperdetect/internal/telemetry"
 	"tamperdetect/internal/workload"
 )
+
+// logger is the process-wide structured logger. main replaces it once
+// -log-format is parsed; tests exercising run() keep this default.
+var logger = slog.Default()
 
 func main() {
 	scenario := flag.String("scenario", "global", "scenario: global, an embedded preset name, or list")
@@ -90,6 +97,7 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this path")
 	blockprofile := flag.String("blockprofile", "", "write a goroutine blocking profile to this path")
 	mutexprofile := flag.String("mutexprofile", "", "write a mutex contention profile to this path")
+	logFormat := flag.String("log-format", logx.FormatText, "structured log format on stderr: text or json")
 	flag.Parse()
 
 	// Presets carry their own total/hours defaults; the flags override
@@ -110,6 +118,13 @@ func main() {
 		return
 	}
 
+	log, err := logx.New(os.Stderr, *logFormat, logx.NewRunID(), nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trafficgen:", err)
+		os.Exit(1)
+	}
+	logger = log
+
 	stopProf, err := profiling.Start(profiling.Config{
 		CPUProfile:   *cpuprofile,
 		MemProfile:   *memprofile,
@@ -117,17 +132,17 @@ func main() {
 		MutexProfile: *mutexprofile,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "trafficgen:", err)
+		log.Error("profiling setup failed", "err", err.Error())
 		os.Exit(1)
 	}
 	ctx, stopSig := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stopSig()
 	runErr := run(ctx, *scenario, *config, *total, *hours, *seed, *workers, *impair, *out, *metricsAddr, *traceOut, *traceIn, *verify, *index)
 	if err := stopProf(); err != nil {
-		fmt.Fprintln(os.Stderr, "trafficgen:", err)
+		log.Warn("profile write failed", "err", err.Error())
 	}
 	if runErr != nil {
-		fmt.Fprintln(os.Stderr, "trafficgen:", runErr)
+		log.Error("generation failed", "err", runErr.Error())
 		os.Exit(1)
 	}
 }
@@ -176,7 +191,7 @@ func run(ctx context.Context, scenario, config string, total, hours int, seed ui
 			return err
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "trafficgen: serving metrics at %s/metrics\n", srv.URL())
+		logger.Info("serving metrics", "url", srv.URL()+"/metrics")
 	}
 
 	// The spec stream either replays a recorded arrival trace or
@@ -193,7 +208,7 @@ func run(ctx context.Context, scenario, config string, total, hours int, seed ui
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "trafficgen: replaying %d arrivals from %s\n", len(specs), traceIn)
+		logger.Info("replaying recorded arrival trace", "arrivals", len(specs), "path", traceIn)
 	} else {
 		specs = s.SpecsSharded(workers)
 	}
@@ -209,7 +224,7 @@ func run(ctx context.Context, scenario, config string, total, hours int, seed ui
 		if err := tf.Close(); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "trafficgen: recorded %d arrivals to %s\n", len(specs), traceOut)
+		logger.Info("recorded arrival trace", "arrivals", len(specs), "path", traceOut)
 	}
 
 	// Connections stream from the simulator straight into the capture

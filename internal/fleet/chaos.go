@@ -98,9 +98,9 @@ func (t *ChaosTransport) Stats() ChaosStats {
 
 // plan is one request's pre-rolled fault schedule.
 type plan struct {
-	delay                                         time.Duration
-	dropReq, err5xx, dup, dropResp                bool
-	truncateAt                                    int // -1: intact
+	delay                          time.Duration
+	dropReq, err5xx, dup, dropResp bool
+	truncateAt                     int // -1: intact
 }
 
 // RoundTrip applies the fault schedule to one exchange.

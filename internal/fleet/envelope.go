@@ -25,15 +25,23 @@ import (
 	"tamperdetect/internal/wire"
 )
 
-// Wire framing constants. Two frame versions are live: v1 carries the
-// snapshot payload raw; v2 carries it flate-compressed, prefixed with
-// its raw length. The encoder emits whichever is smaller (tiny or
-// incompressible snapshots stay v1), the decoder accepts both, so a
-// fleet can mix old and new binaries mid-upgrade.
+// Wire framing constants. Three frame versions are live: v1 carries
+// the snapshot payload raw; v2 carries it flate-compressed, prefixed
+// with its raw length; v3 adds a trace context (the pusher's trace ID
+// and epoch span) plus a flags word whose bit 0 selects flate, so one
+// version covers both payload encodings going forward. The v1/v2
+// encoder emits whichever is smaller (tiny or incompressible snapshots
+// stay v1), the traced encoder always emits v3, and the decoder
+// accepts all three, so a fleet can mix old and new binaries
+// mid-upgrade.
 const (
-	magic        = "TDSNAP"
-	versionRaw   = 1
-	versionFlate = 2
+	magic         = "TDSNAP"
+	versionRaw    = 1
+	versionFlate  = 2
+	versionTraced = 3
+
+	// flagFlate marks a v3 payload as flate-compressed.
+	flagFlate = 1 << 0
 
 	// MaxFrameBytes bounds a decoded envelope (and hence the HTTP
 	// request body the merger will read).
@@ -43,16 +51,31 @@ const (
 	maxPoPName = 256
 )
 
+// TraceContext is the distributed-tracing context a v3 frame carries
+// across the push boundary: the pushing run's trace ID and the span ID
+// of its epoch push span. The merger parents its validate/merge spans
+// to SpanID so one trace covers both sides of the hop.
+type TraceContext struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// Zero reports whether the context carries no trace (v1/v2 frames, or
+// an untraced pusher).
+func (tc TraceContext) Zero() bool { return tc.TraceID == 0 && tc.SpanID == 0 }
+
 // Envelope is one decoded push frame: which PoP, which collection
 // epoch, a per-PoP monotone sequence number (retransmissions reuse
-// it), the epoch's pipeline counter deltas, and the aggregator
-// snapshot payload (still encoded; the merger restores it into a
-// prototype it constructs itself).
+// it), the epoch's pipeline counter deltas, the pusher's trace context
+// (zero for v1/v2 frames), and the aggregator snapshot payload (still
+// encoded; the merger restores it into a prototype it constructs
+// itself).
 type Envelope struct {
 	PoP     string
 	Epoch   uint64
 	Seq     uint64
 	Counts  pipeline.Counts
+	Trace   TraceContext
 	Payload []byte
 }
 
@@ -85,6 +108,41 @@ func EncodeSnapshot(pop string, epoch, seq uint64, agg analysis.Aggregator, coun
 	return b, nil
 }
 
+// EncodeSnapshotTraced frames one per-epoch delta as a v3 frame
+// carrying the pusher's trace context, so the merger's validate and
+// merge spans join the pusher's epoch span in one trace. A zero
+// TraceContext is legal (the frame is v3 but untraced). Payload
+// compression matches EncodeSnapshot: flate when it wins, raw
+// otherwise, signalled in the flags word.
+func EncodeSnapshotTraced(pop string, epoch, seq uint64, agg analysis.Aggregator, counts pipeline.Counts, tc TraceContext) ([]byte, error) {
+	if pop == "" || len(pop) > maxPoPName {
+		return nil, fmt.Errorf("fleet: invalid pop name %q", pop)
+	}
+	payload, err := analysis.AppendSnapshot(nil, agg)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: encode snapshot: %w", err)
+	}
+	flags, body := uint64(0), payload
+	if cz := deflateBytes(payload); cz != nil && len(cz) < len(payload) {
+		flags, body = flagFlate, cz
+	}
+	b := make([]byte, 0, len(magic)+64+len(body))
+	b = append(b, magic...)
+	b = wire.AppendUvarint(b, versionTraced)
+	b = wire.AppendString(b, pop)
+	b = wire.AppendUvarint(b, epoch)
+	b = wire.AppendUvarint(b, seq)
+	b = counts.AppendWire(b)
+	b = wire.AppendUvarint(b, tc.TraceID)
+	b = wire.AppendUvarint(b, tc.SpanID)
+	b = wire.AppendUvarint(b, flags)
+	if flags&flagFlate != 0 {
+		b = wire.AppendUvarint(b, uint64(len(payload)))
+	}
+	b = wire.AppendBytes(b, body)
+	return b, nil
+}
+
 // deflateBytes flate-compresses p, or returns nil when compression is
 // unavailable for the input (callers then fall back to a raw frame).
 func deflateBytes(p []byte) []byte {
@@ -107,8 +165,9 @@ func deflateBytes(p []byte) []byte {
 // freshly inflated for v2 — and restoring it into an aggregator is the
 // merger's job, so a frame with a valid envelope but a corrupt payload
 // still fails before touching global state. Decompression is bounded:
-// a v2 frame must declare a raw length within MaxFrameBytes and its
-// flate stream must inflate to exactly that many bytes.
+// a compressed frame (v2, or v3 with the flate flag) must declare a
+// raw length within MaxFrameBytes and its flate stream must inflate to
+// exactly that many bytes.
 func DecodeEnvelope(data []byte) (*Envelope, error) {
 	if len(data) > MaxFrameBytes {
 		return nil, fmt.Errorf("fleet: frame of %d bytes exceeds limit %d", len(data), MaxFrameBytes)
@@ -118,8 +177,8 @@ func DecodeEnvelope(data []byte) (*Envelope, error) {
 	}
 	d := wire.NewDecoder(data[len(magic):])
 	ver := d.Uvarint()
-	if d.Err() == nil && ver != versionRaw && ver != versionFlate {
-		return nil, fmt.Errorf("fleet: unsupported frame version %d (want %d or %d)", ver, versionRaw, versionFlate)
+	if d.Err() == nil && ver != versionRaw && ver != versionFlate && ver != versionTraced {
+		return nil, fmt.Errorf("fleet: unsupported frame version %d (want %d..%d)", ver, versionRaw, versionTraced)
 	}
 	env := &Envelope{
 		PoP:   d.String(maxPoPName),
@@ -131,8 +190,18 @@ func DecodeEnvelope(data []byte) (*Envelope, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fleet: decode frame: %w", err)
 	}
+	compressed := ver == versionFlate
+	if ver == versionTraced {
+		env.Trace.TraceID = d.Uvarint()
+		env.Trace.SpanID = d.Uvarint()
+		flags := d.Uvarint()
+		if d.Err() == nil && flags&^uint64(flagFlate) != 0 {
+			return nil, fmt.Errorf("fleet: frame carries unknown flags %#x", flags)
+		}
+		compressed = flags&flagFlate != 0
+	}
 	var rawLen uint64
-	if ver == versionFlate {
+	if compressed {
 		rawLen = d.Uvarint()
 		if d.Err() == nil && rawLen > MaxFrameBytes {
 			return nil, fmt.Errorf("fleet: compressed payload declares %d raw bytes, limit %d", rawLen, MaxFrameBytes)
@@ -145,7 +214,7 @@ func DecodeEnvelope(data []byte) (*Envelope, error) {
 	if env.PoP == "" {
 		return nil, fmt.Errorf("fleet: frame missing pop name")
 	}
-	if ver == versionRaw {
+	if !compressed {
 		env.Payload = body
 		return env, nil
 	}

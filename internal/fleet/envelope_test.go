@@ -158,6 +158,120 @@ func TestEnvelopeRejectsCompressedDamage(t *testing.T) {
 	}
 }
 
+// TestEnvelopeTracedRoundTrip pins the v3 frame: the trace context
+// survives the wire, the payload still validates, and an explicitly
+// zero context is legal.
+func TestEnvelopeTracedRoundTrip(t *testing.T) {
+	pops, _ := fleetDataset(t)
+	agg := analysis.NewFleetAggs()
+	for i := range pops[0] {
+		agg.Add(&pops[0][i])
+	}
+	counts := pipeline.Counts{Decoded: 7, Classified: 7, Delivered: 7}
+	tc := TraceContext{TraceID: 0xdeadbeef, SpanID: 42}
+	frame, err := EncodeSnapshotTraced("ams01", 3, 9, agg, counts, tc)
+	if err != nil {
+		t.Fatalf("EncodeSnapshotTraced: %v", err)
+	}
+	if frame[len(magic)] != versionTraced {
+		t.Fatalf("traced encoder emitted version %d", frame[len(magic)])
+	}
+	env, err := DecodeEnvelope(frame)
+	if err != nil {
+		t.Fatalf("DecodeEnvelope: %v", err)
+	}
+	if env.PoP != "ams01" || env.Epoch != 3 || env.Seq != 9 || env.Counts != counts {
+		t.Errorf("envelope = %+v", env)
+	}
+	if env.Trace != tc {
+		t.Errorf("trace context = %+v, want %+v", env.Trace, tc)
+	}
+	restored := analysis.NewFleetAggs()
+	if err := analysis.RestoreSnapshot(env.Payload, restored); err != nil {
+		t.Fatalf("RestoreSnapshot: %v", err)
+	}
+	if analysis.RenderFleetReport(restored) != analysis.RenderFleetReport(agg) {
+		t.Error("restored payload renders differently")
+	}
+
+	// Zero trace context is a legal v3 frame.
+	zf, err := EncodeSnapshotTraced("ams01", 3, 9, agg, counts, TraceContext{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zenv, err := DecodeEnvelope(zf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !zenv.Trace.Zero() {
+		t.Errorf("zero context round-tripped to %+v", zenv.Trace)
+	}
+
+	// Every truncation still fails decode, and unknown flag bits are
+	// rejected.
+	for cut := 0; cut < len(frame); cut++ {
+		if _, err := DecodeEnvelope(frame[:cut]); err == nil {
+			t.Fatalf("cut=%d: truncated v3 envelope decoded cleanly", cut)
+		}
+	}
+	bad := append([]byte(nil), magic...)
+	bad = wire.AppendUvarint(bad, versionTraced)
+	bad = wire.AppendString(bad, "pop")
+	bad = wire.AppendUvarint(bad, 1)
+	bad = wire.AppendUvarint(bad, 1)
+	bad = (pipeline.Counts{}).AppendWire(bad)
+	bad = wire.AppendUvarint(bad, 0) // trace
+	bad = wire.AppendUvarint(bad, 0) // span
+	bad = wire.AppendUvarint(bad, 0x80)
+	bad = wire.AppendBytes(bad, nil)
+	if _, err := DecodeEnvelope(bad); err == nil {
+		t.Error("unknown flag bits accepted")
+	}
+}
+
+// TestEnvelopeMixedFleetParity models a mid-upgrade fleet: the same
+// snapshot framed as v1, v2, and v3 must decode to identical
+// envelopes, differing only in the trace context the older versions
+// cannot carry.
+func TestEnvelopeMixedFleetParity(t *testing.T) {
+	pops, _ := fleetDataset(t)
+	agg := analysis.NewFleetAggs()
+	for i := range pops[0] {
+		agg.Add(&pops[0][i])
+	}
+	counts := pipeline.Counts{Decoded: int64(len(pops[0])), Classified: int64(len(pops[0]))}
+	v12, err := EncodeSnapshot("ams01", 3, 9, agg, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := encodeRawFrame(t, "ams01", 3, 9, agg, counts)
+	v3, err := EncodeSnapshotTraced("ams01", 3, 9, agg, counts, TraceContext{TraceID: 7, SpanID: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var envs []*Envelope
+	for i, frame := range [][]byte{v1, v12, v3} {
+		env, err := DecodeEnvelope(frame)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		envs = append(envs, env)
+	}
+	for i, env := range envs[1:] {
+		if env.PoP != envs[0].PoP || env.Epoch != envs[0].Epoch ||
+			env.Seq != envs[0].Seq || env.Counts != envs[0].Counts ||
+			!bytes.Equal(env.Payload, envs[0].Payload) {
+			t.Errorf("frame %d decodes differently from v1", i+1)
+		}
+	}
+	if !envs[0].Trace.Zero() || !envs[1].Trace.Zero() {
+		t.Error("v1/v2 frames decoded a non-zero trace context")
+	}
+	if envs[2].Trace.TraceID != 7 || envs[2].Trace.SpanID != 8 {
+		t.Errorf("v3 trace context = %+v", envs[2].Trace)
+	}
+}
+
 func FuzzEnvelope(f *testing.F) {
 	agg := analysis.NewFleetAggs()
 	if seed, err := EncodeSnapshot("pop", 1, 2, agg, pipeline.Counts{Decoded: 3}); err == nil {
@@ -184,6 +298,43 @@ func FuzzEnvelope(f *testing.F) {
 		}
 		// A decodable envelope may still carry a corrupt payload; the
 		// restore must fail cleanly, never panic.
+		analysis.RestoreSnapshot(env.Payload, analysis.NewFleetAggs())
+	})
+}
+
+// FuzzTraceEnvelope throws mutated v3 frames at the decoder: every
+// outcome must be a clean error or a well-formed envelope whose
+// payload restore fails cleanly — never a panic, never an unbounded
+// allocation.
+func FuzzTraceEnvelope(f *testing.F) {
+	agg := analysis.NewFleetAggs()
+	if seed, err := EncodeSnapshotTraced("pop", 1, 2, agg,
+		pipeline.Counts{Decoded: 3}, TraceContext{TraceID: 0xabc, SpanID: 7}); err == nil {
+		f.Add(seed)
+	}
+	// A v3 frame whose payload actually went through flate.
+	if payload, err := analysis.AppendSnapshot(nil, agg); err == nil {
+		b := append([]byte(nil), magic...)
+		b = wire.AppendUvarint(b, versionTraced)
+		b = wire.AppendString(b, "pop")
+		b = wire.AppendUvarint(b, 1)
+		b = wire.AppendUvarint(b, 2)
+		b = (pipeline.Counts{Decoded: 3}).AppendWire(b)
+		b = wire.AppendUvarint(b, 0xabc)
+		b = wire.AppendUvarint(b, 7)
+		b = wire.AppendUvarint(b, flagFlate)
+		b = wire.AppendUvarint(b, uint64(len(payload)))
+		f.Add(wire.AppendBytes(b, deflateBytes(payload)))
+	}
+	f.Add([]byte(magic))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := DecodeEnvelope(data)
+		if err != nil {
+			return
+		}
+		if env.PoP == "" || len(env.PoP) > maxPoPName {
+			t.Fatalf("decoded envelope with invalid pop %q", env.PoP)
+		}
 		analysis.RestoreSnapshot(env.Payload, analysis.NewFleetAggs())
 	})
 }

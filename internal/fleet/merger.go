@@ -13,6 +13,18 @@ import (
 	"tamperdetect/internal/analysis"
 	"tamperdetect/internal/pipeline"
 	"tamperdetect/internal/telemetry"
+	"tamperdetect/internal/trace"
+)
+
+// Merge-side span names. Both adopt the trace context carried by a v3
+// frame, so the pusher's epoch span and these appear in one trace.
+const (
+	// SpanFleetValidate covers restoring the frame's payload into a
+	// throwaway prototype (the reject-before-merge gate).
+	SpanFleetValidate = "fleet.validate"
+	// SpanFleetMerge covers folding the validated aggregate into the
+	// global report under the merger lock.
+	SpanFleetMerge = "fleet.merge"
 )
 
 // PushStatus is the merger's verdict on one frame. Every verdict is a
@@ -66,6 +78,13 @@ type MergerConfig struct {
 	StaleAfter time.Duration
 	// Now is the clock, injectable for tests (default time.Now).
 	Now func() time.Time
+	// Tracer, when non-nil, records fleet.validate / fleet.merge spans
+	// for every ingested frame. Spans adopt the frame's TraceContext
+	// when it carries one (v3), so the pusher's epoch span and the
+	// merge-side spans share a trace; v1/v2 frames fall back to the
+	// merger's own trace ID. Rejected frames leave an event in the
+	// tracer's flight recorder.
+	Tracer *trace.Tracer
 }
 
 // MergerStats counts frame verdicts plus rejects (undecodable frames).
@@ -95,10 +114,10 @@ type EpochStatus struct {
 
 // Status is the merger's introspection snapshot (served at /v1/status).
 type Status struct {
-	Stats  MergerStats   `json:"stats"`
+	Stats  MergerStats     `json:"stats"`
 	Counts pipeline.Counts `json:"pipeline_counts"`
-	PoPs   []PoPStatus   `json:"pops"`
-	Epochs []EpochStatus `json:"epochs"`
+	PoPs   []PoPStatus     `json:"pops"`
+	Epochs []EpochStatus   `json:"epochs"`
 }
 
 type popEpoch struct {
@@ -161,13 +180,19 @@ func NewMerger(cfg MergerConfig) (*Merger, error) {
 // a lost ACK is a no-op by construction.
 func (m *Merger) Ingest(env *Envelope) (PushStatus, error) {
 	tmp := m.cfg.Fresh()
+	valStart := time.Now().UnixNano()
 	if err := analysis.RestoreSnapshot(env.Payload, tmp); err != nil {
 		m.mu.Lock()
 		m.stats.Rejected++
 		m.mu.Unlock()
+		m.cfg.Tracer.Flight().Record("ERROR", "fleet frame rejected",
+			trace.A("pop", env.PoP), trace.A("epoch", env.Epoch), trace.A("err", err))
 		return "", fmt.Errorf("fleet: restore %s/%d: %w", env.PoP, env.Epoch, err)
 	}
+	m.emitSpan(SpanFleetValidate, env, valStart, time.Now().UnixNano())
 
+	mrgStart := time.Now().UnixNano()
+	defer func() { m.emitSpan(SpanFleetMerge, env, mrgStart, time.Now().UnixNano()) }()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	now := m.cfg.Now()
@@ -207,6 +232,8 @@ func (m *Merger) Ingest(env *Envelope) (PushStatus, error) {
 		// Unreachable when both sides share Fresh, but never corrupt
 		// the global state silently.
 		m.stats.Rejected++
+		m.cfg.Tracer.Flight().Record("ERROR", "fleet merge failed",
+			trace.A("pop", env.PoP), trace.A("epoch", env.Epoch), trace.A("err", err))
 		return "", fmt.Errorf("fleet: merge %s/%d: %w", env.PoP, env.Epoch, err)
 	}
 	m.counts = m.counts.Add(env.Counts)
@@ -221,6 +248,25 @@ func (m *Merger) Ingest(env *Envelope) (PushStatus, error) {
 	}
 	m.stats.Accepted++
 	return StatusAccepted, nil
+}
+
+// emitSpan records one merge-side span on the shared ring, continuing
+// the frame's trace when it carries one and parenting to the pusher's
+// epoch span.
+func (m *Merger) emitSpan(name string, env *Envelope, start, end int64) {
+	t := m.cfg.Tracer
+	if t == nil {
+		return
+	}
+	traceID := env.Trace.TraceID
+	if traceID == 0 {
+		traceID = t.TraceID()
+	}
+	t.EmitShared(trace.SpanRec{
+		TraceID: traceID, SpanID: t.NewSpanID(), Parent: env.Trace.SpanID,
+		NameID: t.NameID(name), Start: start, Dur: end - start,
+		Worker: -1, Shard: -1, Record: -1, Count: 1,
+	})
 }
 
 // closeExpiredLocked applies the deadline policy lazily: any open
@@ -335,6 +381,7 @@ func (m *Merger) handlePush(w http.ResponseWriter, r *http.Request) {
 		m.mu.Lock()
 		m.stats.Rejected++
 		m.mu.Unlock()
+		m.cfg.Tracer.Flight().Record("ERROR", "fleet frame undecodable", trace.A("err", err))
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}

@@ -1,0 +1,186 @@
+package fleet
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"tamperdetect/internal/analysis"
+	"tamperdetect/internal/pipeline"
+	"tamperdetect/internal/trace"
+)
+
+// tracedPopFrames encodes one PoP's records as v3 per-epoch frames,
+// emitting one epoch push span per frame on tr (the tamperscan -push
+// shape) and returning the frames plus each frame's epoch span ID.
+func tracedPopFrames(t testing.TB, tr *trace.Tracer, pop string, recs []analysis.Record) ([][]byte, []uint64) {
+	t.Helper()
+	byEpoch := map[uint64][]int{}
+	maxEpoch := uint64(0)
+	for i := range recs {
+		e := uint64(recs[i].Hour / epochHours)
+		byEpoch[e] = append(byEpoch[e], i)
+		if e > maxEpoch {
+			maxEpoch = e
+		}
+	}
+	nameID := tr.NameID("push.epoch")
+	var frames [][]byte
+	var spans []uint64
+	seq := uint64(0)
+	for e := uint64(0); e <= maxEpoch; e++ {
+		idx := byEpoch[e]
+		if len(idx) == 0 {
+			continue
+		}
+		agg := analysis.NewFleetAggs()
+		for _, i := range idx {
+			agg.Add(&recs[i])
+		}
+		spanID := tr.NewSpanID()
+		start := time.Now().UnixNano()
+		n := int64(len(idx))
+		frame, err := EncodeSnapshotTraced(pop, e, seq,
+			agg, pipeline.Counts{Decoded: n, Classified: n, Delivered: n},
+			TraceContext{TraceID: tr.TraceID(), SpanID: spanID})
+		if err != nil {
+			t.Fatalf("encode %s epoch %d: %v", pop, e, err)
+		}
+		tr.EmitShared(trace.SpanRec{
+			TraceID: tr.TraceID(), SpanID: spanID, Parent: tr.Root(),
+			NameID: nameID, Start: start, Dur: time.Now().UnixNano() - start,
+			Worker: -1, Shard: -1, Record: -1, Count: 1,
+		})
+		frames = append(frames, frame)
+		spans = append(spans, spanID)
+		seq++
+	}
+	return frames, spans
+}
+
+// TestFleetTraceContextPropagation is the cross-PoP tracing e2e: a
+// traced pusher ships v3 frames through a faulty (lossy, seeded) chaos
+// transport to a live popmerge handler, and the merger's validate and
+// merge spans must land in the pusher's trace, parented to the exact
+// epoch span that framed each push — one trace across the fleet hop,
+// surviving retries, duplicates, and truncations.
+func TestFleetTraceContextPropagation(t *testing.T) {
+	pops, _ := fleetDataset(t)
+	pushTracer := trace.New(trace.Config{TraceID: 0x7707, MaxProfile: 1 << 16})
+	frames, epochSpans := tracedPopFrames(t, pushTracer, "ams01", pops[0])
+	if len(frames) == 0 {
+		t.Fatal("no frames")
+	}
+
+	mergeTracer := trace.New(trace.Config{
+		TraceID: 0x9909, MaxProfile: 1 << 16, Flight: trace.NewFlight(64),
+	})
+	m := newTestMerger(t, func(cfg *MergerConfig) { cfg.Tracer = mergeTracer })
+	mux := http.NewServeMux()
+	for pattern, h := range m.Handler() {
+		mux.Handle(pattern, h)
+	}
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	grade, _ := ChaosGrade("lossy")
+	p, err := NewPusher(PusherConfig{
+		URL:         srv.URL,
+		Client:      &http.Client{Transport: NewChaosTransport(nil, grade, 7)},
+		Timeout:     2 * time.Second,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  5 * time.Millisecond,
+		MaxAttempts: 20,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frame := range frames {
+		if err := p.Push(frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := p.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	if st := p.Stats(); st.Delivered != int64(len(frames)) || st.Failed != 0 {
+		t.Fatalf("pusher stats %+v, want all %d delivered", st, len(frames))
+	}
+
+	// Every epoch span must have a validate and a merge child in the
+	// pusher's trace, recorded on the merge side.
+	children := map[uint64]map[string]int{}
+	for _, s := range mergeTracer.TakeProfile() {
+		if s.Name != SpanFleetValidate && s.Name != SpanFleetMerge {
+			continue
+		}
+		if s.TraceID != 0x7707 {
+			t.Fatalf("%s span carries trace %x, want the pusher's 7707", s.Name, s.TraceID)
+		}
+		if children[s.Parent] == nil {
+			children[s.Parent] = map[string]int{}
+		}
+		children[s.Parent][s.Name]++
+	}
+	for i, spanID := range epochSpans {
+		got := children[spanID]
+		if got[SpanFleetValidate] == 0 || got[SpanFleetMerge] == 0 {
+			t.Errorf("epoch frame %d (span %x): merge-side children = %v, want validate+merge", i, spanID, got)
+		}
+	}
+}
+
+// TestMergerTraceFallbackAndRejectFlight covers the non-v3 and failure
+// edges: an untraced (v1/v2) frame still gets merge-side spans under
+// the merger's own trace ID, and a corrupt payload leaves a structured
+// event in the flight recorder instead of a span.
+func TestMergerTraceFallbackAndRejectFlight(t *testing.T) {
+	pops, _ := fleetDataset(t)
+	fl := trace.NewFlight(16)
+	tr := trace.New(trace.Config{TraceID: 0x5105, MaxProfile: 1 << 12, Flight: fl})
+	m := newTestMerger(t, func(cfg *MergerConfig) { cfg.Tracer = tr })
+
+	frames := popFrames(t, "lhr01", pops[1])
+	env, err := DecodeEnvelope(frames[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Ingest(env); err != nil {
+		t.Fatal(err)
+	}
+	spans := tr.TakeProfile()
+	var names []string
+	for _, s := range spans {
+		if s.TraceID != 0x5105 {
+			t.Fatalf("span %q trace = %x, want the merger's own 5105", s.Name, s.TraceID)
+		}
+		names = append(names, s.Name)
+	}
+	if len(names) != 2 {
+		t.Fatalf("spans = %v, want [validate merge]", names)
+	}
+
+	bad := &Envelope{PoP: "lhr01", Epoch: 9, Payload: []byte{0xFF, 0xFF, 0xFF}}
+	if _, err := m.Ingest(bad); err == nil {
+		t.Fatal("corrupt payload ingested cleanly")
+	}
+	evs := fl.Events()
+	if len(evs) != 1 || evs[0].Msg != "fleet frame rejected" {
+		t.Fatalf("flight events = %+v, want one rejection", evs)
+	}
+	var pop bool
+	for _, a := range evs[0].Attrs {
+		if a.Key == "pop" && a.Value == "lhr01" {
+			pop = true
+		}
+	}
+	if !pop {
+		t.Errorf("rejection event missing pop attr: %+v", evs[0])
+	}
+}

@@ -1,0 +1,98 @@
+// Package logx is the CLIs' shared structured-logging setup: every
+// binary logs through log/slog with a selectable -log-format
+// (human text or machine-parseable JSON lines), stamps every record
+// with the per-run correlation ID — the same 64-bit value the tracing
+// layer uses as its root trace ID, so logs and spans join on one key —
+// and optionally tees warnings and errors into the trace flight
+// recorder, turning the warn-and-fallback paths (stale index, push
+// retry, late straggler) into post-mortem evidence automatically.
+package logx
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"log/slog"
+	"time"
+
+	"tamperdetect/internal/trace"
+)
+
+// Formats accepted by New (the -log-format flag values).
+const (
+	FormatText = "text"
+	FormatJSON = "json"
+)
+
+// NewRunID draws a random 64-bit per-run correlation ID (never 0).
+func NewRunID() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// rand.Read cannot realistically fail; fall back to the clock
+		// rather than aborting a scan over a log ID.
+		return uint64(time.Now().UnixNano()) | 1
+	}
+	return binary.LittleEndian.Uint64(b[:]) | 1
+}
+
+// FormatRunID renders a correlation ID the way every log line and
+// span dump does.
+func FormatRunID(id uint64) string { return fmt.Sprintf("%016x", id) }
+
+// New builds a logger writing to w in the given format ("text" or
+// "json"), stamped with run_id. When fl is non-nil, records at
+// Warn and above are also appended to the flight recorder.
+func New(w io.Writer, format string, runID uint64, fl *trace.Flight) (*slog.Logger, error) {
+	var h slog.Handler
+	opts := &slog.HandlerOptions{Level: slog.LevelInfo}
+	switch format {
+	case FormatText, "":
+		h = slog.NewTextHandler(w, opts)
+	case FormatJSON:
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("logx: unknown log format %q (want %q or %q)", format, FormatText, FormatJSON)
+	}
+	if fl != nil {
+		h = &flightHandler{inner: h, flight: fl}
+	}
+	return slog.New(h).With("run_id", FormatRunID(runID)), nil
+}
+
+// flightHandler tees Warn+ records into the flight recorder while
+// delegating everything to the wrapped handler.
+type flightHandler struct {
+	inner  slog.Handler
+	flight *trace.Flight
+	attrs  []slog.Attr
+}
+
+func (h *flightHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h *flightHandler) Handle(ctx context.Context, r slog.Record) error {
+	if r.Level >= slog.LevelWarn {
+		attrs := make([]trace.Attr, 0, len(h.attrs)+r.NumAttrs())
+		for _, a := range h.attrs {
+			attrs = append(attrs, trace.A(a.Key, a.Value.String()))
+		}
+		r.Attrs(func(a slog.Attr) bool {
+			attrs = append(attrs, trace.A(a.Key, a.Value.String()))
+			return true
+		})
+		h.flight.Record(r.Level.String(), r.Message, attrs...)
+	}
+	return h.inner.Handle(ctx, r)
+}
+
+func (h *flightHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	merged := append(append([]slog.Attr{}, h.attrs...), attrs...)
+	return &flightHandler{inner: h.inner.WithAttrs(attrs), flight: h.flight, attrs: merged}
+}
+
+func (h *flightHandler) WithGroup(name string) slog.Handler {
+	return &flightHandler{inner: h.inner.WithGroup(name), flight: h.flight, attrs: h.attrs}
+}

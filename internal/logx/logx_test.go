@@ -1,0 +1,94 @@
+package logx
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"tamperdetect/internal/trace"
+)
+
+func TestRunIDsDistinctAndNonZero(t *testing.T) {
+	a, b := NewRunID(), NewRunID()
+	if a == 0 || b == 0 {
+		t.Fatal("zero run ID")
+	}
+	if a == b {
+		t.Fatalf("two run IDs collided: %x", a)
+	}
+	if len(FormatRunID(a)) != 16 {
+		t.Fatalf("FormatRunID(%x) = %q", a, FormatRunID(a))
+	}
+}
+
+func TestJSONFormatMachineParseable(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := New(&buf, FormatJSON, 0xbeef, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("scan complete", "records", 42)
+	log.Warn("index stale", "path", "x.tdx")
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line not JSON: %v (%s)", err, line)
+		}
+		if rec["run_id"] != "000000000000beef" {
+			t.Fatalf("missing run_id: %s", line)
+		}
+	}
+}
+
+func TestTextFormatCarriesRunID(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := New(&buf, FormatText, 0xbeef, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("hello")
+	if !strings.Contains(buf.String(), "run_id=000000000000beef") {
+		t.Fatalf("text line missing run_id: %s", buf.String())
+	}
+}
+
+func TestUnknownFormatRejected(t *testing.T) {
+	if _, err := New(&bytes.Buffer{}, "yaml", 1, nil); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestWarningsTeeIntoFlightRecorder(t *testing.T) {
+	fl := trace.NewFlight(8)
+	var buf bytes.Buffer
+	log, err := New(&buf, FormatJSON, 1, fl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("not recorded")
+	log.Warn("sharded scan failed", "err", "bad index")
+	sub := log.With("pop", "ams1")
+	sub.Error("push failed", "attempt", 3)
+
+	evs := fl.Events()
+	if len(evs) != 2 {
+		t.Fatalf("flight recorded %d events, want 2 (Warn+): %+v", len(evs), evs)
+	}
+	if evs[0].Msg != "sharded scan failed" || evs[0].Level != "WARN" {
+		t.Fatalf("bad first event: %+v", evs[0])
+	}
+	found := false
+	for _, a := range evs[1].Attrs {
+		if a.Key == "pop" && a.Value == "ams1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("With-attr not carried into flight event: %+v", evs[1])
+	}
+	// stderr output still happened for all three
+	if got := strings.Count(buf.String(), "\n"); got != 3 {
+		t.Fatalf("logger wrote %d lines, want 3", got)
+	}
+}

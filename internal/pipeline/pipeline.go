@@ -33,6 +33,7 @@ import (
 
 	"tamperdetect/internal/capture"
 	"tamperdetect/internal/core"
+	"tamperdetect/internal/trace"
 )
 
 // DefaultDepth is the per-stage channel depth (in records) when
@@ -127,6 +128,15 @@ type Config struct {
 	// Telemetry.Metrics() as its counter block, so the exposed
 	// records_total series follow the run automatically.
 	Telemetry *Telemetry
+	// Tracer, when non-nil, emits per-stage spans for the run into the
+	// tracer's ring buffers (see internal/trace): batch-level scan /
+	// queue-wait / decode / classify / observe / sink spans always,
+	// plus per-record spans for head-sampled record indexes
+	// (trace.Config.SampleEvery). Emission is allocation-free; with
+	// per-record sampling off the added cost is a few time.Now calls
+	// per batch, pinned by TestTraceHotPathAllocationFree and the
+	// stream_trace_overhead bench gate.
+	Tracer *trace.Tracer
 }
 
 // Run streams records from src through the classifier pool into sink
@@ -170,6 +180,18 @@ func Run(ctx context.Context, src Source, cfg Config, sink Sink) (Counts, error)
 	}
 	if sink == nil {
 		sink = func(Item) error { return nil }
+	}
+	// Producer ring plan mirrors ScanTDCAP: 0 = the decode (source)
+	// goroutine, 1 = the deliver stage, 2+w = worker w. The sequential
+	// path emits batch-level spans only — per-record spans belong to
+	// the scan paths, where decode runs in the workers.
+	rt := newRunTrace(cfg.Tracer)
+	var decRing, sinkRing *trace.Ring
+	if rt != nil {
+		decRing = rt.t.Ring(0)
+		rt.t.LabelRing(0, "decode/0")
+		sinkRing = rt.t.Ring(1)
+		rt.t.LabelRing(1, "sink")
 	}
 
 	ctx, cancel := context.WithCancel(ctx)
@@ -217,6 +239,10 @@ func Run(ctx context.Context, src Source, cfg Config, sink Sink) (Counts, error)
 		if tel != nil {
 			batchStart = time.Now()
 		}
+		var trDecStart int64
+		if rt != nil {
+			trDecStart = nowNS()
+		}
 		cur := getBatch()
 		flush := func() bool {
 			if len(cur) == 0 {
@@ -230,11 +256,18 @@ func Run(ctx context.Context, src Source, cfg Config, sink Sink) (Counts, error)
 					lastBytes = b
 				}
 			}
+			if rt != nil {
+				rt.emit(decRing, rt.decode, rt.t.NewSpanID(), rt.t.Root(),
+					trDecStart, nowNS(), -1, -1, int64(cur[0].Index), int32(len(cur)))
+			}
 			select {
 			case decoded <- cur:
 				if tel != nil {
 					tel.queueDecos.Set(int64(len(decoded)) * int64(batch))
 					batchStart = time.Now()
+				}
+				if rt != nil {
+					trDecStart = nowNS()
 				}
 				cur = getBatch()
 				return true
@@ -282,6 +315,11 @@ func Run(ctx context.Context, src Source, cfg Config, sink Sink) (Counts, error)
 			defer wg.Done()
 			wcl := *cl // private instance: no false sharing across workers
 			var scratch core.Scratch
+			var wring *trace.Ring
+			if rt != nil {
+				wring = rt.t.Ring(2 + worker)
+				rt.t.LabelRing(2+worker, "worker/"+itoa(worker))
+			}
 			for {
 				// Receive under the context so cancellation (a signal, a
 				// deadline) releases workers even while the decoder is
@@ -300,9 +338,17 @@ func Run(ctx context.Context, src Source, cfg Config, sink Sink) (Counts, error)
 				if tel != nil {
 					classifyStart = time.Now()
 				}
+				var trClsStart int64
+				if rt != nil {
+					trClsStart = nowNS()
+				}
 				for i := range b {
 					b[i].Res, b[i].Err = safeClassify(&wcl, &scratch, b[i].Conn)
 					if b[i].Err != nil {
+						if rt != nil {
+							rt.t.Flight().Record("ERROR", "classifier panic contained",
+								trace.A("record", b[i].Index), trace.A("worker", worker), trace.A("err", b[i].Err))
+						}
 						m.errors.Add(1)
 					} else {
 						m.classified.Add(1)
@@ -319,6 +365,12 @@ func Run(ctx context.Context, src Source, cfg Config, sink Sink) (Counts, error)
 					observeStart = time.Now()
 					tel.stageLat[stageClassify].Observe(observeStart.Sub(classifyStart).Nanoseconds())
 				}
+				var trObsStart int64
+				if rt != nil {
+					trObsStart = nowNS()
+					rt.emit(wring, rt.classify, rt.t.NewSpanID(), rt.t.Root(),
+						trClsStart, trObsStart, int32(worker), -1, int64(b[0].Index), int32(len(b)))
+				}
 				// Observe runs as a second pass over the batch: per-record
 				// semantics are unchanged (sequential per worker, before the
 				// batch is handed downstream), and its cost is timed apart
@@ -329,6 +381,10 @@ func Run(ctx context.Context, src Source, cfg Config, sink Sink) (Counts, error)
 					}
 					if tel != nil {
 						tel.stageLat[stageObserve].Observe(time.Since(observeStart).Nanoseconds())
+					}
+					if rt != nil {
+						rt.emit(wring, rt.observe, rt.t.NewSpanID(), rt.t.Root(),
+							trObsStart, nowNS(), int32(worker), -1, int64(b[0].Index), int32(len(b)))
 					}
 				}
 				select {
@@ -374,11 +430,21 @@ func Run(ctx context.Context, src Source, cfg Config, sink Sink) (Counts, error)
 		if tel != nil {
 			sinkStart = time.Now()
 		}
+		var trSinkStart int64
+		var first int64
+		if rt != nil {
+			trSinkStart = nowNS()
+			first = int64(b[0].Index)
+		}
 		for i := range b {
 			deliver(b[i])
 		}
 		if tel != nil {
 			tel.stageLat[stageSink].Observe(time.Since(sinkStart).Nanoseconds())
+		}
+		if rt != nil {
+			rt.emit(sinkRing, rt.sink, rt.t.NewSpanID(), rt.t.Root(),
+				trSinkStart, nowNS(), -1, -1, first, int32(len(b)))
 		}
 		putBatch(b)
 	}

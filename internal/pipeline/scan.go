@@ -11,6 +11,7 @@ import (
 
 	"tamperdetect/internal/capture"
 	"tamperdetect/internal/core"
+	"tamperdetect/internal/trace"
 )
 
 // The parallel decode path. The sequential Run pipeline decodes every
@@ -47,6 +48,11 @@ type rawBatch struct {
 	first int
 	slab  []byte
 	offs  []int32
+	// Trace context, set by the scanner only when a Tracer is
+	// attached: the batch's scan span (parent for the downstream
+	// stage spans) and the enqueue timestamp (queue-wait start).
+	scanSpan uint64
+	enqNS    int64
 }
 
 // itemBatch is a decoded batch: the items the sink sees plus the
@@ -55,6 +61,10 @@ type rawBatch struct {
 type itemBatch struct {
 	items []Item
 	conns []capture.Connection
+	// Trace context carried from the raw batch to the sink stage
+	// (meaningful only when a Tracer is attached).
+	scanSpan uint64
+	shard    int32
 }
 
 // safeClassify contains a classifier panic to the one record that
@@ -77,8 +87,10 @@ func safeClassify(cl *core.Classifier, s *core.Scratch, c *capture.Connection) (
 // may be nil.
 func decodeClassifyBatch(rb *rawBatch, ib *itemBatch, putRaw func(*rawBatch),
 	cl *core.Classifier, scratch *core.Scratch,
-	m *Metrics, tel *Telemetry, worker int, observe func(int, Item)) *itemBatch {
+	m *Metrics, tel *Telemetry, worker int, observe func(int, Item),
+	rt *runTrace, ring *trace.Ring, shard int32) *itemBatch {
 	n := len(rb.offs) - 1
+	first := rb.first
 	ib.conns = ib.conns[:cap(ib.conns)]
 	for len(ib.conns) < n {
 		ib.conns = append(ib.conns, capture.Connection{})
@@ -87,11 +99,31 @@ func decodeClassifyBatch(rb *rawBatch, ib *itemBatch, putRaw func(*rawBatch),
 	if tel != nil {
 		decodeStart = time.Now()
 	}
+	var decSpan uint64
+	var trDecStart int64
+	if rt != nil {
+		ib.scanSpan, ib.shard = rb.scanSpan, shard
+		trDecStart = nowNS()
+		// queue-wait: scanner enqueue → this pickup, on the worker's
+		// ring (async in the Chrome export — see trace.QueueWaitName).
+		rt.emit(ring, rt.queueWait, rt.t.NewSpanID(), rb.scanSpan,
+			rb.enqNS, trDecStart, int32(worker), shard, int64(first), int32(n))
+		decSpan = rt.t.NewSpanID()
+	}
 	for i := 0; i < n; i++ {
 		c := &ib.conns[i]
-		it := Item{Index: rb.first + i, Conn: c}
+		it := Item{Index: first + i, Conn: c}
+		traceRec := rt != nil && rt.sampled(first+i)
+		var trRecStart int64
+		if traceRec {
+			trRecStart = nowNS()
+		}
 		if err := capture.DecodeRecord(rb.slab[rb.offs[i]:rb.offs[i+1]], c); err != nil {
 			it.Conn, it.Err = nil, fmt.Errorf("pipeline: decode: %w", err)
+		}
+		if traceRec {
+			rt.emit(ring, rt.decodeRec, rt.t.NewSpanID(), decSpan,
+				trRecStart, nowNS(), int32(worker), shard, int64(first+i), 1)
 		}
 		ib.items = append(ib.items, it)
 	}
@@ -101,10 +133,27 @@ func decodeClassifyBatch(rb *rawBatch, ib *itemBatch, putRaw func(*rawBatch),
 		classifyStart = time.Now()
 		tel.stageLat[stageDecode].Observe(classifyStart.Sub(decodeStart).Nanoseconds())
 	}
+	var clsSpan uint64
+	var trClsStart int64
+	if rt != nil {
+		trClsStart = nowNS()
+		rt.emit(ring, rt.decode, decSpan, ib.scanSpan,
+			trDecStart, trClsStart, int32(worker), shard, int64(first), int32(n))
+		clsSpan = rt.t.NewSpanID()
+	}
 	for i := range ib.items {
 		it := &ib.items[i]
+		traceRec := rt != nil && rt.sampled(it.Index)
+		var trRecStart int64
+		if traceRec {
+			trRecStart = nowNS()
+		}
 		if it.Err == nil {
 			it.Res, it.Err = safeClassify(cl, scratch, it.Conn)
+			if it.Err != nil && rt != nil {
+				rt.t.Flight().Record("ERROR", "classifier panic contained",
+					trace.A("record", it.Index), trace.A("worker", worker), trace.A("err", it.Err))
+			}
 		}
 		if it.Err != nil {
 			m.errors.Add(1)
@@ -117,18 +166,43 @@ func decodeClassifyBatch(rb *rawBatch, ib *itemBatch, putRaw func(*rawBatch),
 		if tel != nil {
 			tel.observeSig(worker, *it)
 		}
+		if traceRec {
+			rt.emit(ring, rt.classifyRec, rt.t.NewSpanID(), clsSpan,
+				trRecStart, nowNS(), int32(worker), shard, int64(it.Index), 1)
+		}
 	}
 	var observeStart time.Time
 	if tel != nil {
 		observeStart = time.Now()
 		tel.stageLat[stageClassify].Observe(observeStart.Sub(classifyStart).Nanoseconds())
 	}
+	var obsSpan uint64
+	var trObsStart int64
+	if rt != nil {
+		trObsStart = nowNS()
+		rt.emit(ring, rt.classify, clsSpan, ib.scanSpan,
+			trClsStart, trObsStart, int32(worker), shard, int64(first), int32(n))
+		obsSpan = rt.t.NewSpanID()
+	}
 	if observe != nil {
 		for i := range ib.items {
+			traceRec := rt != nil && rt.sampled(ib.items[i].Index)
+			var trRecStart int64
+			if traceRec {
+				trRecStart = nowNS()
+			}
 			observe(worker, ib.items[i])
+			if traceRec {
+				rt.emit(ring, rt.observeRec, rt.t.NewSpanID(), obsSpan,
+					trRecStart, nowNS(), int32(worker), shard, int64(ib.items[i].Index), 1)
+			}
 		}
 		if tel != nil {
 			tel.stageLat[stageObserve].Observe(time.Since(observeStart).Nanoseconds())
+		}
+		if rt != nil {
+			rt.emit(ring, rt.observe, obsSpan, ib.scanSpan,
+				trObsStart, nowNS(), int32(worker), shard, int64(first), int32(n))
 		}
 	}
 	return ib
@@ -175,6 +249,16 @@ func ScanTDCAP(ctx context.Context, r io.Reader, cfg Config, sink Sink) (Counts,
 	}
 	if sink == nil {
 		sink = func(Item) error { return nil }
+	}
+	// Producer ring plan: 0 = the scanner, 1 = the deliver stage,
+	// 2+w = worker w. Rings are grabbed once per goroutine.
+	rt := newRunTrace(cfg.Tracer)
+	var scanRing, sinkRing *trace.Ring
+	if rt != nil {
+		scanRing = rt.t.Ring(0)
+		rt.t.LabelRing(0, "scan/0")
+		sinkRing = rt.t.Ring(1)
+		rt.t.LabelRing(1, "sink")
 	}
 
 	ctx, cancel := context.WithCancel(ctx)
@@ -231,6 +315,10 @@ func ScanTDCAP(ctx context.Context, r io.Reader, cfg Config, sink Sink) (Counts,
 		if tel != nil {
 			batchStart = time.Now()
 		}
+		var trScanStart int64
+		if rt != nil {
+			trScanStart = nowNS()
+		}
 		cur := getRaw()
 		first := 0
 		flush := func() bool {
@@ -245,11 +333,23 @@ func ScanTDCAP(ctx context.Context, r io.Reader, cfg Config, sink Sink) (Counts,
 				lastBytes = b
 			}
 			cur.first = first
+			if rt != nil {
+				// The scan span and the batch's trace context must be
+				// written before the send: after it the workers own cur.
+				now := nowNS()
+				cur.scanSpan = rt.t.NewSpanID()
+				cur.enqNS = now
+				rt.emit(scanRing, rt.scan, cur.scanSpan, rt.t.Root(),
+					trScanStart, now, -1, -1, int64(first), int32(n))
+			}
 			select {
 			case raw <- cur:
 				if tel != nil {
 					tel.queueDecos.Set(int64(len(raw)) * int64(batch))
 					batchStart = time.Now()
+				}
+				if rt != nil {
+					trScanStart = nowNS()
 				}
 				first += n
 				cur = getRaw()
@@ -291,6 +391,11 @@ func ScanTDCAP(ctx context.Context, r io.Reader, cfg Config, sink Sink) (Counts,
 			defer wg.Done()
 			wcl := *cl // private instance: no false sharing across workers
 			var scratch core.Scratch
+			var wring *trace.Ring
+			if rt != nil {
+				wring = rt.t.Ring(2 + worker)
+				rt.t.LabelRing(2+worker, "worker/"+itoa(worker))
+			}
 			for {
 				// Receive under the context so cancellation releases workers
 				// even while the scanner is blocked inside an
@@ -305,7 +410,7 @@ func ScanTDCAP(ctx context.Context, r io.Reader, cfg Config, sink Sink) (Counts,
 				case <-ctx.Done():
 					return
 				}
-				ib := decodeClassifyBatch(rb, getItems(), putRaw, &wcl, &scratch, m, tel, worker, cfg.Observe)
+				ib := decodeClassifyBatch(rb, getItems(), putRaw, &wcl, &scratch, m, tel, worker, cfg.Observe, rt, wring, -1)
 				select {
 				case results <- ib:
 					if tel != nil {
@@ -347,11 +452,28 @@ func ScanTDCAP(ctx context.Context, r io.Reader, cfg Config, sink Sink) (Counts,
 		if tel != nil {
 			sinkStart = time.Now()
 		}
+		var snkSpan uint64
+		var trSinkStart int64
+		if rt != nil {
+			trSinkStart = nowNS()
+			snkSpan = rt.t.NewSpanID()
+		}
 		for i := range ib.items {
+			if rt != nil && rt.sampled(ib.items[i].Index) {
+				s := nowNS()
+				deliver(ib.items[i])
+				rt.emit(sinkRing, rt.sinkRec, rt.t.NewSpanID(), snkSpan,
+					s, nowNS(), -1, ib.shard, int64(ib.items[i].Index), 1)
+				continue
+			}
 			deliver(ib.items[i])
 		}
 		if tel != nil {
 			tel.stageLat[stageSink].Observe(time.Since(sinkStart).Nanoseconds())
+		}
+		if rt != nil {
+			rt.emit(sinkRing, rt.sink, snkSpan, ib.scanSpan,
+				trSinkStart, nowNS(), -1, ib.shard, int64(ib.items[0].Index), int32(len(ib.items)))
 		}
 		putItems(ib)
 	}

@@ -11,6 +11,7 @@ import (
 
 	"tamperdetect/internal/capture"
 	"tamperdetect/internal/core"
+	"tamperdetect/internal/trace"
 )
 
 // The shard-parallel ingest path. ScanTDCAP removed decode from the
@@ -129,6 +130,19 @@ func ShardedScan(ctx context.Context, src *capture.SegmentedSource, cfg Config, 
 		return counts(), ctx.Err()
 	}
 
+	// Producer ring plan: 0..shards-1 = per-shard scanners, shards =
+	// the deliver stage, shards+1+w = global worker w. Shard lineage
+	// rides every span, so a merged trace still separates per segment.
+	rt := newRunTrace(cfg.Tracer)
+	var sinkRing *trace.Ring
+	if rt != nil {
+		for i := 0; i < shards; i++ {
+			rt.t.LabelRing(i, "scan/"+itoa(i))
+		}
+		sinkRing = rt.t.Ring(shards)
+		rt.t.LabelRing(shards, "sink")
+	}
+
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -195,6 +209,12 @@ func ShardedScan(ctx context.Context, src *capture.SegmentedSource, cfg Config, 
 			if tel != nil {
 				batchStart = time.Now()
 			}
+			var scanRing *trace.Ring
+			var trScanStart int64
+			if rt != nil {
+				scanRing = rt.t.Ring(shard)
+				trScanStart = nowNS()
+			}
 			cur := getRaw()
 			first := seg.FirstRecord
 			flush := func() bool {
@@ -212,11 +232,21 @@ func ShardedScan(ctx context.Context, src *capture.SegmentedSource, cfg Config, 
 					lastBytes = b
 				}
 				cur.first = first
+				if rt != nil {
+					now := nowNS()
+					cur.scanSpan = rt.t.NewSpanID()
+					cur.enqNS = now
+					rt.emit(scanRing, rt.scan, cur.scanSpan, rt.t.Root(),
+						trScanStart, now, -1, int32(shard), int64(first), int32(n))
+				}
 				select {
 				case raw <- cur:
 					if tel != nil {
 						tel.queueDecos.Set(int64(len(raw)) * int64(batch))
 						batchStart = time.Now()
+					}
+					if rt != nil {
+						trScanStart = nowNS()
 					}
 					first += n
 					cur = getRaw()
@@ -267,6 +297,11 @@ func ShardedScan(ctx context.Context, src *capture.SegmentedSource, cfg Config, 
 				defer swg.Done()
 				wcl := *cl
 				var scratch core.Scratch
+				var wring *trace.Ring
+				if rt != nil {
+					wring = rt.t.Ring(shards + 1 + worker)
+					rt.t.LabelRing(shards+1+worker, "worker/"+itoa(worker))
+				}
 				for {
 					var rb *rawBatch
 					select {
@@ -278,7 +313,7 @@ func ShardedScan(ctx context.Context, src *capture.SegmentedSource, cfg Config, 
 					case <-ctx.Done():
 						return
 					}
-					ib := decodeClassifyBatch(rb, getItems(), putRaw, &wcl, &scratch, m, tel, worker, cfg.Observe)
+					ib := decodeClassifyBatch(rb, getItems(), putRaw, &wcl, &scratch, m, tel, worker, cfg.Observe, rt, wring, int32(i))
 					select {
 					case resCh[i] <- ib:
 						if tel != nil {
@@ -322,11 +357,28 @@ func ShardedScan(ctx context.Context, src *capture.SegmentedSource, cfg Config, 
 		if tel != nil {
 			sinkStart = time.Now()
 		}
+		var snkSpan uint64
+		var trSinkStart int64
+		if rt != nil {
+			trSinkStart = nowNS()
+			snkSpan = rt.t.NewSpanID()
+		}
 		for i := range ib.items {
+			if rt != nil && rt.sampled(ib.items[i].Index) {
+				s := nowNS()
+				deliver(ib.items[i])
+				rt.emit(sinkRing, rt.sinkRec, rt.t.NewSpanID(), snkSpan,
+					s, nowNS(), -1, ib.shard, int64(ib.items[i].Index), 1)
+				continue
+			}
 			deliver(ib.items[i])
 		}
 		if tel != nil {
 			tel.stageLat[stageSink].Observe(time.Since(sinkStart).Nanoseconds())
+		}
+		if rt != nil {
+			rt.emit(sinkRing, rt.sink, snkSpan, ib.scanSpan,
+				trSinkStart, nowNS(), -1, ib.shard, int64(ib.items[0].Index), int32(len(ib.items)))
 		}
 		putItems(ib)
 	}

@@ -14,8 +14,7 @@ import (
 // goroutine (the func must be safe to call concurrently with the
 // workload — read atomics, not plain fields).
 type Reporter struct {
-	w    io.Writer
-	line func() string
+	emitFn func()
 
 	stop chan struct{}
 	done chan struct{}
@@ -25,10 +24,19 @@ type Reporter struct {
 // StartReporter begins ticking every interval. A final line is always
 // emitted at Stop, so even runs shorter than one interval report once.
 func StartReporter(w io.Writer, every time.Duration, line func() string) *Reporter {
+	return StartReporterFunc(every, func() { fmt.Fprintln(w, line()) })
+}
+
+// StartReporterFunc is StartReporter with the emission itself under
+// the caller's control: emit runs once per tick (and once at Stop)
+// instead of a line being written to a writer. The CLIs route
+// -progress through their structured logger this way, so progress
+// stays machine-parseable under -log-format json.
+func StartReporterFunc(every time.Duration, emit func()) *Reporter {
 	if every <= 0 {
 		every = time.Second
 	}
-	r := &Reporter{w: w, line: line, stop: make(chan struct{}), done: make(chan struct{})}
+	r := &Reporter{emitFn: emit, stop: make(chan struct{}), done: make(chan struct{})}
 	go func() {
 		defer close(r.done)
 		t := time.NewTicker(every)
@@ -46,9 +54,7 @@ func StartReporter(w io.Writer, every time.Duration, line func() string) *Report
 	return r
 }
 
-func (r *Reporter) emit() {
-	fmt.Fprintln(r.w, r.line())
-}
+func (r *Reporter) emit() { r.emitFn() }
 
 // Stop emits a final line and waits for the reporter goroutine to
 // exit. Stop is idempotent.

@@ -1,0 +1,193 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// Chrome trace-event export: the collected span profile rendered in
+// the Trace Event Format that chrome://tracing and Perfetto load
+// directly. Mapping:
+//
+//   - every producer ring becomes one thread (tid = ring index + 1,
+//     named via Tracer.LabelRing); the shared ring is the last tid
+//   - complete spans become "X" (duration) events with microsecond
+//     timestamps relative to the earliest span
+//   - queue-wait spans become async "b"/"e" pairs: their interval
+//     (enqueue → worker pickup) overlaps whatever the picking worker
+//     was doing before, so they must not participate in the thread's
+//     synchronous nesting
+//
+// Stage spans on one thread nest strictly (a record span sits inside
+// its batch span; batch spans never overlap on a thread), which
+// ValidateChrome — and the check.sh gate built on it — enforces.
+
+// QueueWaitName is the span name exported as async events instead of
+// synchronous duration events.
+const QueueWaitName = "queue-wait"
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Cat  string         `json:"cat,omitempty"`
+	ID   string         `json:"id,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// WriteChrome renders spans (typically Tracer.TakeProfile output) as
+// Chrome trace JSON. The tracer supplies ring labels for thread
+// names; it may be nil.
+func WriteChrome(w io.Writer, t *Tracer, spans []Span) error {
+	var base int64 = 0
+	for i, s := range spans {
+		if i == 0 || s.Start < base {
+			base = s.Start
+		}
+	}
+	tids := map[int]bool{}
+	out := chromeTrace{DisplayTimeUnit: "ms", OtherData: map[string]any{}}
+	if t != nil {
+		out.OtherData["trace_id"] = fmt.Sprintf("%016x", t.TraceID())
+		if d := t.ProfileDropped(); d > 0 {
+			out.OtherData["dropped_spans"] = d
+		}
+	}
+	for _, s := range spans {
+		// tid 1 is the shared ring (Ring == -1); producer ring i maps
+		// to tid i+2 so every tid is positive.
+		tid := s.Ring + 2
+		tids[tid] = true
+		ts := float64(s.Start-base) / 1e3
+		args := map[string]any{
+			"trace":  fmt.Sprintf("%016x", s.TraceID),
+			"span":   fmt.Sprintf("%x", s.SpanID),
+			"record": s.Record,
+			"count":  s.Count,
+			"shard":  s.Shard,
+			"worker": s.Worker,
+		}
+		if s.Parent != 0 {
+			args["parent"] = fmt.Sprintf("%x", s.Parent)
+		}
+		if s.Name == QueueWaitName {
+			end := float64(s.End()-base) / 1e3
+			id := fmt.Sprintf("%x", s.SpanID)
+			out.TraceEvents = append(out.TraceEvents,
+				chromeEvent{Name: s.Name, Ph: "b", Ts: ts, Pid: 1, Tid: tid, Cat: "queue", ID: id, Args: args},
+				chromeEvent{Name: s.Name, Ph: "e", Ts: end, Pid: 1, Tid: tid, Cat: "queue", ID: id})
+			continue
+		}
+		dur := float64(s.Dur) / 1e3
+		out.TraceEvents = append(out.TraceEvents,
+			chromeEvent{Name: s.Name, Ph: "X", Ts: ts, Dur: &dur, Pid: 1, Tid: tid, Cat: "stage", Args: args})
+	}
+	if t != nil {
+		for tid := range tids {
+			label := t.RingLabel(tid - 2)
+			if label == "" {
+				continue
+			}
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+				Args: map[string]any{"name": label},
+			})
+		}
+	}
+	// Deterministic output order: metadata first, then by (tid, ts).
+	sort.SliceStable(out.TraceEvents, func(i, j int) bool {
+		a, b := out.TraceEvents[i], out.TraceEvents[j]
+		if (a.Ph == "M") != (b.Ph == "M") {
+			return a.Ph == "M"
+		}
+		if a.Tid != b.Tid {
+			return a.Tid < b.Tid
+		}
+		return a.Ts < b.Ts
+	})
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// WriteChromeFile writes the tracer's collected profile to path.
+func WriteChromeFile(path string, t *Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteChrome(f, t, t.TakeProfile()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ValidateChrome parses data as Chrome trace JSON and checks the
+// structural contract the exporter promises: every event carries a
+// known phase, "X" events have non-negative timestamps/durations, and
+// the "X" events on each thread nest strictly — a span either
+// contains the next one or ends before it starts; partial overlap is
+// a malformed trace. This is the check.sh gate's teeth.
+func ValidateChrome(data []byte) error {
+	var tr chromeTrace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return fmt.Errorf("trace: invalid chrome JSON: %w", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		return fmt.Errorf("trace: chrome export has no events")
+	}
+	// Interval math runs on integer nanoseconds: the exporter divides
+	// ns by 1e3 into fractional-µs floats, and summing those can push a
+	// span's end a ULP past an adjacent sibling's start, which would
+	// read as a phantom overlap.
+	type xev struct{ start, end int64 }
+	byTid := map[int][]xev{}
+	for _, ev := range tr.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			if ev.Dur == nil || *ev.Dur < 0 || ev.Ts < 0 {
+				return fmt.Errorf("trace: X event %q has bad ts/dur", ev.Name)
+			}
+			start := int64(math.Round(ev.Ts * 1e3))
+			dur := int64(math.Round(*ev.Dur * 1e3))
+			byTid[ev.Tid] = append(byTid[ev.Tid], xev{start, start + dur})
+		case "b", "e", "M":
+			// async pair halves and metadata: no nesting constraint
+		default:
+			return fmt.Errorf("trace: unexpected phase %q", ev.Ph)
+		}
+	}
+	for tid, evs := range byTid {
+		sort.Slice(evs, func(i, j int) bool {
+			if evs[i].start != evs[j].start {
+				return evs[i].start < evs[j].start
+			}
+			return evs[i].end > evs[j].end // widest first: parent before child
+		})
+		var stack []xev
+		for _, e := range evs {
+			for len(stack) > 0 && stack[len(stack)-1].end <= e.start {
+				stack = stack[:len(stack)-1]
+			}
+			if len(stack) > 0 && e.end > stack[len(stack)-1].end {
+				return fmt.Errorf("trace: tid %d: span [%dns,%dns) partially overlaps enclosing [%dns,%dns)",
+					tid, e.start, e.end, stack[len(stack)-1].start, stack[len(stack)-1].end)
+			}
+			stack = append(stack, e)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// DefaultFlightEvents is the event-ring capacity when NewFlight is
+// given n <= 0.
+const DefaultFlightEvents = 256
+
+// Attr is one structured key/value on a flight-recorder event. Values
+// are pre-rendered to strings: events are rare (warnings, fallbacks,
+// panics), so the formatting cost is irrelevant, and the dump path
+// must never fail to serialize.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// A builds an Attr.
+func A(key string, value any) Attr {
+	switch v := value.(type) {
+	case string:
+		return Attr{Key: key, Value: v}
+	case error:
+		return Attr{Key: key, Value: v.Error()}
+	default:
+		return Attr{Key: key, Value: fmt.Sprint(v)}
+	}
+}
+
+// Event is one structured flight-recorder entry.
+type Event struct {
+	At    time.Time `json:"at"`
+	Level string    `json:"level"`
+	Msg   string    `json:"msg"`
+	Attrs []Attr    `json:"attrs,omitempty"`
+}
+
+// Flight is the crash/interrupt flight recorder: a fixed ring of the
+// last N structured events, plus (through the owning Tracer) the last
+// spans each producer ring holds. It turns silent fallbacks — an
+// interrupted run, a contained classifier panic, an index distrust
+// rescan — into post-mortems: Dump writes everything the ring
+// remembers to a writer at the moment of trouble.
+//
+// Record is safe for concurrent use and allocates; it is for warn-rate
+// paths, never the per-record hot path.
+type Flight struct {
+	mu     sync.Mutex
+	events []Event
+	pos    int
+	filled bool
+	tracer *Tracer // set by New when Config.Flight is wired
+}
+
+// NewFlight builds a flight recorder holding the last n events
+// (DefaultFlightEvents when n <= 0).
+func NewFlight(n int) *Flight {
+	if n <= 0 {
+		n = DefaultFlightEvents
+	}
+	return &Flight{events: make([]Event, n)}
+}
+
+// Record appends one structured event, overwriting the oldest once
+// the ring is full. Safe for concurrent use; nil-receiver safe so
+// deep layers can record unconditionally.
+func (f *Flight) Record(level, msg string, attrs ...Attr) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.events[f.pos] = Event{At: time.Now(), Level: level, Msg: msg, Attrs: attrs}
+	f.pos++
+	if f.pos == len(f.events) {
+		f.pos, f.filled = 0, true
+	}
+	f.mu.Unlock()
+}
+
+// Events returns the recorded events, oldest first.
+func (f *Flight) Events() []Event {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []Event
+	if f.filled {
+		out = append(out, f.events[f.pos:]...)
+	}
+	out = append(out, f.events[:f.pos]...)
+	return out
+}
+
+// flightDump is the JSON-lines header record of a dump.
+type flightDump struct {
+	Kind   string `json:"kind"`
+	Reason string `json:"reason"`
+	Trace  string `json:"trace,omitempty"`
+	Events int    `json:"events"`
+	Spans  int    `json:"spans"`
+}
+
+// Dump writes the post-mortem as JSON lines: one header record, then
+// every remembered event (oldest first), then the spans currently in
+// the tracer's rings (oldest first). reason names the trigger
+// ("signal", "panic", "bad-index", ...). Dump never fails the caller:
+// write errors are returned but the recorder state is untouched, so
+// dumping to both stderr and a file is just two calls.
+func (f *Flight) Dump(w io.Writer, reason string) error {
+	if f == nil {
+		return nil
+	}
+	events := f.Events()
+	var spans []Span
+	var traceID string
+	if f.tracer != nil {
+		spans = f.tracer.Snapshot()
+		traceID = fmt.Sprintf("%016x", f.tracer.TraceID())
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(flightDump{
+		Kind: "flight_recorder", Reason: reason, Trace: traceID,
+		Events: len(events), Spans: len(spans),
+	}); err != nil {
+		return err
+	}
+	for _, ev := range events {
+		rec := struct {
+			Kind string `json:"kind"`
+			Event
+		}{Kind: "event", Event: ev}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	for _, sp := range spans {
+		rec := struct {
+			Kind string `json:"kind"`
+			Span
+		}{Kind: "span", Span: sp}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package trace
+
+import "sync/atomic"
+
+// Ring is a fixed-size single-producer span ring. The producer
+// (exactly one goroutine at a time) emits with Emit; any number of
+// readers snapshot concurrently without blocking the producer.
+//
+// Each slot is guarded seqlock-style: the producer bumps the slot's
+// sequence to odd, stores the span's fields as individual atomics,
+// and bumps it back to even. A reader loads the sequence, copies the
+// fields, and re-checks the sequence — a mismatch (or an odd value)
+// means the slot was caught mid-overwrite and is skipped. Every field
+// access is atomic, so the protocol is race-detector-clean, and the
+// producer never waits: old spans are simply overwritten in emission
+// order, which is exactly the "last N spans" semantic the flight
+// recorder and tracez want.
+type Ring struct {
+	t     *Tracer
+	idx   int // ring index within the tracer; -1 for the shared ring
+	pos   int // producer-owned write cursor
+	slots []ringSlot
+}
+
+// ringSlot packs a SpanRec into eight atomically-stored words plus
+// the seqlock sequence.
+type ringSlot struct {
+	seq atomic.Uint64
+	f   [8]atomic.Int64
+}
+
+func newRing(t *Tracer, size, idx int) *Ring {
+	return &Ring{t: t, idx: idx, slots: make([]ringSlot, size)}
+}
+
+func packSlot(sl *ringSlot, s SpanRec) {
+	sl.f[0].Store(int64(s.TraceID))
+	sl.f[1].Store(int64(s.SpanID))
+	sl.f[2].Store(int64(s.Parent))
+	sl.f[3].Store(s.Start)
+	sl.f[4].Store(s.Dur)
+	sl.f[5].Store(s.Record)
+	sl.f[6].Store(int64(s.Worker)<<32 | int64(uint32(s.Shard)))
+	sl.f[7].Store(int64(s.NameID)<<32 | int64(uint32(s.Count)))
+}
+
+func unpackSlot(f *[8]int64) SpanRec {
+	return SpanRec{
+		TraceID: uint64(f[0]),
+		SpanID:  uint64(f[1]),
+		Parent:  uint64(f[2]),
+		Start:   f[3],
+		Dur:     f[4],
+		Record:  f[5],
+		Worker:  int32(f[6] >> 32),
+		Shard:   int32(uint32(f[6])),
+		NameID:  int32(f[7] >> 32),
+		Count:   int32(uint32(f[7])),
+	}
+}
+
+// Emit records s, overwriting the oldest span once the ring is full,
+// and funnels it into the tracer's profile collector when one is
+// enabled. Producer-only.
+func (r *Ring) Emit(s SpanRec) {
+	r.emit(s)
+	r.t.collect(s, r.idx)
+}
+
+// emit is the ring write alone (EmitShared funnels to the collector
+// itself, outside the tracer mutex's critical section ordering).
+func (r *Ring) emit(s SpanRec) {
+	sl := &r.slots[r.pos%len(r.slots)]
+	r.pos++
+	sl.seq.Add(1) // odd: slot unstable
+	packSlot(sl, s)
+	sl.seq.Add(1) // even: slot readable
+}
+
+// snapshot copies every stable, written slot. Order is slot order,
+// not emission order — callers sort by Start.
+func (r *Ring) snapshot() []SpanRec {
+	var out []SpanRec
+	for i := range r.slots {
+		sl := &r.slots[i]
+		s1 := sl.seq.Load()
+		if s1 == 0 || s1&1 == 1 {
+			continue // never written, or mid-write
+		}
+		var f [8]int64
+		for j := range sl.f {
+			f[j] = sl.f[j].Load()
+		}
+		if sl.seq.Load() != s1 {
+			continue // overwritten while copying
+		}
+		out = append(out, unpackSlot(&f))
+	}
+	return out
+}

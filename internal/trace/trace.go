@@ -1,0 +1,351 @@
+// Package trace is the pipeline's distributed-tracing layer: a
+// low-overhead span engine that follows individual records and batches
+// through scan → decode → classify → observe → sink and across the
+// fleet push/merge hop, complementing internal/telemetry's aggregate
+// metrics with per-work evidence.
+//
+// The engine is built for the same hot-path discipline as telemetry:
+//
+//   - Spans live in fixed per-producer ring buffers of preallocated
+//     slots. Emitting a span is a handful of atomic stores — no
+//     allocation, no locks on the single-producer path (Ring.Emit),
+//     and a short uncontended mutex on the rare shared path
+//     (Tracer.EmitShared: fleet pushes, merges).
+//   - Span names are interned to small integer IDs once, outside the
+//     hot path, so emission never hashes or retains strings.
+//   - Per-record spans are head-sampled by record index: record i is
+//     sampled iff i % SampleEvery == 0. The decision depends only on
+//     the index, so the sampled set is a pure function of the input —
+//     reproducible across runs, worker counts, and shard counts.
+//     Batch-level spans are always emitted when a Tracer is attached
+//     (they are one span per stage per batch, allocation-free).
+//
+// Readers never block writers: snapshots (the /debug/tracez handler,
+// the flight recorder, the Chrome exporter) read ring slots through a
+// seqlock-style sequence check and simply skip a slot caught
+// mid-write. A bounded profile collector can additionally retain every
+// emitted span for post-run export (-trace-profile).
+package trace
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultRingSize is the per-ring span capacity when Config.RingSize
+// is 0: enough to hold the last few seconds of batch spans per
+// producer without measurable memory cost.
+const DefaultRingSize = 256
+
+// DefaultSampleEvery is the head-sampling interval tamperscan uses
+// when tracing is enabled without an explicit -trace-sample: one
+// record in 1024 gets per-record spans.
+const DefaultSampleEvery = 1024
+
+// SpanRec is the raw emitted form of a span: the name is an interned
+// ID (Tracer.NameID) so emission carries no strings. Snapshot resolves
+// records into Spans.
+type SpanRec struct {
+	TraceID uint64
+	SpanID  uint64
+	Parent  uint64
+	NameID  int32
+	Start   int64 // ns since the unix epoch
+	Dur     int64 // ns
+	Worker  int32 // emitting worker index, -1 when not worker-scoped
+	Shard   int32 // emitting shard, -1 when not shard-scoped
+	Record  int64 // first record index covered, -1 when not record-scoped
+	Count   int32 // records covered: batch width, or 1 for record spans
+}
+
+// Span is a resolved span as returned by Snapshot and consumed by the
+// exporters.
+type Span struct {
+	TraceID uint64 `json:"trace"`
+	SpanID  uint64 `json:"span"`
+	Parent  uint64 `json:"parent,omitempty"`
+	Name    string `json:"name"`
+	Start   int64  `json:"start_ns"`
+	Dur     int64  `json:"dur_ns"`
+	Worker  int32  `json:"worker"`
+	Shard   int32  `json:"shard"`
+	Record  int64  `json:"record"`
+	Count   int32  `json:"count"`
+	Ring    int    `json:"ring"` // producer ring the span came from
+}
+
+// End reports the span's end time in ns since the unix epoch.
+func (s Span) End() int64 { return s.Start + s.Dur }
+
+// Config configures a Tracer.
+type Config struct {
+	// TraceID is the run's root trace identifier — tamperscan reuses
+	// its per-run correlation ID so log lines and spans join on one
+	// key. 0 is accepted (an untraced-context trace).
+	TraceID uint64
+	// Root is the span ID the top-level pipeline spans parent to
+	// (the CLI's "run" span); 0 means pipeline spans are roots.
+	Root uint64
+	// SampleEvery enables per-record spans for records whose index is
+	// a multiple of it; <= 0 disables per-record spans entirely
+	// (batch-level spans are still emitted).
+	SampleEvery int
+	// RingSize is the per-producer ring capacity in spans; 0 means
+	// DefaultRingSize.
+	RingSize int
+	// MaxProfile, when > 0, retains up to that many emitted spans in
+	// the bounded profile collector for TakeProfile / Chrome export.
+	// Spans past the bound are counted (ProfileDropped) and discarded.
+	MaxProfile int
+	// Flight, when non-nil, is the crash/interrupt flight recorder
+	// associated with the run; Tracer.Flight returns it so deep layers
+	// (classifier panic containment, index distrust) can record
+	// structured events without new plumbing.
+	Flight *Flight
+}
+
+// Tracer is the per-run span engine. One Tracer serves one logical
+// run (or one long-lived service); producers emit through per-producer
+// Rings or the shared path, and any goroutine may Snapshot.
+type Tracer struct {
+	traceID uint64
+	root    uint64
+	every   int64
+	ringSz  int
+	profMax int
+	flight  *Flight
+
+	spanSeq atomic.Uint64
+
+	mu       sync.Mutex // guards interning, ring growth, shared emit, profile
+	nameIdx  map[string]int32
+	names    atomic.Pointer[[]string]
+	rings    atomic.Pointer[[]*Ring]
+	labels   []string
+	shared   *Ring
+	profile  []profEntry
+	profDrop atomic.Int64
+}
+
+// profEntry is one collected profile span plus its producer ring
+// (-1 for the shared ring).
+type profEntry struct {
+	rec  SpanRec
+	ring int32
+}
+
+// New builds a Tracer from cfg.
+func New(cfg Config) *Tracer {
+	sz := cfg.RingSize
+	if sz <= 0 {
+		sz = DefaultRingSize
+	}
+	t := &Tracer{
+		traceID: cfg.TraceID,
+		root:    cfg.Root,
+		every:   int64(cfg.SampleEvery),
+		ringSz:  sz,
+		profMax: cfg.MaxProfile,
+		flight:  cfg.Flight,
+		nameIdx: map[string]int32{},
+	}
+	names := []string{}
+	t.names.Store(&names)
+	rings := []*Ring{}
+	t.rings.Store(&rings)
+	t.shared = newRing(t, sz, -1)
+	if cfg.MaxProfile > 0 {
+		t.profile = make([]profEntry, 0, min(cfg.MaxProfile, 1<<16))
+	}
+	if t.flight != nil {
+		t.flight.tracer = t
+	}
+	return t
+}
+
+// TraceID returns the run's root trace identifier.
+func (t *Tracer) TraceID() uint64 { return t.traceID }
+
+// Root returns the span ID pipeline-level spans parent to (0 = none).
+func (t *Tracer) Root() uint64 { return t.root }
+
+// SetRoot records the run-root span ID after the CLI emits it.
+func (t *Tracer) SetRoot(id uint64) { t.root = id }
+
+// Flight returns the associated flight recorder, or nil.
+func (t *Tracer) Flight() *Flight {
+	if t == nil {
+		return nil
+	}
+	return t.flight
+}
+
+// SampleEvery returns the per-record head-sampling interval (<= 0
+// means per-record spans are off).
+func (t *Tracer) SampleEvery() int { return int(t.every) }
+
+// Sampled reports whether the record at index i is head-sampled. The
+// decision is a pure function of the index, so the sampled set is
+// identical across runs, worker counts, and shard counts.
+func (t *Tracer) Sampled(i int64) bool {
+	return t.every > 0 && i >= 0 && i%t.every == 0
+}
+
+// NewSpanID allocates a process-unique span ID (never 0).
+func (t *Tracer) NewSpanID() uint64 { return t.spanSeq.Add(1) }
+
+// NameID interns name, returning its small integer ID. Interning
+// takes the tracer mutex; callers intern once at setup and reuse the
+// ID on the hot path.
+func (t *Tracer) NameID(name string) int32 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.nameIdx[name]; ok {
+		return id
+	}
+	old := *t.names.Load()
+	names := make([]string, len(old)+1)
+	copy(names, old)
+	names[len(old)] = name
+	id := int32(len(old))
+	t.nameIdx[name] = id
+	t.names.Store(&names)
+	return id
+}
+
+// name resolves an interned ID ("?" for unknown).
+func (t *Tracer) name(id int32) string {
+	names := *t.names.Load()
+	if id >= 0 && int(id) < len(names) {
+		return names[id]
+	}
+	return "?"
+}
+
+// Ring returns producer ring i, growing the ring set on demand. Each
+// ring must be written by at most one goroutine at a time; callers
+// grab their ring once at goroutine start. Ring identity is stable
+// for the life of the tracer.
+func (t *Tracer) Ring(i int) *Ring {
+	if rs := *t.rings.Load(); i < len(rs) {
+		return rs[i]
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rs := *t.rings.Load()
+	for len(rs) <= i {
+		rs = append(rs, newRing(t, t.ringSz, len(rs)))
+		t.labels = append(t.labels, "")
+	}
+	t.rings.Store(&rs)
+	return rs[i]
+}
+
+// LabelRing names producer ring i for the exporters (thread names in
+// the Chrome export, ring column in tracez).
+func (t *Tracer) LabelRing(i int, label string) {
+	t.Ring(i) // ensure it exists
+	t.mu.Lock()
+	t.labels[i] = label
+	t.mu.Unlock()
+}
+
+// RingLabel returns ring i's label ("" when unset; "shared" for the
+// shared ring, whose index is -1).
+func (t *Tracer) RingLabel(i int) string {
+	if i < 0 {
+		return "shared"
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if i < len(t.labels) {
+		return t.labels[i]
+	}
+	return ""
+}
+
+// EmitShared emits a span from a multi-producer context (fleet
+// pushes, merger ingests) under the tracer mutex. Rare-path only.
+func (t *Tracer) EmitShared(s SpanRec) {
+	t.mu.Lock()
+	t.shared.emit(s)
+	t.mu.Unlock()
+	t.collect(s, -1)
+}
+
+// collect funnels every emitted span into the bounded profile
+// collector when one is configured.
+func (t *Tracer) collect(s SpanRec, ring int) {
+	if t.profMax <= 0 {
+		return
+	}
+	t.mu.Lock()
+	if len(t.profile) < t.profMax {
+		t.profile = append(t.profile, profEntry{rec: s, ring: int32(ring)})
+		t.mu.Unlock()
+		return
+	}
+	t.mu.Unlock()
+	t.profDrop.Add(1)
+}
+
+// ProfileDropped reports how many spans overflowed the profile bound.
+func (t *Tracer) ProfileDropped() int64 { return t.profDrop.Load() }
+
+// TakeProfile returns (and clears) the collected profile, resolved.
+func (t *Tracer) TakeProfile() []Span {
+	t.mu.Lock()
+	recs := t.profile
+	t.profile = nil
+	t.mu.Unlock()
+	out := make([]Span, len(recs))
+	for i, e := range recs {
+		out[i] = t.resolve(e.rec, int(e.ring))
+	}
+	return out
+}
+
+func (t *Tracer) resolve(r SpanRec, ring int) Span {
+	return Span{
+		TraceID: r.TraceID,
+		SpanID:  r.SpanID,
+		Parent:  r.Parent,
+		Name:    t.name(r.NameID),
+		Start:   r.Start,
+		Dur:     r.Dur,
+		Worker:  r.Worker,
+		Shard:   r.Shard,
+		Record:  r.Record,
+		Count:   r.Count,
+		Ring:    ring,
+	}
+}
+
+// Snapshot returns the spans currently held in every producer ring
+// plus the shared ring, resolved and sorted by start time. It never
+// blocks writers; slots caught mid-write are skipped.
+func (t *Tracer) Snapshot() []Span {
+	rings := *t.rings.Load()
+	var out []Span
+	for i, r := range rings {
+		for _, rec := range r.snapshot() {
+			out = append(out, t.resolve(rec, i))
+		}
+	}
+	for _, rec := range t.shared.snapshot() {
+		out = append(out, t.resolve(rec, -1))
+	}
+	sortSpans(out)
+	return out
+}
+
+// sortSpans orders spans by (Start, SpanID) — stable for rendering.
+func sortSpans(s []Span) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Start != s[j].Start {
+			return s[i].Start < s[j].Start
+		}
+		return s[i].SpanID < s[j].SpanID
+	})
+}

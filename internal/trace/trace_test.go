@@ -1,0 +1,340 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testSpan(t *Tracer, name string, start, dur int64) SpanRec {
+	return SpanRec{
+		TraceID: t.TraceID(), SpanID: t.NewSpanID(),
+		NameID: t.NameID(name), Start: start, Dur: dur,
+		Worker: -1, Shard: -1, Record: -1, Count: 0,
+	}
+}
+
+func TestNameInterning(t *testing.T) {
+	tr := New(Config{TraceID: 1})
+	a := tr.NameID("decode")
+	b := tr.NameID("classify")
+	if a == b {
+		t.Fatalf("distinct names interned to same ID %d", a)
+	}
+	if got := tr.NameID("decode"); got != a {
+		t.Fatalf("re-interning changed ID: %d != %d", got, a)
+	}
+	if tr.name(a) != "decode" || tr.name(b) != "classify" {
+		t.Fatalf("resolve mismatch: %q %q", tr.name(a), tr.name(b))
+	}
+	if tr.name(99) != "?" {
+		t.Fatalf("unknown ID resolved to %q", tr.name(99))
+	}
+}
+
+func TestRingOverwriteKeepsLastN(t *testing.T) {
+	tr := New(Config{TraceID: 7, RingSize: 8})
+	r := tr.Ring(0)
+	for i := 0; i < 20; i++ {
+		r.Emit(testSpan(tr, "scan", int64(i), 1))
+	}
+	spans := tr.Snapshot()
+	if len(spans) != 8 {
+		t.Fatalf("ring of 8 holds %d spans", len(spans))
+	}
+	// the last 8 emissions (starts 12..19) survive
+	for i, s := range spans {
+		if want := int64(12 + i); s.Start != want {
+			t.Fatalf("span %d start = %d, want %d", i, s.Start, want)
+		}
+		if s.Name != "scan" {
+			t.Fatalf("span name %q", s.Name)
+		}
+	}
+}
+
+func TestSampledDeterministicAndKeyedOnIndex(t *testing.T) {
+	tr := New(Config{TraceID: 1, SampleEvery: 64})
+	var sampled []int64
+	for i := int64(0); i < 1000; i++ {
+		if tr.Sampled(i) {
+			sampled = append(sampled, i)
+		}
+	}
+	for _, i := range sampled {
+		if i%64 != 0 {
+			t.Fatalf("sampled index %d not a multiple of 64", i)
+		}
+	}
+	if len(sampled) != 16 {
+		t.Fatalf("sampled %d of 1000 at every=64, want 16", len(sampled))
+	}
+	off := New(Config{TraceID: 1})
+	for i := int64(0); i < 100; i++ {
+		if off.Sampled(i) {
+			t.Fatalf("SampleEvery=0 sampled index %d", i)
+		}
+	}
+}
+
+// TestConcurrentEmitAndSnapshot exercises the seqlock under the race
+// detector: many producers on their own rings plus shared emitters,
+// with concurrent snapshotters. Snapshot must only ever return spans
+// that were actually emitted (no torn reads).
+func TestConcurrentEmitAndSnapshot(t *testing.T) {
+	tr := New(Config{TraceID: 42, RingSize: 16})
+	const producers = 4
+	nameID := tr.NameID("decode")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			r := tr.Ring(p)
+			for i := 0; i < 5000; i++ {
+				// Start and Dur are coupled (Dur = Start + 1) so a torn
+				// read is detectable.
+				r.Emit(SpanRec{TraceID: 42, SpanID: tr.NewSpanID(), NameID: nameID,
+					Start: int64(i), Dur: int64(i) + 1, Worker: int32(p), Shard: -1, Record: int64(i), Count: 1})
+			}
+		}(p)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			tr.EmitShared(testSpan(tr, "push.epoch", int64(i), int64(i)+7))
+		}
+	}()
+	var swg sync.WaitGroup
+	for s := 0; s < 2; s++ {
+		swg.Add(1)
+		go func() {
+			defer swg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, sp := range tr.Snapshot() {
+					switch sp.Name {
+					case "decode":
+						if sp.Dur != sp.Start+1 {
+							t.Errorf("torn span: start=%d dur=%d", sp.Start, sp.Dur)
+							return
+						}
+					case "push.epoch":
+						if sp.Dur != sp.Start+7 {
+							t.Errorf("torn shared span: start=%d dur=%d", sp.Start, sp.Dur)
+							return
+						}
+					default:
+						t.Errorf("unknown span name %q", sp.Name)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	swg.Wait()
+}
+
+func TestProfileBounded(t *testing.T) {
+	tr := New(Config{TraceID: 3, MaxProfile: 10})
+	r := tr.Ring(0)
+	for i := 0; i < 25; i++ {
+		r.Emit(testSpan(tr, "scan", int64(i), 1))
+	}
+	if got := tr.ProfileDropped(); got != 15 {
+		t.Fatalf("ProfileDropped = %d, want 15", got)
+	}
+	prof := tr.TakeProfile()
+	if len(prof) != 10 {
+		t.Fatalf("profile holds %d spans, want 10", len(prof))
+	}
+	for i, s := range prof {
+		if s.Start != int64(i) {
+			t.Fatalf("profile span %d start %d (head-bounded, want %d)", i, s.Start, i)
+		}
+	}
+	if again := tr.TakeProfile(); len(again) != 0 {
+		t.Fatalf("second TakeProfile returned %d spans", len(again))
+	}
+}
+
+func TestChromeExportValidatesAndNests(t *testing.T) {
+	tr := New(Config{TraceID: 5, MaxProfile: 100})
+	tr.LabelRing(0, "scan/0")
+	tr.LabelRing(1, "worker/0")
+	r0, r1 := tr.Ring(0), tr.Ring(1)
+
+	scan := testSpan(tr, "scan", 1000, 500)
+	r0.Emit(scan)
+	qw := testSpan(tr, QueueWaitName, 1500, 400) // overlaps decode on purpose
+	r1.Emit(qw)
+	dec := testSpan(tr, "decode", 1700, 300)
+	dec.Parent = scan.SpanID
+	r1.Emit(dec)
+	rec := testSpan(tr, "decode.record", 1800, 100)
+	rec.Parent = dec.SpanID
+	r1.Emit(rec)
+	cls := testSpan(tr, "classify", 2100, 200)
+	r1.Emit(cls)
+
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, tr, tr.TakeProfile()); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	if err := ValidateChrome(buf.Bytes()); err != nil {
+		t.Fatalf("ValidateChrome rejected exporter output: %v\n%s", err, buf.String())
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("export is not JSON: %v", err)
+	}
+	s := buf.String()
+	for _, want := range []string{`"scan/0"`, `"worker/0"`, `"ph":"b"`, `"ph":"e"`, `"ph":"X"`} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("export missing %s:\n%s", want, s)
+		}
+	}
+}
+
+func TestValidateChromeRejectsPartialOverlap(t *testing.T) {
+	bad := `{"traceEvents":[
+		{"name":"a","ph":"X","ts":0,"dur":10,"pid":1,"tid":1},
+		{"name":"b","ph":"X","ts":5,"dur":10,"pid":1,"tid":1}
+	],"displayTimeUnit":"ms"}`
+	if err := ValidateChrome([]byte(bad)); err == nil {
+		t.Fatal("partial overlap on one tid accepted")
+	}
+	if err := ValidateChrome([]byte("not json")); err == nil {
+		t.Fatal("non-JSON accepted")
+	}
+	if err := ValidateChrome([]byte(`{"traceEvents":[]}`)); err == nil {
+		t.Fatal("empty export accepted")
+	}
+	// disjoint + properly nested passes
+	good := `{"traceEvents":[
+		{"name":"a","ph":"X","ts":0,"dur":10,"pid":1,"tid":1},
+		{"name":"c","ph":"X","ts":2,"dur":3,"pid":1,"tid":1},
+		{"name":"b","ph":"X","ts":20,"dur":10,"pid":1,"tid":1}
+	],"displayTimeUnit":"ms"}`
+	if err := ValidateChrome([]byte(good)); err != nil {
+		t.Fatalf("nested+disjoint rejected: %v", err)
+	}
+}
+
+func TestFlightRecorderRingAndDump(t *testing.T) {
+	fl := NewFlight(4)
+	tr := New(Config{TraceID: 0xabcd, Flight: fl})
+	if tr.Flight() != fl {
+		t.Fatal("tracer did not adopt the flight recorder")
+	}
+	tr.Ring(0).Emit(testSpan(tr, "scan", 10, 5))
+	for i := 0; i < 6; i++ {
+		fl.Record("WARN", "push retry", A("attempt", i), A("err", "boom"))
+	}
+	evs := fl.Events()
+	if len(evs) != 4 {
+		t.Fatalf("flight ring holds %d events, want 4", len(evs))
+	}
+	if evs[0].Attrs[0].Value != "2" || evs[3].Attrs[0].Value != "5" {
+		t.Fatalf("flight ring kept wrong window: %+v", evs)
+	}
+	var buf bytes.Buffer
+	if err := fl.Dump(&buf, "signal"); err != nil {
+		t.Fatalf("Dump: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+4+1 {
+		t.Fatalf("dump has %d lines, want header + 4 events + 1 span:\n%s", len(lines), buf.String())
+	}
+	var hdr map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil {
+		t.Fatalf("dump header not JSON: %v", err)
+	}
+	if hdr["kind"] != "flight_recorder" || hdr["reason"] != "signal" {
+		t.Fatalf("bad dump header: %v", hdr)
+	}
+	if hdr["trace"] != "000000000000abcd" {
+		t.Fatalf("dump header trace = %v", hdr["trace"])
+	}
+	for _, ln := range lines[1:] {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(ln), &rec); err != nil {
+			t.Fatalf("dump line not JSON: %v (%s)", err, ln)
+		}
+	}
+	// nil recorder is inert
+	var nilFl *Flight
+	nilFl.Record("WARN", "ignored")
+	if err := nilFl.Dump(&buf, "x"); err != nil {
+		t.Fatalf("nil dump errored: %v", err)
+	}
+}
+
+func TestTracezHandler(t *testing.T) {
+	tr := New(Config{TraceID: 0x77})
+	tr.LabelRing(0, "worker/0")
+	r := tr.Ring(0)
+	for i := 0; i < 100; i++ {
+		s := testSpan(tr, "classify", int64(i*1000), int64(100+i))
+		s.Record = int64(i)
+		r.Emit(s)
+	}
+	h := TracezHandler(tr)
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/tracez", nil))
+	body := rr.Body.String()
+	for _, want := range []string{"trace 0000000000000077", "classify", "slowest spans", "recent spans", "p99"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("tracez text missing %q:\n%s", want, body)
+		}
+	}
+
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/tracez?format=json", nil))
+	var view tracezView
+	if err := json.Unmarshal(rr.Body.Bytes(), &view); err != nil {
+		t.Fatalf("tracez json: %v", err)
+	}
+	if view.TraceID != "0000000000000077" || len(view.Stages) != 1 {
+		t.Fatalf("bad view: %+v", view)
+	}
+	st := view.Stages[0]
+	if st.Name != "classify" || st.Count == 0 || st.P50ns > st.P99ns || st.P99ns > st.MaxNs {
+		t.Fatalf("bad stage row: %+v", st)
+	}
+	if len(view.Slowest) != tracezSlowest || view.Slowest[0].Dur < view.Slowest[1].Dur {
+		t.Fatalf("bad slowest table: %+v", view.Slowest)
+	}
+	if len(view.Recent) == 0 || view.Recent[0].Start < view.Recent[1].Start {
+		t.Fatalf("recent not newest-first: %+v", view.Recent[:2])
+	}
+}
+
+func TestEmitNoAllocs(t *testing.T) {
+	tr := New(Config{TraceID: 9, RingSize: 64})
+	r := tr.Ring(0)
+	nameID := tr.NameID("decode")
+	s := SpanRec{TraceID: 9, NameID: nameID, Worker: 0, Shard: -1, Count: 1}
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.SpanID = tr.NewSpanID()
+		s.Start = time.Now().UnixNano()
+		s.Dur = 1
+		r.Emit(s)
+	})
+	if allocs != 0 {
+		t.Fatalf("Ring.Emit allocates %.2f per span, want 0", allocs)
+	}
+}

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// The live tracez endpoint: a point-in-time view of the spans still
+// held in the producer rings — recent spans, per-stage latency
+// percentiles, and the slowest spans — served as plain text by
+// default and as JSON with ?format=json. Mounted on the telemetry
+// HTTP server at /debug/tracez via telemetry.NewServerWith.
+
+// tracezStage is one stage row of the percentile table.
+type tracezStage struct {
+	Name  string `json:"name"`
+	Count int    `json:"count"`
+	P50ns int64  `json:"p50_ns"`
+	P90ns int64  `json:"p90_ns"`
+	P99ns int64  `json:"p99_ns"`
+	MaxNs int64  `json:"max_ns"`
+}
+
+// tracezView is the JSON shape of one scrape.
+type tracezView struct {
+	TraceID string        `json:"trace_id"`
+	Spans   int           `json:"spans"`
+	Stages  []tracezStage `json:"stages"`
+	Slowest []Span        `json:"slowest"`
+	Recent  []Span        `json:"recent"`
+}
+
+const (
+	tracezRecent  = 64
+	tracezSlowest = 10
+)
+
+func buildTracezView(t *Tracer) tracezView {
+	spans := t.Snapshot()
+	view := tracezView{
+		TraceID: fmt.Sprintf("%016x", t.TraceID()),
+		Spans:   len(spans),
+	}
+
+	byStage := map[string][]int64{}
+	for _, s := range spans {
+		byStage[s.Name] = append(byStage[s.Name], s.Dur)
+	}
+	for name, durs := range byStage {
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		pct := func(p float64) int64 {
+			i := int(p * float64(len(durs)-1))
+			return durs[i]
+		}
+		view.Stages = append(view.Stages, tracezStage{
+			Name: name, Count: len(durs),
+			P50ns: pct(0.50), P90ns: pct(0.90), P99ns: pct(0.99),
+			MaxNs: durs[len(durs)-1],
+		})
+	}
+	sort.Slice(view.Stages, func(i, j int) bool { return view.Stages[i].Name < view.Stages[j].Name })
+
+	slowest := append([]Span(nil), spans...)
+	sort.Slice(slowest, func(i, j int) bool { return slowest[i].Dur > slowest[j].Dur })
+	if len(slowest) > tracezSlowest {
+		slowest = slowest[:tracezSlowest]
+	}
+	view.Slowest = slowest
+
+	recent := spans
+	if len(recent) > tracezRecent {
+		recent = recent[len(recent)-tracezRecent:]
+	}
+	// newest first for the operator
+	rev := make([]Span, len(recent))
+	for i, s := range recent {
+		rev[len(recent)-1-i] = s
+	}
+	view.Recent = rev
+	return view
+}
+
+// TracezHandler serves the live span view for t.
+func TracezHandler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		view := buildTracezView(t)
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(view)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "tracez — trace %s — %d spans in rings\n\n", view.TraceID, view.Spans)
+		fmt.Fprintf(w, "per-stage latency (from ring contents):\n")
+		fmt.Fprintf(w, "  %-14s %8s %12s %12s %12s %12s\n", "stage", "count", "p50", "p90", "p99", "max")
+		for _, st := range view.Stages {
+			fmt.Fprintf(w, "  %-14s %8d %12s %12s %12s %12s\n", st.Name, st.Count,
+				time.Duration(st.P50ns), time.Duration(st.P90ns),
+				time.Duration(st.P99ns), time.Duration(st.MaxNs))
+		}
+		fmt.Fprintf(w, "\nslowest spans:\n")
+		writeSpanTable(w, t, view.Slowest)
+		fmt.Fprintf(w, "\nrecent spans (newest first):\n")
+		writeSpanTable(w, t, view.Recent)
+	})
+}
+
+func writeSpanTable(w http.ResponseWriter, t *Tracer, spans []Span) {
+	fmt.Fprintf(w, "  %-14s %12s %10s %7s %6s %-12s %s\n",
+		"name", "dur", "record", "count", "shard", "ring", "span")
+	for _, s := range spans {
+		ring := t.RingLabel(s.Ring)
+		if ring == "" {
+			ring = fmt.Sprintf("#%d", s.Ring)
+		}
+		fmt.Fprintf(w, "  %-14s %12s %10d %7d %6d %-12s %x\n",
+			s.Name, time.Duration(s.Dur), s.Record, s.Count, s.Shard, ring, s.SpanID)
+	}
+}

@@ -7,6 +7,8 @@
 # shards {1,2,4,8}), the geo-lookup cache benchmark
 # (BenchmarkGeoLookup, cached vs uncached), the telemetry cost
 # benchmark (BenchmarkStreamTelemetryOverhead, telemetry off vs on),
+# the tracing cost benchmark (BenchmarkStreamTraceOverhead, tracer
+# off vs attached with per-record sampling off),
 # and the virtual-time generator benchmark (BenchmarkLongitudinalGen,
 # arrival expansion + simulation + TDCAP encode over 48h and 336h
 # windows)
@@ -53,6 +55,9 @@ go test -run '^$' -bench 'BenchmarkGeoLookup' -benchtime "$GEOTIME" -count "$COU
 
 echo "== go test -bench BenchmarkStreamTelemetryOverhead -benchtime $BENCHTIME -count $COUNT =="
 go test -run '^$' -bench 'BenchmarkStreamTelemetryOverhead' -benchtime "$BENCHTIME" -count "$COUNT" . | tee -a "$tmp"
+
+echo "== go test -bench BenchmarkStreamTraceOverhead -benchtime $BENCHTIME -count $COUNT =="
+go test -run '^$' -bench 'BenchmarkStreamTraceOverhead' -benchtime "$BENCHTIME" -count "$COUNT" . | tee -a "$tmp"
 
 echo "== go test -bench BenchmarkLongitudinalGen -benchtime $BENCHTIME -count $COUNT =="
 go test -run '^$' -bench 'BenchmarkLongitudinalGen' -benchtime "$BENCHTIME" -count "$COUNT" . | tee -a "$tmp"

@@ -60,10 +60,12 @@ type telemetryCell struct {
 	AllocsPerRecord float64 `json:"allocs_per_record"`
 }
 
-// telemetryOverhead records what the telemetry subsystem costs on the
-// streaming hot path: the identical run with instruments detached vs
-// attached. throughput_ratio is on/off (1.0 = free; the contract in
-// EXPERIMENTS.md is >= 0.95); extra_allocs_per_record must stay ~0.
+// telemetryOverhead records what an observability subsystem costs on
+// the streaming hot path: the identical run with instruments detached
+// vs attached. throughput_ratio is on/off (1.0 = free; the contract
+// in EXPERIMENTS.md is >= 0.95); extra_allocs_per_record must stay
+// ~0. The same shape records both the telemetry and the tracing
+// (BenchmarkStreamTraceOverhead) deltas.
 type telemetryOverhead struct {
 	Off                  telemetryCell `json:"off"`
 	On                   telemetryCell `json:"on"`
@@ -143,22 +145,24 @@ type longitudinalGen struct {
 }
 
 type report struct {
-	Benchmark      string             `json:"benchmark"`
-	GoVersion      string             `json:"go_version"`
-	CPU            string             `json:"cpu,omitempty"`
-	Runs           int                `json:"runs"`
-	Results        []result           `json:"results"`
-	GeoLookup      *geoLookup         `json:"geo_lookup,omitempty"`
-	Telemetry      *telemetryOverhead `json:"stream_telemetry_overhead,omitempty"`
-	DecodeParallel *decodeParallel    `json:"decode_parallel,omitempty"`
-	ShardedIngest  *shardedIngest     `json:"sharded_ingest,omitempty"`
-	LongitudinalGen *longitudinalGen  `json:"longitudinal_gen,omitempty"`
+	Benchmark       string             `json:"benchmark"`
+	GoVersion       string             `json:"go_version"`
+	CPU             string             `json:"cpu,omitempty"`
+	Runs            int                `json:"runs"`
+	Results         []result           `json:"results"`
+	GeoLookup       *geoLookup         `json:"geo_lookup,omitempty"`
+	Telemetry       *telemetryOverhead `json:"stream_telemetry_overhead,omitempty"`
+	TraceOverhead   *telemetryOverhead `json:"stream_trace_overhead,omitempty"`
+	DecodeParallel  *decodeParallel    `json:"decode_parallel,omitempty"`
+	ShardedIngest   *shardedIngest     `json:"sharded_ingest,omitempty"`
+	LongitudinalGen *longitudinalGen   `json:"longitudinal_gen,omitempty"`
 }
 
 var (
 	nameRe      = regexp.MustCompile(`^BenchmarkStreamPipeline/workers=(\d+)/batch=(\d+)(?:-\d+)?$`)
 	geoRe       = regexp.MustCompile(`^BenchmarkGeoLookup/mode=(cached|uncached)(?:-\d+)?$`)
 	telemetryRe = regexp.MustCompile(`^BenchmarkStreamTelemetryOverhead/telemetry=(on|off)(?:-\d+)?$`)
+	traceRe     = regexp.MustCompile(`^BenchmarkStreamTraceOverhead/trace=(on|off)(?:-\d+)?$`)
 	decodeRe    = regexp.MustCompile(`^BenchmarkDecodeParallel/path=(scan|seq)/workers=(\d+)(?:-\d+)?$`)
 	shardedRe   = regexp.MustCompile(`^BenchmarkShardedIngest/path=(scan|sharded)/(?:workers|shards)=(\d+)(?:-\d+)?$`)
 	longGenRe   = regexp.MustCompile(`^BenchmarkLongitudinalGen/preset=([A-Za-z0-9_-]+)/hours=(\d+)(?:-\d+)?$`)
@@ -201,6 +205,7 @@ func aggregate(src *os.File) (*report, error) {
 	samples := map[cell]map[string][]float64{}
 	geoSamples := map[string][]float64{}
 	telSamples := map[string]map[string][]float64{}
+	trSamples := map[string]map[string][]float64{}
 	type dpCell struct {
 		path    string
 		workers int
@@ -250,6 +255,17 @@ func aggregate(src *os.File) (*report, error) {
 			for i := 2; i+1 < len(fields); i += 2 {
 				if v, err := strconv.ParseFloat(fields[i], 64); err == nil {
 					telSamples[tm[1]][fields[i+1]] = append(telSamples[tm[1]][fields[i+1]], v)
+				}
+			}
+			continue
+		}
+		if tm := traceRe.FindStringSubmatch(fields[0]); tm != nil {
+			if trSamples[tm[1]] == nil {
+				trSamples[tm[1]] = map[string][]float64{}
+			}
+			for i := 2; i+1 < len(fields); i += 2 {
+				if v, err := strconv.ParseFloat(fields[i], 64); err == nil {
+					trSamples[tm[1]][fields[i+1]] = append(trSamples[tm[1]][fields[i+1]], v)
 				}
 			}
 			continue
@@ -356,6 +372,23 @@ func aggregate(src *os.File) (*report, error) {
 	}
 	if off, on := telCell("off"), telCell("on"); off.RecordsPerSec > 0 && on.RecordsPerSec > 0 {
 		rep.Telemetry = &telemetryOverhead{
+			Off:                  off,
+			On:                   on,
+			ThroughputRatio:      on.RecordsPerSec / off.RecordsPerSec,
+			ExtraAllocsPerRecord: on.AllocsPerRecord - off.AllocsPerRecord,
+		}
+	}
+	trCell := func(mode string) telemetryCell {
+		units := trSamples[mode]
+		return telemetryCell{
+			RecordsPerSec:   median(units["conns/sec"]),
+			NsPerRecord:     median(units["ns/record"]),
+			BytesPerRecord:  median(units["B/record"]),
+			AllocsPerRecord: median(units["allocs/record"]),
+		}
+	}
+	if off, on := trCell("off"), trCell("on"); off.RecordsPerSec > 0 && on.RecordsPerSec > 0 {
+		rep.TraceOverhead = &telemetryOverhead{
 			Off:                  off,
 			On:                   on,
 			ThroughputRatio:      on.RecordsPerSec / off.RecordsPerSec,
@@ -502,6 +535,20 @@ func validateFile(path string) error {
 	if t := rep.Telemetry; t != nil {
 		if t.Off.RecordsPerSec <= 0 || t.On.RecordsPerSec <= 0 || t.ThroughputRatio <= 0 {
 			return fmt.Errorf("%s: stream_telemetry_overhead has non-positive throughput", path)
+		}
+	}
+	if t := rep.TraceOverhead; t != nil {
+		if t.Off.RecordsPerSec <= 0 || t.On.RecordsPerSec <= 0 || t.ThroughputRatio <= 0 {
+			return fmt.Errorf("%s: stream_trace_overhead has non-positive throughput", path)
+		}
+		// The tracing hot-path contract: batch spans into lock-free
+		// rings cost <=5% throughput and no per-record allocations.
+		// Only enforced with enough runs for the median to hold.
+		if rep.Runs >= 3 && t.ThroughputRatio < 0.95 {
+			return fmt.Errorf("%s: stream_trace_overhead throughput ratio %.3f (gate requires >= 0.95)", path, t.ThroughputRatio)
+		}
+		if rep.Runs >= 3 && t.ExtraAllocsPerRecord > 0.05 {
+			return fmt.Errorf("%s: stream_trace_overhead adds %.3f allocs/record (gate requires ~0)", path, t.ExtraAllocsPerRecord)
 		}
 	}
 	if d := rep.DecodeParallel; d != nil {

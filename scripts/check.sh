@@ -86,6 +86,22 @@ echo "== telemetry exposition + shutdown gate =="
 go test ./cmd/tamperscan/ -run 'TestMetricsAddrServesExposition' -count=1
 go test ./internal/telemetry/ -run 'TestServerShutdownNoGoroutineLeak|TestServerEndpoints' -count=1
 
+# Tracing gate: the span engine's whole contract, focused and
+# uncached. The sampled span set must be deterministic across worker
+# counts {1,4,16}; the hot path with sampling off must add zero
+# allocations per record; a live /debug/tracez scrape racing a
+# graceful shutdown must neither tear nor leak goroutines; the Chrome
+# trace-event export written by tamperscan -trace-profile must pass
+# the strict validator (valid JSON, known phases, per-thread spans
+# strictly nested); and the cross-PoP e2e — tamperscan -push through
+# a lossy chaos transport into a live popmerge — must land the
+# merger's validate/merge spans in the pushing scan's trace.
+echo "== tracing: determinism + hot-path allocs + tracez race gate =="
+go test ./internal/pipeline/ -run 'TestTraceSampledSetDeterministic|TestTraceHotPathAllocationFree|TestTraceTracezScrapeDuringShutdown' -count=1
+echo "== tracing: Chrome export validity + cross-PoP propagation gate =="
+go test ./cmd/tamperscan/ -run 'TestRunTraceProfileExport|TestRunPushTraced|TestRunFlightDumpOnRescan' -count=1
+go test ./internal/fleet/ -run 'TestFleetTraceContextPropagation|TestEnvelopeMixedFleetParity' -count=1
+
 # Fleet chaos-parity gate: 20 in-process PoPs (19 concurrent + one
 # straggler past the quorum close) push per-epoch snapshots through a
 # fault-injecting transport — drops, duplicates, truncations, 5xxs —

@@ -27,6 +27,7 @@ targets="
 ./internal/analysis:FuzzMergeAssociativity
 ./internal/analysis:FuzzSnapshotCodec
 ./internal/fleet:FuzzEnvelope
+./internal/fleet:FuzzTraceEnvelope
 ./internal/telemetry:FuzzHistogramMergeAssociativity
 "
 
